@@ -1,0 +1,267 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (experiment index in DESIGN.md). Each benchmark wraps the
+// corresponding harness runner from internal/bench; the primary output is
+// the deterministic simulated device time, reported as sim-ms/op next to
+// the usual wall-clock numbers.
+//
+//	go test -bench=. -benchmem
+//	go test -bench=Fig6 -benchscale 1000000   # the paper's cardinality
+package ghostdb_test
+
+import (
+	"flag"
+	"sync"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/bench"
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/plan"
+)
+
+var benchScale = flag.Int("benchscale", 50_000, "prescriptions for benchmark datasets (paper: 1000000)")
+
+var shared struct {
+	once sync.Once
+	db   *core.DB
+	err  error
+}
+
+// sharedDB builds one database per process for the read-only benchmarks.
+func sharedDB(b *testing.B) *core.DB {
+	b.Helper()
+	shared.once.Do(func() {
+		shared.db, _, shared.err = bench.BuildDB(bench.Config{Scale: *benchScale})
+	})
+	if shared.err != nil {
+		b.Fatal(shared.err)
+	}
+	return shared.db
+}
+
+// simMS converts total simulated time to a per-op metric.
+func simMS(b *testing.B, totalNS float64) {
+	b.ReportMetric(totalNS/1e6/float64(b.N), "sim-ms/op")
+}
+
+// BenchmarkFig6PlanBars regenerates Figure 6: every plan of the demo
+// query, timed on the simulated device (experiment E1).
+func BenchmarkFig6PlanBars(b *testing.B) {
+	db := sharedDB(b)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Fig6(db, bench.DemoQuery)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.Time)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkFig5PostFilterPlan runs the forced post-filtering plan of
+// Figure 5 with its operator report (experiment E2).
+func BenchmarkFig5PostFilterPlan(b *testing.B) {
+	db := sharedDB(b)
+	q, err := db.Prepare(bench.DemoQuery)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := plan.Spec{Label: "Fig5",
+		Strategies: []plan.Strategy{plan.StratVisPost, plan.StratHidIndex, plan.StratVisPost}}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := db.QueryWithPlan(q, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim += float64(res.Report.TotalTime)
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkSelectivitySweep measures the pre/post/cross crossover
+// (experiment E3).
+func BenchmarkSelectivitySweep(b *testing.B) {
+	db := sharedDB(b)
+	sels := []float64{0.01, 0.10, 0.40}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		points, err := bench.SelectivitySweep(db, sels)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			sim += float64(p.Pre + p.Post + p.Cross)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkBaselines compares SKT+climbing against join indices, block
+// nested loop and Grace hash (experiment E4).
+func BenchmarkBaselines(b *testing.B) {
+	db := sharedDB(b)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Baselines(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.Time)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkStorageFootprint reports the flash cost of the indexing model
+// (experiment E5).
+func BenchmarkStorageFootprint(b *testing.B) {
+	db := sharedDB(b)
+	var total int64
+	for i := 0; i < b.N; i++ {
+		rows := bench.Storage(db)
+		total = rows[len(rows)-1].Bytes
+	}
+	b.ReportMetric(float64(total)/(1<<20), "flash-MB")
+}
+
+// BenchmarkBusSpeed times the demo plans under USB full speed and high
+// speed (experiment E6). Builds fresh databases, so it is the slowest.
+func BenchmarkBusSpeed(b *testing.B) {
+	cfg := bench.Config{Scale: smallScale()}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.BusSpeed(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.PrePlan + r.Post)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkSpyTrace runs the wire audit of demo phase 1 (experiment E7).
+func BenchmarkSpyTrace(b *testing.B) {
+	cfg := bench.Config{Scale: smallScale()}
+	for i := 0; i < b.N; i++ {
+		rep, err := bench.Spy(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Leaks != 0 {
+			b.Fatalf("%d hidden values leaked", rep.Leaks)
+		}
+	}
+}
+
+// BenchmarkRAMBudget sweeps the device RAM budget (experiment E8).
+func BenchmarkRAMBudget(b *testing.B) {
+	cfg := bench.Config{Scale: smallScale()}
+	budgets := []int{16 << 10, 64 << 10, 256 << 10}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.RAMSweep(cfg, budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.Pre + r.Post)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkWriteRatio sweeps the flash program/read cost ratio
+// (experiment E9).
+func BenchmarkWriteRatio(b *testing.B) {
+	cfg := bench.Config{Scale: smallScale()}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.WriteRatio(cfg, []float64{3, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.GhostDB + r.Grace)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkBloomFPR measures filter false-positive rates against the
+// analytic bound (experiment E10).
+func BenchmarkBloomFPR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.BloomFPR([]int{10_000}, []float64{9.6})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[0].Measured > 3*rows[0].Analytic+0.01 {
+			b.Fatalf("fpr %f far above analytic %f", rows[0].Measured, rows[0].Analytic)
+		}
+	}
+}
+
+// BenchmarkPlanGame runs demo phase 3: estimate vs measure every plan
+// (experiment E11).
+func BenchmarkPlanGame(b *testing.B) {
+	db := sharedDB(b)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := bench.Game(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.Measured)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkAblations measures the design-choice comparisons.
+func BenchmarkAblations(b *testing.B) {
+	db := sharedDB(b)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.Ablations(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.With)
+		}
+	}
+	simMS(b, sim)
+}
+
+// BenchmarkLoad measures the bulk-load path (dataset generation plus
+// device index construction).
+func BenchmarkLoad(b *testing.B) {
+	cfg := datagen.WithScale(smallScale())
+	for i := 0; i < b.N; i++ {
+		ds := datagen.Generate(cfg)
+		db, err := core.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.LoadDataset(ds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// smallScale caps the rebuild-heavy benchmarks.
+func smallScale() int {
+	s := *benchScale
+	if s > 50_000 {
+		s = 50_000
+	}
+	return s
+}

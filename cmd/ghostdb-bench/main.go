@@ -1,0 +1,171 @@
+// Command ghostdb-bench regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md's experiment index). Each experiment
+// prints one table; "all" runs them in order.
+//
+//	ghostdb-bench -scale 100000 all
+//	ghostdb-bench -scale 1000000 fig6        # the paper's cardinality
+//	ghostdb-bench sweep baselines storage
+//
+// Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
+// bloom game ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/bench"
+	"github.com/ghostdb/ghostdb/internal/core"
+)
+
+var experimentOrder = []string{
+	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
+	"ram", "writes", "bloom", "game", "ablations",
+}
+
+func main() {
+	scale := flag.Int("scale", 100_000, "prescriptions in the synthetic dataset (paper: 1000000)")
+	seed := flag.Int64("seed", 42, "dataset seed")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ghostdb-bench [-scale N] [experiment ...]\nexperiments: %v or all\n", experimentOrder)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	wanted := flag.Args()
+	if len(wanted) == 0 || (len(wanted) == 1 && wanted[0] == "all") {
+		wanted = experimentOrder
+	}
+	cfg := bench.Config{Scale: *scale, Seed: *seed}
+
+	// Most experiments share one database build.
+	var shared *core.DB
+	sharedDB := func() *core.DB {
+		if shared == nil {
+			start := time.Now()
+			fmt.Printf("building dataset + database at scale %d...\n", cfg.Scale)
+			db, _, err := bench.BuildDB(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("loaded in %v (wall clock)\n\n", time.Since(start).Round(time.Millisecond))
+			shared = db
+		}
+		return shared
+	}
+
+	for _, name := range wanted {
+		fmt.Printf("==================== %s ====================\n", name)
+		start := time.Now()
+		if err := run(name, cfg, sharedDB); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(%s took %v wall clock)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
+	switch name {
+	case "fig6":
+		fmt.Println("E1 / Figure 6: execution time of every plan for the demo query")
+		rows, err := bench.Fig6(sharedDB(), bench.DemoQuery)
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatPlanRows(rows))
+	case "fig5":
+		fmt.Println("E2 / Figure 5: the post-filtering plan with operator popups")
+		out, err := bench.Fig5(sharedDB())
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "sweep":
+		fmt.Println("E3: pre vs post vs cross filtering across visible selectivity")
+		points, err := bench.SelectivitySweep(sharedDB(),
+			[]float64{0.001, 0.01, 0.05, 0.10, 0.20, 0.40, 0.60, 0.80})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSweep(points))
+	case "baselines":
+		fmt.Println("E4: GhostDB vs last-resort joins and join indices (deep query)")
+		rows, err := bench.Baselines(sharedDB())
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatBaselines(rows))
+	case "storage":
+		fmt.Println("E5: the flash storage cost of the indexing model")
+		db := sharedDB()
+		fmt.Print(bench.FormatStorage(bench.Storage(db), db.RowCount("Prescription")))
+	case "bus":
+		fmt.Println("E6: USB full speed (12 Mb/s) vs high speed (480 Mb/s)")
+		rows, err := bench.BusSpeed(smaller(cfg))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatBus(rows))
+	case "spy":
+		fmt.Println("E7 / demo phase 1: the spy's view and the leak audit")
+		rep, err := bench.Spy(smaller(cfg))
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatSpy(rep))
+	case "ram":
+		fmt.Println("E8: RAM budget 16KB..256KB")
+		rows, err := bench.RAMSweep(smaller(cfg), []int{16 << 10, 32 << 10, 64 << 10, 128 << 10, 256 << 10})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatRAM(rows))
+	case "writes":
+		fmt.Println("E9: flash write/read cost ratio 3x..10x")
+		rows, err := bench.WriteRatio(smaller(cfg), []float64{3, 5, 8, 10})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatWrites(rows))
+	case "bloom":
+		fmt.Println("E10: Bloom filter false-positive rate vs the analytic bound")
+		rows, err := bench.BloomFPR([]int{10_000, 100_000, 1_000_000}, []float64{4, 8, 9.6, 12})
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatBloom(rows))
+	case "game":
+		fmt.Println("E11 / demo phase 3: estimated vs measured per plan")
+		rows, pick, err := bench.Game(sharedDB())
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatGame(rows, pick))
+	case "ablations":
+		fmt.Println("Ablations: the design choices behind the numbers")
+		rows, err := bench.Ablations(sharedDB())
+		if err != nil {
+			return err
+		}
+		devRow, err := bench.DeviceIndexAblation(smaller(cfg))
+		if err != nil {
+			return err
+		}
+		rows = append(rows, devRow)
+		fmt.Print(bench.FormatAblations(rows))
+	default:
+		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
+	}
+	return nil
+}
+
+// smaller caps rebuild-heavy experiments at a friendlier scale.
+func smaller(cfg bench.Config) bench.Config {
+	if cfg.Scale > 100_000 {
+		cfg.Scale = 100_000
+	}
+	return cfg
+}

@@ -1,0 +1,81 @@
+// Command ghostdb loads the synthetic hospital database and runs ad-hoc
+// queries against it, printing results, plans and execution reports.
+//
+//	ghostdb -scale 50000 -query "SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'"
+//	ghostdb -explain -query "..."       # show the chosen plan only
+//	ghostdb -plans -query "..."         # run every plan (demo phase 2)
+//	ghostdb -trace -query "..."         # print the spy's wire view
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ghostdb/ghostdb"
+	"github.com/ghostdb/ghostdb/internal/bench"
+	"github.com/ghostdb/ghostdb/internal/trace"
+)
+
+func main() {
+	scale := flag.Int("scale", 20_000, "prescriptions in the synthetic dataset")
+	query := flag.String("query", bench.DemoQuery, "SQL to execute")
+	explain := flag.Bool("explain", false, "print the chosen plan without full output")
+	plans := flag.Bool("plans", false, "execute every enumerated plan and compare")
+	showTrace := flag.Bool("trace", false, "print the spy-visible wire trace")
+	maxRows := flag.Int("rows", 10, "result rows to print")
+	flag.Parse()
+
+	opts := []ghostdb.Option{}
+	if *showTrace {
+		opts = append(opts, ghostdb.WithCapture(ghostdb.CaptureFull))
+	}
+	db, err := ghostdb.Open(opts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.LoadDataset(ghostdb.GenerateDataset(ghostdb.ScaleOf(*scale))); err != nil {
+		log.Fatal(err)
+	}
+
+	if *plans {
+		rows, err := bench.Fig6(db, *query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(bench.FormatPlanRows(rows))
+		return
+	}
+
+	res, err := db.Query(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q, err := db.Prepare(*query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(db.Explain(q, res.Spec))
+	if *explain {
+		return
+	}
+
+	fmt.Printf("\n%d rows:\n", len(res.Rows))
+	fmt.Println(" ", res.Columns)
+	for i, row := range res.Rows {
+		if i == *maxRows {
+			fmt.Printf("  ... %d more\n", len(res.Rows)-*maxRows)
+			break
+		}
+		fmt.Println(" ", row)
+	}
+	fmt.Println()
+	fmt.Print(res.Report.String())
+
+	if *showTrace {
+		fmt.Println("\nspy-visible wire trace:")
+		fmt.Print(trace.Format(db.Recorder().SpyView()))
+		leaks := trace.Audit(db.Recorder().Events(), db.HiddenValues().Contains)
+		fmt.Printf("leak audit: %d leaks\n", len(leaks))
+	}
+}

@@ -1,0 +1,74 @@
+// Hospital: the paper's full demonstration scenario (Section 5) — the
+// Figure 3 diabetes-clinic schema with a synthetic dataset, running the
+// demo query of Section 4 under the optimizer and printing the execution
+// report the demo GUI displays per operator.
+//
+//	go run ./examples/hospital            # 20K prescriptions
+//	go run ./examples/hospital -scale 1000000   # the paper's scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ghostdb/ghostdb"
+)
+
+// demoQuery is the query of Section 4, verbatim.
+const demoQuery = `SELECT
+Med.Name, Pre.Quantity, Vis.Date
+FROM Medicine Med, Prescription Pre, Visit Vis
+WHERE
+Vis.Date > 05-11-2006 /*VISIBLE*/
+AND Vis.Purpose = "Sclerosis" /*HIDDEN*/
+AND Med.Type = "Antibiotic"  /*VISIBLE*/
+AND Med.MedID = Pre.MedID
+AND Vis.VisID = Pre.VisID`
+
+func main() {
+	scale := flag.Int("scale", 20_000, "prescriptions in the synthetic dataset")
+	flag.Parse()
+
+	fmt.Printf("generating hospital dataset (%d prescriptions)...\n", *scale)
+	ds := ghostdb.GenerateDataset(ghostdb.ScaleOf(*scale))
+
+	db, err := ghostdb.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("loading: visible columns to the public store, hidden columns,")
+	fmt.Println("SKTs and climbing indexes to the smart USB device...")
+	if err := db.LoadDataset(ds); err != nil {
+		log.Fatal(err)
+	}
+	st := db.Storage()
+	fmt.Printf("\ndevice flash footprint: base columns %.1f MB, SKTs %.1f MB, climbing indexes %.1f MB\n",
+		mb(st.BaseColumns), mb(st.SKTs), mb(st.Climbing))
+
+	fmt.Println("\nrunning the demo query (optimizer picks the plan):")
+	fmt.Println(demoQuery)
+	res, err := db.Query(demoQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d result rows; first few:\n", len(res.Rows))
+	for i, row := range res.Rows {
+		if i == 5 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Println("  ", row)
+	}
+	fmt.Println("\nexecution report (the demo GUI's operator popups):")
+	fmt.Print(res.Report.String())
+
+	q, err := db.Prepare(demoQuery)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("plan explanation:")
+	fmt.Print(db.Explain(q, res.Spec))
+}
+
+func mb(b int64) float64 { return float64(b) / (1 << 20) }

@@ -1,0 +1,108 @@
+// Planlab: demo phases 2 and 3 — "testing the query engine ... and
+// playing a game". Enumerates every query execution plan for the demo
+// query (each visible predicate pre- or post-filtered, with and without
+// cross-filtering), executes them all, and prints the Figure 6 style
+// comparison: execution time and RAM consumption per plan, with the
+// operator breakdown of the winner. Try to guess the best plan before
+// looking!
+//
+//	go run ./examples/planlab
+//	go run ./examples/planlab -scale 200000 -sel 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"github.com/ghostdb/ghostdb"
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+func main() {
+	scale := flag.Int("scale", 50_000, "prescriptions in the dataset")
+	sel := flag.Float64("sel", 0.19, "selectivity of the visible date predicate")
+	flag.Parse()
+
+	ds := ghostdb.GenerateDataset(ghostdb.ScaleOf(*scale))
+	db, err := ghostdb.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := db.LoadDataset(ds); err != nil {
+		log.Fatal(err)
+	}
+
+	cutoff := datagen.DateCutoff(*sel)
+	query := fmt.Sprintf(`SELECT Med.Name, Pre.Quantity, Vis.Date
+FROM Medicine Med, Prescription Pre, Visit Vis
+WHERE Vis.Date > '%s' AND Vis.Purpose = 'Sclerosis' AND Med.Type = 'Antibiotic'
+AND Med.MedID = Pre.MedID AND Vis.VisID = Pre.VisID`, cutoff)
+
+	q, err := db.Prepare(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	specs := db.Plans(q)
+	fmt.Printf("the demo query with Vis.Date selectivity %.0f%% has %d candidate plans\n\n",
+		*sel*100, len(specs))
+
+	type row struct {
+		label   string
+		desc    string
+		simTime time.Duration
+		ram     int64
+		rows    int
+		rep     *stats.Report
+	}
+	var rows []row
+	for _, spec := range specs {
+		res, err := db.QueryWithPlan(q, spec)
+		if err != nil {
+			log.Fatalf("%s: %v", spec.Label, err)
+		}
+		rows = append(rows, row{
+			label:   spec.Label,
+			desc:    spec.Describe(q),
+			simTime: res.Report.TotalTime,
+			ram:     res.Report.RAMHigh,
+			rows:    len(res.Rows),
+			rep:     res.Report,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].simTime < rows[j].simTime })
+
+	fmt.Println("=== Figure 6: execution time per plan (best first) ===")
+	worst := rows[len(rows)-1].simTime
+	for _, r := range rows {
+		barLen := int(float64(r.simTime) / float64(worst) * 40)
+		fmt.Printf("  %-4s %8.2fms  ram %7s  %s\n       %s\n",
+			r.label, float64(r.simTime)/1e6, stats.FormatBytes(r.ram),
+			bar(barLen), r.desc)
+	}
+
+	auto, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe optimizer picked %s (%v)", auto.Spec.Label, auto.Report.TotalTime)
+	if auto.Spec.Label == rows[0].label {
+		fmt.Println(" — the winner. You'd have needed a good eye to beat it.")
+	} else {
+		fmt.Printf("; the actual winner was %s (%v).\n", rows[0].label, rows[0].simTime)
+	}
+
+	fmt.Println("\n=== operator popup for the winning plan ===")
+	fmt.Print(rows[0].rep.String())
+}
+
+func bar(n int) string {
+	b := make([]byte, n+1)
+	for i := range b {
+		b[i] = '#'
+	}
+	return string(b)
+}

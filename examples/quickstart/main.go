@@ -1,0 +1,72 @@
+// Quickstart: create a two-table GhostDB with a HIDDEN column, load a few
+// rows, and run a query mixing visible and hidden predicates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghostdb/ghostdb"
+)
+
+func main() {
+	db, err := ghostdb.Open()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The paper's DDL: standard CREATE TABLE plus the HIDDEN keyword on
+	// sensitive columns. Hidden columns live only on the smart USB
+	// device; visible columns and all primary keys stay public.
+	err = db.ExecScript(`
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(40),
+  Country CHAR(20));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+
+INSERT INTO Doctor VALUES
+  (1, 'Dr. Ellis', 'France'),
+  (2, 'Dr. Gall',  'Spain'),
+  (3, 'Dr. Novak', 'France');
+
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup',   1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1),
+  (4, DATE '2006-12-24', 'Flu',       2),
+  (5, DATE '2007-03-05', 'Sclerosis', 3);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// An SPJ query over both worlds. Vis.Purpose is hidden: its
+	// predicate runs only inside the device. Doc.Country is visible:
+	// the untrusted side evaluates it and ships the matching IDs in.
+	res, err := db.Query(`
+SELECT Vis.VisID, Vis.Date, Vis.Purpose, Doc.Name
+FROM Visit Vis, Doctor Doc
+WHERE Vis.Purpose = 'Sclerosis'  /*HIDDEN*/
+  AND Doc.Country = 'France'     /*VISIBLE*/
+  AND Vis.DocID = Doc.DocID`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("columns:", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Println("  ", row)
+	}
+	fmt.Printf("\nplan %s finished in %v simulated device time\n",
+		res.Spec.Label, res.Report.TotalTime)
+	fmt.Printf("device RAM peak: %d bytes of the %d-byte budget\n",
+		res.Report.RAMHigh, db.Device().RAM.Budget())
+}

@@ -1,0 +1,139 @@
+// Package ghostdb is a full reproduction of "GhostDB: Hiding Data from
+// Prying Eyes" (Salperwyck, Anciaux, Benzine, Bouganim, Pucheral, Shasha —
+// VLDB 2007 demo; SIGMOD 2007 companion): a database that hides sensitive
+// columns on a tamper-resistant smart USB device while the rest stays on
+// untrusted public storage, and answers ordinary SQL over both without
+// ever letting hidden data leave the device.
+//
+// The smart USB device of the paper (tens of KB of RAM, NAND flash with
+// asymmetric read/write costs, a 12 Mb/s USB link) is reproduced as a
+// cycle-accounted simulator, the same methodology as the paper's own
+// demo, which ran on "a software simulator of the USB device". All query
+// costs are charged to a deterministic simulated clock.
+//
+// # Quick start
+//
+//	db, err := ghostdb.Open()
+//	if err != nil { ... }
+//	err = db.ExecScript(`
+//	  CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+//	  CREATE TABLE Visit (
+//	    VisID INTEGER PRIMARY KEY,
+//	    Date DATE,
+//	    Purpose CHAR(100) HIDDEN,
+//	    DocID REFERENCES Doctor(DocID) HIDDEN);
+//	  INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+//	  INSERT INTO Visit VALUES (1, DATE '2006-01-10', 'Checkup', 1);
+//	`)
+//	res, err := db.Query(`SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc
+//	    WHERE Vis.Purpose = 'Checkup' AND Doc.Country = 'France'`)
+//
+// Columns marked HIDDEN live only on the device; everything else (and
+// every primary key) is public. Queries need no changes: the engine
+// splits the work, delegating visible selections to the untrusted side
+// and running all hidden computation on the device, with data flowing
+// only from public to private.
+//
+// # Plans
+//
+// The engine implements the paper's strategies — Pre-filtering,
+// Post-filtering and Cross-filtering — and an optimizer that picks among
+// them from exact visible counts and climbing-index statistics. Use
+// Plans/QueryWithPlan to explore the plan space by hand (the demo's
+// phase 3 game), and Result.Report for per-operator statistics.
+package ghostdb
+
+import (
+	"github.com/ghostdb/ghostdb/internal/bus"
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/trace"
+)
+
+// DB is a GhostDB instance: the visible store, the simulated smart USB
+// device holding the hidden data and its indexes, and the engine that
+// executes queries across them.
+type DB = core.DB
+
+// Result is a completed query with its execution report.
+type Result = core.Result
+
+// Option configures Open.
+type Option = core.Option
+
+// QueryOption adjusts one query execution.
+type QueryOption = core.QueryOption
+
+// Open creates an empty GhostDB on a simulated smart USB device.
+func Open(opts ...Option) (*DB, error) { return core.Open(opts...) }
+
+// WithProfile selects the device hardware profile (default: the 2007-era
+// smart USB device of the paper's Figure 2).
+func WithProfile(p device.Profile) Option { return core.WithProfile(p) }
+
+// WithUSB selects the terminal-device channel (default: USB 2.0 full
+// speed, 12 Mb/s).
+func WithUSB(p bus.Profile) Option { return core.WithUSB(p) }
+
+// WithCapture selects how much wire payload the trace records; use
+// CaptureFull to run the security audit.
+func WithCapture(l trace.CaptureLevel) Option { return core.WithCapture(l) }
+
+// WithTargetFPR sets the Bloom filters' target false-positive rate
+// (default 1%; false positives are always repaired exactly).
+func WithTargetFPR(f float64) Option { return core.WithTargetFPR(f) }
+
+// WithDeviceIndex additionally builds a device climbing index on a
+// visible column (the paper's Figure 4 shows one on Doctor.Country),
+// letting the device evaluate that column's predicates with zero bus
+// traffic at extra flash cost.
+func WithDeviceIndex(table, column string) Option { return core.WithDeviceIndex(table, column) }
+
+// WithSpec forces a specific plan instead of the optimizer's choice.
+func WithSpec(s PlanSpec) QueryOption { return core.WithSpec(s) }
+
+// PlanSpec is one concrete query plan: a strategy per predicate plus the
+// cross-filtering switch.
+type PlanSpec = plan.Spec
+
+// Query is a bound query (see DB.Prepare).
+type Query = plan.Query
+
+// Re-exported device and channel profiles.
+var (
+	// SmartUSB2007 is the paper's target hardware: 64 KB RAM, 50 MHz
+	// CPU, 2 GB NAND flash with a 5x program/read cost ratio.
+	SmartUSB2007 = device.SmartUSB2007
+	// USBFullSpeed is the 12 Mb/s link of 2007 ("full speed").
+	USBFullSpeed = bus.USBFullSpeed
+	// USBHighSpeed is the 480 Mb/s link "envisioned for future
+	// platforms" (Section 3).
+	USBHighSpeed = bus.USBHighSpeed
+)
+
+// Trace capture levels.
+const (
+	CaptureMeta = trace.CaptureMeta
+	CaptureFull = trace.CaptureFull
+)
+
+// Dataset is a generated synthetic database (the demo's hospital data).
+type Dataset = datagen.Dataset
+
+// DatasetConfig controls synthetic dataset generation.
+type DatasetConfig = datagen.Config
+
+// GenerateDataset builds the Figure 3 hospital dataset deterministically.
+func GenerateDataset(cfg DatasetConfig) *Dataset { return datagen.Generate(cfg) }
+
+// PaperScale is the demo's cardinality: one million prescriptions.
+func PaperScale() DatasetConfig { return datagen.Default() }
+
+// SmallScale is a laptop-friendly 20K-prescription configuration with the
+// same ratios.
+func SmallScale() DatasetConfig { return datagen.Small() }
+
+// ScaleOf returns a config with the given number of prescriptions.
+func ScaleOf(prescriptions int) DatasetConfig { return datagen.WithScale(prescriptions) }

@@ -1,0 +1,779 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/exec"
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/store"
+)
+
+// rootCandidates opens the root-level selection, or a full scan.
+func (e *Engine) rootCandidates(root string, sel map[string]*selRun) (exec.IDIter, error) {
+	if run, ok := sel[root]; ok {
+		return run.src.Open()
+	}
+	return &seqIter{max: uint32(e.Rows[root])}, nil
+}
+
+type seqIter struct{ next, max uint32 }
+
+func (s *seqIter) Next() (uint32, bool, error) {
+	if s.next >= s.max {
+		return 0, false, nil
+	}
+	s.next++
+	return s.next, true, nil
+}
+
+func (s *seqIter) Close() {}
+
+// fkColumn fetches the hidden FK column object for parent->child.
+func (e *Engine) fkColumn(parent, child string) (store.Column, error) {
+	pt, ok := e.Sch.Table(parent)
+	if !ok {
+		return nil, fmt.Errorf("baseline: unknown table %s", parent)
+	}
+	for _, fk := range pt.ForeignKeys() {
+		if strings.EqualFold(fk.RefTable, child) {
+			td, ok := e.Hid.Table(parent)
+			if !ok {
+				return nil, fmt.Errorf("baseline: no hidden table %s", parent)
+			}
+			col, ok := td.Column(fk.Name)
+			if !ok {
+				return nil, fmt.Errorf("baseline: FK %s.%s is not on the device; baselines need hidden foreign keys", parent, fk.Name)
+			}
+			return col, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: no FK %s->%s", parent, child)
+}
+
+// pathDown returns the tables from `from` down to `to` (inclusive).
+func (e *Engine) pathDown(from, to string) ([]string, error) {
+	up := e.Sch.PathToRoot(to) // [to, ..., from, ...]
+	var rev []string
+	for _, t := range up {
+		rev = append(rev, t.Name)
+		if strings.EqualFold(t.Name, from) {
+			// Reverse.
+			out := make([]string, len(rev))
+			for i, n := range rev {
+				out[len(rev)-1-i] = n
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("baseline: %s is not an ancestor of %s", from, to)
+}
+
+// topDownJoin is the no-index strategy: for each selected dimension,
+// materialize (rootID, dimID) pairs by chasing foreign keys row by row,
+// then filter against the selection run with block nested loop or Grace
+// hash partitioning.
+func (e *Engine) topDownJoin(root string, sel map[string]*selRun, alg Algorithm, rep *stats.Report) ([]uint32, error) {
+	cur, err := e.rootCandidates(root, sel)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic target order: by depth then name.
+	var targets []string
+	for t := range sel {
+		if !strings.EqualFold(t, root) {
+			targets = append(targets, t)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool {
+		di, dj := e.Sch.Depth(targets[i]), e.Sch.Depth(targets[j])
+		if di != dj {
+			return di < dj
+		}
+		return targets[i] < targets[j]
+	})
+
+	for _, target := range targets {
+		path, err := e.pathDown(root, target)
+		if err != nil {
+			cur.Close()
+			return nil, err
+		}
+		// Chase FK chains: (rootID, curID) pairs in a scratch row file.
+		mapOp := rep.NewOp("FKChase", fmt.Sprintf("%s->%s", root, target))
+		phase := e.Dev.Clock.Now()
+		cols := make([]store.Column, len(path)-1)
+		for i := 0; i+1 < len(path); i++ {
+			cols[i], err = e.fkColumn(path[i], path[i+1])
+			if err != nil {
+				cur.Close()
+				return nil, err
+			}
+		}
+		pairs := &fkChaseIter{in: cur, cols: cols, op: mapOp}
+		pairFile, err := e.Env.MaterializeRows(pairs, 2, true, mapOp)
+		if err != nil {
+			return nil, err
+		}
+		mapOp.AddTime(e.Dev.Clock.Span(phase))
+
+		// Filter the pairs against the selection run.
+		var kept *exec.RowFile
+		switch alg {
+		case BNL:
+			kept, err = e.bnlFilter(pairFile, sel[target], rep)
+		case GraceHash:
+			kept, err = e.graceFilter(pairFile, sel[target], rep)
+		default:
+			err = fmt.Errorf("baseline: %v is not a top-down algorithm", alg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		// Reduce to the surviving root IDs (field 0), sorted.
+		sorted, err := e.Env.SortRowFile(kept, 0, int(e.Dev.RAM.Available())/2, e.Env.Fanin(0.25), rep.NewOp("Sort", "by root"))
+		if err != nil {
+			return nil, err
+		}
+		it, err := sorted.Iter()
+		if err != nil {
+			return nil, err
+		}
+		cur = &rowFieldIter{in: it, field: 0}
+	}
+	return exec.Collect(cur)
+}
+
+// fkChaseIter maps root IDs to (rootID, targetID) rows by fetching the
+// FK column at every hop — random flash reads once the chain leaves the
+// root's clustered order.
+type fkChaseIter struct {
+	in   exec.IDIter
+	cols []store.Column
+	op   *stats.Op
+	buf  [2]uint32
+}
+
+func (f *fkChaseIter) Next() (exec.Row, bool, error) {
+	id, ok, err := f.in.Next()
+	if err != nil || !ok {
+		return exec.Row{}, false, err
+	}
+	cur := id
+	for _, col := range f.cols {
+		v, err := col.Value(int(cur) - 1)
+		if err != nil {
+			return exec.Row{}, false, err
+		}
+		cur = uint32(v.Int())
+	}
+	f.buf[0], f.buf[1] = id, cur
+	return exec.Row{IDs: f.buf[:]}, true, nil
+}
+
+func (f *fkChaseIter) Close() { f.in.Close() }
+
+// rowFieldIter projects one field of a row stream as an ID stream.
+type rowFieldIter struct {
+	in    exec.RowIter
+	field int
+}
+
+func (r *rowFieldIter) Next() (uint32, bool, error) {
+	row, ok, err := r.in.Next()
+	if err != nil || !ok {
+		return 0, false, err
+	}
+	return row.IDs[r.field], true, nil
+}
+
+func (r *rowFieldIter) Close() { r.in.Close() }
+
+// bnlFilter keeps pairs whose second field appears in the selection run,
+// re-scanning the run once per RAM-sized chunk of pairs.
+func (e *Engine) bnlFilter(pairs *exec.RowFile, sel *selRun, rep *stats.Report) (*exec.RowFile, error) {
+	op := rep.NewOp("BNLFilter", fmt.Sprintf("|sel|=%d", sel.n))
+	phase := e.Dev.Clock.Now()
+	defer func() { op.AddTime(e.Dev.Clock.Span(phase)) }()
+
+	// Chunk capacity: half the free RAM for the pair buffer, half for
+	// the membership map approximation.
+	chunkBytes := int(e.Dev.RAM.Available()) / 2
+	capPairs := chunkBytes / 16
+	if capPairs < 8 {
+		capPairs = 8
+	}
+	grant, err := e.Dev.RAM.Alloc(capPairs*16, "bnl-chunk")
+	if err != nil {
+		return nil, err
+	}
+	defer grant.Free()
+	op.NoteRAM(int64(capPairs * 16))
+
+	out, err := e.Env.NewRowFileWriter(2)
+	if err != nil {
+		return nil, err
+	}
+	in, err := pairs.Iter()
+	if err != nil {
+		out.Abort()
+		return nil, err
+	}
+	defer in.Close()
+
+	type pair struct {
+		seq      uint32
+		root, id uint32
+	}
+	chunk := make([]pair, 0, capPairs)
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		// Membership: index chunk by target ID.
+		byID := map[uint32][]int{}
+		for i, p := range chunk {
+			byID[p.id] = append(byID[p.id], i)
+		}
+		keep := make([]bool, len(chunk))
+		it, err := sel.src.Open()
+		if err != nil {
+			return err
+		}
+		for {
+			selID, ok, err := it.Next()
+			if err != nil {
+				it.Close()
+				return err
+			}
+			if !ok {
+				break
+			}
+			for _, i := range byID[selID] {
+				keep[i] = true
+			}
+		}
+		it.Close()
+		for i, p := range chunk {
+			if keep[i] {
+				op.AddOut(1)
+				if err := out.Write(exec.Row{Seq: p.seq, IDs: []uint32{p.root, p.id}}); err != nil {
+					return err
+				}
+			}
+		}
+		chunk = chunk[:0]
+		return nil
+	}
+	for {
+		r, ok, err := in.Next()
+		if err != nil {
+			out.Abort()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		op.AddIn(1)
+		chunk = append(chunk, pair{seq: r.Seq, root: r.IDs[0], id: r.IDs[1]})
+		if len(chunk) == capPairs {
+			if err := flush(); err != nil {
+				out.Abort()
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		out.Abort()
+		return nil, err
+	}
+	return out.Close()
+}
+
+// graceFilter partitions pairs and the selection by hash so each
+// partition's selection IDs fit in RAM, then filters partition-wise.
+func (e *Engine) graceFilter(pairs *exec.RowFile, sel *selRun, rep *stats.Report) (*exec.RowFile, error) {
+	op := rep.NewOp("GraceFilter", fmt.Sprintf("|sel|=%d", sel.n))
+	phase := e.Dev.Clock.Now()
+	defer func() { op.AddTime(e.Dev.Clock.Span(phase)) }()
+
+	ramHalf := int(e.Dev.RAM.Available()) / 2
+	parts := sel.n*8/maxInt(ramHalf, 1) + 1
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > 64 {
+		parts = 64
+	}
+
+	// Partition the pair file (writes!).
+	pairParts := make([]*exec.RowFile, parts)
+	for p := 0; p < parts; p++ {
+		w, err := e.Env.NewRowFileWriter(2)
+		if err != nil {
+			return nil, err
+		}
+		in, err := pairs.Iter()
+		if err != nil {
+			w.Abort()
+			return nil, err
+		}
+		for {
+			r, ok, err := in.Next()
+			if err != nil {
+				in.Close()
+				w.Abort()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if int(hashID(r.IDs[1]))%parts == p {
+				if err := w.Write(r); err != nil {
+					in.Close()
+					w.Abort()
+					return nil, err
+				}
+			}
+		}
+		in.Close()
+		pf, err := w.Close()
+		if err != nil {
+			return nil, err
+		}
+		pairParts[p] = pf
+	}
+
+	out, err := e.Env.NewRowFileWriter(2)
+	if err != nil {
+		return nil, err
+	}
+	// Per partition: load the selection subset into RAM, scan the pairs.
+	for p := 0; p < parts; p++ {
+		set := map[uint32]bool{}
+		it, err := sel.src.Open()
+		if err != nil {
+			out.Abort()
+			return nil, err
+		}
+		loaded := 0
+		for {
+			id, ok, err := it.Next()
+			if err != nil {
+				it.Close()
+				out.Abort()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			if int(hashID(id))%parts == p {
+				set[id] = true
+				loaded++
+			}
+		}
+		it.Close()
+		grant, err := e.Dev.RAM.Alloc(loaded*8, "grace-set")
+		if err != nil {
+			out.Abort()
+			return nil, fmt.Errorf("baseline: grace partition overflow: %w", err)
+		}
+		op.NoteRAM(int64(loaded * 8))
+		in, err := pairParts[p].Iter()
+		if err != nil {
+			grant.Free()
+			out.Abort()
+			return nil, err
+		}
+		for {
+			r, ok, err := in.Next()
+			if err != nil {
+				in.Close()
+				grant.Free()
+				out.Abort()
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			op.AddIn(1)
+			if set[r.IDs[1]] {
+				op.AddOut(1)
+				if err := out.Write(r); err != nil {
+					in.Close()
+					grant.Free()
+					out.Abort()
+					return nil, err
+				}
+			}
+		}
+		in.Close()
+		grant.Free()
+	}
+	return out.Close()
+}
+
+func hashID(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x7feb352d
+	x ^= x >> 15
+	x *= 0x846ca68b
+	x ^= x >> 16
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// joinIndexTraversal climbs one foreign-key edge at a time with a
+// materialized run after every hop — binary join indices without the
+// climbing index's transitive lists.
+func (e *Engine) joinIndexTraversal(root string, sel map[string]*selRun, rep *stats.Report) ([]uint32, error) {
+	rootRuns, err := e.traverse(root, sel, rep, false)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := sel[root]; ok {
+		rootRuns = append(rootRuns, r)
+	}
+	if len(rootRuns) == 0 {
+		it, err := e.rootCandidates(root, sel)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Collect(it)
+	}
+	var iters []exec.IDIter
+	for _, r := range rootRuns {
+		it, err := r.src.Open()
+		if err != nil {
+			for _, o := range iters {
+				o.Close()
+			}
+			return nil, err
+		}
+		iters = append(iters, it)
+	}
+	x, err := e.Env.MergeIntersect(iters)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(x)
+}
+
+// traverse climbs the non-root selections toward the root, intersecting
+// at each table and materializing a run after every translation. With
+// multiHop false each translation crosses exactly one foreign-key edge
+// (binary join indices); with multiHop true the climbing index translates
+// directly to the nearest table that has its own selection — skipping
+// unoccupied levels. It returns the runs that arrived at the root.
+func (e *Engine) traverse(root string, sel map[string]*selRun, rep *stats.Report, multiHop bool) ([]*selRun, error) {
+	if e.Translator == nil {
+		return nil, fmt.Errorf("baseline: traversal needs translator indexes")
+	}
+	arrived := map[string][]*selRun{}
+	occupied := map[string]bool{}
+	var tables []string
+	for t := range sel {
+		if !strings.EqualFold(t, root) {
+			tables = append(tables, t)
+			occupied[t] = true
+		}
+	}
+	sort.Slice(tables, func(i, j int) bool {
+		di, dj := e.Sch.Depth(tables[i]), e.Sch.Depth(tables[j])
+		if di != dj {
+			return di > dj // deepest first
+		}
+		return tables[i] < tables[j]
+	})
+	processed := map[string]bool{}
+	queue := tables
+	var rootRuns []*selRun
+	for len(queue) > 0 {
+		t := queue[0]
+		queue = queue[1:]
+		if processed[t] {
+			continue
+		}
+		processed[t] = true
+		var runs []*selRun
+		if r, ok := sel[t]; ok {
+			runs = append(runs, r)
+		}
+		runs = append(runs, arrived[t]...)
+		if len(runs) == 0 {
+			continue
+		}
+		combined := runs[0]
+		var err error
+		for _, r := range runs[1:] {
+			combined, err = e.intersectRuns(combined, r, rep)
+			if err != nil {
+				return nil, err
+			}
+		}
+		// Choose the translation target.
+		target := ""
+		if multiHop {
+			target = root
+			for _, anc := range e.Sch.PathToRoot(t)[1:] {
+				if strings.EqualFold(anc.Name, root) {
+					break
+				}
+				if occupied[anc.Name] || len(arrived[anc.Name]) > 0 {
+					target = anc.Name
+					break
+				}
+			}
+		} else {
+			parent, _ := e.Sch.Parent(t)
+			if parent == nil {
+				return nil, fmt.Errorf("baseline: %s has no parent toward %s", t, root)
+			}
+			target = parent.Name
+		}
+		tr, err := e.Translator(t)
+		if err != nil {
+			return nil, err
+		}
+		level := tr.LevelOf(target)
+		if level < 0 {
+			return nil, fmt.Errorf("baseline: translator on %s lacks level %s", t, target)
+		}
+		in, err := combined.src.Open()
+		if err != nil {
+			return nil, err
+		}
+		opName := "JoinIndexHop"
+		if multiHop {
+			opName = "ClimbTranslate"
+		}
+		op := rep.NewOp(opName, fmt.Sprintf("%s->%s", t, target))
+		phase := e.Dev.Clock.Now()
+		translated, err := e.Env.Translate(in, tr, level, e.Env.Fanin(0.5), op)
+		if err != nil {
+			return nil, err
+		}
+		// Materialize after every hop.
+		run, err := e.Env.SpillIDs(translated, op)
+		if err != nil {
+			return nil, err
+		}
+		op.AddTime(e.Dev.Clock.Span(phase))
+		hopRun := &selRun{src: run, n: run.Count()}
+		if strings.EqualFold(target, root) {
+			rootRuns = append(rootRuns, hopRun)
+		} else {
+			arrived[target] = append(arrived[target], hopRun)
+			queue = append(queue, target)
+		}
+	}
+	return rootRuns, nil
+}
+
+// climbingRun executes the query with GhostDB's own structures under the
+// bare-root-IDs contract, using the engine's full repertoire: an isolated
+// deep hidden predicate reads its precomputed root-level list in one step
+// (the climbing index's defining advantage); predicates with
+// contributions below them intersect per level, cross-filtering style,
+// and the climbing index translates the intersection directly to the
+// next occupied level — skipping intermediate tables, which per-edge join
+// indices cannot do.
+func (e *Engine) climbingRun(root string, q Query, rep *stats.Report) ([]uint32, error) {
+	if e.ValueIndex == nil {
+		return nil, fmt.Errorf("baseline: climbing runs need value indexes")
+	}
+	// Tables contributing a selection.
+	occupied := map[string]bool{}
+	for _, p := range q.Preds {
+		if !strings.EqualFold(p.Table, root) {
+			occupied[p.Table] = true
+		}
+	}
+	hasDescendant := func(table string) bool {
+		for t := range occupied {
+			if !strings.EqualFold(t, table) && e.Sch.IsAncestor(table, t) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var rootIters []exec.IDIter
+	sel := map[string]*selRun{}
+	addSel := func(table string, run *selRun) error {
+		if prev, ok := sel[table]; ok {
+			merged, err := e.intersectRuns(prev, run, rep)
+			if err != nil {
+				return err
+			}
+			sel[table] = merged
+			return nil
+		}
+		sel[table] = run
+		return nil
+	}
+
+	for _, p := range q.Preds {
+		atRoot := strings.EqualFold(p.Table, root)
+		if p.Hidden && !atRoot && !hasDescendant(p.Table) {
+			// Isolated deep predicate: the transitive root list wins.
+			ix, ok := e.ValueIndex(p.Table, p.Column)
+			if !ok {
+				return nil, fmt.Errorf("baseline: no climbing index on %s.%s", p.Table, p.Column)
+			}
+			level := ix.LevelOf(root)
+			if level < 0 {
+				return nil, fmt.Errorf("baseline: index on %s does not climb to %s", p.Table, root)
+			}
+			op := rep.NewOp("ClimbingIndex", fmt.Sprintf("%s.%s@%s", p.Table, p.Column, root))
+			var sources []exec.IDSource
+			err := forEntriesAt(ix, p.P, level, func(ref climbing.ListRef) {
+				if ref.Count > 0 {
+					sources = append(sources, exec.ClimbSource{Env: e.Env, Ix: ix, Ref: ref})
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			it, err := e.Env.Union(sources, e.Env.Fanin(0.5), op)
+			if err != nil {
+				return nil, err
+			}
+			rootIters = append(rootIters, it)
+			continue
+		}
+		// Everything else participates in the per-level climb: hidden
+		// predicates via their own-level index lists, visible ones via
+		// the shipped list.
+		var run *selRun
+		var err error
+		if p.Hidden {
+			ix, ok := e.ValueIndex(p.Table, p.Column)
+			if !ok {
+				return nil, fmt.Errorf("baseline: no climbing index on %s.%s", p.Table, p.Column)
+			}
+			run, err = e.indexSelection(ix, Pred{Table: p.Table, Column: p.Column, P: p.P, Hidden: true}, rep)
+		} else {
+			run, err = e.selection(p.Table, p, Climbing, rep)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if err := addSel(p.Table, run); err != nil {
+			return nil, err
+		}
+	}
+
+	rootRuns, err := e.traverse(root, sel, rep, true)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := sel[root]; ok {
+		rootRuns = append(rootRuns, r)
+	}
+	for _, r := range rootRuns {
+		it, err := r.src.Open()
+		if err != nil {
+			return nil, err
+		}
+		rootIters = append(rootIters, it)
+	}
+	if len(rootIters) == 0 {
+		it, err := e.rootCandidates(root, sel)
+		if err != nil {
+			return nil, err
+		}
+		return exec.Collect(it)
+	}
+	x, err := e.Env.MergeIntersect(rootIters)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Collect(x)
+}
+
+// forEntriesAt visits the list refs at the given level of entries
+// matching p.
+func forEntriesAt(ix *climbing.Index, p pred.P, level int, fn func(climbing.ListRef)) error {
+	return forEachMatch(ix, p, func(e climbing.Entry) error {
+		fn(e.Lists[level])
+		return nil
+	})
+}
+
+// forEntries visits the own-level list refs of entries matching p.
+func forEntries(ix *climbing.Index, p pred.P, fn func(climbing.ListRef)) error {
+	return forEntriesAt(ix, p, 0, fn)
+}
+
+// forEachMatch visits the index entries matching p.
+func forEachMatch(ix *climbing.Index, p pred.P, emit func(climbing.Entry) error) error {
+	visitRange := func(lo, hi *climbing.Bound) error {
+		it, err := ix.Range(lo, hi)
+		if err != nil {
+			return err
+		}
+		for {
+			e, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+	}
+	switch p.Form {
+	case pred.FormCompare:
+		switch p.Op {
+		case sql.OpEq:
+			e, ok, err := ix.LookupEq(p.Val)
+			if err != nil || !ok {
+				return err
+			}
+			return emit(e)
+		case sql.OpNe:
+			if err := visitRange(nil, &climbing.Bound{V: p.Val}); err != nil {
+				return err
+			}
+			return visitRange(&climbing.Bound{V: p.Val}, nil)
+		case sql.OpLt:
+			return visitRange(nil, &climbing.Bound{V: p.Val})
+		case sql.OpLe:
+			return visitRange(nil, &climbing.Bound{V: p.Val, Inclusive: true})
+		case sql.OpGt:
+			return visitRange(&climbing.Bound{V: p.Val}, nil)
+		case sql.OpGe:
+			return visitRange(&climbing.Bound{V: p.Val, Inclusive: true}, nil)
+		}
+	case pred.FormBetween:
+		return visitRange(&climbing.Bound{V: p.Lo, Inclusive: true}, &climbing.Bound{V: p.Hi, Inclusive: true})
+	case pred.FormIn:
+		for _, v := range p.Set {
+			e, ok, err := ix.LookupEq(v)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := emit(e); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("baseline: unsupported predicate form %d", p.Form)
+}

@@ -1,0 +1,140 @@
+// Package bloom implements the Bloom filter [Bloom 1970] GhostDB's
+// post-filtering strategy relies on: the untrusted side's visible
+// selection result is shipped into the device as a compact bit array and
+// probed after the hidden joins (paper Section 4, Figure 5). "The two
+// properties of Bloom filters are compactness and a very low false
+// positive rate, making them well adapted to RAM-constrained
+// environments."
+//
+// GhostDB repairs false positives with an exact verification merge during
+// the projection phase, so the filter only has to be good, not perfect —
+// which lets the engine shrink a filter to fit whatever RAM remains and
+// pay for the extra positives in wasted SKT work instead of wrong answers.
+package bloom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Filter is a classic m-bit, k-hash Bloom filter keyed by 64-bit hashes,
+// using Kirsch–Mitzenmacher double hashing.
+type Filter struct {
+	bits []byte
+	m    uint64 // number of bits
+	k    int
+	n    int // elements added
+}
+
+// New returns a filter with at least mBits bits (rounded up to a whole
+// byte) and k hash functions.
+func New(mBits int, k int) (*Filter, error) {
+	if mBits <= 0 {
+		return nil, fmt.Errorf("bloom: %d bits", mBits)
+	}
+	if k <= 0 || k > 32 {
+		return nil, fmt.Errorf("bloom: %d hash functions", k)
+	}
+	bytes := (mBits + 7) / 8
+	return &Filter{bits: make([]byte, bytes), m: uint64(bytes) * 8, k: k}, nil
+}
+
+// SizeForFPR returns the bit count and hash count that achieve the target
+// false-positive rate for n elements: m = -n·ln(p)/ln(2)², k = m/n·ln(2).
+func SizeForFPR(n int, fpr float64) (mBits, k int) {
+	if n <= 0 {
+		return 64, 1
+	}
+	if fpr <= 0 {
+		fpr = 1e-9
+	}
+	if fpr >= 1 {
+		fpr = 0.5
+	}
+	m := -float64(n) * math.Log(fpr) / (math.Ln2 * math.Ln2)
+	mBits = int(math.Ceil(m))
+	if mBits < 64 {
+		mBits = 64
+	}
+	k = OptimalK(mBits, n)
+	return mBits, k
+}
+
+// OptimalK returns the hash count minimizing the false-positive rate for
+// the given geometry.
+func OptimalK(mBits, n int) int {
+	if n <= 0 || mBits <= 0 {
+		return 1
+	}
+	k := int(math.Round(float64(mBits) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 32 {
+		k = 32
+	}
+	return k
+}
+
+// FootprintBytes reports the filter's RAM consumption.
+func (f *Filter) FootprintBytes() int { return len(f.bits) }
+
+// K reports the number of hash functions.
+func (f *Filter) K() int { return f.k }
+
+// Count reports how many elements have been added.
+func (f *Filter) Count() int { return f.n }
+
+// Add inserts an element by its 64-bit hash.
+func (f *Filter) Add(h uint64) {
+	h1, h2 := splitHash(h)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		f.bits[bit>>3] |= 1 << (bit & 7)
+	}
+	f.n++
+}
+
+// Contains reports whether the element may have been added. False
+// positives occur at roughly EstimatedFPR; false negatives never.
+func (f *Filter) Contains(h uint64) bool {
+	h1, h2 := splitHash(h)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		if f.bits[bit>>3]&(1<<(bit&7)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// EstimatedFPR returns the analytic false-positive rate
+// (1 - e^(-kn/m))^k for the current fill.
+func (f *Filter) EstimatedFPR() float64 {
+	if f.n == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.n) / float64(f.m)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// Hash32 mixes a 32-bit key (a row identifier) into a 64-bit hash
+// suitable for Add/Contains, using the splitmix64 finalizer.
+func Hash32(x uint32) uint64 {
+	z := uint64(x) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func splitHash(h uint64) (h1, h2 uint64) {
+	h1 = h
+	h2 = h>>33 | h<<31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	// An even h2 would cycle through a subset of bits when m is even;
+	// force it odd.
+	h2 |= 1
+	return h1, h2
+}

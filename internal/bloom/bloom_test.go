@@ -1,0 +1,188 @@
+package bloom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 3); err == nil {
+		t.Error("zero bits accepted")
+	}
+	if _, err := New(64, 0); err == nil {
+		t.Error("zero hashes accepted")
+	}
+	if _, err := New(64, 33); err == nil {
+		t.Error("33 hashes accepted")
+	}
+	f, err := New(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.FootprintBytes() != 13 {
+		t.Errorf("100 bits -> %d bytes, want 13", f.FootprintBytes())
+	}
+	if f.K() != 3 {
+		t.Errorf("K = %d", f.K())
+	}
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(10000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint32(0); i < 1000; i++ {
+		f.Add(Hash32(i))
+	}
+	if f.Count() != 1000 {
+		t.Errorf("Count = %d", f.Count())
+	}
+	for i := uint32(0); i < 1000; i++ {
+		if !f.Contains(Hash32(i)) {
+			t.Fatalf("false negative for %d", i)
+		}
+	}
+}
+
+func TestMeasuredFPRTracksAnalytic(t *testing.T) {
+	n := 10000
+	mBits, k := SizeForFPR(n, 0.01)
+	f, err := New(mBits, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		f.Add(Hash32(uint32(i)))
+	}
+	probes := 100000
+	fp := 0
+	for i := 0; i < probes; i++ {
+		if f.Contains(Hash32(uint32(n + i + 1))) {
+			fp++
+		}
+	}
+	measured := float64(fp) / float64(probes)
+	if measured > 0.02 {
+		t.Errorf("measured FPR %.4f, want <= 0.02 for a 1%% filter", measured)
+	}
+	analytic := f.EstimatedFPR()
+	if analytic <= 0 || analytic > 0.02 {
+		t.Errorf("analytic FPR %.4f out of range", analytic)
+	}
+	if ratio := measured / analytic; ratio > 3 || ratio < 0.3 {
+		t.Errorf("measured %.4f vs analytic %.4f diverge", measured, analytic)
+	}
+}
+
+func TestEstimatedFPRMonotoneInFill(t *testing.T) {
+	f, _ := New(1024, 4)
+	if f.EstimatedFPR() != 0 {
+		t.Error("empty filter must report 0 FPR")
+	}
+	prev := 0.0
+	for i := uint32(0); i < 500; i += 50 {
+		for j := i; j < i+50; j++ {
+			f.Add(Hash32(j))
+		}
+		cur := f.EstimatedFPR()
+		if cur <= prev {
+			t.Fatalf("FPR not increasing: %f after %f", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSizeForFPR(t *testing.T) {
+	m1, k1 := SizeForFPR(10000, 0.01)
+	// Theory: ~9.59 bits/key and k~7 for 1%.
+	bitsPerKey := float64(m1) / 10000
+	if bitsPerKey < 9 || bitsPerKey > 10.5 {
+		t.Errorf("bits/key = %.2f, want ~9.6", bitsPerKey)
+	}
+	if k1 < 6 || k1 > 8 {
+		t.Errorf("k = %d, want ~7", k1)
+	}
+	m2, _ := SizeForFPR(10000, 0.001)
+	if m2 <= m1 {
+		t.Error("lower FPR must need more bits")
+	}
+	// Degenerate parameters fall back to safe values.
+	if m, k := SizeForFPR(0, 0.01); m <= 0 || k <= 0 {
+		t.Errorf("SizeForFPR(0) = %d, %d", m, k)
+	}
+	if m, k := SizeForFPR(100, 0); m <= 0 || k <= 0 {
+		t.Errorf("SizeForFPR(fpr=0) = %d, %d", m, k)
+	}
+	if m, k := SizeForFPR(100, 2); m <= 0 || k <= 0 {
+		t.Errorf("SizeForFPR(fpr=2) = %d, %d", m, k)
+	}
+}
+
+func TestOptimalK(t *testing.T) {
+	if k := OptimalK(9600, 1000); k != 7 {
+		t.Errorf("OptimalK(9.6 bits/key) = %d, want 7", k)
+	}
+	if k := OptimalK(100, 10000); k != 1 {
+		t.Errorf("tiny filter k = %d, want 1", k)
+	}
+	if k := OptimalK(1<<30, 2); k != 32 {
+		t.Errorf("huge filter k = %d, want clamp 32", k)
+	}
+	if k := OptimalK(0, 0); k != 1 {
+		t.Errorf("degenerate k = %d", k)
+	}
+}
+
+func TestHash32Mixes(t *testing.T) {
+	if Hash32(1) == Hash32(2) {
+		t.Error("adjacent keys collide")
+	}
+	// Low bits must differ for sequential keys (IDs are sequential!).
+	low := map[uint64]int{}
+	for i := uint32(0); i < 1000; i++ {
+		low[Hash32(i)&0xFF]++
+	}
+	if len(low) < 200 {
+		t.Errorf("only %d distinct low bytes across 1000 sequential keys", len(low))
+	}
+}
+
+func TestQuickMembership(t *testing.T) {
+	f := func(keys []uint32, probe uint32) bool {
+		filt, err := New(4096, 4)
+		if err != nil {
+			return false
+		}
+		inSet := false
+		for _, k := range keys {
+			filt.Add(Hash32(k))
+			if k == probe {
+				inSet = true
+			}
+		}
+		// Members must always be found.
+		if inSet && !filt.Contains(Hash32(probe)) {
+			return false
+		}
+		for _, k := range keys {
+			if !filt.Contains(Hash32(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitHashNeverZeroStep(t *testing.T) {
+	for _, h := range []uint64{0, 1, math.MaxUint64, 1 << 33} {
+		_, h2 := splitHash(h)
+		if h2 == 0 || h2%2 == 0 {
+			t.Errorf("splitHash(%d) step = %d", h, h2)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package bus models the communication channels of the GhostDB platform:
+// the USB 2.0 link between the user's terminal and the smart USB device
+// (12 Mb/s full speed today, 480 Mb/s high speed "envisioned for future
+// platforms" — paper Section 3) and the LAN between terminal and public
+// server. Each transfer charges latency to the simulated clock and is
+// recorded in the wire trace.
+package bus
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/trace"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Profile describes a channel's performance.
+type Profile struct {
+	Name        string
+	BytesPerSec float64       // sustained effective throughput
+	MsgLatency  time.Duration // fixed cost per message (framing, turnaround)
+}
+
+// USBFullSpeed is USB 2.0 full speed: 12 Mb/s nominal. Protocol overhead
+// leaves roughly 1 MB/s of effective bulk throughput, with the 1 ms frame
+// interval as per-message latency.
+func USBFullSpeed() Profile {
+	return Profile{Name: "usb-full-speed", BytesPerSec: 1.0e6, MsgLatency: time.Millisecond}
+}
+
+// USBHighSpeed is USB 2.0 high speed: 480 Mb/s nominal, ~40 MB/s effective,
+// 125 µs microframe latency.
+func USBHighSpeed() Profile {
+	return Profile{Name: "usb-high-speed", BytesPerSec: 40e6, MsgLatency: 125 * time.Microsecond}
+}
+
+// LAN models the terminal↔server link: fast enough to never dominate.
+func LAN() Profile {
+	return Profile{Name: "lan", BytesPerSec: 100e6, MsgLatency: 200 * time.Microsecond}
+}
+
+// TransferTime reports the simulated duration of one message of n bytes.
+func (p Profile) TransferTime(n int) time.Duration {
+	if p.BytesPerSec <= 0 {
+		return p.MsgLatency
+	}
+	return p.MsgLatency + time.Duration(float64(n)/p.BytesPerSec*float64(time.Second))
+}
+
+// Stats counts traffic on one channel.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	Time     time.Duration
+}
+
+// Network connects the platform's parties with profiled channels and
+// records every message in the trace. It is not safe for concurrent use.
+type Network struct {
+	clock *sim.Clock
+	rec   *trace.Recorder
+	links map[[2]trace.Party]Profile
+	stats map[[2]trace.Party]*Stats
+}
+
+// NewNetwork returns an empty network charging to clock and recording
+// into rec (which may be nil to disable tracing).
+func NewNetwork(clock *sim.Clock, rec *trace.Recorder) *Network {
+	return &Network{
+		clock: clock,
+		rec:   rec,
+		links: map[[2]trace.Party]Profile{},
+		stats: map[[2]trace.Party]*Stats{},
+	}
+}
+
+// Connect attaches a bidirectional channel between a and b.
+func (n *Network) Connect(a, b trace.Party, p Profile) {
+	n.links[linkKey(a, b)] = p
+	if _, ok := n.stats[linkKey(a, b)]; !ok {
+		n.stats[linkKey(a, b)] = &Stats{}
+	}
+}
+
+// Profile returns the channel profile between a and b.
+func (n *Network) Profile(a, b trace.Party) (Profile, bool) {
+	p, ok := n.links[linkKey(a, b)]
+	return p, ok
+}
+
+// Stats returns the traffic counters for the a↔b channel.
+func (n *Network) Stats(a, b trace.Party) Stats {
+	if s, ok := n.stats[linkKey(a, b)]; ok {
+		return *s
+	}
+	return Stats{}
+}
+
+// ResetStats zeroes all channel counters.
+func (n *Network) ResetStats() {
+	for k := range n.stats {
+		n.stats[k] = &Stats{}
+	}
+}
+
+// Send transfers one message of the given size from one party to another,
+// charging the channel cost to the clock and recording the event. values
+// carries the payload for the security audit (captured only when the
+// recorder is at CaptureFull).
+func (n *Network) Send(from, to trace.Party, kind trace.Kind, bytes int, note string, values []value.Value) error {
+	p, ok := n.links[linkKey(from, to)]
+	if !ok {
+		return fmt.Errorf("bus: no channel between %s and %s", from, to)
+	}
+	if bytes < 0 {
+		return fmt.Errorf("bus: negative message size %d", bytes)
+	}
+	d := p.TransferTime(bytes)
+	n.clock.Advance(d)
+	s := n.stats[linkKey(from, to)]
+	s.Messages++
+	s.Bytes += int64(bytes)
+	s.Time += d
+	if n.rec != nil {
+		n.rec.Record(trace.Event{
+			At:     n.clock.Now(),
+			From:   from,
+			To:     to,
+			Kind:   kind,
+			Bytes:  bytes,
+			Note:   note,
+			Values: values,
+		})
+	}
+	return nil
+}
+
+func linkKey(a, b trace.Party) [2]trace.Party {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]trace.Party{a, b}
+}

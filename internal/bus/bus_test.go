@@ -1,0 +1,89 @@
+package bus
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/trace"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+func TestProfileTransferTime(t *testing.T) {
+	p := Profile{BytesPerSec: 1e6, MsgLatency: time.Millisecond}
+	if got := p.TransferTime(0); got != time.Millisecond {
+		t.Errorf("empty message = %v", got)
+	}
+	if got := p.TransferTime(1_000_000); got != time.Millisecond+time.Second {
+		t.Errorf("1MB = %v", got)
+	}
+	latOnly := Profile{MsgLatency: time.Millisecond}
+	if got := latOnly.TransferTime(100); got != time.Millisecond {
+		t.Errorf("zero-throughput profile = %v", got)
+	}
+}
+
+func TestBuiltinProfilesOrdering(t *testing.T) {
+	full, high := USBFullSpeed(), USBHighSpeed()
+	if full.TransferTime(1<<20) <= high.TransferTime(1<<20) {
+		t.Error("full speed must be slower than high speed")
+	}
+	if LAN().TransferTime(1<<20) >= full.TransferTime(1<<20) {
+		t.Error("LAN must beat full-speed USB")
+	}
+}
+
+func TestNetworkSendChargesAndRecords(t *testing.T) {
+	clock := sim.NewClock()
+	rec := trace.NewRecorder(trace.CaptureFull)
+	n := NewNetwork(clock, rec)
+	n.Connect(trace.Terminal, trace.Device, Profile{Name: "x", BytesPerSec: 1e6, MsgLatency: time.Millisecond})
+
+	vals := []value.Value{value.NewInt(42)}
+	if err := n.Send(trace.Terminal, trace.Device, trace.KindIDList, 500_000, "ids", vals); err != nil {
+		t.Fatal(err)
+	}
+	want := time.Millisecond + 500*time.Millisecond
+	if clock.Now() != want {
+		t.Errorf("clock = %v, want %v", clock.Now(), want)
+	}
+	// Reverse direction uses the same channel.
+	if err := n.Send(trace.Device, trace.Terminal, trace.KindControl, 0, "", nil); err != nil {
+		t.Fatalf("reverse direction: %v", err)
+	}
+	s := n.Stats(trace.Terminal, trace.Device)
+	if s.Messages != 2 || s.Bytes != 500_000 {
+		t.Errorf("stats %+v", s)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Kind != trace.KindIDList || evs[0].Bytes != 500_000 || len(evs[0].Values) != 1 {
+		t.Errorf("event[0] = %+v", evs[0])
+	}
+	n.ResetStats()
+	if got := n.Stats(trace.Terminal, trace.Device); got.Messages != 0 {
+		t.Errorf("after reset %+v", got)
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	n := NewNetwork(sim.NewClock(), nil)
+	if err := n.Send(trace.Terminal, trace.Server, trace.KindQuery, 1, "", nil); err == nil {
+		t.Error("send on unconnected channel accepted")
+	}
+	n.Connect(trace.Terminal, trace.Server, LAN())
+	if err := n.Send(trace.Terminal, trace.Server, trace.KindQuery, -1, "", nil); err == nil {
+		t.Error("negative size accepted")
+	}
+	if err := n.Send(trace.Terminal, trace.Server, trace.KindQuery, 1, "", nil); err != nil {
+		t.Errorf("valid send failed: %v", err)
+	}
+	if _, ok := n.Profile(trace.Server, trace.Terminal); !ok {
+		t.Error("Profile lookup must be direction independent")
+	}
+	if _, ok := n.Profile(trace.Terminal, trace.Device); ok {
+		t.Error("Profile reported a missing channel")
+	}
+}

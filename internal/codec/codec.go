@@ -1,0 +1,112 @@
+// Package codec implements the compact encodings GhostDB uses for index
+// payloads on flash: delta-encoded varint lists of sorted row identifiers
+// (the posting lists of climbing indexes) and small framing helpers.
+//
+// Lists are encoded as the first ID as a uvarint followed by uvarint deltas
+// to the previous ID. The element count is stored out of band (in the index
+// dictionary), which keeps the stream free of headers and lets a decoder
+// stop exactly at the right element.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// AppendIDList appends the delta-varint encoding of ids (which must be
+// sorted ascending) to dst and returns the extended slice. Duplicate IDs
+// are preserved (encoded as zero deltas).
+func AppendIDList(dst []byte, ids []uint32) []byte {
+	prev := uint32(0)
+	for i, id := range ids {
+		if i == 0 {
+			dst = binary.AppendUvarint(dst, uint64(id))
+		} else {
+			if id < prev {
+				panic(fmt.Sprintf("codec: unsorted ID list: %d after %d", id, prev))
+			}
+			dst = binary.AppendUvarint(dst, uint64(id-prev))
+		}
+		prev = id
+	}
+	return dst
+}
+
+// IDListSize reports the encoded size of ids in bytes without encoding.
+func IDListSize(ids []uint32) int {
+	n := 0
+	prev := uint32(0)
+	for i, id := range ids {
+		d := uint64(id)
+		if i > 0 {
+			d = uint64(id - prev)
+		}
+		n += uvarintLen(d)
+		prev = id
+	}
+	return n
+}
+
+// DecodeIDList decodes count IDs from src. It is the slice-based
+// counterpart of ListDecoder, used by tests and bulk loading.
+func DecodeIDList(src []byte, count int) ([]uint32, error) {
+	out := make([]uint32, 0, count)
+	prev := uint32(0)
+	for i := 0; i < count; i++ {
+		v, n := binary.Uvarint(src)
+		if n <= 0 {
+			return nil, fmt.Errorf("codec: corrupt ID list at element %d", i)
+		}
+		src = src[n:]
+		if i == 0 {
+			prev = uint32(v)
+		} else {
+			prev += uint32(v)
+		}
+		out = append(out, prev)
+	}
+	return out, nil
+}
+
+// ListDecoder streams a delta-varint ID list from an io.ByteReader. The
+// byte reader is typically a flash extent reader with a one-page buffer,
+// so decoding a long posting list never needs more than a page of RAM.
+type ListDecoder struct {
+	r         io.ByteReader
+	remaining int
+	prev      uint32
+	first     bool
+}
+
+// NewListDecoder returns a decoder that will yield count IDs from r.
+func NewListDecoder(r io.ByteReader, count int) *ListDecoder {
+	return &ListDecoder{r: r, remaining: count, first: true}
+}
+
+// Next returns the next ID. ok is false when the list is exhausted.
+func (d *ListDecoder) Next() (id uint32, ok bool, err error) {
+	if d.remaining <= 0 {
+		return 0, false, nil
+	}
+	v, err := binary.ReadUvarint(d.r)
+	if err != nil {
+		return 0, false, fmt.Errorf("codec: ID list read: %w", err)
+	}
+	if d.first {
+		d.prev = uint32(v)
+		d.first = false
+	} else {
+		d.prev += uint32(v)
+	}
+	d.remaining--
+	return d.prev, true, nil
+}
+
+// Remaining reports how many IDs are left to decode.
+func (d *ListDecoder) Remaining() int { return d.remaining }
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"github.com/ghostdb/ghostdb/internal/baseline"
+	"github.com/ghostdb/ghostdb/internal/climbing"
+)
+
+// BaselineEngine exposes the loaded database to the baseline join
+// algorithms (experiment E4): they run on the same device, hidden store
+// and visible store, but without Subtree Key Tables or transitive
+// climbing lists.
+func (db *DB) BaselineEngine() *baseline.Engine {
+	return &baseline.Engine{
+		Dev:  db.dev,
+		Env:  db.env,
+		Sch:  db.sch,
+		Hid:  db.hid,
+		Vis:  db.vis,
+		Rows: db.rowCounts,
+		Translator: func(table string) (*climbing.Index, error) {
+			return db.translator(table)
+		},
+		ValueIndex: func(table, column string) (*climbing.Index, bool) {
+			return db.Index(table, column)
+		},
+	}
+}

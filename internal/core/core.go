@@ -1,0 +1,507 @@
+// Package core is GhostDB's engine — the paper's primary contribution.
+// It splits a database between an untrusted visible store and a simulated
+// smart USB device along the HIDDEN column attribute, bulk-loads both
+// sides with the device's index structures (Subtree Key Tables, climbing
+// indexes), and executes SQL queries that mix visible and hidden data
+// under the one-way rule: visible data flows into the device; neither
+// hidden data nor intermediate results ever leave it. Results go to the
+// secure display channel only.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/bus"
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/exec"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/skt"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/store"
+	"github.com/ghostdb/ghostdb/internal/trace"
+	"github.com/ghostdb/ghostdb/internal/value"
+	"github.com/ghostdb/ghostdb/internal/visible"
+)
+
+// Options configure a DB.
+type Options struct {
+	Profile   device.Profile
+	USB       bus.Profile
+	LAN       bus.Profile
+	Capture   trace.CaptureLevel
+	TargetFPR float64 // Bloom target false-positive rate
+	// DeviceIndexes lists visible columns ("Table.Column") that also get
+	// a climbing index on the device, like Figure 4's Doctor.Country
+	// index: the device can then evaluate the visible predicate itself
+	// with zero bus traffic, at extra flash cost.
+	DeviceIndexes []string
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithProfile selects the device hardware profile.
+func WithProfile(p device.Profile) Option { return func(o *Options) { o.Profile = p } }
+
+// WithUSB selects the terminal<->device channel profile.
+func WithUSB(p bus.Profile) Option { return func(o *Options) { o.USB = p } }
+
+// WithCapture selects how much wire payload the trace records.
+func WithCapture(l trace.CaptureLevel) Option { return func(o *Options) { o.Capture = l } }
+
+// WithTargetFPR sets the Bloom filters' target false-positive rate.
+func WithTargetFPR(f float64) Option { return func(o *Options) { o.TargetFPR = f } }
+
+// WithDeviceIndex additionally builds a device climbing index on a
+// visible column (Figure 4 shows one on Doctor.Country), enabling the
+// device-index strategy for its predicates.
+func WithDeviceIndex(table, column string) Option {
+	return func(o *Options) { o.DeviceIndexes = append(o.DeviceIndexes, table+"."+column) }
+}
+
+func defaultOptions() Options {
+	return Options{
+		Profile:   device.SmartUSB2007(),
+		USB:       bus.USBFullSpeed(),
+		LAN:       bus.LAN(),
+		Capture:   trace.CaptureMeta,
+		TargetFPR: 0.01,
+	}
+}
+
+// DB is a GhostDB instance: schema, visible store, device-resident hidden
+// store and indexes, and the wiring between them.
+type DB struct {
+	opts Options
+
+	clock *sim.Clock
+	dev   *device.Device
+	env   *exec.Env
+	net   *bus.Network
+	rec   *trace.Recorder
+
+	sch *schema.Schema
+	vis *visible.Store
+	hid *store.Store
+
+	skts       map[string]*skt.SKT                   // per table with a subtree
+	indexes    map[string]map[string]*climbing.Index // table -> column -> index
+	rowCounts  map[string]int
+	hiddenVals *schema.HiddenValueSet
+
+	staged map[string][][]value.Value // INSERT staging before Build
+	loaded bool
+}
+
+// Open creates an empty GhostDB.
+func Open(options ...Option) (*DB, error) {
+	opts := defaultOptions()
+	for _, o := range options {
+		o(&opts)
+	}
+	clock := sim.NewClock()
+	dev, err := device.New(opts.Profile, clock)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(opts.Capture)
+	net := bus.NewNetwork(clock, rec)
+	net.Connect(trace.Terminal, trace.Server, opts.LAN)
+	net.Connect(trace.Terminal, trace.Device, opts.USB)
+	net.Connect(trace.Device, trace.Display, opts.USB)
+	return &DB{
+		opts:       opts,
+		clock:      clock,
+		dev:        dev,
+		env:        exec.NewEnv(dev),
+		net:        net,
+		rec:        rec,
+		sch:        schema.New(),
+		vis:        visible.NewStore(),
+		skts:       map[string]*skt.SKT{},
+		indexes:    map[string]map[string]*climbing.Index{},
+		rowCounts:  map[string]int{},
+		hiddenVals: schema.NewHiddenValueSet(),
+		staged:     map[string][][]value.Value{},
+	}, nil
+}
+
+// Schema exposes the catalog.
+func (db *DB) Schema() *schema.Schema { return db.sch }
+
+// Device exposes the simulated device (benchmarks inspect its stats).
+func (db *DB) Device() *device.Device { return db.dev }
+
+// Recorder exposes the wire trace.
+func (db *DB) Recorder() *trace.Recorder { return db.rec }
+
+// Clock exposes the simulated clock.
+func (db *DB) Clock() *sim.Clock { return db.clock }
+
+// HiddenValues reports the set of string values stored in hidden columns,
+// used by the security audit.
+func (db *DB) HiddenValues() *schema.HiddenValueSet { return db.hiddenVals }
+
+// RowCount reports a table's cardinality after loading.
+func (db *DB) RowCount(table string) int { return db.rowCounts[table] }
+
+// StorageBreakdown reports the device flash footprint by structure.
+type StorageBreakdown struct {
+	BaseColumns int64 // hidden column files
+	SKTs        int64
+	Climbing    int64
+	Total       int64 // page-aligned main-space footprint
+}
+
+// Storage reports the flash cost of the hidden database and its indexes
+// (experiment E5: "this benefit ... comes at an extra cost in terms of
+// Flash storage").
+func (db *DB) Storage() StorageBreakdown {
+	var b StorageBreakdown
+	for _, s := range db.skts {
+		b.SKTs += s.Bytes()
+	}
+	for _, cols := range db.indexes {
+		for _, ix := range cols {
+			b.Climbing += ix.Bytes()
+		}
+	}
+	b.Total = db.dev.Main.UsedBytes()
+	b.BaseColumns = b.Total - b.SKTs - b.Climbing
+	return b
+}
+
+// ExecDDL applies a CREATE TABLE statement.
+func (db *DB) ExecDDL(ddl string) error {
+	stmt, err := sql.Parse(ddl)
+	if err != nil {
+		return err
+	}
+	ct, ok := stmt.(*sql.CreateTable)
+	if !ok {
+		return fmt.Errorf("core: ExecDDL expects CREATE TABLE, got %T", stmt)
+	}
+	return db.applyCreate(ct)
+}
+
+func (db *DB) applyCreate(ct *sql.CreateTable) error {
+	if db.loaded {
+		return errors.New("core: DDL after Build (GhostDB is bulk-loaded in a secure setting)")
+	}
+	cols := make([]schema.Column, len(ct.Columns))
+	for i, c := range ct.Columns {
+		cols[i] = schema.Column{
+			Name:       c.Name,
+			Type:       schema.Type{Kind: c.Type.Kind, Size: c.Type.Size},
+			Hidden:     c.Hidden,
+			PrimaryKey: c.PrimaryKey,
+			RefTable:   c.RefTable,
+			RefColumn:  c.RefColumn,
+		}
+	}
+	t, err := schema.NewTable(ct.Table, cols)
+	if err != nil {
+		return err
+	}
+	return db.sch.AddTable(t)
+}
+
+// Insert stages rows for a table (small-data path; datasets use
+// LoadDataset). Primary keys must be dense 1..N in insertion order —
+// GhostDB identifiers are positional.
+func (db *DB) Insert(ins *sql.Insert) error {
+	if db.loaded {
+		return errors.New("core: INSERT after Build")
+	}
+	t, ok := db.sch.Table(ins.Table)
+	if !ok {
+		return fmt.Errorf("core: unknown table %s", ins.Table)
+	}
+	for _, row := range ins.Rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("core: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+		}
+		pkVal := row[t.PrimaryKeyIndex()]
+		want := int64(len(db.staged[t.Name]) + 1)
+		if pkVal.Kind() != value.Int || pkVal.Int() != want {
+			return fmt.Errorf("core: %s primary key must be dense: row %d needs key %d, got %s",
+				t.Name, want, want, pkVal)
+		}
+		db.staged[t.Name] = append(db.staged[t.Name], row)
+	}
+	return nil
+}
+
+// ExecScript runs a semicolon-separated script of CREATE TABLE and INSERT
+// statements, then finalizes with Build.
+func (db *DB) ExecScript(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *sql.CreateTable:
+			if err := db.applyCreate(s); err != nil {
+				return err
+			}
+		case *sql.Insert:
+			if err := db.Insert(s); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("core: scripts may not contain %T", s)
+		}
+	}
+	return db.Build()
+}
+
+// LoadDataset loads a generated dataset: DDL plus columnar rows.
+func (db *DB) LoadDataset(ds *datagen.Dataset) error {
+	for _, ddl := range ds.DDL {
+		if err := db.ExecDDL(ddl); err != nil {
+			return err
+		}
+	}
+	cols := map[string][][]value.Value{}
+	for _, name := range ds.TableNames() {
+		cols[name] = ds.Table(name).Cols
+	}
+	return db.build(cols)
+}
+
+// Build finalizes staged INSERT data into the two stores and the device
+// index structures.
+func (db *DB) Build() error {
+	cols := map[string][][]value.Value{}
+	for _, t := range db.sch.Tables() {
+		rows := db.staged[t.Name]
+		tcols := make([][]value.Value, len(t.Columns))
+		for i := range t.Columns {
+			tcols[i] = make([]value.Value, len(rows))
+			for r, row := range rows {
+				tcols[i][r] = row[i]
+			}
+		}
+		cols[t.Name] = tcols
+	}
+	db.staged = map[string][][]value.Value{}
+	return db.build(cols)
+}
+
+// build distributes columnar data: visible columns and PKs to the public
+// store; hidden columns, SKTs and climbing indexes to the device. The
+// initial load happens "in a secure setting" (Section 2), so it is not
+// charged to the device clock or RAM budget.
+func (db *DB) build(cols map[string][][]value.Value) error {
+	if db.loaded {
+		return errors.New("core: already built")
+	}
+	if err := db.sch.Freeze(); err != nil {
+		return err
+	}
+	hid, err := store.New(db.dev)
+	if err != nil {
+		return err
+	}
+	db.hid = hid
+
+	// Foreign-key arrays (uint32) per table/column, for SKT and inverted
+	// edge construction.
+	fkArrays := map[string][]uint32{}
+	fkKey := func(table, col string) string { return strings.ToLower(table + "." + col) }
+
+	for _, t := range db.sch.Tables() {
+		tcols, ok := cols[t.Name]
+		if !ok || len(tcols) != len(t.Columns) {
+			return fmt.Errorf("core: missing column data for %s", t.Name)
+		}
+		n := 0
+		if len(tcols) > 0 {
+			n = len(tcols[0])
+		}
+		for i := range tcols {
+			if len(tcols[i]) != n {
+				return fmt.Errorf("core: ragged columns in %s", t.Name)
+			}
+		}
+		db.rowCounts[t.Name] = n
+
+		// Visible side: PK plus visible columns.
+		vt, err := db.vis.CreateTable(t.Name, n)
+		if err != nil {
+			return err
+		}
+		// Hidden side: hidden columns.
+		if _, err := db.hid.CreateTable(t.Name, n); err != nil {
+			return err
+		}
+		for i, c := range t.Columns {
+			vals := tcols[i]
+			if c.PrimaryKey {
+				for r, v := range vals {
+					if v.Kind() != value.Int || v.Int() != int64(r+1) {
+						return fmt.Errorf("core: %s.%s must be dense 1..N (row %d has %s)", t.Name, c.Name, r, v)
+					}
+				}
+			}
+			if c.IsForeignKey() {
+				refN := db.rowCounts[c.RefTable]
+				ids := make([]uint32, len(vals))
+				for r, v := range vals {
+					if v.Kind() != value.Int || v.Int() < 1 || v.Int() > int64(refN) {
+						return fmt.Errorf("core: %s.%s row %d: foreign key %s out of 1..%d", t.Name, c.Name, r, v, refN)
+					}
+					ids[r] = uint32(v.Int())
+				}
+				fkArrays[fkKey(t.Name, c.Name)] = ids
+			}
+			if c.Hidden {
+				if _, err := db.hid.AddColumn(t.Name, c.Name, c.Type.Kind, vals); err != nil {
+					return err
+				}
+				if c.Type.Kind == value.String {
+					for _, v := range vals {
+						db.hiddenVals.Add(v)
+					}
+				}
+			} else {
+				if err := vt.AddColumn(c.Name, c.Type.Kind, vals); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	fkLookup := func(table, col string) ([]uint32, error) {
+		ids, ok := fkArrays[fkKey(table, col)]
+		if !ok {
+			return nil, fmt.Errorf("core: no foreign key data for %s.%s", table, col)
+		}
+		return ids, nil
+	}
+
+	// Subtree Key Tables for every table that references others.
+	for _, t := range db.sch.Tables() {
+		if len(t.ForeignKeys()) == 0 {
+			continue
+		}
+		s, err := skt.Build(db.hid, db.sch, t.Name, db.rowCounts[t.Name], fkLookup)
+		if err != nil {
+			return err
+		}
+		db.skts[t.Name] = s
+	}
+
+	// Inverted foreign-key edges, for climbing index construction.
+	inverted := map[string][][]uint32{}
+	for _, t := range db.sch.Tables() {
+		for _, fk := range t.ForeignKeys() {
+			child := fk.RefTable
+			childN := db.rowCounts[child]
+			inv := make([][]uint32, childN)
+			for parentIdx, childID := range fkArrays[fkKey(t.Name, fk.Name)] {
+				inv[childID-1] = append(inv[childID-1], uint32(parentIdx+1))
+			}
+			inverted[strings.ToLower(t.Name+"<-"+child)] = inv
+		}
+	}
+	invLookup := func(parent, child string) ([][]uint32, error) {
+		inv, ok := inverted[strings.ToLower(parent+"<-"+child)]
+		if !ok {
+			return nil, fmt.Errorf("core: no inverted edge %s<-%s", parent, child)
+		}
+		return inv, nil
+	}
+
+	// Climbing indexes: every hidden column, dense translators on every
+	// non-root primary key (the pre-filtering machinery), and any
+	// visible columns requested via WithDeviceIndex.
+	wantDevice := map[string]bool{}
+	for _, spec := range db.opts.DeviceIndexes {
+		wantDevice[strings.ToLower(spec)] = true
+	}
+	root := db.sch.Root()
+	for _, t := range db.sch.Tables() {
+		tcols := cols[t.Name]
+		for i, c := range t.Columns {
+			dense := false
+			switch {
+			case c.Hidden:
+				// regular hidden-column index
+			case c.PrimaryKey && t.Name != root.Name:
+				dense = true
+			case wantDevice[strings.ToLower(t.Name+"."+c.Name)]:
+				// visible column promoted to a device index
+			default:
+				continue
+			}
+			ix, err := climbing.Build(db.hid, db.sch, t.Name, c.Name, c.Type.Kind, tcols[i], dense, invLookup)
+			if err != nil {
+				return err
+			}
+			if db.indexes[t.Name] == nil {
+				db.indexes[t.Name] = map[string]*climbing.Index{}
+			}
+			db.indexes[t.Name][c.Name] = ix
+		}
+	}
+
+	// The secure-setting load is free: rewind the simulated time it
+	// consumed and reset operational stats.
+	db.clock.Reset()
+	db.dev.Flash.ResetStats()
+	db.hid.Cache().ResetStats()
+	db.dev.RAM.ResetHigh()
+	db.net.ResetStats()
+	db.rec.Reset()
+
+	db.loaded = true
+	return nil
+}
+
+// Index returns the climbing index on table.column, if any.
+func (db *DB) Index(table, column string) (*climbing.Index, bool) {
+	cols, ok := db.indexes[table]
+	if !ok {
+		return nil, false
+	}
+	for name, ix := range cols {
+		if strings.EqualFold(name, column) {
+			return ix, true
+		}
+	}
+	return nil, false
+}
+
+// HasIndex reports whether a climbing index exists (planner callback).
+func (db *DB) HasIndex(table, column string) bool {
+	_, ok := db.Index(table, column)
+	return ok
+}
+
+// SmallProfileForTest returns a 16 KB, 2-cache-frame device profile for
+// tests exercising the tightest RAM paths.
+func SmallProfileForTest() device.Profile {
+	p := device.SmartUSB2007().WithRAM(16 << 10)
+	p.CacheFrames = 2
+	return p
+}
+
+// translator returns the dense climbing index on the table's primary key.
+func (db *DB) translator(table string) (*climbing.Index, error) {
+	t, ok := db.sch.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown table %s", table)
+	}
+	ix, ok := db.Index(t.Name, t.PrimaryKey().Name)
+	if !ok {
+		return nil, fmt.Errorf("core: no translator index on %s", table)
+	}
+	return ix, nil
+}

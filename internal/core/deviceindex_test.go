@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+)
+
+const deepQuery = `SELECT Pre.PreID FROM Prescription Pre, Visit Vis, Doctor Doc
+WHERE Doc.Country = 'Spain' AND Vis.Purpose = 'Sclerosis'`
+
+// TestDeviceIndexStrategy exercises the Figure 4 configuration: a
+// climbing index on the visible Doctor.Country column lets the device
+// evaluate the visible predicate itself.
+func TestDeviceIndexStrategy(t *testing.T) {
+	db, orc, _ := loadTiny(t, WithDeviceIndex("Doctor", "Country"))
+	if !db.HasIndex("Doctor", "Country") {
+		t.Fatal("device index on Doctor.Country not built")
+	}
+	q, err := db.Prepare(deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := db.Plans(q)
+	var deviceSpec *plan.Spec
+	for i := range specs {
+		for j, st := range specs[i].Strategies {
+			if st == plan.StratVisDevice && q.Preds[j].Col.Column == "Country" {
+				deviceSpec = &specs[i]
+			}
+		}
+	}
+	if deviceSpec == nil {
+		t.Fatal("no plan uses the device index")
+	}
+
+	_, wantRows, err := orc.Query(deepQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.QueryWithPlan(q, *deviceSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(res.Rows, wantRows) {
+		t.Fatalf("device plan: %d rows, oracle %d", len(res.Rows), len(wantRows))
+	}
+
+	// The device-index plan ships nothing for the Doctor predicate: its
+	// bus traffic must be strictly below the pre-filtered variant's.
+	preSpec := plan.Spec{Label: "pre",
+		Strategies: []plan.Strategy{plan.StratVisPre, plan.StratHidIndex}}
+	if q.Preds[0].Col.Column != "Country" {
+		preSpec.Strategies = []plan.Strategy{plan.StratHidIndex, plan.StratVisPre}
+	}
+	pre, err := db.QueryWithPlan(q, preSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRows(pre.Rows, wantRows) {
+		t.Fatal("pre plan disagrees")
+	}
+	if res.Report.BusBytes >= pre.Report.BusBytes {
+		t.Errorf("device plan bus %d >= pre plan bus %d", res.Report.BusBytes, pre.Report.BusBytes)
+	}
+}
+
+// TestDeviceIndexAllPlansAgree runs every enumerated plan (now including
+// device-index variants) against the oracle.
+func TestDeviceIndexAllPlansAgree(t *testing.T) {
+	db, orc, _ := loadTiny(t, WithDeviceIndex("Doctor", "Country"), WithDeviceIndex("Medicine", "Type"))
+	queries := []string{
+		deepQuery,
+		paperQuery,
+		`SELECT Pre.PreID FROM Prescription Pre, Medicine Med WHERE Med.Type = 'Antibiotic'`,
+	}
+	for _, sqlText := range queries {
+		q, err := db.Prepare(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, wantRows, err := orc.Query(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := db.Plans(q)
+		sawDevice := false
+		for _, spec := range specs {
+			for _, st := range spec.Strategies {
+				if st == plan.StratVisDevice {
+					sawDevice = true
+				}
+			}
+			res, err := db.QueryWithPlan(q, spec)
+			if err != nil {
+				t.Fatalf("%s / %s: %v", sqlText, spec.Describe(q), err)
+			}
+			if !sameRows(res.Rows, wantRows) {
+				t.Errorf("%s / %s: %d rows, oracle %d", sqlText, spec.Describe(q), len(res.Rows), len(wantRows))
+			}
+		}
+		if !sawDevice {
+			t.Errorf("%s: no device-index plan enumerated", sqlText)
+		}
+	}
+}
+
+// TestDeviceIndexStorageCost verifies the documented trade-off: the extra
+// index costs flash.
+func TestDeviceIndexStorageCost(t *testing.T) {
+	plain, _, _ := loadTiny(t)
+	indexed, _, _ := loadTiny(t, WithDeviceIndex("Doctor", "Country"))
+	if indexed.Storage().Climbing <= plain.Storage().Climbing {
+		t.Error("device index did not increase climbing index footprint")
+	}
+}

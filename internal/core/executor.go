@@ -1,0 +1,1220 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/exec"
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/trace"
+	"github.com/ghostdb/ghostdb/internal/value"
+	"github.com/ghostdb/ghostdb/internal/visible"
+)
+
+// Result is a completed query: column labels, rows in query-root ID
+// order, and the execution report.
+type Result struct {
+	Columns []string
+	Rows    [][]value.Value
+	Report  *stats.Report
+	Spec    plan.Spec
+	Query   *plan.Query
+}
+
+// Prepare parses and binds a SELECT.
+func (db *DB) Prepare(sqlText string) (*plan.Query, error) {
+	if !db.loaded {
+		return nil, fmt.Errorf("core: query before Build")
+	}
+	sel, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Bind(db.sch, sel)
+}
+
+// Plans enumerates every concrete plan for the query (demo phase 3).
+func (db *DB) Plans(q *plan.Query) []plan.Spec {
+	return plan.Enumerate(q, db.HasIndex)
+}
+
+// Estimate predicts a spec's simulated time using the statistics GhostDB
+// has at optimization time.
+func (db *DB) Estimate(q *plan.Query, spec plan.Spec) (time.Duration, error) {
+	counts, _, err := db.predCounts(q)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Estimate(q, spec, db.costInputs(counts)), nil
+}
+
+func (db *DB) costInputs(counts []int) plan.CostInputs {
+	return plan.CostInputs{
+		Counts:        counts,
+		TableRows:     db.rowCounts,
+		Profile:       db.opts.Profile,
+		Bus:           db.opts.USB,
+		AvgValueBytes: 12,
+	}
+}
+
+// predCounts computes, per predicate, the matching cardinality in its own
+// table: exact PC counts for visible predicates (free for the powerful
+// untrusted side) and dictionary statistics for indexed hidden predicates
+// (charged to the device clock, as the real optimizer would pay).
+func (db *DB) predCounts(q *plan.Query) ([]int, map[int][]uint32, error) {
+	counts := make([]int, len(q.Preds))
+	visSel := map[int][]uint32{}
+	for i, p := range q.Preds {
+		if !p.Hidden() {
+			vt, ok := db.vis.Table(p.Col.Table)
+			if !ok {
+				return nil, nil, fmt.Errorf("core: no visible table %s", p.Col.Table)
+			}
+			ids, err := vt.Select(p.Col.Column, p.P)
+			if err != nil {
+				return nil, nil, err
+			}
+			visSel[i] = ids
+			counts[i] = len(ids)
+			continue
+		}
+		ix, ok := db.Index(p.Col.Table, p.Col.Column)
+		if !ok {
+			counts[i] = -1
+			continue
+		}
+		n, err := db.indexCount(ix, p.P)
+		if err != nil {
+			return nil, nil, err
+		}
+		counts[i] = n
+	}
+	return counts, visSel, nil
+}
+
+// indexCount evaluates a predicate's own-level cardinality from the
+// climbing index dictionary.
+func (db *DB) indexCount(ix *climbing.Index, p pred.P) (int, error) {
+	total := 0
+	err := forEachEntry(ix, p, func(e climbing.Entry) error {
+		total += e.Lists[0].Count
+		return nil
+	})
+	return total, err
+}
+
+// forEachEntry visits the index entries matching p.
+func forEachEntry(ix *climbing.Index, p pred.P, fn func(climbing.Entry) error) error {
+	visitRange := func(lo, hi *climbing.Bound) error {
+		it, err := ix.Range(lo, hi)
+		if err != nil {
+			return err
+		}
+		for {
+			e, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			if err := fn(e); err != nil {
+				return err
+			}
+		}
+	}
+	switch p.Form {
+	case pred.FormCompare:
+		switch p.Op {
+		case sql.OpEq:
+			e, ok, err := ix.LookupEq(p.Val)
+			if err != nil || !ok {
+				return err
+			}
+			return fn(e)
+		case sql.OpNe:
+			if err := visitRange(nil, &climbing.Bound{V: p.Val, Inclusive: false}); err != nil {
+				return err
+			}
+			return visitRange(&climbing.Bound{V: p.Val, Inclusive: false}, nil)
+		case sql.OpLt:
+			return visitRange(nil, &climbing.Bound{V: p.Val, Inclusive: false})
+		case sql.OpLe:
+			return visitRange(nil, &climbing.Bound{V: p.Val, Inclusive: true})
+		case sql.OpGt:
+			return visitRange(&climbing.Bound{V: p.Val, Inclusive: false}, nil)
+		case sql.OpGe:
+			return visitRange(&climbing.Bound{V: p.Val, Inclusive: true}, nil)
+		}
+		return fmt.Errorf("core: unknown operator %v", p.Op)
+	case pred.FormBetween:
+		return visitRange(&climbing.Bound{V: p.Lo, Inclusive: true}, &climbing.Bound{V: p.Hi, Inclusive: true})
+	case pred.FormIn:
+		for _, v := range p.Set {
+			e, ok, err := ix.LookupEq(v)
+			if err != nil {
+				return err
+			}
+			if ok {
+				if err := fn(e); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("core: unknown predicate form %d", p.Form)
+}
+
+// QueryOption adjusts one query execution.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	spec *plan.Spec
+}
+
+// WithSpec forces a specific plan instead of the optimizer's choice.
+func WithSpec(s plan.Spec) QueryOption {
+	return func(c *queryConfig) { spec := s.Clone(); c.spec = &spec }
+}
+
+// Query parses, plans and executes a SELECT. Without options the
+// optimizer enumerates the strategy space and picks the cheapest plan.
+func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
+	q, err := db.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	counts, visSel, err := db.predCounts(q)
+	if err != nil {
+		return nil, err
+	}
+	var spec plan.Spec
+	if cfg.spec != nil {
+		spec = *cfg.spec
+		if err := spec.Validate(q, db.HasIndex); err != nil {
+			return nil, err
+		}
+	} else {
+		specs := db.Plans(q)
+		if len(specs) == 0 {
+			return nil, fmt.Errorf("core: no feasible plan for %s", q.SQL)
+		}
+		in := db.costInputs(counts)
+		best, bestCost := specs[0], plan.Estimate(q, specs[0], in)
+		for _, s := range specs[1:] {
+			if c := plan.Estimate(q, s, in); c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		spec = best
+	}
+	return db.execute(q, spec, visSel)
+}
+
+// QueryWithPlan executes a prepared query under an explicit plan.
+func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
+	if err := spec.Validate(q, db.HasIndex); err != nil {
+		return nil, err
+	}
+	_, visSel, err := db.predCounts(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.execute(q, spec, visSel)
+}
+
+// execute runs the distributed plan and assembles the result.
+func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel map[int][]uint32) (*Result, error) {
+	db.dev.RAM.ResetHigh()
+	flashStart := db.dev.Flash.Stats()
+	busStart := db.net.Stats(trace.Terminal, trace.Device)
+	clockStart := db.clock.Now()
+
+	rep := &stats.Report{Query: q.SQL, PlanLabel: spec.Label}
+	ex := &executor{
+		db:       db,
+		q:        q,
+		spec:     spec,
+		rep:      rep,
+		visSel:   visSel,
+		field:    map[string]int{},
+		projVals: make([]map[uint32]value.Value, len(q.Projs)),
+	}
+	for i := range ex.projVals {
+		ex.projVals[i] = map[uint32]value.Value{}
+	}
+
+	runErr := ex.run()
+	// Measure before cleanup: scratch erasure happens between queries.
+	rep.TotalTime = db.clock.Span(clockStart)
+	rep.RAMHigh = db.dev.RAM.High()
+	rep.Flash = db.dev.Flash.Stats().Sub(flashStart)
+	busNow := db.net.Stats(trace.Terminal, trace.Device)
+	rep.BusBytes = busNow.Bytes - busStart.Bytes
+	rep.BusMsgs = busNow.Messages - busStart.Messages
+
+	ex.cleanup()
+	if runErr != nil {
+		return nil, runErr
+	}
+
+	res := ex.assemble()
+	res.Report = rep
+	rep.ResultRows = len(res.Rows)
+	return res, nil
+}
+
+// executor carries one query execution's state.
+type executor struct {
+	db   *DB
+	q    *plan.Query
+	spec plan.Spec
+	rep  *stats.Report
+
+	visSel map[int][]uint32 // visible pred idx -> PC selection result
+
+	layout []string       // member tables in Row.IDs[1:]
+	field  map[string]int // table -> field index in Row.IDs
+
+	blooms   []func() // bloom grant releases
+	projVals []map[uint32]value.Value
+	liveSeqs []uint32
+}
+
+func (ex *executor) cleanup() {
+	for _, free := range ex.blooms {
+		free()
+	}
+	ex.blooms = nil
+	_ = ex.db.dev.ResetScratch()
+	ex.db.hid.Cache().Invalidate()
+}
+
+// strategyOf returns the effective strategy for predicate i.
+func (ex *executor) strategyOf(i int) plan.Strategy { return ex.spec.Strategies[i] }
+
+func (ex *executor) run() error {
+	db, q := ex.db, ex.q
+
+	// The spy sees the query text (threat model: "the only information
+	// revealed ... is which queries you pose and the visible data you
+	// access").
+	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindQuery, len(q.SQL), q.SQL, nil); err != nil {
+		return err
+	}
+	if err := db.net.Send(trace.Terminal, trace.Server, trace.KindQuery, len(q.SQL), q.SQL, nil); err != nil {
+		return err
+	}
+
+	// Group predicates. Device-indexed visible predicates join the
+	// hidden index contributions: they are evaluated entirely inside
+	// the device (Figure 4's Doctor.Country index).
+	visPreByTable := map[string][]int{}
+	visPostByTable := map[string][]int{}
+	var indexPreds, hidPostPreds []int
+	for i := range q.Preds {
+		switch ex.strategyOf(i) {
+		case plan.StratVisPre:
+			t := q.Preds[i].Col.Table
+			visPreByTable[t] = append(visPreByTable[t], i)
+		case plan.StratVisPost:
+			t := q.Preds[i].Col.Table
+			visPostByTable[t] = append(visPostByTable[t], i)
+		case plan.StratHidIndex, plan.StratVisDevice:
+			indexPreds = append(indexPreds, i)
+		case plan.StratHidPost:
+			hidPostPreds = append(hidPostPreds, i)
+		}
+	}
+
+	// Delegation trace for visible predicates.
+	for i := range q.Preds {
+		if q.Preds[i].Hidden() {
+			continue
+		}
+		note := q.Preds[i].String()
+		if err := db.net.Send(trace.Terminal, trace.Server, trace.KindDelegation, len(note), note, nil); err != nil {
+			return err
+		}
+		if err := db.net.Send(trace.Server, trace.Terminal, trace.KindCount, 8,
+			fmt.Sprintf("|%s|=%d", q.Preds[i].Col, len(ex.visSel[i])), nil); err != nil {
+			return err
+		}
+	}
+
+	// Row layout: which member tables must travel with each row.
+	ex.buildLayout(visPostByTable, hidPostPreds)
+
+	// Device-side contributions and the root ID stream.
+	rootIter, err := ex.rootStream(visPreByTable, indexPreds)
+	if err != nil {
+		return err
+	}
+
+	// Bloom filters for post-filtered tables.
+	filters, err := ex.buildBlooms(visPostByTable)
+	if err != nil {
+		rootIter.Close()
+		return err
+	}
+
+	// Hidden post predicates: attribute-fetch filters.
+	for _, i := range hidPostPreds {
+		p := q.Preds[i]
+		td, ok := db.hid.Table(p.Col.Table)
+		if !ok {
+			rootIter.Close()
+			return fmt.Errorf("core: no hidden table %s", p.Col.Table)
+		}
+		col, ok := td.Column(p.Col.Column)
+		if !ok {
+			rootIter.Close()
+			return fmt.Errorf("core: no hidden column %s", p.Col)
+		}
+		filters = append(filters, ex.db.env.HiddenPredFilter(col, ex.field[p.Col.Table], p.P))
+	}
+
+	// SKT access + filtering + store (Figure 5's lower pipeline).
+	sktOp := ex.rep.NewOp("AccessSKT", q.Root.Name)
+	var rows exec.RowIter
+	if len(ex.layout) == 0 {
+		rows = &idRowIter{in: rootIter, op: sktOp}
+	} else {
+		s, ok := db.skts[q.Root.Name]
+		if !ok {
+			rootIter.Close()
+			return fmt.Errorf("core: no SKT rooted at %s", q.Root.Name)
+		}
+		rows = db.env.SKTJoin(rootIter, s, ex.layout, sktOp)
+	}
+	filterOp := ex.rep.NewOp("Filter", fmt.Sprintf("%d probes", len(filters)))
+	if len(filters) > 0 {
+		rows = exec.FilterRows(rows, filters, filterOp)
+	}
+	storeOp := ex.rep.NewOp("Store", "materialize candidates")
+	phase := db.clock.Now()
+	rf, err := db.env.MaterializeRows(rows, 1+len(ex.layout), true, storeOp)
+	if err != nil {
+		return err
+	}
+	storeOp.AddTime(db.clock.Span(phase))
+	storeOp.NoteRAM(db.dev.RAM.Used())
+
+	// Projection and verification passes.
+	rf, err = ex.projectionPasses(rf, visPostByTable)
+	if err != nil {
+		return err
+	}
+
+	// Device-side projections (hidden columns, primary keys) and the
+	// final surviving sequence scan.
+	return ex.finalScan(rf)
+}
+
+// buildLayout decides which member tables each row carries.
+func (ex *executor) buildLayout(visPostByTable map[string][]int, hidPostPreds []int) {
+	need := map[string]bool{}
+	for t := range visPostByTable {
+		need[t] = true
+	}
+	for _, i := range hidPostPreds {
+		need[ex.q.Preds[i].Col.Table] = true
+	}
+	for _, c := range ex.q.Projs {
+		need[c.Table] = true
+	}
+	delete(need, ex.q.Root.Name)
+	ex.field[ex.q.Root.Name] = 0
+	for _, t := range ex.q.Tables {
+		if need[t] {
+			ex.layout = append(ex.layout, t)
+			ex.field[t] = len(ex.layout) // IDs[0] is the root
+		}
+	}
+}
+
+// contrib is one filtering contribution: either a hidden climbing-index
+// lookup (posting lists at every level of its path) or a shipped visible
+// pre-filter list at its own table's level.
+type contrib struct {
+	table string
+	ix    *climbing.Index      // hidden contribution
+	refs  [][]climbing.ListRef // per level of ix.Levels
+	run   *exec.RunSource      // visible pre-filter list (own level)
+}
+
+// rootStream builds the sorted query-root ID stream by integrating all
+// pre-SKT contributions, with or without cross-filtering.
+func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int) (exec.IDIter, error) {
+	db, q := ex.db, ex.q
+	var contribs []contrib
+
+	// Index contributions (hidden predicates, and device-indexed
+	// visible predicates).
+	for _, i := range indexPreds {
+		p := q.Preds[i]
+		ix, _ := db.Index(p.Col.Table, p.Col.Column)
+		op := ex.rep.NewOp("ClimbingIndex", p.String())
+		phase := db.clock.Now()
+		refs := make([][]climbing.ListRef, len(ix.Levels))
+		err := forEachEntry(ix, p.P, func(e climbing.Entry) error {
+			for l, r := range e.Lists {
+				if r.Count > 0 {
+					refs[l] = append(refs[l], r)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		op.AddTime(db.clock.Span(phase))
+		for _, r := range refs[0] {
+			op.AddOut(int64(r.Count))
+		}
+		contribs = append(contribs, contrib{table: p.Col.Table, ix: ix, refs: refs})
+	}
+
+	// Visible pre-filter contributions: ship the (per-table intersected)
+	// ID lists into the device and spill them as scratch runs.
+	for t, idxs := range visPreByTable {
+		ids := ex.visSel[idxs[0]]
+		for _, i := range idxs[1:] {
+			ids = visible.IntersectSorted(ids, ex.visSel[i])
+		}
+		op := ex.rep.NewOp("ShipIDList", t)
+		phase := db.clock.Now()
+		run, err := ex.shipIDList(ids, t, op)
+		if err != nil {
+			return nil, err
+		}
+		op.AddTime(db.clock.Span(phase))
+		contribs = append(contribs, contrib{table: t, run: &run})
+	}
+
+	rootRows := db.rowCounts[q.Root.Name]
+	if len(contribs) == 0 {
+		return &seqIter{max: uint32(rootRows)}, nil
+	}
+
+	fanin := db.env.Fanin(0.5)
+	if ex.spec.CrossFilter {
+		return ex.crossFilteredRoot(contribs, fanin)
+	}
+
+	// Direct integration: every contribution yields a root-level stream.
+	// Under a tight RAM budget the device cannot keep several merge
+	// pipelines open at once: it materializes each contribution's root
+	// list to scratch sequentially and intersects the (one-page) runs.
+	spillMode := len(contribs) > 1 && ex.tightRAM(len(contribs))
+	var rootIters []exec.IDIter
+	var runs []exec.RunSource
+	closeAll := func() {
+		for _, it := range rootIters {
+			it.Close()
+		}
+	}
+	for _, c := range contribs {
+		it, err := ex.contribAtRoot(c, fanin)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if spillMode {
+			op := ex.rep.NewOp("Store", "contribution@"+c.table)
+			run, err := db.env.SpillIDs(it, op)
+			if err != nil {
+				closeAll()
+				return nil, err
+			}
+			runs = append(runs, run)
+			continue
+		}
+		rootIters = append(rootIters, it)
+	}
+	for _, run := range runs {
+		it, err := run.Open()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		rootIters = append(rootIters, it)
+	}
+	return db.env.MergeIntersect(rootIters)
+}
+
+// tightRAM reports whether n concurrent merge pipelines would endanger
+// the arena: each needs a few stream pages plus spill-writer slack.
+func (ex *executor) tightRAM(n int) bool {
+	pages := ex.db.dev.RAM.Available() / int64(ex.db.dev.Profile.Flash.PageSize)
+	return int64(4*(n+1)) > pages
+}
+
+// contribAtRoot opens a contribution as a stream of query-root IDs.
+func (ex *executor) contribAtRoot(c contrib, fanin int) (exec.IDIter, error) {
+	db, q := ex.db, ex.q
+	if c.ix != nil {
+		level := c.ix.LevelOf(q.Root.Name)
+		if level < 0 {
+			return nil, fmt.Errorf("core: index on %s does not climb to %s", c.table, q.Root.Name)
+		}
+		var sources []exec.IDSource
+		for _, r := range c.refs[level] {
+			sources = append(sources, exec.ClimbSource{Env: db.env, Ix: c.ix, Ref: r})
+		}
+		op := ex.rep.NewOp("MergeLists", fmt.Sprintf("%s@%s", c.table, q.Root.Name))
+		return db.env.Union(sources, fanin, op)
+	}
+	// Visible pre-filter run.
+	it, err := c.run.Open()
+	if err != nil {
+		return nil, err
+	}
+	if c.table == q.Root.Name {
+		return it, nil
+	}
+	tr, err := db.translator(c.table)
+	if err != nil {
+		it.Close()
+		return nil, err
+	}
+	level := tr.LevelOf(q.Root.Name)
+	if level < 0 {
+		return nil, fmt.Errorf("core: translator on %s does not reach %s", c.table, q.Root.Name)
+	}
+	op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s", c.table, q.Root.Name))
+	phase := db.clock.Now()
+	out, err := db.env.Translate(it, tr, level, fanin, op)
+	op.AddTime(db.clock.Span(phase))
+	return out, err
+}
+
+// contribAtOwn opens a contribution as a stream at its own table level.
+func (ex *executor) contribAtOwn(c contrib, fanin int) (exec.IDIter, error) {
+	db := ex.db
+	if c.ix != nil {
+		var sources []exec.IDSource
+		for _, r := range c.refs[0] {
+			sources = append(sources, exec.ClimbSource{Env: db.env, Ix: c.ix, Ref: r})
+		}
+		op := ex.rep.NewOp("MergeLists", c.table)
+		return db.env.Union(sources, fanin, op)
+	}
+	return c.run.Open()
+}
+
+// crossFilteredRoot combines contributions level by level: intersect at
+// each table, translate the (smaller) intersection upward to the nearest
+// table with contributions, repeat — the paper's cross-filtering.
+func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIter, error) {
+	db, q := ex.db, ex.q
+	byTable := map[string][]contrib{}
+	occupied := map[string]bool{}
+	for _, c := range contribs {
+		byTable[c.table] = append(byTable[c.table], c)
+		occupied[c.table] = true
+	}
+	// Order tables deepest first.
+	tables := make([]string, 0, len(byTable))
+	for t := range byTable {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool {
+		di, dj := db.sch.Depth(tables[i]), db.sch.Depth(tables[j])
+		if di != dj {
+			return di > dj
+		}
+		return tables[i] < tables[j]
+	})
+
+	spillMode := len(contribs) > 1 && ex.tightRAM(len(byTable))
+	park := func(it exec.IDIter, note string) (exec.IDIter, error) {
+		if !spillMode {
+			return it, nil
+		}
+		op := ex.rep.NewOp("Store", note)
+		run, err := db.env.SpillIDs(it, op)
+		if err != nil {
+			return nil, err
+		}
+		return run.Open()
+	}
+
+	pending := map[string][]exec.IDIter{}
+	var rootIters []exec.IDIter
+	for _, t := range tables {
+		var iters []exec.IDIter
+		group := byTable[t]
+		// A lone hidden contribution with no partners at this level is
+		// cheaper integrated directly at the root (its root list is
+		// precomputed).
+		if t != q.Root.Name && len(group) == 1 && len(pending[t]) == 0 && group[0].ix != nil {
+			it, err := ex.contribAtRoot(group[0], fanin)
+			if err != nil {
+				return nil, err
+			}
+			if it, err = park(it, "contribution@"+t); err != nil {
+				return nil, err
+			}
+			rootIters = append(rootIters, it)
+			continue
+		}
+		for _, c := range group {
+			it, err := ex.contribAtOwn(c, fanin)
+			if err != nil {
+				return nil, err
+			}
+			iters = append(iters, it)
+		}
+		iters = append(iters, pending[t]...)
+		delete(pending, t)
+		combined, err := db.env.MergeIntersect(iters)
+		if err != nil {
+			return nil, err
+		}
+		if t == q.Root.Name {
+			rootIters = append(rootIters, combined)
+			continue
+		}
+		// Translate the intersection up to the nearest occupied ancestor.
+		target := q.Root.Name
+		for _, anc := range db.sch.PathToRoot(t)[1:] {
+			if occupied[anc.Name] || len(pending[anc.Name]) > 0 {
+				target = anc.Name
+				break
+			}
+		}
+		tr, err := db.translator(t)
+		if err != nil {
+			return nil, err
+		}
+		level := tr.LevelOf(target)
+		op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s (cross)", t, target))
+		phase := db.clock.Now()
+		translated, err := db.env.Translate(combined, tr, level, fanin, op)
+		op.AddTime(db.clock.Span(phase))
+		if err != nil {
+			return nil, err
+		}
+		if translated, err = park(translated, fmt.Sprintf("translated %s->%s", t, target)); err != nil {
+			return nil, err
+		}
+		if target == q.Root.Name {
+			rootIters = append(rootIters, translated)
+		} else {
+			pending[target] = append(pending[target], translated)
+			occupied[target] = true
+		}
+	}
+	for t, its := range pending {
+		// Contributions translated to a table that never got processed
+		// (it was shallower in the order); intersect at root level.
+		tr, err := db.translator(t)
+		if err != nil {
+			return nil, err
+		}
+		for _, it := range its {
+			op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s (late)", t, q.Root.Name))
+			translated, err := db.env.Translate(it, tr, tr.LevelOf(q.Root.Name), fanin, op)
+			if err != nil {
+				return nil, err
+			}
+			rootIters = append(rootIters, translated)
+		}
+	}
+	return db.env.MergeIntersect(rootIters)
+}
+
+// shipIDList streams a sorted visible ID list server->terminal->device in
+// bus-chunked messages and spills it to a scratch run on the device.
+func (ex *executor) shipIDList(ids []uint32, table string, op *stats.Op) (exec.RunSource, error) {
+	it := &busIDIter{ex: ex, ids: ids, note: table + " IDs", kind: trace.KindIDList}
+	op.AddIn(int64(len(ids)))
+	return ex.db.env.SpillIDs(it, op)
+}
+
+// buildBlooms ships each post-filtered table's ID list and hashes it into
+// a Bloom filter sized to fit the remaining RAM.
+func (ex *executor) buildBlooms(visPostByTable map[string][]int) ([]exec.RowFilter, error) {
+	db := ex.db
+	var filters []exec.RowFilter
+	// Deterministic order.
+	var tables []string
+	for t := range visPostByTable {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	remaining := len(tables)
+	for _, t := range tables {
+		idxs := visPostByTable[t]
+		ids := ex.visSel[idxs[0]]
+		for _, i := range idxs[1:] {
+			ids = visible.IntersectSorted(ids, ex.visSel[i])
+		}
+		op := ex.rep.NewOp("BloomBuild", t)
+		phase := db.clock.Now()
+		maxBytes := int(db.dev.RAM.Available()) / (remaining + 1)
+		it := &busIDIter{ex: ex, ids: ids, note: t + " IDs (bloom)", kind: trace.KindIDList}
+		f, free, err := db.env.BuildBloom(it, len(ids), db.opts.TargetFPR, maxBytes, op)
+		if err != nil {
+			return nil, err
+		}
+		op.AddTime(db.clock.Span(phase))
+		op.Detail = fmt.Sprintf("%s fpr=%.4f", t, f.EstimatedFPR())
+		ex.blooms = append(ex.blooms, free)
+		filters = append(filters, db.env.BloomProbe(f, ex.field[t]))
+		remaining--
+	}
+	return filters, nil
+}
+
+// projectionPasses runs one sort+merge pass per table that needs a
+// visible stream: attaching projected visible values and verifying
+// post-filtered predicates exactly (repairing Bloom false positives).
+func (ex *executor) projectionPasses(rf *exec.RowFile, visPostByTable map[string][]int) (*exec.RowFile, error) {
+	db, q := ex.db, ex.q
+
+	// Visible (non-PK) projected columns per table.
+	visProj := map[string][]int{} // table -> projection indexes
+	for j, c := range q.Projs {
+		if c.Hidden {
+			continue
+		}
+		t, _ := db.sch.Table(c.Table)
+		if col, _ := t.Column(c.Column); col != nil && col.PrimaryKey {
+			continue // IDs are on the device already
+		}
+		visProj[c.Table] = append(visProj[c.Table], j)
+	}
+
+	// Pass list: root first (the file starts sorted by root ID), then
+	// the other tables in FROM order.
+	passSet := map[string]bool{}
+	for t := range visProj {
+		passSet[t] = true
+	}
+	for t := range visPostByTable {
+		passSet[t] = true
+	}
+	var passes []string
+	if passSet[q.Root.Name] {
+		passes = append(passes, q.Root.Name)
+	}
+	for _, t := range q.Tables {
+		if t != q.Root.Name && passSet[t] {
+			passes = append(passes, t)
+		}
+	}
+
+	sortedBy := q.Root.Name
+	for _, t := range passes {
+		field := ex.field[t]
+		if sortedBy != t {
+			op := ex.rep.NewOp("Sort", "by "+t)
+			phase := db.clock.Now()
+			bufBytes := int(db.dev.RAM.Available()) / 2
+			var err error
+			rf, err = db.env.SortRowFile(rf, field, bufBytes, db.env.Fanin(0.25), op)
+			if err != nil {
+				return nil, err
+			}
+			op.AddTime(db.clock.Span(phase))
+			sortedBy = t
+		}
+		restrict := ex.visRestriction(t)
+		cols := visProj[t]
+		if len(cols) == 0 {
+			// Verification-only pass.
+			var err error
+			rf, err = ex.mergePass(rf, t, field, "", nil, restrict, true)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		for k, projIdx := range cols {
+			rewrite := k == 0 // the first merge performs the verification
+			var err error
+			rf, err = ex.mergePass(rf, t, field, q.Projs[projIdx].Column, []int{projIdx}, restrict, rewrite)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return rf, nil
+}
+
+// visRestriction returns the intersected visible selection for a table,
+// or nil when the table has no visible predicate (stream everything).
+func (ex *executor) visRestriction(table string) []uint32 {
+	var ids []uint32
+	first := true
+	for i, p := range ex.q.Preds {
+		if p.Hidden() || p.Col.Table != table {
+			continue
+		}
+		if first {
+			ids = ex.visSel[i]
+			first = false
+		} else {
+			ids = visible.IntersectSorted(ids, ex.visSel[i])
+		}
+	}
+	return ids
+}
+
+// mergePass merges the row file (sorted by field) against one visible
+// stream. column == "" streams bare IDs (verification only); otherwise
+// the projected values are recorded for the given projection indexes.
+// When rewrite is set, survivors are written to a new row file.
+func (ex *executor) mergePass(rf *exec.RowFile, table string, field int, column string, projIdxs []int, restrict []uint32, rewrite bool) (*exec.RowFile, error) {
+	db := ex.db
+	vt, ok := db.vis.Table(table)
+	if !ok {
+		return nil, fmt.Errorf("core: no visible table %s", table)
+	}
+	var kvs []visible.KV
+	var err error
+	if column == "" {
+		pk := mustPK(db, table)
+		kvs, err = vt.ProjectSorted(pk, restrict)
+	} else {
+		kvs, err = vt.ProjectSorted(column, restrict)
+	}
+	if err != nil {
+		return nil, err
+	}
+	label := table
+	if column != "" {
+		label = table + "." + column
+	}
+	op := ex.rep.NewOp("MergeProject", label)
+	phase := db.clock.Now()
+	stream := &busKVIter{ex: ex, kvs: kvs, note: label + " stream"}
+
+	rows, err := rf.Iter()
+	if err != nil {
+		return nil, err
+	}
+
+	var out *exec.RowFileWriter
+	if rewrite {
+		out, err = db.env.NewRowFileWriter(rf.Fields())
+		if err != nil {
+			rows.Close()
+			return nil, err
+		}
+	}
+	resultBytes := 0
+	err = db.env.MergeRowsWithStream(rows, field, stream, op, func(r exec.Row, v value.Value) error {
+		for _, j := range projIdxs {
+			ex.projVals[j][r.Seq] = v
+			resultBytes += 4 + v.EncodedSize()
+		}
+		if out != nil {
+			return out.Write(r)
+		}
+		return nil
+	})
+	if err != nil {
+		if out != nil {
+			out.Abort()
+		}
+		return nil, err
+	}
+	// Matched values go to the secure display as they are produced.
+	if len(projIdxs) > 0 {
+		if err := ex.sendResultBytes(resultBytes, label); err != nil {
+			return nil, err
+		}
+	}
+	op.AddTime(db.clock.Span(phase))
+	if out == nil {
+		return rf, nil
+	}
+	return out.Close()
+}
+
+func mustPK(db *DB, table string) string {
+	t, _ := db.sch.Table(table)
+	return t.PrimaryKey().Name
+}
+
+// finalScan walks the surviving rows: collects live sequence numbers,
+// fetches hidden projections from the device store, emits primary-key
+// projections directly from the row IDs, and ships everything to the
+// secure display.
+func (ex *executor) finalScan(rf *exec.RowFile) error {
+	db, q := ex.db, ex.q
+	op := ex.rep.NewOp("Project", "hidden + keys")
+	phase := db.clock.Now()
+
+	type hiddenProj struct {
+		projIdx int
+		field   int
+		col     interface {
+			Value(int) (value.Value, error)
+		}
+	}
+	type keyProj struct {
+		projIdx int
+		field   int
+	}
+	var hps []hiddenProj
+	var kps []keyProj
+	for j, c := range q.Projs {
+		if c.Hidden {
+			td, ok := db.hid.Table(c.Table)
+			if !ok {
+				return fmt.Errorf("core: no hidden table %s", c.Table)
+			}
+			col, ok := td.Column(c.Column)
+			if !ok {
+				return fmt.Errorf("core: no hidden column %s", c)
+			}
+			hps = append(hps, hiddenProj{projIdx: j, field: ex.field[c.Table], col: col})
+			continue
+		}
+		t, _ := db.sch.Table(c.Table)
+		if sc, _ := t.Column(c.Column); sc != nil && sc.PrimaryKey {
+			kps = append(kps, keyProj{projIdx: j, field: ex.field[c.Table]})
+		}
+	}
+
+	it, err := rf.Iter()
+	if err != nil {
+		return err
+	}
+	defer it.Close()
+	resultBytes := 0
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		op.AddIn(1)
+		ex.liveSeqs = append(ex.liveSeqs, r.Seq)
+		for _, hp := range hps {
+			v, err := hp.col.Value(int(r.IDs[hp.field]) - 1)
+			if err != nil {
+				return err
+			}
+			ex.projVals[hp.projIdx][r.Seq] = v
+			resultBytes += 4 + v.EncodedSize()
+		}
+		for _, kp := range kps {
+			v := value.NewInt(int64(r.IDs[kp.field]))
+			ex.projVals[kp.projIdx][r.Seq] = v
+			resultBytes += 4 + v.EncodedSize()
+		}
+		resultBytes += 4 // the live seq itself
+	}
+	op.AddOut(int64(len(ex.liveSeqs)))
+	op.AddTime(db.clock.Span(phase))
+	return ex.sendResultBytes(resultBytes, "result rows")
+}
+
+// sendResultBytes charges chunked transfers on the secure device->display
+// channel.
+func (ex *executor) sendResultBytes(n int, note string) error {
+	if n == 0 {
+		return nil
+	}
+	chunk := ex.db.opts.Profile.BusChunkBytes
+	for n > 0 {
+		sz := chunk
+		if n < sz {
+			sz = n
+		}
+		if err := ex.db.net.Send(trace.Device, trace.Display, trace.KindResult, sz, note, nil); err != nil {
+			return err
+		}
+		n -= sz
+	}
+	return nil
+}
+
+// assemble builds the final result table on the secure display side.
+func (ex *executor) assemble() *Result {
+	q := ex.q
+	res := &Result{Spec: ex.spec, Query: q}
+	for _, c := range q.Projs {
+		res.Columns = append(res.Columns, c.String())
+	}
+	sort.Slice(ex.liveSeqs, func(i, j int) bool { return ex.liveSeqs[i] < ex.liveSeqs[j] })
+	for _, seq := range ex.liveSeqs {
+		if q.Limit > 0 && len(res.Rows) == q.Limit {
+			break
+		}
+		row := make([]value.Value, len(q.Projs))
+		for j := range q.Projs {
+			row[j] = ex.projVals[j][seq]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// busIDIter streams a host-side ID list through the network charge model
+// (server->terminal LAN hop and terminal->device USB hop per chunk) while
+// the device consumes it.
+type busIDIter struct {
+	ex   *executor
+	ids  []uint32
+	i    int
+	note string
+	kind trace.Kind
+}
+
+func (b *busIDIter) Next() (uint32, bool, error) {
+	if b.i >= len(b.ids) {
+		return 0, false, nil
+	}
+	chunkIDs := b.ex.db.opts.Profile.BusChunkBytes / 4
+	if chunkIDs < 1 {
+		chunkIDs = 1
+	}
+	if b.i%chunkIDs == 0 {
+		n := len(b.ids) - b.i
+		if n > chunkIDs {
+			n = chunkIDs
+		}
+		var vals []value.Value
+		if b.ex.db.rec.Level() == trace.CaptureFull {
+			for _, id := range b.ids[b.i : b.i+n] {
+				vals = append(vals, value.NewInt(int64(id)))
+			}
+		}
+		if err := b.ex.db.net.Send(trace.Server, trace.Terminal, b.kind, n*4, b.note, vals); err != nil {
+			return 0, false, err
+		}
+		if err := b.ex.db.net.Send(trace.Terminal, trace.Device, b.kind, n*4, b.note, vals); err != nil {
+			return 0, false, err
+		}
+	}
+	id := b.ids[b.i]
+	b.i++
+	return id, true, nil
+}
+
+func (b *busIDIter) Close() {}
+
+// busKVIter streams (id, value) projection pairs with the same two-hop
+// charging; the values are captured for the security audit.
+type busKVIter struct {
+	ex       *executor
+	kvs      []visible.KV
+	i        int
+	note     string
+	chunkEnd int
+}
+
+func (b *busKVIter) Next() (exec.KV, bool, error) {
+	if b.i >= len(b.kvs) {
+		return exec.KV{}, false, nil
+	}
+	if b.i >= b.chunkEnd {
+		chunkBytes := b.ex.db.opts.Profile.BusChunkBytes
+		bytes := 0
+		end := b.i
+		var vals []value.Value
+		capture := b.ex.db.rec.Level() == trace.CaptureFull
+		for end < len(b.kvs) && bytes < chunkBytes {
+			bytes += 4 + b.kvs[end].Val.EncodedSize()
+			if capture {
+				vals = append(vals, b.kvs[end].Val)
+			}
+			end++
+		}
+		if err := b.ex.db.net.Send(trace.Server, trace.Terminal, trace.KindProjection, bytes, b.note, vals); err != nil {
+			return exec.KV{}, false, err
+		}
+		if err := b.ex.db.net.Send(trace.Terminal, trace.Device, trace.KindProjection, bytes, b.note, vals); err != nil {
+			return exec.KV{}, false, err
+		}
+		b.chunkEnd = end
+	}
+	kv := b.kvs[b.i]
+	b.i++
+	return exec.KV{ID: kv.ID, Val: kv.Val}, true, nil
+}
+
+func (b *busKVIter) Close() {}
+
+// idRowIter adapts a bare root ID stream to rows (single-table queries).
+type idRowIter struct {
+	in  exec.IDIter
+	op  *stats.Op
+	buf [1]uint32
+}
+
+func (i *idRowIter) Next() (exec.Row, bool, error) {
+	id, ok, err := i.in.Next()
+	if err != nil || !ok {
+		return exec.Row{}, false, err
+	}
+	i.op.AddIn(1)
+	i.op.AddOut(1)
+	i.buf[0] = id
+	return exec.Row{IDs: i.buf[:]}, true, nil
+}
+
+func (i *idRowIter) Close() { i.in.Close() }
+
+// seqIter scans 1..max (full root scan when no predicate contributes).
+type seqIter struct {
+	next uint32
+	max  uint32
+}
+
+func (s *seqIter) Next() (uint32, bool, error) {
+	if s.next >= s.max {
+		return 0, false, nil
+	}
+	s.next++
+	return s.next, true, nil
+}
+
+func (s *seqIter) Close() {}
+
+// Explain renders the plan in the spirit of Figure 5: the device pipeline
+// with the untrusted inputs marked.
+func (db *DB) Explain(q *plan.Query, spec plan.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s for %s\n", spec.Label, q.SQL)
+	fmt.Fprintf(&b, "query root: %s", q.Root.Name)
+	if spec.CrossFilter {
+		b.WriteString("  [cross-filtering]")
+	}
+	b.WriteByte('\n')
+	for i, p := range q.Preds {
+		st := spec.Strategies[i]
+		side := "UNTRUSTED"
+		switch st {
+		case plan.StratHidIndex, plan.StratHidPost, plan.StratVisDevice:
+			side = "DEVICE"
+		}
+		fmt.Fprintf(&b, "  %-12s %-10s %s\n", st, side, p)
+	}
+	b.WriteString("  pipeline: [selections] -> merge/translate -> Access SKT")
+	if len(q.VisiblePreds()) > 0 {
+		b.WriteString(" -> bloom/verify")
+	}
+	b.WriteString(" -> Store -> project -> secure display\n")
+	return b.String()
+}

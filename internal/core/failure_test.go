@@ -1,0 +1,124 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/plan"
+)
+
+// TestScratchExhaustionFailsCleanly forces the translation machinery to
+// spill more than the scratch space holds: the query must fail with the
+// flash-full error (no panic) and the database must stay usable.
+func TestScratchExhaustionFailsCleanly(t *testing.T) {
+	prof := device.SmartUSB2007()
+	prof.ScratchBlocks = 1 // one 128KB erase block of scratch
+	db, err := Open(WithProfile(prof))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDataset(datagen.Generate(datagen.WithScale(60_000))); err != nil {
+		t.Fatal(err)
+	}
+	// An unselective pre-filtered date predicate translates ~48K visit
+	// IDs into ~480K prescription IDs of spill runs: far beyond 128KB.
+	q, err := db.Prepare(`SELECT Pre.PreID FROM Prescription Pre, Visit Vis
+		WHERE Vis.Date > '2004-06-01' AND Vis.Purpose = 'Sclerosis'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := plan.Spec{Label: "force-pre",
+		Strategies: []plan.Strategy{plan.StratVisPre, plan.StratHidIndex}}
+	_, err = db.QueryWithPlan(q, spec)
+	if err == nil {
+		t.Fatal("expected scratch exhaustion")
+	}
+	if !errors.Is(err, flash.ErrSpaceFull) && !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// The engine must have reset the scratch space; a cheap query still
+	// works.
+	res, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis' AND Vis.Date > '2007-06-01'`)
+	if err != nil {
+		t.Fatalf("database unusable after exhaustion: %v", err)
+	}
+	if res.Report.TotalTime <= 0 {
+		t.Error("no time charged on the recovery query")
+	}
+}
+
+// TestRAMBudgetNeverExceededUnderPressure sweeps tight budgets over the
+// demo query's plans: every run must either succeed within its budget or
+// fail with the budget error — never exceed it.
+func TestRAMBudgetNeverExceededUnderPressure(t *testing.T) {
+	for _, budget := range []int{12 << 10, 16 << 10, 24 << 10} {
+		prof := device.SmartUSB2007().WithRAM(budget)
+		prof.CacheFrames = 2
+		db, err := Open(WithProfile(prof))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.LoadDataset(datagen.Generate(datagen.Tiny())); err != nil {
+			t.Fatal(err)
+		}
+		q, err := db.Prepare(paperQuery)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, spec := range db.Plans(q) {
+			res, err := db.QueryWithPlan(q, spec)
+			if err != nil {
+				t.Fatalf("budget %d / %s: %v", budget, spec.Label, err)
+			}
+			if res.Report.RAMHigh > int64(budget) {
+				t.Errorf("budget %d / %s: peak %d", budget, spec.Label, res.Report.RAMHigh)
+			}
+		}
+	}
+}
+
+// TestDeterministicReplay runs the same query twice and expects identical
+// simulated times, flash counters and results — the property the whole
+// experimental methodology rests on.
+func TestDeterministicReplay(t *testing.T) {
+	db, _, _ := loadTiny(t)
+	q, err := db.Prepare(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := db.Plans(q)[0]
+	a, err := db.QueryWithPlan(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.QueryWithPlan(q, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.TotalTime != b.Report.TotalTime {
+		t.Errorf("times differ: %v vs %v", a.Report.TotalTime, b.Report.TotalTime)
+	}
+	if a.Report.Flash != b.Report.Flash {
+		t.Errorf("flash stats differ: %+v vs %+v", a.Report.Flash, b.Report.Flash)
+	}
+	if !sameRows(a.Rows, b.Rows) {
+		t.Error("results differ across replays")
+	}
+	// And across a fresh, identically-seeded database.
+	db2, _, _ := loadTiny(t)
+	q2, err := db2.Prepare(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := db2.QueryWithPlan(q2, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.TotalTime != c.Report.TotalTime {
+		t.Errorf("cross-instance times differ: %v vs %v", a.Report.TotalTime, c.Report.TotalTime)
+	}
+}

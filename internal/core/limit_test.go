@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestLimitAgainstOracle checks that LIMIT truncates deterministically
+// (root-ID order) and agrees with the oracle under every plan.
+func TestLimitAgainstOracle(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	queries := []string{
+		`SELECT Pre.PreID FROM Prescription Pre WHERE Pre.Quantity > 20 LIMIT 5`,
+		`SELECT Vis.VisID, Vis.Purpose FROM Visit Vis WHERE Vis.Date > 2005-06-01 LIMIT 3`,
+		`SELECT Pre.PreID, Med.Name FROM Prescription Pre, Medicine Med
+			WHERE Med.Type = 'Antibiotic' LIMIT 7`,
+	}
+	for _, sqlText := range queries {
+		res := checkAgainstOracle(t, db, orc, sqlText)
+		q, err := db.Prepare(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) > q.Limit {
+			t.Errorf("%s returned %d rows over LIMIT %d", sqlText, len(res.Rows), q.Limit)
+		}
+		// Every plan must agree with the auto plan's rows.
+		for _, spec := range db.Plans(q) {
+			r, err := db.QueryWithPlan(q, spec)
+			if err != nil {
+				t.Fatalf("%s / %s: %v", sqlText, spec.Label, err)
+			}
+			if !sameRows(r.Rows, res.Rows) {
+				t.Errorf("%s / %s: LIMIT rows diverge", sqlText, spec.Label)
+			}
+		}
+	}
+}
+
+// TestLimitLargerThanResult is a no-op truncation.
+func TestLimitLargerThanResult(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	sqlText := `SELECT Doc.DocID FROM Doctor Doc WHERE Doc.Country = 'Spain' LIMIT 100000`
+	checkAgainstOracle(t, db, orc, sqlText)
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/datagen"
+)
+
+// TestMediumScaleAllPlans runs the paper's demo query under every
+// enumerated plan at a 100K-prescription scale and checks that all plans
+// agree, stay inside the RAM budget, and produce distinct cost profiles.
+// Skipped under -short.
+func TestMediumScaleAllPlans(t *testing.T) {
+	if testing.Short() {
+		t.Skip("medium-scale test skipped in -short mode")
+	}
+	ds := datagen.Generate(datagen.WithScale(100_000))
+	db, err := Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.LoadDataset(ds); err != nil {
+		t.Fatal(err)
+	}
+	q, err := db.Prepare(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := db.Plans(q)
+	if len(specs) < 4 {
+		t.Fatalf("only %d plans", len(specs))
+	}
+	rows := -1
+	for _, spec := range specs {
+		res, err := db.QueryWithPlan(q, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Describe(q), err)
+		}
+		if rows == -1 {
+			rows = len(res.Rows)
+		} else if rows != len(res.Rows) {
+			t.Fatalf("%s returned %d rows, others %d", spec.Label, len(res.Rows), rows)
+		}
+		if res.Report.RAMHigh > db.Device().RAM.Budget() {
+			t.Errorf("%s: RAM %d over budget", spec.Label, res.Report.RAMHigh)
+		}
+		if res.Report.TotalTime <= 0 {
+			t.Errorf("%s: no simulated time", spec.Label)
+		}
+		t.Logf("%s: sim=%v ram=%d rows=%d", spec.Describe(q), res.Report.TotalTime, res.Report.RAMHigh, len(res.Rows))
+	}
+	if rows <= 0 {
+		t.Error("demo query selected nothing at medium scale")
+	}
+}

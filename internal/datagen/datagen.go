@@ -1,0 +1,330 @@
+// Package datagen generates the synthetic hospital dataset of the demo
+// (Section 5): the Figure 3 tree schema — Doctor, Patient, Medicine,
+// Visit, Prescription — with one million prescriptions at full scale,
+// deterministic under a seed, with skewed value distributions and the
+// constants the demo query relies on ("Sclerosis", "Antibiotic", a date
+// cutoff with controllable selectivity).
+//
+// The paper used proprietary-feeling health data it could not publish;
+// like the authors, we substitute a synthetic generator that exercises
+// the same code paths.
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Config controls dataset generation. Zero table cardinalities derive
+// from Prescriptions at the paper's ratios (1M prescriptions -> 100K
+// visits, 10K patients, 1K doctors, 1K medicines).
+type Config struct {
+	Prescriptions int
+	Visits        int
+	Patients      int
+	Doctors       int
+	Medicines     int
+	Seed          int64
+}
+
+// Default is the paper's scale: one million prescriptions.
+func Default() Config { return Config{Prescriptions: 1_000_000, Seed: 42} }
+
+// Small is a test-friendly scale that keeps the same ratios.
+func Small() Config { return Config{Prescriptions: 20_000, Seed: 42} }
+
+// Tiny is for unit tests.
+func Tiny() Config { return Config{Prescriptions: 600, Seed: 42} }
+
+// WithScale returns a config with the given number of prescriptions and
+// derived dimension cardinalities.
+func WithScale(prescriptions int) Config {
+	return Config{Prescriptions: prescriptions, Seed: 42}
+}
+
+func (c Config) normalized() Config {
+	derive := func(explicit, div, min int) int {
+		if explicit > 0 {
+			return explicit
+		}
+		n := c.Prescriptions / div
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	c.Visits = derive(c.Visits, 10, 4)
+	c.Patients = derive(c.Patients, 100, 3)
+	c.Doctors = derive(c.Doctors, 1000, 2)
+	c.Medicines = derive(c.Medicines, 1000, 2)
+	return c
+}
+
+// Table is a generated table in columnar form: Cols[i] holds the values
+// of Columns[i] for rows 1..N in ID order.
+type Table struct {
+	Name    string
+	Columns []string
+	Kinds   []value.Kind
+	Cols    [][]value.Value
+	N       int
+}
+
+// Col returns the named column's values, or nil.
+func (t *Table) Col(name string) []value.Value {
+	for i, c := range t.Columns {
+		if c == name {
+			return t.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Dataset is the generated database plus its DDL.
+type Dataset struct {
+	Config Config
+	DDL    []string
+	Tables map[string]*Table
+	order  []string
+}
+
+// TableNames lists the tables in DDL order.
+func (d *Dataset) TableNames() []string { return d.order }
+
+// Table returns the named table.
+func (d *Dataset) Table(name string) *Table { return d.Tables[name] }
+
+// The value pools. Hidden string pools (purposes, patient names) are
+// disjoint from visible pools by construction so the trace auditor can
+// recognize a leaked hidden value unambiguously.
+var (
+	countries = []string{
+		"France", "Spain", "Italy", "Germany", "Austria", "Belgium",
+		"Portugal", "Greece", "Poland", "Norway", "Sweden", "Finland",
+		"Ireland", "Hungary", "Romania", "Croatia", "Denmark", "Estonia",
+		"Slovenia", "Malta",
+	}
+	specialities = []string{
+		"Cardiology", "Oncology", "Neurology", "Pediatrics", "Radiology",
+		"Dermatology", "Endocrinology", "Geriatrics", "Hematology",
+		"Nephrology", "Urology", "Psychiatry",
+	}
+	medTypes = []string{
+		"Antibiotic", "Analgesic", "Antiviral", "Antihistamine",
+		"Antidepressant", "Diuretic", "Sedative", "Stimulant",
+		"Vaccine", "Statin", "Steroid", "Anticoagulant",
+	}
+	medEffects = []string{
+		"Bactericidal", "PainRelief", "AntiInflammatory", "Calming",
+		"Vasodilation", "ImmuneBoost", "Hydrating", "Clotting",
+		"Cholesterol", "Antipyretic",
+	}
+	// Hidden pool: visit purposes (Vis.Purpose is HIDDEN).
+	purposes = []string{
+		"Sclerosis", "Diabetes-Type1", "Diabetes-Type2", "Hypertension",
+		"Migraine", "Asthma", "Arthritis", "Bronchitis", "Depression",
+		"Insomnia", "Obesity", "Anemia", "Epilepsy", "Glaucoma",
+		"Hepatitis", "Thyroiditis", "Gastritis", "Dermatitis",
+		"Tendinitis", "Sinusitis", "Cystitis", "Colitis", "Phlebitis",
+		"Neuritis", "Otitis",
+	}
+)
+
+// Demo constants used by the paper's query and the experiments.
+const (
+	DemoPurpose = "Sclerosis"
+	DemoMedType = "Antibiotic"
+	DemoCountry = "Spain"
+)
+
+// Visit dates span [DateLo, DateHi] uniformly, so selectivity of a date
+// cutoff is proportional to its position in the range.
+var (
+	dateLo = value.NewDate(2004, 1, 1)
+	dateHi = value.NewDate(2007, 6, 30)
+)
+
+// DateCutoff returns a literal d such that "Vis.Date > d" selects about
+// the given fraction of visits (0 < sel < 1).
+func DateCutoff(sel float64) value.Value {
+	if sel <= 0 {
+		return dateHi
+	}
+	if sel >= 1 {
+		return value.NewDateDays(dateLo.DateDays() - 1)
+	}
+	span := dateHi.DateDays() - dateLo.DateDays()
+	return value.NewDateDays(dateHi.DateDays() - int64(sel*float64(span)))
+}
+
+// PaperDateLiteral is the demo query's cutoff, 05-11-2006, which selects
+// roughly 19% of the uniform [2004-01-01, 2007-06-30] date range.
+func PaperDateLiteral() value.Value { return value.NewDate(2006, 11, 5) }
+
+// DDL returns the schema's CREATE TABLE statements (Figure 3; hidden
+// attributes carry the superscript H in the paper).
+func DDL() []string {
+	return []string{
+		`CREATE TABLE Doctor (
+			DocID INTEGER PRIMARY KEY,
+			Name CHAR(40),
+			Speciality CHAR(30),
+			Zip INTEGER,
+			Country CHAR(20))`,
+		`CREATE TABLE Patient (
+			PatID INTEGER PRIMARY KEY,
+			Name CHAR(40) HIDDEN,
+			Age INTEGER,
+			BodyMassIndex INTEGER HIDDEN,
+			Country CHAR(20))`,
+		`CREATE TABLE Medicine (
+			MedID INTEGER PRIMARY KEY,
+			Name CHAR(40),
+			Effect CHAR(30),
+			Type CHAR(30))`,
+		`CREATE TABLE Visit (
+			VisID INTEGER PRIMARY KEY,
+			Date DATE,
+			Purpose CHAR(100) HIDDEN,
+			DocID REFERENCES Doctor(DocID) HIDDEN,
+			PatID REFERENCES Patient(PatID) HIDDEN)`,
+		`CREATE TABLE Prescription (
+			PreID INTEGER PRIMARY KEY,
+			Quantity INTEGER HIDDEN,
+			Frequency INTEGER,
+			WhenWritten DATE HIDDEN,
+			MedID REFERENCES Medicine(MedID) HIDDEN,
+			VisID REFERENCES Visit(VisID) HIDDEN)`,
+	}
+}
+
+// Generate builds the dataset deterministically from the config.
+func Generate(cfg Config) *Dataset {
+	cfg = cfg.normalized()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds := &Dataset{
+		Config: cfg,
+		DDL:    DDL(),
+		Tables: map[string]*Table{},
+		order:  []string{"Doctor", "Patient", "Medicine", "Visit", "Prescription"},
+	}
+
+	ids := func(n int) []value.Value {
+		out := make([]value.Value, n)
+		for i := range out {
+			out[i] = value.NewInt(int64(i + 1))
+		}
+		return out
+	}
+	pick := func(pool []string) value.Value {
+		return value.NewString(pool[rng.Intn(len(pool))])
+	}
+	// zipfPick skews toward the first pool entries, putting the demo
+	// constants ("Sclerosis", "Antibiotic") at predictable frequencies.
+	zipfPick := func(pool []string) value.Value {
+		// Simple discrete skew: rank r with weight 1/(r+1).
+		total := 0.0
+		for r := range pool {
+			total += 1.0 / float64(r+1)
+		}
+		x := rng.Float64() * total
+		for r := range pool {
+			x -= 1.0 / float64(r+1)
+			if x <= 0 {
+				return value.NewString(pool[r])
+			}
+		}
+		return value.NewString(pool[len(pool)-1])
+	}
+
+	// Doctor.
+	doc := &Table{Name: "Doctor", N: cfg.Doctors,
+		Columns: []string{"DocID", "Name", "Speciality", "Zip", "Country"},
+		Kinds:   []value.Kind{value.Int, value.String, value.String, value.Int, value.String}}
+	docNames := make([]value.Value, cfg.Doctors)
+	docSpecs := make([]value.Value, cfg.Doctors)
+	docZips := make([]value.Value, cfg.Doctors)
+	docCountries := make([]value.Value, cfg.Doctors)
+	for i := 0; i < cfg.Doctors; i++ {
+		docNames[i] = value.NewString(fmt.Sprintf("Dr-%05d", i+1))
+		docSpecs[i] = pick(specialities)
+		docZips[i] = value.NewInt(int64(10000 + rng.Intn(89999)))
+		docCountries[i] = zipfPick(countries)
+	}
+	doc.Cols = [][]value.Value{ids(cfg.Doctors), docNames, docSpecs, docZips, docCountries}
+	ds.Tables["Doctor"] = doc
+
+	// Patient. Name and BodyMassIndex are hidden.
+	pat := &Table{Name: "Patient", N: cfg.Patients,
+		Columns: []string{"PatID", "Name", "Age", "BodyMassIndex", "Country"},
+		Kinds:   []value.Kind{value.Int, value.String, value.Int, value.Int, value.String}}
+	patNames := make([]value.Value, cfg.Patients)
+	patAges := make([]value.Value, cfg.Patients)
+	patBMIs := make([]value.Value, cfg.Patients)
+	patCountries := make([]value.Value, cfg.Patients)
+	for i := 0; i < cfg.Patients; i++ {
+		patNames[i] = value.NewString(fmt.Sprintf("Pat-%06d", i+1))
+		patAges[i] = value.NewInt(int64(1 + rng.Intn(99)))
+		patBMIs[i] = value.NewInt(int64(15 + rng.Intn(31)))
+		patCountries[i] = zipfPick(countries)
+	}
+	pat.Cols = [][]value.Value{ids(cfg.Patients), patNames, patAges, patBMIs, patCountries}
+	ds.Tables["Patient"] = pat
+
+	// Medicine.
+	med := &Table{Name: "Medicine", N: cfg.Medicines,
+		Columns: []string{"MedID", "Name", "Effect", "Type"},
+		Kinds:   []value.Kind{value.Int, value.String, value.String, value.String}}
+	medNames := make([]value.Value, cfg.Medicines)
+	medEffectsCol := make([]value.Value, cfg.Medicines)
+	medTypesCol := make([]value.Value, cfg.Medicines)
+	for i := 0; i < cfg.Medicines; i++ {
+		medNames[i] = value.NewString(fmt.Sprintf("Med-%05d", i+1))
+		medEffectsCol[i] = pick(medEffects)
+		medTypesCol[i] = zipfPick(medTypes)
+	}
+	med.Cols = [][]value.Value{ids(cfg.Medicines), medNames, medEffectsCol, medTypesCol}
+	ds.Tables["Medicine"] = med
+
+	// Visit. Purpose, DocID, PatID are hidden.
+	vis := &Table{Name: "Visit", N: cfg.Visits,
+		Columns: []string{"VisID", "Date", "Purpose", "DocID", "PatID"},
+		Kinds:   []value.Kind{value.Int, value.Date, value.String, value.Int, value.Int}}
+	span := int(dateHi.DateDays() - dateLo.DateDays())
+	visDates := make([]value.Value, cfg.Visits)
+	visPurposes := make([]value.Value, cfg.Visits)
+	visDocs := make([]value.Value, cfg.Visits)
+	visPats := make([]value.Value, cfg.Visits)
+	for i := 0; i < cfg.Visits; i++ {
+		visDates[i] = value.NewDateDays(dateLo.DateDays() + int64(rng.Intn(span+1)))
+		visPurposes[i] = zipfPick(purposes)
+		visDocs[i] = value.NewInt(int64(1 + rng.Intn(cfg.Doctors)))
+		visPats[i] = value.NewInt(int64(1 + rng.Intn(cfg.Patients)))
+	}
+	vis.Cols = [][]value.Value{ids(cfg.Visits), visDates, visPurposes, visDocs, visPats}
+	ds.Tables["Visit"] = vis
+
+	// Prescription. Quantity, WhenWritten, MedID, VisID are hidden.
+	pre := &Table{Name: "Prescription", N: cfg.Prescriptions,
+		Columns: []string{"PreID", "Quantity", "Frequency", "WhenWritten", "MedID", "VisID"},
+		Kinds:   []value.Kind{value.Int, value.Int, value.Int, value.Date, value.Int, value.Int}}
+	preQty := make([]value.Value, cfg.Prescriptions)
+	preFreq := make([]value.Value, cfg.Prescriptions)
+	preWhen := make([]value.Value, cfg.Prescriptions)
+	preMeds := make([]value.Value, cfg.Prescriptions)
+	preVis := make([]value.Value, cfg.Prescriptions)
+	for i := 0; i < cfg.Prescriptions; i++ {
+		visID := 1 + rng.Intn(cfg.Visits)
+		preQty[i] = value.NewInt(int64(1 + rng.Intn(100)))
+		preFreq[i] = value.NewInt(int64(1 + rng.Intn(4)))
+		preWhen[i] = value.NewDateDays(visDates[visID-1].DateDays() + int64(rng.Intn(4)))
+		preMeds[i] = value.NewInt(int64(1 + rng.Intn(cfg.Medicines)))
+		preVis[i] = value.NewInt(int64(visID))
+	}
+	pre.Cols = [][]value.Value{ids(cfg.Prescriptions), preQty, preFreq, preWhen, preMeds, preVis}
+	ds.Tables["Prescription"] = pre
+
+	return ds
+}

@@ -1,0 +1,201 @@
+package datagen
+
+import (
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+func TestCardinalityRatios(t *testing.T) {
+	ds := Generate(WithScale(100_000))
+	want := map[string]int{
+		"Prescription": 100_000,
+		"Visit":        10_000,
+		"Patient":      1_000,
+		"Doctor":       100,
+		"Medicine":     100,
+	}
+	for name, n := range want {
+		tb := ds.Table(name)
+		if tb == nil || tb.N != n {
+			t.Errorf("%s: %v rows, want %d", name, tb, n)
+		}
+		for i, col := range tb.Cols {
+			if len(col) != n {
+				t.Errorf("%s column %d has %d values", name, i, len(col))
+			}
+		}
+	}
+}
+
+func TestDefaultIsPaperScale(t *testing.T) {
+	if Default().Prescriptions != 1_000_000 {
+		t.Error("default scale must be the paper's one million prescriptions")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Tiny())
+	b := Generate(Tiny())
+	for _, name := range a.TableNames() {
+		ta, tb := a.Table(name), b.Table(name)
+		for c := range ta.Cols {
+			for r := range ta.Cols[c] {
+				if ta.Cols[c][r] != tb.Cols[c][r] {
+					t.Fatalf("%s col %d row %d differs across runs", name, c, r)
+				}
+			}
+		}
+	}
+	seeded := Generate(Config{Prescriptions: 600, Seed: 99})
+	diff := false
+	for r, v := range seeded.Table("Visit").Col("Purpose") {
+		if v != a.Table("Visit").Col("Purpose")[r] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestReferentialIntegrity(t *testing.T) {
+	ds := Generate(Tiny())
+	check := func(table, col, ref string) {
+		n := ds.Table(ref).N
+		for i, v := range ds.Table(table).Col(col) {
+			id := v.Int()
+			if id < 1 || id > int64(n) {
+				t.Fatalf("%s.%s row %d: %d out of 1..%d", table, col, i, id, n)
+			}
+		}
+	}
+	check("Visit", "DocID", "Doctor")
+	check("Visit", "PatID", "Patient")
+	check("Prescription", "MedID", "Medicine")
+	check("Prescription", "VisID", "Visit")
+}
+
+func TestPrimaryKeysDense(t *testing.T) {
+	ds := Generate(Tiny())
+	for _, name := range ds.TableNames() {
+		pks := ds.Table(name).Cols[0]
+		for i, v := range pks {
+			if v.Int() != int64(i+1) {
+				t.Fatalf("%s key %d = %v", name, i, v)
+			}
+		}
+	}
+}
+
+func TestDemoConstantsPresent(t *testing.T) {
+	ds := Generate(Small())
+	countVal := func(table, col, want string) int {
+		n := 0
+		for _, v := range ds.Table(table).Col(col) {
+			if v.Kind() == value.String && v.Str() == want {
+				n++
+			}
+		}
+		return n
+	}
+	purposes := countVal("Visit", "Purpose", DemoPurpose)
+	if purposes == 0 {
+		t.Error("no Sclerosis visits")
+	}
+	// Zipf skew puts the demo purpose at a healthy share.
+	if frac := float64(purposes) / float64(ds.Table("Visit").N); frac < 0.05 {
+		t.Errorf("Sclerosis fraction %.3f too small", frac)
+	}
+	if countVal("Medicine", "Type", DemoMedType) == 0 {
+		t.Error("no Antibiotic medicines")
+	}
+	if countVal("Doctor", "Country", DemoCountry) == 0 {
+		t.Error("no Spanish doctors")
+	}
+}
+
+func TestDateCutoffSelectivity(t *testing.T) {
+	ds := Generate(Small())
+	dates := ds.Table("Visit").Col("Date")
+	for _, sel := range []float64{0.01, 0.1, 0.5, 0.9} {
+		cut := DateCutoff(sel)
+		n := 0
+		for _, d := range dates {
+			if d.DateDays() > cut.DateDays() {
+				n++
+			}
+		}
+		got := float64(n) / float64(len(dates))
+		if got < sel*0.7-0.01 || got > sel*1.3+0.01 {
+			t.Errorf("DateCutoff(%.2f) actually selects %.3f", sel, got)
+		}
+	}
+	// Degenerate arguments clamp.
+	if DateCutoff(0).DateDays() <= DateCutoff(0.5).DateDays() {
+		t.Error("sel=0 must give the max cutoff")
+	}
+	if DateCutoff(1.5).DateDays() >= DateCutoff(0.5).DateDays() {
+		t.Error("sel>=1 must give the min cutoff")
+	}
+}
+
+func TestPaperDateLiteral(t *testing.T) {
+	d := PaperDateLiteral()
+	y, m, day := d.Civil()
+	if y != 2006 || m != 11 || day != 5 {
+		t.Errorf("paper literal = %v", d)
+	}
+	ds := Generate(Small())
+	n := 0
+	for _, v := range ds.Table("Visit").Col("Date") {
+		if v.DateDays() > d.DateDays() {
+			n++
+		}
+	}
+	frac := float64(n) / float64(ds.Table("Visit").N)
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("paper cutoff selects %.3f of visits, want ~0.19", frac)
+	}
+}
+
+func TestHiddenPoolsDisjointFromVisible(t *testing.T) {
+	vis := map[string]bool{}
+	for _, pool := range [][]string{countries, specialities, medTypes, medEffects} {
+		for _, v := range pool {
+			vis[v] = true
+		}
+	}
+	for _, p := range purposes {
+		if vis[p] {
+			t.Errorf("hidden purpose %q collides with a visible pool", p)
+		}
+	}
+}
+
+func TestWhenWrittenFollowsVisitDate(t *testing.T) {
+	ds := Generate(Tiny())
+	visDates := ds.Table("Visit").Col("Date")
+	visIDs := ds.Table("Prescription").Col("VisID")
+	for i, w := range ds.Table("Prescription").Col("WhenWritten") {
+		vd := visDates[visIDs[i].Int()-1]
+		delta := w.DateDays() - vd.DateDays()
+		if delta < 0 || delta > 3 {
+			t.Fatalf("prescription %d written %d days from its visit", i+1, delta)
+		}
+	}
+}
+
+func TestExplicitCardinalities(t *testing.T) {
+	ds := Generate(Config{Prescriptions: 100, Visits: 10, Patients: 5, Doctors: 2, Medicines: 3, Seed: 1})
+	if ds.Table("Visit").N != 10 || ds.Table("Doctor").N != 2 || ds.Table("Medicine").N != 3 || ds.Table("Patient").N != 5 {
+		t.Error("explicit cardinalities ignored")
+	}
+}
+
+func TestDDLParsesIntoTreeSchema(t *testing.T) {
+	if len(DDL()) != 5 {
+		t.Fatalf("%d DDL statements", len(DDL()))
+	}
+}

@@ -1,0 +1,158 @@
+// Package device assembles the simulated smart USB device of Figure 2:
+// a secure chip (32-bit RISC CPU, tens of KB of RAM) driving a large
+// external NAND flash, attached to the terminal over USB. Profiles bundle
+// the hardware parameters; the default profile matches the 2007-era
+// Gemalto platform the paper targets.
+package device
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/ram"
+	"github.com/ghostdb/ghostdb/internal/sim"
+)
+
+// Profile bundles every hardware parameter of a simulated device.
+type Profile struct {
+	Name string
+
+	// Secure chip.
+	RAMBudget int     // bytes of usable static RAM (paper: "tens of KB")
+	CPUHz     float64 // RISC core frequency
+
+	// External NAND flash.
+	Flash flash.Params
+
+	// Fraction of flash blocks reserved as query-time scratch space for
+	// sort runs and spilled intermediates.
+	ScratchBlocks int
+
+	// Page frames of the random-access cache (charged to RAM).
+	CacheFrames int
+
+	// Payload bytes per streamed bus message. ID lists and projection
+	// streams are chunked at this size; each chunk pays the per-message
+	// bus latency.
+	BusChunkBytes int
+}
+
+// SmartUSB2007 is the default profile: 64 KB RAM, 50 MHz CPU, 2 KB flash
+// pages with a 5× program/read cost ratio (paper: 3–10×), and a 2 GB
+// flash array.
+func SmartUSB2007() Profile {
+	return Profile{
+		Name:      "smart-usb-2007",
+		RAMBudget: 64 << 10,
+		CPUHz:     50e6,
+		Flash: flash.Params{
+			PageSize:      2048,
+			PagesPerBlock: 64,
+			Blocks:        16384, // 2 GB
+			ReadFixed:     25 * time.Microsecond,
+			ReadPerByte:   25 * time.Nanosecond,
+			ProgFixed:     200 * time.Microsecond,
+			ProgPerByte:   50 * time.Nanosecond,
+			EraseFixed:    1500 * time.Microsecond,
+		},
+		ScratchBlocks: 4096,
+		CacheFrames:   8,
+		BusChunkBytes: 2048,
+	}
+}
+
+// WithRAM returns a copy of the profile with a different RAM budget
+// (experiment E8 sweeps this).
+func (p Profile) WithRAM(budget int) Profile {
+	p.RAMBudget = budget
+	return p
+}
+
+// WithWriteRatio returns a copy whose flash program costs are ratio× the
+// read costs (experiment E9 sweeps 3×–10×).
+func (p Profile) WithWriteRatio(ratio float64) Profile {
+	p.Flash.ProgFixed = time.Duration(float64(p.Flash.ReadFixed) * ratio)
+	p.Flash.ProgPerByte = time.Duration(float64(p.Flash.ReadPerByte) * ratio)
+	return p
+}
+
+// Validate checks the profile for consistency.
+func (p Profile) Validate() error {
+	if err := p.Flash.Validate(); err != nil {
+		return err
+	}
+	if p.RAMBudget <= 0 {
+		return fmt.Errorf("device: RAM budget %d", p.RAMBudget)
+	}
+	if p.CPUHz <= 0 {
+		return fmt.Errorf("device: CPU frequency %f", p.CPUHz)
+	}
+	if p.ScratchBlocks <= 0 || p.ScratchBlocks >= p.Flash.Blocks {
+		return fmt.Errorf("device: scratch blocks %d of %d", p.ScratchBlocks, p.Flash.Blocks)
+	}
+	if p.CacheFrames <= 0 {
+		return fmt.Errorf("device: cache frames %d", p.CacheFrames)
+	}
+	if p.BusChunkBytes <= 0 {
+		return fmt.Errorf("device: bus chunk %d", p.BusChunkBytes)
+	}
+	cacheBytes := p.CacheFrames * p.Flash.PageSize
+	if cacheBytes >= p.RAMBudget {
+		return fmt.Errorf("device: cache (%d B) would consume the whole RAM budget (%d B)", cacheBytes, p.RAMBudget)
+	}
+	return nil
+}
+
+// Device is a live simulated smart USB device.
+type Device struct {
+	Profile Profile
+	Clock   *sim.Clock
+	CPU     *sim.CPU
+	RAM     *ram.Arena
+	Flash   *flash.Device
+
+	// Main holds the database and its indexes, written once at load time.
+	Main *flash.Space
+	// Scratch holds query-time spills; reset between uses.
+	Scratch *flash.Space
+}
+
+// New builds a device from the profile, sharing the given clock (the
+// whole platform — device, buses — advances one clock).
+func New(p Profile, clock *sim.Clock) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	fd, err := flash.New(p.Flash, clock)
+	if err != nil {
+		return nil, err
+	}
+	mainBlocks := p.Flash.Blocks - p.ScratchBlocks
+	main, err := flash.NewSpace(fd, 0, mainBlocks)
+	if err != nil {
+		return nil, err
+	}
+	scratch, err := flash.NewSpace(fd, mainBlocks, p.ScratchBlocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		Profile: p,
+		Clock:   clock,
+		CPU:     sim.NewCPU(clock, p.CPUHz),
+		RAM:     ram.NewArena("device", p.RAMBudget),
+		Flash:   fd,
+		Main:    main,
+		Scratch: scratch,
+	}, nil
+}
+
+// ResetScratch erases the scratch space. The engine calls it after every
+// query (and between multi-pass phases when the space runs low).
+func (d *Device) ResetScratch() error {
+	return d.Scratch.Reset()
+}

@@ -1,0 +1,117 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/sim"
+)
+
+func TestSmartUSB2007Profile(t *testing.T) {
+	p := SmartUSB2007()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default profile invalid: %v", err)
+	}
+	if p.RAMBudget != 64<<10 {
+		t.Errorf("RAM budget = %d, want 64KB", p.RAMBudget)
+	}
+	// The paper requires a 3-10x write/read cost asymmetry.
+	readCost := p.Flash.ReadFixed + time.Duration(p.Flash.PageSize)*p.Flash.ReadPerByte
+	progCost := p.Flash.ProgFixed + time.Duration(p.Flash.PageSize)*p.Flash.ProgPerByte
+	ratio := float64(progCost) / float64(readCost)
+	if ratio < 3 || ratio > 10 {
+		t.Errorf("write/read ratio = %.1f, want within [3, 10]", ratio)
+	}
+}
+
+func TestProfileVariants(t *testing.T) {
+	p := SmartUSB2007().WithRAM(16 << 10)
+	if p.RAMBudget != 16<<10 {
+		t.Errorf("WithRAM = %d", p.RAMBudget)
+	}
+	p8 := SmartUSB2007().WithWriteRatio(8)
+	if got := float64(p8.Flash.ProgFixed) / float64(p8.Flash.ReadFixed); got < 7.9 || got > 8.1 {
+		t.Errorf("WithWriteRatio fixed = %.2f", got)
+	}
+	if got := float64(p8.Flash.ProgPerByte) / float64(p8.Flash.ReadPerByte); got < 7.9 || got > 8.1 {
+		t.Errorf("WithWriteRatio per-byte = %.2f", got)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []func(*Profile){
+		func(p *Profile) { p.RAMBudget = 0 },
+		func(p *Profile) { p.CPUHz = 0 },
+		func(p *Profile) { p.ScratchBlocks = 0 },
+		func(p *Profile) { p.ScratchBlocks = p.Flash.Blocks },
+		func(p *Profile) { p.CacheFrames = 0 },
+		func(p *Profile) { p.BusChunkBytes = 0 },
+		func(p *Profile) { p.RAMBudget = p.CacheFrames * p.Flash.PageSize }, // cache eats all RAM
+		func(p *Profile) { p.Flash.PageSize = 0 },
+	}
+	for i, mutate := range cases {
+		p := SmartUSB2007()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestNewDeviceLayout(t *testing.T) {
+	p := SmartUSB2007()
+	d, err := New(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clock == nil || d.CPU == nil || d.RAM == nil || d.Flash == nil {
+		t.Fatal("device components missing")
+	}
+	if d.RAM.Budget() != int64(p.RAMBudget) {
+		t.Errorf("arena budget = %d", d.RAM.Budget())
+	}
+	mainBytes := d.Main.FreeBytes()
+	scratchBytes := d.Scratch.FreeBytes()
+	wantScratch := int64(p.ScratchBlocks) * int64(p.Flash.PagesPerBlock) * int64(p.Flash.PageSize)
+	if scratchBytes != wantScratch {
+		t.Errorf("scratch = %d bytes, want %d", scratchBytes, wantScratch)
+	}
+	if mainBytes+scratchBytes != p.Flash.TotalBytes() {
+		t.Errorf("main+scratch = %d, want %d", mainBytes+scratchBytes, p.Flash.TotalBytes())
+	}
+}
+
+func TestScratchResetIsIndependent(t *testing.T) {
+	d, err := New(SmartUSB2007(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainExt, err := d.Main.AppendRegion([]byte("persistent"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Scratch.AppendRegion([]byte("temporary")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ResetScratch(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Scratch.UsedPages() != 0 {
+		t.Error("scratch not rewound")
+	}
+	got := make([]byte, 10)
+	if err := d.Flash.ReadAt(got, mainExt.Start); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "persistent" {
+		t.Errorf("main space corrupted by scratch reset: %q", got)
+	}
+}
+
+func TestNewRejectsInvalidProfile(t *testing.T) {
+	p := SmartUSB2007()
+	p.RAMBudget = -1
+	if _, err := New(p, nil); err == nil {
+		t.Error("invalid profile accepted")
+	}
+}

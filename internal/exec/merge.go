@@ -1,0 +1,319 @@
+package exec
+
+import (
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// mergeHeap is a binary min-heap of (id, iterator) pairs for k-way merges.
+type mergeHeap struct {
+	env *Env
+	ids []uint32
+	its []IDIter
+}
+
+func (h *mergeHeap) push(id uint32, it IDIter) {
+	h.env.cpu(sim.CyclesHeapOp)
+	h.ids = append(h.ids, id)
+	h.its = append(h.its, it)
+	i := len(h.ids) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ids[parent] <= h.ids[i] {
+			break
+		}
+		h.swap(parent, i)
+		i = parent
+	}
+}
+
+func (h *mergeHeap) pop() (uint32, IDIter) {
+	h.env.cpu(sim.CyclesHeapOp)
+	id, it := h.ids[0], h.its[0]
+	last := len(h.ids) - 1
+	h.ids[0], h.its[0] = h.ids[last], h.its[last]
+	h.ids, h.its = h.ids[:last], h.its[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.ids) && h.ids[l] < h.ids[small] {
+			small = l
+		}
+		if r < len(h.ids) && h.ids[r] < h.ids[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(small, i)
+		i = small
+	}
+	return id, it
+}
+
+func (h *mergeHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.its[i], h.its[j] = h.its[j], h.its[i]
+}
+
+func (h *mergeHeap) len() int { return len(h.ids) }
+
+// unionIter merges k sorted iterators, deduplicating equal IDs.
+type unionIter struct {
+	h      *mergeHeap
+	opened []IDIter // for Close
+	last   uint32
+	primed bool
+}
+
+// MergeUnion returns the sorted, deduplicated union of the iterators.
+// The per-iterator heap slot costs a few words; the streams' page buffers
+// dominate and are owned by the iterators themselves.
+func (e *Env) MergeUnion(its []IDIter) (IDIter, error) {
+	h := &mergeHeap{env: e}
+	u := &unionIter{h: h, opened: its}
+	for _, it := range its {
+		id, ok, err := it.Next()
+		if err != nil {
+			u.Close()
+			return nil, err
+		}
+		if ok {
+			h.push(id, it)
+		}
+	}
+	return u, nil
+}
+
+func (u *unionIter) Next() (uint32, bool, error) {
+	for u.h.len() > 0 {
+		id, it := u.h.pop()
+		next, ok, err := it.Next()
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			u.h.push(next, it)
+		}
+		if u.primed && id == u.last {
+			continue // duplicate
+		}
+		u.last = id
+		u.primed = true
+		return id, true, nil
+	}
+	return 0, false, nil
+}
+
+func (u *unionIter) Close() {
+	for _, it := range u.opened {
+		it.Close()
+	}
+}
+
+// intersectIter intersects k sorted deduplicated iterators.
+type intersectIter struct {
+	env  *Env
+	its  []IDIter
+	cur  []uint32
+	done bool
+}
+
+// MergeIntersect returns the sorted intersection of the iterators. Each
+// input must itself be sorted; duplicates within one input are tolerated.
+func (e *Env) MergeIntersect(its []IDIter) (IDIter, error) {
+	if len(its) == 0 {
+		return Empty(), nil
+	}
+	if len(its) == 1 {
+		return its[0], nil
+	}
+	x := &intersectIter{env: e, its: its, cur: make([]uint32, len(its))}
+	for i, it := range its {
+		id, ok, err := it.Next()
+		if err != nil {
+			x.Close()
+			return nil, err
+		}
+		if !ok {
+			x.done = true
+			break
+		}
+		x.cur[i] = id
+	}
+	return x, nil
+}
+
+func (x *intersectIter) Next() (uint32, bool, error) {
+	if x.done {
+		return 0, false, nil
+	}
+	for {
+		// Find the maximum of the current heads.
+		max := x.cur[0]
+		for _, id := range x.cur[1:] {
+			x.env.cpu(sim.CyclesCompare)
+			if id > max {
+				max = id
+			}
+		}
+		// Advance every iterator to >= max.
+		equal := true
+		for i, it := range x.its {
+			for x.cur[i] < max {
+				id, ok, err := it.Next()
+				if err != nil {
+					return 0, false, err
+				}
+				if !ok {
+					x.done = true
+					return 0, false, nil
+				}
+				x.cur[i] = id
+				x.env.cpu(sim.CyclesCompare)
+			}
+			if x.cur[i] != max {
+				equal = false
+			}
+		}
+		if !equal {
+			continue
+		}
+		// Emit and advance all past max.
+		for i, it := range x.its {
+			id, ok, err := it.Next()
+			if err != nil {
+				return 0, false, err
+			}
+			if !ok {
+				x.done = true
+				break
+			}
+			x.cur[i] = id
+		}
+		return max, true, nil
+	}
+}
+
+func (x *intersectIter) Close() {
+	for _, it := range x.its {
+		it.Close()
+	}
+}
+
+// Union merges any number of sources into one sorted deduplicated stream,
+// spilling intermediate runs to scratch flash when more than fanin
+// streams would need to be open at once — the multi-pass behaviour that
+// makes low-selectivity pre-filtering expensive on the device.
+func (e *Env) Union(sources []IDSource, fanin int, op *stats.Op) (IDIter, error) {
+	if len(sources) == 0 {
+		return Empty(), nil
+	}
+	for len(sources) > e.clampFanin(fanin) {
+		f := e.clampFanin(fanin)
+		var next []IDSource
+		for start := 0; start < len(sources); start += f {
+			end := start + f
+			if end > len(sources) {
+				end = len(sources)
+			}
+			merged, err := e.openAndMerge(sources[start:end])
+			if err != nil {
+				return nil, err
+			}
+			run, err := e.SpillIDs(merged, op)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, run)
+		}
+		sources = next
+	}
+	return e.openAndMerge(sources)
+}
+
+func (e *Env) openAndMerge(sources []IDSource) (IDIter, error) {
+	its := make([]IDIter, 0, len(sources))
+	for _, s := range sources {
+		it, err := s.Open()
+		if err != nil {
+			for _, o := range its {
+				o.Close()
+			}
+			return nil, err
+		}
+		its = append(its, it)
+	}
+	if len(its) == 1 {
+		return its[0], nil
+	}
+	return e.MergeUnion(its)
+}
+
+// Translate maps a sorted stream of table-T identifiers to the sorted
+// union of their posting lists at the given level of a dense climbing
+// index — the paper's pre-filtering step ("transforming these lists into
+// lists of PreID thanks to the climbing index on Vis.VisID"). Large
+// inputs spill batches of merged lists as scratch runs.
+func (e *Env) Translate(input IDIter, ix *climbing.Index, level int, fanin int, op *stats.Op) (IDIter, error) {
+	defer input.Close()
+	var runs []IDSource
+	batch := make([]IDSource, 0, e.clampFanin(fanin))
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		merged, err := e.openAndMerge(batch)
+		if err != nil {
+			return err
+		}
+		run, err := e.SpillIDs(merged, op)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		batch = batch[:0]
+		return nil
+	}
+	sawAny := false
+	for {
+		id, ok, err := input.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		op.AddIn(1)
+		entry, found, err := ix.LookupEq(intValue(id))
+		if err != nil {
+			return nil, err
+		}
+		if !found {
+			continue
+		}
+		ref := entry.Lists[level]
+		if ref.Count == 0 {
+			continue
+		}
+		sawAny = true
+		batch = append(batch, ClimbSource{Env: e, Ix: ix, Ref: ref})
+		if len(batch) >= e.clampFanin(fanin) {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !sawAny {
+		return Empty(), nil
+	}
+	if len(runs) == 0 {
+		return e.openAndMerge(batch)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return e.Union(runs, fanin, op)
+}

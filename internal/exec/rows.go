@@ -1,0 +1,586 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/ghostdb/ghostdb/internal/bloom"
+	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/ram"
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/skt"
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/store"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Row is one in-flight result tuple: a dense output sequence number and
+// the identifiers of the query's tables (IDs[0] is the query-root ID,
+// the rest follow the plan's table layout). The IDs slice is reused by
+// iterators; consumers that retain a row must copy it.
+type Row struct {
+	Seq uint32
+	IDs []uint32
+}
+
+// RowIter streams rows. Close releases RAM grants.
+type RowIter interface {
+	Next() (Row, bool, error)
+	Close()
+}
+
+// SKTJoin turns a sorted stream of query-root IDs into rows carrying the
+// joined member-table IDs, via single-step SKT lookups (Section 4:
+// "reaching any other table in the path ... in a single step"). tables
+// lists the member tables for IDs[1:]; IDs[0] is the root ID itself.
+func (e *Env) SKTJoin(root IDIter, s *skt.SKT, tables []string, op *stats.Op) RowIter {
+	return &sktJoinIter{env: e, in: root, skt: s, tables: tables, op: op,
+		buf: make([]uint32, 1+len(tables))}
+}
+
+type sktJoinIter struct {
+	env    *Env
+	in     IDIter
+	skt    *skt.SKT
+	tables []string
+	op     *stats.Op
+	buf    []uint32
+	seq    uint32
+}
+
+func (s *sktJoinIter) Next() (Row, bool, error) {
+	id, ok, err := s.in.Next()
+	if err != nil || !ok {
+		return Row{}, false, err
+	}
+	s.op.AddIn(1)
+	s.buf[0] = id
+	for i, t := range s.tables {
+		mid, err := s.skt.Lookup(id, t)
+		if err != nil {
+			return Row{}, false, err
+		}
+		s.env.cpu(sim.CyclesCompare)
+		s.buf[i+1] = mid
+	}
+	s.op.AddOut(1)
+	row := Row{Seq: s.seq, IDs: s.buf}
+	s.seq++
+	return row, true, nil
+}
+
+func (s *sktJoinIter) Close() { s.in.Close() }
+
+// RowFilter decides whether a row survives.
+type RowFilter func(Row) (bool, error)
+
+// BloomProbe filters rows by probing the member ID at field against a
+// Bloom filter — the post-filtering probe of Figure 5.
+func (e *Env) BloomProbe(f *bloom.Filter, field int) RowFilter {
+	return func(r Row) (bool, error) {
+		e.cpu(int64(sim.CyclesHash) * int64(f.K()))
+		return f.Contains(bloom.Hash32(r.IDs[field])), nil
+	}
+}
+
+// HiddenPredFilter evaluates a predicate against a hidden column value
+// fetched from the device store for the row's member at field — the
+// fallback for hidden predicates without a usable climbing index, and
+// the "hidden post-filtering" ablation strategy.
+func (e *Env) HiddenPredFilter(col store.Column, field int, p pred.P) RowFilter {
+	return func(r Row) (bool, error) {
+		v, err := col.Value(int(r.IDs[field]) - 1)
+		if err != nil {
+			return false, err
+		}
+		e.cpu(sim.CyclesPredicate)
+		return p.Eval(v)
+	}
+}
+
+// FilterRows applies filters in order, short-circuiting on the first miss.
+func FilterRows(in RowIter, filters []RowFilter, op *stats.Op) RowIter {
+	return &filterIter{in: in, filters: filters, op: op}
+}
+
+type filterIter struct {
+	in      RowIter
+	filters []RowFilter
+	op      *stats.Op
+}
+
+func (f *filterIter) Next() (Row, bool, error) {
+row:
+	for {
+		r, ok, err := f.in.Next()
+		if err != nil || !ok {
+			return Row{}, false, err
+		}
+		f.op.AddIn(1)
+		for _, filt := range f.filters {
+			keep, err := filt(r)
+			if err != nil {
+				return Row{}, false, err
+			}
+			if !keep {
+				continue row
+			}
+		}
+		f.op.AddOut(1)
+		return r, true, nil
+	}
+}
+
+func (f *filterIter) Close() { f.in.Close() }
+
+// BuildBloom drains a sorted ID stream into a Bloom filter sized for the
+// target false-positive rate, shrinking to maxBytes if the ideal size
+// does not fit — a smaller filter just raises the (repaired) fpr, which
+// is the RAM/time trade-off of post-filtering. The returned grant holds
+// the filter's RAM; free it when probing is done.
+func (e *Env) BuildBloom(ids IDIter, expected int, targetFPR float64, maxBytes int, op *stats.Op) (*bloom.Filter, func(), error) {
+	defer ids.Close()
+	mBits, k := bloom.SizeForFPR(expected, targetFPR)
+	if maxBytes > 0 && (mBits+7)/8 > maxBytes {
+		mBits = maxBytes * 8
+		k = bloom.OptimalK(mBits, expected)
+	}
+	f, err := bloom.New(mBits, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	grant, err := e.Dev.RAM.Alloc(f.FootprintBytes(), "bloom")
+	if err != nil {
+		return nil, nil, err
+	}
+	op.NoteRAM(int64(f.FootprintBytes()))
+	for {
+		id, ok, err := ids.Next()
+		if err != nil {
+			grant.Free()
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		op.AddIn(1)
+		e.cpu(int64(sim.CyclesHash) * int64(k))
+		f.Add(bloom.Hash32(id))
+	}
+	return f, grant.Free, nil
+}
+
+// RowFile is a materialized row set in scratch flash: fixed-width records
+// of (seq, ids...) little-endian uint32s.
+type RowFile struct {
+	env    *Env
+	ext    flash.Extent
+	n      int
+	fields int // ID fields per record (excluding seq)
+}
+
+// Count reports the number of rows.
+func (rf *RowFile) Count() int { return rf.n }
+
+// Fields reports the number of ID fields per row.
+func (rf *RowFile) Fields() int { return rf.fields }
+
+// recordWidth is the byte width of one record.
+func (rf *RowFile) recordWidth() int { return 4 * (1 + rf.fields) }
+
+// MaterializeRows drains in (rows with nFields IDs) into a scratch row
+// file — the "Store" operator of Figure 5. When assignSeq is set, rows
+// get fresh dense sequence numbers in arrival order.
+func (e *Env) MaterializeRows(in RowIter, nFields int, assignSeq bool, op *stats.Op) (*RowFile, error) {
+	defer in.Close()
+	grant, err := e.Dev.RAM.Alloc(e.pageSize(), "row-writer")
+	if err != nil {
+		return nil, err
+	}
+	defer grant.Free()
+	w, err := e.Dev.Scratch.NewWriter()
+	if err != nil {
+		return nil, err
+	}
+	rf := &RowFile{env: e, fields: nFields}
+	rec := make([]byte, 4*(1+nFields))
+	var seq uint32
+	for {
+		r, ok, err := in.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if len(r.IDs) != nFields {
+			return nil, fmt.Errorf("exec: row has %d fields, want %d", len(r.IDs), nFields)
+		}
+		op.AddIn(1)
+		s := r.Seq
+		if assignSeq {
+			s = seq
+		}
+		binary.LittleEndian.PutUint32(rec[0:], s)
+		for i, id := range r.IDs {
+			binary.LittleEndian.PutUint32(rec[4*(i+1):], id)
+		}
+		if _, err := w.Write(rec); err != nil {
+			return nil, err
+		}
+		seq++
+		rf.n++
+		e.cpu(int64(sim.CyclesCopyWord) * int64(1+nFields))
+	}
+	ext, err := w.Close()
+	if err != nil {
+		return nil, err
+	}
+	op.AddOut(int64(rf.n))
+	rf.ext = ext
+	return rf, nil
+}
+
+// RowFileWriter streams rows into a new scratch row file, holding one
+// page buffer. Used when a merge pass rewrites the surviving rows.
+type RowFileWriter struct {
+	env    *Env
+	w      *flash.Writer
+	grant  *ram.Grant
+	fields int
+	n      int
+	rec    []byte
+}
+
+// NewRowFileWriter opens a streaming writer for rows of nFields IDs.
+func (e *Env) NewRowFileWriter(nFields int) (*RowFileWriter, error) {
+	grant, err := e.Dev.RAM.Alloc(e.pageSize(), "row-writer")
+	if err != nil {
+		return nil, err
+	}
+	w, err := e.Dev.Scratch.NewWriter()
+	if err != nil {
+		grant.Free()
+		return nil, err
+	}
+	return &RowFileWriter{env: e, w: w, grant: grant, fields: nFields,
+		rec: make([]byte, 4*(1+nFields))}, nil
+}
+
+// Write appends one row, preserving its sequence number.
+func (w *RowFileWriter) Write(r Row) error {
+	if len(r.IDs) != w.fields {
+		return fmt.Errorf("exec: row has %d fields, want %d", len(r.IDs), w.fields)
+	}
+	binary.LittleEndian.PutUint32(w.rec[0:], r.Seq)
+	for i, id := range r.IDs {
+		binary.LittleEndian.PutUint32(w.rec[4*(i+1):], id)
+	}
+	if _, err := w.w.Write(w.rec); err != nil {
+		return err
+	}
+	w.n++
+	w.env.cpu(int64(sim.CyclesCopyWord) * int64(1+w.fields))
+	return nil
+}
+
+// Close finalizes the file.
+func (w *RowFileWriter) Close() (*RowFile, error) {
+	defer w.grant.Free()
+	ext, err := w.w.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &RowFile{env: w.env, ext: ext, n: w.n, fields: w.fields}, nil
+}
+
+// Abort releases resources without producing a file.
+func (w *RowFileWriter) Abort() {
+	_, _ = w.w.Close()
+	w.grant.Free()
+}
+
+// Iter streams the file's rows in storage order.
+func (rf *RowFile) Iter() (RowIter, error) {
+	grant, err := rf.env.Dev.RAM.Alloc(rf.env.pageSize(), "row-reader")
+	if err != nil {
+		return nil, err
+	}
+	return &rowFileIter{
+		rf:     rf,
+		reader: flash.NewReader(rf.env.Dev.Flash, rf.ext),
+		grant:  grant,
+		rec:    make([]byte, rf.recordWidth()),
+		ids:    make([]uint32, rf.fields),
+	}, nil
+}
+
+type rowFileIter struct {
+	rf     *RowFile
+	reader *flash.Reader
+	grant  *ram.Grant
+	rec    []byte
+	ids    []uint32
+	read   int
+}
+
+func (it *rowFileIter) Next() (Row, bool, error) {
+	if it.read >= it.rf.n {
+		return Row{}, false, nil
+	}
+	if _, err := fullRead(it.reader, it.rec); err != nil {
+		return Row{}, false, fmt.Errorf("exec: row file read: %w", err)
+	}
+	it.read++
+	seq := binary.LittleEndian.Uint32(it.rec[0:])
+	for i := range it.ids {
+		it.ids[i] = binary.LittleEndian.Uint32(it.rec[4*(i+1):])
+	}
+	it.rf.env.cpu(int64(sim.CyclesCopyWord) * int64(1+len(it.ids)))
+	return Row{Seq: seq, IDs: it.ids}, true, nil
+}
+
+func (it *rowFileIter) Close() { it.grant.Free() }
+
+// SortRowFile sorts the file by the given ID field (0-based, excluding
+// seq) using an external merge sort: RAM-sized runs, then k-way merges,
+// spilling to scratch. bufBytes bounds the run buffer; fanin bounds the
+// concurrently open run readers.
+func (e *Env) SortRowFile(rf *RowFile, byField, bufBytes, fanin int, op *stats.Op) (*RowFile, error) {
+	if byField < 0 || byField >= rf.fields {
+		return nil, fmt.Errorf("exec: sort field %d of %d", byField, rf.fields)
+	}
+	width := rf.recordWidth()
+	capRecords := bufBytes / width
+	if capRecords < 2 {
+		capRecords = 2
+	}
+	grant, err := e.Dev.RAM.Alloc(capRecords*width, "sort-buffer")
+	if err != nil {
+		return nil, err
+	}
+	op.NoteRAM(int64(capRecords * width))
+
+	// Run formation.
+	var runs []*RowFile
+	in, err := rf.Iter()
+	if err != nil {
+		grant.Free()
+		return nil, err
+	}
+	buf := make([]byte, 0, capRecords*width)
+	keyAt := func(b []byte, i int) uint32 {
+		return binary.LittleEndian.Uint32(b[i*width+4*(1+byField):])
+	}
+	flushRun := func() error {
+		nRec := len(buf) / width
+		if nRec == 0 {
+			return nil
+		}
+		idx := make([]int, nRec)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			e.cpu(sim.CyclesCompare)
+			return keyAt(buf, idx[a]) < keyAt(buf, idx[b])
+		})
+		w, err := e.Dev.Scratch.NewWriter()
+		if err != nil {
+			return err
+		}
+		for _, i := range idx {
+			if _, err := w.Write(buf[i*width : (i+1)*width]); err != nil {
+				return err
+			}
+		}
+		ext, err := w.Close()
+		if err != nil {
+			return err
+		}
+		runs = append(runs, &RowFile{env: e, ext: ext, n: nRec, fields: rf.fields})
+		buf = buf[:0]
+		return nil
+	}
+	rec := make([]byte, width)
+	for {
+		r, ok, err := in.Next()
+		if err != nil {
+			in.Close()
+			grant.Free()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		op.AddIn(1)
+		binary.LittleEndian.PutUint32(rec[0:], r.Seq)
+		for i, id := range r.IDs {
+			binary.LittleEndian.PutUint32(rec[4*(i+1):], id)
+		}
+		buf = append(buf, rec...)
+		if len(buf) == capRecords*width {
+			if err := flushRun(); err != nil {
+				in.Close()
+				grant.Free()
+				return nil, err
+			}
+		}
+	}
+	in.Close()
+	err = flushRun()
+	grant.Free()
+	if err != nil {
+		return nil, err
+	}
+	if len(runs) == 0 {
+		return &RowFile{env: e, fields: rf.fields}, nil
+	}
+
+	// Merge passes.
+	for len(runs) > 1 {
+		f := e.clampFanin(fanin)
+		var next []*RowFile
+		for start := 0; start < len(runs); start += f {
+			end := start + f
+			if end > len(runs) {
+				end = len(runs)
+			}
+			merged, err := e.mergeRowRuns(runs[start:end], byField, op)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, merged)
+		}
+		runs = next
+	}
+	op.AddOut(int64(runs[0].n))
+	return runs[0], nil
+}
+
+// mergeRowRuns merges sorted runs into a new scratch run.
+func (e *Env) mergeRowRuns(runs []*RowFile, byField int, op *stats.Op) (*RowFile, error) {
+	type head struct {
+		it  RowIter
+		row Row
+		ids []uint32
+	}
+	var heads []*head
+	closeAll := func() {
+		for _, h := range heads {
+			h.it.Close()
+		}
+	}
+	for _, r := range runs {
+		it, err := r.Iter()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		h := &head{it: it, ids: make([]uint32, r.fields)}
+		row, ok, err := it.Next()
+		if err != nil {
+			it.Close()
+			closeAll()
+			return nil, err
+		}
+		if !ok {
+			it.Close()
+			continue
+		}
+		h.row = Row{Seq: row.Seq, IDs: h.ids}
+		copy(h.ids, row.IDs)
+		heads = append(heads, h)
+	}
+	wGrant, err := e.Dev.RAM.Alloc(e.pageSize(), "merge-writer")
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	defer wGrant.Free()
+	w, err := e.Dev.Scratch.NewWriter()
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	fields := runs[0].fields
+	width := 4 * (1 + fields)
+	rec := make([]byte, width)
+	n := 0
+	for len(heads) > 0 {
+		best := 0
+		for i := 1; i < len(heads); i++ {
+			e.cpu(sim.CyclesCompare)
+			if heads[i].row.IDs[byField] < heads[best].row.IDs[byField] {
+				best = i
+			}
+		}
+		h := heads[best]
+		binary.LittleEndian.PutUint32(rec[0:], h.row.Seq)
+		for i, id := range h.row.IDs {
+			binary.LittleEndian.PutUint32(rec[4*(i+1):], id)
+		}
+		if _, err := w.Write(rec); err != nil {
+			closeAll()
+			return nil, err
+		}
+		n++
+		row, ok, err := h.it.Next()
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		if !ok {
+			h.it.Close()
+			heads = append(heads[:best], heads[best+1:]...)
+			continue
+		}
+		h.row.Seq = row.Seq
+		copy(h.ids, row.IDs)
+	}
+	ext, err := w.Close()
+	if err != nil {
+		return nil, err
+	}
+	return &RowFile{env: e, ext: ext, n: n, fields: fields}, nil
+}
+
+// MergeRowsWithStream merges rows (sorted ascending by IDs[field]) with a
+// visible (id, value) stream sorted by unique ascending ID. Rows whose ID
+// appears in the stream survive and are passed to onMatch with the value
+// (the projection attachment); rows missing from the stream are dropped —
+// this is the exact verification that repairs Bloom false positives.
+func (e *Env) MergeRowsWithStream(rows RowIter, field int, stream KVIter, op *stats.Op, onMatch func(Row, value.Value) error) error {
+	defer rows.Close()
+	defer stream.Close()
+	cur, haveKV, err := stream.Next()
+	if err != nil {
+		return err
+	}
+	for {
+		r, ok, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		op.AddIn(1)
+		id := r.IDs[field]
+		for haveKV && cur.ID < id {
+			e.cpu(sim.CyclesCompare)
+			cur, haveKV, err = stream.Next()
+			if err != nil {
+				return err
+			}
+		}
+		if haveKV && cur.ID == id {
+			op.AddOut(1)
+			if err := onMatch(r, cur.Val); err != nil {
+				return err
+			}
+		}
+	}
+}

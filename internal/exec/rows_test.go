@@ -1,0 +1,341 @@
+package exec
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// sliceRowIter feeds rows from memory.
+type sliceRowIter struct {
+	rows [][]uint32
+	seqs []uint32
+	i    int
+}
+
+func (s *sliceRowIter) Next() (Row, bool, error) {
+	if s.i >= len(s.rows) {
+		return Row{}, false, nil
+	}
+	var seq uint32
+	if s.seqs != nil {
+		seq = s.seqs[s.i]
+	}
+	r := Row{Seq: seq, IDs: s.rows[s.i]}
+	s.i++
+	return r, true, nil
+}
+
+func (s *sliceRowIter) Close() {}
+
+// sliceKV feeds a projection stream from memory.
+type sliceKV struct {
+	kvs []KV
+	i   int
+}
+
+func (s *sliceKV) Next() (KV, bool, error) {
+	if s.i >= len(s.kvs) {
+		return KV{}, false, nil
+	}
+	kv := s.kvs[s.i]
+	s.i++
+	return kv, true, nil
+}
+
+func (s *sliceKV) Close() {}
+
+func collectRows(t *testing.T, it RowIter) ([]uint32, [][]uint32) {
+	t.Helper()
+	defer it.Close()
+	var seqs []uint32
+	var rows [][]uint32
+	for {
+		r, ok, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return seqs, rows
+		}
+		seqs = append(seqs, r.Seq)
+		rows = append(rows, append([]uint32(nil), r.IDs...))
+	}
+}
+
+func TestMaterializeAndIterate(t *testing.T) {
+	e := newEnv(t)
+	in := &sliceRowIter{rows: [][]uint32{{10, 1}, {20, 2}, {30, 1}}}
+	rf, err := e.MaterializeRows(in, 2, true, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Count() != 3 || rf.Fields() != 2 {
+		t.Fatalf("count=%d fields=%d", rf.Count(), rf.Fields())
+	}
+	it, err := rf.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, rows := collectRows(t, it)
+	if !reflect.DeepEqual(seqs, []uint32{0, 1, 2}) {
+		t.Errorf("seqs = %v", seqs)
+	}
+	if !reflect.DeepEqual(rows, [][]uint32{{10, 1}, {20, 2}, {30, 1}}) {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestMaterializePreservesSeq(t *testing.T) {
+	e := newEnv(t)
+	in := &sliceRowIter{rows: [][]uint32{{10}, {20}}, seqs: []uint32{7, 3}}
+	rf, err := e.MaterializeRows(in, 1, false, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := rf.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collectRows(t, it)
+	if !reflect.DeepEqual(seqs, []uint32{7, 3}) {
+		t.Errorf("seqs = %v", seqs)
+	}
+}
+
+func TestMaterializeFieldMismatch(t *testing.T) {
+	e := newEnv(t)
+	in := &sliceRowIter{rows: [][]uint32{{1, 2}}}
+	if _, err := e.MaterializeRows(in, 3, true, op()); err == nil {
+		t.Error("field mismatch accepted")
+	}
+}
+
+func TestSortRowFileSmall(t *testing.T) {
+	e := newEnv(t)
+	in := &sliceRowIter{rows: [][]uint32{{5, 100}, {1, 300}, {3, 200}}}
+	rf, err := e.MaterializeRows(in, 2, true, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byField0, err := e.SortRowFile(rf, 0, 4096, 8, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it, err := byField0.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, rows := collectRows(t, it)
+	if !reflect.DeepEqual(rows, [][]uint32{{1, 300}, {3, 200}, {5, 100}}) {
+		t.Errorf("sorted rows = %v", rows)
+	}
+	// Seq numbers travel with their rows.
+	if !reflect.DeepEqual(seqs, []uint32{1, 2, 0}) {
+		t.Errorf("seqs = %v", seqs)
+	}
+	// Sorting by the second field reverses it.
+	byField1, err := e.SortRowFile(rf, 1, 4096, 8, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	it2, err := byField1.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows2 := collectRows(t, it2)
+	if !reflect.DeepEqual(rows2, [][]uint32{{5, 100}, {3, 200}, {1, 300}}) {
+		t.Errorf("sorted by field 1 = %v", rows2)
+	}
+	if _, err := e.SortRowFile(rf, 2, 4096, 8, op()); err == nil {
+		t.Error("bad field accepted")
+	}
+}
+
+func TestSortRowFileExternalRuns(t *testing.T) {
+	e := newEnv(t)
+	n := 5000
+	rows := make([][]uint32, n)
+	for i := range rows {
+		// Pseudo-random but deterministic keys.
+		rows[i] = []uint32{uint32((i*2654435761 + 1) % 100000), uint32(i)}
+	}
+	rf, err := e.MaterializeRows(&sliceRowIter{rows: rows}, 2, true, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tiny buffer (64 records) and fanin 3 force multiple merge passes.
+	o := op()
+	sortedRF, err := e.SortRowFile(rf, 0, 64*8, 3, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sortedRF.Count() != n {
+		t.Fatalf("lost rows: %d of %d", sortedRF.Count(), n)
+	}
+	it, err := sortedRF.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, got := collectRows(t, it)
+	for i := 1; i < len(got); i++ {
+		if got[i][0] < got[i-1][0] {
+			t.Fatalf("row %d out of order: %d < %d", i, got[i][0], got[i-1][0])
+		}
+	}
+	// All original second fields must survive.
+	var seconds []int
+	for _, r := range got {
+		seconds = append(seconds, int(r[1]))
+	}
+	sort.Ints(seconds)
+	for i, s := range seconds {
+		if s != i {
+			t.Fatalf("payload %d missing", i)
+		}
+	}
+}
+
+func TestSortEmptyFile(t *testing.T) {
+	e := newEnv(t)
+	rf, err := e.MaterializeRows(&sliceRowIter{}, 2, true, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := e.SortRowFile(rf, 0, 4096, 4, op())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("Count = %d", s.Count())
+	}
+	it, err := s.Iter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqs, _ := collectRows(t, it)
+	if seqs != nil {
+		t.Errorf("rows = %v", seqs)
+	}
+}
+
+func TestMergeRowsWithStream(t *testing.T) {
+	e := newEnv(t)
+	rows := &sliceRowIter{
+		rows: [][]uint32{{1, 10}, {2, 10}, {3, 20}, {4, 30}, {5, 30}},
+		seqs: []uint32{0, 1, 2, 3, 4},
+	}
+	// Rows sorted by field 1; stream covers 10 and 30 but not 20.
+	stream := &sliceKV{kvs: []KV{
+		{ID: 10, Val: value.NewString("ten")},
+		{ID: 15, Val: value.NewString("fifteen")},
+		{ID: 30, Val: value.NewString("thirty")},
+	}}
+	var matched []string
+	var seqs []uint32
+	o := op()
+	err := e.MergeRowsWithStream(rows, 1, stream, o, func(r Row, v value.Value) error {
+		matched = append(matched, v.Str())
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(matched, []string{"ten", "ten", "thirty", "thirty"}) {
+		t.Errorf("matched = %v", matched)
+	}
+	if !reflect.DeepEqual(seqs, []uint32{0, 1, 3, 4}) {
+		t.Errorf("seqs = %v (row with id 20 must be dropped)", seqs)
+	}
+	if o.TuplesIn != 5 || o.TuplesOut != 4 {
+		t.Errorf("op in=%d out=%d", o.TuplesIn, o.TuplesOut)
+	}
+}
+
+func TestMergeRowsWithEmptyStream(t *testing.T) {
+	e := newEnv(t)
+	rows := &sliceRowIter{rows: [][]uint32{{1}, {2}}}
+	count := 0
+	err := e.MergeRowsWithStream(rows, 0, &sliceKV{}, op(), func(Row, value.Value) error {
+		count++
+		return nil
+	})
+	if err != nil || count != 0 {
+		t.Errorf("empty stream matched %d, err %v", count, err)
+	}
+}
+
+func TestFilterRows(t *testing.T) {
+	e := newEnv(t)
+	in := &sliceRowIter{rows: [][]uint32{{1}, {2}, {3}, {4}}}
+	even := func(r Row) (bool, error) { return r.IDs[0]%2 == 0, nil }
+	big := func(r Row) (bool, error) { return r.IDs[0] > 2, nil }
+	o := op()
+	it := FilterRows(in, []RowFilter{even, big}, o)
+	_, rows := collectRows(t, it)
+	if !reflect.DeepEqual(rows, [][]uint32{{4}}) {
+		t.Errorf("filtered = %v", rows)
+	}
+	if o.TuplesIn != 4 || o.TuplesOut != 1 {
+		t.Errorf("op in=%d out=%d", o.TuplesIn, o.TuplesOut)
+	}
+	_ = e
+}
+
+func TestQuickSortRowFile(t *testing.T) {
+	e := newEnv(t)
+	f := func(keys []uint32, bufSeed, faninSeed uint8) bool {
+		if len(keys) > 500 {
+			keys = keys[:500]
+		}
+		rows := make([][]uint32, len(keys))
+		for i, k := range keys {
+			rows[i] = []uint32{k}
+		}
+		rf, err := e.MaterializeRows(&sliceRowIter{rows: rows}, 1, true, op())
+		if err != nil {
+			return false
+		}
+		buf := 64 + int(bufSeed)*8
+		fanin := 2 + int(faninSeed%5)
+		s, err := e.SortRowFile(rf, 0, buf, fanin, op())
+		if err != nil {
+			return false
+		}
+		it, err := s.Iter()
+		if err != nil {
+			return false
+		}
+		defer it.Close()
+		var got []uint32
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				return false
+			}
+			if !ok {
+				break
+			}
+			got = append(got, r.IDs[0])
+		}
+		want := append([]uint32(nil), keys...)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if err := e.Dev.ResetScratch(); err != nil {
+			return false
+		}
+		e.Dev.Flash.ResetStats()
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+	_ = stats.FormatBytes(0)
+}

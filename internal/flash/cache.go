@@ -1,0 +1,101 @@
+package flash
+
+import (
+	"fmt"
+)
+
+// Cache is a small LRU page cache used for random flash access (SKT
+// lookups, column fetches, climbing-index dictionary probes). The device
+// has only a handful of frames — their RAM is charged against the device
+// arena by the store layer that owns the cache.
+type Cache struct {
+	d      *Device
+	frames [][]byte
+	pages  []int   // page number held by each frame, -1 when empty
+	stamp  []int64 // last-use tick per frame
+	tick   int64
+
+	hits   int64
+	misses int64
+}
+
+// NewCache returns a cache with the given number of page frames.
+func NewCache(d *Device, frames int) (*Cache, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("flash: cache needs at least one frame, got %d", frames)
+	}
+	c := &Cache{
+		d:      d,
+		frames: make([][]byte, frames),
+		pages:  make([]int, frames),
+		stamp:  make([]int64, frames),
+	}
+	for i := range c.frames {
+		c.frames[i] = make([]byte, d.p.PageSize)
+		c.pages[i] = -1
+	}
+	return c, nil
+}
+
+// FootprintBytes reports the RAM the cache frames occupy.
+func (c *Cache) FootprintBytes() int { return len(c.frames) * c.d.p.PageSize }
+
+// Hits reports cache hits since creation or the last ResetStats.
+func (c *Cache) Hits() int64 { return c.hits }
+
+// Misses reports cache misses (each miss is one flash page read).
+func (c *Cache) Misses() int64 { return c.misses }
+
+// ResetStats zeroes the hit/miss counters.
+func (c *Cache) ResetStats() { c.hits, c.misses = 0, 0 }
+
+// Invalidate drops all cached pages. Must be called after the scratch
+// space is erased, since erased pages would otherwise read stale.
+func (c *Cache) Invalidate() {
+	for i := range c.pages {
+		c.pages[i] = -1
+	}
+}
+
+// page returns the frame holding the given page, loading it on a miss.
+func (c *Cache) page(page int) ([]byte, error) {
+	c.tick++
+	victim := 0
+	for i, p := range c.pages {
+		if p == page {
+			c.hits++
+			c.stamp[i] = c.tick
+			return c.frames[i], nil
+		}
+		if c.stamp[i] < c.stamp[victim] {
+			victim = i
+		}
+	}
+	c.misses++
+	if err := c.d.ReadPage(page, c.frames[victim]); err != nil {
+		return nil, err
+	}
+	c.pages[victim] = page
+	c.stamp[victim] = c.tick
+	return c.frames[victim], nil
+}
+
+// ReadAt fills dst from addr, serving whole pages through the cache.
+func (c *Cache) ReadAt(dst []byte, addr int64) error {
+	if addr < 0 || addr+int64(len(dst)) > c.d.p.TotalBytes() {
+		return fmt.Errorf("%w: cached read [%d, %d)", ErrOutOfRange, addr, addr+int64(len(dst)))
+	}
+	ps := int64(c.d.p.PageSize)
+	for len(dst) > 0 {
+		page := int(addr / ps)
+		off := int(addr % ps)
+		frame, err := c.page(page)
+		if err != nil {
+			return err
+		}
+		n := copy(dst, frame[off:])
+		dst = dst[n:]
+		addr += int64(n)
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+// Package flash simulates the smart USB device's external NAND flash store
+// (Figure 2 of the GhostDB paper): a gigabyte-class array of pages grouped
+// into erase blocks, where
+//
+//   - reads are page-granular and cheap,
+//   - programs (writes) cost 3–10× a read and a page can be programmed only
+//     once between erases (writes in place are precluded),
+//   - erases work on whole blocks and are the most expensive operation.
+//
+// Every operation charges its latency to the shared simulated clock, so
+// higher layers measure query cost in deterministic device time. Blocks are
+// materialized lazily, so a simulated multi-gigabyte device only consumes
+// host memory for the pages actually programmed.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/sim"
+)
+
+// Errors reported by the device.
+var (
+	ErrNotErased  = errors.New("flash: page programmed twice without erase")
+	ErrOutOfRange = errors.New("flash: address out of range")
+	ErrPageTooBig = errors.New("flash: program data exceeds page size")
+	ErrSpaceFull  = errors.New("flash: space exhausted")
+	ErrWriterOpen = errors.New("flash: space already has an open writer")
+	ErrWriterDone = errors.New("flash: writer already closed")
+)
+
+// Params describes the flash geometry and cost model.
+type Params struct {
+	PageSize      int // bytes per page
+	PagesPerBlock int // pages per erase block
+	Blocks        int // erase blocks on the device
+
+	ReadFixed   time.Duration // fixed cost of a page access
+	ReadPerByte time.Duration // per byte streamed out of the page
+	ProgFixed   time.Duration // fixed cost of programming a page
+	ProgPerByte time.Duration // per byte programmed
+	EraseFixed  time.Duration // cost of erasing one block
+}
+
+// Validate checks the geometry for sanity.
+func (p Params) Validate() error {
+	if p.PageSize <= 0 || p.PagesPerBlock <= 0 || p.Blocks <= 0 {
+		return fmt.Errorf("flash: invalid geometry %d/%d/%d", p.PageSize, p.PagesPerBlock, p.Blocks)
+	}
+	if p.ReadFixed < 0 || p.ProgFixed < 0 || p.EraseFixed < 0 {
+		return errors.New("flash: negative latencies")
+	}
+	return nil
+}
+
+// PageCount reports the total number of pages.
+func (p Params) PageCount() int { return p.PagesPerBlock * p.Blocks }
+
+// TotalBytes reports the device capacity in bytes.
+func (p Params) TotalBytes() int64 {
+	return int64(p.PageSize) * int64(p.PageCount())
+}
+
+// Stats counts flash operations and the simulated time they consumed.
+type Stats struct {
+	PageReads       int64
+	PagesProgrammed int64
+	BlockErases     int64
+	BytesRead       int64
+	BytesProgrammed int64
+	ReadTime        time.Duration
+	ProgTime        time.Duration
+	EraseTime       time.Duration
+}
+
+// Sub returns the difference s - o, used to attribute stats to a query.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		PageReads:       s.PageReads - o.PageReads,
+		PagesProgrammed: s.PagesProgrammed - o.PagesProgrammed,
+		BlockErases:     s.BlockErases - o.BlockErases,
+		BytesRead:       s.BytesRead - o.BytesRead,
+		BytesProgrammed: s.BytesProgrammed - o.BytesProgrammed,
+		ReadTime:        s.ReadTime - o.ReadTime,
+		ProgTime:        s.ProgTime - o.ProgTime,
+		EraseTime:       s.EraseTime - o.EraseTime,
+	}
+}
+
+// Device is a simulated NAND flash chip. It is not safe for concurrent use.
+type Device struct {
+	p     Params
+	clock *sim.Clock
+	// blocks[i] == nil means block i is fully erased and unmaterialized.
+	blocks []*block
+	stats  Stats
+}
+
+type block struct {
+	data       []byte // PagesPerBlock * PageSize
+	programmed []bool // per page
+}
+
+// New returns a device with the given geometry, charging to clock.
+func New(p Params, clock *sim.Clock) (*Device, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if clock == nil {
+		return nil, errors.New("flash: nil clock")
+	}
+	return &Device{p: p, clock: clock, blocks: make([]*block, p.Blocks)}, nil
+}
+
+// Params returns the device geometry and cost model.
+func (d *Device) Params() Params { return d.p }
+
+// Stats returns a snapshot of the operation counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the counters (the flash content is untouched).
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// ReadAt fills dst with the bytes at byte offset addr. Each distinct page
+// touched charges one page access plus the per-byte streaming cost. Erased
+// (never programmed) bytes read as 0xFF, matching NAND behaviour.
+func (d *Device) ReadAt(dst []byte, addr int64) error {
+	if addr < 0 || addr+int64(len(dst)) > d.p.TotalBytes() {
+		return fmt.Errorf("%w: read [%d, %d)", ErrOutOfRange, addr, addr+int64(len(dst)))
+	}
+	ps := int64(d.p.PageSize)
+	for len(dst) > 0 {
+		page := addr / ps
+		off := int(addr % ps)
+		n := d.p.PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		d.chargeRead(n)
+		d.copyOut(dst[:n], int(page), off)
+		dst = dst[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// ReadPage reads one full page into dst (which must be PageSize long).
+func (d *Device) ReadPage(page int, dst []byte) error {
+	if page < 0 || page >= d.p.PageCount() {
+		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	if len(dst) != d.p.PageSize {
+		return fmt.Errorf("flash: ReadPage buffer %d, want %d", len(dst), d.p.PageSize)
+	}
+	d.chargeRead(d.p.PageSize)
+	d.copyOut(dst, page, 0)
+	return nil
+}
+
+// ProgramPage writes data (at most one page) to the given page. The page
+// must be in the erased state; NAND forbids reprogramming.
+func (d *Device) ProgramPage(page int, data []byte) error {
+	if page < 0 || page >= d.p.PageCount() {
+		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+	}
+	if len(data) > d.p.PageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageTooBig, len(data), d.p.PageSize)
+	}
+	b := d.materialize(page / d.p.PagesPerBlock)
+	slot := page % d.p.PagesPerBlock
+	if b.programmed[slot] {
+		return fmt.Errorf("%w: page %d", ErrNotErased, page)
+	}
+	b.programmed[slot] = true
+	copy(b.data[slot*d.p.PageSize:], data)
+	d.stats.PagesProgrammed++
+	d.stats.BytesProgrammed += int64(len(data))
+	t := d.p.ProgFixed + time.Duration(len(data))*d.p.ProgPerByte
+	d.stats.ProgTime += t
+	d.clock.Advance(t)
+	return nil
+}
+
+// EraseBlock resets every page of the block to the erased (0xFF) state.
+func (d *Device) EraseBlock(blockIdx int) error {
+	if blockIdx < 0 || blockIdx >= d.p.Blocks {
+		return fmt.Errorf("%w: block %d", ErrOutOfRange, blockIdx)
+	}
+	d.blocks[blockIdx] = nil // back to unmaterialized erased state
+	d.stats.BlockErases++
+	d.stats.EraseTime += d.p.EraseFixed
+	d.clock.Advance(d.p.EraseFixed)
+	return nil
+}
+
+// PageProgrammed reports whether the page has been programmed since the
+// last erase of its block.
+func (d *Device) PageProgrammed(page int) bool {
+	b := d.blocks[page/d.p.PagesPerBlock]
+	if b == nil {
+		return false
+	}
+	return b.programmed[page%d.p.PagesPerBlock]
+}
+
+func (d *Device) chargeRead(n int) {
+	d.stats.PageReads++
+	d.stats.BytesRead += int64(n)
+	t := d.p.ReadFixed + time.Duration(n)*d.p.ReadPerByte
+	d.stats.ReadTime += t
+	d.clock.Advance(t)
+}
+
+func (d *Device) copyOut(dst []byte, page, off int) {
+	b := d.blocks[page/d.p.PagesPerBlock]
+	if b == nil {
+		for i := range dst {
+			dst[i] = 0xFF
+		}
+		return
+	}
+	start := (page%d.p.PagesPerBlock)*d.p.PageSize + off
+	copy(dst, b.data[start:start+len(dst)])
+}
+
+func (d *Device) materialize(blockIdx int) *block {
+	b := d.blocks[blockIdx]
+	if b == nil {
+		data := make([]byte, d.p.PagesPerBlock*d.p.PageSize)
+		for i := range data {
+			data[i] = 0xFF
+		}
+		b = &block{data: data, programmed: make([]bool, d.p.PagesPerBlock)}
+		d.blocks[blockIdx] = b
+	}
+	return b
+}

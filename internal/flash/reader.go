@@ -1,0 +1,103 @@
+package flash
+
+import (
+	"fmt"
+	"io"
+)
+
+// Reader streams an extent sequentially through a single-page buffer,
+// implementing io.Reader and io.ByteReader. It is the device-side way of
+// scanning a region (posting list, sort run, spilled intermediate) with
+// one page of RAM; the caller accounts that page against the device arena.
+type Reader struct {
+	d   *Device
+	ext Extent
+	off int64 // read position within the extent
+
+	buf      []byte // page-sized scratch
+	bufAddr  int64  // absolute address of buf[0]; -1 when empty
+	bufValid int    // valid bytes in buf
+}
+
+// NewReader returns a reader over ext. The page buffer is allocated here;
+// callers charge PageSize bytes to their arena per concurrently open
+// reader (exec does this via its stream grants).
+func NewReader(d *Device, ext Extent) *Reader {
+	return &Reader{d: d, ext: ext, buf: make([]byte, d.p.PageSize), bufAddr: -1}
+}
+
+// Remaining reports the bytes left to read.
+func (r *Reader) Remaining() int64 { return r.ext.Len - r.off }
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.Remaining() <= 0 {
+		return 0, io.EOF
+	}
+	total := 0
+	for len(p) > 0 && r.Remaining() > 0 {
+		if err := r.fill(); err != nil {
+			return total, err
+		}
+		abs := r.ext.Start + r.off
+		within := int(abs - r.bufAddr)
+		n := r.bufValid - within
+		if int64(n) > r.Remaining() {
+			n = int(r.Remaining())
+		}
+		if n > len(p) {
+			n = len(p)
+		}
+		copy(p, r.buf[within:within+n])
+		p = p[n:]
+		r.off += int64(n)
+		total += n
+	}
+	return total, nil
+}
+
+// ReadByte implements io.ByteReader, the interface codec.ListDecoder needs.
+func (r *Reader) ReadByte() (byte, error) {
+	if r.Remaining() <= 0 {
+		return 0, io.EOF
+	}
+	if err := r.fill(); err != nil {
+		return 0, err
+	}
+	abs := r.ext.Start + r.off
+	b := r.buf[abs-r.bufAddr]
+	r.off++
+	return b, nil
+}
+
+// Skip advances the read position by n bytes without touching flash for
+// the skipped pages.
+func (r *Reader) Skip(n int64) error {
+	if n < 0 || n > r.Remaining() {
+		return fmt.Errorf("flash: skip %d with %d remaining", n, r.Remaining())
+	}
+	r.off += n
+	return nil
+}
+
+// fill ensures the buffer holds the page containing the current position.
+func (r *Reader) fill() error {
+	abs := r.ext.Start + r.off
+	ps := int64(r.d.p.PageSize)
+	pageStart := (abs / ps) * ps
+	if r.bufAddr == pageStart && int(abs-pageStart) < r.bufValid {
+		return nil
+	}
+	// Read the whole page: the device streams full pages; partial reads of
+	// the final page of the extent still cost a page access.
+	n := ps
+	if pageStart+n > r.d.p.TotalBytes() {
+		n = r.d.p.TotalBytes() - pageStart
+	}
+	if err := r.d.ReadAt(r.buf[:n], pageStart); err != nil {
+		return err
+	}
+	r.bufAddr = pageStart
+	r.bufValid = int(n)
+	return nil
+}

@@ -1,0 +1,182 @@
+package flash
+
+import (
+	"fmt"
+)
+
+// Extent identifies a contiguous byte region on flash.
+type Extent struct {
+	Start int64 // absolute byte offset of the first byte
+	Len   int64 // region length in bytes
+}
+
+// End returns the byte offset one past the extent.
+func (e Extent) End() int64 { return e.Start + e.Len }
+
+// Space is an append-only allocator over a contiguous range of blocks.
+// GhostDB partitions the flash into a main space (database and indexes,
+// written once during the secure bulk load) and a scratch space (sort runs
+// and spilled intermediates, erased between uses). Regions are page
+// aligned; within a region bytes are contiguous.
+type Space struct {
+	d          *Device
+	firstBlock int
+	blocks     int
+	nextPage   int // absolute page index of the next free page
+	writerOpen bool
+}
+
+// NewSpace carves a space out of blocks [firstBlock, firstBlock+blocks).
+func NewSpace(d *Device, firstBlock, blocks int) (*Space, error) {
+	if firstBlock < 0 || blocks <= 0 || firstBlock+blocks > d.p.Blocks {
+		return nil, fmt.Errorf("flash: space [%d,%d) outside device", firstBlock, firstBlock+blocks)
+	}
+	return &Space{
+		d:          d,
+		firstBlock: firstBlock,
+		blocks:     blocks,
+		nextPage:   firstBlock * d.p.PagesPerBlock,
+	}, nil
+}
+
+// Device returns the underlying flash device.
+func (s *Space) Device() *Device { return s.d }
+
+func (s *Space) limitPage() int {
+	return (s.firstBlock + s.blocks) * s.d.p.PagesPerBlock
+}
+
+// UsedPages reports the number of pages consumed so far.
+func (s *Space) UsedPages() int {
+	return s.nextPage - s.firstBlock*s.d.p.PagesPerBlock
+}
+
+// UsedBytes reports the page-aligned footprint of the space.
+func (s *Space) UsedBytes() int64 {
+	return int64(s.UsedPages()) * int64(s.d.p.PageSize)
+}
+
+// FreeBytes reports how many bytes can still be appended.
+func (s *Space) FreeBytes() int64 {
+	return int64(s.limitPage()-s.nextPage) * int64(s.d.p.PageSize)
+}
+
+// AppendRegion writes data as a new page-aligned region and returns its
+// extent. Used by the bulk loader, which builds regions in host memory
+// (the initial load happens "in a secure setting" per the paper, outside
+// the device RAM budget).
+func (s *Space) AppendRegion(data []byte) (Extent, error) {
+	w, err := s.NewWriter()
+	if err != nil {
+		return Extent{}, err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.abort()
+		return Extent{}, err
+	}
+	return w.Close()
+}
+
+// Reset erases every block the space has touched and rewinds it. Used for
+// the scratch space between queries and between multi-pass phases.
+func (s *Space) Reset() error {
+	if s.writerOpen {
+		return ErrWriterOpen
+	}
+	ppb := s.d.p.PagesPerBlock
+	usedBlocks := (s.UsedPages() + ppb - 1) / ppb
+	for i := 0; i < usedBlocks; i++ {
+		if err := s.d.EraseBlock(s.firstBlock + i); err != nil {
+			return err
+		}
+	}
+	s.nextPage = s.firstBlock * ppb
+	return nil
+}
+
+// Writer streams bytes into a new region of a space, programming full
+// pages as they fill. Only one writer may be open per space at a time.
+// The writer's page buffer is the caller's RAM responsibility (one page).
+type Writer struct {
+	s      *Space
+	buf    []byte
+	start  int64
+	length int64
+	closed bool
+}
+
+// NewWriter opens a streaming writer positioned at the next free page.
+func (s *Space) NewWriter() (*Writer, error) {
+	if s.writerOpen {
+		return nil, ErrWriterOpen
+	}
+	s.writerOpen = true
+	return &Writer{
+		s:     s,
+		buf:   make([]byte, 0, s.d.p.PageSize),
+		start: int64(s.nextPage) * int64(s.d.p.PageSize),
+	}, nil
+}
+
+// Write buffers p, programming pages as they fill. It returns ErrSpaceFull
+// when the space has no room left.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, ErrWriterDone
+	}
+	total := 0
+	ps := w.s.d.p.PageSize
+	for len(p) > 0 {
+		room := ps - len(w.buf)
+		take := room
+		if take > len(p) {
+			take = len(p)
+		}
+		w.buf = append(w.buf, p[:take]...)
+		p = p[take:]
+		total += take
+		w.length += int64(take)
+		if len(w.buf) == ps {
+			if err := w.flushPage(); err != nil {
+				return total, err
+			}
+		}
+	}
+	return total, nil
+}
+
+// Len reports the number of bytes written so far.
+func (w *Writer) Len() int64 { return w.length }
+
+// Close flushes the final partial page and returns the region's extent.
+func (w *Writer) Close() (Extent, error) {
+	if w.closed {
+		return Extent{}, ErrWriterDone
+	}
+	if len(w.buf) > 0 {
+		if err := w.flushPage(); err != nil {
+			w.abort()
+			return Extent{}, err
+		}
+	}
+	w.closed = true
+	w.s.writerOpen = false
+	return Extent{Start: w.start, Len: w.length}, nil
+}
+
+func (w *Writer) flushPage() error {
+	if w.s.nextPage >= w.s.limitPage() {
+		return fmt.Errorf("%w: %d pages", ErrSpaceFull, w.s.UsedPages())
+	}
+	if err := w.s.d.ProgramPage(w.s.nextPage, w.buf); err != nil {
+		return err
+	}
+	w.s.nextPage++
+	w.buf = w.buf[:0]
+	return nil
+}
+
+func (w *Writer) abort() {
+	w.closed = true
+	w.s.writerOpen = false
+}

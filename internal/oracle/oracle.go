@@ -1,0 +1,175 @@
+// Package oracle is the correctness reference for GhostDB's engine: a
+// naive evaluator that sees the whole database in host memory (no
+// hidden/visible split, no device constraints) and computes SPJ results
+// with the same tree-join semantics — one result row per query-root tuple
+// whose foreign-key chain satisfies every predicate, in root ID order.
+// Integration and property tests compare the engine against it.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Oracle evaluates queries over in-memory columnar data.
+type Oracle struct {
+	sch  *schema.Schema
+	cols map[string][][]value.Value // table -> columns in schema order
+	rows map[string]int
+	fks  map[string][]uint32 // "table.fkcol" -> per-row referenced ID
+}
+
+// New builds an oracle. cols maps each table to its columns in schema
+// declaration order; the schema must be frozen.
+func New(sch *schema.Schema, cols map[string][][]value.Value) (*Oracle, error) {
+	if !sch.Frozen() {
+		return nil, fmt.Errorf("oracle: schema not frozen")
+	}
+	o := &Oracle{sch: sch, cols: map[string][][]value.Value{}, rows: map[string]int{}, fks: map[string][]uint32{}}
+	for _, t := range sch.Tables() {
+		tc, ok := cols[t.Name]
+		if !ok || len(tc) != len(t.Columns) {
+			return nil, fmt.Errorf("oracle: missing columns for %s", t.Name)
+		}
+		o.cols[strings.ToLower(t.Name)] = tc
+		n := 0
+		if len(tc) > 0 {
+			n = len(tc[0])
+		}
+		o.rows[strings.ToLower(t.Name)] = n
+		for i, c := range t.Columns {
+			if !c.IsForeignKey() {
+				continue
+			}
+			ids := make([]uint32, n)
+			for r, v := range tc[i] {
+				ids[r] = uint32(v.Int())
+			}
+			o.fks[strings.ToLower(t.Name+"."+c.Name)] = ids
+		}
+	}
+	return o, nil
+}
+
+// valueAt returns table.col for row id (1-based).
+func (o *Oracle) valueAt(table, col string, id uint32) (value.Value, error) {
+	t, ok := o.sch.Table(table)
+	if !ok {
+		return value.Value{}, fmt.Errorf("oracle: unknown table %s", table)
+	}
+	idx := t.ColumnIndex(col)
+	if idx < 0 {
+		return value.Value{}, fmt.Errorf("oracle: no column %s.%s", table, col)
+	}
+	tc := o.cols[strings.ToLower(t.Name)]
+	if id == 0 || int(id) > len(tc[idx]) {
+		return value.Value{}, fmt.Errorf("oracle: id %d out of range for %s", id, table)
+	}
+	return tc[idx][id-1], nil
+}
+
+// Query evaluates a SELECT and returns column labels plus rows in
+// query-root ID order — the same contract as the engine.
+func (o *Oracle) Query(sqlText string) ([]string, [][]value.Value, error) {
+	sel, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := plan.Bind(o.sch, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	var cols []string
+	for _, c := range q.Projs {
+		cols = append(cols, c.String())
+	}
+	// Query-root granularity: since the query root may differ from the
+	// schema root, enumerate the query root's own IDs directly.
+	n := o.rows[strings.ToLower(q.Root.Name)]
+	var out [][]value.Value
+	for id := uint32(1); int(id) <= n; id++ {
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+		ok, err := o.matches(q, id)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			continue
+		}
+		row := make([]value.Value, len(q.Projs))
+		for j, c := range q.Projs {
+			mid, err := o.descendFrom(q.Root.Name, id, c.Table)
+			if err != nil {
+				return nil, nil, err
+			}
+			v, err := o.valueAt(c.Table, c.Column, mid)
+			if err != nil {
+				return nil, nil, err
+			}
+			row[j] = v
+		}
+		out = append(out, row)
+	}
+	return cols, out, nil
+}
+
+// descendFrom walks from a query-root tuple down to target.
+func (o *Oracle) descendFrom(from string, fromID uint32, target string) (uint32, error) {
+	if strings.EqualFold(from, target) {
+		return fromID, nil
+	}
+	// path from target up to the schema root passes through `from`.
+	path := o.sch.PathToRoot(target)
+	// Find `from` in the path, then walk downward.
+	start := -1
+	for i, t := range path {
+		if strings.EqualFold(t.Name, from) {
+			start = i
+			break
+		}
+	}
+	if start <= 0 {
+		return 0, fmt.Errorf("oracle: %s is not an ancestor of %s", from, target)
+	}
+	id := fromID
+	for i := start; i > 0; i-- {
+		parent := path[i]
+		child := path[i-1]
+		_, fk := o.sch.Parent(child.Name)
+		ids := o.fks[strings.ToLower(parent.Name+"."+fk.Name)]
+		if id == 0 || int(id) > len(ids) {
+			return 0, fmt.Errorf("oracle: dangling FK at %s", parent.Name)
+		}
+		id = ids[id-1]
+	}
+	return id, nil
+}
+
+// matches evaluates every predicate against the query-root tuple.
+func (o *Oracle) matches(q *plan.Query, rootID uint32) (bool, error) {
+	for _, p := range q.Preds {
+		mid, err := o.descendFrom(q.Root.Name, rootID, p.Col.Table)
+		if err != nil {
+			return false, err
+		}
+		v, err := o.valueAt(p.Col.Table, p.Col.Column, mid)
+		if err != nil {
+			return false, err
+		}
+		ok, err := p.P.Eval(v)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}

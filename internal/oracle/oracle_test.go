@@ -1,0 +1,152 @@
+package oracle
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// fixture: Doctor(2) <- Visit(4) <- Prescription(6), hand-checkable.
+func fixture(t *testing.T) (*schema.Schema, map[string][][]value.Value) {
+	t.Helper()
+	s := schema.New()
+	pk := func(n string) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.Int}, PrimaryKey: true}
+	}
+	mk := func(name string, cols ...schema.Column) {
+		tb, err := schema.NewTable(name, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("Doctor", pk("DocID"),
+		schema.Column{Name: "Country", Type: schema.Type{Kind: value.String}})
+	mk("Visit", pk("VisID"),
+		schema.Column{Name: "Purpose", Type: schema.Type{Kind: value.String}, Hidden: true},
+		schema.Column{Name: "DocID", Type: schema.Type{Kind: value.Int}, RefTable: "Doctor", Hidden: true})
+	mk("Prescription", pk("PreID"),
+		schema.Column{Name: "Quantity", Type: schema.Type{Kind: value.Int}, Hidden: true},
+		schema.Column{Name: "VisID", Type: schema.Type{Kind: value.Int}, RefTable: "Visit", Hidden: true})
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ints := func(xs ...int64) []value.Value {
+		out := make([]value.Value, len(xs))
+		for i, x := range xs {
+			out[i] = value.NewInt(x)
+		}
+		return out
+	}
+	strs := func(xs ...string) []value.Value {
+		out := make([]value.Value, len(xs))
+		for i, x := range xs {
+			out[i] = value.NewString(x)
+		}
+		return out
+	}
+	cols := map[string][][]value.Value{
+		"Doctor": {ints(1, 2), strs("France", "Spain")},
+		"Visit": {ints(1, 2, 3, 4),
+			strs("Checkup", "Sclerosis", "Sclerosis", "Flu"),
+			ints(1, 2, 1, 2)},
+		"Prescription": {ints(1, 2, 3, 4, 5, 6),
+			ints(10, 20, 30, 40, 50, 60),
+			ints(1, 1, 2, 3, 4, 4)},
+	}
+	return s, cols
+}
+
+func TestOracleSimpleSelection(t *testing.T) {
+	s, cols := fixture(t)
+	o, err := New(s, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colsOut, rows, err := o.Query(`SELECT PreID, Quantity FROM Prescription WHERE Quantity > 35`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(colsOut, []string{"Prescription.PreID", "Prescription.Quantity"}) {
+		t.Errorf("cols = %v", colsOut)
+	}
+	want := [][]int64{{4, 40}, {5, 50}, {6, 60}}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %v", rows)
+	}
+	for i, w := range want {
+		if rows[i][0].Int() != w[0] || rows[i][1].Int() != w[1] {
+			t.Errorf("row %d = %v", i, rows[i])
+		}
+	}
+}
+
+func TestOracleJoinsTwoLevels(t *testing.T) {
+	s, cols := fixture(t)
+	o, err := New(s, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spanish doctors: doc 2 -> visits 2, 4 -> prescriptions 3, 5, 6.
+	_, rows, err := o.Query(`SELECT Pre.PreID, Doc.Country FROM Prescription Pre, Visit Vis, Doctor Doc
+		WHERE Doc.Country = 'Spain'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int64
+	for _, r := range rows {
+		ids = append(ids, r[0].Int())
+		if r[1].Str() != "Spain" {
+			t.Errorf("projected country %v", r[1])
+		}
+	}
+	if !reflect.DeepEqual(ids, []int64{3, 5, 6}) {
+		t.Errorf("ids = %v", ids)
+	}
+}
+
+func TestOracleQueryRootBelowSchemaRoot(t *testing.T) {
+	s, cols := fixture(t)
+	o, err := New(s, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rows, err := o.Query(`SELECT Vis.VisID FROM Visit Vis, Doctor Doc
+		WHERE Vis.Purpose = 'Sclerosis' AND Doc.Country = 'France'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sclerosis visits: 2 (doc 2), 3 (doc 1); French: visit 3 only.
+	if len(rows) != 1 || rows[0][0].Int() != 3 {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestOracleErrors(t *testing.T) {
+	s, cols := fixture(t)
+	if _, err := New(schema.New(), nil); err == nil {
+		t.Error("unfrozen schema accepted")
+	}
+	broken := map[string][][]value.Value{}
+	if _, err := New(s, broken); err == nil {
+		t.Error("missing columns accepted")
+	}
+	o, err := New(s, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		`SELECT X FROM Prescription`,
+		`SELECT PreID FROM Ghost`,
+		`garbage`,
+	}
+	for _, q := range bad {
+		if _, _, err := o.Query(q); err == nil {
+			t.Errorf("Query(%q) succeeded", q)
+		}
+	}
+}

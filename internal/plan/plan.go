@@ -1,0 +1,270 @@
+// Package plan binds SPJ queries against the GhostDB catalog and
+// enumerates the paper's query execution strategies: for every visible
+// predicate, Pre-filtering (ship the ID list, translate through climbing
+// indexes, intersect before touching the SKT) or Post-filtering (ship a
+// Bloom filter, probe after the hidden joins); plus Cross-filtering
+// (combine selectivities level by level before climbing). A cost model
+// over the device profile ranks the candidate plans — "depending on the
+// selectivities, a Pre-filtering or Post-filtering strategy can be
+// selected per predicate" (Section 4).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Col is a bound column reference.
+type Col struct {
+	Table  string // catalog table name
+	Column string // catalog column name
+	Kind   value.Kind
+	Hidden bool
+}
+
+// String renders Table.Column.
+func (c Col) String() string { return c.Table + "." + c.Column }
+
+// Pred is a bound selection predicate.
+type Pred struct {
+	Col Col
+	P   pred.P
+}
+
+// Hidden reports whether the predicate touches a hidden column — such
+// predicates may only be evaluated inside the device.
+func (p Pred) Hidden() bool { return p.Col.Hidden }
+
+// String renders the predicate.
+func (p Pred) String() string { return p.Col.String() + " " + p.P.String() }
+
+// Query is a bound SPJ query over the tree schema.
+type Query struct {
+	SQL    string
+	Schema *schema.Schema
+	Root   *schema.Table // query root: result granularity
+	Tables []string      // FROM tables, catalog names, no duplicates
+	Projs  []Col         // projection list in SELECT order
+	Preds  []Pred        // conjunctive selections
+	Limit  int           // result row cap (0 = none); order is root-ID
+}
+
+// Bind resolves a parsed SELECT against the schema: FROM tables and
+// aliases, the query root, projection columns, selection predicates with
+// literals coerced to column kinds, and join predicates validated to lie
+// on foreign-key edges of the tree.
+func Bind(sch *schema.Schema, sel *sql.Select) (*Query, error) {
+	q := &Query{SQL: sel.String(), Schema: sch, Limit: sel.Limit}
+
+	// Resolve FROM: alias (or table name) -> catalog table.
+	aliases := map[string]*schema.Table{}
+	seen := map[string]bool{}
+	for _, ref := range sel.From {
+		t, ok := sch.Table(ref.Table)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %s", ref.Table)
+		}
+		if seen[t.Name] {
+			return nil, fmt.Errorf("plan: table %s appears twice in FROM (self joins are outside GhostDB's tree-query scope)", t.Name)
+		}
+		seen[t.Name] = true
+		q.Tables = append(q.Tables, t.Name)
+		key := strings.ToLower(ref.Table)
+		if ref.Alias != "" {
+			key = strings.ToLower(ref.Alias)
+		}
+		if _, dup := aliases[key]; dup {
+			return nil, fmt.Errorf("plan: duplicate alias %q", key)
+		}
+		aliases[key] = t
+	}
+	root, err := sch.QueryRoot(q.Tables)
+	if err != nil {
+		return nil, err
+	}
+	q.Root = root
+
+	resolve := func(ref sql.ColRef) (Col, error) {
+		if ref.Qualifier != "" {
+			t, ok := aliases[strings.ToLower(ref.Qualifier)]
+			if !ok {
+				// Allow the catalog table name even when aliased.
+				if ct, ok2 := sch.Table(ref.Qualifier); ok2 && seen[ct.Name] {
+					t = ct
+				} else {
+					return Col{}, fmt.Errorf("plan: unknown table or alias %q", ref.Qualifier)
+				}
+			}
+			c, ok := t.Column(ref.Column)
+			if !ok {
+				return Col{}, fmt.Errorf("plan: no column %s.%s", t.Name, ref.Column)
+			}
+			return Col{Table: t.Name, Column: c.Name, Kind: c.Type.Kind, Hidden: c.Hidden}, nil
+		}
+		var found *Col
+		for _, name := range q.Tables {
+			t, _ := sch.Table(name)
+			if c, ok := t.Column(ref.Column); ok {
+				if found != nil {
+					return Col{}, fmt.Errorf("plan: column %s is ambiguous", ref.Column)
+				}
+				found = &Col{Table: t.Name, Column: c.Name, Kind: c.Type.Kind, Hidden: c.Hidden}
+			}
+		}
+		if found == nil {
+			return Col{}, fmt.Errorf("plan: unknown column %s", ref.Column)
+		}
+		return *found, nil
+	}
+
+	// Projections.
+	for _, item := range sel.Items {
+		if item.Star {
+			for _, name := range q.Tables {
+				t, _ := sch.Table(name)
+				for _, c := range t.Columns {
+					q.Projs = append(q.Projs, Col{Table: t.Name, Column: c.Name, Kind: c.Type.Kind, Hidden: c.Hidden})
+				}
+			}
+			continue
+		}
+		c, err := resolve(item.Col)
+		if err != nil {
+			return nil, err
+		}
+		q.Projs = append(q.Projs, c)
+	}
+	if len(q.Projs) == 0 {
+		return nil, fmt.Errorf("plan: empty projection list")
+	}
+
+	// Conditions.
+	for _, cond := range sel.Where {
+		if j, ok := cond.(*sql.Join); ok {
+			if err := validateJoin(sch, resolve, j); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		var colRef sql.ColRef
+		switch c := cond.(type) {
+		case *sql.Compare:
+			colRef = c.Col
+		case *sql.Between:
+			colRef = c.Col
+		case *sql.In:
+			colRef = c.Col
+		default:
+			return nil, fmt.Errorf("plan: unsupported condition %T", cond)
+		}
+		col, err := resolve(colRef)
+		if err != nil {
+			return nil, err
+		}
+		p, err := pred.FromCondition(cond)
+		if err != nil {
+			return nil, err
+		}
+		if p, err = coercePred(p, col.Kind); err != nil {
+			return nil, fmt.Errorf("plan: predicate on %s: %w", col, err)
+		}
+		q.Preds = append(q.Preds, Pred{Col: col, P: p})
+	}
+	return q, nil
+}
+
+// coercePred coerces the predicate's literals to the column kind, so
+// date strings written in the paper's formats compare correctly.
+func coercePred(p pred.P, kind value.Kind) (pred.P, error) {
+	var err error
+	switch p.Form {
+	case pred.FormCompare:
+		p.Val, err = value.Coerce(p.Val, kind)
+	case pred.FormBetween:
+		if p.Lo, err = value.Coerce(p.Lo, kind); err == nil {
+			p.Hi, err = value.Coerce(p.Hi, kind)
+		}
+	case pred.FormIn:
+		set := make([]value.Value, len(p.Set))
+		for i, v := range p.Set {
+			if set[i], err = value.Coerce(v, kind); err != nil {
+				break
+			}
+		}
+		p.Set = set
+	}
+	return p, err
+}
+
+// validateJoin checks a join predicate lies on a foreign-key edge between
+// two FROM tables (either side may be the referencing table).
+func validateJoin(sch *schema.Schema, resolve func(sql.ColRef) (Col, error), j *sql.Join) error {
+	l, err := resolve(j.Left)
+	if err != nil {
+		return err
+	}
+	r, err := resolve(j.Right)
+	if err != nil {
+		return err
+	}
+	if isFKEdge(sch, l, r) || isFKEdge(sch, r, l) {
+		return nil
+	}
+	return fmt.Errorf("plan: join %s = %s does not follow a foreign-key edge of the tree schema", l, r)
+}
+
+// isFKEdge reports whether fkSide.Column is a foreign key referencing
+// pkSide's primary key.
+func isFKEdge(sch *schema.Schema, fkSide, pkSide Col) bool {
+	t, ok := sch.Table(fkSide.Table)
+	if !ok {
+		return false
+	}
+	c, ok := t.Column(fkSide.Column)
+	if !ok || !c.IsForeignKey() {
+		return false
+	}
+	if !strings.EqualFold(c.RefTable, pkSide.Table) {
+		return false
+	}
+	return strings.EqualFold(c.RefColumn, pkSide.Column)
+}
+
+// TablesWithVisibleProjection returns the set of tables from which the
+// query projects at least one visible column.
+func (q *Query) TablesWithVisibleProjection() map[string]bool {
+	out := map[string]bool{}
+	for _, c := range q.Projs {
+		if !c.Hidden {
+			out[c.Table] = true
+		}
+	}
+	return out
+}
+
+// VisiblePreds returns the indexes into Preds of visible predicates.
+func (q *Query) VisiblePreds() []int {
+	var out []int
+	for i, p := range q.Preds {
+		if !p.Hidden() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// HiddenPreds returns the indexes into Preds of hidden predicates.
+func (q *Query) HiddenPreds() []int {
+	var out []int
+	for i, p := range q.Preds {
+		if p.Hidden() {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/bus"
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// figure3 builds the paper's schema.
+func figure3(t *testing.T) *schema.Schema {
+	t.Helper()
+	s := schema.New()
+	pk := func(n string) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.Int}, PrimaryKey: true}
+	}
+	str := func(n string, hidden bool) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.String}, Hidden: hidden}
+	}
+	fk := func(n, ref string) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.Int}, RefTable: ref, Hidden: true}
+	}
+	mk := func(name string, cols ...schema.Column) {
+		tb, err := schema.NewTable(name, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("Doctor", pk("DocID"), str("Name", false), str("Country", false))
+	mk("Patient", pk("PatID"), str("Name", true),
+		schema.Column{Name: "Age", Type: schema.Type{Kind: value.Int}})
+	mk("Medicine", pk("MedID"), str("Name", false), str("Type", false))
+	mk("Visit", pk("VisID"),
+		schema.Column{Name: "Date", Type: schema.Type{Kind: value.Date}},
+		str("Purpose", true), fk("DocID", "Doctor"), fk("PatID", "Patient"))
+	mk("Prescription", pk("PreID"),
+		schema.Column{Name: "Quantity", Type: schema.Type{Kind: value.Int}, Hidden: true},
+		fk("MedID", "Medicine"), fk("VisID", "Visit"))
+	if err := s.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func bind(t *testing.T, s *schema.Schema, q string) *Query {
+	t.Helper()
+	sel, err := sql.ParseSelect(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := Bind(s, sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bq
+}
+
+func TestBindPaperQuery(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Med.Name, Pre.Quantity, Vis.Date
+		FROM Medicine Med, Prescription Pre, Visit Vis
+		WHERE Vis.Date > 05-11-2006 AND Vis.Purpose = 'Sclerosis'
+		AND Med.Type = 'Antibiotic' AND Med.MedID = Pre.MedID AND Vis.VisID = Pre.VisID`)
+	if q.Root.Name != "Prescription" {
+		t.Errorf("root = %s", q.Root.Name)
+	}
+	if len(q.Preds) != 3 {
+		t.Fatalf("%d preds (joins must be stripped)", len(q.Preds))
+	}
+	if !q.Preds[1].Hidden() || q.Preds[0].Hidden() || q.Preds[2].Hidden() {
+		t.Error("hidden classification wrong")
+	}
+	// Date literal coerced to Date kind.
+	if q.Preds[0].P.Val.Kind() != value.Date {
+		t.Errorf("date literal kind = %v", q.Preds[0].P.Val.Kind())
+	}
+	if got := q.Projs[1].String(); got != "Prescription.Quantity" {
+		t.Errorf("proj[1] = %s", got)
+	}
+	if vis := q.VisiblePreds(); len(vis) != 2 {
+		t.Errorf("visible preds = %v", vis)
+	}
+	if hid := q.HiddenPreds(); len(hid) != 1 || hid[0] != 1 {
+		t.Errorf("hidden preds = %v", hid)
+	}
+	if tv := q.TablesWithVisibleProjection(); !tv["Medicine"] || !tv["Visit"] || tv["Prescription"] {
+		t.Errorf("visible projection tables = %v", tv)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	s := figure3(t)
+	bad := []string{
+		`SELECT X FROM Ghost`,
+		`SELECT Nope FROM Doctor`,
+		`SELECT Doc.Name FROM Doctor Doc, Doctor D2`,                                    // self join
+		`SELECT Name FROM Doctor Doc, Medicine Med`,                                     // ambiguous Name + sibling set
+		`SELECT Doc.Name FROM Doctor Doc, Patient Pat`,                                  // siblings, no root
+		`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Name = 5`,                            // type mismatch... string vs int is incomparable
+		`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Date = 'nope'`,                       // bad date literal
+		`SELECT V.VisID FROM Visit V WHERE X.Y = 1`,                                     // unknown alias
+		`SELECT Pre.PreID FROM Prescription Pre, Visit Vis WHERE Pre.PreID = Vis.VisID`, // non-FK join
+	}
+	for _, qs := range bad {
+		sel, err := sql.ParseSelect(qs)
+		if err != nil {
+			t.Fatalf("parse %q: %v", qs, err)
+		}
+		if _, err := Bind(s, sel); err == nil {
+			t.Errorf("Bind(%q) succeeded", qs)
+		}
+	}
+}
+
+func TestBindQualifierByTableName(t *testing.T) {
+	s := figure3(t)
+	// Even when aliased, the catalog table name resolves.
+	q := bind(t, s, `SELECT Visit.Date FROM Visit V WHERE Visit.Purpose = 'x'`)
+	if q.Projs[0].Table != "Visit" {
+		t.Errorf("projs = %v", q.Projs)
+	}
+}
+
+func TestBindStar(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT * FROM Visit Vis, Doctor Doc`)
+	// Visit has 5 columns, Doctor 3.
+	if len(q.Projs) != 8 {
+		t.Errorf("star expanded to %d columns", len(q.Projs))
+	}
+	if q.Root.Name != "Visit" {
+		t.Errorf("root = %s", q.Root.Name)
+	}
+}
+
+func hasIndexAll(table, column string) bool { return true }
+
+func hasIndexNone(table, column string) bool { return false }
+
+func TestEnumerate(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Pre.PreID FROM Prescription Pre, Visit Vis, Medicine Med
+		WHERE Vis.Date > 2006-01-01 AND Med.Type = 'Antibiotic' AND Vis.Purpose = 'Sclerosis'`)
+	specs := Enumerate(q, hasIndexAll)
+	// Two visible predicates -> 4 strategy combos; cross-filtering adds
+	// variants where a non-root table has >= 2 pre-integrated preds
+	// (Vis.Date pre + Vis.Purpose index).
+	if len(specs) < 4 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	labels := map[string]bool{}
+	withCross := 0
+	for _, sp := range specs {
+		if labels[sp.Label] {
+			t.Errorf("duplicate label %s", sp.Label)
+		}
+		labels[sp.Label] = true
+		if sp.CrossFilter {
+			withCross++
+		}
+		if err := sp.Validate(q, hasIndexAll); err != nil {
+			t.Errorf("spec %s invalid: %v", sp.Describe(q), err)
+		}
+	}
+	if withCross == 0 {
+		t.Error("no cross-filtering variants enumerated")
+	}
+
+	// Without any indexes, pre-filtering non-root predicates is
+	// infeasible: only all-post plans survive, and the hidden predicate
+	// falls back to hidden-post.
+	noIx := Enumerate(q, hasIndexNone)
+	if len(noIx) == 0 {
+		t.Fatal("no plans without indexes")
+	}
+	for _, sp := range noIx {
+		for i, st := range sp.Strategies {
+			if st == StratVisPre && q.Preds[i].Col.Table != q.Root.Name {
+				t.Errorf("pre-filter enumerated without translator: %s", sp.Describe(q))
+			}
+			if st == StratHidIndex {
+				t.Errorf("index strategy enumerated without index")
+			}
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Pre.PreID FROM Prescription Pre, Visit Vis
+		WHERE Vis.Date > 2006-01-01 AND Vis.Purpose = 'Sclerosis'`)
+	ok := Spec{Label: "ok", Strategies: []Strategy{StratVisPost, StratHidIndex}}
+	if err := ok.Validate(q, hasIndexAll); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := []Spec{
+		{Strategies: []Strategy{StratVisPost}},                 // arity
+		{Strategies: []Strategy{StratHidIndex, StratHidIndex}}, // visible pred with hidden strategy
+		{Strategies: []Strategy{StratVisPost, StratVisPre}},    // hidden pred with visible strategy
+		{Strategies: []Strategy{StratAuto, StratHidIndex}},     // unresolved
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(q, hasIndexAll); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+	noIx := Spec{Strategies: []Strategy{StratVisPre, StratHidPost}}
+	if err := noIx.Validate(q, hasIndexNone); err == nil {
+		t.Error("pre-filter without translator accepted")
+	}
+}
+
+func TestDescribeAndStrings(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Pre.PreID FROM Prescription Pre, Visit Vis
+		WHERE Vis.Date > 2006-01-01 AND Vis.Purpose = 'Sclerosis'`)
+	sp := Spec{Label: "P9", Strategies: []Strategy{StratVisPre, StratHidIndex}, CrossFilter: true}
+	d := sp.Describe(q)
+	for _, want := range []string{"P9", "Visit.Date:pre", "Visit.Purpose:index", "cross"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("Describe = %q missing %q", d, want)
+		}
+	}
+	for _, st := range []Strategy{StratAuto, StratVisPre, StratVisPost, StratHidIndex, StratHidPost} {
+		if st.String() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+	clone := sp.Clone()
+	clone.Strategies[0] = StratVisPost
+	if sp.Strategies[0] != StratVisPre {
+		t.Error("Clone shares strategy slice")
+	}
+}
+
+func TestEstimateOrdersSelectivities(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Pre.PreID FROM Prescription Pre, Visit Vis
+		WHERE Vis.Date > 2006-01-01 AND Vis.Purpose = 'Sclerosis'`)
+	in := CostInputs{
+		TableRows:     map[string]int{"Prescription": 1_000_000, "Visit": 100_000, "Doctor": 1000, "Patient": 10000, "Medicine": 1000},
+		Profile:       device.SmartUSB2007(),
+		Bus:           bus.USBFullSpeed(),
+		AvgValueBytes: 12,
+	}
+	pre := Spec{Strategies: []Strategy{StratVisPre, StratHidIndex}}
+	post := Spec{Strategies: []Strategy{StratVisPost, StratHidIndex}}
+
+	// Highly selective visible predicate: pre-filtering should win.
+	in.Counts = []int{100, 2000}
+	preCost := Estimate(q, pre, in)
+	postCost := Estimate(q, post, in)
+	if preCost >= postCost {
+		t.Errorf("selective: pre %v >= post %v", preCost, postCost)
+	}
+
+	// Very unselective visible predicate: post-filtering should win.
+	in.Counts = []int{80_000, 2000}
+	preCost = Estimate(q, pre, in)
+	postCost = Estimate(q, post, in)
+	if preCost <= postCost {
+		t.Errorf("unselective: pre %v <= post %v", preCost, postCost)
+	}
+
+	// Unknown counts fall back without panicking.
+	in.Counts = []int{-1, -1}
+	if Estimate(q, Spec{Strategies: []Strategy{StratVisPost, StratHidPost}}, in) <= 0 {
+		t.Error("estimate with unknown counts not positive")
+	}
+	_ = time.Duration(0)
+}

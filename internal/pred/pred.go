@@ -1,0 +1,140 @@
+// Package pred defines bound selection predicates — the runtime form of a
+// WHERE conjunct after the engine resolves its column. The same evaluator
+// runs on the untrusted PC (visible selections), inside the device (hidden
+// post-filters) and in the test oracle, guaranteeing one semantics.
+package pred
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Form distinguishes predicate shapes.
+type Form int
+
+// Predicate forms.
+const (
+	FormCompare Form = iota // column <op> literal
+	FormBetween             // column BETWEEN lo AND hi
+	FormIn                  // column IN (set)
+)
+
+// P is a bound predicate over a single column's value.
+type P struct {
+	Form Form
+	Op   sql.CompareOp // FormCompare only
+	Val  value.Value   // FormCompare
+	Lo   value.Value   // FormBetween
+	Hi   value.Value   // FormBetween
+	Set  []value.Value // FormIn
+}
+
+// Compare builds a comparison predicate.
+func Compare(op sql.CompareOp, v value.Value) P {
+	return P{Form: FormCompare, Op: op, Val: v}
+}
+
+// Between builds an inclusive range predicate.
+func Between(lo, hi value.Value) P {
+	return P{Form: FormBetween, Lo: lo, Hi: hi}
+}
+
+// In builds a set-membership predicate.
+func In(vals []value.Value) P {
+	return P{Form: FormIn, Set: vals}
+}
+
+// Eval applies the predicate to v.
+func (p P) Eval(v value.Value) (bool, error) {
+	switch p.Form {
+	case FormCompare:
+		c, err := value.Compare(v, p.Val)
+		if err != nil {
+			return false, err
+		}
+		switch p.Op {
+		case sql.OpEq:
+			return c == 0, nil
+		case sql.OpNe:
+			return c != 0, nil
+		case sql.OpLt:
+			return c < 0, nil
+		case sql.OpLe:
+			return c <= 0, nil
+		case sql.OpGt:
+			return c > 0, nil
+		case sql.OpGe:
+			return c >= 0, nil
+		default:
+			return false, fmt.Errorf("pred: unknown operator %v", p.Op)
+		}
+	case FormBetween:
+		lo, err := value.Compare(v, p.Lo)
+		if err != nil {
+			return false, err
+		}
+		if lo < 0 {
+			return false, nil
+		}
+		hi, err := value.Compare(v, p.Hi)
+		if err != nil {
+			return false, err
+		}
+		return hi <= 0, nil
+	case FormIn:
+		for _, s := range p.Set {
+			c, err := value.Compare(v, s)
+			if err != nil {
+				return false, err
+			}
+			if c == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("pred: unknown form %d", p.Form)
+	}
+}
+
+// Selectivity kinds for the optimizer: equality predicates are usually
+// sharper than ranges.
+func (p P) IsEquality() bool {
+	return p.Form == FormCompare && p.Op == sql.OpEq
+}
+
+// String renders the predicate without its column (the caller prefixes it).
+func (p P) String() string {
+	switch p.Form {
+	case FormCompare:
+		return fmt.Sprintf("%s %s", p.Op, p.Val.SQL())
+	case FormBetween:
+		return fmt.Sprintf("BETWEEN %s AND %s", p.Lo.SQL(), p.Hi.SQL())
+	case FormIn:
+		parts := make([]string, len(p.Set))
+		for i, v := range p.Set {
+			parts[i] = v.SQL()
+		}
+		return "IN (" + strings.Join(parts, ", ") + ")"
+	default:
+		return "?"
+	}
+}
+
+// FromCondition converts a parsed condition (which must not be a join)
+// into a bound predicate.
+func FromCondition(c sql.Condition) (P, error) {
+	switch c := c.(type) {
+	case *sql.Compare:
+		return Compare(c.Op, c.Val), nil
+	case *sql.Between:
+		return Between(c.Lo, c.Hi), nil
+	case *sql.In:
+		return In(c.Vals), nil
+	default:
+		return P{}, fmt.Errorf("pred: %T is not a selection", c)
+	}
+}

@@ -1,0 +1,118 @@
+package pred
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+func TestCompareOps(t *testing.T) {
+	cases := []struct {
+		op   sql.CompareOp
+		v    int64
+		want map[int64]bool
+	}{
+		{sql.OpEq, 5, map[int64]bool{4: false, 5: true, 6: false}},
+		{sql.OpNe, 5, map[int64]bool{4: true, 5: false, 6: true}},
+		{sql.OpLt, 5, map[int64]bool{4: true, 5: false, 6: false}},
+		{sql.OpLe, 5, map[int64]bool{4: true, 5: true, 6: false}},
+		{sql.OpGt, 5, map[int64]bool{4: false, 5: false, 6: true}},
+		{sql.OpGe, 5, map[int64]bool{4: false, 5: true, 6: true}},
+	}
+	for _, c := range cases {
+		p := Compare(c.op, value.NewInt(c.v))
+		for in, want := range c.want {
+			got, err := p.Eval(value.NewInt(in))
+			if err != nil || got != want {
+				t.Errorf("%v %d on %d = %v, %v; want %v", c.op, c.v, in, got, err, want)
+			}
+		}
+	}
+}
+
+func TestBetween(t *testing.T) {
+	p := Between(value.NewInt(10), value.NewInt(20))
+	for in, want := range map[int64]bool{9: false, 10: true, 15: true, 20: true, 21: false} {
+		got, err := p.Eval(value.NewInt(in))
+		if err != nil || got != want {
+			t.Errorf("between 10..20 on %d = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestIn(t *testing.T) {
+	p := In([]value.Value{value.NewString("a"), value.NewString("c")})
+	for in, want := range map[string]bool{"a": true, "b": false, "c": true} {
+		got, err := p.Eval(value.NewString(in))
+		if err != nil || got != want {
+			t.Errorf("IN on %q = %v, %v", in, got, err)
+		}
+	}
+}
+
+func TestDateCoercionInEval(t *testing.T) {
+	p := Compare(sql.OpGt, value.NewString("05-11-2006"))
+	got, err := p.Eval(value.NewDate(2006, 12, 1))
+	if err != nil || !got {
+		t.Errorf("date > paper literal = %v, %v", got, err)
+	}
+	got, err = p.Eval(value.NewDate(2006, 10, 1))
+	if err != nil || got {
+		t.Errorf("earlier date = %v, %v", got, err)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	p := Compare(sql.OpEq, value.NewString("x"))
+	if _, err := p.Eval(value.NewInt(1)); err == nil {
+		t.Error("incomparable kinds accepted")
+	}
+	bad := P{Form: Form(99)}
+	if _, err := bad.Eval(value.NewInt(1)); err == nil {
+		t.Error("unknown form accepted")
+	}
+}
+
+func TestIsEquality(t *testing.T) {
+	if !Compare(sql.OpEq, value.NewInt(1)).IsEquality() {
+		t.Error("= not equality")
+	}
+	if Compare(sql.OpGt, value.NewInt(1)).IsEquality() {
+		t.Error("> is equality")
+	}
+	if Between(value.NewInt(1), value.NewInt(2)).IsEquality() {
+		t.Error("between is equality")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Compare(sql.OpGe, value.NewInt(7)).String(); got != ">= 7" {
+		t.Errorf("compare String = %q", got)
+	}
+	if got := Between(value.NewInt(1), value.NewInt(2)).String(); got != "BETWEEN 1 AND 2" {
+		t.Errorf("between String = %q", got)
+	}
+	got := In([]value.Value{value.NewString("a")}).String()
+	if !strings.Contains(got, "IN ('a')") {
+		t.Errorf("in String = %q", got)
+	}
+}
+
+func TestFromCondition(t *testing.T) {
+	sel, err := sql.ParseSelect("SELECT * FROM T WHERE a = 1 AND b BETWEEN 2 AND 3 AND c IN (4) AND d = e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forms := []Form{FormCompare, FormBetween, FormIn}
+	for i, want := range forms {
+		p, err := FromCondition(sel.Where[i])
+		if err != nil || p.Form != want {
+			t.Errorf("cond %d: form %v, err %v", i, p.Form, err)
+		}
+	}
+	if _, err := FromCondition(sel.Where[3]); err == nil {
+		t.Error("join condition accepted as selection")
+	}
+}

@@ -1,0 +1,322 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+func intCol(name string) Column {
+	return Column{Name: name, Type: Type{Kind: value.Int}}
+}
+
+func pkCol(name string) Column {
+	return Column{Name: name, Type: Type{Kind: value.Int}, PrimaryKey: true}
+}
+
+func fkCol(name, ref string, hidden bool) Column {
+	return Column{Name: name, Type: Type{Kind: value.Int}, RefTable: ref, Hidden: hidden}
+}
+
+// figure3 builds the paper's hospital schema.
+func figure3(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	mk := func(name string, cols ...Column) {
+		tb, err := NewTable(name, cols)
+		if err != nil {
+			t.Fatalf("NewTable(%s): %v", name, err)
+		}
+		if err := s.AddTable(tb); err != nil {
+			t.Fatalf("AddTable(%s): %v", name, err)
+		}
+	}
+	mk("Doctor", pkCol("DocID"),
+		Column{Name: "Name", Type: Type{Kind: value.String, Size: 40}},
+		Column{Name: "Speciality", Type: Type{Kind: value.String}},
+		intCol("Zip"),
+		Column{Name: "Country", Type: Type{Kind: value.String}})
+	mk("Patient", pkCol("PatID"),
+		Column{Name: "Name", Type: Type{Kind: value.String}, Hidden: true},
+		intCol("Age"),
+		Column{Name: "BodyMassIndex", Type: Type{Kind: value.Int}, Hidden: true},
+		Column{Name: "Country", Type: Type{Kind: value.String}})
+	mk("Medicine", pkCol("MedID"),
+		Column{Name: "Name", Type: Type{Kind: value.String}},
+		Column{Name: "Effect", Type: Type{Kind: value.String}},
+		Column{Name: "Type", Type: Type{Kind: value.String}})
+	mk("Visit", pkCol("VisID"),
+		Column{Name: "Date", Type: Type{Kind: value.Date}},
+		Column{Name: "Purpose", Type: Type{Kind: value.String, Size: 100}, Hidden: true},
+		fkCol("DocID", "Doctor", true),
+		fkCol("PatID", "Patient", true))
+	mk("Prescription", pkCol("PreID"),
+		Column{Name: "Quantity", Type: Type{Kind: value.Int}, Hidden: true},
+		intCol("Frequency"),
+		Column{Name: "WhenWritten", Type: Type{Kind: value.Date}, Hidden: true},
+		fkCol("MedID", "Medicine", true),
+		fkCol("VisID", "Visit", true))
+	if err := s.Freeze(); err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	return s
+}
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable("", []Column{pkCol("ID")}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTable("T", nil); err == nil {
+		t.Error("no columns accepted")
+	}
+	if _, err := NewTable("T", []Column{pkCol("A"), pkCol("B")}); err == nil {
+		t.Error("two primary keys accepted")
+	}
+	if _, err := NewTable("T", []Column{intCol("A")}); err == nil {
+		t.Error("missing primary key accepted")
+	}
+	if _, err := NewTable("T", []Column{pkCol("A"), intCol("a")}); err == nil {
+		t.Error("case-insensitive duplicate column accepted")
+	}
+	if _, err := NewTable("T", []Column{{Name: "A", Type: Type{Kind: value.String}, PrimaryKey: true}}); err == nil {
+		t.Error("non-integer primary key accepted")
+	}
+	if _, err := NewTable("T", []Column{{Name: "A", Type: Type{Kind: value.Int}, PrimaryKey: true, Hidden: true}}); err == nil {
+		t.Error("hidden primary key accepted")
+	}
+	if _, err := NewTable("T", []Column{pkCol("A"), {Name: "B"}}); err == nil {
+		t.Error("untyped column accepted")
+	}
+}
+
+func TestTableLookups(t *testing.T) {
+	tb, err := NewTable("Visit", []Column{
+		pkCol("VisID"),
+		Column{Name: "Purpose", Type: Type{Kind: value.String}, Hidden: true},
+		fkCol("DocID", "Doctor", true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := tb.Column("purpose"); !ok || c.Name != "Purpose" {
+		t.Error("case-insensitive column lookup failed")
+	}
+	if _, ok := tb.Column("nope"); ok {
+		t.Error("phantom column found")
+	}
+	if tb.ColumnIndex("DOCID") != 2 || tb.ColumnIndex("zz") != -1 {
+		t.Error("ColumnIndex wrong")
+	}
+	if tb.PrimaryKey().Name != "VisID" || tb.PrimaryKeyIndex() != 0 {
+		t.Error("primary key lookup wrong")
+	}
+	if fks := tb.ForeignKeys(); len(fks) != 1 || fks[0].Name != "DocID" {
+		t.Errorf("ForeignKeys = %v", fks)
+	}
+	if hc := tb.HiddenColumns(); len(hc) != 2 {
+		t.Errorf("HiddenColumns = %d, want 2", len(hc))
+	}
+	if vc := tb.VisibleColumns(); len(vc) != 1 || vc[0].Name != "VisID" {
+		t.Errorf("VisibleColumns = %v", vc)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := (Type{Kind: value.String, Size: 100}).String(); got != "CHAR(100)" {
+		t.Errorf("sized char = %q", got)
+	}
+	if got := (Type{Kind: value.Int}).String(); got != "INTEGER" {
+		t.Errorf("int = %q", got)
+	}
+}
+
+func TestFigure3Tree(t *testing.T) {
+	s := figure3(t)
+	if got := s.Root().Name; got != "Prescription" {
+		t.Errorf("root = %s", got)
+	}
+	p, fk := s.Parent("Doctor")
+	if p == nil || p.Name != "Visit" || fk.Name != "DocID" {
+		t.Errorf("Parent(Doctor) = %v, %v", p, fk)
+	}
+	if p, _ := s.Parent("Prescription"); p != nil {
+		t.Error("root has a parent")
+	}
+	kids := s.Children("Visit")
+	if len(kids) != 2 || kids[0].Name != "Doctor" || kids[1].Name != "Patient" {
+		t.Errorf("Children(Visit) = %v", kids)
+	}
+	if d := s.Depth("Prescription"); d != 0 {
+		t.Errorf("Depth(root) = %d", d)
+	}
+	if d := s.Depth("Doctor"); d != 2 {
+		t.Errorf("Depth(Doctor) = %d", d)
+	}
+	if d := s.Depth("nope"); d != -1 {
+		t.Errorf("Depth(unknown) = %d", d)
+	}
+	path := s.PathToRoot("doctor")
+	names := []string{}
+	for _, tb := range path {
+		names = append(names, tb.Name)
+	}
+	if strings.Join(names, ",") != "Doctor,Visit,Prescription" {
+		t.Errorf("PathToRoot(Doctor) = %v", names)
+	}
+	if !s.IsAncestor("Prescription", "Doctor") || !s.IsAncestor("Visit", "Doctor") {
+		t.Error("ancestor relations missing")
+	}
+	if s.IsAncestor("Doctor", "Visit") || s.IsAncestor("Doctor", "Doctor") {
+		t.Error("bogus ancestor relations")
+	}
+	sub := s.Subtree("Visit")
+	if len(sub) != 3 || sub[0].Name != "Visit" {
+		t.Errorf("Subtree(Visit) = %v", sub)
+	}
+	if all := s.Subtree("Prescription"); len(all) != 5 {
+		t.Errorf("Subtree(root) = %d tables", len(all))
+	}
+}
+
+func TestQueryRoot(t *testing.T) {
+	s := figure3(t)
+	qr, err := s.QueryRoot([]string{"Medicine", "Prescription", "Visit"})
+	if err != nil || qr.Name != "Prescription" {
+		t.Errorf("QueryRoot = %v, %v", qr, err)
+	}
+	qr, err = s.QueryRoot([]string{"Doctor", "Visit"})
+	if err != nil || qr.Name != "Visit" {
+		t.Errorf("QueryRoot(Doctor,Visit) = %v, %v", qr, err)
+	}
+	qr, err = s.QueryRoot([]string{"Patient"})
+	if err != nil || qr.Name != "Patient" {
+		t.Errorf("QueryRoot(Patient) = %v, %v", qr, err)
+	}
+	// Doctor and Patient are siblings: no query root among {Doctor, Patient}.
+	if _, err := s.QueryRoot([]string{"Doctor", "Patient"}); err == nil {
+		t.Error("sibling-only FROM accepted")
+	}
+	if _, err := s.QueryRoot(nil); err == nil {
+		t.Error("empty FROM accepted")
+	}
+	if _, err := s.QueryRoot([]string{"Ghost"}); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestAddTableValidation(t *testing.T) {
+	s := New()
+	doc, _ := NewTable("Doctor", []Column{pkCol("DocID")})
+	if err := s.AddTable(doc); err != nil {
+		t.Fatal(err)
+	}
+	dup, _ := NewTable("doctor", []Column{pkCol("DocID")})
+	if err := s.AddTable(dup); err == nil {
+		t.Error("case-insensitive duplicate table accepted")
+	}
+	badRef, _ := NewTable("Visit", []Column{pkCol("VisID"), fkCol("DocID", "Nurse", false)})
+	if err := s.AddTable(badRef); err == nil {
+		t.Error("reference to unknown table accepted")
+	}
+	badCol, _ := NewTable("Visit", []Column{pkCol("VisID"),
+		{Name: "DocID", Type: Type{Kind: value.Int}, RefTable: "Doctor", RefColumn: "Nope"}})
+	if err := s.AddTable(badCol); err == nil {
+		t.Error("reference to unknown column accepted")
+	}
+	// Default RefColumn resolves to the primary key.
+	vis, _ := NewTable("Visit", []Column{pkCol("VisID"), fkCol("DocID", "Doctor", true)})
+	if err := s.AddTable(vis); err != nil {
+		t.Fatal(err)
+	}
+	fk, _ := vis.Column("DocID")
+	if fk.RefColumn != "DocID" || fk.RefTable != "Doctor" {
+		t.Errorf("FK normalized to %s.%s", fk.RefTable, fk.RefColumn)
+	}
+}
+
+func TestFreezeRejectsNonTrees(t *testing.T) {
+	// Two tables referencing the same child.
+	s := New()
+	leaf, _ := NewTable("Leaf", []Column{pkCol("ID")})
+	a, _ := NewTable("A", []Column{pkCol("AID"), fkCol("LeafID", "Leaf", false)})
+	b, _ := NewTable("B", []Column{pkCol("BID"), fkCol("LeafID", "Leaf", false)})
+	for _, tb := range []*Table{leaf, a, b} {
+		if err := s.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Freeze(); err == nil {
+		t.Error("DAG (shared child) accepted as tree")
+	}
+
+	// Two disconnected trees.
+	s2 := New()
+	x, _ := NewTable("X", []Column{pkCol("XID")})
+	y, _ := NewTable("Y", []Column{pkCol("YID")})
+	_ = s2.AddTable(x)
+	_ = s2.AddTable(y)
+	if err := s2.Freeze(); err == nil {
+		t.Error("forest accepted as tree")
+	}
+
+	// Empty schema.
+	if err := New().Freeze(); err == nil {
+		t.Error("empty schema accepted")
+	}
+}
+
+func TestFreezeIdempotentAndGuards(t *testing.T) {
+	s := figure3(t)
+	if err := s.Freeze(); err != nil {
+		t.Errorf("second Freeze: %v", err)
+	}
+	extra, _ := NewTable("Extra", []Column{pkCol("ID")})
+	if err := s.AddTable(extra); err == nil {
+		t.Error("AddTable after Freeze accepted")
+	}
+	if !s.Frozen() {
+		t.Error("Frozen() = false")
+	}
+
+	unfrozen := New()
+	tb, _ := NewTable("T", []Column{pkCol("ID")})
+	_ = unfrozen.AddTable(tb)
+	defer func() {
+		if recover() == nil {
+			t.Error("navigation before Freeze must panic")
+		}
+	}()
+	unfrozen.Root()
+}
+
+func TestTablesOrder(t *testing.T) {
+	s := figure3(t)
+	var names []string
+	for _, tb := range s.Tables() {
+		names = append(names, tb.Name)
+	}
+	want := "Doctor,Patient,Medicine,Visit,Prescription"
+	if strings.Join(names, ",") != want {
+		t.Errorf("Tables order = %v", names)
+	}
+}
+
+func TestHiddenValueSet(t *testing.T) {
+	h := NewHiddenValueSet()
+	if h.Contains(value.NewString("x")) || h.Len() != 0 {
+		t.Error("empty set misbehaves")
+	}
+	h.Add(value.NewString("Sclerosis"))
+	h.Add(value.NewString("Sclerosis")) // dedup
+	h.Add(value.NewInt(7))
+	if h.Len() != 2 {
+		t.Errorf("Len = %d", h.Len())
+	}
+	if !h.Contains(value.NewString("Sclerosis")) || !h.Contains(value.NewInt(7)) {
+		t.Error("membership failed")
+	}
+	if h.Contains(value.NewString("sclerosis")) {
+		t.Error("values are case sensitive")
+	}
+}

@@ -1,0 +1,83 @@
+// Package sim provides the deterministic simulated clock and CPU cost model
+// that every hardware component of the GhostDB smart USB device charges
+// against.
+//
+// The paper's evaluation ran on "a software simulator of the USB device"
+// (GhostDB demo, Section 5); this package is the equivalent substrate. All
+// latencies — flash page reads and programs, block erases, USB transfers,
+// per-tuple CPU work — advance a single Clock, so experiment results are
+// deterministic and independent of the host machine.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Clock is a monotonically advancing simulated clock. The zero value is a
+// clock at time zero, ready to use. Clock is not safe for concurrent use;
+// the device is a single-core 32-bit RISC chip and the engine drives it from
+// one goroutine.
+type Clock struct {
+	now time.Duration
+}
+
+// NewClock returns a clock starting at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves simulated time forward by d. Negative d panics: time is
+// monotonic.
+func (c *Clock) Advance(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.now += d
+}
+
+// Reset rewinds the clock to zero. Benchmarks use it between plan runs.
+func (c *Clock) Reset() { c.now = 0 }
+
+// Span measures the simulated time elapsed since a mark obtained from Now.
+func (c *Clock) Span(since time.Duration) time.Duration { return c.now - since }
+
+// CPU models the secure chip's processor as a cycle-accounted cost source.
+// Operators charge a number of cycles per unit of work; the CPU converts
+// cycles to simulated time at its clock rate.
+type CPU struct {
+	clock *Clock
+	hz    float64
+}
+
+// NewCPU returns a CPU running at hz cycles per second charging to clock.
+func NewCPU(clock *Clock, hz float64) *CPU {
+	if hz <= 0 {
+		panic("sim: CPU frequency must be positive")
+	}
+	return &CPU{clock: clock, hz: hz}
+}
+
+// Hz reports the CPU frequency in cycles per second.
+func (c *CPU) Hz() float64 { return c.hz }
+
+// Charge advances the clock by the duration of n cycles.
+func (c *CPU) Charge(n int64) {
+	if n <= 0 {
+		return
+	}
+	c.clock.Advance(time.Duration(float64(n) / c.hz * float64(time.Second)))
+}
+
+// Typical per-tuple cycle costs used by the execution engine. They are
+// deliberately coarse: the experiments depend on the ratio between flash,
+// bus and CPU costs, not on instruction-level accuracy.
+const (
+	CyclesCompare   = 20  // compare two IDs or fixed-width values
+	CyclesHash      = 60  // hash a key for a Bloom filter probe
+	CyclesCopyWord  = 4   // copy 4 bytes
+	CyclesHeapOp    = 80  // push/pop on a merge heap
+	CyclesPredicate = 120 // evaluate one predicate on a decoded value
+	CyclesDecode    = 40  // decode one varint / value header
+)

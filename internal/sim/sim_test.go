@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != 0 {
+		t.Fatalf("new clock at %v, want 0", c.Now())
+	}
+	c.Advance(3 * time.Millisecond)
+	c.Advance(2 * time.Millisecond)
+	if c.Now() != 5*time.Millisecond {
+		t.Errorf("Now() = %v, want 5ms", c.Now())
+	}
+	mark := c.Now()
+	c.Advance(time.Millisecond)
+	if c.Span(mark) != time.Millisecond {
+		t.Errorf("Span = %v, want 1ms", c.Span(mark))
+	}
+	c.Reset()
+	if c.Now() != 0 {
+		t.Errorf("after Reset Now() = %v", c.Now())
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative advance")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestCPUCharge(t *testing.T) {
+	c := NewClock()
+	cpu := NewCPU(c, 50e6) // 50 MHz, 20ns per cycle
+	cpu.Charge(50)
+	if got := c.Now(); got != time.Microsecond {
+		t.Errorf("50 cycles at 50MHz = %v, want 1µs", got)
+	}
+	cpu.Charge(0)
+	cpu.Charge(-5)
+	if got := c.Now(); got != time.Microsecond {
+		t.Errorf("zero/negative charges must be free, got %v", got)
+	}
+	if cpu.Hz() != 50e6 {
+		t.Errorf("Hz() = %v", cpu.Hz())
+	}
+}
+
+func TestCPUInvalidFrequencyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on zero frequency")
+		}
+	}()
+	NewCPU(NewClock(), 0)
+}

@@ -1,0 +1,143 @@
+// Package skt implements Subtree Key Tables, the paper's generalized join
+// indices (Section 4, Figure 3): for a table R, the SKT rooted at R "joins
+// all tables in the subtree to the subtree root with the IDs sorted based
+// on the order of IDs in the root table".
+//
+// Because GhostDB assigns dense 1-based identifiers in load order, an SKT
+// is a positional structure: row i (for root ID i+1) holds the ID of every
+// descendant table joined through the foreign-key chain. A root-to-any-
+// descendant join is therefore a single array lookup — no RAM-hungry join
+// algorithm runs at query time, which is the point of the design.
+package skt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/store"
+)
+
+// SKT is a Subtree Key Table rooted at Root. Members lists the descendant
+// tables in schema pre-order; each has a packed ID column of the same
+// cardinality as the root table.
+type SKT struct {
+	Root    string
+	Members []string
+	n       int
+	cols    map[string]*store.IDColumn
+}
+
+// FKLookup supplies the loader's foreign-key arrays: fk(table, column)
+// returns, for each row of table (0-based, in ID order), the referenced
+// row ID. Build uses it to compose transitive joins.
+type FKLookup func(table, fkColumn string) ([]uint32, error)
+
+// Build constructs the SKT rooted at root. The schema must be frozen; fk
+// provides the foreign-key columns gathered during the bulk load.
+func Build(st *store.Store, sch *schema.Schema, root string, rootRows int, fk FKLookup) (*SKT, error) {
+	rootTable, ok := sch.Table(root)
+	if !ok {
+		return nil, fmt.Errorf("skt: unknown root %s", root)
+	}
+	s := &SKT{Root: rootTable.Name, n: rootRows, cols: map[string]*store.IDColumn{}}
+
+	// ids[table] = per-root-row ID of that member table.
+	ids := map[string][]uint32{}
+
+	var descend func(from string, fromIDs []uint32) error
+	descend = func(from string, fromIDs []uint32) error {
+		ft, _ := sch.Table(from)
+		for _, fkCol := range ft.ForeignKeys() {
+			child := fkCol.RefTable
+			raw, err := fk(from, fkCol.Name)
+			if err != nil {
+				return fmt.Errorf("skt: fk %s.%s: %w", from, fkCol.Name, err)
+			}
+			childIDs := make([]uint32, rootRows)
+			for i, fromID := range fromIDs {
+				if fromID == 0 {
+					return fmt.Errorf("skt: row %d of %s has no ID", i, from)
+				}
+				if int(fromID) > len(raw) {
+					return fmt.Errorf("skt: %s ID %d exceeds %s cardinality %d", from, fromID, from, len(raw))
+				}
+				childIDs[i] = raw[fromID-1]
+			}
+			s.Members = append(s.Members, child)
+			ids[child] = childIDs
+			if err := descend(child, childIDs); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Seed with the identity mapping for the root itself.
+	rootIDs := make([]uint32, rootRows)
+	for i := range rootIDs {
+		rootIDs[i] = uint32(i + 1)
+	}
+	if err := descend(rootTable.Name, rootIDs); err != nil {
+		return nil, err
+	}
+
+	for _, member := range s.Members {
+		col, err := st.BuildIDColumn(ids[member])
+		if err != nil {
+			return nil, fmt.Errorf("skt: writing %s column: %w", member, err)
+		}
+		s.cols[strings.ToLower(member)] = col
+	}
+	return s, nil
+}
+
+// Len reports the root-table cardinality.
+func (s *SKT) Len() int { return s.n }
+
+// Bytes reports the flash footprint of all member columns.
+func (s *SKT) Bytes() int64 {
+	var total int64
+	for _, c := range s.cols {
+		total += c.Bytes()
+	}
+	return total
+}
+
+// HasMember reports whether the SKT covers the table.
+func (s *SKT) HasMember(table string) bool {
+	_, ok := s.cols[strings.ToLower(table)]
+	return ok
+}
+
+// Lookup returns the ID of the member table's tuple joined to the given
+// root ID (1-based). Sorted rootID access patterns are page-cache
+// friendly — exactly why the paper sorts SKTs by root ID.
+func (s *SKT) Lookup(rootID uint32, table string) (uint32, error) {
+	if strings.EqualFold(table, s.Root) {
+		return rootID, nil
+	}
+	col, ok := s.cols[strings.ToLower(table)]
+	if !ok {
+		return 0, fmt.Errorf("skt: %s is not in the subtree of %s", table, s.Root)
+	}
+	if rootID == 0 || int(rootID) > s.n {
+		return 0, fmt.Errorf("skt: root ID %d out of range 1..%d", rootID, s.n)
+	}
+	return col.Get(int(rootID - 1))
+}
+
+// LookupMany fills out[i] with the ID of tables[i] joined to rootID.
+func (s *SKT) LookupMany(rootID uint32, tables []string, out []uint32) error {
+	if len(out) < len(tables) {
+		return fmt.Errorf("skt: output buffer %d for %d tables", len(out), len(tables))
+	}
+	for i, t := range tables {
+		id, err := s.Lookup(rootID, t)
+		if err != nil {
+			return err
+		}
+		out[i] = id
+	}
+	return nil
+}

@@ -1,0 +1,241 @@
+package skt
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/store"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// fixture builds the Figure 3 tree with tiny, hand-checkable data:
+//
+//	Doctor  (2 rows), Patient (3 rows), Medicine (2 rows)
+//	Visit   (4 rows): DocID = [1,2,1,2], PatID = [1,2,3,1]
+//	Prescription (6): MedID = [1,2,1,2,1,2], VisID = [1,1,2,3,4,4]
+type fixture struct {
+	st  *store.Store
+	sch *schema.Schema
+	fks map[string][]uint32
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	dev, err := device.New(device.SmartUSB2007(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.New(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.New()
+	mk := func(name string, cols ...schema.Column) {
+		tb, err := schema.NewTable(name, cols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sch.AddTable(tb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pk := func(n string) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.Int}, PrimaryKey: true}
+	}
+	fk := func(n, ref string) schema.Column {
+		return schema.Column{Name: n, Type: schema.Type{Kind: value.Int}, RefTable: ref, Hidden: true}
+	}
+	mk("Doctor", pk("DocID"))
+	mk("Patient", pk("PatID"))
+	mk("Medicine", pk("MedID"))
+	mk("Visit", pk("VisID"), fk("DocID", "Doctor"), fk("PatID", "Patient"))
+	mk("Prescription", pk("PreID"), fk("MedID", "Medicine"), fk("VisID", "Visit"))
+	if err := sch.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{
+		st:  st,
+		sch: sch,
+		fks: map[string][]uint32{
+			"Visit.DocID":        {1, 2, 1, 2},
+			"Visit.PatID":        {1, 2, 3, 1},
+			"Prescription.MedID": {1, 2, 1, 2, 1, 2},
+			"Prescription.VisID": {1, 1, 2, 3, 4, 4},
+		},
+	}
+}
+
+func (f *fixture) lookup(table, col string) ([]uint32, error) {
+	ids, ok := f.fks[table+"."+col]
+	if !ok {
+		return nil, fmt.Errorf("no fixture fk %s.%s", table, col)
+	}
+	return ids, nil
+}
+
+func TestBuildPrescriptionSKT(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Prescription", 6, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	// Members in pre-order of Prescription's FK declarations.
+	want := []string{"Medicine", "Visit", "Doctor", "Patient"}
+	if len(s.Members) != len(want) {
+		t.Fatalf("Members = %v", s.Members)
+	}
+	for i, m := range want {
+		if s.Members[i] != m {
+			t.Errorf("Members[%d] = %s, want %s", i, s.Members[i], m)
+		}
+		if !s.HasMember(m) {
+			t.Errorf("HasMember(%s) = false", m)
+		}
+	}
+	if s.HasMember("Ghost") {
+		t.Error("phantom member")
+	}
+
+	// Transitive join: PreID -> DocID goes through VisID.
+	// Pre 1 -> Vis 1 -> Doc 1; Pre 4 -> Vis 3 -> Doc 1; Pre 6 -> Vis 4 -> Doc 2.
+	cases := []struct {
+		preID uint32
+		table string
+		want  uint32
+	}{
+		{1, "Medicine", 1}, {2, "Medicine", 2},
+		{1, "Visit", 1}, {3, "Visit", 2}, {6, "Visit", 4},
+		{1, "Doctor", 1}, {4, "Doctor", 1}, {6, "Doctor", 2},
+		{1, "Patient", 1}, {4, "Patient", 3}, {5, "Patient", 1},
+		{2, "Prescription", 2}, // root lookup is the identity
+	}
+	for _, c := range cases {
+		got, err := s.Lookup(c.preID, c.table)
+		if err != nil {
+			t.Errorf("Lookup(%d, %s): %v", c.preID, c.table, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Lookup(%d, %s) = %d, want %d", c.preID, c.table, got, c.want)
+		}
+	}
+}
+
+func TestBuildVisitSKT(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Visit", 4, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Members) != 2 {
+		t.Fatalf("Members = %v", s.Members)
+	}
+	got, err := s.Lookup(3, "Doctor")
+	if err != nil || got != 1 {
+		t.Errorf("Lookup(3, Doctor) = %d, %v", got, err)
+	}
+	got, err = s.Lookup(2, "Patient")
+	if err != nil || got != 2 {
+		t.Errorf("Lookup(2, Patient) = %d, %v", got, err)
+	}
+	// Medicine is not in Visit's subtree.
+	if _, err := s.Lookup(1, "Medicine"); err == nil {
+		t.Error("lookup outside subtree accepted")
+	}
+}
+
+func TestLookupBounds(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Prescription", 6, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Lookup(0, "Visit"); err == nil {
+		t.Error("root ID 0 accepted")
+	}
+	if _, err := s.Lookup(7, "Visit"); err == nil {
+		t.Error("root ID past end accepted")
+	}
+}
+
+func TestLookupMany(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Prescription", 6, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]uint32, 3)
+	if err := s.LookupMany(4, []string{"Medicine", "Visit", "Doctor"}, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 2 || out[1] != 3 || out[2] != 1 {
+		t.Errorf("LookupMany = %v", out)
+	}
+	if err := s.LookupMany(1, []string{"Medicine", "Visit"}, make([]uint32, 1)); err == nil {
+		t.Error("short output buffer accepted")
+	}
+	if err := s.LookupMany(1, []string{"Nope"}, out); err == nil {
+		t.Error("unknown table accepted")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	f := newFixture(t)
+	if _, err := Build(f.st, f.sch, "Ghost", 6, f.lookup); err == nil {
+		t.Error("unknown root accepted")
+	}
+	// Missing FK data.
+	broken := func(table, col string) ([]uint32, error) {
+		return nil, fmt.Errorf("no data")
+	}
+	if _, err := Build(f.st, f.sch, "Prescription", 6, broken); err == nil {
+		t.Error("broken FK lookup accepted")
+	}
+	// FK referencing a row beyond the child cardinality.
+	outOfRange := func(table, col string) ([]uint32, error) {
+		if table == "Prescription" && col == "VisID" {
+			return []uint32{1, 1, 2, 3, 4, 4}, nil
+		}
+		if table == "Prescription" && col == "MedID" {
+			return []uint32{1, 2, 1, 2, 1, 2}, nil
+		}
+		// Visit has only 4 rows but Prescription references visit IDs up
+		// to 4; truncate Visit's own FK arrays to 2 rows to break it.
+		return []uint32{1, 2}, nil
+	}
+	if _, err := Build(f.st, f.sch, "Prescription", 6, outOfRange); err == nil {
+		t.Error("FK range violation accepted")
+	}
+}
+
+func TestBytesFootprint(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Prescription", 6, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 member columns x 6 rows x 4 bytes.
+	if s.Bytes() != 4*6*4 {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), 4*6*4)
+	}
+}
+
+func TestLeafRootSKTIsEmpty(t *testing.T) {
+	f := newFixture(t)
+	s, err := Build(f.st, f.sch, "Doctor", 2, f.lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Members) != 0 || s.Bytes() != 0 {
+		t.Errorf("leaf SKT has members %v", s.Members)
+	}
+	// Identity lookup still works.
+	if got, err := s.Lookup(2, "Doctor"); err != nil || got != 2 {
+		t.Errorf("identity lookup = %d, %v", got, err)
+	}
+}

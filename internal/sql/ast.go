@@ -1,0 +1,288 @@
+// Package sql is GhostDB's SQL front end: a lexer and recursive-descent
+// parser for the dialect the paper uses — CREATE TABLE with the extra
+// HIDDEN keyword on sensitive columns, INSERT for loading, and
+// select-project-join queries with conjunctive predicates. The paper's
+// /*VISIBLE*/ and /*HIDDEN*/ annotations are accepted as comments and
+// ignored: visibility is a property of the schema, not the query text
+// ("no changes to the SQL query text", Section 1).
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Statement is a parsed SQL statement: *CreateTable, *Insert or *Select.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// TypeName is a column type as written in DDL.
+type TypeName struct {
+	Kind value.Kind
+	Size int // CHAR(n) width, 0 if unsized
+}
+
+func (t TypeName) String() string {
+	if t.Kind == value.String && t.Size > 0 {
+		return fmt.Sprintf("CHAR(%d)", t.Size)
+	}
+	return t.Kind.String()
+}
+
+// ColumnDef is one column of a CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       TypeName
+	Hidden     bool
+	PrimaryKey bool
+	RefTable   string
+	RefColumn  string
+}
+
+func (c ColumnDef) String() string {
+	var b strings.Builder
+	b.WriteString(c.Name)
+	b.WriteByte(' ')
+	b.WriteString(c.Type.String())
+	if c.PrimaryKey {
+		b.WriteString(" PRIMARY KEY")
+	}
+	if c.RefTable != "" {
+		fmt.Fprintf(&b, " REFERENCES %s", c.RefTable)
+		if c.RefColumn != "" {
+			fmt.Fprintf(&b, "(%s)", c.RefColumn)
+		}
+	}
+	if c.Hidden {
+		b.WriteString(" HIDDEN")
+	}
+	return b.String()
+}
+
+// CreateTable is a CREATE TABLE statement.
+type CreateTable struct {
+	Table   string
+	Columns []ColumnDef
+}
+
+func (*CreateTable) stmt() {}
+
+func (c *CreateTable) String() string {
+	cols := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		cols[i] = col.String()
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", c.Table, strings.Join(cols, ", "))
+}
+
+// Insert is an INSERT INTO ... VALUES statement (possibly multi-row).
+type Insert struct {
+	Table string
+	Rows  [][]value.Value
+}
+
+func (*Insert) stmt() {}
+
+func (i *Insert) String() string {
+	var rows []string
+	for _, r := range i.Rows {
+		vals := make([]string, len(r))
+		for j, v := range r {
+			vals[j] = v.SQL()
+		}
+		rows = append(rows, "("+strings.Join(vals, ", ")+")")
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES %s", i.Table, strings.Join(rows, ", "))
+}
+
+// ColRef names a column, optionally qualified by a table name or alias.
+type ColRef struct {
+	Qualifier string // "" when unqualified
+	Column    string
+}
+
+func (c ColRef) String() string {
+	if c.Qualifier == "" {
+		return c.Column
+	}
+	return c.Qualifier + "." + c.Column
+}
+
+// TableRef is one FROM-list entry with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string // "" when none
+}
+
+func (t TableRef) String() string {
+	if t.Alias == "" {
+		return t.Table
+	}
+	return t.Table + " " + t.Alias
+}
+
+// SelectItem is a projection item: a column reference or *.
+type SelectItem struct {
+	Star bool
+	Col  ColRef
+}
+
+func (s SelectItem) String() string {
+	if s.Star {
+		return "*"
+	}
+	return s.Col.String()
+}
+
+// CompareOp is a comparison operator.
+type CompareOp int
+
+// Comparison operators.
+const (
+	OpEq CompareOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o CompareOp) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complementary operator (used by NOT pushdown).
+func (o CompareOp) Negate() CompareOp {
+	switch o {
+	case OpEq:
+		return OpNe
+	case OpNe:
+		return OpEq
+	case OpLt:
+		return OpGe
+	case OpLe:
+		return OpGt
+	case OpGt:
+		return OpLe
+	case OpGe:
+		return OpLt
+	}
+	return o
+}
+
+// Condition is one conjunct of a WHERE clause: *Compare, *Between, *In or
+// *Join.
+type Condition interface {
+	cond()
+	String() string
+}
+
+// Compare is column <op> literal.
+type Compare struct {
+	Col ColRef
+	Op  CompareOp
+	Val value.Value
+}
+
+func (*Compare) cond() {}
+
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Col, c.Op, c.Val.SQL())
+}
+
+// Between is column BETWEEN lo AND hi (inclusive).
+type Between struct {
+	Col    ColRef
+	Lo, Hi value.Value
+}
+
+func (*Between) cond() {}
+
+func (b *Between) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", b.Col, b.Lo.SQL(), b.Hi.SQL())
+}
+
+// In is column IN (v1, v2, ...).
+type In struct {
+	Col  ColRef
+	Vals []value.Value
+}
+
+func (*In) cond() {}
+
+func (i *In) String() string {
+	vals := make([]string, len(i.Vals))
+	for j, v := range i.Vals {
+		vals[j] = v.SQL()
+	}
+	return fmt.Sprintf("%s IN (%s)", i.Col, strings.Join(vals, ", "))
+}
+
+// Join is an equijoin predicate between two columns.
+type Join struct {
+	Left, Right ColRef
+}
+
+func (*Join) cond() {}
+
+func (j *Join) String() string {
+	return fmt.Sprintf("%s = %s", j.Left, j.Right)
+}
+
+// Select is an SPJ query: projection list, FROM tables, conjunctive
+// WHERE, and an optional LIMIT (0 = none). Results are ordered by the
+// query root's identifier, so LIMIT is deterministic.
+type Select struct {
+	Items []SelectItem
+	From  []TableRef
+	Where []Condition
+	Limit int
+}
+
+func (*Select) stmt() {}
+
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	items := make([]string, len(s.Items))
+	for i, it := range s.Items {
+		items[i] = it.String()
+	}
+	b.WriteString(strings.Join(items, ", "))
+	b.WriteString(" FROM ")
+	froms := make([]string, len(s.From))
+	for i, f := range s.From {
+		froms[i] = f.String()
+	}
+	b.WriteString(strings.Join(froms, ", "))
+	if len(s.Where) > 0 {
+		b.WriteString(" WHERE ")
+		conds := make([]string, len(s.Where))
+		for i, c := range s.Where {
+			conds[i] = c.String()
+		}
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if s.Limit > 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	return b.String()
+}

@@ -1,0 +1,584 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// allowed). Supported statements: CREATE TABLE, INSERT INTO ... VALUES,
+// and SELECT ... FROM ... [WHERE ...].
+func Parse(input string) (Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	stmt, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().isSymbol(";") {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("trailing input starting with %s", p.peek())
+	}
+	return stmt, nil
+}
+
+// ParseSelect parses a statement and requires it to be a SELECT.
+func ParseSelect(input string) (*Select, error) {
+	stmt, err := Parse(input)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", stmt)
+	}
+	return sel, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(input string) ([]Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Statement
+	for {
+		for p.peek().isSymbol(";") {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		stmt, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, stmt)
+		if !p.peek().isSymbol(";") && p.peek().kind != tokEOF {
+			return nil, p.errorf("expected ';' between statements, got %s", p.peek())
+		}
+	}
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: "+format+" (offset %d)", append(args, p.peek().pos)...)
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.peek().isSymbol(s) {
+		return p.errorf("expected %q, got %s", s, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.peek().isKeyword(kw) {
+		return p.errorf("expected %s, got %s", strings.ToUpper(kw), p.peek())
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errorf("expected %s, got %s", what, t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch t := p.peek(); {
+	case t.isKeyword("create"):
+		return p.parseCreateTable()
+	case t.isKeyword("insert"):
+		return p.parseInsert()
+	case t.isKeyword("select"):
+		return p.parseSelect()
+	default:
+		return nil, p.errorf("expected CREATE, INSERT or SELECT, got %s", t)
+	}
+}
+
+func (p *parser) parseCreateTable() (*CreateTable, error) {
+	p.next() // CREATE
+	if err := p.expectKeyword("table"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		cols = append(cols, col)
+		if p.peek().isSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Table: name, Columns: cols}, nil
+}
+
+func (p *parser) parseColumnDef() (ColumnDef, error) {
+	var col ColumnDef
+	name, err := p.ident("column name")
+	if err != nil {
+		return col, err
+	}
+	col.Name = name
+	// The paper's DDL allows a bare "DocID REFERENCES Doctor(DocID)"
+	// without an explicit type; a foreign key is implicitly INTEGER.
+	if !p.peek().isKeyword("references") {
+		tn, err := p.parseTypeName()
+		if err != nil {
+			return col, err
+		}
+		col.Type = tn
+	} else {
+		col.Type = TypeName{Kind: value.Int}
+	}
+	for {
+		switch t := p.peek(); {
+		case t.isKeyword("primary"):
+			p.next()
+			if err := p.expectKeyword("key"); err != nil {
+				return col, err
+			}
+			col.PrimaryKey = true
+		case t.isKeyword("hidden"):
+			p.next()
+			col.Hidden = true
+		case t.isKeyword("references"):
+			p.next()
+			ref, err := p.ident("referenced table")
+			if err != nil {
+				return col, err
+			}
+			col.RefTable = ref
+			if p.peek().isSymbol("(") {
+				p.next()
+				rc, err := p.ident("referenced column")
+				if err != nil {
+					return col, err
+				}
+				col.RefColumn = rc
+				if err := p.expectSymbol(")"); err != nil {
+					return col, err
+				}
+			}
+		case t.isKeyword("not"):
+			p.next()
+			if err := p.expectKeyword("null"); err != nil {
+				return col, err
+			}
+			// All GhostDB columns are NOT NULL; accepted and ignored.
+		default:
+			return col, nil
+		}
+	}
+}
+
+func (p *parser) parseTypeName() (TypeName, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return TypeName{}, p.errorf("expected a type name, got %s", t)
+	}
+	p.next()
+	switch strings.ToUpper(t.text) {
+	case "INTEGER", "INT", "BIGINT", "SMALLINT":
+		return TypeName{Kind: value.Int}, nil
+	case "FLOAT", "REAL", "DOUBLE", "DECIMAL", "NUMERIC":
+		return TypeName{Kind: value.Float}, nil
+	case "DATE":
+		return TypeName{Kind: value.Date}, nil
+	case "BOOLEAN", "BOOL":
+		return TypeName{Kind: value.Bool}, nil
+	case "CHAR", "VARCHAR", "TEXT":
+		tn := TypeName{Kind: value.String}
+		if p.peek().isSymbol("(") {
+			p.next()
+			sz := p.peek()
+			if sz.kind != tokNumber {
+				return tn, p.errorf("expected a size, got %s", sz)
+			}
+			p.next()
+			n, err := strconv.Atoi(sz.text)
+			if err != nil || n <= 0 {
+				return tn, p.errorf("invalid CHAR size %q", sz.text)
+			}
+			tn.Size = n
+			if err := p.expectSymbol(")"); err != nil {
+				return tn, err
+			}
+		}
+		return tn, nil
+	default:
+		return TypeName{}, p.errorf("unknown type %q", t.text)
+	}
+}
+
+func (p *parser) parseInsert() (*Insert, error) {
+	p.next() // INSERT
+	if err := p.expectKeyword("into"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("values"); err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if p.peek().isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.peek().isSymbol(",") {
+			p.next()
+			continue
+		}
+		return ins, nil
+	}
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	p.next() // SELECT
+	sel := &Select{}
+	if p.peek().isSymbol("*") {
+		p.next()
+		sel.Items = []SelectItem{{Star: true}}
+	} else {
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.Items = append(sel.Items, SelectItem{Col: col})
+			if p.peek().isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident("table name")
+		if err != nil {
+			return nil, err
+		}
+		ref := TableRef{Table: name}
+		if t := p.peek(); t.kind == tokIdent && !isReserved(t.text) {
+			ref.Alias = t.text
+			p.next()
+		}
+		sel.From = append(sel.From, ref)
+		if p.peek().isSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().isKeyword("where") {
+		p.next()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			sel.Where = append(sel.Where, cond)
+			if p.peek().isKeyword("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().isKeyword("limit") {
+		p.next()
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected a row count after LIMIT, got %s", t)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// isReserved lists keywords that terminate an implicit alias position.
+func isReserved(word string) bool {
+	switch strings.ToUpper(word) {
+	case "WHERE", "AND", "FROM", "SELECT", "ORDER", "GROUP", "HAVING",
+		"LIMIT", "JOIN", "ON", "INNER", "LEFT", "RIGHT", "UNION":
+		return true
+	}
+	return false
+}
+
+// Limited reports whether the query carries a LIMIT clause.
+func (s *Select) Limited() bool { return s.Limit > 0 }
+
+func (p *parser) parseColRef() (ColRef, error) {
+	first, err := p.ident("column reference")
+	if err != nil {
+		return ColRef{}, err
+	}
+	if p.peek().isSymbol(".") {
+		p.next()
+		second, err := p.ident("column name")
+		if err != nil {
+			return ColRef{}, err
+		}
+		return ColRef{Qualifier: first, Column: second}, nil
+	}
+	return ColRef{Column: first}, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	negated := false
+	if p.peek().isKeyword("not") {
+		p.next()
+		negated = true
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	switch {
+	case t.isKeyword("between"):
+		p.next()
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("and"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if negated {
+			return nil, p.errorf("NOT BETWEEN is not supported")
+		}
+		return &Between{Col: col, Lo: lo, Hi: hi}, nil
+	case t.isKeyword("in"):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var vals []value.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+			if p.peek().isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		if negated {
+			return nil, p.errorf("NOT IN is not supported")
+		}
+		return &In{Col: col, Vals: vals}, nil
+	case t.kind == tokSymbol:
+		op, ok := compareOp(t.text)
+		if !ok {
+			return nil, p.errorf("expected a comparison operator, got %s", t)
+		}
+		p.next()
+		if negated {
+			op = op.Negate()
+		}
+		// Either a literal or a second column reference (join predicate).
+		if rt := p.peek(); rt.kind == tokIdent && !isLiteralKeyword(rt.text) {
+			right, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			if op != OpEq {
+				return nil, p.errorf("join predicates must use '=', got %s", op)
+			}
+			return &Join{Left: col, Right: right}, nil
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &Compare{Col: col, Op: op, Val: v}, nil
+	default:
+		return nil, p.errorf("expected a predicate after %s, got %s", col, t)
+	}
+}
+
+func compareOp(sym string) (CompareOp, bool) {
+	switch sym {
+	case "=":
+		return OpEq, true
+	case "<>":
+		return OpNe, true
+	case "<":
+		return OpLt, true
+	case "<=":
+		return OpLe, true
+	case ">":
+		return OpGt, true
+	case ">=":
+		return OpGe, true
+	}
+	return 0, false
+}
+
+func isLiteralKeyword(word string) bool {
+	switch strings.ToUpper(word) {
+	case "TRUE", "FALSE", "DATE":
+		return true
+	}
+	return false
+}
+
+// parseLiteral parses a literal: numbers (with optional sign), quoted
+// strings, TRUE/FALSE, DATE 'YYYY-MM-DD', and the paper's bare
+// DD-MM-YYYY date syntax (lexed as NUMBER '-' NUMBER '-' NUMBER).
+func (p *parser) parseLiteral() (value.Value, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokString:
+		p.next()
+		return value.NewString(t.text), nil
+	case t.kind == tokNumber:
+		p.next()
+		// Bare date literal: 05-11-2006 (the demo query's format).
+		if p.peek().isSymbol("-") && p.toks[p.i+1].kind == tokNumber {
+			save := p.i
+			p.next()
+			mid := p.next()
+			if p.peek().isSymbol("-") && p.toks[p.i+1].kind == tokNumber {
+				p.next()
+				last := p.next()
+				d, err := value.ParseDate(t.text + "-" + mid.text + "-" + last.text)
+				if err == nil {
+					return d, nil
+				}
+			}
+			p.i = save
+		}
+		return parseNumber(t.text, false)
+	case t.isSymbol("-") || t.isSymbol("+"):
+		neg := t.text == "-"
+		p.next()
+		num := p.peek()
+		if num.kind != tokNumber {
+			return value.Value{}, p.errorf("expected a number after %q", t.text)
+		}
+		p.next()
+		return parseNumber(num.text, neg)
+	case t.isKeyword("true"):
+		p.next()
+		return value.NewBool(true), nil
+	case t.isKeyword("false"):
+		p.next()
+		return value.NewBool(false), nil
+	case t.isKeyword("date"):
+		p.next()
+		s := p.peek()
+		if s.kind != tokString {
+			return value.Value{}, p.errorf("expected a date string after DATE")
+		}
+		p.next()
+		return value.ParseDate(s.text)
+	default:
+		return value.Value{}, p.errorf("expected a literal, got %s", t)
+	}
+}
+
+func parseNumber(text string, negate bool) (value.Value, error) {
+	if strings.Contains(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return value.Value{}, fmt.Errorf("sql: invalid number %q: %v", text, err)
+		}
+		if negate {
+			f = -f
+		}
+		return value.NewFloat(f), nil
+	}
+	i, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return value.Value{}, fmt.Errorf("sql: invalid number %q: %v", text, err)
+	}
+	if negate {
+		i = -i
+	}
+	return value.NewInt(i), nil
+}

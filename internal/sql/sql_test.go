@@ -1,0 +1,343 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// The paper's DDL example (Section 2).
+const paperDDL = `CREATE TABLE Visit (
+	VisID INTEGER PRIMARY KEY,
+	Date DATE,
+	Purpose CHAR(100) HIDDEN,
+	DocID REFERENCES Doctor(DocID) HIDDEN,
+	PatID REFERENCES Patient(PatID) HIDDEN);`
+
+// The paper's demo query (Section 4), verbatim including the /*VISIBLE*/
+// and /*HIDDEN*/ annotations and the bare DD-MM-YYYY date.
+const paperQuery = `SELECT
+	Med.Name, Pre.Quantity, Vis.Date
+	FROM Medicine Med, Prescription Pre, Visit Vis
+	WHERE
+	Vis.Date > 05-11-2006 /*VISIBLE*/
+	AND Vis.Purpose = "Sclerosis" /*HIDDEN*/
+	AND Med.Type = "Antibiotic"  /*VISIBLE*/
+	AND Med.MedID = Pre.MedID
+	AND Vis.VisID = Pre.VisID;`
+
+func TestParsePaperDDL(t *testing.T) {
+	stmt, err := Parse(paperDDL)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	ct, ok := stmt.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", stmt)
+	}
+	if ct.Table != "Visit" || len(ct.Columns) != 5 {
+		t.Fatalf("table %s with %d columns", ct.Table, len(ct.Columns))
+	}
+	if !ct.Columns[0].PrimaryKey || ct.Columns[0].Type.Kind != value.Int {
+		t.Errorf("VisID = %+v", ct.Columns[0])
+	}
+	if ct.Columns[1].Type.Kind != value.Date || ct.Columns[1].Hidden {
+		t.Errorf("Date = %+v", ct.Columns[1])
+	}
+	if !ct.Columns[2].Hidden || ct.Columns[2].Type.Size != 100 {
+		t.Errorf("Purpose = %+v", ct.Columns[2])
+	}
+	// FK without explicit type defaults to INTEGER.
+	if ct.Columns[3].RefTable != "Doctor" || ct.Columns[3].RefColumn != "DocID" ||
+		!ct.Columns[3].Hidden || ct.Columns[3].Type.Kind != value.Int {
+		t.Errorf("DocID = %+v", ct.Columns[3])
+	}
+}
+
+func TestParsePaperQuery(t *testing.T) {
+	stmt, err := Parse(paperQuery)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sel := stmt.(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("%d projection items", len(sel.Items))
+	}
+	if sel.Items[0].Col != (ColRef{Qualifier: "Med", Column: "Name"}) {
+		t.Errorf("item[0] = %v", sel.Items[0])
+	}
+	if len(sel.From) != 3 || sel.From[1] != (TableRef{Table: "Prescription", Alias: "Pre"}) {
+		t.Errorf("FROM = %v", sel.From)
+	}
+	if len(sel.Where) != 5 {
+		t.Fatalf("%d conditions", len(sel.Where))
+	}
+	date, ok := sel.Where[0].(*Compare)
+	if !ok || date.Op != OpGt {
+		t.Fatalf("cond[0] = %v", sel.Where[0])
+	}
+	if date.Val != value.NewDate(2006, 11, 5) {
+		t.Errorf("bare date literal parsed as %v", date.Val)
+	}
+	purpose := sel.Where[1].(*Compare)
+	if purpose.Val != value.NewString("Sclerosis") || purpose.Op != OpEq {
+		t.Errorf("cond[1] = %v", sel.Where[1])
+	}
+	j, ok := sel.Where[3].(*Join)
+	if !ok || j.Left.String() != "Med.MedID" || j.Right.String() != "Pre.MedID" {
+		t.Errorf("cond[3] = %v", sel.Where[3])
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO Doctor VALUES (1, 'Ellis', 'Cardiology', 75012, 'France'), (2, 'Gall', 'Oncology', 69002, 'Spain')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if ins.Table != "Doctor" || len(ins.Rows) != 2 {
+		t.Fatalf("%s with %d rows", ins.Table, len(ins.Rows))
+	}
+	if ins.Rows[0][0] != value.NewInt(1) || ins.Rows[1][4] != value.NewString("Spain") {
+		t.Errorf("rows = %v", ins.Rows)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	cases := []struct {
+		expr string
+		want value.Value
+	}{
+		{"x = 42", value.NewInt(42)},
+		{"x = -42", value.NewInt(-42)},
+		{"x = +7", value.NewInt(7)},
+		{"x = 2.5", value.NewFloat(2.5)},
+		{"x = -0.5", value.NewFloat(-0.5)},
+		{"x = 'it''s'", value.NewString("it's")},
+		{`x = "dq"`, value.NewString("dq")},
+		{"x = TRUE", value.NewBool(true)},
+		{"x = false", value.NewBool(false)},
+		{"x = DATE '2006-11-05'", value.NewDate(2006, 11, 5)},
+		{"x = 05-11-2006", value.NewDate(2006, 11, 5)},
+	}
+	for _, c := range cases {
+		sel, err := ParseSelect("SELECT * FROM T WHERE " + c.expr)
+		if err != nil {
+			t.Errorf("%s: %v", c.expr, err)
+			continue
+		}
+		cmp, ok := sel.Where[0].(*Compare)
+		if !ok {
+			t.Errorf("%s: got %T", c.expr, sel.Where[0])
+			continue
+		}
+		if cmp.Val != c.want {
+			t.Errorf("%s: literal %v, want %v", c.expr, cmp.Val, c.want)
+		}
+	}
+}
+
+func TestParseBetweenAndIn(t *testing.T) {
+	sel, err := ParseSelect(`SELECT * FROM Pat WHERE Age BETWEEN 30 AND 40 AND Country IN ('France', 'Spain')`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, ok := sel.Where[0].(*Between)
+	if !ok || b.Lo != value.NewInt(30) || b.Hi != value.NewInt(40) {
+		t.Errorf("between = %v", sel.Where[0])
+	}
+	in, ok := sel.Where[1].(*In)
+	if !ok || len(in.Vals) != 2 || in.Vals[1] != value.NewString("Spain") {
+		t.Errorf("in = %v", sel.Where[1])
+	}
+}
+
+func TestParseNotPushdown(t *testing.T) {
+	sel, err := ParseSelect(`SELECT * FROM T WHERE NOT Age > 30`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := sel.Where[0].(*Compare)
+	if cmp.Op != OpLe {
+		t.Errorf("NOT > rewrote to %v", cmp.Op)
+	}
+}
+
+func TestOperatorSynonyms(t *testing.T) {
+	for _, expr := range []string{"x <> 1", "x != 1"} {
+		sel, err := ParseSelect("SELECT * FROM T WHERE " + expr)
+		if err != nil {
+			t.Fatalf("%s: %v", expr, err)
+		}
+		if sel.Where[0].(*Compare).Op != OpNe {
+			t.Errorf("%s parsed as %v", expr, sel.Where[0])
+		}
+	}
+}
+
+func TestCompareOpNegateAndString(t *testing.T) {
+	ops := []CompareOp{OpEq, OpNe, OpLt, OpLe, OpGt, OpGe}
+	for _, op := range ops {
+		if op.Negate().Negate() != op {
+			t.Errorf("double negate of %v", op)
+		}
+		if op.String() == "?" {
+			t.Errorf("missing String for %v", int(op))
+		}
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(paperDDL + "\n" + "INSERT INTO Visit VALUES (1, DATE '2006-01-01', 'Checkup', 1, 1);" + paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("%d statements", len(stmts))
+	}
+	if _, ok := stmts[0].(*CreateTable); !ok {
+		t.Errorf("stmt[0] = %T", stmts[0])
+	}
+	if _, ok := stmts[1].(*Insert); !ok {
+		t.Errorf("stmt[1] = %T", stmts[1])
+	}
+	if _, ok := stmts[2].(*Select); !ok {
+		t.Errorf("stmt[2] = %T", stmts[2])
+	}
+	empty, err := ParseScript("  ;; -- nothing\n")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty script: %v, %v", empty, err)
+	}
+}
+
+func TestLineComments(t *testing.T) {
+	sel, err := ParseSelect("SELECT * -- projection\nFROM T -- tables\nWHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Where) != 1 {
+		t.Error("comment handling broke the query")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"DROP TABLE x",
+		"SELECT",
+		"SELECT * FROM",
+		"SELECT * FROM T WHERE",
+		"SELECT * FROM T WHERE x",
+		"SELECT * FROM T WHERE x ==",
+		"SELECT * FROM T WHERE x = ",
+		"SELECT * FROM T WHERE x BETWEEN 1",
+		"SELECT * FROM T WHERE x IN ()",
+		"SELECT * FROM T WHERE x IN (1",
+		"SELECT * FROM T WHERE NOT x BETWEEN 1 AND 2",
+		"SELECT * FROM T WHERE NOT x IN (1)",
+		"SELECT * FROM T WHERE x < y", // non-equi join
+		"CREATE TABLE",
+		"CREATE TABLE t",
+		"CREATE TABLE t (",
+		"CREATE TABLE t (a WIBBLE)",
+		"CREATE TABLE t (a CHAR(0))",
+		"CREATE TABLE t (a CHAR(x))",
+		"CREATE TABLE t (a INTEGER PRIMARY)",
+		"INSERT Doctor VALUES (1)",
+		"INSERT INTO Doctor VALUES 1",
+		"SELECT * FROM T WHERE x = DATE 5",
+		"SELECT * FROM T; garbage",
+		"SELECT * FROM T WHERE x = 'unterminated",
+		"SELECT * FROM T /* unterminated",
+		"SELECT * FROM T WHERE x ! 1",
+		"SELECT * FROM T WHERE x = @",
+		"SELECT * FROM T WHERE x = -",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestParseSelectRejectsOthers(t *testing.T) {
+	if _, err := ParseSelect("INSERT INTO T VALUES (1)"); err == nil {
+		t.Error("ParseSelect accepted an INSERT")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to an equivalent statement.
+	inputs := []string{
+		paperDDL,
+		paperQuery,
+		"INSERT INTO T VALUES (1, 'x', DATE '2006-11-05')",
+		"SELECT a, T.b FROM T WHERE a BETWEEN 1 AND 2 AND b IN (1, 2, 3) AND c >= 'x'",
+		"SELECT * FROM A x, B y WHERE x.id = y.id",
+	}
+	for _, in := range inputs {
+		s1, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", s1.String(), err)
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("round trip changed:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestConditionStrings(t *testing.T) {
+	sel, err := ParseSelect(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := sel.String()
+	for _, want := range []string{
+		"Vis.Date > '2006-11-05'",
+		"Vis.Purpose = 'Sclerosis'",
+		"Med.MedID = Pre.MedID",
+		"FROM Medicine Med",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("String() = %q missing %q", rendered, want)
+		}
+	}
+}
+
+func TestParseLimit(t *testing.T) {
+	sel, err := ParseSelect(`SELECT a FROM T WHERE a > 1 LIMIT 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Limit != 10 || !sel.Limited() {
+		t.Errorf("Limit = %d", sel.Limit)
+	}
+	if !strings.Contains(sel.String(), "LIMIT 10") {
+		t.Errorf("String() = %q", sel.String())
+	}
+	// Round trip.
+	again, err := ParseSelect(sel.String())
+	if err != nil || again.Limit != 10 {
+		t.Errorf("round trip: %v, %v", again, err)
+	}
+	// No limit.
+	plain, err := ParseSelect(`SELECT a FROM T`)
+	if err != nil || plain.Limited() {
+		t.Errorf("plain query limited: %v", plain)
+	}
+	for _, bad := range []string{
+		`SELECT a FROM T LIMIT`,
+		`SELECT a FROM T LIMIT x`,
+		`SELECT a FROM T LIMIT 0`,
+		`SELECT a FROM T LIMIT -3`,
+	} {
+		if _, err := ParseSelect(bad); err == nil {
+			t.Errorf("ParseSelect(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOpCounters(t *testing.T) {
+	op := &Op{Name: "Translate", Detail: "Visit->Prescription"}
+	op.AddIn(10)
+	op.AddIn(5)
+	op.AddOut(7)
+	op.NoteRAM(100)
+	op.NoteRAM(50) // lower value must not shrink the peak
+	op.AddTime(2 * time.Millisecond)
+	op.AddTime(time.Millisecond)
+	if op.TuplesIn != 15 || op.TuplesOut != 7 {
+		t.Errorf("counters %+v", op)
+	}
+	if op.RAMBytes != 100 {
+		t.Errorf("RAM peak %d", op.RAMBytes)
+	}
+	if op.Time != 3*time.Millisecond {
+		t.Errorf("time %v", op.Time)
+	}
+	s := op.String()
+	for _, want := range []string{"Translate(Visit->Prescription)", "in=15", "out=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestNilOpSafe(t *testing.T) {
+	var op *Op
+	op.AddIn(1)
+	op.AddOut(1)
+	op.NoteRAM(1)
+	op.AddTime(time.Second)
+}
+
+func TestReport(t *testing.T) {
+	r := &Report{Query: "SELECT 1", PlanLabel: "P1", TotalTime: time.Second,
+		RAMHigh: 4096, BusBytes: 1 << 20, BusMsgs: 3, ResultRows: 42}
+	op := r.NewOp("Store", "")
+	op.AddIn(10)
+	if len(r.Ops) != 1 {
+		t.Fatalf("ops = %d", len(r.Ops))
+	}
+	s := r.String()
+	for _, want := range []string{"P1", "42 rows", "4.0KB", "1.0MB", "Store"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0B",
+		512:     "512B",
+		1536:    "1.5KB",
+		3 << 20: "3.0MB",
+		5 << 30: "5.00GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		500 * time.Nanosecond:   "500ns",
+		1500 * time.Nanosecond:  "1.5µs",
+		2 * time.Millisecond:    "2.00ms",
+		1500 * time.Millisecond: "1.500s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

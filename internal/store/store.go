@@ -1,0 +1,353 @@
+// Package store is the smart USB device's storage engine: column files on
+// NAND flash holding the hidden part of the database (every HIDDEN column
+// plus the replicated primary keys of all tables — paper Section 2), with
+// a small page cache charged against the device's RAM arena.
+//
+// Columns are written once during the secure bulk load and never updated
+// in place, matching the flash constraint. Fixed-width kinds (INTEGER,
+// DATE, FLOAT, BOOLEAN) are stored as packed arrays; strings are stored
+// as an offset array plus a heap of encoded values.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/ram"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Store manages the device-resident column files.
+type Store struct {
+	dev        *device.Device
+	cache      *flash.Cache
+	cacheGrant *ram.Grant
+	tables     map[string]*TableData
+}
+
+// New creates a store on the device, allocating the page cache out of the
+// device RAM budget.
+func New(dev *device.Device) (*Store, error) {
+	cache, err := flash.NewCache(dev.Flash, dev.Profile.CacheFrames)
+	if err != nil {
+		return nil, err
+	}
+	grant, err := dev.RAM.Alloc(cache.FootprintBytes(), "page-cache")
+	if err != nil {
+		return nil, fmt.Errorf("store: cache does not fit in RAM: %w", err)
+	}
+	return &Store{
+		dev:        dev,
+		cache:      cache,
+		cacheGrant: grant,
+		tables:     map[string]*TableData{},
+	}, nil
+}
+
+// Device returns the underlying device.
+func (s *Store) Device() *device.Device { return s.dev }
+
+// Cache returns the shared random-access page cache.
+func (s *Store) Cache() *flash.Cache { return s.cache }
+
+// AppendRegion writes a raw region into the main space (used by the index
+// builders in the skt and climbing packages).
+func (s *Store) AppendRegion(data []byte) (flash.Extent, error) {
+	return s.dev.Main.AppendRegion(data)
+}
+
+// FootprintBytes reports the total main-space flash consumed so far.
+func (s *Store) FootprintBytes() int64 { return s.dev.Main.UsedBytes() }
+
+// TableData holds a table's device-resident columns.
+type TableData struct {
+	Name string
+	rows int
+	cols map[string]Column
+}
+
+// Rows reports the table cardinality.
+func (t *TableData) Rows() int { return t.rows }
+
+// Column returns the named column file (case-insensitive).
+func (t *TableData) Column(name string) (Column, bool) {
+	c, ok := t.cols[strings.ToLower(name)]
+	return c, ok
+}
+
+// ColumnNames lists the stored columns (unordered).
+func (t *TableData) ColumnNames() []string {
+	out := make([]string, 0, len(t.cols))
+	for n := range t.cols {
+		out = append(out, n)
+	}
+	return out
+}
+
+// CreateTable registers a table with a fixed row count (GhostDB is bulk
+// loaded; cardinalities are known at load time).
+func (s *Store) CreateTable(name string, rows int) (*TableData, error) {
+	key := strings.ToLower(name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("store: duplicate table %s", name)
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("store: negative row count for %s", name)
+	}
+	t := &TableData{Name: name, rows: rows, cols: map[string]Column{}}
+	s.tables[key] = t
+	return t, nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*TableData, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// AddColumn stores vals as a column of the table, choosing the layout from
+// the kind. len(vals) must equal the table's row count; row i holds the
+// value of the tuple with ID i+1.
+func (s *Store) AddColumn(table, col string, kind value.Kind, vals []value.Value) (Column, error) {
+	t, ok := s.tables[strings.ToLower(table)]
+	if !ok {
+		return nil, fmt.Errorf("store: unknown table %s", table)
+	}
+	if len(vals) != t.rows {
+		return nil, fmt.Errorf("store: %s.%s has %d values for %d rows", table, col, len(vals), t.rows)
+	}
+	key := strings.ToLower(col)
+	if _, dup := t.cols[key]; dup {
+		return nil, fmt.Errorf("store: duplicate column %s.%s", table, col)
+	}
+	var c Column
+	var err error
+	if kind == value.String {
+		c, err = s.buildVarColumn(kind, vals)
+	} else {
+		c, err = s.buildFixedColumn(kind, vals)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: %s.%s: %w", table, col, err)
+	}
+	t.cols[key] = c
+	return c, nil
+}
+
+// Column is a read-only column file.
+type Column interface {
+	// Value returns the value of row i (0-based).
+	Value(i int) (value.Value, error)
+	// Kind reports the column's value kind.
+	Kind() value.Kind
+	// Len reports the number of rows.
+	Len() int
+	// Bytes reports the flash footprint.
+	Bytes() int64
+}
+
+// fixedWidth returns the storage width for a fixed-width kind.
+func fixedWidth(kind value.Kind) (int, error) {
+	switch kind {
+	case value.Int:
+		return 8, nil
+	case value.Date:
+		return 4, nil
+	case value.Float:
+		return 8, nil
+	case value.Bool:
+		return 1, nil
+	default:
+		return 0, fmt.Errorf("kind %s is not fixed width", kind)
+	}
+}
+
+// FixedColumn stores fixed-width values as a packed array.
+type FixedColumn struct {
+	store *Store
+	ext   flash.Extent
+	kind  value.Kind
+	width int
+	n     int
+}
+
+func (s *Store) buildFixedColumn(kind value.Kind, vals []value.Value) (*FixedColumn, error) {
+	w, err := fixedWidth(kind)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, len(vals)*w)
+	for i, v := range vals {
+		cv, err := value.Coerce(v, kind)
+		if err != nil {
+			return nil, fmt.Errorf("row %d: %w", i, err)
+		}
+		buf = appendFixed(buf, cv, w)
+	}
+	ext, err := s.AppendRegion(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &FixedColumn{store: s, ext: ext, kind: kind, width: w, n: len(vals)}, nil
+}
+
+func appendFixed(buf []byte, v value.Value, width int) []byte {
+	switch v.Kind() {
+	case value.Int:
+		return binary.LittleEndian.AppendUint64(buf, uint64(v.Int()))
+	case value.Date:
+		return binary.LittleEndian.AppendUint32(buf, uint32(int32(v.DateDays())))
+	case value.Float:
+		return binary.LittleEndian.AppendUint64(buf, uint64(floatBits(v.Float())))
+	case value.Bool:
+		if v.Bool() {
+			return append(buf, 1)
+		}
+		return append(buf, 0)
+	default:
+		panic("store: appendFixed of " + v.Kind().String())
+	}
+}
+
+// Value implements Column.
+func (c *FixedColumn) Value(i int) (value.Value, error) {
+	if i < 0 || i >= c.n {
+		return value.Value{}, fmt.Errorf("store: row %d of %d", i, c.n)
+	}
+	var raw [8]byte
+	if err := c.store.cache.ReadAt(raw[:c.width], c.ext.Start+int64(i)*int64(c.width)); err != nil {
+		return value.Value{}, err
+	}
+	switch c.kind {
+	case value.Int:
+		return value.NewInt(int64(binary.LittleEndian.Uint64(raw[:8]))), nil
+	case value.Date:
+		return value.NewDateDays(int64(int32(binary.LittleEndian.Uint32(raw[:4])))), nil
+	case value.Float:
+		return value.NewFloat(floatFromBits(binary.LittleEndian.Uint64(raw[:8]))), nil
+	case value.Bool:
+		return value.NewBool(raw[0] != 0), nil
+	}
+	return value.Value{}, fmt.Errorf("store: bad fixed kind %s", c.kind)
+}
+
+// Kind implements Column.
+func (c *FixedColumn) Kind() value.Kind { return c.kind }
+
+// Len implements Column.
+func (c *FixedColumn) Len() int { return c.n }
+
+// Bytes implements Column.
+func (c *FixedColumn) Bytes() int64 { return c.ext.Len }
+
+// VarColumn stores variable-width values as an offset array plus a heap.
+type VarColumn struct {
+	store   *Store
+	offExt  flash.Extent // (n+1) uint32 offsets into the heap
+	dataExt flash.Extent
+	kind    value.Kind
+	n       int
+}
+
+func (s *Store) buildVarColumn(kind value.Kind, vals []value.Value) (*VarColumn, error) {
+	var heap []byte
+	offs := make([]byte, 0, (len(vals)+1)*4)
+	for i, v := range vals {
+		if v.Kind() != kind {
+			return nil, fmt.Errorf("row %d: kind %s, want %s", i, v.Kind(), kind)
+		}
+		offs = binary.LittleEndian.AppendUint32(offs, uint32(len(heap)))
+		heap = v.Append(heap)
+	}
+	offs = binary.LittleEndian.AppendUint32(offs, uint32(len(heap)))
+	offExt, err := s.AppendRegion(offs)
+	if err != nil {
+		return nil, err
+	}
+	dataExt, err := s.AppendRegion(heap)
+	if err != nil {
+		return nil, err
+	}
+	return &VarColumn{store: s, offExt: offExt, dataExt: dataExt, kind: kind, n: len(vals)}, nil
+}
+
+// Value implements Column.
+func (c *VarColumn) Value(i int) (value.Value, error) {
+	if i < 0 || i >= c.n {
+		return value.Value{}, fmt.Errorf("store: row %d of %d", i, c.n)
+	}
+	var raw [8]byte
+	if err := c.store.cache.ReadAt(raw[:], c.offExt.Start+int64(i)*4); err != nil {
+		return value.Value{}, err
+	}
+	start := binary.LittleEndian.Uint32(raw[:4])
+	end := binary.LittleEndian.Uint32(raw[4:])
+	if end < start || int64(end) > c.dataExt.Len {
+		return value.Value{}, fmt.Errorf("store: corrupt offsets %d..%d", start, end)
+	}
+	buf := make([]byte, end-start)
+	if err := c.store.cache.ReadAt(buf, c.dataExt.Start+int64(start)); err != nil {
+		return value.Value{}, err
+	}
+	v, _, err := value.Decode(buf)
+	return v, err
+}
+
+// Kind implements Column.
+func (c *VarColumn) Kind() value.Kind { return c.kind }
+
+// Len implements Column.
+func (c *VarColumn) Len() int { return c.n }
+
+// Bytes implements Column.
+func (c *VarColumn) Bytes() int64 { return c.offExt.Len + c.dataExt.Len }
+
+// IDColumn is a packed array of uint32 row identifiers — the building
+// block of Subtree Key Tables. Sorted access patterns hit the page cache.
+type IDColumn struct {
+	store *Store
+	ext   flash.Extent
+	n     int
+}
+
+// BuildIDColumn writes ids as a packed uint32 array in the main space.
+func (s *Store) BuildIDColumn(ids []uint32) (*IDColumn, error) {
+	buf := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint32(buf, id)
+	}
+	ext, err := s.AppendRegion(buf)
+	if err != nil {
+		return nil, err
+	}
+	return &IDColumn{store: s, ext: ext, n: len(ids)}, nil
+}
+
+// Get returns element i (0-based).
+func (c *IDColumn) Get(i int) (uint32, error) {
+	if i < 0 || i >= c.n {
+		return 0, fmt.Errorf("store: ID element %d of %d", i, c.n)
+	}
+	var raw [4]byte
+	if err := c.store.cache.ReadAt(raw[:], c.ext.Start+int64(i)*4); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(raw[:]), nil
+}
+
+// Len reports the element count.
+func (c *IDColumn) Len() int { return c.n }
+
+// Bytes reports the flash footprint.
+func (c *IDColumn) Bytes() int64 { return c.ext.Len }
+
+// Extent exposes the storage location (for sequential scans).
+func (c *IDColumn) Extent() flash.Extent { return c.ext }
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromBits(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,162 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+func TestPartyTrust(t *testing.T) {
+	if Terminal.Trusted() || Server.Trusted() {
+		t.Error("terminal/server must be untrusted")
+	}
+	if !Device.Trusted() || !Display.Trusted() {
+		t.Error("device/display must be trusted")
+	}
+}
+
+func TestSpyVisibility(t *testing.T) {
+	secure := Event{From: Device, To: Display}
+	if secure.SpyVisible() {
+		t.Error("device->display must be invisible to the spy")
+	}
+	for _, e := range []Event{
+		{From: Terminal, To: Server},
+		{From: Server, To: Terminal},
+		{From: Terminal, To: Device},
+		{From: Device, To: Terminal},
+	} {
+		if !e.SpyVisible() {
+			t.Errorf("%s->%s must be spy visible", e.From, e.To)
+		}
+	}
+}
+
+func TestRecorderCaptureLevels(t *testing.T) {
+	vals := []value.Value{value.NewString("Sclerosis")}
+
+	meta := NewRecorder(CaptureMeta)
+	meta.Record(Event{From: Terminal, To: Device, Kind: KindIDList, Bytes: 8, Values: vals})
+	if got := meta.Events()[0].Values; got != nil {
+		t.Errorf("CaptureMeta kept values: %v", got)
+	}
+
+	full := NewRecorder(CaptureFull)
+	full.Record(Event{From: Terminal, To: Device, Kind: KindIDList, Bytes: 8, Values: vals})
+	if got := full.Events()[0].Values; len(got) != 1 {
+		t.Errorf("CaptureFull dropped values: %v", got)
+	}
+	if full.Level() != CaptureFull {
+		t.Error("Level() mismatch")
+	}
+	full.SetLevel(CaptureMeta)
+	full.Record(Event{From: Terminal, To: Device, Values: vals})
+	if got := full.Events()[1].Values; got != nil {
+		t.Error("SetLevel did not take effect")
+	}
+}
+
+func TestRecorderSeqAndReset(t *testing.T) {
+	r := NewRecorder(CaptureMeta)
+	for i := 0; i < 3; i++ {
+		r.Record(Event{From: Terminal, To: Server})
+	}
+	evs := r.Events()
+	if len(evs) != 3 || r.Len() != 3 {
+		t.Fatalf("recorded %d events", len(evs))
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, e.Seq)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+	r.Record(Event{From: Terminal, To: Server})
+	if r.Events()[0].Seq != 1 {
+		t.Error("seq not rewound by Reset")
+	}
+}
+
+func TestSpyView(t *testing.T) {
+	r := NewRecorder(CaptureMeta)
+	r.Record(Event{From: Terminal, To: Device, Kind: KindIDList})
+	r.Record(Event{From: Device, To: Display, Kind: KindResult})
+	r.Record(Event{From: Server, To: Terminal, Kind: KindCount})
+	spy := r.SpyView()
+	if len(spy) != 2 {
+		t.Fatalf("spy sees %d events, want 2", len(spy))
+	}
+	for _, e := range spy {
+		if e.Kind == KindResult {
+			t.Error("spy must not see the secure result channel")
+		}
+	}
+}
+
+func TestTotals(t *testing.T) {
+	events := []Event{
+		{From: Terminal, To: Device, Kind: KindIDList, Bytes: 100},
+		{From: Terminal, To: Device, Kind: KindIDList, Bytes: 50},
+		{From: Terminal, To: Device, Kind: KindProjection, Bytes: 10},
+		{From: Server, To: Terminal, Kind: KindCount, Bytes: 4},
+	}
+	totals := Totals(events)
+	if len(totals) != 3 {
+		t.Fatalf("%d totals, want 3", len(totals))
+	}
+	// Sorted by from, to, kind: server first, then terminal->device pairs.
+	if totals[0].From != Server || totals[0].Bytes != 4 {
+		t.Errorf("totals[0] = %+v", totals[0])
+	}
+	if totals[1].Kind != KindIDList || totals[1].Messages != 2 || totals[1].Bytes != 150 {
+		t.Errorf("totals[1] = %+v", totals[1])
+	}
+}
+
+func TestAuditFindsLeaks(t *testing.T) {
+	hidden := value.NewString("Sclerosis")
+	isHidden := func(v value.Value) bool { return v == hidden }
+
+	clean := []Event{
+		{From: Terminal, To: Device, Kind: KindIDList, Values: []value.Value{value.NewInt(7)}},
+		// Hidden value on the secure channel is fine.
+		{From: Device, To: Display, Kind: KindResult, Values: []value.Value{hidden}},
+	}
+	if leaks := Audit(clean, isHidden); len(leaks) != 0 {
+		t.Errorf("clean trace reported leaks: %v", leaks)
+	}
+
+	dirty := append(clean, Event{
+		Seq: 99, From: Device, To: Terminal, Kind: KindControl,
+		Values: []value.Value{value.NewInt(1), hidden},
+	})
+	leaks := Audit(dirty, isHidden)
+	if len(leaks) != 1 {
+		t.Fatalf("%d leaks, want 1", len(leaks))
+	}
+	if leaks[0].Event.Seq != 99 || leaks[0].Value != hidden {
+		t.Errorf("leak = %+v", leaks[0])
+	}
+}
+
+func TestEventStringAndFormat(t *testing.T) {
+	e := Event{
+		At: 1500 * time.Microsecond, From: Terminal, To: Device,
+		Kind: KindIDList, Bytes: 42, Note: "VisID chunk",
+	}
+	s := e.String()
+	for _, want := range []string{"terminal", "device", "id-list", "42B", "VisID chunk", "1.500ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	out := Format([]Event{e, e})
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("Format produced %q", out)
+	}
+}

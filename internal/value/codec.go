@@ -1,0 +1,95 @@
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Append serializes v onto dst in the canonical wire/flash encoding and
+// returns the extended slice. The encoding is a kind byte followed by:
+//
+//	Int, Date, Bool: zig-zag varint payload
+//	Float:           8-byte little-endian IEEE bits
+//	String:          uvarint length + raw bytes
+func (v Value) Append(dst []byte) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case Int, Date, Bool:
+		dst = binary.AppendVarint(dst, v.i)
+	case Float:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.f))
+		dst = append(dst, b[:]...)
+	case String:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	case Invalid:
+		// kind byte alone
+	default:
+		panic(fmt.Sprintf("value: Append of unknown kind %d", v.kind))
+	}
+	return dst
+}
+
+// EncodedSize reports the number of bytes Append would produce for v.
+func (v Value) EncodedSize() int {
+	switch v.kind {
+	case Int, Date, Bool:
+		return 1 + varintLen(v.i)
+	case Float:
+		return 9
+	case String:
+		return 1 + uvarintLen(uint64(len(v.s))) + len(v.s)
+	default:
+		return 1
+	}
+}
+
+// Decode parses one encoded value from src, returning the value and the
+// number of bytes consumed.
+func Decode(src []byte) (Value, int, error) {
+	if len(src) == 0 {
+		return Value{}, 0, fmt.Errorf("value: decode of empty buffer")
+	}
+	k := Kind(src[0])
+	switch k {
+	case Int, Date, Bool:
+		i, n := binary.Varint(src[1:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: corrupt varint payload")
+		}
+		return Value{kind: k, i: i}, 1 + n, nil
+	case Float:
+		if len(src) < 9 {
+			return Value{}, 0, fmt.Errorf("value: short float payload")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(src[1:9]))
+		return Value{kind: k, f: f}, 9, nil
+	case String:
+		l, n := binary.Uvarint(src[1:])
+		if n <= 0 {
+			return Value{}, 0, fmt.Errorf("value: corrupt string length")
+		}
+		start := 1 + n
+		end := start + int(l)
+		if end > len(src) {
+			return Value{}, 0, fmt.Errorf("value: short string payload")
+		}
+		return Value{kind: k, s: string(src[start:end])}, end, nil
+	case Invalid:
+		return Value{}, 1, nil
+	default:
+		return Value{}, 0, fmt.Errorf("value: unknown kind byte %d", src[0])
+	}
+}
+
+func varintLen(v int64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutVarint(buf[:], v)
+}
+
+func uvarintLen(v uint64) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], v)
+}

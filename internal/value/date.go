@@ -1,0 +1,95 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// daysFromCivil converts a proleptic Gregorian civil date to days since
+// 1970-01-01 (Howard Hinnant's algorithm).
+func daysFromCivil(y, m, d int) int64 {
+	if m <= 2 {
+		y--
+	}
+	var era int
+	if y >= 0 {
+		era = y / 400
+	} else {
+		era = (y - 399) / 400
+	}
+	yoe := y - era*400 // [0, 399]
+	var mp int
+	if m > 2 {
+		mp = m - 3
+	} else {
+		mp = m + 9
+	}
+	doy := (153*mp+2)/5 + d - 1            // [0, 365]
+	doe := yoe*365 + yoe/4 - yoe/100 + doy // [0, 146096]
+	return int64(era)*146097 + int64(doe) - 719468
+}
+
+// civilFromDays converts days since 1970-01-01 back to a civil date.
+func civilFromDays(z int64) (y, m, d int) {
+	z += 719468
+	var era int64
+	if z >= 0 {
+		era = z / 146097
+	} else {
+		era = (z - 146096) / 146097
+	}
+	doe := z - era*146097                                  // [0, 146096]
+	yoe := (doe - doe/1460 + doe/36524 - doe/146096) / 365 // [0, 399]
+	yy := yoe + era*400                                    //
+	doy := doe - (365*yoe + yoe/4 - yoe/100)               // [0, 365]
+	mp := (5*doy + 2) / 153                                // [0, 11]
+	d = int(doy - (153*mp+2)/5 + 1)                        // [1, 31]
+	if mp < 10 {
+		m = int(mp + 3)
+	} else {
+		m = int(mp - 9)
+	}
+	if m <= 2 {
+		yy++
+	}
+	return int(yy), m, d
+}
+
+// ParseDate parses a date literal. Two layouts are accepted:
+//
+//   - ISO:    "2006-11-05"  (YYYY-MM-DD)
+//   - paper:  "05-11-2006"  (DD-MM-YYYY — the format used in the GhostDB
+//     demo query "Vis.Date > 05-11-2006")
+//
+// Separators may be '-' or '/'.
+func ParseDate(s string) (Value, error) {
+	fields := strings.FieldsFunc(s, func(r rune) bool { return r == '-' || r == '/' })
+	if len(fields) != 3 {
+		return Value{}, fmt.Errorf("value: invalid date literal %q", s)
+	}
+	nums := make([]int, 3)
+	for i, f := range fields {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return Value{}, fmt.Errorf("value: invalid date literal %q: %v", s, err)
+		}
+		nums[i] = n
+	}
+	var y, m, d int
+	if len(fields[0]) == 4 { // ISO YYYY-MM-DD
+		y, m, d = nums[0], nums[1], nums[2]
+	} else { // DD-MM-YYYY
+		d, m, y = nums[0], nums[1], nums[2]
+	}
+	if m < 1 || m > 12 || d < 1 || d > 31 || y < 1 || y > 9999 {
+		return Value{}, fmt.Errorf("value: date out of range %q", s)
+	}
+	return NewDate(y, m, d), nil
+}
+
+// Civil reports the year, month and day of a Date value. It panics if the
+// kind is not Date.
+func (v Value) Civil() (year, month, day int) {
+	return civilFromDays(v.DateDays())
+}

@@ -1,0 +1,287 @@
+// Package value defines the typed scalar values GhostDB stores and compares:
+// integers, strings, dates and floats. Values are small immutable structs,
+// comparable with ==, usable as map keys, and carry their own binary codec
+// for flash storage and wire transfer.
+package value
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the dynamic type of a Value.
+type Kind uint8
+
+// The supported kinds. Invalid is the zero Kind; a zero Value is Invalid.
+const (
+	Invalid Kind = iota
+	Int          // 64-bit signed integer
+	Float        // 64-bit IEEE float
+	String       // UTF-8 string (CHAR/VARCHAR)
+	Date         // calendar date, stored as days since 1970-01-01
+	Bool         // boolean
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Invalid:
+		return "INVALID"
+	case Int:
+		return "INTEGER"
+	case Float:
+		return "FLOAT"
+	case String:
+		return "CHAR"
+	case Date:
+		return "DATE"
+	case Bool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("KIND(%d)", uint8(k))
+	}
+}
+
+// Value is a typed scalar. The zero Value has Kind Invalid. Values are
+// comparable with == (no reference fields), so they can key maps; use
+// Compare for SQL ordering semantics.
+type Value struct {
+	kind Kind
+	i    int64 // Int payload, Date days, Bool 0/1
+	f    float64
+	s    string
+}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: Int, i: v} }
+
+// NewFloat returns a float value.
+func NewFloat(v float64) Value { return Value{kind: Float, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: String, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: Bool, i: i}
+}
+
+// NewDateDays returns a date value from a days-since-epoch count.
+func NewDateDays(days int64) Value { return Value{kind: Date, i: days} }
+
+// NewDate returns a date value for the given civil year, month and day.
+func NewDate(year, month, day int) Value {
+	return Value{kind: Date, i: daysFromCivil(year, month, day)}
+}
+
+// Kind reports the value's dynamic type.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsValid reports whether the value carries a kind.
+func (v Value) IsValid() bool { return v.kind != Invalid }
+
+// Int returns the integer payload. It panics if the kind is not Int.
+func (v Value) Int() int64 {
+	if v.kind != Int {
+		panic("value: Int() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// Float returns the float payload. It panics if the kind is not Float.
+func (v Value) Float() float64 {
+	if v.kind != Float {
+		panic("value: Float() on " + v.kind.String())
+	}
+	return v.f
+}
+
+// Str returns the string payload. It panics if the kind is not String.
+func (v Value) Str() string {
+	if v.kind != String {
+		panic("value: Str() on " + v.kind.String())
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics if the kind is not Bool.
+func (v Value) Bool() bool {
+	if v.kind != Bool {
+		panic("value: Bool() on " + v.kind.String())
+	}
+	return v.i != 0
+}
+
+// DateDays returns the days-since-epoch payload. It panics if the kind is
+// not Date.
+func (v Value) DateDays() int64 {
+	if v.kind != Date {
+		panic("value: DateDays() on " + v.kind.String())
+	}
+	return v.i
+}
+
+// String renders the value for display: dates as YYYY-MM-DD, strings
+// unquoted, numbers in decimal.
+func (v Value) String() string {
+	switch v.kind {
+	case Invalid:
+		return "NULL"
+	case Int:
+		return strconv.FormatInt(v.i, 10)
+	case Float:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case String:
+		return v.s
+	case Date:
+		y, m, d := civilFromDays(v.i)
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	case Bool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+// SQL renders the value as a SQL literal (strings quoted, dates quoted ISO).
+func (v Value) SQL() string {
+	switch v.kind {
+	case String:
+		return "'" + v.s + "'"
+	case Date:
+		return "'" + v.String() + "'"
+	default:
+		return v.String()
+	}
+}
+
+// ErrIncomparable is returned by Compare when two kinds cannot be ordered
+// against each other even after coercion.
+var ErrIncomparable = errors.New("value: incomparable kinds")
+
+// Compare orders a against b: -1, 0 or +1. Numeric kinds compare after
+// widening; a String compares against a Date by parsing the string as a
+// date (how the SQL front end passes date literals). Other cross-kind
+// comparisons return ErrIncomparable.
+func Compare(a, b Value) (int, error) {
+	if a.kind == b.kind {
+		switch a.kind {
+		case Int, Date, Bool:
+			return cmpI64(a.i, b.i), nil
+		case Float:
+			return cmpF64(a.f, b.f), nil
+		case String:
+			switch {
+			case a.s < b.s:
+				return -1, nil
+			case a.s > b.s:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		default:
+			return 0, ErrIncomparable
+		}
+	}
+	// Coercions.
+	switch {
+	case a.kind == Int && b.kind == Float:
+		return cmpF64(float64(a.i), b.f), nil
+	case a.kind == Float && b.kind == Int:
+		return cmpF64(a.f, float64(b.i)), nil
+	case a.kind == String && b.kind == Date:
+		ad, err := ParseDate(a.s)
+		if err != nil {
+			return 0, err
+		}
+		return cmpI64(ad.i, b.i), nil
+	case a.kind == Date && b.kind == String:
+		bd, err := ParseDate(b.s)
+		if err != nil {
+			return 0, err
+		}
+		return cmpI64(a.i, bd.i), nil
+	}
+	return 0, fmt.Errorf("%w: %s vs %s", ErrIncomparable, a.kind, b.kind)
+}
+
+// Coerce converts v to kind k when a lossless conversion exists, e.g. a
+// string date literal to a Date. It returns the value unchanged when
+// already of kind k.
+func Coerce(v Value, k Kind) (Value, error) {
+	if v.kind == k {
+		return v, nil
+	}
+	switch {
+	case v.kind == String && k == Date:
+		return ParseDate(v.s)
+	case v.kind == Int && k == Float:
+		return NewFloat(float64(v.i)), nil
+	case v.kind == Int && k == Date:
+		return NewDateDays(v.i), nil
+	}
+	return Value{}, fmt.Errorf("value: cannot coerce %s to %s", v.kind, k)
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of the value's canonical encoding,
+// used by Bloom filters and the baseline hash join.
+func (v Value) Hash64() uint64 {
+	h := fnv.New64a()
+	var buf [10]byte
+	buf[0] = byte(v.kind)
+	switch v.kind {
+	case String:
+		h.Write(buf[:1])
+		h.Write([]byte(v.s))
+	case Float:
+		// Normalize via the integer payload pattern.
+		bits := uint64(0)
+		if v.f == v.f { // not NaN
+			bits = math.Float64bits(v.f)
+		}
+		putU64(buf[1:9], bits)
+		h.Write(buf[:9])
+	default:
+		putU64(buf[1:9], uint64(v.i))
+		h.Write(buf[:9])
+	}
+	return h.Sum64()
+}
+
+func cmpI64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpF64(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,195 @@
+// Package visible is the untrusted side of GhostDB: a columnar store on
+// the public server / terminal holding every non-HIDDEN column plus the
+// primary keys ("primary keys as well as visible fields can be stored at
+// any place, like a public server or a personal computer", Section 2).
+//
+// The device delegates visible selections here and receives only sorted
+// ID lists and (id, value) projection streams in return — data the spy can
+// already see. The PC is a "standard computer", orders of magnitude faster
+// than the secure chip, so its work is not charged to the simulated clock;
+// the bus transfers it triggers are.
+package visible
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Store holds the visible tables.
+type Store struct {
+	tables map[string]*Table
+	order  []string
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: map[string]*Table{}}
+}
+
+// Table is one visible table: dense 1-based row IDs, columnar values.
+type Table struct {
+	Name string
+	n    int
+	cols map[string]*Column
+}
+
+// Column is one visible column.
+type Column struct {
+	Name string
+	Kind value.Kind
+	vals []value.Value
+}
+
+// CreateTable registers a table with the given cardinality.
+func (s *Store) CreateTable(name string, rows int) (*Table, error) {
+	key := strings.ToLower(name)
+	if _, dup := s.tables[key]; dup {
+		return nil, fmt.Errorf("visible: duplicate table %s", name)
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("visible: negative cardinality for %s", name)
+	}
+	t := &Table{Name: name, n: rows, cols: map[string]*Column{}}
+	s.tables[key] = t
+	s.order = append(s.order, name)
+	return t, nil
+}
+
+// Table returns the named table (case-insensitive).
+func (s *Store) Table(name string) (*Table, bool) {
+	t, ok := s.tables[strings.ToLower(name)]
+	return t, ok
+}
+
+// Tables returns the tables in creation order.
+func (s *Store) Tables() []*Table {
+	out := make([]*Table, 0, len(s.order))
+	for _, n := range s.order {
+		t, _ := s.Table(n)
+		out = append(out, t)
+	}
+	return out
+}
+
+// AddColumn attaches vals (one per row, in ID order) as a column. The
+// slice is retained, not copied — datasets are immutable once loaded.
+func (t *Table) AddColumn(name string, kind value.Kind, vals []value.Value) error {
+	if len(vals) != t.n {
+		return fmt.Errorf("visible: %s.%s has %d values for %d rows", t.Name, name, len(vals), t.n)
+	}
+	key := strings.ToLower(name)
+	if _, dup := t.cols[key]; dup {
+		return fmt.Errorf("visible: duplicate column %s.%s", t.Name, name)
+	}
+	t.cols[key] = &Column{Name: name, Kind: kind, vals: vals}
+	return nil
+}
+
+// Rows reports the table cardinality.
+func (t *Table) Rows() int { return t.n }
+
+// Column returns the named column.
+func (t *Table) Column(name string) (*Column, bool) {
+	c, ok := t.cols[strings.ToLower(name)]
+	return c, ok
+}
+
+// Value returns the value of column col for row id (1-based).
+func (t *Table) Value(col string, id uint32) (value.Value, error) {
+	c, ok := t.Column(col)
+	if !ok {
+		return value.Value{}, fmt.Errorf("visible: no column %s.%s", t.Name, col)
+	}
+	if id == 0 || int(id) > t.n {
+		return value.Value{}, fmt.Errorf("visible: id %d out of 1..%d", id, t.n)
+	}
+	return c.vals[id-1], nil
+}
+
+// Select evaluates p over the column and returns the matching IDs in
+// ascending order (rows are stored in ID order, so a scan is sorted).
+func (t *Table) Select(col string, p pred.P) ([]uint32, error) {
+	c, ok := t.Column(col)
+	if !ok {
+		return nil, fmt.Errorf("visible: no column %s.%s", t.Name, col)
+	}
+	var out []uint32
+	for i, v := range c.vals {
+		match, err := p.Eval(v)
+		if err != nil {
+			return nil, fmt.Errorf("visible: %s.%s: %w", t.Name, col, err)
+		}
+		if match {
+			out = append(out, uint32(i+1))
+		}
+	}
+	return out, nil
+}
+
+// Count reports how many rows satisfy p — the cheap cardinality the
+// optimizer requests before choosing pre- vs post-filtering.
+func (t *Table) Count(col string, p pred.P) (int, error) {
+	ids, err := t.Select(col, p)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// KV is one element of a projection stream.
+type KV struct {
+	ID  uint32
+	Val value.Value
+}
+
+// ProjectSorted returns (id, value) pairs for the given sorted IDs, in
+// ascending ID order — the stream the device merges against its result
+// rows during the projection phase. A nil ids selects all rows.
+func (t *Table) ProjectSorted(col string, ids []uint32) ([]KV, error) {
+	c, ok := t.Column(col)
+	if !ok {
+		return nil, fmt.Errorf("visible: no column %s.%s", t.Name, col)
+	}
+	if ids == nil {
+		out := make([]KV, t.n)
+		for i, v := range c.vals {
+			out[i] = KV{ID: uint32(i + 1), Val: v}
+		}
+		return out, nil
+	}
+	if !sort.SliceIsSorted(ids, func(i, j int) bool { return ids[i] < ids[j] }) {
+		return nil, fmt.Errorf("visible: projection IDs must be sorted")
+	}
+	out := make([]KV, 0, len(ids))
+	for _, id := range ids {
+		if id == 0 || int(id) > t.n {
+			return nil, fmt.Errorf("visible: id %d out of 1..%d", id, t.n)
+		}
+		out = append(out, KV{ID: id, Val: c.vals[id-1]})
+	}
+	return out, nil
+}
+
+// IntersectSorted intersects two ascending ID lists — the PC-side
+// combination of several visible predicates on the same table.
+func IntersectSorted(a, b []uint32) []uint32 {
+	var out []uint32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
