@@ -9,10 +9,14 @@
 package ghostdb_test
 
 import (
+	"database/sql"
 	"flag"
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	_ "github.com/ghostdb/ghostdb/driver"
 	"github.com/ghostdb/ghostdb/internal/bench"
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/datagen"
@@ -47,6 +51,7 @@ func simMS(b *testing.B, totalNS float64) {
 // BenchmarkFig6PlanBars regenerates Figure 6: every plan of the demo
 // query, timed on the simulated device (experiment E1).
 func BenchmarkFig6PlanBars(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -64,6 +69,7 @@ func BenchmarkFig6PlanBars(b *testing.B) {
 // BenchmarkFig5PostFilterPlan runs the forced post-filtering plan of
 // Figure 5 with its operator report (experiment E2).
 func BenchmarkFig5PostFilterPlan(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	q, err := db.Prepare(bench.DemoQuery)
 	if err != nil {
@@ -85,6 +91,7 @@ func BenchmarkFig5PostFilterPlan(b *testing.B) {
 // BenchmarkSelectivitySweep measures the pre/post/cross crossover
 // (experiment E3).
 func BenchmarkSelectivitySweep(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	sels := []float64{0.01, 0.10, 0.40}
 	var sim float64
@@ -103,6 +110,7 @@ func BenchmarkSelectivitySweep(b *testing.B) {
 // BenchmarkBaselines compares SKT+climbing against join indices, block
 // nested loop and Grace hash (experiment E4).
 func BenchmarkBaselines(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -120,6 +128,7 @@ func BenchmarkBaselines(b *testing.B) {
 // BenchmarkStorageFootprint reports the flash cost of the indexing model
 // (experiment E5).
 func BenchmarkStorageFootprint(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	var total int64
 	for i := 0; i < b.N; i++ {
@@ -132,6 +141,7 @@ func BenchmarkStorageFootprint(b *testing.B) {
 // BenchmarkBusSpeed times the demo plans under USB full speed and high
 // speed (experiment E6). Builds fresh databases, so it is the slowest.
 func BenchmarkBusSpeed(b *testing.B) {
+	skipIfShort(b)
 	cfg := bench.Config{Scale: smallScale()}
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -148,6 +158,7 @@ func BenchmarkBusSpeed(b *testing.B) {
 
 // BenchmarkSpyTrace runs the wire audit of demo phase 1 (experiment E7).
 func BenchmarkSpyTrace(b *testing.B) {
+	skipIfShort(b)
 	cfg := bench.Config{Scale: smallScale()}
 	for i := 0; i < b.N; i++ {
 		rep, err := bench.Spy(cfg)
@@ -162,6 +173,7 @@ func BenchmarkSpyTrace(b *testing.B) {
 
 // BenchmarkRAMBudget sweeps the device RAM budget (experiment E8).
 func BenchmarkRAMBudget(b *testing.B) {
+	skipIfShort(b)
 	cfg := bench.Config{Scale: smallScale()}
 	budgets := []int{16 << 10, 64 << 10, 256 << 10}
 	var sim float64
@@ -180,6 +192,7 @@ func BenchmarkRAMBudget(b *testing.B) {
 // BenchmarkWriteRatio sweeps the flash program/read cost ratio
 // (experiment E9).
 func BenchmarkWriteRatio(b *testing.B) {
+	skipIfShort(b)
 	cfg := bench.Config{Scale: smallScale()}
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -197,6 +210,7 @@ func BenchmarkWriteRatio(b *testing.B) {
 // BenchmarkBloomFPR measures filter false-positive rates against the
 // analytic bound (experiment E10).
 func BenchmarkBloomFPR(b *testing.B) {
+	skipIfShort(b)
 	for i := 0; i < b.N; i++ {
 		rows, err := bench.BloomFPR([]int{10_000}, []float64{9.6})
 		if err != nil {
@@ -211,6 +225,7 @@ func BenchmarkBloomFPR(b *testing.B) {
 // BenchmarkPlanGame runs demo phase 3: estimate vs measure every plan
 // (experiment E11).
 func BenchmarkPlanGame(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -227,6 +242,7 @@ func BenchmarkPlanGame(b *testing.B) {
 
 // BenchmarkAblations measures the design-choice comparisons.
 func BenchmarkAblations(b *testing.B) {
+	skipIfShort(b)
 	db := sharedDB(b)
 	var sim float64
 	for i := 0; i < b.N; i++ {
@@ -244,6 +260,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkLoad measures the bulk-load path (dataset generation plus
 // device index construction).
 func BenchmarkLoad(b *testing.B) {
+	skipIfShort(b)
 	cfg := datagen.WithScale(smallScale())
 	for i := 0; i < b.N; i++ {
 		ds := datagen.Generate(cfg)
@@ -264,4 +281,112 @@ func smallScale() int {
 		s = 50_000
 	}
 	return s
+}
+
+// skipIfShort keeps `go test -short -bench` fast: the paper-regeneration
+// benchmarks build multi-thousand-row databases and are skipped.
+func skipIfShort(b *testing.B) {
+	b.Helper()
+	if testing.Short() {
+		b.Skip("skipping heavy benchmark in -short mode")
+	}
+}
+
+// BenchmarkConcurrentThroughput measures end-to-end queries/sec when N
+// goroutines share one GhostDB instance through the session layer. The
+// simulated device serializes on the device gate (one token, one USB
+// command stream), so this measures the host-side win of concurrent
+// parsing/binding plus the overhead of the gate itself.
+func BenchmarkConcurrentThroughput(b *testing.B) {
+	skipIfShort(b)
+	db, _, err := bench.BuildDB(bench.Config{Scale: 2_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const query = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			sessions := make([]*core.Session, g)
+			for i := range sessions {
+				s, err := db.NewSession()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for _, s := range sessions {
+				wg.Add(1)
+				go func(s *core.Session) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := s.Query(query); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			for _, s := range sessions {
+				_ = s.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkDriverThroughput is the same workload through database/sql:
+// pooled connections over the ghostdb driver.
+func BenchmarkDriverThroughput(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			db, err := sql.Open("ghostdb", "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			db.SetMaxOpenConns(g)
+			if _, err := db.Exec(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup', 1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);`); err != nil {
+				b.Fatal(err)
+			}
+			const query = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						rows, err := db.Query(query)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						for rows.Next() {
+						}
+						rows.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
 }

@@ -1,0 +1,123 @@
+package driver
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentPool is the acceptance-criteria concurrency test: 16
+// goroutines hammer one sql.DB (pooled connections, mixed Query /
+// Prepare / QueryRow) against the single shared engine. Run with -race.
+func TestConcurrentPool(t *testing.T) {
+	db := openHospital(t, "")
+	db.SetMaxOpenConns(16)
+
+	queries := map[string]int{
+		`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`: 2,
+		`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = 'France'`:    1,
+		`SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc
+			WHERE Vis.Purpose = 'Sclerosis' AND Doc.Country = 'France' AND Vis.DocID = Doc.DocID`: 1,
+	}
+	keys := make([]string, 0, len(queries))
+	for q := range queries {
+		keys = append(keys, q)
+	}
+
+	const goroutines = 16
+	const iters = 5
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := keys[(g+i)%len(keys)]
+				want := queries[q]
+				switch (g + i) % 3 {
+				case 0:
+					rows, err := db.QueryContext(context.Background(), q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					n := 0
+					for rows.Next() {
+						n++
+					}
+					rows.Close()
+					if err := rows.Err(); err != nil {
+						errc <- err
+						return
+					}
+					if n != want {
+						errc <- fmt.Errorf("goroutine %d: %d rows, want %d", g, n, want)
+						return
+					}
+				case 1:
+					stmt, err := db.Prepare(q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					rows, err := stmt.Query()
+					if err != nil {
+						stmt.Close()
+						errc <- err
+						return
+					}
+					n := 0
+					for rows.Next() {
+						n++
+					}
+					rows.Close()
+					stmt.Close()
+					if n != want {
+						errc <- fmt.Errorf("goroutine %d (prepared): %d rows, want %d", g, n, want)
+						return
+					}
+				case 2:
+					if err := db.Ping(); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentFirstQuery races the build-finalizing first query across
+// goroutines: exactly one wins the build, everyone sees the data.
+func TestConcurrentFirstQuery(t *testing.T) {
+	db := openHospital(t, "")
+	db.SetMaxOpenConns(8)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var name string
+			if err := db.QueryRow(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = 'Spain'`).Scan(&name); err != nil {
+				errc <- err
+				return
+			}
+			if name != "Gall" {
+				errc <- fmt.Errorf("name = %q", name)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

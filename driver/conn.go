@@ -1,0 +1,198 @@
+package driver
+
+import (
+	"context"
+	sqldriver "database/sql/driver"
+	"errors"
+	"fmt"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/sql"
+)
+
+// ErrNoTransactions is returned by Begin: GhostDB is bulk-loaded and
+// read-only after the load, so there is nothing to make transactional.
+var ErrNoTransactions = errors.New("ghostdb driver: transactions are not supported")
+
+// ErrNoArgs is returned when a statement is executed with placeholder
+// arguments; GhostDB SQL has no placeholder syntax.
+var ErrNoArgs = errors.New("ghostdb driver: placeholder arguments are not supported")
+
+// Conn is one pooled database/sql connection: a session on the shared
+// GhostDB engine.
+type Conn struct {
+	sess *core.Session
+}
+
+var (
+	_ sqldriver.Conn           = (*Conn)(nil)
+	_ sqldriver.ExecerContext  = (*Conn)(nil)
+	_ sqldriver.QueryerContext = (*Conn)(nil)
+	_ sqldriver.Pinger         = (*Conn)(nil)
+)
+
+// Session exposes the underlying core session (stats, reports).
+func (c *Conn) Session() *core.Session { return c.sess }
+
+// Prepare parses and classifies the statement eagerly (syntax errors
+// surface here) and defers binding to execution time, since binding
+// needs the bulk load to be finalized.
+func (c *Conn) Prepare(query string) (sqldriver.Stmt, error) {
+	stmts, err := sql.ParseScript(query)
+	if err != nil {
+		return nil, err
+	}
+	isSelect, err := classify(stmts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{conn: c, query: query, isSelect: isSelect, affected: staged(stmts)}, nil
+}
+
+// Close releases the session; the shared engine stays up.
+func (c *Conn) Close() error { return c.sess.Close() }
+
+// Begin is unsupported: GhostDB is read-only after the bulk load.
+func (c *Conn) Begin() (sqldriver.Tx, error) { return nil, ErrNoTransactions }
+
+// Ping verifies the session and engine are open.
+func (c *Conn) Ping(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return c.sess.Ping()
+}
+
+// ExecContext stages DDL and INSERT statements. One call may carry a
+// whole semicolon-separated script; the bulk load is finalized by the
+// first query.
+func (c *Conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(args) > 0 {
+		return nil, ErrNoArgs
+	}
+	return c.exec(query)
+}
+
+func (c *Conn) exec(query string) (sqldriver.Result, error) {
+	stmts, err := sql.ParseScript(query)
+	if err != nil {
+		return nil, err
+	}
+	isSelect, err := classify(stmts)
+	if err != nil {
+		return nil, err
+	}
+	if isSelect {
+		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
+	}
+	if err := c.sess.Stage(query); err != nil {
+		return nil, err
+	}
+	return execResult{rows: staged(stmts)}, nil
+}
+
+// staged counts the rows a DDL/INSERT script stages (RowsAffected).
+func staged(stmts []sql.Statement) int64 {
+	n := int64(0)
+	for _, s := range stmts {
+		if ins, ok := s.(*sql.Insert); ok {
+			n += int64(len(ins.Rows))
+		}
+	}
+	return n
+}
+
+// QueryContext finalizes the bulk load if needed and executes a SELECT
+// through the shared device gate.
+func (c *Conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(args) > 0 {
+		return nil, ErrNoArgs
+	}
+	return c.query(query)
+}
+
+func (c *Conn) query(query string) (sqldriver.Rows, error) {
+	if err := c.sess.EnsureBuilt(); err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Query(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{res: res}, nil
+}
+
+// classify reports whether the script is a single SELECT (true) or a
+// pure DDL/INSERT script (false); mixing the two is an error.
+func classify(stmts []sql.Statement) (isSelect bool, err error) {
+	for _, s := range stmts {
+		if _, ok := s.(*sql.Select); ok {
+			if len(stmts) != 1 {
+				return false, errors.New("ghostdb driver: SELECT must be the only statement in a call")
+			}
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Stmt is a prepared statement. GhostDB SQL has no placeholders, so
+// NumInput is always zero. The parse work happens once, at Prepare.
+type Stmt struct {
+	conn     *Conn
+	query    string
+	isSelect bool
+	affected int64 // rows staged per Exec (pre-counted at Prepare)
+}
+
+var _ sqldriver.Stmt = (*Stmt)(nil)
+
+// Close releases the statement (nothing is held device-side).
+func (s *Stmt) Close() error { return nil }
+
+// NumInput reports zero: no placeholder support.
+func (s *Stmt) NumInput() int { return 0 }
+
+// Exec stages the prepared DDL/INSERT script (no re-parse: the script
+// was classified and counted at Prepare).
+func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	if len(args) > 0 {
+		return nil, ErrNoArgs
+	}
+	if s.isSelect {
+		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
+	}
+	if err := s.conn.sess.Stage(s.query); err != nil {
+		return nil, err
+	}
+	return execResult{rows: s.affected}, nil
+}
+
+// Query executes the prepared SELECT.
+func (s *Stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
+	if len(args) > 0 {
+		return nil, ErrNoArgs
+	}
+	if !s.isSelect {
+		return nil, fmt.Errorf("ghostdb driver: prepared statement is not a SELECT: %s", s.query)
+	}
+	return s.conn.query(s.query)
+}
+
+// execResult reports rows staged by an Exec call.
+type execResult struct{ rows int64 }
+
+// LastInsertId is unsupported: GhostDB primary keys are dense 1..N and
+// assigned by the application.
+func (execResult) LastInsertId() (int64, error) {
+	return 0, errors.New("ghostdb driver: LastInsertId is not supported")
+}
+
+// RowsAffected reports the number of rows staged.
+func (r execResult) RowsAffected() (int64, error) { return r.rows, nil }

@@ -1,0 +1,237 @@
+package driver
+
+import (
+	"database/sql"
+	"strings"
+	"testing"
+	"time"
+)
+
+// hospitalDDL is the package-doc Doctor/Visit example.
+const hospitalDDL = `
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+`
+
+const hospitalRows = `
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup', 1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);
+`
+
+func openHospital(t *testing.T, dsn string) *sql.DB {
+	t.Helper()
+	db, err := sql.Open("ghostdb", dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	if _, err := db.Exec(hospitalDDL); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(hospitalRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := res.RowsAffected(); err != nil || n != 5 {
+		t.Fatalf("RowsAffected = %d, %v; want 5", n, err)
+	}
+	return db
+}
+
+// TestEndToEnd drives the acceptance-criteria flow: DDL with HIDDEN
+// columns via ExecContext, QueryContext returning correct rows for the
+// package-doc example, purely through database/sql.
+func TestEndToEnd(t *testing.T) {
+	db := openHospital(t, "")
+
+	rows, err := db.Query(`SELECT Vis.VisID, Vis.Date, Doc.Name FROM Visit Vis, Doctor Doc
+		WHERE Vis.Purpose = 'Sclerosis' AND Doc.Country = 'France' AND Vis.DocID = Doc.DocID`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 3 || cols[2] != "Doctor.Name" {
+		t.Fatalf("columns = %v", cols)
+	}
+	var got []string
+	for rows.Next() {
+		var visID int64
+		var date time.Time
+		var name string
+		if err := rows.Scan(&visID, &date, &name); err != nil {
+			t.Fatal(err)
+		}
+		if date.Year() != 2007 || date.Month() != time.February || date.Day() != 1 {
+			t.Errorf("date = %v, want 2007-02-01", date)
+		}
+		got = append(got, name)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "Ellis" {
+		t.Fatalf("rows = %v, want [Ellis]", got)
+	}
+}
+
+// TestQueryRow exercises the single-row convenience path and hidden
+// projections.
+func TestQueryRow(t *testing.T) {
+	db := openHospital(t, "")
+	var purpose string
+	err := db.QueryRow(`SELECT Vis.Purpose FROM Visit Vis WHERE Vis.VisID = 1`).Scan(&purpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if purpose != "Checkup" {
+		t.Fatalf("purpose = %q", purpose)
+	}
+}
+
+// TestPreparedStatement reuses one prepared SELECT.
+func TestPreparedStatement(t *testing.T) {
+	db := openHospital(t, "")
+	stmt, err := db.Prepare(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 3; i++ {
+		rows, err := stmt.Query()
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		rows.Close()
+		if n != 2 {
+			t.Fatalf("iteration %d: %d rows, want 2", i, n)
+		}
+	}
+}
+
+// TestLifecycleErrors pins the driver's contract edges.
+func TestLifecycleErrors(t *testing.T) {
+	db := openHospital(t, "")
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	// Transactions are unsupported.
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("Begin should fail")
+	}
+	// SELECT through Exec is rejected.
+	if _, err := db.Exec(`SELECT Doc.Name FROM Doctor Doc`); err == nil {
+		t.Fatal("Exec(SELECT) should fail")
+	}
+	// Placeholder args are unsupported.
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = ?`, "France"); err == nil {
+		t.Fatal("placeholder query should fail")
+	}
+	// First query finalizes the bulk load; DDL afterwards fails.
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`CREATE TABLE Late (ID INTEGER PRIMARY KEY)`); err == nil {
+		t.Fatal("Exec after build should fail")
+	}
+	// Syntax errors surface at Prepare.
+	if _, err := db.Prepare(`SELEKT nonsense`); err == nil {
+		t.Fatal("Prepare of garbage should fail")
+	}
+}
+
+// TestClosedDB checks queries fail cleanly after sql.DB.Close.
+func TestClosedDB(t *testing.T) {
+	db := openHospital(t, "")
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc`); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc`); err == nil {
+		t.Fatal("query after Close should fail")
+	}
+}
+
+// TestDSNOptions opens through a fully-loaded DSN and checks it works
+// end-to-end (high-speed bus, device index, full capture).
+func TestDSNOptions(t *testing.T) {
+	db := openHospital(t, "ghostdb://?profile=smartusb2007&usb=high&fpr=0.02&capture=full&deviceindex=Doctor.Country")
+	var n int64
+	err := db.QueryRow(`SELECT Vis.VisID FROM Visit Vis, Doctor Doc
+		WHERE Vis.Purpose = 'Sclerosis' AND Doc.Country = 'France' AND Vis.DocID = Doc.DocID`).Scan(&n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("VisID = %d, want 3", n)
+	}
+}
+
+// TestParseDSN pins the DSN grammar.
+func TestParseDSN(t *testing.T) {
+	cfg, err := ParseDSN("")
+	if err != nil || cfg.Profile != "smartusb2007" || cfg.USB != "full" || cfg.FPR != 0.01 || cfg.Capture != "meta" {
+		t.Fatalf("defaults = %+v, %v", cfg, err)
+	}
+	cfg, err = ParseDSN("ghostdb://?usb=high&fpr=0.05&capture=full&deviceindex=Doctor.Country&deviceindex=Visit.Date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.USB != "high" || cfg.FPR != 0.05 || cfg.Capture != "full" || len(cfg.DeviceIndexes) != 2 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+	for _, bad := range []string{
+		"mysql://localhost",
+		"ghostdb://somehost",
+		"ghostdb://?bogus=1",
+		"ghostdb://?usb=warp",
+		"ghostdb://?fpr=2",
+		"ghostdb://?fpr=abc",
+		"ghostdb://?capture=everything",
+		"ghostdb://?deviceindex=NoDot",
+		"ghostdb://?deviceindex=Too.Many.Dots",
+		"ghostdb://?profile=cray1",
+	} {
+		if _, err := ParseDSN(bad); err == nil {
+			t.Errorf("ParseDSN(%q) should fail", bad)
+		} else if !strings.Contains(err.Error(), "ghostdb driver:") {
+			t.Errorf("ParseDSN(%q) error %q lacks driver prefix", bad, err)
+		}
+	}
+}
+
+// TestTwoEngines checks that two sql.DBs are fully isolated instances.
+func TestTwoEngines(t *testing.T) {
+	a := openHospital(t, "")
+	b, err := sql.Open("ghostdb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Exec(`CREATE TABLE Solo (ID INTEGER PRIMARY KEY, Tag CHAR(8) HIDDEN); INSERT INTO Solo VALUES (1, 'x')`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Query(`SELECT S.Tag FROM Solo S`); err == nil {
+		t.Fatal("engine a should not see engine b's table")
+	}
+	var tag string
+	if err := b.QueryRow(`SELECT S.Tag FROM Solo S`).Scan(&tag); err != nil || tag != "x" {
+		t.Fatalf("tag = %q, %v", tag, err)
+	}
+}

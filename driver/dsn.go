@@ -1,0 +1,127 @@
+package driver
+
+import (
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/bus"
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/trace"
+)
+
+// Config is a parsed DSN: the simulated hardware and engine options for
+// one GhostDB instance.
+type Config struct {
+	// Profile names the device hardware profile. "smartusb2007" (the
+	// default) is the paper's Figure 2 smart USB device.
+	Profile string
+	// USB selects the terminal-device channel: "full" (12 Mb/s, the
+	// 2007 default) or "high" (480 Mb/s, the paper's envisioned future).
+	USB string
+	// FPR is the Bloom filters' target false-positive rate (default 0.01).
+	FPR float64
+	// Capture selects trace capture: "meta" (default) or "full" (payload
+	// values, enabling the security audit).
+	Capture string
+	// DeviceIndexes lists visible columns ("Table.Column") that also get
+	// a climbing index on the device (Figure 4's Doctor.Country index).
+	DeviceIndexes []string
+}
+
+func defaultConfig() *Config {
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta"}
+}
+
+// ParseDSN parses a GhostDB data source name.
+//
+// The general form is
+//
+//	ghostdb://?profile=smartusb2007&usb=high&fpr=0.01&capture=full&deviceindex=Doctor.Country
+//
+// The empty string is a valid DSN meaning "all defaults". Parameters:
+//
+//	profile      device hardware profile: "smartusb2007"
+//	usb          terminal-device channel: "full" | "high"
+//	fpr          Bloom target false-positive rate in (0, 0.5]
+//	capture      wire trace capture: "meta" | "full"
+//	deviceindex  visible column "Table.Column"; may repeat
+func ParseDSN(dsn string) (*Config, error) {
+	cfg := defaultConfig()
+	if dsn == "" {
+		return cfg, nil
+	}
+	u, err := url.Parse(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("ghostdb driver: invalid DSN %q: %v", dsn, err)
+	}
+	if u.Scheme != "ghostdb" {
+		return nil, fmt.Errorf("ghostdb driver: DSN scheme must be ghostdb://, got %q", dsn)
+	}
+	if u.Host != "" || (u.Path != "" && u.Path != "/") {
+		return nil, fmt.Errorf("ghostdb driver: DSN has host/path %q; GhostDB is in-process, use ghostdb://?param=...", dsn)
+	}
+	params, err := url.ParseQuery(u.RawQuery)
+	if err != nil {
+		return nil, fmt.Errorf("ghostdb driver: invalid DSN query %q: %v", u.RawQuery, err)
+	}
+	for key, vals := range params {
+		switch strings.ToLower(key) {
+		case "profile":
+			cfg.Profile = strings.ToLower(vals[len(vals)-1])
+			if cfg.Profile != "smartusb2007" {
+				return nil, fmt.Errorf("ghostdb driver: unknown profile %q (want smartusb2007)", cfg.Profile)
+			}
+		case "usb":
+			cfg.USB = strings.ToLower(vals[len(vals)-1])
+			if cfg.USB != "full" && cfg.USB != "high" {
+				return nil, fmt.Errorf("ghostdb driver: unknown usb speed %q (want full or high)", cfg.USB)
+			}
+		case "fpr":
+			f, err := strconv.ParseFloat(vals[len(vals)-1], 64)
+			if err != nil || f <= 0 || f > 0.5 {
+				return nil, fmt.Errorf("ghostdb driver: fpr must be a float in (0, 0.5], got %q", vals[len(vals)-1])
+			}
+			cfg.FPR = f
+		case "capture":
+			cfg.Capture = strings.ToLower(vals[len(vals)-1])
+			if cfg.Capture != "meta" && cfg.Capture != "full" {
+				return nil, fmt.Errorf("ghostdb driver: unknown capture level %q (want meta or full)", cfg.Capture)
+			}
+		case "deviceindex":
+			for _, v := range vals {
+				dot := strings.IndexByte(v, '.')
+				if dot <= 0 || dot == len(v)-1 || strings.IndexByte(v[dot+1:], '.') >= 0 {
+					return nil, fmt.Errorf("ghostdb driver: deviceindex must be Table.Column, got %q", v)
+				}
+				cfg.DeviceIndexes = append(cfg.DeviceIndexes, v)
+			}
+		default:
+			return nil, fmt.Errorf("ghostdb driver: unknown DSN parameter %q", key)
+		}
+	}
+	return cfg, nil
+}
+
+// options maps the config onto core engine options.
+func (c *Config) options() []core.Option {
+	opts := []core.Option{
+		core.WithProfile(device.SmartUSB2007()),
+		core.WithTargetFPR(c.FPR),
+	}
+	if c.USB == "high" {
+		opts = append(opts, core.WithUSB(bus.USBHighSpeed()))
+	} else {
+		opts = append(opts, core.WithUSB(bus.USBFullSpeed()))
+	}
+	if c.Capture == "full" {
+		opts = append(opts, core.WithCapture(trace.CaptureFull))
+	}
+	for _, spec := range c.DeviceIndexes {
+		dot := strings.IndexByte(spec, '.')
+		opts = append(opts, core.WithDeviceIndex(spec[:dot], spec[dot+1:]))
+	}
+	return opts
+}

@@ -1,0 +1,84 @@
+package driver
+
+import (
+	sqldriver "database/sql/driver"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Rows adapts a completed GhostDB result to driver.Rows. GhostDB's
+// execution model materializes the full result on the secure display
+// side before anything is returned, so Rows only cursors over it.
+type Rows struct {
+	res *core.Result
+	i   int
+}
+
+var (
+	_ sqldriver.Rows                           = (*Rows)(nil)
+	_ sqldriver.RowsColumnTypeDatabaseTypeName = (*Rows)(nil)
+)
+
+// Result exposes the underlying GhostDB result (plan spec, operator
+// report) for callers that unwrap the driver.
+func (r *Rows) Result() *core.Result { return r.res }
+
+// Columns reports the projection labels.
+func (r *Rows) Columns() []string { return r.res.Columns }
+
+// Close releases the cursor.
+func (r *Rows) Close() error {
+	r.i = len(r.res.Rows)
+	return nil
+}
+
+// Next copies the next row, converting GhostDB values to driver values.
+func (r *Rows) Next(dest []sqldriver.Value) error {
+	if r.i >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.i]
+	r.i++
+	for j, v := range row {
+		dv, err := toDriverValue(v)
+		if err != nil {
+			return err
+		}
+		dest[j] = dv
+	}
+	return nil
+}
+
+// ColumnTypeDatabaseTypeName reports the SQL type name of column i,
+// derived from the first result row (empty when there are no rows).
+func (r *Rows) ColumnTypeDatabaseTypeName(i int) string {
+	if len(r.res.Rows) == 0 {
+		return ""
+	}
+	return r.res.Rows[0][i].Kind().String()
+}
+
+// toDriverValue converts one GhostDB scalar to a driver.Value.
+func toDriverValue(v value.Value) (sqldriver.Value, error) {
+	switch v.Kind() {
+	case value.Int:
+		return v.Int(), nil
+	case value.Float:
+		return v.Float(), nil
+	case value.String:
+		return v.Str(), nil
+	case value.Bool:
+		return v.Bool(), nil
+	case value.Date:
+		y, m, d := v.Civil()
+		return time.Date(y, time.Month(m), d, 0, 0, 0, 0, time.UTC), nil
+	case value.Invalid:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("ghostdb driver: cannot convert %s value", v.Kind())
+	}
+}

@@ -1,0 +1,111 @@
+// sqldriver: talk to GhostDB purely through database/sql — no ghostdb
+// API in sight. An ordinary Go application gets hidden-column privacy
+// without changing how it issues queries, which is the paper's demo
+// promise ("queries need no changes").
+//
+//	go run ./examples/sqldriver
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	// Importing the driver registers it under the name "ghostdb".
+	_ "github.com/ghostdb/ghostdb/driver"
+)
+
+func main() {
+	// The DSN picks the simulated hardware: the paper's 2007 smart USB
+	// stick on the future 480 Mb/s bus, plus a device-side index on the
+	// visible Doctor.Country column (Figure 4).
+	db, err := sql.Open("ghostdb", "ghostdb://?usb=high&fpr=0.01&deviceindex=Doctor.Country")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// DDL and INSERTs stage the bulk load. HIDDEN columns live only on
+	// the device; everything else (and every primary key) is public.
+	_, err = db.Exec(`
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(40),
+  Country CHAR(20));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+
+INSERT INTO Doctor VALUES
+  (1, 'Dr. Ellis', 'France'),
+  (2, 'Dr. Gall',  'Spain'),
+  (3, 'Dr. Novak', 'France');
+
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup',   1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1),
+  (4, DATE '2006-12-24', 'Flu',       2),
+  (5, DATE '2007-03-05', 'Sclerosis', 3);`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The first query finalizes the load and runs through the standard
+	// rows interface. Vis.Purpose is hidden: its predicate never leaves
+	// the device. Doc.Country is visible and device-indexed.
+	rows, err := db.Query(`
+SELECT Vis.VisID, Vis.Date, Vis.Purpose, Doc.Name
+FROM Visit Vis, Doctor Doc
+WHERE Vis.Purpose = 'Sclerosis'
+  AND Doc.Country = 'France'
+  AND Vis.DocID = Doc.DocID`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sclerosis visits to French doctors:")
+	for rows.Next() {
+		var visID int64
+		var date time.Time
+		var purpose, name string
+		if err := rows.Scan(&visID, &date, &purpose, &name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  visit %d on %s: %s with %s\n", visID, date.Format("2006-01-02"), purpose, name)
+	}
+	rows.Close()
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// database/sql pools connections; each is a session on the one
+	// shared engine, and the simulated device serializes them. Hammer
+	// it from a few goroutines to show the pool working.
+	var wg sync.WaitGroup
+	counts := make([]int, 4)
+	for g := range counts {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var n int
+				rs, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for rs.Next() {
+					n++
+				}
+				rs.Close()
+				counts[g] = n
+			}
+		}(g)
+	}
+	wg.Wait()
+	fmt.Printf("4 goroutines x 5 queries through the pool, each saw %d rows\n", counts[0])
+}

@@ -41,6 +41,27 @@
 // them from exact visible counts and climbing-index statistics. Use
 // Plans/QueryWithPlan to explore the plan space by hand (the demo's
 // phase 3 game), and Result.Report for per-operator statistics.
+//
+// # Concurrency and the database/sql driver
+//
+// A DB is safe for concurrent use: host-side work (parsing, binding,
+// plan enumeration) runs on any number of goroutines, while execution
+// serializes on the device gate — there is one simulated smart USB
+// device per DB, and it processes one command stream, exactly like the
+// hardware token it models. DB.NewSession opens lightweight sessions
+// with per-session statistics, and DB.Close shuts the instance down.
+//
+// Ordinary applications can skip this API entirely: the
+// github.com/ghostdb/ghostdb/driver package registers a full
+// database/sql driver named "ghostdb", so
+//
+//	import _ "github.com/ghostdb/ghostdb/driver"
+//
+//	db, err := sql.Open("ghostdb", "ghostdb://?usb=high&fpr=0.01")
+//
+// gives any Go program hidden-column privacy through the standard
+// library interface — DDL and INSERTs via Exec stage the bulk load, the
+// first query finalizes it, and pooled connections map onto sessions.
 package ghostdb
 
 import (
@@ -59,6 +80,19 @@ type DB = core.DB
 
 // Result is a completed query with its execution report.
 type Result = core.Result
+
+// Session is one logical client of a shared DB (see DB.NewSession): many
+// sessions may run queries concurrently, serialized on the device gate.
+type Session = core.Session
+
+// SessionStats is a snapshot of one session's execution state.
+type SessionStats = core.SessionStats
+
+// ErrClosed is returned by every operation on a closed DB.
+var ErrClosed = core.ErrClosed
+
+// ErrSessionClosed is returned by operations on a closed Session.
+var ErrSessionClosed = core.ErrSessionClosed
 
 // Option configures Open.
 type Option = core.Option

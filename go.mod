@@ -1,0 +1,3 @@
+module github.com/ghostdb/ghostdb
+
+go 1.24

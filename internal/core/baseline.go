@@ -9,6 +9,12 @@ import (
 // algorithms (experiment E4): they run on the same device, hidden store
 // and visible store, but without Subtree Key Tables or transitive
 // climbing lists.
+//
+// The engine drives the shared device, clock and RAM arena directly,
+// outside the device gate, so — unlike DB.Query — it is NOT safe to run
+// concurrently with queries or sessions on this DB. It is a
+// single-threaded experiment harness: load the database, then run the
+// baselines from one goroutine.
 func (db *DB) BaselineEngine() *baseline.Engine {
 	return &baseline.Engine{
 		Dev:  db.dev,
@@ -18,6 +24,8 @@ func (db *DB) BaselineEngine() *baseline.Engine {
 		Vis:  db.vis,
 		Rows: db.rowCounts,
 		Translator: func(table string) (*climbing.Index, error) {
+			db.mu.Lock()
+			defer db.mu.Unlock()
 			return db.translator(table)
 		},
 		ValueIndex: func(table, column string) (*climbing.Index, bool) {

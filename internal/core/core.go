@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/climbing"
@@ -74,8 +75,18 @@ func defaultOptions() Options {
 	}
 }
 
+// ErrClosed is returned by every DB and Session operation after Close.
+var ErrClosed = errors.New("core: database is closed")
+
 // DB is a GhostDB instance: schema, visible store, device-resident hidden
 // store and indexes, and the wiring between them.
+//
+// A DB is safe for concurrent use by multiple goroutines. There is exactly
+// one simulated smart USB device per DB, and the device is a single-core
+// chip with a private clock, RAM arena and scratch flash — so query
+// execution against it is serialized by the device gate (db.mu), exactly
+// as a hardware token would serialize its USB command stream. Host-side
+// work (parsing, binding, plan enumeration) runs outside the gate.
 type DB struct {
 	opts Options
 
@@ -84,6 +95,13 @@ type DB struct {
 	env   *exec.Env
 	net   *bus.Network
 	rec   *trace.Recorder
+
+	// mu is the device gate: it serializes bulk load and query execution
+	// on the simulated device and guards all fields below it.
+	mu          sync.Mutex
+	closed      bool
+	nextSession int
+	sessions    int // open session count
 
 	sch *schema.Schema
 	vis *visible.Store
@@ -148,7 +166,31 @@ func (db *DB) Clock() *sim.Clock { return db.clock }
 func (db *DB) HiddenValues() *schema.HiddenValueSet { return db.hiddenVals }
 
 // RowCount reports a table's cardinality after loading.
-func (db *DB) RowCount(table string) int { return db.rowCounts[table] }
+func (db *DB) RowCount(table string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rowCounts[table]
+}
+
+// Loaded reports whether the bulk load has been finalized.
+func (db *DB) Loaded() bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.loaded
+}
+
+// Close shuts the database down. In-flight queries finish first (they
+// hold the device gate); every subsequent operation on the DB or any of
+// its sessions returns ErrClosed. Close is idempotent.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	return nil
+}
 
 // StorageBreakdown reports the device flash footprint by structure.
 type StorageBreakdown struct {
@@ -162,6 +204,8 @@ type StorageBreakdown struct {
 // (experiment E5: "this benefit ... comes at an extra cost in terms of
 // Flash storage").
 func (db *DB) Storage() StorageBreakdown {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var b StorageBreakdown
 	for _, s := range db.skts {
 		b.SKTs += s.Bytes()
@@ -185,6 +229,11 @@ func (db *DB) ExecDDL(ddl string) error {
 	ct, ok := stmt.(*sql.CreateTable)
 	if !ok {
 		return fmt.Errorf("core: ExecDDL expects CREATE TABLE, got %T", stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
 	}
 	return db.applyCreate(ct)
 }
@@ -215,6 +264,15 @@ func (db *DB) applyCreate(ct *sql.CreateTable) error {
 // LoadDataset). Primary keys must be dense 1..N in insertion order —
 // GhostDB identifiers are positional.
 func (db *DB) Insert(ins *sql.Insert) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.insertLocked(ins)
+}
+
+func (db *DB) insertLocked(ins *sql.Insert) error {
 	if db.loaded {
 		return errors.New("core: INSERT after Build")
 	}
@@ -244,6 +302,34 @@ func (db *DB) ExecScript(script string) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.stageLocked(stmts); err != nil {
+		return err
+	}
+	return db.buildStaged()
+}
+
+// Stage applies CREATE TABLE and INSERT statements without finalizing the
+// bulk load; Build or EnsureBuilt completes it. The database/sql driver
+// routes ExecContext through Stage so DDL can span several Exec calls.
+func (db *DB) Stage(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.stageLocked(stmts)
+}
+
+func (db *DB) stageLocked(stmts []sql.Statement) error {
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *sql.CreateTable:
@@ -251,22 +337,47 @@ func (db *DB) ExecScript(script string) error {
 				return err
 			}
 		case *sql.Insert:
-			if err := db.Insert(s); err != nil {
+			if err := db.insertLocked(s); err != nil {
 				return err
 			}
 		default:
 			return fmt.Errorf("core: scripts may not contain %T", s)
 		}
 	}
-	return db.Build()
+	return nil
+}
+
+// EnsureBuilt finalizes staged data if the bulk load has not happened
+// yet; it is a no-op on a loaded database.
+func (db *DB) EnsureBuilt() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if db.loaded {
+		return nil
+	}
+	return db.buildStaged()
 }
 
 // LoadDataset loads a generated dataset: DDL plus columnar rows.
 func (db *DB) LoadDataset(ds *datagen.Dataset) error {
+	stmts := make([]sql.Statement, 0, len(ds.DDL))
 	for _, ddl := range ds.DDL {
-		if err := db.ExecDDL(ddl); err != nil {
+		stmt, err := sql.Parse(ddl)
+		if err != nil {
 			return err
 		}
+		stmts = append(stmts, stmt)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.stageLocked(stmts); err != nil {
+		return err
 	}
 	cols := map[string][][]value.Value{}
 	for _, name := range ds.TableNames() {
@@ -278,6 +389,16 @@ func (db *DB) LoadDataset(ds *datagen.Dataset) error {
 // Build finalizes staged INSERT data into the two stores and the device
 // index structures.
 func (db *DB) Build() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.buildStaged()
+}
+
+// buildStaged finalizes the staged INSERT data under the device gate.
+func (db *DB) buildStaged() error {
 	cols := map[string][][]value.Value{}
 	for _, t := range db.sch.Tables() {
 		rows := db.staged[t.Name]
@@ -467,6 +588,13 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 
 // Index returns the climbing index on table.column, if any.
 func (db *DB) Index(table, column string) (*climbing.Index, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.indexLocked(table, column)
+}
+
+// indexLocked is Index for callers already holding the device gate.
+func (db *DB) indexLocked(table, column string) (*climbing.Index, bool) {
 	cols, ok := db.indexes[table]
 	if !ok {
 		return nil, false
@@ -485,6 +613,12 @@ func (db *DB) HasIndex(table, column string) bool {
 	return ok
 }
 
+// hasIndexLocked is HasIndex for callers already holding the device gate.
+func (db *DB) hasIndexLocked(table, column string) bool {
+	_, ok := db.indexLocked(table, column)
+	return ok
+}
+
 // SmallProfileForTest returns a 16 KB, 2-cache-frame device profile for
 // tests exercising the tightest RAM paths.
 func SmallProfileForTest() device.Profile {
@@ -493,13 +627,14 @@ func SmallProfileForTest() device.Profile {
 	return p
 }
 
-// translator returns the dense climbing index on the table's primary key.
+// translator returns the dense climbing index on the table's primary
+// key. Callers must hold the device gate.
 func (db *DB) translator(table string) (*climbing.Index, error) {
 	t, ok := db.sch.Table(table)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown table %s", table)
 	}
-	ix, ok := db.Index(t.Name, t.PrimaryKey().Name)
+	ix, ok := db.indexLocked(t.Name, t.PrimaryKey().Name)
 	if !ok {
 		return nil, fmt.Errorf("core: no translator index on %s", table)
 	}

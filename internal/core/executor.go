@@ -27,9 +27,17 @@ type Result struct {
 	Query   *plan.Query
 }
 
-// Prepare parses and binds a SELECT.
+// Prepare parses and binds a SELECT. Parsing and binding are host-side
+// work: they read only the frozen schema and never touch the device, so
+// any number of goroutines may prepare queries concurrently.
 func (db *DB) Prepare(sqlText string) (*plan.Query, error) {
-	if !db.loaded {
+	db.mu.Lock()
+	closed, loaded := db.closed, db.loaded
+	db.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !loaded {
 		return nil, fmt.Errorf("core: query before Build")
 	}
 	sel, err := sql.ParseSelect(sqlText)
@@ -41,12 +49,19 @@ func (db *DB) Prepare(sqlText string) (*plan.Query, error) {
 
 // Plans enumerates every concrete plan for the query (demo phase 3).
 func (db *DB) Plans(q *plan.Query) []plan.Spec {
-	return plan.Enumerate(q, db.HasIndex)
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return plan.Enumerate(q, db.hasIndexLocked)
 }
 
 // Estimate predicts a spec's simulated time using the statistics GhostDB
 // has at optimization time.
 func (db *DB) Estimate(q *plan.Query, spec plan.Spec) (time.Duration, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
 	counts, _, err := db.predCounts(q)
 	if err != nil {
 		return 0, err
@@ -85,7 +100,7 @@ func (db *DB) predCounts(q *plan.Query) ([]int, map[int][]uint32, error) {
 			counts[i] = len(ids)
 			continue
 		}
-		ix, ok := db.Index(p.Col.Table, p.Col.Column)
+		ix, ok := db.indexLocked(p.Col.Table, p.Col.Column)
 		if !ok {
 			counts[i] = -1
 			continue
@@ -187,6 +202,10 @@ func WithSpec(s plan.Spec) QueryOption {
 
 // Query parses, plans and executes a SELECT. Without options the
 // optimizer enumerates the strategy space and picks the cheapest plan.
+//
+// Parsing and binding happen host-side, outside the device gate; the
+// optimizer's statistics probes and the execution itself serialize on
+// the gate, so concurrent callers queue for the single simulated device.
 func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	q, err := db.Prepare(sqlText)
 	if err != nil {
@@ -196,6 +215,11 @@ func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
 	counts, visSel, err := db.predCounts(q)
 	if err != nil {
 		return nil, err
@@ -203,11 +227,11 @@ func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	var spec plan.Spec
 	if cfg.spec != nil {
 		spec = *cfg.spec
-		if err := spec.Validate(q, db.HasIndex); err != nil {
+		if err := spec.Validate(q, db.hasIndexLocked); err != nil {
 			return nil, err
 		}
 	} else {
-		specs := db.Plans(q)
+		specs := plan.Enumerate(q, db.hasIndexLocked)
 		if len(specs) == 0 {
 			return nil, fmt.Errorf("core: no feasible plan for %s", q.SQL)
 		}
@@ -225,7 +249,12 @@ func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 
 // QueryWithPlan executes a prepared query under an explicit plan.
 func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
-	if err := spec.Validate(q, db.HasIndex); err != nil {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if err := spec.Validate(q, db.hasIndexLocked); err != nil {
 		return nil, err
 	}
 	_, visSel, err := db.predCounts(q)
@@ -465,7 +494,7 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 	// visible predicates).
 	for _, i := range indexPreds {
 		p := q.Preds[i]
-		ix, _ := db.Index(p.Col.Table, p.Col.Column)
+		ix, _ := db.indexLocked(p.Col.Table, p.Col.Column)
 		op := ex.rep.NewOp("ClimbingIndex", p.String())
 		phase := db.clock.Now()
 		refs := make([][]climbing.ListRef, len(ix.Levels))

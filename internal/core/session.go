@@ -1,0 +1,176 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// ErrSessionClosed is returned by operations on a closed session.
+var ErrSessionClosed = errors.New("core: session is closed")
+
+// Session is one logical client of a shared DB — the unit the
+// database/sql driver hands out as a pooled connection. Many sessions
+// may be open at once, each on its own goroutine: host-side work
+// (parsing, binding) runs concurrently, while device execution
+// serializes on the DB's device gate, exactly as a hardware token
+// serializes its USB command stream.
+//
+// A Session carries per-session execution state: the number of queries
+// it ran, the simulated device time those queries consumed, and the
+// last execution report. A Session is itself safe for concurrent use.
+type Session struct {
+	db *DB
+	id int
+
+	mu         sync.Mutex
+	closed     bool
+	queries    int64
+	deviceTime time.Duration
+	lastReport *stats.Report
+}
+
+// NewSession opens a session on the database.
+func (db *DB) NewSession() (*Session, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	db.nextSession++
+	db.sessions++
+	return &Session{db: db, id: db.nextSession}, nil
+}
+
+// OpenSessions reports the number of sessions currently open.
+func (db *DB) OpenSessions() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.sessions
+}
+
+// ID is the session's unique identifier within its DB.
+func (s *Session) ID() int { return s.id }
+
+// DB returns the underlying shared database.
+func (s *Session) DB() *DB { return s.db }
+
+// Close releases the session. Closing a session does not close the DB;
+// in-flight queries on other sessions are unaffected. Close is
+// idempotent.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.db.mu.Lock()
+	s.db.sessions--
+	s.db.mu.Unlock()
+	return nil
+}
+
+// check returns an error when the session (or its DB) cannot serve.
+func (s *Session) check() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrSessionClosed
+	}
+	return nil
+}
+
+// record folds one finished query into the session statistics.
+func (s *Session) record(rep *stats.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	if rep != nil {
+		s.deviceTime += rep.TotalTime
+		s.lastReport = rep
+	}
+}
+
+// Ping verifies that both the session and its DB are open.
+func (s *Session) Ping() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	s.db.mu.Lock()
+	defer s.db.mu.Unlock()
+	if s.db.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Stage applies CREATE TABLE / INSERT statements without finalizing the
+// bulk load (see DB.Stage).
+func (s *Session) Stage(script string) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.db.Stage(script)
+}
+
+// EnsureBuilt finalizes staged data if needed (see DB.EnsureBuilt).
+func (s *Session) EnsureBuilt() error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.db.EnsureBuilt()
+}
+
+// Prepare parses and binds a SELECT (host-side; runs concurrently).
+func (s *Session) Prepare(sqlText string) (*plan.Query, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	return s.db.Prepare(sqlText)
+}
+
+// Query plans and executes a SELECT through the shared device gate.
+func (s *Session) Query(sqlText string, opts ...QueryOption) (*Result, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	res, err := s.db.Query(sqlText, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.record(res.Report)
+	return res, nil
+}
+
+// QueryWithPlan executes a prepared query under an explicit plan.
+func (s *Session) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	res, err := s.db.QueryWithPlan(q, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.record(res.Report)
+	return res, nil
+}
+
+// SessionStats is a snapshot of one session's execution state.
+type SessionStats struct {
+	ID         int
+	Queries    int64         // queries this session completed
+	DeviceTime time.Duration // simulated device time they consumed
+	LastReport *stats.Report // report of the most recent query, if any
+}
+
+// Stats snapshots the session's counters.
+func (s *Session) Stats() SessionStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SessionStats{ID: s.id, Queries: s.queries, DeviceTime: s.deviceTime, LastReport: s.lastReport}
+}

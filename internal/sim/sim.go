@@ -11,22 +11,27 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a monotonically advancing simulated clock. The zero value is a
-// clock at time zero, ready to use. Clock is not safe for concurrent use;
-// the device is a single-core 32-bit RISC chip and the engine drives it from
-// one goroutine.
+// clock at time zero, ready to use.
+//
+// The device is a single-core 32-bit RISC chip, so all charging (Advance)
+// happens from the one goroutine that currently holds the engine's device
+// gate. Reads, however, may come from any goroutine — sessions reporting
+// progress, benchmarks sampling throughput — so the clock value is stored
+// atomically and every method is safe for concurrent use.
 type Clock struct {
-	now time.Duration
+	now atomic.Int64 // time.Duration
 }
 
 // NewClock returns a clock starting at time zero.
 func NewClock() *Clock { return &Clock{} }
 
 // Now reports the current simulated time.
-func (c *Clock) Now() time.Duration { return c.now }
+func (c *Clock) Now() time.Duration { return time.Duration(c.now.Load()) }
 
 // Advance moves simulated time forward by d. Negative d panics: time is
 // monotonic.
@@ -34,14 +39,14 @@ func (c *Clock) Advance(d time.Duration) {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %v", d))
 	}
-	c.now += d
+	c.now.Add(int64(d))
 }
 
 // Reset rewinds the clock to zero. Benchmarks use it between plan runs.
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.now.Store(0) }
 
 // Span measures the simulated time elapsed since a mark obtained from Now.
-func (c *Clock) Span(since time.Duration) time.Duration { return c.now - since }
+func (c *Clock) Span(since time.Duration) time.Duration { return c.Now() - since }
 
 // CPU models the secure chip's processor as a cycle-accounted cost source.
 // Operators charge a number of cycles per unit of work; the CPU converts

@@ -60,3 +60,32 @@ func TestCPUInvalidFrequencyPanics(t *testing.T) {
 	}()
 	NewCPU(NewClock(), 0)
 }
+
+// TestClockConcurrentReads checks that monitoring goroutines may read the
+// clock while the device-gate holder advances it. Run with -race.
+func TestClockConcurrentReads(t *testing.T) {
+	c := NewClock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			c.Advance(time.Microsecond)
+		}
+	}()
+	last := time.Duration(0)
+	for {
+		now := c.Now()
+		if now < last {
+			t.Fatalf("clock went backwards: %v after %v", now, last)
+		}
+		last = now
+		select {
+		case <-done:
+			if got := c.Now(); got != 1000*time.Microsecond {
+				t.Fatalf("final time = %v", got)
+			}
+			return
+		default:
+		}
+	}
+}

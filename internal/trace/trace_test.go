@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -158,5 +159,35 @@ func TestEventStringAndFormat(t *testing.T) {
 	out := Format([]Event{e, e})
 	if strings.Count(out, "\n") != 2 {
 		t.Errorf("Format produced %q", out)
+	}
+}
+
+// TestRecorderConcurrent checks the recorder under concurrent producers
+// and readers: no lost events, strictly increasing sequence numbers.
+// Run with -race.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(CaptureMeta)
+	var wg sync.WaitGroup
+	const writers, events = 8, 50
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				r.Record(Event{From: Terminal, To: Device, Kind: KindControl, Bytes: 1})
+				_ = r.Len()
+				_ = r.Level()
+			}
+		}()
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != writers*events {
+		t.Fatalf("recorded %d events, want %d", len(evs), writers*events)
+	}
+	for i, e := range evs {
+		if e.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
 	}
 }
