@@ -21,6 +21,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/datagen"
 	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/value"
 )
 
 var benchScale = flag.Int("benchscale", 50_000, "prescriptions for benchmark datasets (paper: 1000000)")
@@ -387,6 +388,162 @@ INSERT INTO Visit VALUES
 			wg.Wait()
 			b.StopTimer()
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// benchHospital stages the package-doc mini dataset on a fresh driver DB.
+func benchHospital(b *testing.B, dsn string, conns int) *sql.DB {
+	b.Helper()
+	db, err := sql.Open("ghostdb", dsn)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+	db.SetMaxOpenConns(conns)
+	if _, err := db.Exec(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup', 1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);`); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+// BenchmarkDriverPrepared measures the compile-once / bind-many path:
+// one prepared '?'-placeholder statement per worker, executed with fresh
+// bindings. Compare against BenchmarkDriverUnpreparedNoCache (the
+// pre-plan-cache behavior: parse, bind, enumerate and cost every call)
+// to see the host-side planning cost amortized away.
+func BenchmarkDriverPrepared(b *testing.B) {
+	const query = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = ?`
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			db := benchHospital(b, "", g)
+			stmts := make([]*sql.Stmt, g)
+			for i := range stmts {
+				s, err := db.Prepare(query)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Close()
+				stmts[i] = s
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for _, s := range stmts {
+				wg.Add(1)
+				go func(s *sql.Stmt) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						rows, err := s.Query("Sclerosis")
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						for rows.Next() {
+						}
+						rows.Close()
+					}
+				}(s)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// BenchmarkDriverUnpreparedNoCache runs the same workload with the plan
+// cache disabled: every Query re-parses, re-binds, re-enumerates and
+// re-costs — the unprepared baseline BenchmarkDriverPrepared beats.
+func BenchmarkDriverUnpreparedNoCache(b *testing.B) {
+	const query = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			db := benchHospital(b, "ghostdb://?plancache=0", g)
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < g; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						rows, err := db.Query(query)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						for rows.Next() {
+						}
+						rows.Close()
+					}
+				}()
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		})
+	}
+}
+
+// BenchmarkConcurrentThroughputPrepared is the session-layer prepared
+// variant of BenchmarkConcurrentThroughput: the shape compiles once and
+// N goroutines run it with their own parameter bindings through the
+// shared device gate.
+func BenchmarkConcurrentThroughputPrepared(b *testing.B) {
+	skipIfShort(b)
+	db, _, err := bench.BuildDB(bench.Config{Scale: 2_000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const shape = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = ?`
+	params := []value.Value{value.NewString("Sclerosis")}
+	for _, g := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {
+			sessions := make([]*core.Session, g)
+			cqs := make([]*core.CompiledQuery, g)
+			for i := range sessions {
+				s, err := db.NewSession()
+				if err != nil {
+					b.Fatal(err)
+				}
+				sessions[i] = s
+				if cqs[i], err = s.Compile(shape); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for i, s := range sessions {
+				wg.Add(1)
+				go func(s *core.Session, cq *core.CompiledQuery) {
+					defer wg.Done()
+					for next.Add(1) <= int64(b.N) {
+						if _, err := s.QueryCompiled(cq, params); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}(s, cqs[i])
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+			for _, s := range sessions {
+				_ = s.Close()
+			}
 		})
 	}
 }

@@ -5,18 +5,20 @@ import (
 	sqldriver "database/sql/driver"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
 )
 
 // ErrNoTransactions is returned by Begin: GhostDB is bulk-loaded and
 // read-only after the load, so there is nothing to make transactional.
 var ErrNoTransactions = errors.New("ghostdb driver: transactions are not supported")
 
-// ErrNoArgs is returned when a statement is executed with placeholder
-// arguments; GhostDB SQL has no placeholder syntax.
-var ErrNoArgs = errors.New("ghostdb driver: placeholder arguments are not supported")
+// ErrStmtClosed is returned when a closed prepared statement is used.
+var ErrStmtClosed = errors.New("ghostdb driver: statement is closed")
 
 // Conn is one pooled database/sql connection: a session on the shared
 // GhostDB engine.
@@ -35,8 +37,11 @@ var (
 func (c *Conn) Session() *core.Session { return c.sess }
 
 // Prepare parses and classifies the statement eagerly (syntax errors
-// surface here) and defers binding to execution time, since binding
-// needs the bulk load to be finalized.
+// surface here, and NumInput counts the '?' placeholders) and defers
+// binding to execution time, since binding needs the bulk load to be
+// finalized. A prepared SELECT compiles once — through the engine's
+// shared plan cache — on its first Query and reuses the compiled plan
+// for every later execution, with fresh parameter bindings each time.
 func (c *Conn) Prepare(query string) (sqldriver.Stmt, error) {
 	stmts, err := sql.ParseScript(query)
 	if err != nil {
@@ -46,7 +51,16 @@ func (c *Conn) Prepare(query string) (sqldriver.Stmt, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Stmt{conn: c, query: query, isSelect: isSelect, affected: staged(stmts)}, nil
+	s := &Stmt{
+		conn:      c,
+		query:     query,
+		isSelect:  isSelect,
+		numParams: sql.CountParams(stmts...),
+	}
+	if !isSelect {
+		s.stmts = stmts // a SELECT compiles from its text on first Query
+	}
+	return s, nil
 }
 
 // Close releases the session; the shared engine stays up.
@@ -65,18 +79,16 @@ func (c *Conn) Ping(ctx context.Context) error {
 
 // ExecContext stages DDL and INSERT statements. One call may carry a
 // whole semicolon-separated script; the bulk load is finalized by the
-// first query.
+// first query. INSERT rows may use '?' placeholders, bound from args in
+// ordinal order.
 func (c *Conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if len(args) > 0 {
-		return nil, ErrNoArgs
+	params, err := namedToParams(args)
+	if err != nil {
+		return nil, err
 	}
-	return c.exec(query)
-}
-
-func (c *Conn) exec(query string) (sqldriver.Result, error) {
 	stmts, err := sql.ParseScript(query)
 	if err != nil {
 		return nil, err
@@ -88,40 +100,75 @@ func (c *Conn) exec(query string) (sqldriver.Result, error) {
 	if isSelect {
 		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
 	}
-	if err := c.sess.Stage(query); err != nil {
-		return nil, err
-	}
-	return execResult{rows: staged(stmts)}, nil
+	return c.stage(stmts, params)
 }
 
-// staged counts the rows a DDL/INSERT script stages (RowsAffected).
-func staged(stmts []sql.Statement) int64 {
-	n := int64(0)
-	for _, s := range stmts {
-		if ins, ok := s.(*sql.Insert); ok {
-			n += int64(len(ins.Rows))
-		}
+// stage binds placeholder args into the parsed script and stages it.
+func (c *Conn) stage(stmts []sql.Statement, params []value.Value) (sqldriver.Result, error) {
+	bound, err := bindScript(stmts, params)
+	if err != nil {
+		return nil, err
 	}
-	return n
+	if err := c.sess.StageStatements(bound); err != nil {
+		return nil, err
+	}
+	return execResult{rows: staged(bound)}, nil
+}
+
+// bindScript substitutes placeholder arguments into a DDL/INSERT script.
+func bindScript(stmts []sql.Statement, params []value.Value) ([]sql.Statement, error) {
+	want := sql.CountParams(stmts...)
+	if len(params) != want {
+		return nil, fmt.Errorf("ghostdb driver: script has %d placeholders, got %d arguments", want, len(params))
+	}
+	if want == 0 {
+		return stmts, nil
+	}
+	bound := make([]sql.Statement, len(stmts))
+	for i, s := range stmts {
+		ins, ok := s.(*sql.Insert)
+		if !ok {
+			bound[i] = s
+			continue
+		}
+		b, err := ins.BindParams(params)
+		if err != nil {
+			return nil, err
+		}
+		bound[i] = b
+	}
+	return bound, nil
 }
 
 // QueryContext finalizes the bulk load if needed and executes a SELECT
-// through the shared device gate.
+// through the shared device gate, binding '?' placeholders from args.
 func (c *Conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if len(args) > 0 {
-		return nil, ErrNoArgs
+	params, err := namedToParams(args)
+	if err != nil {
+		return nil, err
 	}
-	return c.query(query)
+	return c.query(query, params)
 }
 
-func (c *Conn) query(query string) (sqldriver.Rows, error) {
+func (c *Conn) query(query string, params []value.Value) (sqldriver.Rows, error) {
 	if err := c.sess.EnsureBuilt(); err != nil {
 		return nil, err
 	}
-	res, err := c.sess.Query(query)
+	if len(params) == 0 {
+		res, err := c.sess.Query(query)
+		if err != nil {
+			return nil, err
+		}
+		return &Rows{res: res}, nil
+	}
+	cq, err := c.sess.Compile(query)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.QueryCompiled(cq, params)
 	if err != nil {
 		return nil, err
 	}
@@ -142,47 +189,173 @@ func classify(stmts []sql.Statement) (isSelect bool, err error) {
 	return false, nil
 }
 
-// Stmt is a prepared statement. GhostDB SQL has no placeholders, so
-// NumInput is always zero. The parse work happens once, at Prepare.
+// staged counts the rows a DDL/INSERT script stages (RowsAffected).
+func staged(stmts []sql.Statement) int64 {
+	n := int64(0)
+	for _, s := range stmts {
+		if ins, ok := s.(*sql.Insert); ok {
+			n += int64(len(ins.Rows))
+		}
+	}
+	return n
+}
+
+// Stmt is a prepared statement. The parse work happens once, at Prepare;
+// a SELECT additionally compiles once (parse, bind, plan enumeration,
+// optimizer choice — shared through the engine's plan cache) on first
+// execution and afterwards only binds fresh parameter values and runs.
 type Stmt struct {
-	conn     *Conn
-	query    string
-	isSelect bool
-	affected int64 // rows staged per Exec (pre-counted at Prepare)
+	conn      *Conn
+	query     string
+	stmts     []sql.Statement // parsed at Prepare; DDL/INSERT scripts only
+	isSelect  bool
+	numParams int
+
+	mu     sync.Mutex
+	closed bool
+	cq     *core.CompiledQuery // lazily compiled SELECT; nil until first Query
 }
 
 var _ sqldriver.Stmt = (*Stmt)(nil)
 
-// Close releases the statement (nothing is held device-side).
-func (s *Stmt) Close() error { return nil }
+// Close releases the statement, dropping its compiled-plan and parsed-
+// script references so a closed statement cannot pin plan-cache entries
+// (or staged INSERT data) in memory.
+func (s *Stmt) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.cq = nil
+	s.stmts = nil
+	return nil
+}
 
-// NumInput reports zero: no placeholder support.
-func (s *Stmt) NumInput() int { return 0 }
+// NumInput reports the number of '?' placeholders in the statement.
+func (s *Stmt) NumInput() int { return s.numParams }
 
 // Exec stages the prepared DDL/INSERT script (no re-parse: the script
-// was classified and counted at Prepare).
+// was parsed, classified and counted at Prepare), binding any '?'
+// placeholders in INSERT rows from args.
 func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
-	if len(args) > 0 {
-		return nil, ErrNoArgs
-	}
 	if s.isSelect {
 		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
 	}
-	if err := s.conn.sess.Stage(s.query); err != nil {
+	s.mu.Lock()
+	closed, stmts := s.closed, s.stmts
+	s.mu.Unlock()
+	if closed {
+		return nil, ErrStmtClosed
+	}
+	params, err := toParams(args)
+	if err != nil {
 		return nil, err
 	}
-	return execResult{rows: s.affected}, nil
+	return s.conn.stage(stmts, params)
 }
 
-// Query executes the prepared SELECT.
+// Query executes the prepared SELECT with args bound to its '?'
+// placeholders, compiling it on first use.
 func (s *Stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
-	if len(args) > 0 {
-		return nil, ErrNoArgs
-	}
 	if !s.isSelect {
 		return nil, fmt.Errorf("ghostdb driver: prepared statement is not a SELECT: %s", s.query)
 	}
-	return s.conn.query(s.query)
+	params, err := toParams(args)
+	if err != nil {
+		return nil, err
+	}
+	cq, err := s.compiled()
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.conn.sess.QueryCompiled(cq, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Rows{res: res}, nil
+}
+
+// compiled returns the statement's compiled form, compiling (and
+// finalizing the bulk load) on first use.
+func (s *Stmt) compiled() (*core.CompiledQuery, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStmtClosed
+	}
+	if s.cq != nil {
+		return s.cq, nil
+	}
+	if err := s.conn.sess.EnsureBuilt(); err != nil {
+		return nil, err
+	}
+	cq, err := s.conn.sess.Compile(s.query)
+	if err != nil {
+		return nil, err
+	}
+	s.cq = cq
+	return cq, nil
+}
+
+// toParams converts driver argument values to GhostDB values.
+func toParams(args []sqldriver.Value) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := fromDriverValue(a)
+		if err != nil {
+			return nil, fmt.Errorf("ghostdb driver: argument %d: %w", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// namedToParams converts NamedValue arguments (positional only: GhostDB
+// placeholders are ordinal '?') to GhostDB values.
+func namedToParams(args []sqldriver.NamedValue) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for _, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("ghostdb driver: named argument %q is not supported (use '?' placeholders)", a.Name)
+		}
+		if a.Ordinal < 1 || a.Ordinal > len(args) {
+			return nil, fmt.Errorf("ghostdb driver: argument ordinal %d out of range", a.Ordinal)
+		}
+		v, err := fromDriverValue(a.Value)
+		if err != nil {
+			return nil, fmt.Errorf("ghostdb driver: argument %d: %w", a.Ordinal, err)
+		}
+		out[a.Ordinal-1] = v
+	}
+	return out, nil
+}
+
+// fromDriverValue converts one database/sql argument to a GhostDB value.
+// time.Time arguments bind as DATE (GhostDB stores civil dates only).
+func fromDriverValue(a sqldriver.Value) (value.Value, error) {
+	switch a := a.(type) {
+	case int64:
+		return value.NewInt(a), nil
+	case float64:
+		return value.NewFloat(a), nil
+	case bool:
+		return value.NewBool(a), nil
+	case string:
+		return value.NewString(a), nil
+	case []byte:
+		return value.NewString(string(a)), nil
+	case time.Time:
+		return value.NewDate(a.Year(), int(a.Month()), a.Day()), nil
+	case nil:
+		return value.Value{}, errors.New("GhostDB has no NULLs")
+	default:
+		return value.Value{}, fmt.Errorf("unsupported type %T", a)
+	}
 }
 
 // execResult reports rows staged by an Exec call.

@@ -34,6 +34,17 @@
 // indexes. After that the database is read-only, per the paper's "load
 // in a secure setting" model; later Execs return an error.
 //
+// # Prepared statements and the plan cache
+//
+// Statements may use '?' placeholders, bound positionally from the
+// database/sql argument list — in SELECT predicates and in INSERT
+// values alike. A prepared SELECT compiles once (parse, bind, plan
+// enumeration, optimizer choice) and afterwards only binds fresh
+// parameter values and runs; the compilation lives in a plan cache
+// shared by every connection of the sql.DB, so even unprepared Query
+// calls reuse it when the same statement shape repeats. The cache is
+// tuned (or disabled) with the plancache DSN parameter.
+//
 // # DSN
 //
 // The data source name selects the simulated hardware and engine

@@ -137,9 +137,12 @@ func TestLifecycleErrors(t *testing.T) {
 	if _, err := db.Exec(`SELECT Doc.Name FROM Doctor Doc`); err == nil {
 		t.Fatal("Exec(SELECT) should fail")
 	}
-	// Placeholder args are unsupported.
-	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = ?`, "France"); err == nil {
-		t.Fatal("placeholder query should fail")
+	// Placeholder arity is enforced: too few / too many args fail.
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = ?`); err == nil {
+		t.Fatal("placeholder query without args should fail")
+	}
+	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc`, "stray"); err == nil {
+		t.Fatal("args without placeholders should fail")
 	}
 	// First query finalizes the bulk load; DDL afterwards fails.
 	if _, err := db.Query(`SELECT Doc.Name FROM Doctor Doc`); err != nil {
@@ -189,11 +192,11 @@ func TestParseDSN(t *testing.T) {
 	if err != nil || cfg.Profile != "smartusb2007" || cfg.USB != "full" || cfg.FPR != 0.01 || cfg.Capture != "meta" {
 		t.Fatalf("defaults = %+v, %v", cfg, err)
 	}
-	cfg, err = ParseDSN("ghostdb://?usb=high&fpr=0.05&capture=full&deviceindex=Doctor.Country&deviceindex=Visit.Date")
+	cfg, err = ParseDSN("ghostdb://?usb=high&fpr=0.05&capture=full&deviceindex=Doctor.Country&deviceindex=Visit.Date&plancache=16")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.USB != "high" || cfg.FPR != 0.05 || cfg.Capture != "full" || len(cfg.DeviceIndexes) != 2 {
+	if cfg.USB != "high" || cfg.FPR != 0.05 || cfg.Capture != "full" || len(cfg.DeviceIndexes) != 2 || cfg.PlanCache != 16 {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 	for _, bad := range []string{
@@ -207,6 +210,8 @@ func TestParseDSN(t *testing.T) {
 		"ghostdb://?deviceindex=NoDot",
 		"ghostdb://?deviceindex=Too.Many.Dots",
 		"ghostdb://?profile=cray1",
+		"ghostdb://?plancache=-3",
+		"ghostdb://?plancache=lots",
 	} {
 		if _, err := ParseDSN(bad); err == nil {
 			t.Errorf("ParseDSN(%q) should fail", bad)
@@ -234,4 +239,136 @@ func TestTwoEngines(t *testing.T) {
 	if err := b.QueryRow(`SELECT S.Tag FROM Solo S`).Scan(&tag); err != nil || tag != "x" {
 		t.Fatalf("tag = %q, %v", tag, err)
 	}
+}
+
+// TestPlaceholderRoundTrip is the acceptance path: a '?'-placeholder
+// query round-trips correct results through database/sql with bound
+// args, both directly and via a prepared sql.Stmt reused with many
+// bindings.
+func TestPlaceholderRoundTrip(t *testing.T) {
+	db := openHospital(t, "")
+
+	// Direct Query with args.
+	var name string
+	err := db.QueryRow(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = ?`, "Spain").Scan(&name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "Gall" {
+		t.Fatalf("name = %q, want Gall", name)
+	}
+
+	// Prepared statement: compile once, bind many.
+	stmt, err := db.Prepare(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = ? AND Vis.Date > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	cutoff := time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC)
+	for purpose, want := range map[string][]int64{
+		"Sclerosis": {2, 3},
+		"Checkup":   {1},
+		"Nothing":   nil,
+	} {
+		rows, err := stmt.Query(purpose, cutoff)
+		if err != nil {
+			t.Fatalf("Query(%q): %v", purpose, err)
+		}
+		var got []int64
+		for rows.Next() {
+			var id int64
+			if err := rows.Scan(&id); err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, id)
+		}
+		rows.Close()
+		if len(got) != len(want) {
+			t.Fatalf("Query(%q) = %v, want %v", purpose, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Query(%q) = %v, want %v", purpose, got, want)
+			}
+		}
+	}
+
+	// Wrong arity is rejected by database/sql via NumInput.
+	if _, err := stmt.Query("only-one"); err == nil {
+		t.Fatal("one arg for a two-placeholder statement should fail")
+	}
+	// A closed statement refuses to run.
+	if err := stmt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query("Checkup", cutoff); err == nil {
+		t.Fatal("query on a closed statement should fail")
+	}
+}
+
+// TestPlaceholderExec checks '?' placeholders in INSERT rows: the bulk
+// load can be driven by one prepared statement per table.
+func TestPlaceholderExec(t *testing.T) {
+	db, err := sql.Open("ghostdb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(hospitalDDL); err != nil {
+		t.Fatal(err)
+	}
+	ins, err := db.Prepare(`INSERT INTO Doctor VALUES (?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range []struct {
+		name, country string
+	}{{"Ellis", "France"}, {"Gall", "Spain"}, {"Okafor", "Nigeria"}} {
+		res, err := ins.Exec(int64(i+1), d.name, d.country)
+		if err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+		if n, _ := res.RowsAffected(); n != 1 {
+			t.Fatalf("insert %d staged %d rows", i, n)
+		}
+	}
+	ins.Close()
+	if _, err := db.Exec(`INSERT INTO Visit VALUES (1, ?, 'Checkup', ?)`,
+		time.Date(2006, 1, 10, 0, 0, 0, 0, time.UTC), int64(3)); err != nil {
+		t.Fatal(err)
+	}
+	var name string
+	if err := db.QueryRow(`SELECT Doc.Name FROM Doctor Doc, Visit Vis
+		WHERE Vis.DocID = Doc.DocID AND Vis.Purpose = ?`, "Checkup").Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "Okafor" {
+		t.Fatalf("name = %q, want Okafor", name)
+	}
+}
+
+// TestPreparedStatementPlanCache checks prepared statements across
+// pooled connections share the engine's plan cache.
+func TestPreparedStatementPlanCache(t *testing.T) {
+	db := openHospital(t, "")
+	stmt, err := db.Prepare(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 5; i++ {
+		rows, err := stmt.Query("Sclerosis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for rows.Next() {
+		}
+		rows.Close()
+	}
+	// The same shape as unprepared text also hits the shared cache.
+	rows, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = ?`, "Checkup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
 }

@@ -29,10 +29,13 @@ type Config struct {
 	// DeviceIndexes lists visible columns ("Table.Column") that also get
 	// a climbing index on the device (Figure 4's Doctor.Country index).
 	DeviceIndexes []string
+	// PlanCache bounds the engine's compiled-plan cache in entries.
+	// -1 means the engine default (256); 0 disables caching.
+	PlanCache int
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta"}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -48,6 +51,7 @@ func defaultConfig() *Config {
 //	fpr          Bloom target false-positive rate in (0, 0.5]
 //	capture      wire trace capture: "meta" | "full"
 //	deviceindex  visible column "Table.Column"; may repeat
+//	plancache    compiled-plan cache entries; 0 disables (default 256)
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -90,6 +94,12 @@ func ParseDSN(dsn string) (*Config, error) {
 			if cfg.Capture != "meta" && cfg.Capture != "full" {
 				return nil, fmt.Errorf("ghostdb driver: unknown capture level %q (want meta or full)", cfg.Capture)
 			}
+		case "plancache":
+			n, err := strconv.Atoi(vals[len(vals)-1])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("ghostdb driver: plancache must be a non-negative entry count, got %q", vals[len(vals)-1])
+			}
+			cfg.PlanCache = n
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -122,6 +132,9 @@ func (c *Config) options() []core.Option {
 	for _, spec := range c.DeviceIndexes {
 		dot := strings.IndexByte(spec, '.')
 		opts = append(opts, core.WithDeviceIndex(spec[:dot], spec[dot+1:]))
+	}
+	if c.PlanCache >= 0 {
+		opts = append(opts, core.WithPlanCacheSize(c.PlanCache))
 	}
 	return opts
 }

@@ -1,0 +1,129 @@
+// prepared: parameterized queries and the shared plan cache through
+// database/sql. One '?'-placeholder statement compiles once — parse,
+// bind, plan enumeration, optimizer choice — and then runs many times
+// with fresh bindings, which is how a production front end should talk
+// to GhostDB: the host-side planning cost is paid per query *shape*,
+// not per query.
+//
+//	go run ./examples/prepared
+package main
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/ghostdb/ghostdb/driver"
+)
+
+func main() {
+	db, err := sql.Open("ghostdb", "ghostdb://?usb=high&fpr=0.01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Stage the schema, then drive the bulk load with one prepared
+	// INSERT per table: placeholders work in Exec too.
+	if _, err := db.Exec(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);`); err != nil {
+		log.Fatal(err)
+	}
+	insDoc, err := db.Prepare(`INSERT INTO Doctor VALUES (?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range []struct{ name, country string }{
+		{"Ellis", "France"}, {"Gall", "Spain"}, {"Okafor", "Nigeria"},
+	} {
+		if _, err := insDoc.Exec(int64(i+1), d.name, d.country); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insDoc.Close()
+	insVisit, err := db.Prepare(`INSERT INTO Visit VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range []struct {
+		date    time.Time
+		purpose string
+		doc     int64
+	}{
+		{time.Date(2006, 1, 10, 0, 0, 0, 0, time.UTC), "Checkup", 1},
+		{time.Date(2006, 11, 20, 0, 0, 0, 0, time.UTC), "Sclerosis", 2},
+		{time.Date(2007, 2, 1, 0, 0, 0, 0, time.UTC), "Sclerosis", 1},
+		{time.Date(2007, 3, 5, 0, 0, 0, 0, time.UTC), "Checkup", 3},
+	} {
+		if _, err := insVisit.Exec(int64(i+1), v.date, v.purpose, v.doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+	insVisit.Close()
+
+	// One statement, many bindings. Vis.Purpose is HIDDEN: the bound
+	// value is evaluated inside the device, and the statement's shape —
+	// not the parameter — is what the wire (and the plan cache key) see.
+	stmt, err := db.Prepare(`SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc
+		WHERE Vis.Purpose = ? AND Vis.DocID = Doc.DocID`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+
+	for _, purpose := range []string{"Checkup", "Sclerosis", "Surgery"} {
+		rows, err := stmt.Query(purpose)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", purpose)
+		n := 0
+		for rows.Next() {
+			var visID int64
+			var docName string
+			if err := rows.Scan(&visID, &docName); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  visit %d by Dr. %s\n", visID, docName)
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			log.Fatal(err)
+		}
+		if n == 0 {
+			fmt.Println("  (none)")
+		}
+		rows.Close()
+	}
+
+	// Even an unprepared Query reuses the compilation when the same
+	// shape repeats: the plan cache is shared by every session.
+	rows, err := db.Query(`SELECT Vis.VisID, Doc.Name FROM Visit Vis, Doctor Doc
+		WHERE Vis.Purpose = ? AND Vis.DocID = Doc.DocID`, "Checkup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows.Close()
+
+	// The statement compiled once (one miss); the ad-hoc Query of the
+	// same shape hit. Unwrap the driver connection for the counters.
+	conn, err := db.Conn(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Raw(func(dc any) error {
+		engine := dc.(*driver.Conn).Session().DB()
+		fmt.Printf("\nplan cache: %s\n", engine.PlanCacheStats())
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -125,6 +125,10 @@ func WithTargetFPR(f float64) Option { return core.WithTargetFPR(f) }
 // traffic at extra flash cost.
 func WithDeviceIndex(table, column string) Option { return core.WithDeviceIndex(table, column) }
 
+// WithPlanCacheSize bounds the engine's compiled-plan cache (LRU
+// entries); pass a negative size to disable caching.
+func WithPlanCacheSize(n int) Option { return core.WithPlanCacheSize(n) }
+
 // WithSpec forces a specific plan instead of the optimizer's choice.
 func WithSpec(s PlanSpec) QueryOption { return core.WithSpec(s) }
 
@@ -134,6 +138,12 @@ type PlanSpec = plan.Spec
 
 // Query is a bound query (see DB.Prepare).
 type Query = plan.Query
+
+// CompiledQuery is a compiled (parse + bind + plan-enumerate) query
+// shape, possibly with '?' placeholders: produce one with DB.Compile,
+// then Run it many times with fresh parameter bindings. Compilations
+// are shared across sessions through the engine's plan cache.
+type CompiledQuery = core.CompiledQuery
 
 // Re-exported device and channel profiles.
 var (

@@ -1,0 +1,316 @@
+package core
+
+// This file is the compile phase: the host-side, parameter-independent
+// half of query processing. Compile parses and binds a SELECT and
+// enumerates its plan space once; the resulting CompiledQuery is bound
+// to concrete parameter values many times and executed many times
+// (compile-once / bind-many / run-many). Compilations are memoized in
+// the DB's plan cache, so concurrent sessions issuing the same query
+// shape share one compiled form and skip the parse/bind/enumerate/cost
+// work entirely. The run phase lives in executor.go.
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// CompiledQuery is the cacheable product of the compile phase: the bound
+// query shape (which may contain '?' placeholders), the enumerated plan
+// specs, and — once the optimizer has run — the chosen strategy. One
+// CompiledQuery is shared by every session that issues the same query
+// shape; Run may be called concurrently with different bindings.
+type CompiledQuery struct {
+	db    *DB
+	shape *plan.Query
+	specs []plan.Spec
+
+	// chosen is the optimizer's cached strategy for this shape, written
+	// under the device gate on the first unforced Run and reused by every
+	// later one — the "plan" half of a prepared statement. Like any plan
+	// cache, it trades re-optimization for stability: later bindings run
+	// under the plan chosen for the first binding's selectivities.
+	chosen *plan.Spec
+}
+
+// SQL returns the canonical text of the compiled shape (placeholders
+// render as '?').
+func (cq *CompiledQuery) SQL() string { return cq.shape.SQL }
+
+// NumParams reports how many '?' placeholders the shape carries.
+func (cq *CompiledQuery) NumParams() int { return cq.shape.NumParams }
+
+// Shape returns the parameter-independent bound query.
+func (cq *CompiledQuery) Shape() *plan.Query { return cq.shape }
+
+// Specs returns the enumerated plan space (shared; do not mutate).
+func (cq *CompiledQuery) Specs() []plan.Spec { return cq.specs }
+
+// Bind substitutes parameter values into the shape, returning a fully
+// bound query (see plan.Query.BindParams).
+func (cq *CompiledQuery) Bind(params []value.Value) (*plan.Query, error) {
+	return cq.shape.BindParams(params)
+}
+
+// Compile parses, binds and plan-enumerates a SELECT, without touching
+// the plan cache. Parsing and binding are host-side work over the frozen
+// schema; only the (cheap) index-existence probes take the device gate.
+func (db *DB) Compile(sqlText string) (*CompiledQuery, error) {
+	q, err := db.Prepare(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	specs := plan.Enumerate(q, db.hasIndexLocked)
+	db.mu.Unlock()
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no feasible plan for %s", q.SQL)
+	}
+	return &CompiledQuery{db: db, shape: q, specs: specs}, nil
+}
+
+// compileCached returns the compiled form of sqlText, consulting the
+// plan cache first. The second result reports whether the lookup hit.
+func (db *DB) compileCached(sqlText string) (*CompiledQuery, bool, error) {
+	key := normalizeSQL(sqlText)
+	if cq, ok := db.planCache.get(key); ok {
+		return cq, true, nil
+	}
+	cq, err := db.Compile(sqlText)
+	if err != nil {
+		return nil, false, err
+	}
+	db.planCache.put(key, cq)
+	return cq, false, nil
+}
+
+// PlanCacheStats snapshots the shared plan cache's counters.
+func (db *DB) PlanCacheStats() stats.CacheStats { return db.planCache.stats() }
+
+// Prepare parses and binds a SELECT into its query shape. Parsing and
+// binding are host-side work: they read only the frozen schema and never
+// touch the device, so any number of goroutines may prepare queries
+// concurrently. The shape may contain '?' placeholders; bind it with
+// Query.BindParams (or use Compile/Run) before executing.
+func (db *DB) Prepare(sqlText string) (*plan.Query, error) {
+	db.mu.Lock()
+	closed, loaded := db.closed, db.loaded
+	db.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !loaded {
+		return nil, fmt.Errorf("core: query before Build")
+	}
+	sel, err := sql.ParseSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Bind(db.sch, sel)
+}
+
+// Plans enumerates every concrete plan for the query (demo phase 3).
+func (db *DB) Plans(q *plan.Query) []plan.Spec {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return plan.Enumerate(q, db.hasIndexLocked)
+}
+
+// Estimate predicts a spec's simulated time using the statistics GhostDB
+// has at optimization time. The query must be fully bound: selectivity
+// estimation needs concrete predicate values.
+func (db *DB) Estimate(q *plan.Query, spec plan.Spec) (time.Duration, error) {
+	if q.NumParams > 0 {
+		return 0, fmt.Errorf("core: cannot estimate a query with %d unbound parameters", q.NumParams)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	visSel, err := db.visSelections(q)
+	if err != nil {
+		return 0, err
+	}
+	counts, err := db.predCounts(q, visSel)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Estimate(q, spec, db.costInputs(counts)), nil
+}
+
+func (db *DB) costInputs(counts []int) plan.CostInputs {
+	return plan.CostInputs{
+		Counts:        counts,
+		TableRows:     db.rowCounts,
+		Profile:       db.opts.Profile,
+		Bus:           db.opts.USB,
+		AvgValueBytes: 12,
+	}
+}
+
+// visSelections evaluates every visible predicate on the untrusted PC
+// (free for the powerful public side) and returns the matching ID list
+// per predicate index. Hidden predicates are skipped.
+func (db *DB) visSelections(q *plan.Query) (map[int][]uint32, error) {
+	visSel := map[int][]uint32{}
+	for i, p := range q.Preds {
+		if p.Hidden() {
+			continue
+		}
+		vt, ok := db.vis.Table(p.Col.Table)
+		if !ok {
+			return nil, fmt.Errorf("core: no visible table %s", p.Col.Table)
+		}
+		ids, err := vt.Select(p.Col.Column, p.P)
+		if err != nil {
+			return nil, err
+		}
+		visSel[i] = ids
+	}
+	return visSel, nil
+}
+
+// predCounts computes, per predicate, the matching cardinality in its own
+// table: exact PC counts for visible predicates (taken from visSel) and
+// dictionary statistics for indexed hidden predicates (charged to the
+// device clock, as the real optimizer would pay).
+func (db *DB) predCounts(q *plan.Query, visSel map[int][]uint32) ([]int, error) {
+	counts := make([]int, len(q.Preds))
+	for i, p := range q.Preds {
+		if !p.Hidden() {
+			counts[i] = len(visSel[i])
+			continue
+		}
+		ix, ok := db.indexLocked(p.Col.Table, p.Col.Column)
+		if !ok {
+			counts[i] = -1
+			continue
+		}
+		n, err := db.indexCount(ix, p.P)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = n
+	}
+	return counts, nil
+}
+
+// indexCount evaluates a predicate's own-level cardinality from the
+// climbing index dictionary.
+func (db *DB) indexCount(ix *climbing.Index, p pred.P) (int, error) {
+	total := 0
+	err := forEachEntry(ix, p, func(e climbing.Entry) error {
+		total += e.Lists[0].Count
+		return nil
+	})
+	return total, err
+}
+
+// QueryOption adjusts one query execution.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	spec *plan.Spec
+}
+
+// WithSpec forces a specific plan instead of the optimizer's choice.
+func WithSpec(s plan.Spec) QueryOption {
+	return func(c *queryConfig) { spec := s.Clone(); c.spec = &spec }
+}
+
+// Query compiles (through the shared plan cache), plans and executes a
+// SELECT. Without options the optimizer enumerates the strategy space
+// and picks the cheapest plan; repeated shapes reuse the cached
+// compilation and plan choice. The query must not contain placeholders —
+// use Compile and CompiledQuery.Run to execute parameterized queries.
+//
+// Compilation happens host-side, outside the device gate; the
+// optimizer's statistics probes and the execution itself serialize on
+// the gate, so concurrent callers queue for the single simulated device.
+func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
+	cq, _, err := db.compileCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return cq.Run(nil, opts...)
+}
+
+// Run binds the compiled shape to params (ordinal order, one per '?')
+// and executes it. The first unforced Run pays the optimizer's
+// statistics probes and caches the chosen strategy on the CompiledQuery;
+// later Runs — from any session, with any bindings — skip straight to
+// execution. Pass options (e.g. WithSpec) to force a plan for one run
+// without disturbing the cached choice.
+func (cq *CompiledQuery) Run(params []value.Value, opts ...QueryOption) (*Result, error) {
+	bound, err := cq.shape.BindParams(params)
+	if err != nil {
+		return nil, err
+	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	db := cq.db
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	visSel, err := db.visSelections(bound)
+	if err != nil {
+		return nil, err
+	}
+	var spec plan.Spec
+	switch {
+	case cfg.spec != nil:
+		spec = *cfg.spec
+		if err := spec.Validate(bound, db.hasIndexLocked); err != nil {
+			return nil, err
+		}
+	case cq.chosen != nil: // written under db.mu; see below
+		spec = *cq.chosen
+	default:
+		counts, err := db.predCounts(bound, visSel)
+		if err != nil {
+			return nil, err
+		}
+		in := db.costInputs(counts)
+		best, bestCost := cq.specs[0], plan.Estimate(bound, cq.specs[0], in)
+		for _, s := range cq.specs[1:] {
+			if c := plan.Estimate(bound, s, in); c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		spec = best
+		chosen := best.Clone()
+		cq.chosen = &chosen
+	}
+	return db.execute(bound, spec, visSel)
+}
+
+// QueryWithPlan executes a prepared query under an explicit plan.
+func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
+	if q.NumParams > 0 {
+		return nil, fmt.Errorf("core: cannot execute a query with %d unbound parameters", q.NumParams)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	if err := spec.Validate(q, db.hasIndexLocked); err != nil {
+		return nil, err
+	}
+	visSel, err := db.visSelections(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.execute(q, spec, visSel)
+}

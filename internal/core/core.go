@@ -41,6 +41,9 @@ type Options struct {
 	// index: the device can then evaluate the visible predicate itself
 	// with zero bus traffic, at extra flash cost.
 	DeviceIndexes []string
+	// PlanCacheSize bounds the shared compiled-plan cache (entries).
+	// Zero means the default (256); negative disables caching.
+	PlanCacheSize int
 }
 
 // Option mutates Options.
@@ -63,6 +66,18 @@ func WithTargetFPR(f float64) Option { return func(o *Options) { o.TargetFPR = f
 // device-index strategy for its predicates.
 func WithDeviceIndex(table, column string) Option {
 	return func(o *Options) { o.DeviceIndexes = append(o.DeviceIndexes, table+"."+column) }
+}
+
+// WithPlanCacheSize bounds the compiled-plan cache to n entries (LRU).
+// Pass a negative n to disable plan caching: every Query then compiles
+// from scratch, which is how the engine behaved before the cache.
+func WithPlanCacheSize(n int) Option {
+	return func(o *Options) {
+		if n == 0 {
+			n = -1 // explicit zero means "no cache", not "default"
+		}
+		o.PlanCacheSize = n
+	}
 }
 
 func defaultOptions() Options {
@@ -95,6 +110,11 @@ type DB struct {
 	env   *exec.Env
 	net   *bus.Network
 	rec   *trace.Recorder
+
+	// planCache memoizes compiled query shapes across all sessions. It
+	// has its own (sharded) locking: cache traffic never takes the
+	// device gate.
+	planCache *planCache
 
 	// mu is the device gate: it serializes bulk load and query execution
 	// on the simulated device and guards all fields below it.
@@ -132,6 +152,10 @@ func Open(options ...Option) (*DB, error) {
 	net.Connect(trace.Terminal, trace.Server, opts.LAN)
 	net.Connect(trace.Terminal, trace.Device, opts.USB)
 	net.Connect(trace.Device, trace.Display, opts.USB)
+	cacheSize := opts.PlanCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
+	}
 	return &DB{
 		opts:       opts,
 		clock:      clock,
@@ -139,6 +163,7 @@ func Open(options ...Option) (*DB, error) {
 		env:        exec.NewEnv(dev),
 		net:        net,
 		rec:        rec,
+		planCache:  newPlanCache(cacheSize),
 		sch:        schema.New(),
 		vis:        visible.NewStore(),
 		skts:       map[string]*skt.SKT{},
@@ -284,6 +309,11 @@ func (db *DB) insertLocked(ins *sql.Insert) error {
 		if len(row) != len(t.Columns) {
 			return fmt.Errorf("core: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
 		}
+		for _, v := range row {
+			if v.IsParam() {
+				return fmt.Errorf("core: INSERT into %s carries an unbound '?' placeholder; bind arguments before staging", t.Name)
+			}
+		}
 		pkVal := row[t.PrimaryKeyIndex()]
 		want := int64(len(db.staged[t.Name]) + 1)
 		if pkVal.Kind() != value.Int || pkVal.Int() != want {
@@ -321,6 +351,19 @@ func (db *DB) Stage(script string) error {
 	if err != nil {
 		return err
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.stageLocked(stmts)
+}
+
+// StageStatements applies already-parsed CREATE TABLE and INSERT
+// statements without finalizing the bulk load. The database/sql driver
+// uses it to stage scripts it has parsed once (and whose placeholder
+// arguments it has already bound) without a round trip through text.
+func (db *DB) StageStatements(stmts []sql.Statement) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {

@@ -1,10 +1,15 @@
 package core
 
+// This file is the run phase: it executes one fully bound query under
+// one concrete plan spec on the simulated device. Everything
+// parameter-independent — parsing, binding, plan enumeration, the plan
+// cache and the optimizer's choice — happens in the compile phase
+// (compile.go); by the time execute runs, the query carries concrete
+// predicate values and the strategy per predicate is fixed.
+
 import (
 	"fmt"
 	"sort"
-	"strings"
-	"time"
 
 	"github.com/ghostdb/ghostdb/internal/climbing"
 	"github.com/ghostdb/ghostdb/internal/exec"
@@ -25,104 +30,6 @@ type Result struct {
 	Report  *stats.Report
 	Spec    plan.Spec
 	Query   *plan.Query
-}
-
-// Prepare parses and binds a SELECT. Parsing and binding are host-side
-// work: they read only the frozen schema and never touch the device, so
-// any number of goroutines may prepare queries concurrently.
-func (db *DB) Prepare(sqlText string) (*plan.Query, error) {
-	db.mu.Lock()
-	closed, loaded := db.closed, db.loaded
-	db.mu.Unlock()
-	if closed {
-		return nil, ErrClosed
-	}
-	if !loaded {
-		return nil, fmt.Errorf("core: query before Build")
-	}
-	sel, err := sql.ParseSelect(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	return plan.Bind(db.sch, sel)
-}
-
-// Plans enumerates every concrete plan for the query (demo phase 3).
-func (db *DB) Plans(q *plan.Query) []plan.Spec {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return plan.Enumerate(q, db.hasIndexLocked)
-}
-
-// Estimate predicts a spec's simulated time using the statistics GhostDB
-// has at optimization time.
-func (db *DB) Estimate(q *plan.Query, spec plan.Spec) (time.Duration, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return 0, ErrClosed
-	}
-	counts, _, err := db.predCounts(q)
-	if err != nil {
-		return 0, err
-	}
-	return plan.Estimate(q, spec, db.costInputs(counts)), nil
-}
-
-func (db *DB) costInputs(counts []int) plan.CostInputs {
-	return plan.CostInputs{
-		Counts:        counts,
-		TableRows:     db.rowCounts,
-		Profile:       db.opts.Profile,
-		Bus:           db.opts.USB,
-		AvgValueBytes: 12,
-	}
-}
-
-// predCounts computes, per predicate, the matching cardinality in its own
-// table: exact PC counts for visible predicates (free for the powerful
-// untrusted side) and dictionary statistics for indexed hidden predicates
-// (charged to the device clock, as the real optimizer would pay).
-func (db *DB) predCounts(q *plan.Query) ([]int, map[int][]uint32, error) {
-	counts := make([]int, len(q.Preds))
-	visSel := map[int][]uint32{}
-	for i, p := range q.Preds {
-		if !p.Hidden() {
-			vt, ok := db.vis.Table(p.Col.Table)
-			if !ok {
-				return nil, nil, fmt.Errorf("core: no visible table %s", p.Col.Table)
-			}
-			ids, err := vt.Select(p.Col.Column, p.P)
-			if err != nil {
-				return nil, nil, err
-			}
-			visSel[i] = ids
-			counts[i] = len(ids)
-			continue
-		}
-		ix, ok := db.indexLocked(p.Col.Table, p.Col.Column)
-		if !ok {
-			counts[i] = -1
-			continue
-		}
-		n, err := db.indexCount(ix, p.P)
-		if err != nil {
-			return nil, nil, err
-		}
-		counts[i] = n
-	}
-	return counts, visSel, nil
-}
-
-// indexCount evaluates a predicate's own-level cardinality from the
-// climbing index dictionary.
-func (db *DB) indexCount(ix *climbing.Index, p pred.P) (int, error) {
-	total := 0
-	err := forEachEntry(ix, p, func(e climbing.Entry) error {
-		total += e.Lists[0].Count
-		return nil
-	})
-	return total, err
 }
 
 // forEachEntry visits the index entries matching p.
@@ -186,82 +93,6 @@ func forEachEntry(ix *climbing.Index, p pred.P, fn func(climbing.Entry) error) e
 		return nil
 	}
 	return fmt.Errorf("core: unknown predicate form %d", p.Form)
-}
-
-// QueryOption adjusts one query execution.
-type QueryOption func(*queryConfig)
-
-type queryConfig struct {
-	spec *plan.Spec
-}
-
-// WithSpec forces a specific plan instead of the optimizer's choice.
-func WithSpec(s plan.Spec) QueryOption {
-	return func(c *queryConfig) { spec := s.Clone(); c.spec = &spec }
-}
-
-// Query parses, plans and executes a SELECT. Without options the
-// optimizer enumerates the strategy space and picks the cheapest plan.
-//
-// Parsing and binding happen host-side, outside the device gate; the
-// optimizer's statistics probes and the execution itself serialize on
-// the gate, so concurrent callers queue for the single simulated device.
-func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
-	q, err := db.Prepare(sqlText)
-	if err != nil {
-		return nil, err
-	}
-	var cfg queryConfig
-	for _, o := range opts {
-		o(&cfg)
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	counts, visSel, err := db.predCounts(q)
-	if err != nil {
-		return nil, err
-	}
-	var spec plan.Spec
-	if cfg.spec != nil {
-		spec = *cfg.spec
-		if err := spec.Validate(q, db.hasIndexLocked); err != nil {
-			return nil, err
-		}
-	} else {
-		specs := plan.Enumerate(q, db.hasIndexLocked)
-		if len(specs) == 0 {
-			return nil, fmt.Errorf("core: no feasible plan for %s", q.SQL)
-		}
-		in := db.costInputs(counts)
-		best, bestCost := specs[0], plan.Estimate(q, specs[0], in)
-		for _, s := range specs[1:] {
-			if c := plan.Estimate(q, s, in); c < bestCost {
-				best, bestCost = s, c
-			}
-		}
-		spec = best
-	}
-	return db.execute(q, spec, visSel)
-}
-
-// QueryWithPlan executes a prepared query under an explicit plan.
-func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return nil, ErrClosed
-	}
-	if err := spec.Validate(q, db.hasIndexLocked); err != nil {
-		return nil, err
-	}
-	_, visSel, err := db.predCounts(q)
-	if err != nil {
-		return nil, err
-	}
-	return db.execute(q, spec, visSel)
 }
 
 // execute runs the distributed plan and assembles the result.
@@ -518,7 +349,15 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 
 	// Visible pre-filter contributions: ship the (per-table intersected)
 	// ID lists into the device and spill them as scratch runs.
-	for t, idxs := range visPreByTable {
+	// Deterministic order: map iteration order must not decide how
+	// contributions hit the (tight) scratch arena.
+	preTables := make([]string, 0, len(visPreByTable))
+	for t := range visPreByTable {
+		preTables = append(preTables, t)
+	}
+	sort.Strings(preTables)
+	for _, t := range preTables {
+		idxs := visPreByTable[t]
 		ids := ex.visSel[idxs[0]]
 		for _, i := range idxs[1:] {
 			ids = visible.IntersectSorted(ids, ex.visSel[i])
@@ -1220,30 +1059,3 @@ func (s *seqIter) Next() (uint32, bool, error) {
 }
 
 func (s *seqIter) Close() {}
-
-// Explain renders the plan in the spirit of Figure 5: the device pipeline
-// with the untrusted inputs marked.
-func (db *DB) Explain(q *plan.Query, spec plan.Spec) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "plan %s for %s\n", spec.Label, q.SQL)
-	fmt.Fprintf(&b, "query root: %s", q.Root.Name)
-	if spec.CrossFilter {
-		b.WriteString("  [cross-filtering]")
-	}
-	b.WriteByte('\n')
-	for i, p := range q.Preds {
-		st := spec.Strategies[i]
-		side := "UNTRUSTED"
-		switch st {
-		case plan.StratHidIndex, plan.StratHidPost, plan.StratVisDevice:
-			side = "DEVICE"
-		}
-		fmt.Fprintf(&b, "  %-12s %-10s %s\n", st, side, p)
-	}
-	b.WriteString("  pipeline: [selections] -> merge/translate -> Access SKT")
-	if len(q.VisiblePreds()) > 0 {
-		b.WriteString(" -> bloom/verify")
-	}
-	b.WriteString(" -> Store -> project -> secure display\n")
-	return b.String()
-}

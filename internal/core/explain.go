@@ -1,0 +1,35 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+)
+
+// Explain renders the plan in the spirit of Figure 5: the device pipeline
+// with the untrusted inputs marked.
+func (db *DB) Explain(q *plan.Query, spec plan.Spec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan %s for %s\n", spec.Label, q.SQL)
+	fmt.Fprintf(&b, "query root: %s", q.Root.Name)
+	if spec.CrossFilter {
+		b.WriteString("  [cross-filtering]")
+	}
+	b.WriteByte('\n')
+	for i, p := range q.Preds {
+		st := spec.Strategies[i]
+		side := "UNTRUSTED"
+		switch st {
+		case plan.StratHidIndex, plan.StratHidPost, plan.StratVisDevice:
+			side = "DEVICE"
+		}
+		fmt.Fprintf(&b, "  %-12s %-10s %s\n", st, side, p)
+	}
+	b.WriteString("  pipeline: [selections] -> merge/translate -> Access SKT")
+	if len(q.VisiblePreds()) > 0 {
+		b.WriteString(" -> bloom/verify")
+	}
+	b.WriteString(" -> Store -> project -> secure display\n")
+	return b.String()
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"github.com/ghostdb/ghostdb/internal/datagen"
@@ -70,10 +71,22 @@ var pathTables = map[string][]string{
 func (g *queryGen) next() string {
 	cols := g.cols()
 	nPreds := 1 + g.rng.Intn(3)
-	chosen := map[string]genCol{}
-	for len(chosen) < nPreds {
+	chosenSet := map[string]genCol{}
+	for len(chosenSet) < nPreds {
 		c := cols[g.rng.Intn(len(cols))]
-		chosen[c.table+"."+c.column] = c
+		chosenSet[c.table+"."+c.column] = c
+	}
+	// Iterate the chosen set in a fixed order: map iteration order must
+	// not decide how the seeded rng stream is consumed, or the "random"
+	// query sequence differs between runs of the same seed.
+	keys := make([]string, 0, len(chosenSet))
+	for k := range chosenSet {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	chosen := make([]genCol, len(keys))
+	for i, k := range keys {
+		chosen[i] = chosenSet[k]
 	}
 
 	// FROM: every predicate table, plus enough ancestors to give the

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
 	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/value"
 )
 
 // ErrSessionClosed is returned by operations on a closed session.
@@ -26,11 +28,13 @@ type Session struct {
 	db *DB
 	id int
 
-	mu         sync.Mutex
-	closed     bool
-	queries    int64
-	deviceTime time.Duration
-	lastReport *stats.Report
+	mu          sync.Mutex
+	closed      bool
+	queries     int64
+	deviceTime  time.Duration
+	lastReport  *stats.Report
+	cacheHits   int64 // plan-cache hits on this session's queries
+	cacheMisses int64
 }
 
 // NewSession opens a session on the database.
@@ -85,6 +89,17 @@ func (s *Session) check() error {
 	return nil
 }
 
+// recordCache folds one plan-cache lookup into the session statistics.
+func (s *Session) recordCache(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.cacheHits++
+	} else {
+		s.cacheMisses++
+	}
+}
+
 // record folds one finished query into the session statistics.
 func (s *Session) record(rep *stats.Report) {
 	s.mu.Lock()
@@ -118,6 +133,15 @@ func (s *Session) Stage(script string) error {
 	return s.db.Stage(script)
 }
 
+// StageStatements applies already-parsed CREATE TABLE / INSERT
+// statements without finalizing the bulk load (see DB.StageStatements).
+func (s *Session) StageStatements(stmts []sql.Statement) error {
+	if err := s.check(); err != nil {
+		return err
+	}
+	return s.db.StageStatements(stmts)
+}
+
 // EnsureBuilt finalizes staged data if needed (see DB.EnsureBuilt).
 func (s *Session) EnsureBuilt() error {
 	if err := s.check(); err != nil {
@@ -134,12 +158,47 @@ func (s *Session) Prepare(sqlText string) (*plan.Query, error) {
 	return s.db.Prepare(sqlText)
 }
 
-// Query plans and executes a SELECT through the shared device gate.
+// Compile parses, binds and plan-enumerates a SELECT through the DB's
+// shared plan cache: sessions issuing the same query shape share one
+// CompiledQuery. The hit/miss is charged to this session's counters.
+func (s *Session) Compile(sqlText string) (*CompiledQuery, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	cq, hit, err := s.db.compileCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	s.recordCache(hit)
+	return cq, nil
+}
+
+// Query compiles (through the shared plan cache) and executes a SELECT
+// through the shared device gate.
 func (s *Session) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	if err := s.check(); err != nil {
 		return nil, err
 	}
-	res, err := s.db.Query(sqlText, opts...)
+	cq, hit, err := s.db.compileCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	s.recordCache(hit)
+	res, err := cq.Run(nil, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.record(res.Report)
+	return res, nil
+}
+
+// QueryCompiled binds params into a compiled query and executes it,
+// folding the report into the session statistics.
+func (s *Session) QueryCompiled(cq *CompiledQuery, params []value.Value, opts ...QueryOption) (*Result, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	res, err := cq.Run(params, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -163,14 +222,21 @@ func (s *Session) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) 
 // SessionStats is a snapshot of one session's execution state.
 type SessionStats struct {
 	ID         int
-	Queries    int64         // queries this session completed
-	DeviceTime time.Duration // simulated device time they consumed
-	LastReport *stats.Report // report of the most recent query, if any
+	Queries    int64            // queries this session completed
+	DeviceTime time.Duration    // simulated device time they consumed
+	LastReport *stats.Report    // report of the most recent query, if any
+	PlanCache  stats.CacheStats // this session's share of plan-cache traffic
 }
 
 // Stats snapshots the session's counters.
 func (s *Session) Stats() SessionStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return SessionStats{ID: s.id, Queries: s.queries, DeviceTime: s.deviceTime, LastReport: s.lastReport}
+	return SessionStats{
+		ID:         s.id,
+		Queries:    s.queries,
+		DeviceTime: s.deviceTime,
+		LastReport: s.lastReport,
+		PlanCache:  stats.CacheStats{Hits: s.cacheHits, Misses: s.cacheMisses},
+	}
 }

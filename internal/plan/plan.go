@@ -43,15 +43,85 @@ func (p Pred) Hidden() bool { return p.Col.Hidden }
 // String renders the predicate.
 func (p Pred) String() string { return p.Col.String() + " " + p.P.String() }
 
-// Query is a bound SPJ query over the tree schema.
+// Query is a bound SPJ query over the tree schema. A Query with
+// NumParams > 0 is a parameter-independent shape: its predicate
+// literals include unbound '?' placeholders, and it must pass through
+// BindParams before it can execute or be costed.
 type Query struct {
-	SQL    string
-	Schema *schema.Schema
-	Root   *schema.Table // query root: result granularity
-	Tables []string      // FROM tables, catalog names, no duplicates
-	Projs  []Col         // projection list in SELECT order
-	Preds  []Pred        // conjunctive selections
-	Limit  int           // result row cap (0 = none); order is root-ID
+	SQL       string
+	Schema    *schema.Schema
+	Root      *schema.Table // query root: result granularity
+	Tables    []string      // FROM tables, catalog names, no duplicates
+	Projs     []Col         // projection list in SELECT order
+	Preds     []Pred        // conjunctive selections
+	Limit     int           // result row cap (0 = none); order is root-ID
+	NumParams int           // '?' placeholders awaiting BindParams
+}
+
+// BindParams substitutes the query's '?' placeholders with params (by
+// ordinal) and coerces them to their column kinds, returning a new,
+// fully bound Query. The shape fields (tables, projections, predicate
+// columns) are shared with the receiver; only the predicate list is
+// copied. A query without parameters is returned unchanged (params must
+// be empty).
+func (q *Query) BindParams(params []value.Value) (*Query, error) {
+	if len(params) != q.NumParams {
+		return nil, fmt.Errorf("plan: query has %d parameters, got %d arguments", q.NumParams, len(params))
+	}
+	if q.NumParams == 0 {
+		return q, nil
+	}
+	for i, v := range params {
+		if v.IsParam() {
+			return nil, fmt.Errorf("plan: argument %d is itself an unbound parameter", i+1)
+		}
+	}
+	out := *q
+	out.NumParams = 0
+	out.Preds = make([]Pred, len(q.Preds))
+	for i, pr := range q.Preds {
+		bound, err := bindPredParams(pr.P, params)
+		if err != nil {
+			return nil, fmt.Errorf("plan: predicate on %s: %w", pr.Col, err)
+		}
+		if bound, err = coercePred(bound, pr.Col.Kind); err != nil {
+			return nil, fmt.Errorf("plan: predicate on %s: %w", pr.Col, err)
+		}
+		out.Preds[i] = Pred{Col: pr.Col, P: bound}
+	}
+	return &out, nil
+}
+
+// bindPredParams substitutes placeholder literals inside one predicate.
+func bindPredParams(p pred.P, params []value.Value) (pred.P, error) {
+	sub := func(v value.Value) (value.Value, error) {
+		if !v.IsParam() {
+			return v, nil
+		}
+		ord := v.ParamOrdinal()
+		if ord < 0 || ord >= len(params) {
+			return value.Value{}, fmt.Errorf("placeholder %d out of range", ord+1)
+		}
+		return params[ord], nil
+	}
+	var err error
+	switch p.Form {
+	case pred.FormCompare:
+		p.Val, err = sub(p.Val)
+	case pred.FormBetween:
+		if p.Lo, err = sub(p.Lo); err == nil {
+			p.Hi, err = sub(p.Hi)
+		}
+	case pred.FormIn:
+		set := make([]value.Value, len(p.Set))
+		for i, v := range p.Set {
+			if set[i], err = sub(v); err != nil {
+				break
+			}
+		}
+		p.Set = set
+	}
+	return p, err
 }
 
 // Bind resolves a parsed SELECT against the schema: FROM tables and
@@ -175,6 +245,7 @@ func Bind(sch *schema.Schema, sel *sql.Select) (*Query, error) {
 		}
 		q.Preds = append(q.Preds, Pred{Col: col, P: p})
 	}
+	q.NumParams = sql.CountParams(sel)
 	return q, nil
 }
 

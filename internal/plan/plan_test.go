@@ -277,3 +277,65 @@ func TestEstimateOrdersSelectivities(t *testing.T) {
 	}
 	_ = time.Duration(0)
 }
+
+func TestBindParams(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Vis.VisID FROM Visit Vis
+		WHERE Vis.Date BETWEEN ? AND ? AND Vis.Purpose = ?`)
+	if q.NumParams != 3 {
+		t.Fatalf("NumParams = %d, want 3", q.NumParams)
+	}
+	// The shape renders placeholders, not values.
+	if !strings.Contains(q.SQL, "BETWEEN ? AND ?") {
+		t.Fatalf("shape SQL = %q", q.SQL)
+	}
+
+	bound, err := q.BindParams([]value.Value{
+		value.NewString("2006-01-01"), // string date coerces at bind time
+		value.NewString("2006-12-31"),
+		value.NewString("Sclerosis"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.NumParams != 0 {
+		t.Fatalf("bound NumParams = %d", bound.NumParams)
+	}
+	if k := bound.Preds[0].P.Lo.Kind(); k != value.Date {
+		t.Errorf("bound Lo kind = %v, want Date", k)
+	}
+	if got := bound.Preds[1].P.Val.Str(); got != "Sclerosis" {
+		t.Errorf("bound Val = %q", got)
+	}
+	// The shape is untouched: bind-many means each binding is a copy.
+	if !q.Preds[0].P.Lo.IsParam() || !q.Preds[1].P.Val.IsParam() {
+		t.Error("BindParams mutated the shape")
+	}
+
+	// Arity errors.
+	if _, err := q.BindParams(nil); err == nil {
+		t.Error("BindParams(nil) on 3-param shape should fail")
+	}
+	if _, err := q.BindParams(make([]value.Value, 4)); err == nil {
+		t.Error("BindParams with 4 args should fail")
+	}
+	// Binding an unbindable kind fails through coercion.
+	if _, err := q.BindParams([]value.Value{
+		value.NewBool(true), value.NewBool(false), value.NewString("x"),
+	}); err == nil {
+		t.Error("BindParams with uncoercible kinds should fail")
+	}
+	// A parameter value cannot itself be a placeholder.
+	if _, err := q.BindParams([]value.Value{
+		value.NewParam(0), value.NewString("2006-12-31"), value.NewString("x"),
+	}); err == nil {
+		t.Error("BindParams with a Param argument should fail")
+	}
+
+	// A parameterless query binds to itself.
+	plain := bind(t, s, `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Flu'`)
+	same, err := plain.BindParams(nil)
+	if err != nil || same != plain {
+		t.Errorf("parameterless BindParams = %v, %v", same, err)
+	}
+}

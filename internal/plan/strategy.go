@@ -323,7 +323,7 @@ func Estimate(q *Query, spec Spec, in CostInputs) time.Duration {
 					red := 1.0
 					for j, st2 := range spec.Strategies {
 						if j != i && st2 == StratHidIndex && q.Preds[j].Col.Table == pr.Col.Table {
-							red *= float64(count(j)) / float64(maxInt(in.TableRows[pr.Col.Table], 1))
+							red *= float64(count(j)) / float64(max(in.TableRows[pr.Col.Table], 1))
 						}
 					}
 					effIn *= red
@@ -394,7 +394,7 @@ func Estimate(q *Query, spec Spec, in CostInputs) time.Duration {
 			survivors *= float64(rootCount(i)) / float64(rootRows)
 		}
 		if st == StratHidPost {
-			survivors *= float64(count(i)) / float64(maxInt(in.TableRows[q.Preds[i].Col.Table], 1))
+			survivors *= float64(count(i)) / float64(max(in.TableRows[q.Preds[i].Col.Table], 1))
 		}
 	}
 	if survivors < 1 {
@@ -436,14 +436,7 @@ func Estimate(q *Query, spec Spec, in CostInputs) time.Duration {
 	}
 
 	// Result delivery to the secure display.
-	total += busBytes(int(survivors) * (4 + in.AvgValueBytes) * maxInt(len(q.Projs), 1) / 4)
+	total += busBytes(int(survivors) * (4 + in.AvgValueBytes) * max(len(q.Projs), 1) / 4)
 
 	return total
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

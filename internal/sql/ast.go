@@ -99,6 +99,68 @@ func (i *Insert) String() string {
 	return fmt.Sprintf("INSERT INTO %s VALUES %s", i.Table, strings.Join(rows, ", "))
 }
 
+// BindParams returns a copy of the INSERT with every '?' placeholder
+// replaced by the corresponding argument (by ordinal). Rows without
+// placeholders are shared, not copied.
+func (i *Insert) BindParams(args []value.Value) (*Insert, error) {
+	out := &Insert{Table: i.Table, Rows: make([][]value.Value, len(i.Rows))}
+	for r, row := range i.Rows {
+		bound := row
+		for c, v := range row {
+			if !v.IsParam() {
+				continue
+			}
+			ord := v.ParamOrdinal()
+			if ord >= len(args) {
+				return nil, fmt.Errorf("sql: placeholder %d has no argument (%d supplied)", ord+1, len(args))
+			}
+			if &bound[0] == &row[0] {
+				bound = append([]value.Value(nil), row...)
+			}
+			bound[c] = args[ord]
+		}
+		out.Rows[r] = bound
+	}
+	return out, nil
+}
+
+// CountParams reports the number of '?' placeholders across the
+// statements. Placeholder ordinals are assigned left to right by the
+// parser, so the count is also one past the highest ordinal.
+func CountParams(stmts ...Statement) int {
+	n := 0
+	count := func(v value.Value) {
+		if v.IsParam() {
+			n++
+		}
+	}
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *Insert:
+			for _, row := range s.Rows {
+				for _, v := range row {
+					count(v)
+				}
+			}
+		case *Select:
+			for _, c := range s.Where {
+				switch c := c.(type) {
+				case *Compare:
+					count(c.Val)
+				case *Between:
+					count(c.Lo)
+					count(c.Hi)
+				case *In:
+					for _, v := range c.Vals {
+						count(v)
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
 // ColRef names a column, optionally qualified by a table name or alias.
 type ColRef struct {
 	Qualifier string // "" when unqualified

@@ -14,7 +14,7 @@ const (
 	tokIdent
 	tokNumber
 	tokString
-	tokSymbol // punctuation and operators: ( ) , . ; = <> < <= > >= *
+	tokSymbol // punctuation and operators: ( ) , . ; = <> < <= > >= * ?
 )
 
 type token struct {
@@ -108,7 +108,7 @@ func lex(input string) ([]token, error) {
 			} else {
 				return nil, fmt.Errorf("sql: unexpected '!' at offset %d", i)
 			}
-		case strings.ContainsRune("(),.;=*-+", rune(c)):
+		case strings.ContainsRune("(),.;=*-+?", rune(c)):
 			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
 			i++
 		default:

@@ -70,8 +70,9 @@ func ParseScript(input string) ([]Statement, error) {
 }
 
 type parser struct {
-	toks []token
-	i    int
+	toks   []token
+	i      int
+	params int // '?' placeholders seen so far; ordinals assigned in lex order
 }
 
 func (p *parser) peek() token { return p.toks[p.i] }
@@ -508,11 +509,18 @@ func isLiteralKeyword(word string) bool {
 }
 
 // parseLiteral parses a literal: numbers (with optional sign), quoted
-// strings, TRUE/FALSE, DATE 'YYYY-MM-DD', and the paper's bare
-// DD-MM-YYYY date syntax (lexed as NUMBER '-' NUMBER '-' NUMBER).
+// strings, TRUE/FALSE, DATE 'YYYY-MM-DD', the paper's bare DD-MM-YYYY
+// date syntax (lexed as NUMBER '-' NUMBER '-' NUMBER), and the '?'
+// placeholder, which parses to an unbound parameter value whose ordinal
+// counts placeholders left to right across the statement.
 func (p *parser) parseLiteral() (value.Value, error) {
 	t := p.peek()
 	switch {
+	case t.isSymbol("?"):
+		p.next()
+		v := value.NewParam(p.params)
+		p.params++
+		return v, nil
 	case t.kind == tokString:
 		p.next()
 		return value.NewString(t.text), nil

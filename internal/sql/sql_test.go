@@ -341,3 +341,70 @@ func TestParseLimit(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePlaceholders(t *testing.T) {
+	sel, err := ParseSelect(`SELECT a FROM T WHERE a = ? AND b BETWEEN ? AND ? AND c IN (?, 5, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := CountParams(sel); n != 5 {
+		t.Fatalf("CountParams = %d, want 5", n)
+	}
+	// Ordinals are assigned left to right.
+	cmp := sel.Where[0].(*Compare)
+	if !cmp.Val.IsParam() || cmp.Val.ParamOrdinal() != 0 {
+		t.Fatalf("first placeholder ordinal = %v", cmp.Val)
+	}
+	btw := sel.Where[1].(*Between)
+	if btw.Lo.ParamOrdinal() != 1 || btw.Hi.ParamOrdinal() != 2 {
+		t.Fatalf("between ordinals = %v, %v", btw.Lo, btw.Hi)
+	}
+	in := sel.Where[2].(*In)
+	if in.Vals[0].ParamOrdinal() != 3 || in.Vals[2].ParamOrdinal() != 4 {
+		t.Fatalf("in ordinals = %v", in.Vals)
+	}
+	if in.Vals[1].IsParam() {
+		t.Fatal("literal 5 parsed as placeholder")
+	}
+	// Placeholders render back as '?': the canonical parameter shape.
+	rendered := sel.String()
+	if !strings.Contains(rendered, "a = ?") || !strings.Contains(rendered, "BETWEEN ? AND ?") {
+		t.Fatalf("String() = %q", rendered)
+	}
+	// The rendered shape re-parses to the same parameter count.
+	again, err := ParseSelect(rendered)
+	if err != nil || CountParams(again) != 5 {
+		t.Fatalf("round trip: %v, %d params", err, CountParams(again))
+	}
+}
+
+func TestParsePlaceholderInsert(t *testing.T) {
+	stmt, err := Parse(`INSERT INTO T VALUES (1, ?, ?), (2, 'lit', ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := stmt.(*Insert)
+	if n := CountParams(ins); n != 3 {
+		t.Fatalf("CountParams = %d, want 3", n)
+	}
+	bound, err := ins.BindParams([]value.Value{
+		value.NewString("x"), value.NewInt(7), value.NewBool(true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bound.Rows[0][1].Str(); got != "x" {
+		t.Fatalf("row 0 col 1 = %q", got)
+	}
+	if got := bound.Rows[1][2]; !got.Bool() {
+		t.Fatalf("row 1 col 2 = %v", got)
+	}
+	// The original AST keeps its placeholders (BindParams copies).
+	if !ins.Rows[0][1].IsParam() {
+		t.Fatal("BindParams mutated the prepared AST")
+	}
+	// Missing arguments fail.
+	if _, err := ins.BindParams([]value.Value{value.NewInt(1)}); err == nil {
+		t.Fatal("BindParams with too few args should fail")
+	}
+}

@@ -100,6 +100,41 @@ func (r *Report) String() string {
 	return b.String()
 }
 
+// CacheStats is a snapshot of a cache's effectiveness counters (the plan
+// cache reports these; other host-side caches may reuse the type).
+type CacheStats struct {
+	Hits      int64 // lookups served from the cache
+	Misses    int64 // lookups that had to do the work
+	Evictions int64 // entries dropped by the LRU policy
+	Entries   int   // entries currently resident
+}
+
+// Add returns the element-wise sum of two snapshots (used to merge
+// per-shard counters).
+func (c CacheStats) Add(o CacheStats) CacheStats {
+	return CacheStats{
+		Hits:      c.Hits + o.Hits,
+		Misses:    c.Misses + o.Misses,
+		Evictions: c.Evictions + o.Evictions,
+		Entries:   c.Entries + o.Entries,
+	}
+}
+
+// HitRate reports hits / lookups, or 0 with no lookups.
+func (c CacheStats) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// String renders the counters compactly.
+func (c CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d entries=%d (%.1f%% hit rate)",
+		c.Hits, c.Misses, c.Evictions, c.Entries, 100*c.HitRate())
+}
+
 // FormatBytes renders a byte count with a binary unit.
 func FormatBytes(n int64) string {
 	switch {

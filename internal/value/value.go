@@ -23,6 +23,7 @@ const (
 	String       // UTF-8 string (CHAR/VARCHAR)
 	Date         // calendar date, stored as days since 1970-01-01
 	Bool         // boolean
+	Param        // unbound query parameter ('?' placeholder), payload is its ordinal
 )
 
 // String returns the SQL-ish name of the kind.
@@ -40,6 +41,8 @@ func (k Kind) String() string {
 		return "DATE"
 	case Bool:
 		return "BOOLEAN"
+	case Param:
+		return "PARAM"
 	default:
 		return fmt.Sprintf("KIND(%d)", uint8(k))
 	}
@@ -75,6 +78,23 @@ func NewBool(v bool) Value {
 
 // NewDateDays returns a date value from a days-since-epoch count.
 func NewDateDays(days int64) Value { return Value{kind: Date, i: days} }
+
+// NewParam returns an unbound parameter placeholder with the given
+// 0-based ordinal. Parameters never reach storage or comparison: they
+// are substituted by real values when a compiled query is bound.
+func NewParam(ordinal int) Value { return Value{kind: Param, i: int64(ordinal)} }
+
+// IsParam reports whether the value is an unbound parameter.
+func (v Value) IsParam() bool { return v.kind == Param }
+
+// ParamOrdinal returns the placeholder's 0-based ordinal. It panics if
+// the kind is not Param.
+func (v Value) ParamOrdinal() int {
+	if v.kind != Param {
+		panic("value: ParamOrdinal() on " + v.kind.String())
+	}
+	return int(v.i)
+}
 
 // NewDate returns a date value for the given civil year, month and day.
 func NewDate(year, month, day int) Value {
@@ -148,11 +168,15 @@ func (v Value) String() string {
 			return "true"
 		}
 		return "false"
+	case Param:
+		return "?"
 	}
 	return "?"
 }
 
-// SQL renders the value as a SQL literal (strings quoted, dates quoted ISO).
+// SQL renders the value as a SQL literal (strings quoted, dates quoted
+// ISO, parameters as their bare placeholder — which makes a statement's
+// canonical text a parameter-independent shape).
 func (v Value) SQL() string {
 	switch v.kind {
 	case String:
@@ -216,9 +240,10 @@ func Compare(a, b Value) (int, error) {
 
 // Coerce converts v to kind k when a lossless conversion exists, e.g. a
 // string date literal to a Date. It returns the value unchanged when
-// already of kind k.
+// already of kind k. Unbound parameters pass through untouched: they are
+// coerced once real values are bound.
 func Coerce(v Value, k Kind) (Value, error) {
-	if v.kind == k {
+	if v.kind == k || v.kind == Param {
 		return v, nil
 	}
 	switch {
