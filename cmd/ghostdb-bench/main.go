@@ -11,15 +11,41 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/bench"
 	"github.com/ghostdb/ghostdb/internal/core"
 )
+
+// benchRecord is the machine-readable result of one experiment, written
+// as BENCH_<name>.json when -json is set so the perf trajectory can be
+// tracked across commits (CI uploads these as artifacts).
+type benchRecord struct {
+	Name   string `json:"name"`
+	Scale  int    `json:"scale"`
+	Seed   int64  `json:"seed"`
+	WallNS int64  `json:"wall_ns"` // host wall-clock for the experiment
+	Allocs uint64 `json:"allocs"`  // host heap allocations during the experiment
+	// SimNS is the simulated device time the experiment advanced on the
+	// shared database's clock; 0 for experiments that build private
+	// databases (bus, spy, ram, writes, bloom). The first shared-DB
+	// experiment includes the one-time bulk load.
+	SimNS int64 `json:"sim_ns"`
+}
+
+func writeBenchJSON(rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+rec.Name+".json", append(data, '\n'), 0o644)
+}
 
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
@@ -29,6 +55,7 @@ var experimentOrder = []string{
 func main() {
 	scale := flag.Int("scale", 100_000, "prescriptions in the synthetic dataset (paper: 1000000)")
 	seed := flag.Int64("seed", 42, "dataset seed")
+	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json records (wall ns, allocs, simulated device time)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ghostdb-bench [-scale N] [experiment ...]\nexperiments: %v or all\n", experimentOrder)
 		flag.PrintDefaults()
@@ -59,11 +86,38 @@ func main() {
 
 	for _, name := range wanted {
 		fmt.Printf("==================== %s ====================\n", name)
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
+		var sim0 time.Duration
+		if shared != nil {
+			sim0 = shared.Clock().Now()
+		}
 		start := time.Now()
 		if err := run(name, cfg, sharedDB); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("(%s took %v wall clock)\n\n", name, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		fmt.Printf("(%s took %v wall clock)\n\n", name, wall.Round(time.Millisecond))
+		if *jsonOut {
+			runtime.ReadMemStats(&ms)
+			var sim time.Duration
+			if shared != nil {
+				sim = shared.Clock().Now() - sim0
+			}
+			rec := benchRecord{
+				Name:   name,
+				Scale:  cfg.Scale,
+				Seed:   cfg.Seed,
+				WallNS: wall.Nanoseconds(),
+				Allocs: ms.Mallocs - allocs0,
+				SimNS:  sim.Nanoseconds(),
+			}
+			if err := writeBenchJSON(rec); err != nil {
+				log.Fatalf("%s: writing JSON: %v", name, err)
+			}
+			fmt.Printf("wrote BENCH_%s.json\n\n", name)
+		}
 	}
 }
 

@@ -32,10 +32,16 @@ type Config struct {
 	// PlanCache bounds the engine's compiled-plan cache in entries.
 	// -1 means the engine default (256); 0 disables caching.
 	PlanCache int
+	// Batch is the execution engine's vectorization granularity (IDs per
+	// operator batch, clamped to at most 1024). -1 means the engine
+	// default (1024); 1 selects the row-at-a-time reference engine,
+	// which produces bit-identical simulated device times at lower host
+	// throughput.
+	Batch int
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -52,6 +58,7 @@ func defaultConfig() *Config {
 //	capture      wire trace capture: "meta" | "full"
 //	deviceindex  visible column "Table.Column"; may repeat
 //	plancache    compiled-plan cache entries; 0 disables (default 256)
+//	batch        execution batch size in IDs; 1 = row-at-a-time (default 1024)
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -94,6 +101,12 @@ func ParseDSN(dsn string) (*Config, error) {
 			if cfg.Capture != "meta" && cfg.Capture != "full" {
 				return nil, fmt.Errorf("ghostdb driver: unknown capture level %q (want meta or full)", cfg.Capture)
 			}
+		case "batch":
+			n, err := strconv.Atoi(vals[len(vals)-1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("ghostdb driver: batch must be a positive ID count, got %q", vals[len(vals)-1])
+			}
+			cfg.Batch = n
 		case "plancache":
 			n, err := strconv.Atoi(vals[len(vals)-1])
 			if err != nil || n < 0 {
@@ -135,6 +148,9 @@ func (c *Config) options() []core.Option {
 	}
 	if c.PlanCache >= 0 {
 		opts = append(opts, core.WithPlanCacheSize(c.PlanCache))
+	}
+	if c.Batch >= 1 {
+		opts = append(opts, core.WithBatchSize(c.Batch))
 	}
 	return opts
 }

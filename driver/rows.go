@@ -13,6 +13,12 @@ import (
 // Rows adapts a completed GhostDB result to driver.Rows. GhostDB's
 // execution model materializes the full result on the secure display
 // side before anything is returned, so Rows only cursors over it.
+//
+// Ownership: the engine's vectorized pipeline hands rows out in batches
+// that own their memory (exec.RowBatch), and the materialized result rows
+// are display-side values detached from any device buffer — so the driver
+// performs no defensive per-row copy. Next converts each value straight
+// into dest; database/sql's own row-copy semantics apply from there.
 type Rows struct {
 	res *core.Result
 	i   int

@@ -44,6 +44,13 @@ type Index struct {
 	n       int  // distinct values
 	entSize int
 
+	// vals memoizes the decoded dictionary values host-side (they are
+	// immutable after Build). Lookups still stream the encoded bytes
+	// through the page cache — the simulated flash cost and the cache's
+	// LRU state are untouched — but skip the per-probe re-decode and its
+	// allocations.
+	vals []value.Value
+
 	st         *store.Store
 	entriesExt flash.Extent
 	valuesExt  flash.Extent
@@ -117,6 +124,7 @@ func Build(st *store.Store, sch *schema.Schema, table, column string, kind value
 		return nil, fmt.Errorf("climbing: %s.%s: %w", table, column, sortErr)
 	}
 	ix.n = len(distinct)
+	ix.vals = distinct
 	if dense {
 		if len(distinct) != len(vals) {
 			return nil, fmt.Errorf("climbing: %s.%s: dense index requires unique values (%d distinct of %d rows)",
@@ -214,13 +222,30 @@ func (ix *Index) LevelOf(table string) int {
 	return -1
 }
 
+// entryRecord reads dictionary record i through the page cache into the
+// caller's scratch array (heap fallback for oversized records), so the
+// two read paths — full entries and value-only probes — share one
+// layout-aware reader.
+func (ix *Index) entryRecord(i int, scratch *[64]byte) ([]byte, error) {
+	raw := scratch[:]
+	if ix.entSize > len(raw) {
+		raw = make([]byte, ix.entSize)
+	}
+	raw = raw[:ix.entSize]
+	if err := ix.st.Cache().ReadAt(raw, ix.entriesExt.Start+int64(i)*int64(ix.entSize)); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
 // entry reads dictionary entry i.
 func (ix *Index) entry(i int) (Entry, error) {
 	if i < 0 || i >= ix.n {
 		return Entry{}, fmt.Errorf("climbing: entry %d of %d", i, ix.n)
 	}
-	raw := make([]byte, ix.entSize)
-	if err := ix.st.Cache().ReadAt(raw, ix.entriesExt.Start+int64(i)*int64(ix.entSize)); err != nil {
+	var scratch [64]byte
+	raw, err := ix.entryRecord(i, &scratch)
+	if err != nil {
 		return Entry{}, err
 	}
 	valOff := binary.LittleEndian.Uint32(raw[0:4])
@@ -243,8 +268,27 @@ func (ix *Index) entry(i int) (Entry, error) {
 	return e, nil
 }
 
-// readValue decodes the value of entry i starting at valOff within the
-// values region.
+// probeValue reads only the value of entry i — the binary-search path,
+// which does not need the posting-list refs. The flash traffic is
+// identical to entry's (the full record and the value bytes stream
+// through the page cache); only the host-side Entry construction is
+// skipped.
+func (ix *Index) probeValue(i int) (value.Value, error) {
+	if i < 0 || i >= ix.n {
+		return value.Value{}, fmt.Errorf("climbing: entry %d of %d", i, ix.n)
+	}
+	var scratch [64]byte
+	raw, err := ix.entryRecord(i, &scratch)
+	if err != nil {
+		return value.Value{}, err
+	}
+	return ix.readValue(i, int64(binary.LittleEndian.Uint32(raw[0:4])))
+}
+
+// readValue returns the value of entry i starting at valOff within the
+// values region. The encoded bytes always stream through the page cache
+// (that is the simulated device cost); the decode itself is served from
+// the host-side memo when available.
 func (ix *Index) readValue(i int, valOff int64) (value.Value, error) {
 	// The value's length is bounded by the next entry's value offset.
 	end := ix.valuesExt.Len
@@ -255,9 +299,18 @@ func (ix *Index) readValue(i int, valOff int64) (value.Value, error) {
 		}
 		end = int64(binary.LittleEndian.Uint32(raw[:]))
 	}
-	buf := make([]byte, end-valOff)
+	var bufArr [128]byte
+	buf := bufArr[:]
+	if n := int(end - valOff); n <= len(buf) {
+		buf = buf[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	if err := ix.st.Cache().ReadAt(buf, ix.valuesExt.Start+valOff); err != nil {
 		return value.Value{}, err
+	}
+	if ix.vals != nil {
+		return ix.vals[i], nil
 	}
 	v, _, err := value.Decode(buf)
 	return v, err
@@ -305,11 +358,11 @@ func (ix *Index) lowerBound(v value.Value) (int, error) {
 	lo, hi := 0, ix.n
 	for lo < hi {
 		mid := (lo + hi) / 2
-		e, err := ix.entry(mid)
+		mv, err := ix.probeValue(mid)
 		if err != nil {
 			return 0, err
 		}
-		c, err := value.Compare(e.Value, v)
+		c, err := value.Compare(mv, v)
 		if err != nil {
 			return 0, err
 		}
@@ -344,11 +397,11 @@ func (ix *Index) Range(lo, hi *Bound) (*EntryIter, error) {
 		if !lo.Inclusive {
 			// Skip entries equal to the bound.
 			for start < ix.n {
-				e, err := ix.entry(start)
+				sv, err := ix.probeValue(start)
 				if err != nil {
 					return nil, err
 				}
-				c, err := value.Compare(e.Value, cv)
+				c, err := value.Compare(sv, cv)
 				if err != nil {
 					return nil, err
 				}

@@ -81,7 +81,15 @@ type ListDecoder struct {
 
 // NewListDecoder returns a decoder that will yield count IDs from r.
 func NewListDecoder(r io.ByteReader, count int) *ListDecoder {
-	return &ListDecoder{r: r, remaining: count, first: true}
+	d := &ListDecoder{}
+	d.Reset(r, count)
+	return d
+}
+
+// Reset re-initializes the decoder to yield count IDs from r, so embedded
+// decoder values can be set up without a separate allocation.
+func (d *ListDecoder) Reset(r io.ByteReader, count int) {
+	*d = ListDecoder{r: r, remaining: count, first: true}
 }
 
 // Next returns the next ID. ok is false when the list is exhausted.

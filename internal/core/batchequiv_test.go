@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// loadPair builds two engines over the same dataset: the vectorized batch
+// engine and the row-at-a-time reference engine (batch size 1), plus the
+// shared query generator.
+func loadPair(t *testing.T, opts ...Option) (batch, row *DB, gen *queryGen, load func(extra ...Option) *DB) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Tiny())
+	load = func(extra ...Option) *DB {
+		db, err := Open(append(append([]Option{}, opts...), extra...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.LoadDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	batch = load()
+	row = load(WithBatchSize(1))
+	return batch, row, &queryGen{rng: rand.New(rand.NewSource(23)), ds: ds}, load
+}
+
+// diffReports returns a description of the first divergence between two
+// execution reports, or "" when they are bit-identical in simulated time,
+// tuple counts, flash traffic, bus traffic and RAM high-water.
+func diffReports(a, b *stats.Report) string {
+	if a.TotalTime != b.TotalTime {
+		return "TotalTime " + a.TotalTime.String() + " vs " + b.TotalTime.String()
+	}
+	if a.RAMHigh != b.RAMHigh {
+		return "RAMHigh differs"
+	}
+	if a.Flash != b.Flash {
+		return "flash stats differ"
+	}
+	if a.BusBytes != b.BusBytes || a.BusMsgs != b.BusMsgs {
+		return "bus traffic differs"
+	}
+	if a.ResultRows != b.ResultRows {
+		return "result row count differs"
+	}
+	if len(a.Ops) != len(b.Ops) {
+		return "operator count differs"
+	}
+	for i := range a.Ops {
+		x, y := a.Ops[i], b.Ops[i]
+		if x.Name != y.Name || x.Detail != y.Detail {
+			return "op " + x.Name + "(" + x.Detail + ") vs " + y.Name + "(" + y.Detail + ")"
+		}
+		if x.TuplesIn != y.TuplesIn || x.TuplesOut != y.TuplesOut {
+			return "op " + x.Name + "(" + x.Detail + ") tuple counts differ: " + x.String() + " vs " + y.String()
+		}
+		if x.Time != y.Time {
+			return "op " + x.Name + "(" + x.Detail + ") time differs: " + x.String() + " vs " + y.String()
+		}
+		if x.RAMBytes != y.RAMBytes {
+			return "op " + x.Name + "(" + x.Detail + ") RAM differs"
+		}
+	}
+	return ""
+}
+
+// TestBatchRowEquivalence is the engine-invariance property: every random
+// query, under every enumerated plan, must produce the same result set,
+// the same per-operator tuple counts and the bit-identical simulated
+// device time on the batch engine and on the row-at-a-time engine. The
+// cost model is the paper's contribution — vectorization is only allowed
+// to change host CPU time.
+func TestBatchRowEquivalence(t *testing.T) {
+	batch, row, gen, _ := loadPair(t)
+	iterations := 40
+	if testing.Short() {
+		iterations = 10
+	}
+	for i := 0; i < iterations; i++ {
+		sqlText := gen.next()
+		qb, err := batch.Prepare(sqlText)
+		if err != nil {
+			t.Fatalf("query %d %q: %v", i, sqlText, err)
+		}
+		qr, err := row.Prepare(sqlText)
+		if err != nil {
+			t.Fatalf("query %d %q (row): %v", i, sqlText, err)
+		}
+		specs := batch.Plans(qb)
+		rowSpecs := row.Plans(qr)
+		if len(specs) != len(rowSpecs) {
+			t.Fatalf("query %d %q: %d plans vs %d", i, sqlText, len(specs), len(rowSpecs))
+		}
+		for s, spec := range specs {
+			rb, err := batch.QueryWithPlan(qb, spec)
+			if err != nil {
+				t.Fatalf("query %d %q / %s: %v", i, sqlText, spec.Describe(qb), err)
+			}
+			rr, err := row.QueryWithPlan(qr, rowSpecs[s])
+			if err != nil {
+				t.Fatalf("query %d %q / %s (row): %v", i, sqlText, spec.Describe(qb), err)
+			}
+			if !sameRows(rb.Rows, rr.Rows) {
+				t.Fatalf("query %d %q / %s: batch returned %d rows, row engine %d",
+					i, sqlText, spec.Describe(qb), len(rb.Rows), len(rr.Rows))
+			}
+			if d := diffReports(rb.Report, rr.Report); d != "" {
+				t.Fatalf("query %d %q / %s: engines diverge: %s\nbatch:\n%s\nrow:\n%s",
+					i, sqlText, spec.Describe(qb), d, rb.Report, rr.Report)
+			}
+		}
+	}
+}
+
+// TestBatchRowEquivalenceTinyRAM repeats the property on a 16KB device,
+// forcing the spill-everything paths (multi-pass unions, scratch runs,
+// tight-RAM sequential contribution integration) through both engines —
+// plus a third engine at an odd batch granularity (7), checking that the
+// invariance holds at every vectorization width, not just the default.
+func TestBatchRowEquivalenceTinyRAM(t *testing.T) {
+	prof := SmallProfileForTest()
+	batch, row, gen, load := loadPair(t, WithProfile(prof))
+	odd := load(WithBatchSize(7))
+	iterations := 15
+	if testing.Short() {
+		iterations = 5
+	}
+	for i := 0; i < iterations; i++ {
+		sqlText := gen.next()
+		rb, err := batch.Query(sqlText)
+		if err != nil {
+			t.Fatalf("query %d %q: %v", i, sqlText, err)
+		}
+		rr, err := row.Query(sqlText)
+		if err != nil {
+			t.Fatalf("query %d %q (row): %v", i, sqlText, err)
+		}
+		ro, err := odd.Query(sqlText)
+		if err != nil {
+			t.Fatalf("query %d %q (batch=7): %v", i, sqlText, err)
+		}
+		if !sameRows(rb.Rows, rr.Rows) || !sameRows(ro.Rows, rr.Rows) {
+			t.Fatalf("query %d %q: batch %d / batch7 %d rows, row engine %d",
+				i, sqlText, len(rb.Rows), len(ro.Rows), len(rr.Rows))
+		}
+		if d := diffReports(rb.Report, rr.Report); d != "" {
+			t.Fatalf("query %d %q: engines diverge: %s\nbatch:\n%s\nrow:\n%s",
+				i, sqlText, d, rb.Report, rr.Report)
+		}
+		if d := diffReports(ro.Report, rr.Report); d != "" {
+			t.Fatalf("query %d %q: batch=7 diverges: %s\nbatch7:\n%s\nrow:\n%s",
+				i, sqlText, d, ro.Report, rr.Report)
+		}
+	}
+}

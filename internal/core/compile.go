@@ -158,8 +158,8 @@ func (db *DB) costInputs(counts []int) plan.CostInputs {
 // visSelections evaluates every visible predicate on the untrusted PC
 // (free for the powerful public side) and returns the matching ID list
 // per predicate index. Hidden predicates are skipped.
-func (db *DB) visSelections(q *plan.Query) (map[int][]uint32, error) {
-	visSel := map[int][]uint32{}
+func (db *DB) visSelections(q *plan.Query) ([][]uint32, error) {
+	visSel := make([][]uint32, len(q.Preds))
 	for i, p := range q.Preds {
 		if p.Hidden() {
 			continue
@@ -181,7 +181,7 @@ func (db *DB) visSelections(q *plan.Query) (map[int][]uint32, error) {
 // table: exact PC counts for visible predicates (taken from visSel) and
 // dictionary statistics for indexed hidden predicates (charged to the
 // device clock, as the real optimizer would pay).
-func (db *DB) predCounts(q *plan.Query, visSel map[int][]uint32) ([]int, error) {
+func (db *DB) predCounts(q *plan.Query, visSel [][]uint32) ([]int, error) {
 	counts := make([]int, len(q.Preds))
 	for i, p := range q.Preds {
 		if !p.Hidden() {

@@ -44,6 +44,13 @@ type Options struct {
 	// PlanCacheSize bounds the shared compiled-plan cache (entries).
 	// Zero means the default (256); negative disables caching.
 	PlanCacheSize int
+	// BatchSize is the vectorization granularity of the execution
+	// engine: how many IDs the operators hand over per batch, clamped to
+	// at most exec.DefaultBatchSize (1024). Zero means the default
+	// (1024); 1 (or negative) selects the row-at-a-time reference
+	// engine. Granularity never changes simulated device times or tuple
+	// counts — only host buffering.
+	BatchSize int
 }
 
 // Option mutates Options.
@@ -80,6 +87,20 @@ func WithPlanCacheSize(n int) Option {
 	}
 }
 
+// WithBatchSize sets the execution engine's vectorization granularity
+// (IDs per operator batch, clamped to at most exec.DefaultBatchSize).
+// n <= 1 selects the row-at-a-time reference engine; by construction
+// every granularity reports bit-identical simulated device times, tuple
+// counts and wire traffic — only host CPU time differs.
+func WithBatchSize(n int) Option {
+	return func(o *Options) {
+		if n < 1 {
+			n = 1
+		}
+		o.BatchSize = n
+	}
+}
+
 func defaultOptions() Options {
 	return Options{
 		Profile:   device.SmartUSB2007(),
@@ -110,6 +131,10 @@ type DB struct {
 	env   *exec.Env
 	net   *bus.Network
 	rec   *trace.Recorder
+
+	// batchSize is the resolved vectorization granularity (>1 batches,
+	// 1 row-at-a-time).
+	batchSize int
 
 	// planCache memoizes compiled query shapes across all sessions. It
 	// has its own (sharded) locking: cache traffic never takes the
@@ -156,11 +181,20 @@ func Open(options ...Option) (*DB, error) {
 	if cacheSize == 0 {
 		cacheSize = 256
 	}
+	batchSize := opts.BatchSize
+	if batchSize == 0 {
+		batchSize = exec.DefaultBatchSize
+	}
+	env := exec.NewEnv(dev)
+	if batchSize > 1 {
+		env.SetBatchLen(batchSize)
+	}
 	return &DB{
 		opts:       opts,
 		clock:      clock,
 		dev:        dev,
-		env:        exec.NewEnv(dev),
+		env:        env,
+		batchSize:  batchSize,
 		net:        net,
 		rec:        rec,
 		planCache:  newPlanCache(cacheSize),

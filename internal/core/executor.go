@@ -9,14 +9,20 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"strconv"
+	"sync"
 
+	"github.com/ghostdb/ghostdb/internal/bloom"
 	"github.com/ghostdb/ghostdb/internal/climbing"
 	"github.com/ghostdb/ghostdb/internal/exec"
 	"github.com/ghostdb/ghostdb/internal/plan"
 	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/skt"
 	"github.com/ghostdb/ghostdb/internal/sql"
 	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/store"
 	"github.com/ghostdb/ghostdb/internal/trace"
 	"github.com/ghostdb/ghostdb/internal/value"
 	"github.com/ghostdb/ghostdb/internal/visible"
@@ -96,25 +102,15 @@ func forEachEntry(ix *climbing.Index, p pred.P, fn func(climbing.Entry) error) e
 }
 
 // execute runs the distributed plan and assembles the result.
-func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel map[int][]uint32) (*Result, error) {
+func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result, error) {
 	db.dev.RAM.ResetHigh()
 	flashStart := db.dev.Flash.Stats()
 	busStart := db.net.Stats(trace.Terminal, trace.Device)
 	clockStart := db.clock.Now()
 
 	rep := &stats.Report{Query: q.SQL, PlanLabel: spec.Label}
-	ex := &executor{
-		db:       db,
-		q:        q,
-		spec:     spec,
-		rep:      rep,
-		visSel:   visSel,
-		field:    map[string]int{},
-		projVals: make([]map[uint32]value.Value, len(q.Projs)),
-	}
-	for i := range ex.projVals {
-		ex.projVals[i] = map[uint32]value.Value{}
-	}
+	ex := executorPool.Get().(*executor)
+	ex.reset(db, q, spec, rep, visSel)
 
 	runErr := ex.run()
 	// Measure before cleanup: scratch erasure happens between queries.
@@ -127,13 +123,60 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel map[int][]uint32) (*
 
 	ex.cleanup()
 	if runErr != nil {
+		ex.release()
 		return nil, runErr
 	}
 
 	res := ex.assemble()
 	res.Report = rep
 	rep.ResultRows = len(res.Rows)
+	ex.release()
 	return res, nil
+}
+
+// release drops every per-query reference (keeping the reusable backing
+// storage) and returns the executor to the pool, so an idle pool entry
+// does not pin the last query's projection stores or report.
+func (ex *executor) release() {
+	ex.db, ex.q, ex.rep, ex.visSel = nil, nil, nil, nil
+	ex.spec = plan.Spec{}
+	for j := range ex.projVals {
+		ex.projVals[j] = nil
+	}
+	clear(ex.layout)
+	ex.layout = ex.layout[:0]
+	clear(ex.hps)
+	ex.hps = ex.hps[:0]
+	clear(ex.kps)
+	ex.kps = ex.kps[:0]
+	executorPool.Put(ex)
+}
+
+// executorPool recycles executor scratch state (layout, field map,
+// projection stores, live-sequence buffer) across query executions.
+// Nothing the executor hands out (Result, Report) points back into it.
+var executorPool = sync.Pool{
+	New: func() any { return &executor{field: map[string]int{}} },
+}
+
+// reset prepares a pooled executor for one execution, reusing the
+// backing storage of its scratch slices and map.
+func (ex *executor) reset(db *DB, q *plan.Query, spec plan.Spec, rep *stats.Report, visSel [][]uint32) {
+	ex.db, ex.q, ex.spec, ex.rep, ex.visSel = db, q, spec, rep, visSel
+	clear(ex.field)
+	ex.layout = ex.layout[:0]
+	ex.blooms = ex.blooms[:0]
+	ex.liveSeqs = ex.liveSeqs[:0]
+	ex.hps = ex.hps[:0]
+	ex.kps = ex.kps[:0]
+	if cap(ex.projVals) >= len(q.Projs) {
+		ex.projVals = ex.projVals[:len(q.Projs)]
+		for j := range ex.projVals {
+			ex.projVals[j] = nil
+		}
+	} else {
+		ex.projVals = make([][]value.Value, len(q.Projs))
+	}
 }
 
 // executor carries one query execution's state.
@@ -143,14 +186,106 @@ type executor struct {
 	spec plan.Spec
 	rep  *stats.Report
 
-	visSel map[int][]uint32 // visible pred idx -> PC selection result
+	visSel [][]uint32 // per-pred PC selection result (nil for hidden preds)
 
 	layout []string       // member tables in Row.IDs[1:]
 	field  map[string]int // table -> field index in Row.IDs
 
-	blooms   []func() // bloom grant releases
-	projVals []map[uint32]value.Value
+	blooms []func() // bloom grant releases
+	// projVals holds the display-side projected values, keyed by the
+	// dense sequence numbers the Store operator assigns; the slices are
+	// sized once the candidate count is known (sizeProjStore).
+	projVals [][]value.Value
 	liveSeqs []uint32
+	hps      []hiddenProj // finalScan scratch
+	kps      []keyProj    // finalScan scratch
+}
+
+// hiddenProj is one hidden-column projection resolved in the final scan.
+type hiddenProj struct {
+	projIdx int
+	field   int
+	col     store.Column
+}
+
+// keyProj is one primary-key projection emitted from the row IDs.
+type keyProj struct {
+	projIdx int
+	field   int
+}
+
+// sizeProjStore sizes the per-projection value stores for n candidate
+// rows (sequence numbers 0..n-1).
+func (ex *executor) sizeProjStore(n int) {
+	for j := range ex.projVals {
+		ex.projVals[j] = make([]value.Value, n)
+	}
+}
+
+// batchMode reports whether this execution runs the vectorized pipeline.
+// When false, every stream below is the original row-at-a-time operator
+// wrapped in a prefetch-free adapter — the reference engine the batch
+// pipeline must match bit for bit in simulated time and tuple counts.
+func (ex *executor) batchMode() bool { return ex.db.batchSize > 1 }
+
+// The dispatch helpers below pick the vectorized or the row-at-a-time
+// implementation of each pipeline stage. Row-mode streams are Batched
+// adapters; RowIterOf unwraps them back to the original iterators, so the
+// row path composes exactly the pre-vectorization operator graph.
+
+func (ex *executor) openRun(run exec.RunSource) (exec.BatchIter, error) {
+	if ex.batchMode() {
+		return run.OpenBatch()
+	}
+	it, err := run.Open()
+	if err != nil {
+		return nil, err
+	}
+	return exec.Batched(it), nil
+}
+
+func (ex *executor) union(sources []exec.IDSource, fanin int, op *stats.Op) (exec.BatchIter, error) {
+	if ex.batchMode() {
+		return ex.db.env.UnionBatch(sources, fanin, op)
+	}
+	it, err := ex.db.env.Union(sources, fanin, op)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Batched(it), nil
+}
+
+func (ex *executor) intersect(its []exec.BatchIter) (exec.BatchIter, error) {
+	if ex.batchMode() {
+		return ex.db.env.MergeIntersectBatch(its)
+	}
+	rows := make([]exec.IDIter, len(its))
+	for i := range its {
+		rows[i] = exec.RowIterOf(its[i])
+	}
+	it, err := ex.db.env.MergeIntersect(rows)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Batched(it), nil
+}
+
+func (ex *executor) translate(in exec.BatchIter, ix *climbing.Index, level, fanin int, op *stats.Op) (exec.BatchIter, error) {
+	if ex.batchMode() {
+		return ex.db.env.TranslateBatch(in, ix, level, fanin, op)
+	}
+	it, err := ex.db.env.Translate(exec.RowIterOf(in), ix, level, fanin, op)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Batched(it), nil
+}
+
+func (ex *executor) spill(in exec.BatchIter, op *stats.Op) (exec.RunSource, error) {
+	if ex.batchMode() {
+		return ex.db.env.SpillBatch(in, op)
+	}
+	return ex.db.env.SpillIDs(exec.RowIterOf(in), op)
 }
 
 func (ex *executor) cleanup() {
@@ -161,6 +296,10 @@ func (ex *executor) cleanup() {
 	_ = ex.db.dev.ResetScratch()
 	ex.db.hid.Cache().Invalidate()
 }
+
+// probesLabel renders the Filter operator's probe-count detail
+// (strconv.Itoa serves small counts from its static table).
+func probesLabel(n int) string { return strconv.Itoa(n) + " probes" }
 
 // strategyOf returns the effective strategy for predicate i.
 func (ex *executor) strategyOf(i int) plan.Strategy { return ex.spec.Strategies[i] }
@@ -223,14 +362,19 @@ func (ex *executor) run() error {
 		return err
 	}
 
-	// Bloom filters for post-filtered tables.
-	filters, err := ex.buildBlooms(visPostByTable)
+	// Bloom filters for post-filtered tables, then hidden post
+	// predicates (attribute-fetch filters), in that order.
+	blooms, err := ex.buildBlooms(visPostByTable)
 	if err != nil {
 		rootIter.Close()
 		return err
 	}
-
-	// Hidden post predicates: attribute-fetch filters.
+	type hidFilter struct {
+		col   store.Column
+		field int
+		p     pred.P
+	}
+	var hidFilters []hidFilter
 	for _, i := range hidPostPreds {
 		p := q.Preds[i]
 		td, ok := db.hid.Table(p.Col.Table)
@@ -243,34 +387,77 @@ func (ex *executor) run() error {
 			rootIter.Close()
 			return fmt.Errorf("core: no hidden column %s", p.Col)
 		}
-		filters = append(filters, ex.db.env.HiddenPredFilter(col, ex.field[p.Col.Table], p.P))
+		hidFilters = append(hidFilters, hidFilter{col: col, field: ex.field[p.Col.Table], p: p.P})
 	}
+	nFilters := len(blooms) + len(hidFilters)
 
 	// SKT access + filtering + store (Figure 5's lower pipeline).
-	sktOp := ex.rep.NewOp("AccessSKT", q.Root.Name)
-	var rows exec.RowIter
-	if len(ex.layout) == 0 {
-		rows = &idRowIter{in: rootIter, op: sktOp}
-	} else {
+	var sktTable *skt.SKT
+	if len(ex.layout) > 0 {
 		s, ok := db.skts[q.Root.Name]
 		if !ok {
 			rootIter.Close()
 			return fmt.Errorf("core: no SKT rooted at %s", q.Root.Name)
 		}
-		rows = db.env.SKTJoin(rootIter, s, ex.layout, sktOp)
+		sktTable = s
 	}
-	filterOp := ex.rep.NewOp("Filter", fmt.Sprintf("%d probes", len(filters)))
-	if len(filters) > 0 {
-		rows = exec.FilterRows(rows, filters, filterOp)
+	var rf *exec.RowFile
+	if ex.batchMode() {
+		spec := exec.JoinFilterSpec{SKT: sktTable, Tables: ex.layout}
+		for _, b := range blooms {
+			spec.Filters = append(spec.Filters, db.env.BloomProbeCosted(b.f, b.field))
+		}
+		for _, h := range hidFilters {
+			spec.Filters = append(spec.Filters, db.env.HiddenPredCosted(h.col, h.field, h.p))
+		}
+		spec.JoinOp = ex.rep.NewOp("AccessSKT", q.Root.Name)
+		spec.FilterOp = ex.rep.NewOp("Filter", probesLabel(nFilters))
+		rows, err := db.env.JoinFilterBatch(rootIter, spec)
+		if err != nil {
+			rootIter.Close()
+			return err
+		}
+		storeOp := ex.rep.NewOp("Store", "materialize candidates")
+		phase := db.clock.Now()
+		rf, err = db.env.MaterializeRowsBatch(rows, 1+len(ex.layout), true, storeOp)
+		if err != nil {
+			return err
+		}
+		storeOp.AddTime(db.clock.Span(phase))
+		storeOp.NoteRAM(db.dev.RAM.Used())
+	} else {
+		var filters []exec.RowFilter
+		for _, b := range blooms {
+			filters = append(filters, db.env.BloomProbe(b.f, b.field))
+		}
+		for _, h := range hidFilters {
+			filters = append(filters, db.env.HiddenPredFilter(h.col, h.field, h.p))
+		}
+		sktOp := ex.rep.NewOp("AccessSKT", q.Root.Name)
+		rootRows := exec.RowIterOf(rootIter)
+		var rows exec.RowIter
+		if sktTable == nil {
+			rows = &idRowIter{in: rootRows, op: sktOp}
+		} else {
+			rows = db.env.SKTJoin(rootRows, sktTable, ex.layout, sktOp)
+		}
+		filterOp := ex.rep.NewOp("Filter", probesLabel(len(filters)))
+		if len(filters) > 0 {
+			rows = exec.FilterRows(rows, filters, filterOp)
+		}
+		storeOp := ex.rep.NewOp("Store", "materialize candidates")
+		phase := db.clock.Now()
+		rf, err = db.env.MaterializeRows(rows, 1+len(ex.layout), true, storeOp)
+		if err != nil {
+			return err
+		}
+		storeOp.AddTime(db.clock.Span(phase))
+		storeOp.NoteRAM(db.dev.RAM.Used())
 	}
-	storeOp := ex.rep.NewOp("Store", "materialize candidates")
-	phase := db.clock.Now()
-	rf, err := db.env.MaterializeRows(rows, 1+len(ex.layout), true, storeOp)
-	if err != nil {
-		return err
-	}
-	storeOp.AddTime(db.clock.Span(phase))
-	storeOp.NoteRAM(db.dev.RAM.Used())
+
+	// The Store pass assigned dense sequence numbers 0..n-1; size the
+	// display-side projection stores accordingly.
+	ex.sizeProjStore(rf.Count())
 
 	// Projection and verification passes.
 	rf, err = ex.projectionPasses(rf, visPostByTable)
@@ -317,16 +504,16 @@ type contrib struct {
 
 // rootStream builds the sorted query-root ID stream by integrating all
 // pre-SKT contributions, with or without cross-filtering.
-func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int) (exec.IDIter, error) {
+func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int) (exec.BatchIter, error) {
 	db, q := ex.db, ex.q
-	var contribs []contrib
+	contribs := make([]contrib, 0, len(indexPreds)+len(visPreByTable))
 
 	// Index contributions (hidden predicates, and device-indexed
 	// visible predicates).
 	for _, i := range indexPreds {
 		p := q.Preds[i]
 		ix, _ := db.indexLocked(p.Col.Table, p.Col.Column)
-		op := ex.rep.NewOp("ClimbingIndex", p.String())
+		op := ex.rep.NewOp("ClimbingIndex", q.PredLabel(i))
 		phase := db.clock.Now()
 		refs := make([][]climbing.ListRef, len(ix.Levels))
 		err := forEachEntry(ix, p.P, func(e climbing.Entry) error {
@@ -374,7 +561,10 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 
 	rootRows := db.rowCounts[q.Root.Name]
 	if len(contribs) == 0 {
-		return &seqIter{max: uint32(rootRows)}, nil
+		if ex.batchMode() {
+			return &seqBatch{max: uint32(rootRows)}, nil
+		}
+		return exec.Batched(&seqIter{max: uint32(rootRows)}), nil
 	}
 
 	fanin := db.env.Fanin(0.5)
@@ -387,7 +577,7 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 	// pipelines open at once: it materializes each contribution's root
 	// list to scratch sequentially and intersects the (one-page) runs.
 	spillMode := len(contribs) > 1 && ex.tightRAM(len(contribs))
-	var rootIters []exec.IDIter
+	var rootIters []exec.BatchIter
 	var runs []exec.RunSource
 	closeAll := func() {
 		for _, it := range rootIters {
@@ -402,7 +592,7 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 		}
 		if spillMode {
 			op := ex.rep.NewOp("Store", "contribution@"+c.table)
-			run, err := db.env.SpillIDs(it, op)
+			run, err := ex.spill(it, op)
 			if err != nil {
 				closeAll()
 				return nil, err
@@ -413,14 +603,14 @@ func (ex *executor) rootStream(visPreByTable map[string][]int, indexPreds []int)
 		rootIters = append(rootIters, it)
 	}
 	for _, run := range runs {
-		it, err := run.Open()
+		it, err := ex.openRun(run)
 		if err != nil {
 			closeAll()
 			return nil, err
 		}
 		rootIters = append(rootIters, it)
 	}
-	return db.env.MergeIntersect(rootIters)
+	return ex.intersect(rootIters)
 }
 
 // tightRAM reports whether n concurrent merge pipelines would endanger
@@ -431,22 +621,22 @@ func (ex *executor) tightRAM(n int) bool {
 }
 
 // contribAtRoot opens a contribution as a stream of query-root IDs.
-func (ex *executor) contribAtRoot(c contrib, fanin int) (exec.IDIter, error) {
+func (ex *executor) contribAtRoot(c contrib, fanin int) (exec.BatchIter, error) {
 	db, q := ex.db, ex.q
 	if c.ix != nil {
 		level := c.ix.LevelOf(q.Root.Name)
 		if level < 0 {
 			return nil, fmt.Errorf("core: index on %s does not climb to %s", c.table, q.Root.Name)
 		}
-		var sources []exec.IDSource
+		sources := make([]exec.IDSource, 0, len(c.refs[level]))
 		for _, r := range c.refs[level] {
 			sources = append(sources, exec.ClimbSource{Env: db.env, Ix: c.ix, Ref: r})
 		}
-		op := ex.rep.NewOp("MergeLists", fmt.Sprintf("%s@%s", c.table, q.Root.Name))
-		return db.env.Union(sources, fanin, op)
+		op := ex.rep.NewOp("MergeLists", c.table+"@"+q.Root.Name)
+		return ex.union(sources, fanin, op)
 	}
 	// Visible pre-filter run.
-	it, err := c.run.Open()
+	it, err := ex.openRun(*c.run)
 	if err != nil {
 		return nil, err
 	}
@@ -464,13 +654,13 @@ func (ex *executor) contribAtRoot(c contrib, fanin int) (exec.IDIter, error) {
 	}
 	op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s", c.table, q.Root.Name))
 	phase := db.clock.Now()
-	out, err := db.env.Translate(it, tr, level, fanin, op)
+	out, err := ex.translate(it, tr, level, fanin, op)
 	op.AddTime(db.clock.Span(phase))
 	return out, err
 }
 
 // contribAtOwn opens a contribution as a stream at its own table level.
-func (ex *executor) contribAtOwn(c contrib, fanin int) (exec.IDIter, error) {
+func (ex *executor) contribAtOwn(c contrib, fanin int) (exec.BatchIter, error) {
 	db := ex.db
 	if c.ix != nil {
 		var sources []exec.IDSource
@@ -478,15 +668,15 @@ func (ex *executor) contribAtOwn(c contrib, fanin int) (exec.IDIter, error) {
 			sources = append(sources, exec.ClimbSource{Env: db.env, Ix: c.ix, Ref: r})
 		}
 		op := ex.rep.NewOp("MergeLists", c.table)
-		return db.env.Union(sources, fanin, op)
+		return ex.union(sources, fanin, op)
 	}
-	return c.run.Open()
+	return ex.openRun(*c.run)
 }
 
 // crossFilteredRoot combines contributions level by level: intersect at
 // each table, translate the (smaller) intersection upward to the nearest
 // table with contributions, repeat — the paper's cross-filtering.
-func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIter, error) {
+func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.BatchIter, error) {
 	db, q := ex.db, ex.q
 	byTable := map[string][]contrib{}
 	occupied := map[string]bool{}
@@ -508,22 +698,22 @@ func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIte
 	})
 
 	spillMode := len(contribs) > 1 && ex.tightRAM(len(byTable))
-	park := func(it exec.IDIter, note string) (exec.IDIter, error) {
+	park := func(it exec.BatchIter, note string) (exec.BatchIter, error) {
 		if !spillMode {
 			return it, nil
 		}
 		op := ex.rep.NewOp("Store", note)
-		run, err := db.env.SpillIDs(it, op)
+		run, err := ex.spill(it, op)
 		if err != nil {
 			return nil, err
 		}
-		return run.Open()
+		return ex.openRun(run)
 	}
 
-	pending := map[string][]exec.IDIter{}
-	var rootIters []exec.IDIter
+	pending := map[string][]exec.BatchIter{}
+	var rootIters []exec.BatchIter
 	for _, t := range tables {
-		var iters []exec.IDIter
+		var iters []exec.BatchIter
 		group := byTable[t]
 		// A lone hidden contribution with no partners at this level is
 		// cheaper integrated directly at the root (its root list is
@@ -548,7 +738,7 @@ func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIte
 		}
 		iters = append(iters, pending[t]...)
 		delete(pending, t)
-		combined, err := db.env.MergeIntersect(iters)
+		combined, err := ex.intersect(iters)
 		if err != nil {
 			return nil, err
 		}
@@ -571,7 +761,7 @@ func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIte
 		level := tr.LevelOf(target)
 		op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s (cross)", t, target))
 		phase := db.clock.Now()
-		translated, err := db.env.Translate(combined, tr, level, fanin, op)
+		translated, err := ex.translate(combined, tr, level, fanin, op)
 		op.AddTime(db.clock.Span(phase))
 		if err != nil {
 			return nil, err
@@ -595,29 +785,39 @@ func (ex *executor) crossFilteredRoot(contribs []contrib, fanin int) (exec.IDIte
 		}
 		for _, it := range its {
 			op := ex.rep.NewOp("Translate", fmt.Sprintf("%s->%s (late)", t, q.Root.Name))
-			translated, err := db.env.Translate(it, tr, tr.LevelOf(q.Root.Name), fanin, op)
+			translated, err := ex.translate(it, tr, tr.LevelOf(q.Root.Name), fanin, op)
 			if err != nil {
 				return nil, err
 			}
 			rootIters = append(rootIters, translated)
 		}
 	}
-	return db.env.MergeIntersect(rootIters)
+	return ex.intersect(rootIters)
 }
 
 // shipIDList streams a sorted visible ID list server->terminal->device in
 // bus-chunked messages and spills it to a scratch run on the device.
 func (ex *executor) shipIDList(ids []uint32, table string, op *stats.Op) (exec.RunSource, error) {
-	it := &busIDIter{ex: ex, ids: ids, note: table + " IDs", kind: trace.KindIDList}
 	op.AddIn(int64(len(ids)))
+	if ex.batchMode() {
+		b := &busIDBatch{ex: ex, ids: ids, note: table + " IDs", kind: trace.KindIDList}
+		return ex.db.env.SpillBatch(b, op)
+	}
+	it := &busIDIter{ex: ex, ids: ids, note: table + " IDs", kind: trace.KindIDList}
 	return ex.db.env.SpillIDs(it, op)
+}
+
+// builtBloom is one constructed Bloom filter and the row field it probes.
+type builtBloom struct {
+	f     *bloom.Filter
+	field int
 }
 
 // buildBlooms ships each post-filtered table's ID list and hashes it into
 // a Bloom filter sized to fit the remaining RAM.
-func (ex *executor) buildBlooms(visPostByTable map[string][]int) ([]exec.RowFilter, error) {
+func (ex *executor) buildBlooms(visPostByTable map[string][]int) ([]builtBloom, error) {
 	db := ex.db
-	var filters []exec.RowFilter
+	var filters []builtBloom
 	// Deterministic order.
 	var tables []string
 	for t := range visPostByTable {
@@ -634,15 +834,23 @@ func (ex *executor) buildBlooms(visPostByTable map[string][]int) ([]exec.RowFilt
 		op := ex.rep.NewOp("BloomBuild", t)
 		phase := db.clock.Now()
 		maxBytes := int(db.dev.RAM.Available()) / (remaining + 1)
-		it := &busIDIter{ex: ex, ids: ids, note: t + " IDs (bloom)", kind: trace.KindIDList}
-		f, free, err := db.env.BuildBloom(it, len(ids), db.opts.TargetFPR, maxBytes, op)
+		var f *bloom.Filter
+		var free func()
+		var err error
+		if ex.batchMode() {
+			b := &busIDBatch{ex: ex, ids: ids, note: t + " IDs (bloom)", kind: trace.KindIDList}
+			f, free, err = db.env.BuildBloomBatch(b, len(ids), db.opts.TargetFPR, maxBytes, op)
+		} else {
+			it := &busIDIter{ex: ex, ids: ids, note: t + " IDs (bloom)", kind: trace.KindIDList}
+			f, free, err = db.env.BuildBloom(it, len(ids), db.opts.TargetFPR, maxBytes, op)
+		}
 		if err != nil {
 			return nil, err
 		}
 		op.AddTime(db.clock.Span(phase))
 		op.Detail = fmt.Sprintf("%s fpr=%.4f", t, f.EstimatedFPR())
 		ex.blooms = append(ex.blooms, free)
-		filters = append(filters, db.env.BloomProbe(f, ex.field[t]))
+		filters = append(filters, builtBloom{f: f, field: ex.field[t]})
 		remaining--
 	}
 	return filters, nil
@@ -772,21 +980,9 @@ func (ex *executor) mergePass(rf *exec.RowFile, table string, field int, column 
 	phase := db.clock.Now()
 	stream := &busKVIter{ex: ex, kvs: kvs, note: label + " stream"}
 
-	rows, err := rf.Iter()
-	if err != nil {
-		return nil, err
-	}
-
 	var out *exec.RowFileWriter
-	if rewrite {
-		out, err = db.env.NewRowFileWriter(rf.Fields())
-		if err != nil {
-			rows.Close()
-			return nil, err
-		}
-	}
 	resultBytes := 0
-	err = db.env.MergeRowsWithStream(rows, field, stream, op, func(r exec.Row, v value.Value) error {
+	matchFn := func(r exec.Row, v value.Value) error {
 		for _, j := range projIdxs {
 			ex.projVals[j][r.Seq] = v
 			resultBytes += 4 + v.EncodedSize()
@@ -795,7 +991,36 @@ func (ex *executor) mergePass(rf *exec.RowFile, table string, field int, column 
 			return out.Write(r)
 		}
 		return nil
-	})
+	}
+	if ex.batchMode() {
+		var rows exec.BatchRowIter
+		rows, err = rf.IterBatch()
+		if err != nil {
+			return nil, err
+		}
+		if rewrite {
+			out, err = db.env.NewRowFileWriter(rf.Fields())
+			if err != nil {
+				rows.Close()
+				return nil, err
+			}
+		}
+		err = db.env.MergeRowsWithStreamBatch(rows, field, stream, op, matchFn)
+	} else {
+		var rows exec.RowIter
+		rows, err = rf.Iter()
+		if err != nil {
+			return nil, err
+		}
+		if rewrite {
+			out, err = db.env.NewRowFileWriter(rf.Fields())
+			if err != nil {
+				rows.Close()
+				return nil, err
+			}
+		}
+		err = db.env.MergeRowsWithStream(rows, field, stream, op, matchFn)
+	}
 	if err != nil {
 		if out != nil {
 			out.Abort()
@@ -829,19 +1054,7 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 	op := ex.rep.NewOp("Project", "hidden + keys")
 	phase := db.clock.Now()
 
-	type hiddenProj struct {
-		projIdx int
-		field   int
-		col     interface {
-			Value(int) (value.Value, error)
-		}
-	}
-	type keyProj struct {
-		projIdx int
-		field   int
-	}
-	var hps []hiddenProj
-	var kps []keyProj
+	hps, kps := ex.hps[:0], ex.kps[:0]
 	for j, c := range q.Projs {
 		if c.Hidden {
 			td, ok := db.hid.Table(c.Table)
@@ -860,22 +1073,16 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 			kps = append(kps, keyProj{projIdx: j, field: ex.field[c.Table]})
 		}
 	}
+	ex.hps, ex.kps = hps, kps
 
-	it, err := rf.Iter()
-	if err != nil {
-		return err
-	}
-	defer it.Close()
 	resultBytes := 0
-	for {
-		r, ok, err := it.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		op.AddIn(1)
+	if cap(ex.liveSeqs) < rf.Count() {
+		ex.liveSeqs = make([]uint32, 0, rf.Count())
+	}
+	// scanRow collects one surviving row: its live sequence number, the
+	// hidden projections fetched from the device store (page-cache
+	// accesses in row order) and the primary-key projections.
+	scanRow := func(r exec.Row) error {
 		ex.liveSeqs = append(ex.liveSeqs, r.Seq)
 		for _, hp := range hps {
 			v, err := hp.col.Value(int(r.IDs[hp.field]) - 1)
@@ -891,6 +1098,50 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 			resultBytes += 4 + v.EncodedSize()
 		}
 		resultBytes += 4 // the live seq itself
+		return nil
+	}
+	if ex.batchMode() {
+		it, err := rf.IterBatch()
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		rb := db.env.NewRowBatch(rf.Fields())
+		defer exec.PutRowBatch(rb)
+		for {
+			k, err := it.Next(rb)
+			if err != nil {
+				return err
+			}
+			if k == 0 {
+				break
+			}
+			op.AddIn(int64(k))
+			for i := 0; i < k; i++ {
+				if err := scanRow(rb.Row(i)); err != nil {
+					return err
+				}
+			}
+		}
+	} else {
+		it, err := rf.Iter()
+		if err != nil {
+			return err
+		}
+		defer it.Close()
+		for {
+			r, ok, err := it.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			op.AddIn(1)
+			if err := scanRow(r); err != nil {
+				return err
+			}
+		}
 	}
 	op.AddOut(int64(len(ex.liveSeqs)))
 	op.AddTime(db.clock.Span(phase))
@@ -917,23 +1168,30 @@ func (ex *executor) sendResultBytes(n int, note string) error {
 	return nil
 }
 
-// assemble builds the final result table on the secure display side.
+// assemble builds the final result table on the secure display side. The
+// row slices share one flat backing array — two allocations for the whole
+// result instead of one per row.
 func (ex *executor) assemble() *Result {
 	q := ex.q
 	res := &Result{Spec: ex.spec, Query: q}
-	for _, c := range q.Projs {
-		res.Columns = append(res.Columns, c.String())
+	// Copy: database/sql hands the driver's column slice to users without
+	// copying, and the labels are shared by every execution of the shape.
+	res.Columns = append([]string(nil), q.ColumnLabels()...)
+	slices.Sort(ex.liveSeqs)
+	n := len(ex.liveSeqs)
+	if q.Limit > 0 && n > q.Limit {
+		n = q.Limit
 	}
-	sort.Slice(ex.liveSeqs, func(i, j int) bool { return ex.liveSeqs[i] < ex.liveSeqs[j] })
-	for _, seq := range ex.liveSeqs {
-		if q.Limit > 0 && len(res.Rows) == q.Limit {
-			break
-		}
-		row := make([]value.Value, len(q.Projs))
+	nproj := len(q.Projs)
+	flat := make([]value.Value, n*nproj)
+	res.Rows = make([][]value.Value, n)
+	for k := 0; k < n; k++ {
+		seq := ex.liveSeqs[k]
+		row := flat[k*nproj : (k+1)*nproj : (k+1)*nproj]
 		for j := range q.Projs {
 			row[j] = ex.projVals[j][seq]
 		}
-		res.Rows = append(res.Rows, row)
+		res.Rows[k] = row
 	}
 	return res
 }
@@ -981,6 +1239,63 @@ func (b *busIDIter) Next() (uint32, bool, error) {
 }
 
 func (b *busIDIter) Close() {}
+
+// busIDBatch is the batched twin of busIDIter: it fills dst in whole
+// chunks while sending exactly the same bus messages at exactly the same
+// element boundaries, so the wire trace and charges are unchanged.
+type busIDBatch struct {
+	ex   *executor
+	ids  []uint32
+	i    int
+	note string
+	kind trace.Kind
+}
+
+func (b *busIDBatch) Next(dst []uint32) (int, error) {
+	if b.i >= len(b.ids) {
+		return 0, nil
+	}
+	chunkIDs := b.ex.db.opts.Profile.BusChunkBytes / 4
+	if chunkIDs < 1 {
+		chunkIDs = 1
+	}
+	n := 0
+	for n < len(dst) && b.i < len(b.ids) {
+		if b.i%chunkIDs == 0 {
+			c := len(b.ids) - b.i
+			if c > chunkIDs {
+				c = chunkIDs
+			}
+			var vals []value.Value
+			if b.ex.db.rec.Level() == trace.CaptureFull {
+				for _, id := range b.ids[b.i : b.i+c] {
+					vals = append(vals, value.NewInt(int64(id)))
+				}
+			}
+			if err := b.ex.db.net.Send(trace.Server, trace.Terminal, b.kind, c*4, b.note, vals); err != nil {
+				return n, err
+			}
+			if err := b.ex.db.net.Send(trace.Terminal, trace.Device, b.kind, c*4, b.note, vals); err != nil {
+				return n, err
+			}
+		}
+		// Copy up to the next chunk boundary (where a send is due), the
+		// end of the list, or the batch capacity — whichever is first.
+		seg := chunkIDs - b.i%chunkIDs
+		if rest := len(b.ids) - b.i; seg > rest {
+			seg = rest
+		}
+		if room := len(dst) - n; seg > room {
+			seg = room
+		}
+		copy(dst[n:n+seg], b.ids[b.i:b.i+seg])
+		n += seg
+		b.i += seg
+	}
+	return n, nil
+}
+
+func (b *busIDBatch) Close() {}
 
 // busKVIter streams (id, value) projection pairs with the same two-hop
 // charging; the values are captured for the security audit.
@@ -1059,3 +1374,21 @@ func (s *seqIter) Next() (uint32, bool, error) {
 }
 
 func (s *seqIter) Close() {}
+
+// seqBatch is the batched full root scan.
+type seqBatch struct {
+	next uint32
+	max  uint32
+}
+
+func (s *seqBatch) Next(dst []uint32) (int, error) {
+	n := 0
+	for n < len(dst) && s.next < s.max {
+		s.next++
+		dst[n] = s.next
+		n++
+	}
+	return n, nil
+}
+
+func (s *seqBatch) Close() {}

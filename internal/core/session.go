@@ -35,6 +35,12 @@ type Session struct {
 	lastReport  *stats.Report
 	cacheHits   int64 // plan-cache hits on this session's queries
 	cacheMisses int64
+
+	// lastSQL/lastCQ memoize the session's most recent compilation, so a
+	// session re-issuing the same text skips even the shared cache's key
+	// normalization. Guarded by mu.
+	lastSQL string
+	lastCQ  *CompiledQuery
 }
 
 // NewSession opens a session on the database.
@@ -179,11 +185,37 @@ func (s *Session) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	if err := s.check(); err != nil {
 		return nil, err
 	}
-	cq, hit, err := s.db.compileCached(sqlText)
-	if err != nil {
-		return nil, err
+	// The memo only applies while the shared cache is enabled: with
+	// plancache=0 every query must recompile, as documented.
+	memoOK := s.db.planCache.enabled()
+	var cq *CompiledQuery
+	if memoOK {
+		s.mu.Lock()
+		if s.lastSQL == sqlText {
+			cq = s.lastCQ
+		}
+		s.mu.Unlock()
 	}
-	s.recordCache(hit)
+	if cq == nil {
+		var hit bool
+		var err error
+		cq, hit, err = s.db.compileCached(sqlText)
+		if err != nil {
+			return nil, err
+		}
+		if memoOK {
+			s.mu.Lock()
+			s.lastSQL, s.lastCQ = sqlText, cq
+			s.mu.Unlock()
+		}
+		s.recordCache(hit)
+	} else {
+		// The memo hit short-circuits the shared cache lookup; credit it
+		// on the shared counters too so DB-level stats stay a superset
+		// of per-session stats.
+		s.db.planCache.noteHit()
+		s.recordCache(true)
+	}
 	res, err := cq.Run(nil, opts...)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,397 @@
+package exec
+
+// Vectorized execution: the ID-stream operators of this package move one
+// uint32 per virtual Next() call, which makes interface dispatch, per-row
+// stats bookkeeping and per-row clock charges the host-side hot path.
+// BatchIter is the batched counterpart: operators hand over up to len(dst)
+// IDs per call and charge the simulated CPU once per batch via
+// sim.CPU.ChargeUnits, which is bit-identical to the row-at-a-time
+// charges.
+//
+// The invariance contract (the cost model is the paper's contribution;
+// batching must only change host CPU time) imposes two disciplines on
+// every batch operator:
+//
+//  1. Exactness: an operator never performs more simulated device work
+//     (flash reads, page-cache probes, decode/compare/heap charges) than
+//     needed to produce the IDs it actually returns. Consumers that can
+//     abandon a stream early — the k-way intersection is the one such
+//     operator — therefore pull their inputs one element at a time, so
+//     the abandoned tail is never decoded. Draining consumers (spill,
+//     materialize, Bloom build, projection merges) pull full batches.
+//  2. Order preservation for the shared page cache: accesses that go
+//     through the device's LRU page cache (SKT lookups, hidden column
+//     fetches, climbing dictionary probes) must be issued in the same
+//     per-row order as the row-at-a-time engine, since the cache's
+//     hit/miss pattern — and hence the flash charge — depends on it.
+//     Pure CPU charges may be grouped freely: the clock only sums.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"github.com/ghostdb/ghostdb/internal/codec"
+	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/ram"
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// DefaultBatchSize is the number of IDs moved per BatchIter.Next call in
+// batch mode. One batch of uint32s is 4KB — it amortizes dispatch without
+// blowing the host caches.
+const DefaultBatchSize = 1024
+
+// BatchIter streams sorted row identifiers in batches. Next fills dst
+// with up to len(dst) IDs and returns how many were produced; n == 0 with
+// a nil error means the stream is exhausted. The IDs written to dst are
+// owned by the caller. Implementations follow the exactness rule above:
+// they never do more simulated work than len(dst) demands, so a caller
+// that must not over-consume its input (an intersection) passes a
+// one-element dst. Close releases RAM grants and pooled buffers; it is
+// safe to call more than once.
+type BatchIter interface {
+	Next(dst []uint32) (int, error)
+	Close()
+}
+
+// idBatchPool recycles ID batch buffers across queries.
+var idBatchPool = sync.Pool{
+	New: func() any {
+		s := make([]uint32, DefaultBatchSize)
+		return &s
+	},
+}
+
+// GetIDBatch returns a pooled ID buffer of DefaultBatchSize capacity.
+func GetIDBatch() *[]uint32 { return idBatchPool.Get().(*[]uint32) }
+
+// PutIDBatch returns a buffer obtained from GetIDBatch to the pool.
+func PutIDBatch(b *[]uint32) {
+	if b != nil {
+		idBatchPool.Put(b)
+	}
+}
+
+// byteBatchPool recycles encode/decode scratch for spills and row files.
+var byteBatchPool = sync.Pool{
+	New: func() any {
+		s := make([]byte, 4*DefaultBatchSize)
+		return &s
+	},
+}
+
+func getByteBatch(n int) *[]byte {
+	b := byteBatchPool.Get().(*[]byte)
+	if cap(*b) < n {
+		*b = make([]byte, n)
+	}
+	*b = (*b)[:cap(*b)]
+	return b
+}
+
+func putByteBatch(b *[]byte) {
+	if b != nil {
+		byteBatchPool.Put(b)
+	}
+}
+
+// emptyBatch is a BatchIter with no elements.
+type emptyBatch struct{}
+
+func (emptyBatch) Next([]uint32) (int, error) { return 0, nil }
+func (emptyBatch) Close()                     {}
+
+// EmptyBatch returns a batch iterator over nothing.
+func EmptyBatch() BatchIter { return emptyBatch{} }
+
+// batchedIter adapts a row-at-a-time IDIter to the BatchIter interface.
+// It buffers nothing and pulls exactly len(dst) elements, so the adapted
+// stream keeps the row engine's simulated behaviour bit for bit.
+type batchedIter struct {
+	it IDIter
+}
+
+// Batched adapts a row-at-a-time iterator to the batch interface without
+// prefetching: each Next(dst) performs exactly len(dst) row pulls (or
+// fewer at the end of the stream).
+func Batched(it IDIter) BatchIter { return &batchedIter{it: it} }
+
+func (b *batchedIter) Next(dst []uint32) (int, error) {
+	for i := range dst {
+		id, ok, err := b.it.Next()
+		if err != nil {
+			return i, err
+		}
+		if !ok {
+			return i, nil
+		}
+		dst[i] = id
+	}
+	return len(dst), nil
+}
+
+func (b *batchedIter) Close() { b.it.Close() }
+
+// RowAdapter adapts a BatchIter back to the row-at-a-time IDIter shape,
+// for operators and tests that have not been ported. It pulls one element
+// per underlying call (no prefetch), so wrapping and unwrapping never
+// changes the simulated cost, only adds host dispatch.
+type RowAdapter struct {
+	b    BatchIter
+	one  [1]uint32
+	done bool
+}
+
+// NewRowAdapter wraps a batch iterator as a row iterator.
+func NewRowAdapter(b BatchIter) *RowAdapter { return &RowAdapter{b: b} }
+
+// Next implements IDIter.
+func (r *RowAdapter) Next() (uint32, bool, error) {
+	if r.done {
+		return 0, false, nil
+	}
+	n, err := r.b.Next(r.one[:])
+	if err != nil {
+		return 0, false, err
+	}
+	if n == 0 {
+		r.done = true
+		return 0, false, nil
+	}
+	return r.one[0], true, nil
+}
+
+// Close implements IDIter.
+func (r *RowAdapter) Close() { r.b.Close() }
+
+// RowIterOf recovers the most direct row-at-a-time view of b: a stream
+// that was merely adapted from a row iterator is unwrapped, anything else
+// gets a unit-pull RowAdapter.
+func RowIterOf(b BatchIter) IDIter {
+	if w, ok := b.(*batchedIter); ok {
+		return w.it
+	}
+	return NewRowAdapter(b)
+}
+
+// CollectBatch materializes a batch iterator into a host slice (tests and
+// tiny lists; production paths stream).
+func CollectBatch(b BatchIter) ([]uint32, error) {
+	defer b.Close()
+	var out []uint32
+	buf := GetIDBatch()
+	defer PutIDBatch(buf)
+	for {
+		n, err := b.Next(*buf)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		out = append(out, (*buf)[:n]...)
+	}
+}
+
+// batchOpener is implemented by IDSources with a native batch stream.
+type batchOpener interface {
+	OpenBatch() (BatchIter, error)
+}
+
+// OpenBatch opens a source as a batch stream, preferring the source's
+// native batch iterator and falling back to adapting its row stream.
+func (e *Env) OpenBatch(s IDSource) (BatchIter, error) {
+	if bo, ok := s.(batchOpener); ok {
+		return bo.OpenBatch()
+	}
+	it, err := s.Open()
+	if err != nil {
+		return nil, err
+	}
+	return Batched(it), nil
+}
+
+// OpenBatch implements batchOpener: an in-RAM slice is copied out in
+// whole chunks.
+func (s SliceSource) OpenBatch() (BatchIter, error) {
+	return &sliceBatch{ids: s.IDs}, nil
+}
+
+type sliceBatch struct {
+	ids []uint32
+	i   int
+}
+
+func (s *sliceBatch) Next(dst []uint32) (int, error) {
+	n := copy(dst, s.ids[s.i:])
+	s.i += n
+	return n, nil
+}
+
+func (s *sliceBatch) Close() {}
+
+// OpenBatch implements batchOpener: posting-list decoding is amortized to
+// one decode charge per batch. The stream owns one page buffer, exactly
+// like the row iterator; the buffer is pooled and recycled on Close.
+func (c ClimbSource) OpenBatch() (BatchIter, error) {
+	grant, err := c.Env.Dev.RAM.Alloc(c.Env.pageSize(), "list-stream")
+	if err != nil {
+		return nil, err
+	}
+	r := flash.NewReader(c.Env.Dev.Flash, c.Ref.Ext)
+	l := &listBatch{env: c.Env, reader: r, grant: grant}
+	l.dec.Reset(r, c.Ref.Count)
+	return l, nil
+}
+
+type listBatch struct {
+	env    *Env
+	dec    codec.ListDecoder
+	reader *flash.Reader
+	grant  *ram.Grant
+	done   bool
+}
+
+func (l *listBatch) Next(dst []uint32) (int, error) {
+	if l.done {
+		return 0, nil
+	}
+	// The row iterator charges one decode per dec.Next call — including
+	// the final failed probe of an exhausted list — so count calls, not
+	// elements, and pay the whole batch in one charge.
+	n := 0
+	calls := int64(0)
+	for n < len(dst) {
+		calls++
+		id, ok, err := l.dec.Next()
+		if err != nil {
+			l.env.cpuUnits(sim.CyclesDecode, calls)
+			return n, err
+		}
+		if !ok {
+			l.done = true
+			break
+		}
+		dst[n] = id
+		n++
+	}
+	l.env.cpuUnits(sim.CyclesDecode, calls)
+	return n, nil
+}
+
+func (l *listBatch) Close() {
+	l.grant.Free()
+	if l.reader != nil {
+		l.reader.Release()
+		l.reader = nil
+	}
+}
+
+// OpenBatch implements batchOpener: raw uint32 runs are read in one
+// flash.Reader call per batch.
+func (r RunSource) OpenBatch() (BatchIter, error) {
+	grant, err := r.Env.Dev.RAM.Alloc(r.Env.pageSize(), "run-stream")
+	if err != nil {
+		return nil, err
+	}
+	return &runBatch{
+		env:    r.Env,
+		reader: flash.NewReader(r.Env.Dev.Flash, r.Ext),
+		left:   r.N,
+		grant:  grant,
+		buf:    getByteBatch(4 * DefaultBatchSize),
+	}, nil
+}
+
+type runBatch struct {
+	env    *Env
+	reader *flash.Reader
+	left   int
+	grant  *ram.Grant
+	buf    *[]byte
+}
+
+func (r *runBatch) Next(dst []uint32) (int, error) {
+	if r.left <= 0 {
+		return 0, nil
+	}
+	n := len(dst)
+	if n > r.left {
+		n = r.left
+	}
+	if max := len(*r.buf) / 4; n > max {
+		n = max
+	}
+	raw := (*r.buf)[:4*n]
+	if _, err := fullRead(r.reader, raw); err != nil {
+		return 0, fmt.Errorf("exec: run read: %w", err)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	r.left -= n
+	r.env.cpuUnits(sim.CyclesCopyWord, int64(n))
+	return n, nil
+}
+
+func (r *runBatch) Close() {
+	r.grant.Free()
+	putByteBatch(r.buf)
+	r.buf = nil
+	if r.reader != nil {
+		r.reader.Release()
+		r.reader = nil
+	}
+}
+
+// SpillBatch drains a batch stream into a sorted run in scratch space —
+// the batched counterpart of SpillIDs, with one flash write call and one
+// copy charge per batch.
+func (e *Env) SpillBatch(b BatchIter, op *stats.Op) (RunSource, error) {
+	defer b.Close()
+	grant, err := e.Dev.RAM.Alloc(e.pageSize(), "spill-writer")
+	if err != nil {
+		return RunSource{}, err
+	}
+	defer grant.Free()
+	w, err := e.Dev.Scratch.NewWriter()
+	if err != nil {
+		return RunSource{}, err
+	}
+	ids := GetIDBatch()
+	defer PutIDBatch(ids)
+	raw := getByteBatch(4 * DefaultBatchSize)
+	defer putByteBatch(raw)
+	buf := (*ids)[:e.batchCap()]
+	n := 0
+	for {
+		k, err := b.Next(buf)
+		if err != nil {
+			return RunSource{}, err
+		}
+		if k == 0 {
+			break
+		}
+		enc := (*raw)[:4*k]
+		for i, id := range buf[:k] {
+			binary.LittleEndian.PutUint32(enc[4*i:], id)
+		}
+		if _, err := w.Write(enc); err != nil {
+			return RunSource{}, err
+		}
+		n += k
+		e.cpuUnits(sim.CyclesCopyWord, int64(k))
+	}
+	ext, err := w.Close()
+	if err != nil {
+		return RunSource{}, err
+	}
+	op.AddOut(int64(n))
+	return RunSource{Env: e, Ext: ext, N: n}, nil
+}
+
+// cpuUnits charges cycles per unit for units items in one clock advance,
+// bit-identical to charging each unit separately.
+func (e *Env) cpuUnits(cycles, units int64) { e.Dev.CPU.ChargeUnits(cycles, units) }

@@ -29,10 +29,44 @@ import (
 // Env bundles the device resources the operators run against.
 type Env struct {
 	Dev *device.Device
+
+	// batchLen is the configured vectorization granularity for the
+	// *Batch operators (IDs per batch), clamped to [1, DefaultBatchSize];
+	// 0 means DefaultBatchSize. It only affects host buffer sizes — the
+	// simulated device cost is granularity-invariant by construction.
+	batchLen int
 }
 
 // NewEnv returns an execution environment on the device.
 func NewEnv(dev *device.Device) *Env { return &Env{Dev: dev} }
+
+// SetBatchLen configures the vectorization granularity of the batch
+// operators (clamped to [1, DefaultBatchSize]).
+func (e *Env) SetBatchLen(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > DefaultBatchSize {
+		n = DefaultBatchSize
+	}
+	e.batchLen = n
+}
+
+// batchCap is the effective ID-batch granularity.
+func (e *Env) batchCap() int {
+	if e.batchLen == 0 {
+		return DefaultBatchSize
+	}
+	return e.batchLen
+}
+
+// rowBatchCap is the effective row-batch granularity.
+func (e *Env) rowBatchCap() int {
+	if n := e.batchCap(); n < DefaultRowBatchRows {
+		return n
+	}
+	return DefaultRowBatchRows
+}
 
 func (e *Env) cpu(cycles int64) { e.Dev.CPU.Charge(cycles) }
 

@@ -1,0 +1,437 @@
+package exec
+
+// Batched counterparts of the merge operators in merge.go. Algorithms and
+// per-element simulated charges are identical to the row-at-a-time
+// versions — heap pushes/pops and comparisons are counted during a batch
+// and charged in one ChargeUnits call — so the device cost model is bit
+// for bit unchanged; only host dispatch is amortized.
+
+import (
+	"github.com/ghostdb/ghostdb/internal/climbing"
+	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// batchCursor buffers one input of a batch merge. Refills request at most
+// the consumer's current demand, so an abandoned merge never over-reads
+// its inputs beyond one in-flight request.
+type batchCursor struct {
+	src BatchIter
+	buf *[]uint32
+	lim int // configured granularity cap on refills
+	pos int
+	n   int
+}
+
+func newBatchCursor(e *Env, src BatchIter) *batchCursor {
+	c := &batchCursor{src: src, buf: GetIDBatch()}
+	c.lim = e.batchCap()
+	return c
+}
+
+// next returns the cursor's next element, refilling with a request of at
+// most want elements (clamped to [1, cap]).
+func (c *batchCursor) next(want int) (uint32, bool, error) {
+	if c.pos >= c.n {
+		if want < 1 {
+			want = 1
+		}
+		if want > c.lim {
+			want = c.lim
+		}
+		k, err := c.src.Next((*c.buf)[:want])
+		if err != nil {
+			return 0, false, err
+		}
+		if k == 0 {
+			return 0, false, nil
+		}
+		c.pos, c.n = 0, k
+	}
+	id := (*c.buf)[c.pos]
+	c.pos++
+	return id, true, nil
+}
+
+func (c *batchCursor) close() {
+	c.src.Close()
+	PutIDBatch(c.buf)
+	c.buf = nil
+}
+
+// idxHeap is a binary min-heap of (id, cursor index) pairs that counts
+// its operations instead of charging them one by one.
+type idxHeap struct {
+	ids []uint32
+	idx []int
+	ops int64
+}
+
+func (h *idxHeap) push(id uint32, i int) {
+	h.ops++
+	h.ids = append(h.ids, id)
+	h.idx = append(h.idx, i)
+	j := len(h.ids) - 1
+	for j > 0 {
+		parent := (j - 1) / 2
+		if h.ids[parent] <= h.ids[j] {
+			break
+		}
+		h.swap(parent, j)
+		j = parent
+	}
+}
+
+func (h *idxHeap) pop() (uint32, int) {
+	h.ops++
+	id, ci := h.ids[0], h.idx[0]
+	last := len(h.ids) - 1
+	h.ids[0], h.idx[0] = h.ids[last], h.idx[last]
+	h.ids, h.idx = h.ids[:last], h.idx[:last]
+	j := 0
+	for {
+		l, r := 2*j+1, 2*j+2
+		small := j
+		if l < len(h.ids) && h.ids[l] < h.ids[small] {
+			small = l
+		}
+		if r < len(h.ids) && h.ids[r] < h.ids[small] {
+			small = r
+		}
+		if small == j {
+			break
+		}
+		h.swap(small, j)
+		j = small
+	}
+	return id, ci
+}
+
+func (h *idxHeap) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+}
+
+func (h *idxHeap) len() int { return len(h.ids) }
+
+// takeOps returns and resets the pending heap-operation count.
+func (h *idxHeap) takeOps() int64 {
+	n := h.ops
+	h.ops = 0
+	return n
+}
+
+// unionBatch merges k sorted batch inputs, deduplicating equal IDs.
+type unionBatch struct {
+	env    *Env
+	h      idxHeap
+	curs   []*batchCursor
+	last   uint32
+	primed bool
+}
+
+// MergeUnionBatch returns the sorted, deduplicated union of the batch
+// iterators. Like the row version, it primes one element per input at
+// construction time.
+func (e *Env) MergeUnionBatch(its []BatchIter) (BatchIter, error) {
+	u := &unionBatch{env: e, curs: make([]*batchCursor, len(its))}
+	for i, it := range its {
+		u.curs[i] = newBatchCursor(e, it)
+	}
+	for i, c := range u.curs {
+		id, ok, err := c.next(1)
+		if err != nil {
+			e.cpuUnits(sim.CyclesHeapOp, u.h.takeOps())
+			u.Close()
+			return nil, err
+		}
+		if ok {
+			u.h.push(id, i)
+		}
+	}
+	e.cpuUnits(sim.CyclesHeapOp, u.h.takeOps())
+	return u, nil
+}
+
+func (u *unionBatch) Next(dst []uint32) (int, error) {
+	n := 0
+	for n < len(dst) && u.h.len() > 0 {
+		id, ci := u.h.pop()
+		next, ok, err := u.curs[ci].next(len(dst))
+		if err != nil {
+			u.env.cpuUnits(sim.CyclesHeapOp, u.h.takeOps())
+			return n, err
+		}
+		if ok {
+			u.h.push(next, ci)
+		}
+		if u.primed && id == u.last {
+			continue // duplicate
+		}
+		u.last = id
+		u.primed = true
+		dst[n] = id
+		n++
+	}
+	u.env.cpuUnits(sim.CyclesHeapOp, u.h.takeOps())
+	return n, nil
+}
+
+func (u *unionBatch) Close() {
+	for _, c := range u.curs {
+		if c != nil {
+			c.close()
+		}
+	}
+}
+
+// unitCursor pulls one element at a time from a batch input — the
+// exactness discipline for consumers that may abandon their inputs.
+type unitCursor struct {
+	src BatchIter
+	one [1]uint32
+}
+
+func (c *unitCursor) next() (uint32, bool, error) {
+	n, err := c.src.Next(c.one[:])
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	return c.one[0], true, nil
+}
+
+// intersectBatch intersects k sorted deduplicated batch inputs. The
+// intersection terminates as soon as any input is exhausted, abandoning
+// the rest mid-stream; inputs are therefore pulled element by element so
+// no simulated work is done for IDs the row engine would never decode.
+// The output side is still batched — downstream operators consume the
+// intersection in full batches.
+type intersectBatch struct {
+	env  *Env
+	curs []unitCursor
+	cur  []uint32
+	done bool
+}
+
+// MergeIntersectBatch returns the sorted intersection of the iterators.
+// Each input must itself be sorted; duplicates within one input are
+// tolerated.
+func (e *Env) MergeIntersectBatch(its []BatchIter) (BatchIter, error) {
+	if len(its) == 0 {
+		return EmptyBatch(), nil
+	}
+	if len(its) == 1 {
+		return its[0], nil
+	}
+	x := &intersectBatch{env: e, curs: make([]unitCursor, len(its)), cur: make([]uint32, len(its))}
+	for i, it := range its {
+		x.curs[i].src = it
+	}
+	// Prime in input order, stopping at the first empty input — exactly
+	// like the row version, which never touches the remaining inputs.
+	for i := range x.curs {
+		id, ok, err := x.curs[i].next()
+		if err != nil {
+			x.Close()
+			return nil, err
+		}
+		if !ok {
+			x.done = true
+			break
+		}
+		x.cur[i] = id
+	}
+	return x, nil
+}
+
+func (x *intersectBatch) Next(dst []uint32) (int, error) {
+	if x.done {
+		return 0, nil
+	}
+	n := 0
+	var compares int64
+	for n < len(dst) {
+		// Find the maximum of the current heads.
+		max := x.cur[0]
+		for _, id := range x.cur[1:] {
+			compares++
+			if id > max {
+				max = id
+			}
+		}
+		// Advance every cursor to >= max.
+		equal := true
+		for i := range x.curs {
+			for x.cur[i] < max {
+				id, ok, err := x.curs[i].next()
+				if err != nil {
+					x.env.cpuUnits(sim.CyclesCompare, compares)
+					return n, err
+				}
+				if !ok {
+					x.done = true
+					x.env.cpuUnits(sim.CyclesCompare, compares)
+					return n, nil
+				}
+				x.cur[i] = id
+				compares++
+			}
+			if x.cur[i] != max {
+				equal = false
+			}
+		}
+		if !equal {
+			continue
+		}
+		// Emit and advance all past max (uncharged, as in the row path).
+		emitDone := false
+		for i := range x.curs {
+			id, ok, err := x.curs[i].next()
+			if err != nil {
+				x.env.cpuUnits(sim.CyclesCompare, compares)
+				return n, err
+			}
+			if !ok {
+				emitDone = true
+				break
+			}
+			x.cur[i] = id
+		}
+		dst[n] = max
+		n++
+		if emitDone {
+			x.done = true
+			break
+		}
+	}
+	x.env.cpuUnits(sim.CyclesCompare, compares)
+	return n, nil
+}
+
+func (x *intersectBatch) Close() {
+	for i := range x.curs {
+		x.curs[i].src.Close()
+	}
+}
+
+// UnionBatch merges any number of sources into one sorted deduplicated
+// batch stream, spilling intermediate runs to scratch flash when more
+// than fanin streams would need to be open at once — the batched twin of
+// Union, with identical pass structure and charges.
+func (e *Env) UnionBatch(sources []IDSource, fanin int, op *stats.Op) (BatchIter, error) {
+	if len(sources) == 0 {
+		return EmptyBatch(), nil
+	}
+	for len(sources) > e.clampFanin(fanin) {
+		f := e.clampFanin(fanin)
+		var next []IDSource
+		for start := 0; start < len(sources); start += f {
+			end := start + f
+			if end > len(sources) {
+				end = len(sources)
+			}
+			merged, err := e.openAndMergeBatch(sources[start:end])
+			if err != nil {
+				return nil, err
+			}
+			run, err := e.SpillBatch(merged, op)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, run)
+		}
+		sources = next
+	}
+	return e.openAndMergeBatch(sources)
+}
+
+func (e *Env) openAndMergeBatch(sources []IDSource) (BatchIter, error) {
+	if len(sources) == 1 {
+		return e.OpenBatch(sources[0])
+	}
+	its := make([]BatchIter, 0, len(sources))
+	for _, s := range sources {
+		it, err := e.OpenBatch(s)
+		if err != nil {
+			for _, o := range its {
+				o.Close()
+			}
+			return nil, err
+		}
+		its = append(its, it)
+	}
+	if len(its) == 1 {
+		return its[0], nil
+	}
+	return e.MergeUnionBatch(its)
+}
+
+// TranslateBatch maps a sorted batch stream of table-T identifiers to the
+// sorted union of their posting lists at the given level of a dense
+// climbing index — the batched twin of Translate. Dictionary probes are
+// issued in input order, preserving the page-cache access pattern.
+func (e *Env) TranslateBatch(input BatchIter, ix *climbing.Index, level int, fanin int, op *stats.Op) (BatchIter, error) {
+	defer input.Close()
+	var runs []IDSource
+	batch := make([]IDSource, 0, e.clampFanin(fanin))
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		merged, err := e.openAndMergeBatch(batch)
+		if err != nil {
+			return err
+		}
+		run, err := e.SpillBatch(merged, op)
+		if err != nil {
+			return err
+		}
+		runs = append(runs, run)
+		batch = batch[:0]
+		return nil
+	}
+	sawAny := false
+	bb := GetIDBatch()
+	defer PutIDBatch(bb)
+	buf := (*bb)[:e.batchCap()]
+	for {
+		k, err := input.Next(buf)
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 {
+			break
+		}
+		op.AddIn(int64(k))
+		for _, id := range buf[:k] {
+			entry, found, err := ix.LookupEq(intValue(id))
+			if err != nil {
+				return nil, err
+			}
+			if !found {
+				continue
+			}
+			ref := entry.Lists[level]
+			if ref.Count == 0 {
+				continue
+			}
+			sawAny = true
+			batch = append(batch, ClimbSource{Env: e, Ix: ix, Ref: ref})
+			if len(batch) >= e.clampFanin(fanin) {
+				if err := flush(); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if !sawAny {
+		return EmptyBatch(), nil
+	}
+	if len(runs) == 0 {
+		return e.openAndMergeBatch(batch)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return e.UnionBatch(runs, fanin, op)
+}

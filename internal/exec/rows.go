@@ -18,8 +18,13 @@ import (
 
 // Row is one in-flight result tuple: a dense output sequence number and
 // the identifiers of the query's tables (IDs[0] is the query-root ID,
-// the rest follow the plan's table layout). The IDs slice is reused by
-// iterators; consumers that retain a row must copy it.
+// the rest follow the plan's table layout).
+//
+// Ownership rule: a Row obtained from a row-at-a-time RowIter aliases a
+// buffer the iterator reuses on every Next — consumers that retain such a
+// row must copy it. A Row obtained from a RowBatch (the vectorized path)
+// aliases the batch's pooled memory instead and stays valid until that
+// batch is reset or recycled, so batch consumers never copy.
 type Row struct {
 	Seq uint32
 	IDs []uint32
@@ -460,38 +465,62 @@ func (e *Env) SortRowFile(rf *RowFile, byField, bufBytes, fanin int, op *stats.O
 	return runs[0], nil
 }
 
-// mergeRowRuns merges sorted runs into a new scratch run.
+// mergeRowRuns merges sorted runs into a new scratch run. Each run is
+// read through a batch iterator whose RowBatch owns its memory, so the
+// merge heads are views into the batches — the defensive per-row copy the
+// reused row-iterator buffers used to force is gone. Comparison charges
+// are counted and paid in one batch at the end; the totals (and the flash
+// traffic) are identical to the row-at-a-time merge.
 func (e *Env) mergeRowRuns(runs []*RowFile, byField int, op *stats.Op) (*RowFile, error) {
 	type head struct {
-		it  RowIter
-		row Row
-		ids []uint32
+		it    BatchRowIter
+		batch *RowBatch
+		pos   int
+		row   Row
 	}
 	var heads []*head
 	closeAll := func() {
 		for _, h := range heads {
 			h.it.Close()
+			PutRowBatch(h.batch)
 		}
 	}
+	// advance loads the head's next row, refilling its batch as needed;
+	// ok=false means the run is exhausted.
+	advance := func(h *head) (bool, error) {
+		if h.pos >= h.batch.Len() {
+			k, err := h.it.Next(h.batch)
+			if err != nil {
+				return false, err
+			}
+			if k == 0 {
+				return false, nil
+			}
+			h.pos = 0
+		}
+		h.row = h.batch.Row(h.pos)
+		h.pos++
+		return true, nil
+	}
 	for _, r := range runs {
-		it, err := r.Iter()
+		it, err := r.IterBatch()
 		if err != nil {
 			closeAll()
 			return nil, err
 		}
-		h := &head{it: it, ids: make([]uint32, r.fields)}
-		row, ok, err := it.Next()
+		h := &head{it: it, batch: GetRowBatch(r.fields)}
+		ok, err := advance(h)
 		if err != nil {
 			it.Close()
+			PutRowBatch(h.batch)
 			closeAll()
 			return nil, err
 		}
 		if !ok {
 			it.Close()
+			PutRowBatch(h.batch)
 			continue
 		}
-		h.row = Row{Seq: row.Seq, IDs: h.ids}
-		copy(h.ids, row.IDs)
 		heads = append(heads, h)
 	}
 	wGrant, err := e.Dev.RAM.Alloc(e.pageSize(), "merge-writer")
@@ -509,10 +538,11 @@ func (e *Env) mergeRowRuns(runs []*RowFile, byField int, op *stats.Op) (*RowFile
 	width := 4 * (1 + fields)
 	rec := make([]byte, width)
 	n := 0
+	var compares int64
 	for len(heads) > 0 {
 		best := 0
 		for i := 1; i < len(heads); i++ {
-			e.cpu(sim.CyclesCompare)
+			compares++
 			if heads[i].row.IDs[byField] < heads[best].row.IDs[byField] {
 				best = i
 			}
@@ -523,23 +553,24 @@ func (e *Env) mergeRowRuns(runs []*RowFile, byField int, op *stats.Op) (*RowFile
 			binary.LittleEndian.PutUint32(rec[4*(i+1):], id)
 		}
 		if _, err := w.Write(rec); err != nil {
+			e.cpuUnits(sim.CyclesCompare, compares)
 			closeAll()
 			return nil, err
 		}
 		n++
-		row, ok, err := h.it.Next()
+		ok, err := advance(h)
 		if err != nil {
+			e.cpuUnits(sim.CyclesCompare, compares)
 			closeAll()
 			return nil, err
 		}
 		if !ok {
 			h.it.Close()
+			PutRowBatch(h.batch)
 			heads = append(heads[:best], heads[best+1:]...)
-			continue
 		}
-		h.row.Seq = row.Seq
-		copy(h.ids, row.IDs)
 	}
+	e.cpuUnits(sim.CyclesCompare, compares)
 	ext, err := w.Close()
 	if err != nil {
 		return nil, err

@@ -174,7 +174,13 @@ func (d *Device) ProgramPage(page int, data []byte) error {
 		return fmt.Errorf("%w: page %d", ErrNotErased, page)
 	}
 	b.programmed[slot] = true
-	copy(b.data[slot*d.p.PageSize:], data)
+	pageStart := slot * d.p.PageSize
+	copy(b.data[pageStart:], data)
+	// Recycled blocks may hold stale bytes past the programmed prefix;
+	// pad the page tail so it reads back as erased NAND.
+	for i := pageStart + len(data); i < pageStart+d.p.PageSize; i++ {
+		b.data[i] = 0xFF
+	}
 	d.stats.PagesProgrammed++
 	d.stats.BytesProgrammed += int64(len(data))
 	t := d.p.ProgFixed + time.Duration(len(data))*d.p.ProgPerByte
@@ -184,11 +190,20 @@ func (d *Device) ProgramPage(page int, data []byte) error {
 }
 
 // EraseBlock resets every page of the block to the erased (0xFF) state.
+// A materialized block keeps its host allocation: only the per-page
+// programmed flags are cleared (reads of unprogrammed pages are gated in
+// copyOut), so scratch-heavy workloads recycle block buffers instead of
+// reallocating and re-filling them on every query. This changes host
+// memory behaviour only; the simulated erase charge is identical.
 func (d *Device) EraseBlock(blockIdx int) error {
 	if blockIdx < 0 || blockIdx >= d.p.Blocks {
 		return fmt.Errorf("%w: block %d", ErrOutOfRange, blockIdx)
 	}
-	d.blocks[blockIdx] = nil // back to unmaterialized erased state
+	if b := d.blocks[blockIdx]; b != nil {
+		for i := range b.programmed {
+			b.programmed[i] = false
+		}
+	}
 	d.stats.BlockErases++
 	d.stats.EraseTime += d.p.EraseFixed
 	d.clock.Advance(d.p.EraseFixed)
@@ -215,24 +230,26 @@ func (d *Device) chargeRead(n int) {
 
 func (d *Device) copyOut(dst []byte, page, off int) {
 	b := d.blocks[page/d.p.PagesPerBlock]
-	if b == nil {
+	slot := page % d.p.PagesPerBlock
+	if b == nil || !b.programmed[slot] {
 		for i := range dst {
 			dst[i] = 0xFF
 		}
 		return
 	}
-	start := (page%d.p.PagesPerBlock)*d.p.PageSize + off
+	start := slot*d.p.PageSize + off
 	copy(dst, b.data[start:start+len(dst)])
 }
 
 func (d *Device) materialize(blockIdx int) *block {
 	b := d.blocks[blockIdx]
 	if b == nil {
-		data := make([]byte, d.p.PagesPerBlock*d.p.PageSize)
-		for i := range data {
-			data[i] = 0xFF
+		// No 0xFF fill: reads are gated on the programmed flags, and
+		// ProgramPage pads the tail of each page it writes.
+		b = &block{
+			data:       make([]byte, d.p.PagesPerBlock*d.p.PageSize),
+			programmed: make([]bool, d.p.PagesPerBlock),
 		}
-		b = &block{data: data, programmed: make([]bool, d.p.PagesPerBlock)}
 		d.blocks[blockIdx] = b
 	}
 	return b

@@ -3,7 +3,12 @@ package flash
 import (
 	"fmt"
 	"io"
+	"sync"
 )
+
+// readerPool recycles Reader structs (and their page buffers) across
+// streams; one query can open dozens of short-lived readers.
+var readerPool sync.Pool
 
 // Reader streams an extent sequentially through a single-page buffer,
 // implementing io.Reader and io.ByteReader. It is the device-side way of
@@ -19,11 +24,31 @@ type Reader struct {
 	bufValid int    // valid bytes in buf
 }
 
-// NewReader returns a reader over ext. The page buffer is allocated here;
-// callers charge PageSize bytes to their arena per concurrently open
-// reader (exec does this via its stream grants).
+// NewReader returns a reader over ext. The reader and its page buffer
+// come from a pool; callers charge PageSize bytes to their arena per
+// concurrently open reader (exec does this via its stream grants) and
+// should call Release when done streaming so both are recycled.
 func NewReader(d *Device, ext Extent) *Reader {
-	return &Reader{d: d, ext: ext, buf: make([]byte, d.p.PageSize), bufAddr: -1}
+	n := d.p.PageSize
+	if v := readerPool.Get(); v != nil {
+		r := v.(*Reader)
+		if cap(r.buf) >= n {
+			*r = Reader{d: d, ext: ext, buf: r.buf[:n], bufAddr: -1}
+			return r
+		}
+	}
+	return &Reader{d: d, ext: ext, buf: make([]byte, n), bufAddr: -1}
+}
+
+// Release returns the reader (and its page buffer) to the pool. The
+// reader must not be used afterwards; Release is idempotent (the nil
+// device marks a released reader).
+func (r *Reader) Release() {
+	if r.d == nil {
+		return
+	}
+	r.d = nil
+	readerPool.Put(r)
 }
 
 // Remaining reports the bytes left to read.

@@ -2,7 +2,13 @@ package flash
 
 import (
 	"fmt"
+	"sync"
 )
+
+// writerPool recycles Writer structs and their page buffers across
+// spills. A Writer is recycled only on successful Close; callers must
+// drop it afterwards (guarded by the closed flag).
+var writerPool sync.Pool
 
 // Extent identifies a contiguous byte region on flash.
 type Extent struct {
@@ -111,10 +117,18 @@ func (s *Space) NewWriter() (*Writer, error) {
 		return nil, ErrWriterOpen
 	}
 	s.writerOpen = true
+	start := int64(s.nextPage) * int64(s.d.p.PageSize)
+	if v := writerPool.Get(); v != nil {
+		w := v.(*Writer)
+		if cap(w.buf) >= s.d.p.PageSize {
+			*w = Writer{s: s, buf: w.buf[:0], start: start}
+			return w, nil
+		}
+	}
 	return &Writer{
 		s:     s,
 		buf:   make([]byte, 0, s.d.p.PageSize),
-		start: int64(s.nextPage) * int64(s.d.p.PageSize),
+		start: start,
 	}, nil
 }
 
@@ -161,7 +175,9 @@ func (w *Writer) Close() (Extent, error) {
 	}
 	w.closed = true
 	w.s.writerOpen = false
-	return Extent{Start: w.start, Len: w.length}, nil
+	ext := Extent{Start: w.start, Len: w.length}
+	writerPool.Put(w)
+	return ext, nil
 }
 
 func (w *Writer) flushPage() error {

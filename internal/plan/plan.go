@@ -56,6 +56,44 @@ type Query struct {
 	Preds     []Pred        // conjunctive selections
 	Limit     int           // result row cap (0 = none); order is root-ID
 	NumParams int           // '?' placeholders awaiting BindParams
+
+	// predLabels and projLabels cache Preds[i].String() / Projs[i].String()
+	// per shape, filled once by Bind. Executions reuse the compiled labels
+	// (a parameterized shape shows its '?' placeholders) instead of
+	// re-rendering the text on every run.
+	predLabels []string
+	projLabels []string
+}
+
+// PredLabel returns the display label of predicate i: the label rendered
+// at bind time when available, a fresh rendering otherwise.
+func (q *Query) PredLabel(i int) string {
+	if i < len(q.predLabels) {
+		return q.predLabels[i]
+	}
+	return q.Preds[i].String()
+}
+
+// ProjLabel returns the display label of projection i.
+func (q *Query) ProjLabel(i int) string {
+	if i < len(q.projLabels) {
+		return q.projLabels[i]
+	}
+	return q.Projs[i].String()
+}
+
+// ColumnLabels returns the projection labels in SELECT order. When the
+// shape carries bind-time labels the cached slice itself is returned,
+// shared across executions — callers must treat it as read-only.
+func (q *Query) ColumnLabels() []string {
+	if len(q.projLabels) == len(q.Projs) {
+		return q.projLabels
+	}
+	out := make([]string, len(q.Projs))
+	for i := range q.Projs {
+		out[i] = q.Projs[i].String()
+	}
+	return out
 }
 
 // BindParams substitutes the query's '?' placeholders with params (by
@@ -78,6 +116,9 @@ func (q *Query) BindParams(params []value.Value) (*Query, error) {
 	}
 	out := *q
 	out.NumParams = 0
+	// The shape's cached predicate labels show '?' placeholders; drop
+	// them so the bound query renders its actual values on demand.
+	out.predLabels = nil
 	out.Preds = make([]Pred, len(q.Preds))
 	for i, pr := range q.Preds {
 		bound, err := bindPredParams(pr.P, params)
@@ -246,6 +287,14 @@ func Bind(sch *schema.Schema, sel *sql.Select) (*Query, error) {
 		q.Preds = append(q.Preds, Pred{Col: col, P: p})
 	}
 	q.NumParams = sql.CountParams(sel)
+	q.predLabels = make([]string, len(q.Preds))
+	for i := range q.Preds {
+		q.predLabels[i] = q.Preds[i].String()
+	}
+	q.projLabels = make([]string, len(q.Projs))
+	for i := range q.Projs {
+		q.projLabels[i] = q.Projs[i].String()
+	}
 	return q, nil
 }
 

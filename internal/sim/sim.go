@@ -75,6 +75,19 @@ func (c *CPU) Charge(n int64) {
 	c.clock.Advance(time.Duration(float64(n) / c.hz * float64(time.Second)))
 }
 
+// ChargeUnits advances the clock for units work items of cycles each. It
+// is bit-identical to calling Charge(cycles) units times — the per-unit
+// duration is computed (and truncated) once and then multiplied — so the
+// vectorized engine can charge a whole batch in one call without
+// perturbing the simulated time the row-at-a-time engine would produce.
+func (c *CPU) ChargeUnits(cycles, units int64) {
+	if cycles <= 0 || units <= 0 {
+		return
+	}
+	per := time.Duration(float64(cycles) / c.hz * float64(time.Second))
+	c.clock.Advance(per * time.Duration(units))
+}
+
 // Typical per-tuple cycle costs used by the execution engine. They are
 // deliberately coarse: the experiments depend on the ratio between flash,
 // bus and CPU costs, not on instruction-level accuracy.

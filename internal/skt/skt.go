@@ -127,6 +127,21 @@ func (s *SKT) Lookup(rootID uint32, table string) (uint32, error) {
 	return col.Get(int(rootID - 1))
 }
 
+// Member resolves a member table to its packed ID column once, for
+// callers doing many lookups: col.Get(rootID-1) is Lookup without the
+// per-call name normalization. ok is false for the root itself (identity
+// mapping, no column) and unknown reports tables outside the subtree.
+func (s *SKT) Member(table string) (col *store.IDColumn, ok, unknown bool) {
+	if strings.EqualFold(table, s.Root) {
+		return nil, false, false
+	}
+	col, found := s.cols[strings.ToLower(table)]
+	if !found {
+		return nil, false, true
+	}
+	return col, true, false
+}
+
 // LookupMany fills out[i] with the ID of tables[i] joined to rootID.
 func (s *SKT) LookupMany(rootID uint32, tables []string, out []uint32) error {
 	if len(out) < len(tables) {

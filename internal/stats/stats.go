@@ -75,11 +75,28 @@ type Report struct {
 	BusBytes   int64         // bytes that crossed the terminal<->device wire
 	BusMsgs    int64
 	ResultRows int
+
+	// block backs the first opBlockSize ops in one allocation. Ops are
+	// only appended while len < cap, so the returned pointers stay valid.
+	block []Op
 }
+
+// opBlockSize covers a typical query's operator count in one allocation.
+const opBlockSize = 16
 
 // NewOp registers a new operator in the report and returns it.
 func (r *Report) NewOp(name, detail string) *Op {
-	op := &Op{Name: name, Detail: detail}
+	if r.block == nil {
+		r.block = make([]Op, 0, opBlockSize)
+		r.Ops = make([]*Op, 0, opBlockSize)
+	}
+	var op *Op
+	if len(r.block) < cap(r.block) {
+		r.block = append(r.block, Op{Name: name, Detail: detail})
+		op = &r.block[len(r.block)-1]
+	} else {
+		op = &Op{Name: name, Detail: detail}
+	}
 	r.Ops = append(r.Ops, op)
 	return op
 }
