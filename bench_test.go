@@ -547,3 +547,22 @@ func BenchmarkConcurrentThroughputPrepared(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkAggregateWorkload runs the analytics workload (GROUP BY /
+// HAVING / ORDER BY / DISTINCT over hidden data): the device pays the
+// underlying ID-stream pipeline, the host pays the finishing stage.
+func BenchmarkAggregateWorkload(b *testing.B) {
+	skipIfShort(b)
+	db := sharedDB(b)
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.AggregateWorkload(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			sim += float64(r.SimTime)
+		}
+	}
+	simMS(b, sim)
+}

@@ -49,7 +49,7 @@ func writeBenchJSON(rec benchRecord) error {
 
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
-	"ram", "writes", "bloom", "game", "ablations",
+	"ram", "writes", "bloom", "game", "ablations", "aggregate",
 }
 
 func main() {
@@ -210,6 +210,13 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		rows = append(rows, devRow)
 		fmt.Print(bench.FormatAblations(rows))
+	case "aggregate":
+		fmt.Println("Analytics: aggregation / ordering / distinct over hidden data")
+		rows, err := bench.AggregateWorkload(sharedDB())
+		if err != nil {
+			return err
+		}
+		fmt.Print(bench.FormatAggregateRows(rows))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

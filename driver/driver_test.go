@@ -2,6 +2,8 @@ package driver
 
 import (
 	"database/sql"
+	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -373,4 +375,92 @@ func TestPreparedStatementPlanCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	rows.Close()
+}
+
+// TestAggregateQueries drives the post-operator dialect through
+// database/sql: grouped aggregates over hidden columns, ordering,
+// prepared aggregate statements with HAVING parameters, and column
+// type metadata for aggregate outputs.
+func TestAggregateQueries(t *testing.T) {
+	db := openHospital(t, "")
+
+	// Purpose is HIDDEN; grouping happens on the secure display side.
+	rows, err := db.Query(`SELECT Purpose, COUNT(*) FROM Visit GROUP BY Purpose ORDER BY COUNT(*) DESC, Purpose`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols, _ := rows.Columns()
+	if len(cols) != 2 || cols[1] != "COUNT(*)" {
+		t.Fatalf("columns = %v", cols)
+	}
+	types, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if types[0].DatabaseTypeName() != "CHAR" || types[1].DatabaseTypeName() != "INTEGER" {
+		t.Fatalf("type names = %s, %s", types[0].DatabaseTypeName(), types[1].DatabaseTypeName())
+	}
+	var got []string
+	for rows.Next() {
+		var purpose string
+		var n int64
+		if err := rows.Scan(&purpose, &n); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, purpose+":"+strconv.FormatInt(n, 10))
+	}
+	rows.Close()
+	if want := []string{"Sclerosis:2", "Checkup:1"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("grouped rows = %v, want %v", got, want)
+	}
+
+	// A prepared aggregate shape with WHERE and HAVING placeholders.
+	stmt, err := db.Prepare(`SELECT Doctor.Country, COUNT(*) FROM Visit, Doctor
+		WHERE Visit.Date >= ? GROUP BY Doctor.Country HAVING COUNT(*) >= ? ORDER BY Doctor.Country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for i := 0; i < 3; i++ {
+		rs, err := stmt.Query(time.Date(2006, 1, 1, 0, 0, 0, 0, time.UTC), int64(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var country string
+		var n int64
+		if !rs.Next() {
+			t.Fatal("expected one group")
+		}
+		if err := rs.Scan(&country, &n); err != nil {
+			t.Fatal(err)
+		}
+		if country != "France" || n != 2 {
+			t.Fatalf("got %s:%d, want France:2", country, n)
+		}
+		if rs.Next() {
+			t.Fatal("expected exactly one group")
+		}
+		rs.Close()
+	}
+
+	// A global aggregate over an empty result: COUNT is 0, MIN is NULL.
+	var n int64
+	var minDate any
+	err = db.QueryRow(`SELECT COUNT(*), MIN(Date) FROM Visit WHERE Purpose = 'Nothing'`).Scan(&n, &minDate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 || minDate != nil {
+		t.Fatalf("empty aggregate = %d, %v; want 0, NULL", n, minDate)
+	}
+
+	// DISTINCT + ORDER BY ... DESC + LIMIT through the driver.
+	var name string
+	err = db.QueryRow(`SELECT DISTINCT Name FROM Doctor ORDER BY Name DESC LIMIT 1`).Scan(&name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "Gall" {
+		t.Fatalf("name = %q, want Gall", name)
+	}
 }

@@ -59,9 +59,14 @@ func (r *Rows) Next(dest []sqldriver.Value) error {
 	return nil
 }
 
-// ColumnTypeDatabaseTypeName reports the SQL type name of column i,
-// derived from the first result row (empty when there are no rows).
+// ColumnTypeDatabaseTypeName reports the SQL type name of column i
+// from the compiled query's output metadata — aggregate outputs carry
+// their computed kind (COUNT(*) is INTEGER, AVG is FLOAT, MIN/MAX the
+// argument's kind), so the name is available even for empty results.
 func (r *Rows) ColumnTypeDatabaseTypeName(i int) string {
+	if q := r.res.Query; q != nil && i < len(r.res.Columns) {
+		return q.OutputKind(i).String()
+	}
 	if len(r.res.Rows) == 0 {
 		return ""
 	}

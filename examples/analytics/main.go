@@ -1,0 +1,119 @@
+// analytics: aggregation over hidden data. The visit purposes and the
+// doctor assignments below are HIDDEN — they live encrypted on the
+// smart USB key and never reach the untrusted PC — yet GROUP BY,
+// HAVING, ORDER BY and DISTINCT work on them unchanged: the device
+// streams the matching rows to the secure display, and the display
+// groups and orders them locally. The spy on the PC sees only the query
+// text and the visible data it always could.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"time"
+
+	_ "github.com/ghostdb/ghostdb/driver" // registers the "ghostdb" driver
+)
+
+func main() {
+	db, err := sql.Open("ghostdb", "ghostdb://?usb=high&fpr=0.01")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if _, err := db.Exec(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);`); err != nil {
+		log.Fatal(err)
+	}
+	for i, d := range []struct{ name, country string }{
+		{"Ellis", "France"}, {"Gall", "Spain"}, {"Okafor", "Nigeria"},
+	} {
+		if _, err := db.Exec(`INSERT INTO Doctor VALUES (?, ?, ?)`, int64(i+1), d.name, d.country); err != nil {
+			log.Fatal(err)
+		}
+	}
+	visits := []struct {
+		purpose string
+		doc     int64
+		day     int
+	}{
+		{"Checkup", 1, 10}, {"Sclerosis", 1, 12}, {"Sclerosis", 2, 14},
+		{"Checkup", 2, 15}, {"Sclerosis", 1, 20}, {"Oncology", 3, 21},
+		{"Checkup", 3, 22}, {"Sclerosis", 3, 25},
+	}
+	for i, v := range visits {
+		date := time.Date(2006, 11, v.day, 0, 0, 0, 0, time.UTC)
+		if _, err := db.Exec(`INSERT INTO Visit VALUES (?, ?, ?, ?)`, int64(i+1), date, v.purpose, v.doc); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// GROUP BY over a hidden column: visit purposes never leave the
+	// device unencrypted, the counts are computed on the secure display.
+	fmt.Println("visits per (hidden) purpose:")
+	rows, err := db.Query(`SELECT Purpose, COUNT(*) FROM Visit GROUP BY Purpose ORDER BY COUNT(*) DESC, Purpose`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var purpose string
+		var n int64
+		if err := rows.Scan(&purpose, &n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s %d\n", purpose, n)
+	}
+	rows.Close()
+
+	// A prepared aggregate shape: placeholders bind in WHERE and HAVING.
+	stmt, err := db.Prepare(`SELECT Doc.Country, COUNT(*), MIN(Vis.Date), MAX(Vis.Date)
+FROM Visit Vis, Doctor Doc
+WHERE Vis.Date >= ?
+GROUP BY Doc.Country
+HAVING COUNT(*) >= ?
+ORDER BY COUNT(*) DESC, Doc.Country`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stmt.Close()
+	fmt.Println("\nbusy countries (>= 2 visits since Nov 12, via the hidden doctor link):")
+	rs, err := stmt.Query(time.Date(2006, 11, 12, 0, 0, 0, 0, time.UTC), int64(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rs.Next() {
+		var country string
+		var n int64
+		var first, last time.Time
+		if err := rs.Scan(&country, &n, &first, &last); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s %d visits  (%s .. %s)\n",
+			country, n, first.Format("2006-01-02"), last.Format("2006-01-02"))
+	}
+	rs.Close()
+
+	// DISTINCT + top-K: the sort runs as a bounded heap on the display.
+	fmt.Println("\nlatest distinct purposes:")
+	rows, err = db.Query(`SELECT DISTINCT Purpose FROM Visit ORDER BY Purpose DESC LIMIT 2`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for rows.Next() {
+		var purpose string
+		if err := rows.Scan(&purpose); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %s\n", purpose)
+	}
+	rows.Close()
+}

@@ -1,0 +1,299 @@
+package baseline
+
+// FinishNaive is the third, sort-based implementation of GhostDB's
+// host-side post-operators (the engine streams through hash tables in
+// internal/exec; the oracle recomputes through string-keyed maps in
+// internal/oracle). Grouping sorts the physical rows by their grouping
+// key and folds runs of equal keys; DISTINCT sorts and collapses;
+// ordering is one stable sort. Property tests differential-check all
+// three against each other on randomized aggregate corpora.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// FinishNaive applies aggregation, HAVING, DISTINCT, ORDER BY and LIMIT
+// to the physical rows of a bound post-op query. base is not mutated.
+func FinishNaive(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	if !q.HasPostOps() {
+		return nil, fmt.Errorf("baseline: query has no post-operators")
+	}
+	rows, err := sortGroup(q, base)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		rows = sortDistinct(rows, q.VisibleOuts)
+	}
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				c := cmpNullsFirst(rows[i][k.Out], rows[j][k.Out])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	if len(q.Outputs) > q.VisibleOuts {
+		for i := range rows {
+			rows[i] = rows[i][:q.VisibleOuts]
+		}
+	}
+	return rows, nil
+}
+
+// sortGroup computes the output rows by sorting on the grouping key and
+// folding runs (plain remap when the query does not aggregate).
+func sortGroup(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	if !q.Aggregated() {
+		out := make([][]value.Value, len(base))
+		for i, br := range base {
+			row := make([]value.Value, len(q.Outputs))
+			for oi, o := range q.Outputs {
+				row[oi] = br[o.Proj]
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+
+	// Sort row indexes by grouping key (stable on original position, so
+	// the first row of each run carries the group's first appearance).
+	idx := make([]int, len(base))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, pi := range q.GroupBy {
+			c := cmpNullsFirst(base[idx[a]][pi], base[idx[b]][pi])
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+
+	type folded struct {
+		first int // original index of the group's first row
+		row   []value.Value
+	}
+	var groups []folded
+	for lo := 0; lo < len(idx); {
+		hi := lo + 1
+		for hi < len(idx) && sameGroupKey(q, base[idx[lo]], base[idx[hi]]) {
+			hi++
+		}
+		first := idx[lo]
+		for _, i := range idx[lo+1 : hi] {
+			if i < first {
+				first = i
+			}
+		}
+		row, keep, err := foldRun(q, base, idx[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			groups = append(groups, folded{first: first, row: row})
+		}
+		lo = hi
+	}
+	if !q.Grouped && len(idx) == 0 {
+		row, keep, err := foldRun(q, base, nil)
+		if err != nil {
+			return nil, err
+		}
+		if keep {
+			groups = append(groups, folded{row: row})
+		}
+	}
+	// Restore first-appearance order — the engine's unordered contract.
+	sort.Slice(groups, func(a, b int) bool { return groups[a].first < groups[b].first })
+	out := make([][]value.Value, len(groups))
+	for i, g := range groups {
+		out[i] = g.row
+	}
+	return out, nil
+}
+
+func sameGroupKey(q *plan.Query, a, b []value.Value) bool {
+	for _, pi := range q.GroupBy {
+		if cmpNullsFirst(a[pi], b[pi]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldRun folds one run of rows (all sharing a grouping key) into one
+// output row, applying HAVING; keep reports whether the group survives.
+func foldRun(q *plan.Query, base [][]value.Value, run []int) ([]value.Value, bool, error) {
+	aggVals := make([]value.Value, len(q.Aggs))
+	for ai, a := range q.Aggs {
+		v, err := foldAgg(a, base, run)
+		if err != nil {
+			return nil, false, err
+		}
+		aggVals[ai] = v
+	}
+	for _, h := range q.Having {
+		v := aggVals[h.AggIdx]
+		if !v.IsValid() {
+			return nil, false, nil
+		}
+		c, err := value.Compare(v, h.Val)
+		if err != nil {
+			return nil, false, err
+		}
+		var ok bool
+		switch h.Op {
+		case sql.OpEq:
+			ok = c == 0
+		case sql.OpNe:
+			ok = c != 0
+		case sql.OpLt:
+			ok = c < 0
+		case sql.OpLe:
+			ok = c <= 0
+		case sql.OpGt:
+			ok = c > 0
+		case sql.OpGe:
+			ok = c >= 0
+		}
+		if !ok {
+			return nil, false, nil
+		}
+	}
+	row := make([]value.Value, len(q.Outputs))
+	for oi, o := range q.Outputs {
+		if o.AggIdx >= 0 {
+			row[oi] = aggVals[o.AggIdx]
+			continue
+		}
+		if len(run) == 0 {
+			return nil, false, fmt.Errorf("baseline: plain output %s in an empty global group", o.Label)
+		}
+		row[oi] = base[run[0]][o.Proj]
+	}
+	return row, true, nil
+}
+
+// foldAgg evaluates one aggregate over a run of rows.
+func foldAgg(a plan.AggExpr, base [][]value.Value, run []int) (value.Value, error) {
+	switch a.Func {
+	case sql.AggCount:
+		return value.NewInt(int64(len(run))), nil
+	case sql.AggSum, sql.AggAvg:
+		if len(run) == 0 {
+			return value.Value{}, nil
+		}
+		var si int64
+		var sf float64
+		isFloat := false
+		for _, i := range run {
+			v := base[i][a.Proj]
+			if v.Kind() == value.Float {
+				isFloat = true
+				sf += v.Float()
+			} else {
+				si += v.Int()
+			}
+		}
+		if a.Func == sql.AggAvg {
+			return value.NewFloat((float64(si) + sf) / float64(len(run))), nil
+		}
+		if isFloat {
+			return value.NewFloat(sf), nil
+		}
+		return value.NewInt(si), nil
+	case sql.AggMin, sql.AggMax:
+		if len(run) == 0 {
+			return value.Value{}, nil
+		}
+		best := base[run[0]][a.Proj]
+		for _, i := range run[1:] {
+			v := base[i][a.Proj]
+			c, err := value.Compare(v, best)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if (a.Func == sql.AggMin && c < 0) || (a.Func == sql.AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return value.Value{}, fmt.Errorf("baseline: unknown aggregate %v", a.Func)
+}
+
+// sortDistinct collapses duplicate visible rows, keeping first
+// appearances in their original relative order.
+func sortDistinct(rows [][]value.Value, width int) [][]value.Value {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ra, rb := rows[idx[a]], rows[idx[b]]
+		for k := 0; k < width; k++ {
+			if c := cmpNullsFirst(ra[k], rb[k]); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	var keepIdx []int
+	for i, id := range idx {
+		if i > 0 && equalPrefix(rows[idx[i-1]], rows[id], width) {
+			continue
+		}
+		keepIdx = append(keepIdx, id)
+	}
+	sort.Ints(keepIdx)
+	out := make([][]value.Value, len(keepIdx))
+	for i, id := range keepIdx {
+		out[i] = rows[id]
+	}
+	return out
+}
+
+func equalPrefix(a, b []value.Value, width int) bool {
+	for k := 0; k < width; k++ {
+		if cmpNullsFirst(a[k], b[k]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// cmpNullsFirst is the dialect's per-column total order: NULL first,
+// then value.Compare, kind number as the incomparable fallback.
+func cmpNullsFirst(a, b value.Value) int {
+	av, bv := a.IsValid(), b.IsValid()
+	switch {
+	case !av && !bv:
+		return 0
+	case !av:
+		return -1
+	case !bv:
+		return 1
+	}
+	c, err := value.Compare(a, b)
+	if err != nil {
+		return int(a.Kind()) - int(b.Kind())
+	}
+	return c
+}

@@ -1,0 +1,71 @@
+package bench
+
+// Experiment: the analytics workload opened by the aggregation layer.
+// Each query runs the full distributed SPJ pipeline on the simulated
+// device plus the host-side finishing stage (group-by / order / top-K),
+// so the table shows what analytics over hidden data costs: simulated
+// device time is dictated by the underlying ID-stream pipeline, the
+// aggregation itself is host work on the secure display.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/stats"
+)
+
+// AggregateQueries is the analytics workload: grouped counts and sums
+// over hidden and visible columns, HAVING restriction, top-K ordering
+// and DISTINCT — all phrased over the Figure 3 hospital schema.
+var AggregateQueries = []struct{ Name, Query string }{
+	{"count", "SELECT COUNT(*) FROM Prescription"},
+	{"group-hidden", "SELECT Vis.Purpose, COUNT(*) FROM Visit Vis GROUP BY Vis.Purpose"},
+	{"sum-by-type", "SELECT Med.Type, SUM(Pre.Quantity) FROM Medicine Med, Prescription Pre GROUP BY Med.Type ORDER BY SUM(Pre.Quantity) DESC"},
+	{"having-topk", "SELECT Doc.Country, COUNT(*) FROM Doctor Doc, Visit Vis, Prescription Pre WHERE Pre.Quantity >= 2 GROUP BY Doc.Country HAVING COUNT(*) > 10 ORDER BY COUNT(*) DESC LIMIT 5"},
+	{"stats", "SELECT MIN(Pre.Quantity), MAX(Pre.Quantity), AVG(Pre.Quantity) FROM Prescription Pre WHERE Pre.Frequency >= 2"},
+	{"distinct", "SELECT DISTINCT Doc.Speciality FROM Doctor Doc ORDER BY Doc.Speciality"},
+}
+
+// AggregateRow is one analytics query's outcome.
+type AggregateRow struct {
+	Name    string
+	SimTime time.Duration // simulated device time
+	Wall    time.Duration // host wall clock, finishing stage included
+	RAM     int64
+	Rows    int // result rows (groups)
+}
+
+// AggregateWorkload executes the analytics workload under the
+// optimizer's plan choice.
+func AggregateWorkload(db *core.DB) ([]AggregateRow, error) {
+	var out []AggregateRow
+	for _, aq := range AggregateQueries {
+		start := time.Now()
+		res, err := db.Query(aq.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", aq.Name, err)
+		}
+		out = append(out, AggregateRow{
+			Name:    aq.Name,
+			SimTime: res.Report.TotalTime,
+			Wall:    time.Since(start),
+			RAM:     res.Report.RAMHigh,
+			Rows:    len(res.Rows),
+		})
+	}
+	return out, nil
+}
+
+// FormatAggregateRows renders the workload outcomes as a table.
+func FormatAggregateRows(rows []AggregateRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %12s %12s %10s %8s\n", "query", "sim time", "wall", "ram", "groups")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %12s %12s %10s %8d\n",
+			r.Name, stats.FormatDuration(r.SimTime), r.Wall.Round(time.Microsecond),
+			stats.FormatBytes(r.RAM), r.Rows)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package core
+
+// This file is the host-side finishing stage: aggregation, HAVING,
+// DISTINCT, ORDER BY and LIMIT over the physical rows the distributed
+// pipeline delivered. It runs on the secure display — the same trust
+// domain that renders raw result rows — after the device has finished,
+// so it advances no simulated clock and sends nothing over the traced
+// buses: the spy observes exactly the traffic of the underlying SPJ
+// query, and the batch and row engines stay bit-identical in simulated
+// cost on aggregate queries by construction.
+
+import (
+	"fmt"
+
+	"github.com/ghostdb/ghostdb/internal/exec"
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// finishRows applies the query's post-operators to the physical rows
+// (Projs-wide, in root-ID order) and returns the visible result rows.
+func finishRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	rows, err := outputRows(q, base)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		d := exec.GetDistinct(q.VisibleOuts)
+		kept := rows[:0]
+		for _, r := range rows {
+			if !d.Seen(r) {
+				kept = append(kept, r)
+			}
+		}
+		exec.PutDistinct(d)
+		rows = kept
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(q.OrderBy))
+		for i, k := range q.OrderBy {
+			keys[i] = exec.SortKey{Col: k.Out, Desc: k.Desc}
+		}
+		// With a LIMIT the sorter keeps only the top K in a bounded heap.
+		s := exec.GetSorter(keys, q.Limit)
+		for _, r := range rows {
+			s.Push(r)
+		}
+		sorted := s.Finish()
+		rows = make([][]value.Value, len(sorted))
+		copy(rows, sorted) // the sorted slice aliases pooled storage
+		exec.PutSorter(s)
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	// Drop hidden ORDER BY keys appended past the visible columns.
+	if len(q.Outputs) > q.VisibleOuts {
+		for i := range rows {
+			rows[i] = rows[i][:q.VisibleOuts:q.VisibleOuts]
+		}
+	}
+	return rows, nil
+}
+
+// outputRows computes the output columns from the physical rows:
+// grouped aggregation when the query aggregates, a column remap
+// otherwise (plain queries with ORDER BY / DISTINCT).
+func outputRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	width := len(q.Outputs)
+	if !q.Aggregated() {
+		out := make([][]value.Value, len(base))
+		flat := make([]value.Value, len(base)*width)
+		for i, br := range base {
+			row := flat[i*width : (i+1)*width : (i+1)*width]
+			for oi, o := range q.Outputs {
+				row[oi] = br[o.Proj]
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+
+	aggs := make([]exec.AggOp, len(q.Aggs))
+	for i, a := range q.Aggs {
+		op := exec.AggOp{Func: a.Func, Col: a.Proj}
+		if a.Proj >= 0 {
+			op.ArgKind = q.Projs[a.Proj].Kind
+		}
+		aggs[i] = op
+	}
+	g := exec.GetGrouper(q.GroupBy, aggs)
+	defer exec.PutGrouper(g)
+	if err := g.AddBatch(base); err != nil {
+		return nil, err
+	}
+	// A global aggregate over an empty result still yields one row
+	// (COUNT = 0, NULL for the other aggregates).
+	if !q.Grouped && g.Groups() == 0 {
+		g.AddEmptyGroup()
+	}
+
+	// Key positions: output plain columns address their group key slot.
+	keyPos := make(map[int]int, len(q.GroupBy))
+	for pos, pi := range q.GroupBy {
+		keyPos[pi] = pos
+	}
+
+	var out [][]value.Value
+	for gi := 0; gi < g.Groups(); gi++ {
+		keep := true
+		for _, h := range q.Having {
+			ok, err := havingMatch(g.AggValue(gi, h.AggIdx), h.Op, h.Val)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		row := make([]value.Value, width)
+		for oi, o := range q.Outputs {
+			if o.AggIdx >= 0 {
+				row[oi] = g.AggValue(gi, o.AggIdx)
+				continue
+			}
+			pos, ok := keyPos[o.Proj]
+			if !ok {
+				return nil, fmt.Errorf("core: output %s is not a grouping column", o.Label)
+			}
+			row[oi] = g.Key(gi, pos)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// havingMatch evaluates one HAVING comparison. A NULL aggregate (empty
+// global group) compares to nothing, like SQL's NULL.
+func havingMatch(v value.Value, op sql.CompareOp, lit value.Value) (bool, error) {
+	if !v.IsValid() {
+		return false, nil
+	}
+	c, err := value.Compare(v, lit)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case sql.OpEq:
+		return c == 0, nil
+	case sql.OpNe:
+		return c != 0, nil
+	case sql.OpLt:
+		return c < 0, nil
+	case sql.OpLe:
+		return c <= 0, nil
+	case sql.OpGt:
+		return c > 0, nil
+	case sql.OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("core: unknown HAVING operator %v", op)
+}

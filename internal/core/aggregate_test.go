@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/baseline"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// TestAggregateAgainstOracle runs hand-picked aggregate / ordering /
+// distinct queries over the tiny dataset and compares the engine
+// against the oracle exactly (columns and row order included).
+func TestAggregateAgainstOracle(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	queries := []string{
+		"SELECT COUNT(*) FROM Prescription",
+		"SELECT COUNT(*), SUM(Quantity), MIN(Quantity), MAX(Quantity), AVG(Quantity) FROM Prescription",
+		"SELECT Country, COUNT(*) FROM Doctor GROUP BY Country",
+		"SELECT Speciality, COUNT(*) FROM Doctor GROUP BY Speciality ORDER BY COUNT(*) DESC, Speciality",
+		"SELECT Doctor.Country, COUNT(*) FROM Doctor, Visit, Prescription WHERE Prescription.Quantity >= 2 GROUP BY Doctor.Country",
+		"SELECT Doctor.Country, SUM(Prescription.Quantity) FROM Doctor, Visit, Prescription GROUP BY Doctor.Country HAVING COUNT(*) > 3",
+		"SELECT Type, MAX(Quantity) FROM Medicine, Prescription GROUP BY Type ORDER BY 2 DESC LIMIT 3",
+		"SELECT DISTINCT Country FROM Doctor",
+		"SELECT DISTINCT Speciality, Country FROM Doctor ORDER BY Country DESC, Speciality",
+		"SELECT PatID, Age FROM Patient ORDER BY Age DESC, PatID LIMIT 5",
+		"SELECT Age FROM Patient ORDER BY Age",
+		"SELECT Purpose FROM Visit WHERE Date >= '2006-01-01' ORDER BY Date DESC LIMIT 4",
+		"SELECT COUNT(*) FROM Doctor WHERE Country = 'France'",
+		"SELECT Country, COUNT(*) FROM Doctor WHERE Speciality = 'Cardiology' GROUP BY Country",
+		"SELECT MIN(Date), MAX(Date) FROM Visit",
+		"SELECT Speciality FROM Doctor GROUP BY Speciality",
+		"SELECT COUNT(*) FROM Doctor HAVING COUNT(*) > 10000",
+	}
+	for _, q := range queries {
+		checkAgainstOracle(t, db, orc, q)
+	}
+}
+
+// TestAggregateEveryPlan runs an aggregate join query under every
+// enumerated plan: the post-operators must not depend on the strategy.
+func TestAggregateEveryPlan(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	sqlText := "SELECT Doctor.Country, COUNT(*), SUM(Prescription.Quantity) FROM Doctor, Visit, Prescription WHERE Doctor.Speciality = 'Cardiology' AND Prescription.Quantity >= 2 GROUP BY Doctor.Country ORDER BY COUNT(*) DESC, Doctor.Country"
+	q, err := db.Prepare(sqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want, err := orc.Query(sqlText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range db.Plans(q) {
+		res, err := db.QueryWithPlan(q, spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Describe(q), err)
+		}
+		if !sameRows(res.Rows, want) {
+			t.Fatalf("%s: %d rows, oracle %d", spec.Describe(q), len(res.Rows), len(want))
+		}
+	}
+}
+
+// TestAggregateParamsAndPlanCache proves compile-once/bind-many works
+// for parameterized aggregate shapes, with '?' placeholders in WHERE
+// and HAVING, through the shared plan cache.
+func TestAggregateParamsAndPlanCache(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	shape := "SELECT Doctor.Country, COUNT(*) FROM Doctor, Visit, Prescription WHERE Prescription.Quantity >= ? GROUP BY Doctor.Country HAVING COUNT(*) > ? ORDER BY COUNT(*) DESC, Doctor.Country"
+	cq, err := db.Compile(shape)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cq.NumParams() != 2 {
+		t.Fatalf("NumParams = %d, want 2", cq.NumParams())
+	}
+	for _, args := range [][2]int64{{1, 0}, {2, 1}, {3, 2}} {
+		res, err := cq.Run([]value.Value{value.NewInt(args[0]), value.NewInt(args[1])})
+		if err != nil {
+			t.Fatal(err)
+		}
+		concrete := "SELECT Doctor.Country, COUNT(*) FROM Doctor, Visit, Prescription WHERE Prescription.Quantity >= " +
+			value.NewInt(args[0]).String() + " GROUP BY Doctor.Country HAVING COUNT(*) > " +
+			value.NewInt(args[1]).String() + " ORDER BY COUNT(*) DESC, Doctor.Country"
+		_, want, err := orc.Query(concrete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRows(res.Rows, want) {
+			t.Fatalf("args %v: %d rows, oracle %d", args, len(res.Rows), len(want))
+		}
+	}
+	// The shape must hit the shared plan cache on recompilation.
+	before := db.PlanCacheStats()
+	if _, err := db.Query("SELECT Doctor.Country, COUNT(*) FROM Doctor, Visit, Prescription WHERE Prescription.Quantity >= 2 GROUP BY Doctor.Country HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC, Doctor.Country"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT Doctor.Country, COUNT(*) FROM Doctor, Visit, Prescription WHERE Prescription.Quantity >= 2 GROUP BY Doctor.Country HAVING COUNT(*) > 1 ORDER BY COUNT(*) DESC, Doctor.Country"); err != nil {
+		t.Fatal(err)
+	}
+	after := db.PlanCacheStats()
+	if after.Hits <= before.Hits {
+		t.Fatalf("aggregate shape missed the plan cache: %+v -> %+v", before, after)
+	}
+}
+
+// TestAggregateBaselineFinisher cross-checks the engine against the
+// baseline's independent sort-based finisher over the oracle's base
+// rows (three implementations of the same semantics).
+func TestAggregateBaselineFinisher(t *testing.T) {
+	db, orc, _ := loadTiny(t)
+	queries := []string{
+		"SELECT Country, COUNT(*), MIN(Age), MAX(Age) FROM Patient GROUP BY Country ORDER BY COUNT(*) DESC, Country",
+		"SELECT Type, AVG(Quantity) FROM Medicine, Prescription GROUP BY Type HAVING COUNT(*) > 2 ORDER BY 2",
+		"SELECT DISTINCT Purpose FROM Visit ORDER BY Purpose DESC",
+	}
+	for _, sqlText := range queries {
+		q, base, err := orc.QueryBase(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := baseline.FinishNaive(q, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := db.Query(sqlText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameRows(res.Rows, want) {
+			t.Fatalf("%s: engine %d rows, baseline finisher %d", sqlText, len(res.Rows), len(want))
+		}
+	}
+}
+
+// TestAggregateErrors pins the bind-time validation rules.
+func TestAggregateErrors(t *testing.T) {
+	db, _, _ := loadTiny(t)
+	for _, sqlText := range []string{
+		"SELECT Country FROM Doctor GROUP BY Speciality",                   // not a grouping column
+		"SELECT Country, COUNT(*) FROM Doctor",                             // plain column without GROUP BY
+		"SELECT SUM(Country) FROM Doctor",                                  // SUM over a string
+		"SELECT AVG(Speciality) FROM Doctor",                               // AVG over a string
+		"SELECT * FROM Doctor GROUP BY Country",                            // star with GROUP BY
+		"SELECT Country FROM Doctor HAVING COUNT(*) > 1",                   // HAVING without grouping the select list
+		"SELECT Country, COUNT(*) FROM Doctor GROUP BY Country ORDER BY 3", // ordinal out of range
+		"SELECT DISTINCT Speciality FROM Doctor ORDER BY Country",          // DISTINCT + unselected order key
+		"SELECT Age FROM Patient ORDER BY COUNT(*)",                        // aggregate order key without aggregation
+	} {
+		if _, err := db.Query(sqlText); err == nil {
+			t.Errorf("%s: expected a bind error", sqlText)
+		}
+	}
+}

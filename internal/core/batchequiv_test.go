@@ -81,8 +81,18 @@ func TestBatchRowEquivalence(t *testing.T) {
 	if testing.Short() {
 		iterations = 10
 	}
-	for i := 0; i < iterations; i++ {
+	aggIterations := 15
+	if testing.Short() {
+		aggIterations = 5
+	}
+	for i := 0; i < iterations+aggIterations; i++ {
+		// The tail of the corpus exercises the post-operator dialect:
+		// aggregation runs host-side after the pipeline, so the
+		// bit-identical-cost property must hold there too.
 		sqlText := gen.next()
+		if i >= iterations {
+			sqlText = gen.nextPostOp()
+		}
 		qb, err := batch.Prepare(sqlText)
 		if err != nil {
 			t.Fatalf("query %d %q: %v", i, sqlText, err)
@@ -130,8 +140,15 @@ func TestBatchRowEquivalenceTinyRAM(t *testing.T) {
 	if testing.Short() {
 		iterations = 5
 	}
-	for i := 0; i < iterations; i++ {
+	aggIterations := 8
+	if testing.Short() {
+		aggIterations = 3
+	}
+	for i := 0; i < iterations+aggIterations; i++ {
 		sqlText := gen.next()
+		if i >= iterations {
+			sqlText = gen.nextPostOp()
+		}
 		rb, err := batch.Query(sqlText)
 		if err != nil {
 			t.Fatalf("query %d %q: %v", i, sqlText, err)

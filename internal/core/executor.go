@@ -129,8 +129,17 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result
 
 	res := ex.assemble()
 	res.Report = rep
-	rep.ResultRows = len(res.Rows)
 	ex.release()
+	// Post-operators (aggregation, HAVING, DISTINCT, ORDER BY, LIMIT)
+	// run host-side on the secure display, outside the simulated device.
+	if q.HasPostOps() {
+		rows, err := finishRows(q, res.Rows)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = rows
+	}
+	rep.ResultRows = len(res.Rows)
 	return res, nil
 }
 
@@ -1179,7 +1188,9 @@ func (ex *executor) assemble() *Result {
 	res.Columns = append([]string(nil), q.ColumnLabels()...)
 	slices.Sort(ex.liveSeqs)
 	n := len(ex.liveSeqs)
-	if q.Limit > 0 && n > q.Limit {
+	// With post-operators the LIMIT applies to the finished result
+	// (after grouping/ordering), not to the physical rows.
+	if !q.HasPostOps() && q.Limit > 0 && n > q.Limit {
 		n = q.Limit
 	}
 	nproj := len(q.Projs)

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
+	"github.com/ghostdb/ghostdb/internal/baseline"
 	"github.com/ghostdb/ghostdb/internal/datagen"
 	"github.com/ghostdb/ghostdb/internal/trace"
 	"github.com/ghostdb/ghostdb/internal/value"
@@ -23,7 +25,8 @@ type queryGen struct {
 type genCol struct {
 	table, column string
 	literal       func(g *queryGen) string
-	ordered       bool // supports range operators
+	ordered       bool   // supports range operators
+	kind          string // "int", "str" or "date" (aggregate eligibility)
 }
 
 func (g *queryGen) sample(table, column string) value.Value {
@@ -42,18 +45,18 @@ func (g *queryGen) cols() []genCol {
 		return func(g *queryGen) string { return "'" + g.sample(table, column).String() + "'" }
 	}
 	return []genCol{
-		{"Doctor", "Speciality", strLit("Doctor", "Speciality"), false},
-		{"Doctor", "Country", strLit("Doctor", "Country"), false},
-		{"Patient", "Age", intLit("Patient", "Age"), true},
-		{"Patient", "BodyMassIndex", intLit("Patient", "BodyMassIndex"), true},
-		{"Patient", "Country", strLit("Patient", "Country"), false},
-		{"Medicine", "Type", strLit("Medicine", "Type"), false},
-		{"Medicine", "Effect", strLit("Medicine", "Effect"), false},
-		{"Visit", "Date", dateLit("Visit", "Date"), true},
-		{"Visit", "Purpose", strLit("Visit", "Purpose"), false},
-		{"Prescription", "Quantity", intLit("Prescription", "Quantity"), true},
-		{"Prescription", "Frequency", intLit("Prescription", "Frequency"), true},
-		{"Prescription", "WhenWritten", dateLit("Prescription", "WhenWritten"), true},
+		{"Doctor", "Speciality", strLit("Doctor", "Speciality"), false, "str"},
+		{"Doctor", "Country", strLit("Doctor", "Country"), false, "str"},
+		{"Patient", "Age", intLit("Patient", "Age"), true, "int"},
+		{"Patient", "BodyMassIndex", intLit("Patient", "BodyMassIndex"), true, "int"},
+		{"Patient", "Country", strLit("Patient", "Country"), false, "str"},
+		{"Medicine", "Type", strLit("Medicine", "Type"), false, "str"},
+		{"Medicine", "Effect", strLit("Medicine", "Effect"), false, "str"},
+		{"Visit", "Date", dateLit("Visit", "Date"), true, "date"},
+		{"Visit", "Purpose", strLit("Visit", "Purpose"), false, "str"},
+		{"Prescription", "Quantity", intLit("Prescription", "Quantity"), true, "int"},
+		{"Prescription", "Frequency", intLit("Prescription", "Frequency"), true, "int"},
+		{"Prescription", "WhenWritten", dateLit("Prescription", "WhenWritten"), true, "date"},
 	}
 }
 
@@ -67,8 +70,11 @@ var pathTables = map[string][]string{
 	"Prescription": {"Prescription"},
 }
 
-// next produces one random query.
-func (g *queryGen) next() string {
+// fromAndChosen draws the predicate columns and a FROM set covering
+// them (with a unique query root). Extracted so the plain-SPJ and the
+// aggregate generators share it; rng consumption is unchanged for the
+// plain path.
+func (g *queryGen) fromAndChosen() (chosen []genCol, fromList []string) {
 	cols := g.cols()
 	nPreds := 1 + g.rng.Intn(3)
 	chosenSet := map[string]genCol{}
@@ -84,7 +90,7 @@ func (g *queryGen) next() string {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	chosen := make([]genCol, len(keys))
+	chosen = make([]genCol, len(keys))
 	for i, k := range keys {
 		chosen[i] = chosenSet[k]
 	}
@@ -111,24 +117,16 @@ func (g *queryGen) next() string {
 		from["Prescription"] = true
 	}
 
-	var fromList []string
 	for _, t := range []string{"Prescription", "Visit", "Medicine", "Doctor", "Patient"} {
 		if from[t] {
 			fromList = append(fromList, t)
 		}
 	}
+	return chosen, fromList
+}
 
-	// Projections: 1-3 random columns from FROM tables (plus the root
-	// key for stable comparison).
-	root := fromList[0]
-	projs := []string{root + "." + g.ds.Table(root).Columns[0]}
-	for i := 0; i < g.rng.Intn(3); i++ {
-		t := fromList[g.rng.Intn(len(fromList))]
-		tb := g.ds.Table(t)
-		projs = append(projs, t+"."+tb.Columns[g.rng.Intn(len(tb.Columns))])
-	}
-
-	// Predicates.
+// wherePreds renders the WHERE conjuncts for the chosen columns.
+func (g *queryGen) wherePreds(chosen []genCol) []string {
 	var preds []string
 	for _, c := range chosen {
 		lit := c.literal(g)
@@ -149,12 +147,212 @@ func (g *queryGen) next() string {
 		}
 		preds = append(preds, expr)
 	}
+	return preds
+}
+
+// next produces one random plain SPJ query.
+func (g *queryGen) next() string {
+	chosen, fromList := g.fromAndChosen()
+
+	// Projections: 1-3 random columns from FROM tables (plus the root
+	// key for stable comparison).
+	root := fromList[0]
+	projs := []string{root + "." + g.ds.Table(root).Columns[0]}
+	for i := 0; i < g.rng.Intn(3); i++ {
+		t := fromList[g.rng.Intn(len(fromList))]
+		tb := g.ds.Table(t)
+		projs = append(projs, t+"."+tb.Columns[g.rng.Intn(len(tb.Columns))])
+	}
+
+	preds := g.wherePreds(chosen)
 
 	sql := "SELECT " + join(projs, ", ") + " FROM " + join(fromList, ", ")
 	if len(preds) > 0 {
 		sql += " WHERE " + join(preds, " AND ")
 	}
 	return sql
+}
+
+// fromCols returns the generator columns that live on FROM tables.
+func (g *queryGen) fromCols(fromList []string) []genCol {
+	inFrom := map[string]bool{}
+	for _, t := range fromList {
+		inFrom[t] = true
+	}
+	var out []genCol
+	for _, c := range g.cols() {
+		if inFrom[c.table] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// nextPostOp produces one random query exercising the post-operator
+// dialect: GROUP BY + aggregates (with optional HAVING), ORDER BY over
+// plain projections, or DISTINCT — each with optional ordering/limits.
+func (g *queryGen) nextPostOp() string {
+	chosen, fromList := g.fromAndChosen()
+	avail := g.fromCols(fromList)
+	switch g.rng.Intn(5) {
+	case 0:
+		return g.genOrderBy(chosen, fromList, avail)
+	case 1:
+		return g.genDistinct(chosen, fromList, avail)
+	default:
+		return g.genAggregate(chosen, fromList, avail)
+	}
+}
+
+// aggExprs draws 1-2 aggregate expressions over the available columns.
+func (g *queryGen) aggExprs(avail []genCol) []string {
+	var intCols []genCol
+	for _, c := range avail {
+		if c.kind == "int" {
+			intCols = append(intCols, c)
+		}
+	}
+	n := 1 + g.rng.Intn(2)
+	var out []string
+	for i := 0; i < n; i++ {
+		switch pick := g.rng.Intn(4); {
+		case pick == 0 || len(intCols) == 0 && pick < 2:
+			out = append(out, "COUNT(*)")
+		case pick == 1:
+			c := intCols[g.rng.Intn(len(intCols))]
+			fn := []string{"SUM", "AVG"}[g.rng.Intn(2)]
+			out = append(out, fmt.Sprintf("%s(%s.%s)", fn, c.table, c.column))
+		default:
+			c := avail[g.rng.Intn(len(avail))]
+			fn := []string{"MIN", "MAX"}[g.rng.Intn(2)]
+			out = append(out, fmt.Sprintf("%s(%s.%s)", fn, c.table, c.column))
+		}
+	}
+	return out
+}
+
+// genAggregate renders a GROUP BY / global aggregate query.
+func (g *queryGen) genAggregate(chosen []genCol, fromList []string, avail []genCol) string {
+	// 0-2 grouping columns (0 = global aggregate).
+	nGroup := g.rng.Intn(3)
+	var groupCols []genCol
+	seen := map[string]bool{}
+	for len(groupCols) < nGroup {
+		c := avail[g.rng.Intn(len(avail))]
+		k := c.table + "." + c.column
+		if seen[k] {
+			nGroup-- // tiny pool; settle for fewer
+			continue
+		}
+		seen[k] = true
+		groupCols = append(groupCols, c)
+	}
+
+	var items []string
+	for _, c := range groupCols {
+		items = append(items, c.table+"."+c.column)
+	}
+	items = append(items, g.aggExprs(avail)...)
+
+	preds := g.wherePreds(chosen)
+	sql := "SELECT " + join(items, ", ") + " FROM " + join(fromList, ", ")
+	if len(preds) > 0 {
+		sql += " WHERE " + join(preds, " AND ")
+	}
+	if len(groupCols) > 0 {
+		var keys []string
+		for _, c := range groupCols {
+			keys = append(keys, c.table+"."+c.column)
+		}
+		sql += " GROUP BY " + join(keys, ", ")
+	}
+	if g.rng.Intn(3) == 0 {
+		sql += fmt.Sprintf(" HAVING COUNT(*) %s %d",
+			[]string{">", ">=", "<=", "<>"}[g.rng.Intn(4)], g.rng.Intn(4))
+	}
+	if g.rng.Intn(2) == 0 {
+		var keys []string
+		// Order by an output ordinal and/or an aggregate.
+		if g.rng.Intn(2) == 0 {
+			keys = append(keys, fmt.Sprintf("%d%s", 1+g.rng.Intn(len(items)), g.desc()))
+		}
+		keys = append(keys, "COUNT(*)"+g.desc())
+		sql += " ORDER BY " + join(keys, ", ")
+		if g.rng.Intn(2) == 0 {
+			sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(5))
+		}
+	}
+	return sql
+}
+
+// genOrderBy renders a plain projection query with ORDER BY (and
+// sometimes a LIMIT turning the sort into a top-K).
+func (g *queryGen) genOrderBy(chosen []genCol, fromList []string, avail []genCol) string {
+	root := fromList[0]
+	projs := []string{root + "." + g.ds.Table(root).Columns[0]}
+	for i := 0; i < 1+g.rng.Intn(2); i++ {
+		c := avail[g.rng.Intn(len(avail))]
+		projs = append(projs, c.table+"."+c.column)
+	}
+	preds := g.wherePreds(chosen)
+	sql := "SELECT " + join(projs, ", ") + " FROM " + join(fromList, ", ")
+	if len(preds) > 0 {
+		sql += " WHERE " + join(preds, " AND ")
+	}
+	var keys []string
+	// Sort by a (possibly unselected) column, with the root key as the
+	// final tiebreak so the expected order is total.
+	c := avail[g.rng.Intn(len(avail))]
+	keys = append(keys, c.table+"."+c.column+g.desc())
+	if g.rng.Intn(2) == 0 {
+		keys = append(keys, fmt.Sprintf("%d%s", 1+g.rng.Intn(len(projs)), g.desc()))
+	}
+	keys = append(keys, projs[0])
+	sql += " ORDER BY " + join(keys, ", ")
+	if g.rng.Intn(2) == 0 {
+		sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(8))
+	}
+	return sql
+}
+
+// genDistinct renders a DISTINCT projection query.
+func (g *queryGen) genDistinct(chosen []genCol, fromList []string, avail []genCol) string {
+	var projs []string
+	seen := map[string]bool{}
+	for len(projs) < 1+g.rng.Intn(2) {
+		c := avail[g.rng.Intn(len(avail))]
+		k := c.table + "." + c.column
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		projs = append(projs, k)
+	}
+	preds := g.wherePreds(chosen)
+	sql := "SELECT DISTINCT " + join(projs, ", ") + " FROM " + join(fromList, ", ")
+	if len(preds) > 0 {
+		sql += " WHERE " + join(preds, " AND ")
+	}
+	if g.rng.Intn(2) == 0 {
+		// DISTINCT ordering keys must be selected: order by every
+		// projection so ties cannot make the expected order ambiguous.
+		var keys []string
+		for _, p := range projs {
+			keys = append(keys, p+g.desc())
+		}
+		sql += " ORDER BY " + join(keys, ", ")
+		if g.rng.Intn(2) == 0 {
+			sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(5))
+		}
+	}
+	return sql
+}
+
+func (g *queryGen) desc() string {
+	if g.rng.Intn(2) == 0 {
+		return " DESC"
+	}
+	return ""
 }
 
 func join(xs []string, sep string) string {
@@ -210,6 +408,66 @@ func TestPropertyRandomQueriesAllPlans(t *testing.T) {
 		t.Fatalf("random query session leaked: %v", leaks[0])
 	}
 	// And the one-way invariant.
+	for _, e := range db.Recorder().Events() {
+		if e.From == trace.Device && e.To != trace.Display {
+			t.Fatalf("device sent %s to %s", e.Kind, e.To)
+		}
+	}
+}
+
+// TestPropertyAggregateOracleDifferential is the post-operator
+// differential property: a randomized corpus of aggregate / GROUP BY /
+// HAVING / ORDER BY / DISTINCT queries, every one checked exactly
+// (columns, values, row order) against two independent references —
+// the in-memory oracle's map-based evaluator, and the baseline
+// package's sort-based finisher applied to the oracle's physical rows.
+func TestPropertyAggregateOracleDifferential(t *testing.T) {
+	db, orc, ds := loadTiny(t, WithCapture(trace.CaptureFull))
+	g := &queryGen{rng: rand.New(rand.NewSource(29)), ds: ds}
+
+	iterations := 500
+	if testing.Short() {
+		iterations = 60
+	}
+	for i := 0; i < iterations; i++ {
+		sqlText := g.nextPostOp()
+		wantCols, wantRows, err := orc.Query(sqlText)
+		if err != nil {
+			t.Fatalf("oracle %d %q: %v", i, sqlText, err)
+		}
+		res, err := db.Query(sqlText)
+		if err != nil {
+			t.Fatalf("engine %d %q: %v", i, sqlText, err)
+		}
+		if !reflect.DeepEqual(res.Columns, wantCols) {
+			t.Fatalf("query %d %q: columns %v, want %v", i, sqlText, res.Columns, wantCols)
+		}
+		if !sameRows(res.Rows, wantRows) {
+			t.Fatalf("query %d %q / %s: engine %d rows, oracle %d\nfirst got: %v\nfirst want: %v",
+				i, sqlText, res.Spec.Label, len(res.Rows), len(wantRows), head(res.Rows), head(wantRows))
+		}
+		// Second reference: the sort-based finisher over the same base.
+		q, base, err := orc.QueryBase(sqlText)
+		if err != nil {
+			t.Fatalf("oracle base %d %q: %v", i, sqlText, err)
+		}
+		if q.HasPostOps() {
+			bRows, err := baseline.FinishNaive(q, base)
+			if err != nil {
+				t.Fatalf("baseline %d %q: %v", i, sqlText, err)
+			}
+			if !sameRows(res.Rows, bRows) {
+				t.Fatalf("query %d %q: engine %d rows, baseline finisher %d",
+					i, sqlText, len(res.Rows), len(bRows))
+			}
+		}
+	}
+	// Aggregation runs on the secure display: the whole session must
+	// still leak nothing and keep the device's one-way invariant.
+	leaks := trace.Audit(db.Recorder().Events(), db.HiddenValues().Contains)
+	if len(leaks) != 0 {
+		t.Fatalf("aggregate session leaked: %v", leaks[0])
+	}
 	for _, e := range db.Recorder().Events() {
 		if e.From == trace.Device && e.To != trace.Display {
 			t.Fatalf("device sent %s to %s", e.Kind, e.To)

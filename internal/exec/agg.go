@@ -1,0 +1,495 @@
+package exec
+
+// Host-side result operators: hash group-by with pooled aggregate
+// state, streaming DISTINCT, and top-K / full ordering. GhostDB's
+// aggregation runs on the secure display, after the device's ID-stream
+// pipeline has materialized the physical result rows — so these
+// operators never touch the simulated device and charge nothing to its
+// clock (the cost model is the paper's contribution; host finishing is
+// free by construction on every engine, which keeps the batch and row
+// engines bit-identical in simulated time on aggregate queries too).
+//
+// All three operators are pooled and reusable: in steady state (a warm
+// group/dedup table, a full top-K heap) processing a row performs no
+// heap allocation, matching the O(1)-allocs-per-batch discipline of the
+// device-side batch operators.
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// AggOp describes one aggregate accumulator: Func over input row column
+// Col (-1 for COUNT(*)). ArgKind is the argument column's kind; it
+// decides whether SUM/AVG accumulate integer- or float-side.
+type AggOp struct {
+	Func    sql.AggFunc
+	Col     int
+	ArgKind value.Kind
+}
+
+// aggAcc is one accumulator's state: contribution count, integer and
+// float sums, and the current MIN/MAX carrier.
+type aggAcc struct {
+	n int64
+	i int64
+	f float64
+	v value.Value
+}
+
+// fnvOffset/fnvPrime are the FNV-1a constants, inlined so per-row
+// hashing never allocates.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// hashInto mixes one value into an FNV-1a style running hash.
+func hashInto(h uint64, v value.Value) uint64 {
+	h = (h ^ uint64(v.Kind())) * fnvPrime
+	switch v.Kind() {
+	case value.String:
+		s := v.Str()
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * fnvPrime
+		}
+	case value.Float:
+		h = (h ^ uint64(floatBits(v.Float()))) * fnvPrime
+	case value.Int:
+		h = (h ^ uint64(v.Int())) * fnvPrime
+	case value.Date:
+		h = (h ^ uint64(v.DateDays())) * fnvPrime
+	case value.Bool:
+		if v.Bool() {
+			h = (h ^ 1) * fnvPrime
+		} else {
+			h = (h ^ 2) * fnvPrime
+		}
+	}
+	return h
+}
+
+func floatBits(f float64) uint64 {
+	if f != f { // NaN: one canonical pattern
+		return 0
+	}
+	if f == 0 { // -0.0 == 0.0 under Go ==; hash them alike
+		return 1
+	}
+	return math.Float64bits(f)
+}
+
+// Grouper is a pooled hash group-by: rows are added one batch (or one
+// row) at a time; groups appear in first-seen order, which — fed in
+// root-ID order — makes the unordered aggregate result deterministic.
+type Grouper struct {
+	keyCols []int
+	aggs    []AggOp
+
+	head map[uint64]int32 // key hash -> first group index + 1
+	next []int32          // per-group collision chain (same full hash)
+	keys []value.Value    // flat: group * len(keyCols)
+	accs []aggAcc         // flat: group * len(aggs)
+	n    int              // group count
+}
+
+var grouperPool = sync.Pool{
+	New: func() any { return &Grouper{head: map[uint64]int32{}} },
+}
+
+// GetGrouper returns a pooled Grouper configured for the given key
+// columns and accumulators. The slices are retained (not copied).
+func GetGrouper(keyCols []int, aggs []AggOp) *Grouper {
+	g := grouperPool.Get().(*Grouper)
+	g.keyCols, g.aggs = keyCols, aggs
+	clear(g.head)
+	g.next = g.next[:0]
+	g.keys = g.keys[:0]
+	g.accs = g.accs[:0]
+	g.n = 0
+	return g
+}
+
+// PutGrouper returns the operator (and its table memory) to the pool.
+func PutGrouper(g *Grouper) {
+	if g == nil {
+		return
+	}
+	g.keyCols, g.aggs = nil, nil
+	clear(g.keys) // don't pin result strings
+	g.keys = g.keys[:0]
+	for i := range g.accs {
+		g.accs[i] = aggAcc{}
+	}
+	g.accs = g.accs[:0]
+	grouperPool.Put(g)
+}
+
+// Add folds one row into its group, creating the group on first sight.
+func (g *Grouper) Add(row []value.Value) error {
+	gi := g.findOrAdd(row)
+	return g.accumulate(gi, row)
+}
+
+// AddBatch folds a batch of rows.
+func (g *Grouper) AddBatch(rows [][]value.Value) error {
+	for _, r := range rows {
+		if err := g.Add(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// findOrAdd locates the row's group, appending a new one when unseen.
+func (g *Grouper) findOrAdd(row []value.Value) int {
+	h := uint64(fnvOffset)
+	for _, kc := range g.keyCols {
+		h = hashInto(h, row[kc])
+	}
+	// The head map is keyed by the full 64-bit hash, so a chain only
+	// links groups whose keys collide on it — compare keys directly.
+	for id := g.head[h]; id != 0; id = g.next[id-1] {
+		gi := int(id - 1)
+		if g.sameKey(gi, row) {
+			return gi
+		}
+	}
+	gi := g.n
+	g.n++
+	g.next = append(g.next, g.head[h])
+	g.head[h] = int32(gi + 1)
+	for _, kc := range g.keyCols {
+		g.keys = append(g.keys, row[kc])
+	}
+	for range g.aggs {
+		g.accs = append(g.accs, aggAcc{})
+	}
+	return gi
+}
+
+func (g *Grouper) sameKey(gi int, row []value.Value) bool {
+	base := gi * len(g.keyCols)
+	for k, kc := range g.keyCols {
+		if g.keys[base+k] != row[kc] {
+			return false
+		}
+	}
+	return true
+}
+
+// accumulate folds the row into group gi's accumulators.
+func (g *Grouper) accumulate(gi int, row []value.Value) error {
+	base := gi * len(g.aggs)
+	for a := range g.aggs {
+		op := &g.aggs[a]
+		acc := &g.accs[base+a]
+		acc.n++
+		if op.Col < 0 {
+			continue // COUNT(*): the contribution count is the state
+		}
+		v := row[op.Col]
+		switch op.Func {
+		case sql.AggCount:
+			// counted above
+		case sql.AggSum, sql.AggAvg:
+			if v.Kind() == value.Float {
+				acc.f += v.Float()
+			} else {
+				acc.i += v.Int()
+			}
+		case sql.AggMin, sql.AggMax:
+			if !acc.v.IsValid() {
+				acc.v = v
+				continue
+			}
+			c, err := value.Compare(v, acc.v)
+			if err != nil {
+				return err
+			}
+			if (op.Func == sql.AggMin && c < 0) || (op.Func == sql.AggMax && c > 0) {
+				acc.v = v
+			}
+		}
+	}
+	return nil
+}
+
+// Groups reports the number of distinct groups seen so far.
+func (g *Grouper) Groups() int { return g.n }
+
+// Key returns grouping key k of group gi.
+func (g *Grouper) Key(gi, k int) value.Value { return g.keys[gi*len(g.keyCols)+k] }
+
+// AggValue finalizes accumulator a of group gi. Aggregates over an
+// empty group (only possible for the global group of an empty result)
+// yield COUNT = 0 and NULL (the invalid value) for everything else.
+func (g *Grouper) AggValue(gi, a int) value.Value {
+	op := g.aggs[a]
+	acc := g.accs[gi*len(g.aggs)+a]
+	switch op.Func {
+	case sql.AggCount:
+		return value.NewInt(acc.n)
+	case sql.AggSum:
+		if acc.n == 0 {
+			return value.Value{}
+		}
+		if op.ArgKind == value.Float {
+			return value.NewFloat(acc.f)
+		}
+		return value.NewInt(acc.i)
+	case sql.AggAvg:
+		if acc.n == 0 {
+			return value.Value{}
+		}
+		return value.NewFloat((float64(acc.i) + acc.f) / float64(acc.n))
+	case sql.AggMin, sql.AggMax:
+		return acc.v
+	}
+	return value.Value{}
+}
+
+// AddEmptyGroup appends one group with zero contributions (the global
+// group of an aggregate query whose pipeline matched no rows). The
+// grouper must be keyless.
+func (g *Grouper) AddEmptyGroup() {
+	g.n++
+	g.next = append(g.next, 0)
+	for range g.aggs {
+		g.accs = append(g.accs, aggAcc{})
+	}
+}
+
+// Distinct is a pooled streaming duplicate filter over value rows.
+type Distinct struct {
+	width int
+	head  map[uint64]int32
+	next  []int32
+	rows  []value.Value // flat: entry * width
+	n     int
+}
+
+var distinctPool = sync.Pool{
+	New: func() any { return &Distinct{head: map[uint64]int32{}} },
+}
+
+// GetDistinct returns a pooled filter for rows of the given width
+// (only the first width columns of each row participate).
+func GetDistinct(width int) *Distinct {
+	d := distinctPool.Get().(*Distinct)
+	d.width = width
+	clear(d.head)
+	d.next = d.next[:0]
+	d.rows = d.rows[:0]
+	d.n = 0
+	return d
+}
+
+// PutDistinct returns the filter to the pool.
+func PutDistinct(d *Distinct) {
+	if d == nil {
+		return
+	}
+	clear(d.rows)
+	d.rows = d.rows[:0]
+	distinctPool.Put(d)
+}
+
+// Seen reports whether the row's first width columns were already
+// observed, recording them when new.
+func (d *Distinct) Seen(row []value.Value) bool {
+	h := uint64(fnvOffset)
+	for i := 0; i < d.width; i++ {
+		h = hashInto(h, row[i])
+	}
+	for id := d.head[h]; id != 0; id = d.next[id-1] {
+		if d.sameRow(int(id-1), row) {
+			return true
+		}
+	}
+	d.next = append(d.next, d.head[h])
+	d.head[h] = int32(d.n + 1)
+	d.rows = append(d.rows, row[:d.width]...)
+	d.n++
+	return false
+}
+
+func (d *Distinct) sameRow(e int, row []value.Value) bool {
+	base := e * d.width
+	for i := 0; i < d.width; i++ {
+		if d.rows[base+i] != row[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortKey orders rows by column Col, descending when Desc.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// OrderCmp is the total order ORDER BY uses within one column: NULL
+// (the invalid value) sorts first, then value.Compare; kinds that
+// cannot be compared fall back to their kind number so the order is
+// still total and deterministic.
+func OrderCmp(a, b value.Value) int {
+	av, bv := a.IsValid(), b.IsValid()
+	switch {
+	case !av && !bv:
+		return 0
+	case !av:
+		return -1
+	case !bv:
+		return 1
+	}
+	c, err := value.Compare(a, b)
+	if err != nil {
+		switch {
+		case a.Kind() < b.Kind():
+			return -1
+		case a.Kind() > b.Kind():
+			return 1
+		default:
+			return 0
+		}
+	}
+	return c
+}
+
+// Sorter is a pooled ORDER BY operator: unbounded it collects and
+// stable-sorts every row; with a positive K it keeps only the K
+// first-ordered rows in a bounded heap (ORDER BY ... LIMIT K). Ties are
+// broken by arrival order, so the result is deterministic and matches a
+// stable sort of the input.
+type Sorter struct {
+	keys []SortKey
+	k    int
+
+	rows [][]value.Value // references; rows must outlive the sorter's use
+	seq  []int64
+	n    int64 // arrival counter
+}
+
+var sorterPool = sync.Pool{New: func() any { return &Sorter{} }}
+
+// GetSorter returns a pooled sorter. keys is retained, not copied;
+// k <= 0 sorts everything.
+func GetSorter(keys []SortKey, k int) *Sorter {
+	s := sorterPool.Get().(*Sorter)
+	s.keys, s.k = keys, k
+	clear(s.rows)
+	s.rows = s.rows[:0]
+	s.seq = s.seq[:0]
+	s.n = 0
+	return s
+}
+
+// PutSorter returns the sorter to the pool.
+func PutSorter(s *Sorter) {
+	if s == nil {
+		return
+	}
+	s.keys = nil
+	clear(s.rows)
+	s.rows = s.rows[:0]
+	sorterPool.Put(s)
+}
+
+// before reports whether row a sorts strictly before row b.
+func (s *Sorter) before(a, b []value.Value, seqA, seqB int64) bool {
+	for _, k := range s.keys {
+		c := OrderCmp(a[k.Col], b[k.Col])
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c < 0
+		}
+	}
+	return seqA < seqB
+}
+
+// Push offers one row. The sorter stores the slice, not a copy.
+func (s *Sorter) Push(row []value.Value) {
+	seq := s.n
+	s.n++
+	if s.k <= 0 || len(s.rows) < s.k {
+		s.rows = append(s.rows, row)
+		s.seq = append(s.seq, seq)
+		if s.k > 0 {
+			s.siftUp(len(s.rows) - 1)
+		}
+		return
+	}
+	// Heap full: the root is the last-ordered kept row; replace it when
+	// the newcomer sorts before it.
+	if s.before(row, s.rows[0], seq, s.seq[0]) {
+		s.rows[0], s.seq[0] = row, seq
+		s.siftDown(0)
+	}
+}
+
+// worse reports whether heap element i sorts after element j (max-heap
+// on the sort order: the worst kept row sits at the root).
+func (s *Sorter) worse(i, j int) bool {
+	return s.before(s.rows[j], s.rows[i], s.seq[j], s.seq[i])
+}
+
+func (s *Sorter) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.worse(i, p) {
+			return
+		}
+		s.rows[i], s.rows[p] = s.rows[p], s.rows[i]
+		s.seq[i], s.seq[p] = s.seq[p], s.seq[i]
+		i = p
+	}
+}
+
+func (s *Sorter) siftDown(i int) {
+	n := len(s.rows)
+	for {
+		l, r := 2*i+1, 2*i+2
+		w := i
+		if l < n && s.worse(l, w) {
+			w = l
+		}
+		if r < n && s.worse(r, w) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		s.rows[i], s.rows[w] = s.rows[w], s.rows[i]
+		s.seq[i], s.seq[w] = s.seq[w], s.seq[i]
+		i = w
+	}
+}
+
+// Finish sorts and returns the kept rows. The returned slice aliases
+// the sorter's storage: consume it before PutSorter.
+func (s *Sorter) Finish() [][]value.Value {
+	sort.Sort((*sorterFinal)(s))
+	return s.rows
+}
+
+// sorterFinal adapts the sorter's final ordering to sort.Interface
+// without allocating a closure-captured comparator.
+type sorterFinal Sorter
+
+func (f *sorterFinal) Len() int { return len(f.rows) }
+func (f *sorterFinal) Less(i, j int) bool {
+	s := (*Sorter)(f)
+	return s.before(s.rows[i], s.rows[j], s.seq[i], s.seq[j])
+}
+func (f *sorterFinal) Swap(i, j int) {
+	f.rows[i], f.rows[j] = f.rows[j], f.rows[i]
+	f.seq[i], f.seq[j] = f.seq[j], f.seq[i]
+}

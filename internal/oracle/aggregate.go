@@ -1,0 +1,273 @@
+package oracle
+
+// Naive post-operator evaluation: grouping through string-encoded key
+// maps, aggregates recomputed from the collected input values, and
+// ordering through sort.SliceStable. Deliberately nothing is shared
+// with the engine's streaming operators (internal/exec) or with the
+// baseline's sort-based finisher (internal/baseline): three independent
+// implementations of the same semantics, differential-tested against
+// each other.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// naiveFinish applies aggregation, HAVING, DISTINCT, ORDER BY and LIMIT
+// to the physical rows.
+func naiveFinish(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	rows, err := naiveOutputs(q, base)
+	if err != nil {
+		return nil, err
+	}
+	if q.Distinct {
+		seen := map[string]bool{}
+		var kept [][]value.Value
+		for _, r := range rows {
+			k := encodeRow(r[:q.VisibleOuts])
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			kept = append(kept, r)
+		}
+		rows = kept
+	}
+	if len(q.OrderBy) > 0 {
+		sort.SliceStable(rows, func(i, j int) bool {
+			for _, k := range q.OrderBy {
+				c := nullsFirstCmp(rows[i][k.Out], rows[j][k.Out])
+				if k.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+	if q.Limit > 0 && len(rows) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	if len(q.Outputs) > q.VisibleOuts {
+		for i := range rows {
+			rows[i] = rows[i][:q.VisibleOuts]
+		}
+	}
+	return rows, nil
+}
+
+// naiveOutputs computes the output rows: grouped aggregation when the
+// query aggregates, a plain column remap otherwise.
+func naiveOutputs(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	if !q.Aggregated() {
+		out := make([][]value.Value, len(base))
+		for i, br := range base {
+			row := make([]value.Value, len(q.Outputs))
+			for oi, o := range q.Outputs {
+				row[oi] = br[o.Proj]
+			}
+			out[i] = row
+		}
+		return out, nil
+	}
+
+	// Group by string-encoded keys; every aggregate keeps the full list
+	// of its input values and is recomputed from scratch at the end.
+	type group struct {
+		key  []value.Value
+		vals [][]value.Value // per aggregate: contributing values
+		n    int             // contributing row count
+	}
+	groups := map[string]*group{}
+	var order []string
+	for _, br := range base {
+		kvals := make([]value.Value, len(q.GroupBy))
+		for i, pi := range q.GroupBy {
+			kvals[i] = br[pi]
+		}
+		k := encodeRow(kvals)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: kvals, vals: make([][]value.Value, len(q.Aggs))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.n++
+		for ai, a := range q.Aggs {
+			if a.Proj >= 0 {
+				g.vals[ai] = append(g.vals[ai], br[a.Proj])
+			}
+		}
+	}
+	if !q.Grouped && len(order) == 0 {
+		// Global aggregate over an empty result: one empty group.
+		groups[""] = &group{vals: make([][]value.Value, len(q.Aggs))}
+		order = append(order, "")
+	}
+
+	var out [][]value.Value
+	for _, k := range order {
+		g := groups[k]
+		aggVals := make([]value.Value, len(q.Aggs))
+		for ai, a := range q.Aggs {
+			v, err := recompute(a, g.vals[ai], g.n)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[ai] = v
+		}
+		keep := true
+		for _, h := range q.Having {
+			ok, err := naiveHaving(aggVals[h.AggIdx], h.Op, h.Val)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		row := make([]value.Value, len(q.Outputs))
+		for oi, o := range q.Outputs {
+			if o.AggIdx >= 0 {
+				row[oi] = aggVals[o.AggIdx]
+				continue
+			}
+			pos := -1
+			for i, pi := range q.GroupBy {
+				if pi == o.Proj {
+					pos = i
+				}
+			}
+			if pos < 0 {
+				return nil, fmt.Errorf("oracle: output %s is not a grouping column", o.Label)
+			}
+			row[oi] = g.key[pos]
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// recompute evaluates one aggregate from its collected inputs.
+func recompute(a plan.AggExpr, vals []value.Value, n int) (value.Value, error) {
+	switch a.Func {
+	case sql.AggCount:
+		if a.Proj < 0 {
+			return value.NewInt(int64(n)), nil
+		}
+		return value.NewInt(int64(len(vals))), nil
+	case sql.AggSum, sql.AggAvg:
+		if len(vals) == 0 {
+			return value.Value{}, nil
+		}
+		var si int64
+		var sf float64
+		isFloat := false
+		for _, v := range vals {
+			if v.Kind() == value.Float {
+				isFloat = true
+				sf += v.Float()
+			} else {
+				si += v.Int()
+			}
+		}
+		if a.Func == sql.AggAvg {
+			return value.NewFloat((float64(si) + sf) / float64(len(vals))), nil
+		}
+		if isFloat {
+			return value.NewFloat(sf), nil
+		}
+		return value.NewInt(si), nil
+	case sql.AggMin, sql.AggMax:
+		if len(vals) == 0 {
+			return value.Value{}, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			c, err := value.Compare(v, best)
+			if err != nil {
+				return value.Value{}, err
+			}
+			if (a.Func == sql.AggMin && c < 0) || (a.Func == sql.AggMax && c > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return value.Value{}, fmt.Errorf("oracle: unknown aggregate %v", a.Func)
+}
+
+// naiveHaving evaluates one HAVING comparison (NULL matches nothing).
+func naiveHaving(v value.Value, op sql.CompareOp, lit value.Value) (bool, error) {
+	if !v.IsValid() {
+		return false, nil
+	}
+	c, err := value.Compare(v, lit)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case sql.OpEq:
+		return c == 0, nil
+	case sql.OpNe:
+		return c != 0, nil
+	case sql.OpLt:
+		return c < 0, nil
+	case sql.OpLe:
+		return c <= 0, nil
+	case sql.OpGt:
+		return c > 0, nil
+	case sql.OpGe:
+		return c >= 0, nil
+	}
+	return false, fmt.Errorf("oracle: unknown operator %v", op)
+}
+
+// nullsFirstCmp is the ordering the dialect defines per ORDER BY key:
+// NULL first, then value.Compare (kinds as tiebreak if incomparable).
+func nullsFirstCmp(a, b value.Value) int {
+	av, bv := a.IsValid(), b.IsValid()
+	switch {
+	case !av && !bv:
+		return 0
+	case !av:
+		return -1
+	case !bv:
+		return 1
+	}
+	c, err := value.Compare(a, b)
+	if err != nil {
+		return int(a.Kind()) - int(b.Kind())
+	}
+	return c
+}
+
+// encodeRow builds a collision-free string key for a value row
+// (length-prefixed, kind-tagged fields).
+func encodeRow(vals []value.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		s := v.String()
+		if v.Kind() == value.Float && v.Float() == 0 {
+			s = "0" // canonicalize -0.0: the engine's == treats them equal
+		}
+		b.WriteString(strconv.Itoa(int(v.Kind())))
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	return b.String()
+}

@@ -73,9 +73,33 @@ func (o *Oracle) valueAt(table, col string, id uint32) (value.Value, error) {
 	return tc[idx][id-1], nil
 }
 
-// Query evaluates a SELECT and returns column labels plus rows in
-// query-root ID order — the same contract as the engine.
+// Query evaluates a SELECT and returns column labels plus rows — the
+// same contract as the engine: root-ID order for plain SPJ queries;
+// aggregation / DISTINCT / ORDER BY / LIMIT applied on top for queries
+// with post-operators.
 func (o *Oracle) Query(sqlText string) ([]string, [][]value.Value, error) {
+	q, base, err := o.QueryBase(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	cols := append([]string(nil), q.ColumnLabels()...)
+	if !q.HasPostOps() {
+		return cols, base, nil
+	}
+	rows, err := naiveFinish(q, base)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cols, rows, nil
+}
+
+// QueryBase binds a SELECT and returns the bound query plus its
+// physical rows (Projs-wide, root-ID order, before any post-operator).
+// For plain SPJ queries the LIMIT is applied during the scan — those
+// rows are the final result; for post-op queries every matching row is
+// returned, so independent finishers (see internal/baseline) can be
+// differential-tested against the same base.
+func (o *Oracle) QueryBase(sqlText string) (*plan.Query, [][]value.Value, error) {
 	sel, err := sql.ParseSelect(sqlText)
 	if err != nil {
 		return nil, nil, err
@@ -84,16 +108,12 @@ func (o *Oracle) Query(sqlText string) ([]string, [][]value.Value, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	var cols []string
-	for _, c := range q.Projs {
-		cols = append(cols, c.String())
-	}
 	// Query-root granularity: since the query root may differ from the
 	// schema root, enumerate the query root's own IDs directly.
 	n := o.rows[strings.ToLower(q.Root.Name)]
 	var out [][]value.Value
 	for id := uint32(1); int(id) <= n; id++ {
-		if q.Limit > 0 && len(out) == q.Limit {
+		if !q.HasPostOps() && q.Limit > 0 && len(out) == q.Limit {
 			break
 		}
 		ok, err := o.matches(q, id)
@@ -117,7 +137,7 @@ func (o *Oracle) Query(sqlText string) ([]string, [][]value.Value, error) {
 		}
 		out = append(out, row)
 	}
-	return cols, out, nil
+	return q, out, nil
 }
 
 // descendFrom walks from a query-root tuple down to target.

@@ -339,3 +339,107 @@ func TestBindParams(t *testing.T) {
 		t.Errorf("parameterless BindParams = %v, %v", same, err)
 	}
 }
+
+func TestBindAggregateShape(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT Country, COUNT(*), SUM(Quantity), AVG(Quantity)
+		FROM Doctor, Visit, Prescription
+		GROUP BY Country HAVING COUNT(*) > 2 ORDER BY SUM(Quantity) DESC, Country`)
+	if !q.HasPostOps() || !q.Aggregated() || !q.Grouped {
+		t.Fatal("aggregate shape flags not set")
+	}
+	// Physical projections: Country (group key) + Quantity (shared
+	// argument of SUM and AVG), deduplicated.
+	if len(q.Projs) != 2 {
+		t.Fatalf("projs = %v", q.Projs)
+	}
+	if q.Projs[0].Column != "Country" || q.Projs[1].Column != "Quantity" {
+		t.Fatalf("projs = %v", q.Projs)
+	}
+	// Accumulators: COUNT(*), SUM(Quantity), AVG(Quantity) — the HAVING
+	// and ORDER BY expressions reuse the select list's.
+	if len(q.Aggs) != 3 {
+		t.Fatalf("aggs = %v", q.Aggs)
+	}
+	if q.Aggs[2].Kind != value.Float {
+		t.Errorf("AVG kind = %v, want FLOAT", q.Aggs[2].Kind)
+	}
+	if len(q.Outputs) != 4 || q.VisibleOuts != 4 {
+		t.Fatalf("outputs = %v (visible %d)", q.Outputs, q.VisibleOuts)
+	}
+	labels := q.ColumnLabels()
+	if labels[1] != "COUNT(*)" || labels[2] != "SUM(Prescription.Quantity)" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if q.OutputKind(1) != value.Int || q.OutputKind(3) != value.Float {
+		t.Fatalf("output kinds = %v %v", q.OutputKind(1), q.OutputKind(3))
+	}
+	if len(q.OrderBy) != 2 || q.OrderBy[0].Out != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Out != 0 {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+	if len(q.Having) != 1 || q.Having[0].AggIdx != 0 {
+		t.Fatalf("having = %v", q.Having)
+	}
+}
+
+func TestBindHiddenOrderKey(t *testing.T) {
+	s := figure3(t)
+	// Ordering by an unselected column appends a hidden output.
+	q := bind(t, s, `SELECT Name FROM Doctor ORDER BY Country DESC`)
+	if q.VisibleOuts != 1 || len(q.Outputs) != 2 {
+		t.Fatalf("outputs = %v (visible %d)", q.Outputs, q.VisibleOuts)
+	}
+	if q.OrderBy[0].Out != 1 || !q.OrderBy[0].Desc {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+	if got := q.ColumnLabels(); len(got) != 1 || got[0] != "Doctor.Name" {
+		t.Fatalf("labels = %v", got)
+	}
+}
+
+func TestBindHavingParams(t *testing.T) {
+	s := figure3(t)
+	q := bind(t, s, `SELECT COUNT(*) FROM Visit WHERE Purpose = ? HAVING COUNT(*) >= ?`)
+	if q.NumParams != 2 {
+		t.Fatalf("NumParams = %d, want 2", q.NumParams)
+	}
+	bound, err := q.BindParams([]value.Value{value.NewString("Checkup"), value.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Having[0].Val.Int() != 2 {
+		t.Fatalf("bound having = %v", bound.Having[0].Val)
+	}
+	// The shape keeps its placeholder.
+	if !q.Having[0].Val.IsParam() {
+		t.Fatal("BindParams mutated the shape's HAVING literal")
+	}
+	// A string argument cannot compare against an integer COUNT.
+	if _, err := q.BindParams([]value.Value{value.NewString("x"), value.NewString("y")}); err == nil {
+		t.Fatal("expected a HAVING coercion error")
+	}
+}
+
+func TestBindAggregateValidation(t *testing.T) {
+	s := figure3(t)
+	for _, in := range []string{
+		"SELECT Name FROM Doctor GROUP BY Country",          // not a grouping column
+		"SELECT Name, COUNT(*) FROM Doctor",                 // plain column in a global aggregate
+		"SELECT SUM(Name) FROM Doctor",                      // SUM over CHAR
+		"SELECT AVG(Date) FROM Visit",                       // AVG over DATE
+		"SELECT * FROM Doctor GROUP BY Country",             // star + GROUP BY
+		"SELECT COUNT(*) FROM Doctor ORDER BY 2",            // ordinal past the select list
+		"SELECT DISTINCT Name FROM Doctor ORDER BY Country", // hidden key under DISTINCT
+		"SELECT Name FROM Doctor HAVING COUNT(*) > 1",       // HAVING without aggregated select list
+	} {
+		sel, err := sql.ParseSelect(in)
+		if err != nil {
+			t.Fatalf("%q: parse: %v", in, err)
+		}
+		if _, err := Bind(s, sel); err == nil {
+			t.Errorf("%q: expected a bind error", in)
+		}
+	}
+	// MIN/MAX are fine over CHAR and DATE.
+	bind(t, s, "SELECT MIN(Name), MAX(Date) FROM Doctor, Visit")
+}

@@ -156,6 +156,11 @@ func CountParams(stmts ...Statement) int {
 					}
 				}
 			}
+			// HAVING literals follow WHERE in text order, so their
+			// ordinals continue the sequence.
+			for _, h := range s.Having {
+				count(h.Val)
+			}
 		}
 	}
 	return n
@@ -187,17 +192,122 @@ func (t TableRef) String() string {
 	return t.Table + " " + t.Alias
 }
 
-// SelectItem is a projection item: a column reference or *.
+// AggFunc is an aggregate function applied to a projection item.
+type AggFunc int
+
+// The aggregate functions. AggNone marks a plain column item.
+const (
+	AggNone AggFunc = iota
+	AggCount
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return ""
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	case AggAvg:
+		return "AVG"
+	}
+	return fmt.Sprintf("AGG(%d)", int(a))
+}
+
+// aggFuncOf maps a function name to its AggFunc.
+func aggFuncOf(name string) (AggFunc, bool) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return AggCount, true
+	case "SUM":
+		return AggSum, true
+	case "MIN":
+		return AggMin, true
+	case "MAX":
+		return AggMax, true
+	case "AVG":
+		return AggAvg, true
+	}
+	return AggNone, false
+}
+
+// SelectItem is a projection item: a column reference, *, or an
+// aggregate call COUNT(*) / AGG(column).
 type SelectItem struct {
-	Star bool
-	Col  ColRef
+	Star    bool
+	Col     ColRef
+	Agg     AggFunc // AggNone for a plain column
+	AggStar bool    // COUNT(*)
 }
 
 func (s SelectItem) String() string {
+	if s.Agg != AggNone {
+		if s.AggStar {
+			return s.Agg.String() + "(*)"
+		}
+		return s.Agg.String() + "(" + s.Col.String() + ")"
+	}
 	if s.Star {
 		return "*"
 	}
 	return s.Col.String()
+}
+
+// HavingCond is one conjunct of a HAVING clause: an aggregate compared
+// against a literal (or a '?' placeholder).
+type HavingCond struct {
+	Agg  AggFunc
+	Star bool   // COUNT(*)
+	Col  ColRef // aggregate argument when !Star
+	Op   CompareOp
+	Val  value.Value
+}
+
+func (h HavingCond) String() string {
+	arg := "*"
+	if !h.Star {
+		arg = h.Col.String()
+	}
+	return fmt.Sprintf("%s(%s) %s %s", h.Agg, arg, h.Op, h.Val.SQL())
+}
+
+// OrderItem is one ORDER BY key: an output ordinal (1-based), a column
+// reference, or an aggregate expression; ASC by default.
+type OrderItem struct {
+	Ordinal int     // 1-based select-list position; 0 when Col/Agg is used
+	Agg     AggFunc // AggNone for a plain column or ordinal
+	Star    bool    // COUNT(*)
+	Col     ColRef
+	Desc    bool
+}
+
+func (o OrderItem) String() string {
+	var b strings.Builder
+	switch {
+	case o.Ordinal > 0:
+		fmt.Fprintf(&b, "%d", o.Ordinal)
+	case o.Agg != AggNone:
+		if o.Star {
+			b.WriteString(o.Agg.String() + "(*)")
+		} else {
+			b.WriteString(o.Agg.String() + "(" + o.Col.String() + ")")
+		}
+	default:
+		b.WriteString(o.Col.String())
+	}
+	if o.Desc {
+		b.WriteString(" DESC")
+	}
+	return b.String()
 }
 
 // CompareOp is a comparison operator.
@@ -309,14 +419,20 @@ func (j *Join) String() string {
 	return fmt.Sprintf("%s = %s", j.Left, j.Right)
 }
 
-// Select is an SPJ query: projection list, FROM tables, conjunctive
-// WHERE, and an optional LIMIT (0 = none). Results are ordered by the
-// query root's identifier, so LIMIT is deterministic.
+// Select is a query: projection list (plain columns and aggregates),
+// FROM tables, conjunctive WHERE, optional GROUP BY / HAVING / ORDER BY
+// / DISTINCT, and an optional LIMIT (0 = none). Without ORDER BY,
+// results are ordered by the query root's identifier (aggregate results
+// by first group appearance in that order), so LIMIT is deterministic.
 type Select struct {
-	Items []SelectItem
-	From  []TableRef
-	Where []Condition
-	Limit int
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Where    []Condition
+	GroupBy  []ColRef
+	Having   []HavingCond
+	OrderBy  []OrderItem
+	Limit    int
 }
 
 func (*Select) stmt() {}
@@ -324,6 +440,9 @@ func (*Select) stmt() {}
 func (s *Select) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
 	items := make([]string, len(s.Items))
 	for i, it := range s.Items {
 		items[i] = it.String()
@@ -342,6 +461,30 @@ func (s *Select) String() string {
 			conds[i] = c.String()
 		}
 		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		cols := make([]string, len(s.GroupBy))
+		for i, c := range s.GroupBy {
+			cols[i] = c.String()
+		}
+		b.WriteString(strings.Join(cols, ", "))
+	}
+	if len(s.Having) > 0 {
+		b.WriteString(" HAVING ")
+		conds := make([]string, len(s.Having))
+		for i, h := range s.Having {
+			conds[i] = h.String()
+		}
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		keys := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.String()
+		}
+		b.WriteString(strings.Join(keys, ", "))
 	}
 	if s.Limit > 0 {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)

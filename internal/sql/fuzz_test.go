@@ -1,0 +1,77 @@
+package sql
+
+import (
+	"testing"
+)
+
+// fuzzSeeds is the seed corpus: every statement family the dialect
+// supports, drawn from the existing tests and the paper's demo queries.
+var fuzzSeeds = []string{
+	"CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(20) HIDDEN, Speciality CHAR(12), Country CHAR(12))",
+	"CREATE TABLE Prescription (PreID INTEGER PRIMARY KEY, VisID REFERENCES Visit(VisID), MedID REFERENCES Medicine, Quantity INTEGER, WhenWritten DATE NOT NULL)",
+	"INSERT INTO Doctor VALUES (1, 'Who', 'Cardiology', 'France'), (2, 'Jekyll', 'GP', 'UK')",
+	"INSERT INTO Visit VALUES (?, ?, ?, 05-11-2006, 'checkup')",
+	"SELECT * FROM Doctor",
+	"SELECT Name FROM Doctor WHERE Speciality = 'Cardiology' AND Country <> 'France'",
+	"SELECT d.Name, v.Date FROM Doctor d, Visit v WHERE d.DocID = v.DocID AND v.Date BETWEEN '2006-01-01' AND '2006-12-31' LIMIT 10",
+	"SELECT Age FROM Patient WHERE Age IN (30, 40, 50) AND BodyMassIndex >= ?",
+	"SELECT COUNT(*) FROM Prescription",
+	"SELECT Country, COUNT(*), SUM(Quantity) FROM Doctor, Visit, Prescription GROUP BY Country HAVING COUNT(*) > 3 ORDER BY COUNT(*) DESC, Country LIMIT 5",
+	"SELECT DISTINCT Speciality, Country FROM Doctor ORDER BY 2 DESC, Speciality ASC",
+	"SELECT MIN(Date), MAX(Date), AVG(Quantity) FROM Visit, Prescription WHERE Quantity >= ? HAVING MIN(Quantity) <= ?",
+	"SELECT Name FROM Doctor ORDER BY Country DESC, Name",
+	"SELECT /*VISIBLE*/ Name FROM Doctor -- trailing comment",
+	"SELECT a FROM b WHERE c = -1.5 AND d = +2 AND e = TRUE AND f = DATE '2006-11-05';",
+	"SELECT x FROM y WHERE s = 'it''s quoted'",
+}
+
+// FuzzParse fuzzes the lexer and parser together. The property: Parse
+// must never panic, and for any input it accepts, the statement's
+// canonical rendering must itself parse, with String() a fixpoint from
+// the second parse on (the first rendering may canonicalize, e.g. fold
+// "-0" to an integer; after that the text must be stable).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return
+		}
+		text1 := stmt.String()
+		stmt2, err := Parse(text1)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", input, text1, err)
+		}
+		text2 := stmt2.String()
+		stmt3, err := Parse(text2)
+		if err != nil {
+			t.Fatalf("rendering %q does not re-parse: %v", text2, err)
+		}
+		if text3 := stmt3.String(); text3 != text2 {
+			t.Fatalf("String() is not a fixpoint: %q -> %q -> %q", text1, text2, text3)
+		}
+	})
+}
+
+// FuzzParseScript fuzzes the multi-statement entry point (used by the
+// loader), which must never panic either.
+func FuzzParseScript(f *testing.F) {
+	f.Add("CREATE TABLE t (a INTEGER PRIMARY KEY); INSERT INTO t VALUES (1); SELECT a FROM t;")
+	f.Add("; ;; SELECT x FROM y")
+	for _, s := range fuzzSeeds {
+		f.Add(s + "; " + s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		stmts, err := ParseScript(input)
+		if err != nil {
+			return
+		}
+		for _, s := range stmts {
+			if _, err := Parse(s.String()); err != nil {
+				t.Fatalf("script statement rendering %q does not re-parse: %v", s.String(), err)
+			}
+		}
+	})
+}

@@ -301,16 +301,22 @@ func (p *parser) parseInsert() (*Insert, error) {
 func (p *parser) parseSelect() (*Select, error) {
 	p.next() // SELECT
 	sel := &Select{}
+	if p.peek().isKeyword("distinct") {
+		p.next()
+		sel.Distinct = true
+	} else if p.peek().isKeyword("all") {
+		p.next() // ALL is the default; accepted and ignored
+	}
 	if p.peek().isSymbol("*") {
 		p.next()
 		sel.Items = []SelectItem{{Star: true}}
 	} else {
 		for {
-			col, err := p.parseColRef()
+			item, err := p.parseSelectItem()
 			if err != nil {
 				return nil, err
 			}
-			sel.Items = append(sel.Items, SelectItem{Col: col})
+			sel.Items = append(sel.Items, item)
 			if p.peek().isSymbol(",") {
 				p.next()
 				continue
@@ -353,6 +359,57 @@ func (p *parser) parseSelect() (*Select, error) {
 			break
 		}
 	}
+	if p.peek().isKeyword("group") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.parseColRef()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, col)
+			if p.peek().isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().isKeyword("having") {
+		p.next()
+		for {
+			cond, err := p.parseHavingCond()
+			if err != nil {
+				return nil, err
+			}
+			sel.Having = append(sel.Having, cond)
+			if p.peek().isKeyword("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.peek().isKeyword("order") {
+		p.next()
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		for {
+			item, err := p.parseOrderItem()
+			if err != nil {
+				return nil, err
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.peek().isSymbol(",") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
 	if p.peek().isKeyword("limit") {
 		p.next()
 		t := p.peek()
@@ -367,6 +424,113 @@ func (p *parser) parseSelect() (*Select, error) {
 		sel.Limit = n
 	}
 	return sel, nil
+}
+
+// parseSelectItem parses one projection item: a column reference or an
+// aggregate call AGG(column) / COUNT(*).
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if agg, star, col, ok, err := p.parseAggCall(); err != nil {
+		return SelectItem{}, err
+	} else if ok {
+		return SelectItem{Agg: agg, AggStar: star, Col: col}, nil
+	}
+	col, err := p.parseColRef()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Col: col}, nil
+}
+
+// parseAggCall consumes an aggregate call if the next tokens form one
+// (an aggregate function name immediately followed by '('); ok reports
+// whether a call was consumed. A bare identifier that happens to be
+// named like a function is left untouched.
+func (p *parser) parseAggCall() (agg AggFunc, star bool, col ColRef, ok bool, err error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return AggNone, false, ColRef{}, false, nil
+	}
+	fn, isAgg := aggFuncOf(t.text)
+	if !isAgg || !p.toks[p.i+1].isSymbol("(") {
+		return AggNone, false, ColRef{}, false, nil
+	}
+	p.next() // function name
+	p.next() // (
+	if p.peek().isSymbol("*") {
+		p.next()
+		if fn != AggCount {
+			return AggNone, false, ColRef{}, false, p.errorf("%s(*) is not valid; only COUNT(*)", fn)
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return AggNone, false, ColRef{}, false, err
+		}
+		return fn, true, ColRef{}, true, nil
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return AggNone, false, ColRef{}, false, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return AggNone, false, ColRef{}, false, err
+	}
+	return fn, false, c, true, nil
+}
+
+// parseHavingCond parses one HAVING conjunct: AGG(col) <op> literal.
+func (p *parser) parseHavingCond() (HavingCond, error) {
+	agg, star, col, ok, err := p.parseAggCall()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	if !ok {
+		return HavingCond{}, p.errorf("expected an aggregate (COUNT/SUM/MIN/MAX/AVG) in HAVING, got %s", p.peek())
+	}
+	t := p.peek()
+	if t.kind != tokSymbol {
+		return HavingCond{}, p.errorf("expected a comparison operator in HAVING, got %s", t)
+	}
+	op, opOK := compareOp(t.text)
+	if !opOK {
+		return HavingCond{}, p.errorf("expected a comparison operator in HAVING, got %s", t)
+	}
+	p.next()
+	v, err := p.parseLiteral()
+	if err != nil {
+		return HavingCond{}, err
+	}
+	return HavingCond{Agg: agg, Star: star, Col: col, Op: op, Val: v}, nil
+}
+
+// parseOrderItem parses one ORDER BY key: an ordinal, an aggregate call
+// or a column reference, with an optional ASC/DESC suffix.
+func (p *parser) parseOrderItem() (OrderItem, error) {
+	var item OrderItem
+	if t := p.peek(); t.kind == tokNumber {
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return OrderItem{}, p.errorf("invalid ORDER BY ordinal %q", t.text)
+		}
+		item.Ordinal = n
+	} else if agg, star, col, ok, err := p.parseAggCall(); err != nil {
+		return OrderItem{}, err
+	} else if ok {
+		item.Agg, item.Star, item.Col = agg, star, col
+	} else {
+		col, err := p.parseColRef()
+		if err != nil {
+			return OrderItem{}, err
+		}
+		item.Col = col
+	}
+	switch {
+	case p.peek().isKeyword("desc"):
+		p.next()
+		item.Desc = true
+	case p.peek().isKeyword("asc"):
+		p.next()
+	}
+	return item, nil
 }
 
 // isReserved lists keywords that terminate an implicit alias position.

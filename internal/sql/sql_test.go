@@ -408,3 +408,103 @@ func TestParsePlaceholderInsert(t *testing.T) {
 		t.Fatal("BindParams with too few args should fail")
 	}
 }
+
+func TestParseAggregates(t *testing.T) {
+	stmt, err := Parse(`SELECT Country, COUNT(*), SUM(Quantity), MIN(d.Age), MAX(Age), AVG(Age)
+		FROM Doctor GROUP BY Country`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if len(sel.Items) != 6 {
+		t.Fatalf("items = %d", len(sel.Items))
+	}
+	wantAggs := []AggFunc{AggNone, AggCount, AggSum, AggMin, AggMax, AggAvg}
+	for i, want := range wantAggs {
+		if sel.Items[i].Agg != want {
+			t.Errorf("item %d agg = %v, want %v", i, sel.Items[i].Agg, want)
+		}
+	}
+	if !sel.Items[1].AggStar {
+		t.Error("COUNT(*) not marked as star")
+	}
+	if sel.Items[3].Col.Qualifier != "d" || sel.Items[3].Col.Column != "Age" {
+		t.Errorf("MIN arg = %v", sel.Items[3].Col)
+	}
+	if len(sel.GroupBy) != 1 || sel.GroupBy[0].Column != "Country" {
+		t.Errorf("group by = %v", sel.GroupBy)
+	}
+}
+
+func TestParseHavingOrderDistinct(t *testing.T) {
+	stmt, err := Parse(`SELECT DISTINCT Country, COUNT(*) FROM Doctor GROUP BY Country
+		HAVING COUNT(*) > 3 AND SUM(Age) <= ?
+		ORDER BY 2 DESC, COUNT(*), Country ASC LIMIT 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if !sel.Distinct {
+		t.Error("DISTINCT not set")
+	}
+	if len(sel.Having) != 2 {
+		t.Fatalf("having = %v", sel.Having)
+	}
+	if sel.Having[0].Agg != AggCount || !sel.Having[0].Star || sel.Having[0].Op != OpGt {
+		t.Errorf("having[0] = %+v", sel.Having[0])
+	}
+	if !sel.Having[1].Val.IsParam() {
+		t.Error("HAVING placeholder not parsed as a parameter")
+	}
+	if n := CountParams(sel); n != 1 {
+		t.Errorf("CountParams = %d, want 1", n)
+	}
+	if len(sel.OrderBy) != 3 {
+		t.Fatalf("order by = %v", sel.OrderBy)
+	}
+	if sel.OrderBy[0].Ordinal != 2 || !sel.OrderBy[0].Desc {
+		t.Errorf("order[0] = %+v", sel.OrderBy[0])
+	}
+	if sel.OrderBy[1].Agg != AggCount || sel.OrderBy[1].Desc {
+		t.Errorf("order[1] = %+v", sel.OrderBy[1])
+	}
+	if sel.OrderBy[2].Col.Column != "Country" || sel.OrderBy[2].Desc {
+		t.Errorf("order[2] = %+v", sel.OrderBy[2])
+	}
+	if sel.Limit != 7 {
+		t.Errorf("limit = %d", sel.Limit)
+	}
+	// Canonical rendering re-parses to the same text (ASC folds away).
+	text := sel.String()
+	again, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", text, err)
+	}
+	if again.String() != text {
+		t.Fatalf("not canonical:\n%s\n%s", text, again.String())
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	for _, in := range []string{
+		"SELECT SUM(*) FROM t",                   // only COUNT takes *
+		"SELECT COUNT( FROM t",                   // malformed call
+		"SELECT a FROM t HAVING a > 1",           // HAVING needs an aggregate
+		"SELECT a FROM t GROUP BY",               // missing columns
+		"SELECT a FROM t ORDER BY 0",             // invalid ordinal
+		"SELECT a FROM t ORDER BY -1",            // invalid ordinal
+		"SELECT a FROM t HAVING COUNT(*) IN (1)", // HAVING takes comparisons only
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("%q: expected a parse error", in)
+		}
+	}
+	// A bare column named like a function is still a column.
+	stmt, err := Parse("SELECT count FROM t WHERE min = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel := stmt.(*Select); sel.Items[0].Agg != AggNone || sel.Items[0].Col.Column != "count" {
+		t.Errorf("items = %+v", sel.Items)
+	}
+}

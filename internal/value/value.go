@@ -10,6 +10,7 @@ import (
 	"hash/fnv"
 	"math"
 	"strconv"
+	"strings"
 )
 
 // Kind identifies the dynamic type of a Value.
@@ -174,15 +175,22 @@ func (v Value) String() string {
 	return "?"
 }
 
-// SQL renders the value as a SQL literal (strings quoted, dates quoted
-// ISO, parameters as their bare placeholder — which makes a statement's
-// canonical text a parameter-independent shape).
+// SQL renders the value as a SQL literal (strings quoted with internal
+// quotes doubled, dates quoted ISO, floats in plain decimal so the text
+// re-lexes, parameters as their bare placeholder — which makes a
+// statement's canonical text a parameter-independent shape).
 func (v Value) SQL() string {
 	switch v.kind {
 	case String:
-		return "'" + v.s + "'"
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case Date:
 		return "'" + v.String() + "'"
+	case Float:
+		s := strconv.FormatFloat(v.f, 'f', -1, 64)
+		if !strings.Contains(s, ".") {
+			s += ".0" // keep the literal a FLOAT on re-parse
+		}
+		return s
 	default:
 		return v.String()
 	}

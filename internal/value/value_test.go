@@ -323,3 +323,18 @@ func TestQuickCompareAntisymmetric(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSQLRendersRelexableLiterals(t *testing.T) {
+	// Quotes double, so the canonical text re-lexes.
+	if got := NewString("it's").SQL(); got != "'it''s'" {
+		t.Errorf("SQL(it's) = %s", got)
+	}
+	// Floats render in plain decimal (no exponent) and keep a '.', so
+	// they re-parse as FLOAT, not INTEGER.
+	if got := NewFloat(1e6).SQL(); got != "1000000.0" {
+		t.Errorf("SQL(1e6) = %s", got)
+	}
+	if got := NewFloat(1.5).SQL(); got != "1.5" {
+		t.Errorf("SQL(1.5) = %s", got)
+	}
+}
