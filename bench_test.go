@@ -548,6 +548,29 @@ func BenchmarkConcurrentThroughputPrepared(b *testing.B) {
 	}
 }
 
+// BenchmarkDMLWorkload runs the live-DML mixed workload (delta inserts,
+// updates, deletes, dirty queries, CHECKPOINT merge, merged queries) on
+// a private database. It stays enabled in -short mode at a small scale
+// so the CI benchmark smoke exercises the mutation path.
+func BenchmarkDMLWorkload(b *testing.B) {
+	scale := *benchScale
+	if testing.Short() && scale > 2000 {
+		scale = 2000
+	}
+	cfg := bench.Config{Scale: scale}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		phases, err := bench.DMLWorkload(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range phases {
+			sim += float64(p.SimNS)
+		}
+	}
+	simMS(b, sim)
+}
+
 // BenchmarkAggregateWorkload runs the analytics workload (GROUP BY /
 // HAVING / ORDER BY / DISTINCT over hidden data): the device pays the
 // underlying ID-stream pipeline, the host pays the finishing stage.

@@ -37,7 +37,14 @@ type benchRecord struct {
 	// databases (bus, spy, ram, writes, bloom). The first shared-DB
 	// experiment includes the one-time bulk load.
 	SimNS int64 `json:"sim_ns"`
+	// Phases carries per-phase wall/allocs/sim numbers for experiments
+	// that report them (the dml mixed workload).
+	Phases []bench.DMLPhase `json:"phases,omitempty"`
 }
+
+// lastDMLPhases stashes the dml experiment's phase records for the JSON
+// writer (run() only returns an error).
+var lastDMLPhases []bench.DMLPhase
 
 func writeBenchJSON(rec benchRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -49,7 +56,7 @@ func writeBenchJSON(rec benchRecord) error {
 
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
-	"ram", "writes", "bloom", "game", "ablations", "aggregate",
+	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
 }
 
 func main() {
@@ -112,6 +119,9 @@ func main() {
 				WallNS: wall.Nanoseconds(),
 				Allocs: ms.Mallocs - allocs0,
 				SimNS:  sim.Nanoseconds(),
+			}
+			if name == "dml" {
+				rec.Phases = lastDMLPhases
 			}
 			if err := writeBenchJSON(rec); err != nil {
 				log.Fatalf("%s: writing JSON: %v", name, err)
@@ -217,6 +227,14 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 			return err
 		}
 		fmt.Print(bench.FormatAggregateRows(rows))
+	case "dml":
+		fmt.Println("Live DML: delta inserts/updates/deletes, dirty queries, CHECKPOINT merge")
+		phases, err := bench.DMLWorkload(smaller(cfg))
+		if err != nil {
+			return err
+		}
+		lastDMLPhases = phases
+		fmt.Print(bench.FormatDMLPhases(phases))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

@@ -13,8 +13,9 @@ import (
 	"github.com/ghostdb/ghostdb/internal/value"
 )
 
-// ErrNoTransactions is returned by Begin: GhostDB is bulk-loaded and
-// read-only after the load, so there is nothing to make transactional.
+// ErrNoTransactions is returned by Begin: GhostDB has no multi-statement
+// transactions — each DML statement applies atomically on its own (the
+// delta merge is the engine's unit of durability).
 var ErrNoTransactions = errors.New("ghostdb driver: transactions are not supported")
 
 // ErrStmtClosed is returned when a closed prepared statement is used.
@@ -77,10 +78,12 @@ func (c *Conn) Ping(ctx context.Context) error {
 	return c.sess.Ping()
 }
 
-// ExecContext stages DDL and INSERT statements. One call may carry a
-// whole semicolon-separated script; the bulk load is finalized by the
-// first query. INSERT rows may use '?' placeholders, bound from args in
-// ordinal order.
+// ExecContext executes DDL and DML. Before the bulk load is finalized,
+// CREATE TABLE and INSERT statements stage data; afterwards INSERT,
+// DELETE, UPDATE and CHECKPOINT are live mutations against the RAM delta
+// (the first DML on a staged database finalizes the load). One call may
+// carry a whole semicolon-separated script; '?' placeholders bind from
+// args in ordinal order. RowsAffected reports staged or mutated rows.
 func (c *Conn) ExecContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -100,22 +103,52 @@ func (c *Conn) ExecContext(ctx context.Context, query string, args []sqldriver.N
 	if isSelect {
 		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
 	}
-	return c.stage(stmts, params)
+	return c.exec(stmts, params)
 }
 
-// stage binds placeholder args into the parsed script and stages it.
-func (c *Conn) stage(stmts []sql.Statement, params []value.Value) (sqldriver.Result, error) {
+// exec binds placeholder args into the parsed script and executes it:
+// staging before the bulk load, live DML after. A single parameterized
+// DELETE/UPDATE goes through the compiled-DML path (shared plan cache,
+// late parameter binding).
+func (c *Conn) exec(stmts []sql.Statement, params []value.Value) (sqldriver.Result, error) {
+	if len(stmts) == 1 && len(params) > 0 {
+		switch stmts[0].(type) {
+		case *sql.Delete, *sql.Update:
+			n, err := c.execDML(stmts[0].String(), params)
+			if err != nil {
+				return nil, err
+			}
+			return execResult{rows: n}, nil
+		}
+	}
 	bound, err := bindScript(stmts, params)
 	if err != nil {
 		return nil, err
 	}
-	if err := c.sess.StageStatements(bound); err != nil {
+	n, err := c.sess.ExecStatements(bound)
+	if err != nil {
 		return nil, err
 	}
-	return execResult{rows: staged(bound)}, nil
+	return execResult{rows: n}, nil
 }
 
-// bindScript substitutes placeholder arguments into a DDL/INSERT script.
+// execDML compiles (through the shared plan cache) and runs one
+// parameterized DELETE/UPDATE, finalizing the bulk load if needed.
+func (c *Conn) execDML(text string, params []value.Value) (int64, error) {
+	if err := c.sess.EnsureBuilt(); err != nil {
+		return 0, err
+	}
+	cd, err := c.sess.CompileDML(text)
+	if err != nil {
+		return 0, err
+	}
+	return c.sess.ExecCompiled(cd, params)
+}
+
+// bindScript substitutes placeholder arguments into a script's INSERT
+// rows and DELETE/UPDATE literals (ordinals run left to right across
+// the whole script). A single parameterized DELETE/UPDATE never reaches
+// here — Conn.exec routes it through the compiled-DML path first.
 func bindScript(stmts []sql.Statement, params []value.Value) ([]sql.Statement, error) {
 	want := sql.CountParams(stmts...)
 	if len(params) != want {
@@ -126,12 +159,18 @@ func bindScript(stmts []sql.Statement, params []value.Value) ([]sql.Statement, e
 	}
 	bound := make([]sql.Statement, len(stmts))
 	for i, s := range stmts {
-		ins, ok := s.(*sql.Insert)
-		if !ok {
-			bound[i] = s
-			continue
+		var b sql.Statement
+		var err error
+		switch s := s.(type) {
+		case *sql.Insert:
+			b, err = s.BindParams(params)
+		case *sql.Delete:
+			b, err = s.BindParams(params)
+		case *sql.Update:
+			b, err = s.BindParams(params)
+		default:
+			b = s
 		}
-		b, err := ins.BindParams(params)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +215,7 @@ func (c *Conn) query(query string, params []value.Value) (sqldriver.Rows, error)
 }
 
 // classify reports whether the script is a single SELECT (true) or a
-// pure DDL/INSERT script (false); mixing the two is an error.
+// DDL/DML script (false); mixing the two is an error.
 func classify(stmts []sql.Statement) (isSelect bool, err error) {
 	for _, s := range stmts {
 		if _, ok := s.(*sql.Select); ok {
@@ -189,31 +228,22 @@ func classify(stmts []sql.Statement) (isSelect bool, err error) {
 	return false, nil
 }
 
-// staged counts the rows a DDL/INSERT script stages (RowsAffected).
-func staged(stmts []sql.Statement) int64 {
-	n := int64(0)
-	for _, s := range stmts {
-		if ins, ok := s.(*sql.Insert); ok {
-			n += int64(len(ins.Rows))
-		}
-	}
-	return n
-}
-
 // Stmt is a prepared statement. The parse work happens once, at Prepare;
 // a SELECT additionally compiles once (parse, bind, plan enumeration,
 // optimizer choice — shared through the engine's plan cache) on first
 // execution and afterwards only binds fresh parameter values and runs.
+// A prepared DELETE/UPDATE compiles the same way into a CompiledDML.
 type Stmt struct {
 	conn      *Conn
 	query     string
-	stmts     []sql.Statement // parsed at Prepare; DDL/INSERT scripts only
+	stmts     []sql.Statement // parsed at Prepare; DDL/DML scripts only
 	isSelect  bool
 	numParams int
 
 	mu     sync.Mutex
 	closed bool
 	cq     *core.CompiledQuery // lazily compiled SELECT; nil until first Query
+	cd     *core.CompiledDML   // lazily compiled DELETE/UPDATE; nil until first Exec
 }
 
 var _ sqldriver.Stmt = (*Stmt)(nil)
@@ -226,6 +256,7 @@ func (s *Stmt) Close() error {
 	defer s.mu.Unlock()
 	s.closed = true
 	s.cq = nil
+	s.cd = nil
 	s.stmts = nil
 	return nil
 }
@@ -233,9 +264,11 @@ func (s *Stmt) Close() error {
 // NumInput reports the number of '?' placeholders in the statement.
 func (s *Stmt) NumInput() int { return s.numParams }
 
-// Exec stages the prepared DDL/INSERT script (no re-parse: the script
-// was parsed, classified and counted at Prepare), binding any '?'
-// placeholders in INSERT rows from args.
+// Exec runs the prepared DDL/DML script (no re-parse: the script was
+// parsed, classified and counted at Prepare), binding '?' placeholders
+// from args. A single prepared DELETE/UPDATE compiles once — through the
+// engine's shared plan cache — and afterwards only binds fresh
+// parameters per execution, exactly like a prepared SELECT.
 func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
 	if s.isSelect {
 		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
@@ -250,7 +283,43 @@ func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.conn.stage(stmts, params)
+	if len(stmts) == 1 {
+		switch stmts[0].(type) {
+		case *sql.Delete, *sql.Update:
+			cd, err := s.compiledDML(stmts[0])
+			if err != nil {
+				return nil, err
+			}
+			n, err := s.conn.sess.ExecCompiled(cd, params)
+			if err != nil {
+				return nil, err
+			}
+			return execResult{rows: n}, nil
+		}
+	}
+	return s.conn.exec(stmts, params)
+}
+
+// compiledDML returns the statement's compiled DML form, compiling (and
+// finalizing the bulk load) on first use.
+func (s *Stmt) compiledDML(stmt sql.Statement) (*core.CompiledDML, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStmtClosed
+	}
+	if s.cd != nil {
+		return s.cd, nil
+	}
+	if err := s.conn.sess.EnsureBuilt(); err != nil {
+		return nil, err
+	}
+	cd, err := s.conn.sess.CompileDML(stmt.String())
+	if err != nil {
+		return nil, err
+	}
+	s.cd = cd
+	return cd, nil
 }
 
 // Query executes the prepared SELECT with args bound to its '?'

@@ -1,0 +1,337 @@
+package driver
+
+import (
+	"database/sql"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/trace"
+)
+
+// engineOf digs the shared core engine out of a sql.DB (tests only).
+func engineOf(t *testing.T, db *sql.DB) *core.DB {
+	t.Helper()
+	conn, err := db.Conn(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var eng *core.DB
+	if err := conn.Raw(func(dc any) error {
+		eng = dc.(*Conn).Session().DB()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestDriverLiveDML drives the full mutation lifecycle through
+// database/sql: live INSERT/UPDATE/DELETE with real RowsAffected, and
+// CHECKPOINT via Exec.
+func TestDriverLiveDML(t *testing.T) {
+	db := openHospital(t, "")
+
+	// Finalize the load with a query, then mutate live.
+	if _, err := db.Query(`SELECT VisID FROM Visit LIMIT 1`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`INSERT INTO Visit VALUES (4, DATE '2007-03-03', 'Sclerosis', 2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("insert RowsAffected = %d", n)
+	}
+
+	res, err = db.Exec(`UPDATE Visit SET Purpose = 'Flu' WHERE Date > ?`, time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 { // visits 3 and 4
+		t.Fatalf("update RowsAffected = %d", n)
+	}
+
+	res, err = db.Exec(`DELETE FROM Doctor WHERE Country = 'Spain'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("delete RowsAffected = %d", n)
+	}
+
+	// Visits referencing the deleted doctor died with it (virtual
+	// cascade): only visits 1 and 3 survive.
+	var ids []int64
+	rows, err := db.Query(`SELECT VisID FROM Visit`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+		var id int64
+		if err := rows.Scan(&id); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 3 {
+		t.Fatalf("surviving visits = %v", ids)
+	}
+
+	// CHECKPOINT merges and renumbers densely.
+	res, err = db.Exec(`CHECKPOINT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n == 0 {
+		t.Fatal("checkpoint absorbed nothing")
+	}
+	var count int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM Visit`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("post-checkpoint visit count = %d", count)
+	}
+}
+
+// TestDriverPreparedDML checks the compile-once/bind-many path for
+// prepared DELETE/UPDATE statements through database/sql.
+func TestDriverPreparedDML(t *testing.T) {
+	db := openHospital(t, "")
+	upd, err := db.Prepare(`UPDATE Visit SET Purpose = ? WHERE VisID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upd.Close()
+	for i := 1; i <= 3; i++ {
+		res, err := upd.Exec(fmt.Sprintf("Purpose-%d", i), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n, _ := res.RowsAffected(); n != 1 {
+			t.Fatalf("update %d RowsAffected = %d", i, n)
+		}
+	}
+	del, err := db.Prepare(`DELETE FROM Visit WHERE Purpose = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Close()
+	res, err := del.Exec("Purpose-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("delete RowsAffected = %d", n)
+	}
+	var count int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM Visit`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+// TestDriverScriptWithDMLParams checks that a multi-statement Exec
+// script binds '?' placeholders inside DELETE/UPDATE statements too
+// (ordinals run left to right across the whole script).
+func TestDriverScriptWithDMLParams(t *testing.T) {
+	db := openHospital(t, "")
+	res, err := db.Exec(
+		`UPDATE Visit SET Purpose = ? WHERE VisID = ?; DELETE FROM Visit WHERE Purpose = ?`,
+		"Doomed", int64(1), "Doomed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 { // one updated + one deleted
+		t.Fatalf("RowsAffected = %d, want 2", n)
+	}
+	var count int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM Visit`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d, want 2", count)
+	}
+}
+
+// TestDriverDeltaLimit checks the deltalimit DSN knob: the engine
+// auto-checkpoints before the delta reaches the limit.
+func TestDriverDeltaLimit(t *testing.T) {
+	db := openHospital(t, "ghostdb://?deltalimit=4")
+	eng := engineOf(t, db)
+	for i := 0; i < 12; i++ {
+		if _, err := db.Exec(`UPDATE Visit SET Purpose = ? WHERE VisID = 1`, fmt.Sprintf("p%d", i)); err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, d := range eng.DeltaStats() {
+			total += d.Rows + d.Tombstones
+		}
+		if total >= 4 {
+			t.Fatalf("delta grew to %d entries despite deltalimit=4", total)
+		}
+	}
+}
+
+// TestConcurrentDMLTorture interleaves prepared INSERT/DELETE/UPDATE,
+// CHECKPOINT and cached SELECTs from 16 goroutines through database/sql
+// (run under -race in CI), then audits the session: no hidden-value
+// leak, one-way device flow, and the delta RAM grant fully released
+// after the final checkpoint.
+func TestConcurrentDMLTorture(t *testing.T) {
+	db := openHospital(t, "ghostdb://?capture=full")
+	db.SetMaxOpenConns(16)
+	// Some base data beyond the 3 seed visits.
+	for i := 4; i <= 40; i++ {
+		stmt := fmt.Sprintf(`INSERT INTO Visit VALUES (%d, DATE '2006-%02d-%02d', 'Checkup', %d)`,
+			i, 1+i%12, 1+i%28, 1+i%2)
+		if _, err := db.Exec(stmt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(`SELECT VisID FROM Visit LIMIT 0`); err != nil {
+		t.Fatal(err) // finalizes the bulk load (and probes zero rows)
+	}
+	eng := engineOf(t, db)
+
+	ins, err := db.Prepare(`INSERT INTO Visit VALUES (?, ?, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ins.Close()
+	del, err := db.Prepare(`DELETE FROM Visit WHERE Date = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer del.Close()
+	upd, err := db.Prepare(`UPDATE Visit SET Purpose = ? WHERE VisID = ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer upd.Close()
+	sel, err := db.Prepare(`SELECT VisID, Purpose FROM Visit WHERE Date > ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sel.Close()
+
+	const goroutines = 16
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines*2)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) * 977))
+			date := func() time.Time {
+				return time.Date(2006, time.Month(1+rng.Intn(12)), 1+rng.Intn(28), 0, 0, 0, 0, time.UTC)
+			}
+			for i := 0; i < iters; i++ {
+				switch i % 5 {
+				case 0: // live insert: race on the dense key, retry
+					ok := false
+					for attempt := 0; attempt < 30 && !ok; attempt++ {
+						id, err := eng.NextID("Visit")
+						if err != nil {
+							errc <- err
+							return
+						}
+						_, err = ins.Exec(int64(id), date(), fmt.Sprintf("Insert-%d-%d", g, i), int64(1+rng.Intn(2)))
+						if err == nil {
+							ok = true
+						} else if !strings.Contains(err.Error(), "primary key must be dense") {
+							errc <- fmt.Errorf("goroutine %d insert: %w", g, err)
+							return
+						}
+					}
+				case 1:
+					if _, err := del.Exec(date()); err != nil {
+						errc <- fmt.Errorf("goroutine %d delete: %w", g, err)
+						return
+					}
+				case 2:
+					if _, err := upd.Exec(fmt.Sprintf("Update-%d-%d", g, i), int64(1+rng.Intn(50))); err != nil {
+						errc <- fmt.Errorf("goroutine %d update: %w", g, err)
+						return
+					}
+				case 3:
+					if g == 0 {
+						if _, err := db.Exec(`CHECKPOINT`); err != nil {
+							errc <- fmt.Errorf("goroutine %d checkpoint: %w", g, err)
+							return
+						}
+						continue
+					}
+					fallthrough
+				default: // cached SELECT
+					rows, err := sel.Query(date())
+					if err != nil {
+						errc <- fmt.Errorf("goroutine %d select: %w", g, err)
+						return
+					}
+					for rows.Next() {
+						var id int64
+						var purpose string
+						if err := rows.Scan(&id, &purpose); err != nil {
+							errc <- err
+							rows.Close()
+							return
+						}
+					}
+					if err := rows.Err(); err != nil {
+						errc <- err
+						return
+					}
+					rows.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Final checkpoint: the session-wide RAM audit must find the delta
+	// grant fully released.
+	if _, err := db.Exec(`CHECKPOINT`); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range eng.Device().RAM.Snapshot() {
+		if strings.HasPrefix(u.Label, "delta:") {
+			t.Fatalf("delta RAM grant leaked after checkpoint: %+v", u)
+		}
+	}
+	// The database is still coherent and queryable.
+	var count int
+	if err := db.QueryRow(`SELECT COUNT(*) FROM Visit`).Scan(&count); err != nil {
+		t.Fatal(err)
+	}
+	if count < 0 {
+		t.Fatalf("count = %d", count)
+	}
+	// No hidden value crossed into the spy's view, and the device only
+	// ever talked to the secure display.
+	leaks := trace.Audit(eng.Recorder().Events(), eng.HiddenValues().Contains)
+	if len(leaks) != 0 {
+		t.Fatalf("torture session leaked: %v", leaks[0])
+	}
+	for _, e := range eng.Recorder().Events() {
+		if e.From == trace.Device && e.To != trace.Display {
+			t.Fatalf("device sent %s to %s", e.Kind, e.To)
+		}
+	}
+}

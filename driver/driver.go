@@ -30,9 +30,13 @@
 // # Lifecycle
 //
 // GhostDB is bulk-loaded: DDL and INSERTs (via Exec) stage data, and the
-// first query finalizes the load, building the hidden store and device
-// indexes. After that the database is read-only, per the paper's "load
-// in a secure setting" model; later Execs return an error.
+// first query (or first DML) finalizes the load, building the hidden
+// store and device indexes in a secure setting. After that the base
+// column files are write-once, but the database stays live: INSERT,
+// UPDATE and DELETE land in a RAM delta on the device (Exec reports real
+// RowsAffected), queries merge the delta transparently, and CHECKPOINT
+// (or the deltalimit DSN knob) merges it into fresh flash segments,
+// renumbering identifiers densely. DDL after the load is rejected.
 //
 // # Prepared statements and the plan cache
 //

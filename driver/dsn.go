@@ -38,10 +38,15 @@ type Config struct {
 	// which produces bit-identical simulated device times at lower host
 	// throughput.
 	Batch int
+	// DeltaLimit auto-checkpoints the live-DML delta once it holds this
+	// many entries (rows plus tombstones). -1 (the default) disables
+	// auto-checkpointing: the delta grows until an explicit CHECKPOINT
+	// or until the device RAM budget rejects further mutations.
+	DeltaLimit int
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -59,6 +64,7 @@ func defaultConfig() *Config {
 //	deviceindex  visible column "Table.Column"; may repeat
 //	plancache    compiled-plan cache entries; 0 disables (default 256)
 //	batch        execution batch size in IDs; 1 = row-at-a-time (default 1024)
+//	deltalimit   auto-CHECKPOINT once the live-DML delta holds N entries
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -113,6 +119,12 @@ func ParseDSN(dsn string) (*Config, error) {
 				return nil, fmt.Errorf("ghostdb driver: plancache must be a non-negative entry count, got %q", vals[len(vals)-1])
 			}
 			cfg.PlanCache = n
+		case "deltalimit":
+			n, err := strconv.Atoi(vals[len(vals)-1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("ghostdb driver: deltalimit must be a positive entry count, got %q", vals[len(vals)-1])
+			}
+			cfg.DeltaLimit = n
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -151,6 +163,9 @@ func (c *Config) options() []core.Option {
 	}
 	if c.Batch >= 1 {
 		opts = append(opts, core.WithBatchSize(c.Batch))
+	}
+	if c.DeltaLimit >= 1 {
+		opts = append(opts, core.WithDeltaLimit(c.DeltaLimit))
 	}
 	return opts
 }

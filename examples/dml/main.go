@@ -1,0 +1,129 @@
+// dml: mutate a live GhostDB through database/sql. The bulk load builds
+// write-once flash segments, but the database stays writable: INSERT,
+// UPDATE and DELETE land in a RAM delta on the smart USB device
+// (tombstones for deletes, shadow images for updates), queries merge the
+// delta transparently, and CHECKPOINT folds everything back into fresh
+// flash segments — paying the simulated erase/program bill — with
+// identifiers renumbered densely.
+//
+//	go run ./examples/dml
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"time"
+
+	// Importing the driver registers it under the name "ghostdb".
+	_ "github.com/ghostdb/ghostdb/driver"
+)
+
+func main() {
+	// deltalimit auto-checkpoints once the delta holds 64 entries; drop
+	// the parameter to manage CHECKPOINT yourself.
+	db, err := sql.Open("ghostdb", "ghostdb://?deltalimit=64")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	_, err = db.Exec(`
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(40),
+  Country CHAR(20));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+
+INSERT INTO Doctor VALUES
+  (1, 'Dr. Ellis', 'France'),
+  (2, 'Dr. Gall',  'Spain');
+
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup',   1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The first query finalizes the bulk load ("in a secure setting").
+	count := func(label string) {
+		var n int
+		if err := db.QueryRow(`SELECT COUNT(*) FROM Visit`).Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %d visits\n", label, n)
+	}
+	count("after bulk load:")
+
+	// Live INSERT: the row lands in device RAM, visible immediately.
+	res, err := db.Exec(`INSERT INTO Visit VALUES (4, DATE '2007-03-03', 'Sclerosis', 2)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ := res.RowsAffected()
+	fmt.Printf("INSERT affected %d row(s)\n", n)
+	count("after live insert:")
+
+	// Prepared UPDATE on a hidden column: the base climbing index keeps
+	// answering for the flash segments; the engine subtracts the shadowed
+	// row and re-evaluates it against the delta image.
+	upd, err := db.Prepare(`UPDATE Visit SET Purpose = ? WHERE Date > ?`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer upd.Close()
+	res, err = upd.Exec("Follow-up", time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ = res.RowsAffected()
+	fmt.Printf("UPDATE affected %d row(s)\n", n)
+
+	// DELETE cascades virtually: visits whose doctor dies go with him —
+	// the flash rows still exist physically, but no query sees them.
+	res, err = db.Exec(`DELETE FROM Doctor WHERE Country = 'Spain'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ = res.RowsAffected()
+	fmt.Printf("DELETE affected %d doctor(s)\n", n)
+	count("after cascade:")
+
+	// CHECKPOINT merges the delta into fresh flash segments: dead rows
+	// are dropped, survivors renumbered densely 1..N, indexes rebuilt,
+	// and the delta's device-RAM grant released.
+	res, err = db.Exec(`CHECKPOINT`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, _ = res.RowsAffected()
+	fmt.Printf("CHECKPOINT absorbed %d delta entries\n", n)
+	count("after checkpoint:")
+
+	rows, err := db.Query(`SELECT VisID, Date, Purpose FROM Visit`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	fmt.Println("surviving visits (renumbered):")
+	for rows.Next() {
+		var id int64
+		var date time.Time
+		var purpose string
+		if err := rows.Scan(&id, &date, &purpose); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d  %s  %s\n", id, date.Format("2006-01-02"), purpose)
+	}
+	if err := rows.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

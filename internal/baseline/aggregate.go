@@ -23,6 +23,9 @@ func FinishNaive(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 	if !q.HasPostOps() {
 		return nil, fmt.Errorf("baseline: query has no post-operators")
 	}
+	if q.HasLimit && q.Limit == 0 {
+		return nil, nil // the zero-row probe
+	}
 	rows, err := sortGroup(q, base)
 	if err != nil {
 		return nil, err
@@ -44,7 +47,7 @@ func FinishNaive(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 			return false
 		})
 	}
-	if q.Limit > 0 && len(rows) > q.Limit {
+	if q.HasLimit && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
 	if len(q.Outputs) > q.VisibleOuts {

@@ -1,0 +1,166 @@
+package bench
+
+// The DML mixed-workload experiment: live mutations against a loaded
+// database — post-build inserts, deletes with virtual cascade, updates,
+// queries over the dirty delta, then a CHECKPOINT merge and queries over
+// the compacted state. Each phase reports host wall time, host
+// allocations and the simulated device time it advanced, so the cost of
+// the delta merge and of the checkpoint's erase/program bill are tracked
+// across commits (BENCH_dml.json).
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// DMLPhase is one phase of the mixed workload.
+type DMLPhase struct {
+	Name   string `json:"name"`
+	Ops    int    `json:"ops"`     // statements (or queries) executed
+	Rows   int64  `json:"rows"`    // rows affected (0 for query phases)
+	WallNS int64  `json:"wall_ns"` // host wall clock
+	Allocs uint64 `json:"allocs"`  // host heap allocations
+	SimNS  int64  `json:"sim_ns"`  // simulated device time advanced
+}
+
+// DMLWorkload builds a private database at the config's scale and runs
+// the mixed live-DML workload over it.
+func DMLWorkload(cfg Config) ([]DMLPhase, error) {
+	db, _, err := BuildDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var phases []DMLPhase
+	measure := func(name string, f func() (ops int, rows int64, err error)) error {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		allocs0 := ms.Mallocs
+		sim0 := db.Clock().Now()
+		start := time.Now()
+		ops, rows, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		phases = append(phases, DMLPhase{
+			Name:   name,
+			Ops:    ops,
+			Rows:   rows,
+			WallNS: wall.Nanoseconds(),
+			Allocs: ms.Mallocs - allocs0,
+			SimNS:  (db.Clock().Now() - sim0).Nanoseconds(),
+		})
+		return nil
+	}
+
+	medN := db.RowCount("Medicine")
+	visN := db.RowCount("Visit")
+	inserts := cfg.Scale / 100
+	if inserts < 100 {
+		inserts = 100
+	}
+
+	if err := measure("insert", func() (int, int64, error) {
+		var total int64
+		next, err := db.NextID("Prescription")
+		if err != nil {
+			return 0, 0, err
+		}
+		for i := 0; i < inserts; i++ {
+			id := int(next) + i
+			stmt := fmt.Sprintf(
+				"INSERT INTO Prescription VALUES (%d, %d, %d, DATE '2007-%02d-%02d', %d, %d)",
+				id, 1+i%100, 1+i%4, 1+i%12, 1+i%28, 1+i%medN, 1+i%visN)
+			n, err := db.Exec(stmt)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += n
+		}
+		return inserts, total, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("update", func() (int, int64, error) {
+		var total int64
+		stmts := []string{
+			"UPDATE Prescription SET Quantity = 1 WHERE Quantity > 95",
+			"UPDATE Visit SET Purpose = 'Checkup' WHERE Date > 2007-06-01",
+		}
+		for _, s := range stmts {
+			n, err := db.Exec(s)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += n
+		}
+		return len(stmts), total, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("delete", func() (int, int64, error) {
+		var total int64
+		stmts := []string{
+			"DELETE FROM Prescription WHERE Quantity BETWEEN 90 AND 94",
+			"DELETE FROM Medicine WHERE Type = 'Vaccine'", // cascades into prescriptions
+		}
+		for _, s := range stmts {
+			n, err := db.Exec(s)
+			if err != nil {
+				return 0, 0, err
+			}
+			total += n
+		}
+		return len(stmts), total, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	queries := func() (int, int64, error) {
+		qs := []string{
+			DemoQuery,
+			"SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre WHERE Pre.Quantity < 10",
+			"SELECT COUNT(*), AVG(Pre.Quantity) FROM Prescription Pre WHERE Pre.Quantity > 2",
+		}
+		for _, q := range qs {
+			if _, err := db.Query(q); err != nil {
+				return 0, 0, err
+			}
+		}
+		return len(qs), 0, nil
+	}
+	if err := measure("query-dirty", queries); err != nil {
+		return nil, err
+	}
+
+	if err := measure("checkpoint", func() (int, int64, error) {
+		n, err := db.Checkpoint()
+		return 1, n, err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("query-merged", queries); err != nil {
+		return nil, err
+	}
+	return phases, nil
+}
+
+// FormatDMLPhases renders the workload as a phase table.
+func FormatDMLPhases(phases []DMLPhase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %10s %14s %12s %14s\n", "phase", "ops", "rows", "wall", "allocs", "sim")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "%-14s %6d %10d %14v %12d %14v\n",
+			p.Name, p.Ops, p.Rows,
+			time.Duration(p.WallNS).Round(time.Microsecond),
+			p.Allocs,
+			time.Duration(p.SimNS).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -21,6 +21,11 @@ import (
 // finishRows applies the query's post-operators to the physical rows
 // (Projs-wide, in root-ID order) and returns the visible result rows.
 func finishRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	// LIMIT 0 (the standard zero-row probe) short-circuits the finishing
+	// stage entirely: the result is empty whatever the post-operators.
+	if q.HasLimit && q.Limit == 0 {
+		return nil, nil
+	}
 	rows, err := outputRows(q, base)
 	if err != nil {
 		return nil, err
@@ -51,7 +56,7 @@ func finishRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 		copy(rows, sorted) // the sorted slice aliases pooled storage
 		exec.PutSorter(s)
 	}
-	if q.Limit > 0 && len(rows) > q.Limit {
+	if q.HasLimit && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
 	// Drop hidden ORDER BY keys appended past the visible columns.

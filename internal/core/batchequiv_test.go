@@ -69,12 +69,80 @@ func diffReports(a, b *stats.Report) string {
 	return ""
 }
 
+// checkPlansEquivalent runs one query under every enumerated plan on
+// both engines and requires identical rows and bit-identical reports.
+func checkPlansEquivalent(t *testing.T, batch, row *DB, i int, sqlText string) {
+	t.Helper()
+	qb, err := batch.Prepare(sqlText)
+	if err != nil {
+		t.Fatalf("query %d %q: %v", i, sqlText, err)
+	}
+	qr, err := row.Prepare(sqlText)
+	if err != nil {
+		t.Fatalf("query %d %q (row): %v", i, sqlText, err)
+	}
+	specs := batch.Plans(qb)
+	rowSpecs := row.Plans(qr)
+	if len(specs) != len(rowSpecs) {
+		t.Fatalf("query %d %q: %d plans vs %d", i, sqlText, len(specs), len(rowSpecs))
+	}
+	for s, spec := range specs {
+		rb, err := batch.QueryWithPlan(qb, spec)
+		if err != nil {
+			t.Fatalf("query %d %q / %s: %v", i, sqlText, spec.Describe(qb), err)
+		}
+		rr, err := row.QueryWithPlan(qr, rowSpecs[s])
+		if err != nil {
+			t.Fatalf("query %d %q / %s (row): %v", i, sqlText, spec.Describe(qb), err)
+		}
+		if !sameRows(rb.Rows, rr.Rows) {
+			t.Fatalf("query %d %q / %s: batch returned %d rows, row engine %d",
+				i, sqlText, spec.Describe(qb), len(rb.Rows), len(rr.Rows))
+		}
+		if d := diffReports(rb.Report, rr.Report); d != "" {
+			t.Fatalf("query %d %q / %s: engines diverge: %s\nbatch:\n%s\nrow:\n%s",
+				i, sqlText, spec.Describe(qb), d, rb.Report, rr.Report)
+		}
+	}
+}
+
+// dmlScript is a deterministic live-DML sequence applied identically to
+// both engines: inserts, a hidden-column update, deletes with virtual
+// cascade. It leaves every table of the Figure 3 schema with a dirty
+// delta so the equivalence corpus runs with delta-resident rows.
+var dmlScript = []string{
+	`INSERT INTO Doctor VALUES (3, 'Novak', 'Oncology', 75011, 'France')`,
+	`UPDATE Visit SET Purpose = 'Checkup' WHERE Date > 2007-01-01`,
+	`DELETE FROM Medicine WHERE Type = 'Vaccine'`,
+	`DELETE FROM Patient WHERE Age > 60`,
+	`UPDATE Prescription SET Quantity = 5 WHERE Quantity > 80`,
+}
+
+// applyDMLBoth runs one statement on both engines and requires identical
+// affected-row counts.
+func applyDMLBoth(t *testing.T, batch, row *DB, stmt string) {
+	t.Helper()
+	nb, err := batch.Exec(stmt)
+	if err != nil {
+		t.Fatalf("%q (batch): %v", stmt, err)
+	}
+	nr, err := row.Exec(stmt)
+	if err != nil {
+		t.Fatalf("%q (row): %v", stmt, err)
+	}
+	if nb != nr {
+		t.Fatalf("%q: batch affected %d, row %d", stmt, nb, nr)
+	}
+}
+
 // TestBatchRowEquivalence is the engine-invariance property: every random
 // query, under every enumerated plan, must produce the same result set,
 // the same per-operator tuple counts and the bit-identical simulated
 // device time on the batch engine and on the row-at-a-time engine. The
 // cost model is the paper's contribution — vectorization is only allowed
-// to change host CPU time.
+// to change host CPU time. The property must hold with a clean base, with
+// delta-resident rows after live DML, and again after CHECKPOINT merges
+// the delta to flash.
 func TestBatchRowEquivalence(t *testing.T) {
 	batch, row, gen, _ := loadPair(t)
 	iterations := 40
@@ -93,37 +161,43 @@ func TestBatchRowEquivalence(t *testing.T) {
 		if i >= iterations {
 			sqlText = gen.nextPostOp()
 		}
-		qb, err := batch.Prepare(sqlText)
-		if err != nil {
-			t.Fatalf("query %d %q: %v", i, sqlText, err)
+		checkPlansEquivalent(t, batch, row, i, sqlText)
+	}
+
+	// Live DML: both engines mutate identically (the delta path is
+	// granularity-independent by construction), then the whole corpus
+	// property must hold with delta-resident rows...
+	for _, stmt := range dmlScript {
+		applyDMLBoth(t, batch, row, stmt)
+	}
+	dmlIterations := iterations/2 + aggIterations/2
+	for i := 0; i < dmlIterations; i++ {
+		sqlText := gen.next()
+		if i%3 == 2 {
+			sqlText = gen.nextPostOp()
 		}
-		qr, err := row.Prepare(sqlText)
-		if err != nil {
-			t.Fatalf("query %d %q (row): %v", i, sqlText, err)
+		checkPlansEquivalent(t, batch, row, 1000+i, sqlText)
+	}
+
+	// ...and again after CHECKPOINT merges the delta into fresh flash
+	// segments on both engines.
+	nb, err := batch.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := row.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nb == 0 || nb != nr {
+		t.Fatalf("checkpoint absorbed %d (batch) vs %d (row)", nb, nr)
+	}
+	for i := 0; i < dmlIterations; i++ {
+		sqlText := gen.next()
+		if i%3 == 2 {
+			sqlText = gen.nextPostOp()
 		}
-		specs := batch.Plans(qb)
-		rowSpecs := row.Plans(qr)
-		if len(specs) != len(rowSpecs) {
-			t.Fatalf("query %d %q: %d plans vs %d", i, sqlText, len(specs), len(rowSpecs))
-		}
-		for s, spec := range specs {
-			rb, err := batch.QueryWithPlan(qb, spec)
-			if err != nil {
-				t.Fatalf("query %d %q / %s: %v", i, sqlText, spec.Describe(qb), err)
-			}
-			rr, err := row.QueryWithPlan(qr, rowSpecs[s])
-			if err != nil {
-				t.Fatalf("query %d %q / %s (row): %v", i, sqlText, spec.Describe(qb), err)
-			}
-			if !sameRows(rb.Rows, rr.Rows) {
-				t.Fatalf("query %d %q / %s: batch returned %d rows, row engine %d",
-					i, sqlText, spec.Describe(qb), len(rb.Rows), len(rr.Rows))
-			}
-			if d := diffReports(rb.Report, rr.Report); d != "" {
-				t.Fatalf("query %d %q / %s: engines diverge: %s\nbatch:\n%s\nrow:\n%s",
-					i, sqlText, spec.Describe(qb), d, rb.Report, rr.Report)
-			}
-		}
+		checkPlansEquivalent(t, batch, row, 2000+i, sqlText)
 	}
 }
 

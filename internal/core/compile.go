@@ -79,8 +79,10 @@ func (db *DB) Compile(sqlText string) (*CompiledQuery, error) {
 // plan cache first. The second result reports whether the lookup hit.
 func (db *DB) compileCached(sqlText string) (*CompiledQuery, bool, error) {
 	key := normalizeSQL(sqlText)
-	if cq, ok := db.planCache.get(key); ok {
-		return cq, true, nil
+	if v, ok := db.planCache.get(key); ok {
+		if cq, ok := v.(*CompiledQuery); ok {
+			return cq, true, nil
+		}
 	}
 	cq, err := db.Compile(sqlText)
 	if err != nil {

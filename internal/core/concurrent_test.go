@@ -225,8 +225,21 @@ func TestStageEnsureBuilt(t *testing.T) {
 	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "Ellis" {
 		t.Fatalf("rows = %v", res.Rows)
 	}
-	if err := db.Stage(`INSERT INTO Doctor VALUES (3, 'Novak', 'France')`); err == nil {
-		t.Fatal("Stage after build should fail")
+	// Post-build INSERTs are live DML now: they land in the RAM delta and
+	// are immediately visible to queries.
+	if err := db.Stage(`INSERT INTO Doctor VALUES (3, 'Novak', 'France')`); err != nil {
+		t.Fatalf("post-build INSERT: %v", err)
+	}
+	res, err = db.Query(`SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = 'France'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("after live INSERT rows = %v", res.Rows)
+	}
+	// DDL stays frozen after the bulk load.
+	if err := db.Stage(`CREATE TABLE Late (ID INTEGER PRIMARY KEY)`); err == nil {
+		t.Fatal("DDL after build should fail")
 	}
 }
 

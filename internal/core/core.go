@@ -17,6 +17,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/climbing"
 	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/delta"
 	"github.com/ghostdb/ghostdb/internal/device"
 	"github.com/ghostdb/ghostdb/internal/exec"
 	"github.com/ghostdb/ghostdb/internal/schema"
@@ -51,6 +52,12 @@ type Options struct {
 	// engine. Granularity never changes simulated device times or tuple
 	// counts — only host buffering.
 	BatchSize int
+	// DeltaLimit auto-checkpoints the live-DML delta: when the number of
+	// delta rows plus tombstones reaches the limit after a mutation, the
+	// engine runs a CHECKPOINT before returning. Zero or negative means
+	// no automatic checkpoint (mutations fail with a RAM budget error
+	// once the delta outgrows the device arena).
+	DeltaLimit int
 }
 
 // Option mutates Options.
@@ -99,6 +106,12 @@ func WithBatchSize(n int) Option {
 		}
 		o.BatchSize = n
 	}
+}
+
+// WithDeltaLimit auto-checkpoints once the delta holds n entries (rows
+// plus tombstones) after a mutation. n <= 0 disables auto-checkpointing.
+func WithDeltaLimit(n int) Option {
+	return func(o *Options) { o.DeltaLimit = n }
 }
 
 func defaultOptions() Options {
@@ -157,6 +170,20 @@ type DB struct {
 	rowCounts  map[string]int
 	hiddenVals *schema.HiddenValueSet
 
+	// fkArrays and inverted retain the base foreign-key edges after the
+	// bulk load ("table.fkcol" -> per-row referenced ID; "parent<-child"
+	// -> child ID -> referencing parent rows). Row identifiers are public
+	// by design — the primary keys live on the untrusted side too — so
+	// keeping them host-side leaks nothing. The live-DML merge uses them
+	// to find which base query-root rows a mutated row reaches.
+	fkArrays map[string][]uint32
+	inverted map[string][][]uint32
+
+	// delta holds the post-build mutations (inserted/updated row images,
+	// tombstones), charged against the device RAM arena for its hidden
+	// share. Guarded by mu like the rest of the engine state.
+	delta *delta.Store
+
 	staged map[string][][]value.Value // INSERT staging before Build
 	loaded bool
 }
@@ -204,6 +231,9 @@ func Open(options ...Option) (*DB, error) {
 		indexes:    map[string]map[string]*climbing.Index{},
 		rowCounts:  map[string]int{},
 		hiddenVals: schema.NewHiddenValueSet(),
+		fkArrays:   map[string][]uint32{},
+		inverted:   map[string][][]uint32{},
+		delta:      delta.NewStore(dev.RAM),
 		staged:     map[string][][]value.Value{},
 	}, nil
 }
@@ -224,11 +254,66 @@ func (db *DB) Clock() *sim.Clock { return db.clock }
 // used by the security audit.
 func (db *DB) HiddenValues() *schema.HiddenValueSet { return db.hiddenVals }
 
-// RowCount reports a table's cardinality after loading.
+// RowCount reports a table's base-segment cardinality after loading
+// (live DML does not change it until the next CHECKPOINT).
 func (db *DB) RowCount(table string) int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.rowCounts[table]
+}
+
+// NextID reports the dense primary key the next INSERT into table must
+// carry. GhostDB identifiers are positional and application-assigned;
+// concurrent writers use this to coordinate (and retry on the dense-key
+// error if they race).
+func (db *DB) NextID(table string) (uint32, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	t, ok := db.sch.Table(table)
+	if !ok {
+		return 0, fmt.Errorf("core: unknown table %s", table)
+	}
+	if !db.loaded {
+		return uint32(len(db.staged[t.Name])) + 1, nil
+	}
+	if d, ok := db.delta.Get(t.Name); ok {
+		return d.NextID(), nil
+	}
+	return uint32(db.rowCounts[t.Name]) + 1, nil
+}
+
+// DeltaStats summarizes the live-DML delta of one table.
+type DeltaStats struct {
+	Table      string
+	Rows       int   // delta-resident row images (inserts + updates)
+	Tombstones int   // deleted identifiers
+	DeviceB    int64 // hidden share charged to the device RAM arena
+	HostB      int64 // visible share held in host memory
+}
+
+// DeltaStats reports the current delta per table (sorted by name), for
+// EXPLAIN, monitoring and tests. Empty when no DML happened since the
+// last CHECKPOINT.
+func (db *DB) DeltaStats() []DeltaStats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []DeltaStats
+	for _, d := range db.delta.Tables() {
+		if !d.Dirty() {
+			continue
+		}
+		out = append(out, DeltaStats{
+			Table:      d.Name(),
+			Rows:       d.Rows(),
+			Tombstones: d.Tombstones(),
+			DeviceB:    d.DeviceBytes(),
+			HostB:      d.HostBytes(),
+		})
+	}
+	return out
 }
 
 // Loaded reports whether the bulk load has been finalized.
@@ -319,9 +404,10 @@ func (db *DB) applyCreate(ct *sql.CreateTable) error {
 	return db.sch.AddTable(t)
 }
 
-// Insert stages rows for a table (small-data path; datasets use
-// LoadDataset). Primary keys must be dense 1..N in insertion order —
-// GhostDB identifiers are positional.
+// Insert applies an INSERT. Before Build the rows are staged for the
+// bulk load; after Build they land in the RAM delta (live DML). Primary
+// keys must be dense 1..N in insertion order — GhostDB identifiers are
+// positional.
 func (db *DB) Insert(ins *sql.Insert) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -333,13 +419,13 @@ func (db *DB) Insert(ins *sql.Insert) error {
 
 func (db *DB) insertLocked(ins *sql.Insert) error {
 	if db.loaded {
-		return errors.New("core: INSERT after Build")
+		return db.deltaInsertLocked(ins)
 	}
 	t, ok := db.sch.Table(ins.Table)
 	if !ok {
 		return fmt.Errorf("core: unknown table %s", ins.Table)
 	}
-	for _, row := range ins.Rows {
+	for ri, row := range ins.Rows {
 		if len(row) != len(t.Columns) {
 			return fmt.Errorf("core: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
 		}
@@ -352,7 +438,7 @@ func (db *DB) insertLocked(ins *sql.Insert) error {
 		want := int64(len(db.staged[t.Name]) + 1)
 		if pkVal.Kind() != value.Int || pkVal.Int() != want {
 			return fmt.Errorf("core: %s primary key must be dense: row %d needs key %d, got %s",
-				t.Name, want, want, pkVal)
+				t.Name, ri+1, want, pkVal)
 		}
 		db.staged[t.Name] = append(db.staged[t.Name], row)
 	}
@@ -492,10 +578,10 @@ func (db *DB) buildStaged() error {
 	return db.build(cols)
 }
 
-// build distributes columnar data: visible columns and PKs to the public
-// store; hidden columns, SKTs and climbing indexes to the device. The
-// initial load happens "in a secure setting" (Section 2), so it is not
-// charged to the device clock or RAM budget.
+// build distributes columnar data for the initial bulk load. The load
+// happens "in a secure setting" (Section 2), so it is not charged to the
+// device clock or RAM budget: the simulated time and stats it consumed
+// are rewound afterwards.
 func (db *DB) build(cols map[string][][]value.Value) error {
 	if db.loaded {
 		return errors.New("core: already built")
@@ -503,16 +589,48 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 	if err := db.sch.Freeze(); err != nil {
 		return err
 	}
+	if err := db.loadState(cols); err != nil {
+		return err
+	}
+
+	// The secure-setting load is free: rewind the simulated time it
+	// consumed and reset operational stats.
+	db.clock.Reset()
+	db.dev.Flash.ResetStats()
+	db.hid.Cache().ResetStats()
+	db.dev.RAM.ResetHigh()
+	db.net.ResetStats()
+	db.rec.Reset()
+
+	db.loaded = true
+	return nil
+}
+
+// fkKey keys the retained foreign-key arrays.
+func fkKey(table, col string) string { return strings.ToLower(table + "." + col) }
+
+// invKey keys the retained inverted foreign-key edges.
+func invKey(parent, child string) string { return strings.ToLower(parent + "<-" + child) }
+
+// loadState builds fresh stores and device index structures from
+// columnar data: visible columns and PKs to the public store; hidden
+// columns, SKTs and climbing indexes to the device. It is shared by the
+// bulk load (whose charges are then rewound) and by CHECKPOINT (which
+// pays them as the cost of merging the delta into flash).
+func (db *DB) loadState(cols map[string][][]value.Value) error {
 	hid, err := store.New(db.dev)
 	if err != nil {
 		return err
 	}
 	db.hid = hid
+	db.vis = visible.NewStore()
+	db.skts = map[string]*skt.SKT{}
+	db.indexes = map[string]map[string]*climbing.Index{}
+	db.rowCounts = map[string]int{}
 
 	// Foreign-key arrays (uint32) per table/column, for SKT and inverted
-	// edge construction.
+	// edge construction; retained for the live-DML merge.
 	fkArrays := map[string][]uint32{}
-	fkKey := func(table, col string) string { return strings.ToLower(table + "." + col) }
 
 	for _, t := range db.sch.Tables() {
 		tcols, ok := cols[t.Name]
@@ -596,7 +714,8 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 		db.skts[t.Name] = s
 	}
 
-	// Inverted foreign-key edges, for climbing index construction.
+	// Inverted foreign-key edges, for climbing index construction and the
+	// live-DML merge's upward propagation; retained after the load.
 	inverted := map[string][][]uint32{}
 	for _, t := range db.sch.Tables() {
 		for _, fk := range t.ForeignKeys() {
@@ -606,11 +725,11 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 			for parentIdx, childID := range fkArrays[fkKey(t.Name, fk.Name)] {
 				inv[childID-1] = append(inv[childID-1], uint32(parentIdx+1))
 			}
-			inverted[strings.ToLower(t.Name+"<-"+child)] = inv
+			inverted[invKey(t.Name, child)] = inv
 		}
 	}
 	invLookup := func(parent, child string) ([][]uint32, error) {
-		inv, ok := inverted[strings.ToLower(parent+"<-"+child)]
+		inv, ok := inverted[invKey(parent, child)]
 		if !ok {
 			return nil, fmt.Errorf("core: no inverted edge %s<-%s", parent, child)
 		}
@@ -650,16 +769,8 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 		}
 	}
 
-	// The secure-setting load is free: rewind the simulated time it
-	// consumed and reset operational stats.
-	db.clock.Reset()
-	db.dev.Flash.ResetStats()
-	db.hid.Cache().ResetStats()
-	db.dev.RAM.ResetHigh()
-	db.net.ResetStats()
-	db.rec.Reset()
-
-	db.loaded = true
+	db.fkArrays = fkArrays
+	db.inverted = inverted
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/exec"
 	"github.com/ghostdb/ghostdb/internal/plan"
 	"github.com/ghostdb/ghostdb/internal/pred"
+	"github.com/ghostdb/ghostdb/internal/sim"
 	"github.com/ghostdb/ghostdb/internal/skt"
 	"github.com/ghostdb/ghostdb/internal/sql"
 	"github.com/ghostdb/ghostdb/internal/stats"
@@ -111,6 +112,9 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result
 	rep := &stats.Report{Query: q.SQL, PlanLabel: spec.Label}
 	ex := executorPool.Get().(*executor)
 	ex.reset(db, q, spec, rep, visSel)
+	// Live-DML footprint: which base root rows the delta shadows, and
+	// which root IDs must be re-evaluated against the effective state.
+	ex.deltaDead, ex.deltaCands = db.deltaFootprint(q)
 
 	runErr := ex.run()
 	// Measure before cleanup: scratch erasure happens between queries.
@@ -149,6 +153,8 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result
 func (ex *executor) release() {
 	ex.db, ex.q, ex.rep, ex.visSel = nil, nil, nil, nil
 	ex.spec = plan.Spec{}
+	ex.rootBySeq = nil
+	ex.deltaDead, ex.deltaCands, ex.deltaRows = nil, nil, nil
 	for j := range ex.projVals {
 		ex.projVals[j] = nil
 	}
@@ -176,6 +182,9 @@ func (ex *executor) reset(db *DB, q *plan.Query, spec plan.Spec, rep *stats.Repo
 	ex.layout = ex.layout[:0]
 	ex.blooms = ex.blooms[:0]
 	ex.liveSeqs = ex.liveSeqs[:0]
+	ex.rootBySeq = ex.rootBySeq[:0]
+	ex.deltaDead, ex.deltaCands = nil, nil
+	ex.deltaRows = ex.deltaRows[:0]
 	ex.hps = ex.hps[:0]
 	ex.kps = ex.kps[:0]
 	if cap(ex.projVals) >= len(q.Projs) {
@@ -206,8 +215,26 @@ type executor struct {
 	// sized once the candidate count is known (sizeProjStore).
 	projVals [][]value.Value
 	liveSeqs []uint32
-	hps      []hiddenProj // finalScan scratch
-	kps      []keyProj    // finalScan scratch
+	// rootBySeq maps each sequence number to its query-root ID, so the
+	// assembled base rows can merge with delta-resident rows in root
+	// order.
+	rootBySeq []uint32
+	hps       []hiddenProj // finalScan scratch
+	kps       []keyProj    // finalScan scratch
+
+	// Live-DML state for this execution: base root IDs to subtract from
+	// the pipeline (their tree touches the delta), the candidate root IDs
+	// re-evaluated against the effective state, and the resulting rows.
+	deltaDead  map[uint32]struct{}
+	deltaCands []uint32
+	deltaRows  []deltaRow
+}
+
+// deltaRow is one query result row served from the effective state
+// (delta-resident or reachable through mutated ancestors).
+type deltaRow struct {
+	root uint32
+	vals []value.Value
 }
 
 // hiddenProj is one hidden-column projection resolved in the final scan.
@@ -228,6 +255,12 @@ type keyProj struct {
 func (ex *executor) sizeProjStore(n int) {
 	for j := range ex.projVals {
 		ex.projVals[j] = make([]value.Value, n)
+	}
+	if cap(ex.rootBySeq) >= n {
+		ex.rootBySeq = ex.rootBySeq[:n]
+		clear(ex.rootBySeq)
+	} else {
+		ex.rootBySeq = make([]uint32, n)
 	}
 }
 
@@ -371,6 +404,21 @@ func (ex *executor) run() error {
 		return err
 	}
 
+	// Live DML: subtract base root rows whose referenced tree touches
+	// the delta. The index structures answered for the base segments
+	// only; these rows are re-evaluated against the effective state
+	// after the pipeline (evalDeltaRows).
+	if len(ex.deltaDead) > 0 {
+		dead := ex.deltaDead
+		probe := func(id uint32) bool { _, ok := dead[id]; return ok }
+		op := ex.rep.NewOp("Tombstones", q.Root.Name)
+		if ex.batchMode() {
+			rootIter = db.env.FilterDeadBatch(rootIter, probe, op)
+		} else {
+			rootIter = exec.Batched(db.env.FilterDead(exec.RowIterOf(rootIter), probe, op))
+		}
+	}
+
 	// Bloom filters for post-filtered tables, then hidden post
 	// predicates (attribute-fetch filters), in that order.
 	blooms, err := ex.buildBlooms(visPostByTable)
@@ -476,7 +524,82 @@ func (ex *executor) run() error {
 
 	// Device-side projections (hidden columns, primary keys) and the
 	// final surviving sequence scan.
-	return ex.finalScan(rf)
+	if err := ex.finalScan(rf); err != nil {
+		return err
+	}
+
+	// Live DML: re-evaluate the delta-affected root candidates against
+	// the effective state and ship the matches to the secure display.
+	return ex.evalDeltaRows()
+}
+
+// evalDeltaRows evaluates the delta-affected candidate root IDs (the
+// subtracted base rows plus the root's delta-resident rows) directly:
+// chain liveness, every predicate over effective values, projections
+// from the delta images in device RAM or the base stores. Costs are
+// charged like any device work — RAM row decodes, predicate cycles, and
+// page-cache reads for base hidden values — identically at every batch
+// granularity.
+func (ex *executor) evalDeltaRows() error {
+	if len(ex.deltaCands) == 0 {
+		return nil
+	}
+	db, q := ex.db, ex.q
+	op := ex.rep.NewOp("DeltaScan", probesLabel(len(ex.deltaCands)))
+	phase := db.clock.Now()
+	lv := db.newLiveness()
+	resultBytes := 0
+	for _, id := range ex.deltaCands {
+		op.AddIn(1)
+		db.dev.CPU.Charge(sim.CyclesDeltaRow)
+		if !lv.live(q.Root.Name, id) {
+			continue
+		}
+		match := true
+		for i := range q.Preds {
+			p := q.Preds[i]
+			mid, err := db.effectiveDescend(q.Root, id, p.Col.Table)
+			if err != nil {
+				return err
+			}
+			t := db.mustTable(p.Col.Table)
+			v, err := db.effectiveValue(t, t.ColumnIndex(p.Col.Column), mid)
+			if err != nil {
+				return err
+			}
+			db.dev.CPU.Charge(sim.CyclesPredicate)
+			ok, err := p.P.Eval(v)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		vals := make([]value.Value, len(q.Projs))
+		for j, c := range q.Projs {
+			mid, err := db.effectiveDescend(q.Root, id, c.Table)
+			if err != nil {
+				return err
+			}
+			t := db.mustTable(c.Table)
+			v, err := db.effectiveValue(t, t.ColumnIndex(c.Column), mid)
+			if err != nil {
+				return err
+			}
+			vals[j] = v
+			resultBytes += 4 + v.EncodedSize()
+		}
+		resultBytes += 4 // the root ID itself
+		op.AddOut(1)
+		ex.deltaRows = append(ex.deltaRows, deltaRow{root: id, vals: vals})
+	}
+	op.AddTime(db.clock.Span(phase))
+	return ex.sendResultBytes(resultBytes, "delta rows")
 }
 
 // buildLayout decides which member tables each row carries.
@@ -1093,6 +1216,7 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 	// accesses in row order) and the primary-key projections.
 	scanRow := func(r exec.Row) error {
 		ex.liveSeqs = append(ex.liveSeqs, r.Seq)
+		ex.rootBySeq[r.Seq] = r.IDs[0]
 		for _, hp := range hps {
 			v, err := hp.col.Value(int(r.IDs[hp.field]) - 1)
 			if err != nil {
@@ -1177,9 +1301,10 @@ func (ex *executor) sendResultBytes(n int, note string) error {
 	return nil
 }
 
-// assemble builds the final result table on the secure display side. The
-// row slices share one flat backing array — two allocations for the whole
-// result instead of one per row.
+// assemble builds the final result table on the secure display side,
+// merging the base pipeline's survivors with the delta-resident rows in
+// query-root ID order. The base row slices share one flat backing array
+// — two allocations for the whole result instead of one per row.
 func (ex *executor) assemble() *Result {
 	q := ex.q
 	res := &Result{Spec: ex.spec, Query: q}
@@ -1187,22 +1312,36 @@ func (ex *executor) assemble() *Result {
 	// copying, and the labels are shared by every execution of the shape.
 	res.Columns = append([]string(nil), q.ColumnLabels()...)
 	slices.Sort(ex.liveSeqs)
-	n := len(ex.liveSeqs)
+	nBase, nDelta := len(ex.liveSeqs), len(ex.deltaRows)
+	n := nBase + nDelta
 	// With post-operators the LIMIT applies to the finished result
-	// (after grouping/ordering), not to the physical rows.
-	if !q.HasPostOps() && q.Limit > 0 && n > q.Limit {
+	// (after grouping/ordering), not to the physical rows. LIMIT 0 is
+	// the standard zero-row probe.
+	if !q.HasPostOps() && q.HasLimit && n > q.Limit {
 		n = q.Limit
 	}
 	nproj := len(q.Projs)
-	flat := make([]value.Value, n*nproj)
-	res.Rows = make([][]value.Value, n)
-	for k := 0; k < n; k++ {
-		seq := ex.liveSeqs[k]
-		row := flat[k*nproj : (k+1)*nproj : (k+1)*nproj]
-		for j := range q.Projs {
-			row[j] = ex.projVals[j][seq]
+	flat := make([]value.Value, 0, n*nproj)
+	res.Rows = make([][]value.Value, 0, n)
+	bi, di := 0, 0
+	for len(res.Rows) < n {
+		// The base survivors (sorted sequence numbers follow root order)
+		// and the delta rows (sorted by root ID) are disjoint: shadowed
+		// roots were subtracted from the base stream.
+		fromDelta := di < nDelta &&
+			(bi >= nBase || ex.deltaRows[di].root < ex.rootBySeq[ex.liveSeqs[bi]])
+		if fromDelta {
+			res.Rows = append(res.Rows, ex.deltaRows[di].vals)
+			di++
+			continue
 		}
-		res.Rows[k] = row
+		seq := ex.liveSeqs[bi]
+		bi++
+		start := len(flat)
+		for j := range q.Projs {
+			flat = append(flat, ex.projVals[j][seq])
+		}
+		res.Rows = append(res.Rows, flat[start:start+nproj:start+nproj])
 	}
 	return res
 }

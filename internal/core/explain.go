@@ -31,5 +31,33 @@ func (db *DB) Explain(q *plan.Query, spec plan.Spec) string {
 		b.WriteString(" -> bloom/verify")
 	}
 	b.WriteString(" -> Store -> project -> secure display\n")
+
+	// Live-DML state: the per-table delta/tombstone cardinalities, and
+	// this query's footprint (how many base root rows the pipeline will
+	// subtract and re-evaluate against the effective state).
+	db.mu.Lock()
+	type deltaLine struct {
+		name             string
+		rows, tombstones int
+	}
+	var lines []deltaLine
+	for _, d := range db.delta.Tables() {
+		if d.Dirty() {
+			lines = append(lines, deltaLine{d.Name(), d.Rows(), d.Tombstones()})
+		}
+	}
+	var dirtyRoots, cands int
+	if db.loaded && len(lines) > 0 {
+		dead, cs := db.deltaFootprint(q)
+		dirtyRoots, cands = len(dead), len(cs)
+	}
+	db.mu.Unlock()
+	if len(lines) > 0 {
+		b.WriteString("  delta:")
+		for _, l := range lines {
+			fmt.Fprintf(&b, " %s[%d rows, %d tombstones]", l.name, l.rows, l.tombstones)
+		}
+		fmt.Fprintf(&b, "\n  delta merge: subtract %d base root IDs, re-evaluate %d candidates\n", dirtyRoots, cands)
+	}
 	return b.String()
 }

@@ -30,7 +30,7 @@ type planCacheShard struct {
 
 type planCacheEntry struct {
 	key string
-	cq  *CompiledQuery
+	val any // *CompiledQuery or *CompiledDML
 }
 
 // newPlanCache builds a cache holding at most capacity entries split
@@ -64,9 +64,10 @@ func (c *planCache) shard(key string) *planCacheShard {
 	return &c.shards[h%uint32(len(c.shards))]
 }
 
-// get returns the cached compilation for key, marking it most recently
-// used. The second result reports whether the lookup hit.
-func (c *planCache) get(key string) (*CompiledQuery, bool) {
+// get returns the cached compilation for key (a *CompiledQuery or
+// *CompiledDML), marking it most recently used. The second result
+// reports whether the lookup hit.
+func (c *planCache) get(key string) (any, bool) {
 	s := c.shard(key)
 	if s == nil {
 		return nil, false
@@ -80,7 +81,7 @@ func (c *planCache) get(key string) (*CompiledQuery, bool) {
 	}
 	s.hits++
 	s.lru.MoveToFront(el)
-	return el.Value.(*planCacheEntry).cq, true
+	return el.Value.(*planCacheEntry).val, true
 }
 
 // enabled reports whether the cache actually stores plans (a zero or
@@ -102,7 +103,7 @@ func (c *planCache) noteHit() {
 
 // put inserts a compilation, evicting the least recently used entry of
 // the shard when it is full. Re-inserting an existing key refreshes it.
-func (c *planCache) put(key string, cq *CompiledQuery) {
+func (c *planCache) put(key string, val any) {
 	s := c.shard(key)
 	if s == nil {
 		return
@@ -110,7 +111,7 @@ func (c *planCache) put(key string, cq *CompiledQuery) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		el.Value.(*planCacheEntry).cq = cq
+		el.Value.(*planCacheEntry).val = val
 		s.lru.MoveToFront(el)
 		return
 	}
@@ -123,7 +124,7 @@ func (c *planCache) put(key string, cq *CompiledQuery) {
 		delete(s.entries, oldest.Value.(*planCacheEntry).key)
 		s.evictions++
 	}
-	s.entries[key] = s.lru.PushFront(&planCacheEntry{key: key, cq: cq})
+	s.entries[key] = s.lru.PushFront(&planCacheEntry{key: key, val: val})
 }
 
 // stats sums the per-shard counters.

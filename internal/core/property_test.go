@@ -279,7 +279,7 @@ func (g *queryGen) genAggregate(chosen []genCol, fromList []string, avail []genC
 		keys = append(keys, "COUNT(*)"+g.desc())
 		sql += " ORDER BY " + join(keys, ", ")
 		if g.rng.Intn(2) == 0 {
-			sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(5))
+			sql += fmt.Sprintf(" LIMIT %d", g.limitN(5))
 		}
 	}
 	return sql
@@ -310,7 +310,7 @@ func (g *queryGen) genOrderBy(chosen []genCol, fromList []string, avail []genCol
 	keys = append(keys, projs[0])
 	sql += " ORDER BY " + join(keys, ", ")
 	if g.rng.Intn(2) == 0 {
-		sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(8))
+		sql += fmt.Sprintf(" LIMIT %d", g.limitN(8))
 	}
 	return sql
 }
@@ -342,11 +342,15 @@ func (g *queryGen) genDistinct(chosen []genCol, fromList []string, avail []genCo
 		}
 		sql += " ORDER BY " + join(keys, ", ")
 		if g.rng.Intn(2) == 0 {
-			sql += fmt.Sprintf(" LIMIT %d", 1+g.rng.Intn(5))
+			sql += fmt.Sprintf(" LIMIT %d", g.limitN(5))
 		}
 	}
 	return sql
 }
+
+// limitN draws a LIMIT count in [0, max]: 0 (the standard zero-row
+// probe) appears in the corpus alongside real top-K limits.
+func (g *queryGen) limitN(max int) int { return g.rng.Intn(max + 1) }
 
 func (g *queryGen) desc() string {
 	if g.rng.Intn(2) == 0 {

@@ -238,6 +238,58 @@ func (s *Session) QueryCompiled(cq *CompiledQuery, params []value.Value, opts ..
 	return res, nil
 }
 
+// Exec parses and executes a script of CREATE TABLE / INSERT / DELETE /
+// UPDATE / CHECKPOINT statements (see DB.Exec), returning the number of
+// rows affected.
+func (s *Session) Exec(sqlText string) (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return s.db.Exec(sqlText)
+}
+
+// ExecStatements executes already-parsed statements (see
+// DB.ExecStatements). The database/sql driver routes ExecContext through
+// it so prepared scripts skip the re-parse.
+func (s *Session) ExecStatements(stmts []sql.Statement) (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return s.db.ExecStatements(stmts)
+}
+
+// CompileDML parses and binds a DELETE or UPDATE through the shared plan
+// cache; sessions issuing the same statement shape share one
+// CompiledDML. The hit/miss is charged to this session's counters.
+func (s *Session) CompileDML(sqlText string) (*CompiledDML, error) {
+	if err := s.check(); err != nil {
+		return nil, err
+	}
+	cd, hit, err := s.db.compileDMLCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	s.recordCache(hit)
+	return cd, nil
+}
+
+// ExecCompiled binds params into a compiled DML and executes it.
+func (s *Session) ExecCompiled(cd *CompiledDML, params []value.Value) (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return cd.Exec(params)
+}
+
+// Checkpoint merges the live-DML delta into fresh flash segments (see
+// DB.Checkpoint).
+func (s *Session) Checkpoint() (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return s.db.Checkpoint()
+}
+
 // QueryWithPlan executes a prepared query under an explicit plan.
 func (s *Session) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
 	if err := s.check(); err != nil {

@@ -1,0 +1,355 @@
+// Package delta is GhostDB's live-mutation layer: a per-table RAM store
+// of post-build inserted and updated rows plus a tombstone set of
+// deleted identifiers, layered over the write-once flash column files.
+//
+// The flash constraint makes the base segments immutable, so all DML
+// after the bulk load lands here, in the style of Bertossi & Li's
+// null-based virtual updates: queries answer as if the mutations were
+// applied while the base data stays physically untouched. The hidden
+// part of every delta row (hidden column values, identifiers and
+// tombstones) lives in the smart USB device's RAM and is charged against
+// its arena — the device cannot hold an unbounded delta, which is
+// exactly the pressure that forces a CHECKPOINT. Visible column values
+// of delta rows stay in host memory on the untrusted side, mirroring the
+// visible/hidden split of the base store.
+//
+// Identifiers stay dense and positional: an inserted row takes the next
+// identifier after the current maximum; an updated base row keeps its
+// identifier and shadows the base version; a deleted identifier is
+// tombstoned and never reused. CHECKPOINT (in internal/core) merges the
+// delta into fresh flash segments, renumbering survivors densely, and
+// releases every grant this package holds.
+package delta
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/ram"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// tombstoneBytes is the device-RAM cost of one tombstoned identifier.
+const tombstoneBytes = 4
+
+// idBytes is the device-RAM cost of keying one delta-resident row.
+const idBytes = 4
+
+// Store holds the deltas of every table of one database, charging the
+// hidden share against the device RAM arena. It is not internally
+// locked: the engine serializes all access under its device gate.
+type Store struct {
+	arena  *ram.Arena
+	tables map[string]*Table // lower-cased name -> delta
+}
+
+// NewStore returns an empty delta store charging hidden bytes to arena.
+func NewStore(arena *ram.Arena) *Store {
+	return &Store{arena: arena, tables: map[string]*Table{}}
+}
+
+// Ensure returns the table's delta, creating it on first mutation.
+func (s *Store) Ensure(t *schema.Table, baseRows int) *Table {
+	key := strings.ToLower(t.Name)
+	if d, ok := s.tables[key]; ok {
+		return d
+	}
+	d := &Table{
+		sch:      t,
+		arena:    s.arena,
+		baseRows: baseRows,
+		nextID:   uint32(baseRows) + 1,
+		rows:     map[uint32][]value.Value{},
+		tombs:    map[uint32]struct{}{},
+	}
+	s.tables[key] = d
+	return d
+}
+
+// Get returns the table's delta if it has one (case-insensitive).
+func (s *Store) Get(name string) (*Table, bool) {
+	d, ok := s.tables[strings.ToLower(name)]
+	return d, ok
+}
+
+// Dirty reports whether any table carries delta rows or tombstones.
+func (s *Store) Dirty() bool {
+	for _, d := range s.tables {
+		if d.Dirty() {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries counts delta rows plus tombstones across all tables — the
+// quantity the deltalimit auto-checkpoint knob bounds.
+func (s *Store) Entries() int {
+	n := 0
+	for _, d := range s.tables {
+		n += len(d.rows) + len(d.tombs)
+	}
+	return n
+}
+
+// DeviceBytes reports the hidden share currently charged to the arena.
+func (s *Store) DeviceBytes() int64 {
+	var n int64
+	for _, d := range s.tables {
+		n += d.deviceBytes
+	}
+	return n
+}
+
+// HostBytes reports the visible share held in host memory.
+func (s *Store) HostBytes() int64 {
+	var n int64
+	for _, d := range s.tables {
+		n += d.hostBytes
+	}
+	return n
+}
+
+// Tables returns the per-table deltas sorted by table name.
+func (s *Store) Tables() []*Table {
+	out := make([]*Table, 0, len(s.tables))
+	for _, d := range s.tables {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].sch.Name < out[j].sch.Name })
+	return out
+}
+
+// ReleaseAll frees every RAM grant and empties the store. The engine
+// calls it when a CHECKPOINT has merged the delta into flash.
+func (s *Store) ReleaseAll() {
+	for _, d := range s.tables {
+		d.grant.Free()
+	}
+	s.tables = map[string]*Table{}
+}
+
+// Table is one table's RAM-resident delta.
+type Table struct {
+	sch      *schema.Table
+	arena    *ram.Arena
+	baseRows int
+	nextID   uint32 // next dense primary key (never reused)
+
+	// rows holds the delta-resident row images keyed by identifier: an
+	// id <= baseRows shadows (overrides) the base version, an id beyond
+	// it is a post-build insert. Values are in schema column order.
+	rows  map[uint32][]value.Value
+	tombs map[uint32]struct{}
+
+	deviceBytes int64 // hidden share, covered by grant
+	hostBytes   int64 // visible share, host memory
+	grant       *ram.Grant
+}
+
+// Schema returns the catalog table this delta shadows.
+func (t *Table) Schema() *schema.Table { return t.sch }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.sch.Name }
+
+// BaseRows reports the immutable base segment's cardinality.
+func (t *Table) BaseRows() int { return t.baseRows }
+
+// NextID returns the next dense primary key an INSERT must carry.
+func (t *Table) NextID() uint32 { return t.nextID }
+
+// MaxID returns the highest identifier ever assigned.
+func (t *Table) MaxID() uint32 { return t.nextID - 1 }
+
+// Rows reports the number of delta-resident row images.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// Tombstones reports the number of tombstoned identifiers.
+func (t *Table) Tombstones() int { return len(t.tombs) }
+
+// Dirty reports whether the delta holds anything.
+func (t *Table) Dirty() bool { return len(t.rows) > 0 || len(t.tombs) > 0 }
+
+// DeviceBytes reports the hidden share charged to the device arena.
+func (t *Table) DeviceBytes() int64 { return t.deviceBytes }
+
+// HostBytes reports the visible share held in host memory.
+func (t *Table) HostBytes() int64 { return t.hostBytes }
+
+// Row returns the delta image of id, if the row is delta-resident.
+func (t *Table) Row(id uint32) ([]value.Value, bool) {
+	r, ok := t.rows[id]
+	return r, ok
+}
+
+// Tombstoned reports whether id has been deleted.
+func (t *Table) Tombstoned(id uint32) bool {
+	_, ok := t.tombs[id]
+	return ok
+}
+
+// Shadowed reports whether the base row id is dead for the base
+// pipeline: tombstoned, or shadowed by a delta image with newer values.
+// The climbing indexes, Bloom filters and SKTs answer for the base
+// segments only, so every shadowed identifier must be subtracted from
+// their streams and re-evaluated against the delta.
+func (t *Table) Shadowed(id uint32) bool {
+	if _, ok := t.tombs[id]; ok {
+		return true
+	}
+	if int(id) > t.baseRows {
+		return false // never in the base segment
+	}
+	_, ok := t.rows[id]
+	return ok
+}
+
+// ShadowedBaseIDs returns the sorted base identifiers that are dead for
+// the base pipeline (tombstoned or shadowed).
+func (t *Table) ShadowedBaseIDs() []uint32 {
+	var out []uint32
+	for id := range t.rows {
+		if int(id) <= t.baseRows {
+			out = append(out, id)
+		}
+	}
+	for id := range t.tombs {
+		if int(id) <= t.baseRows {
+			if _, dup := t.rows[id]; !dup {
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DeltaIDs returns the sorted identifiers of delta-resident rows.
+func (t *Table) DeltaIDs() []uint32 {
+	out := make([]uint32, 0, len(t.rows))
+	for id := range t.rows {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// charge grows the table's grant by the row's hidden share (plus the
+// identifier key) and books the visible share. The caller has validated
+// the row; a failure means the device RAM budget is exhausted and the
+// mutation must be rejected until a CHECKPOINT drains the delta.
+func (t *Table) charge(row []value.Value, extraDevice int64) error {
+	var dev, host int64 = extraDevice, 0
+	if row != nil {
+		rd, rh := t.rowBytes(row)
+		dev += idBytes + rd
+		host += rh
+	}
+	return t.chargeRaw(dev, host)
+}
+
+// chargeRaw grows the grant by dev bytes and books host bytes.
+func (t *Table) chargeRaw(dev, host int64) error {
+	if dev > 0 {
+		if t.grant == nil {
+			g, err := t.arena.Alloc(int(dev), "delta:"+t.sch.Name)
+			if err != nil {
+				return fmt.Errorf("delta: %s: %w (CHECKPOINT to drain the delta)", t.sch.Name, err)
+			}
+			t.grant = g
+		} else if err := t.grant.Resize(int(t.deviceBytes + dev)); err != nil {
+			return fmt.Errorf("delta: %s: %w (CHECKPOINT to drain the delta)", t.sch.Name, err)
+		}
+		t.deviceBytes += dev
+	}
+	t.hostBytes += host
+	return nil
+}
+
+// Insert appends a post-build row whose primary key must be the next
+// dense identifier. The row is stored as given (already coerced to
+// column kinds by the engine).
+func (t *Table) Insert(row []value.Value) (uint32, error) {
+	id := t.nextID
+	if err := t.charge(row, 0); err != nil {
+		return 0, err
+	}
+	t.rows[id] = row
+	t.nextID++
+	return id, nil
+}
+
+// InsertAll appends rows atomically: either every row is charged and
+// stored (identifiers assigned densely from NextID, first returned) or
+// none is. Multi-row INSERT statements must not half-apply when the RAM
+// budget runs out mid-statement.
+func (t *Table) InsertAll(rows [][]value.Value) (uint32, error) {
+	first := t.nextID
+	var dev, host int64
+	for _, row := range rows {
+		rd, rh := t.rowBytes(row)
+		dev += idBytes + rd
+		host += rh
+	}
+	if err := t.chargeRaw(dev, host); err != nil {
+		return 0, err
+	}
+	for _, row := range rows {
+		t.rows[t.nextID] = row
+		t.nextID++
+	}
+	return first, nil
+}
+
+// Apply stores an updated image for id, shadowing the base version (or
+// replacing an earlier delta image). Replacing a resident image charges
+// any growth of its hidden share; freed bytes of a shrinking image are
+// not returned to the arena until CHECKPOINT — RAM free lists fragment;
+// the checkpoint is what compacts.
+func (t *Table) Apply(id uint32, row []value.Value) error {
+	if t.Tombstoned(id) {
+		return fmt.Errorf("delta: %s id %d is deleted", t.sch.Name, id)
+	}
+	if old, resident := t.rows[id]; !resident {
+		if err := t.charge(row, 0); err != nil {
+			return err
+		}
+	} else {
+		oldDev, oldHost := t.rowBytes(old)
+		newDev, newHost := t.rowBytes(row)
+		if err := t.chargeRaw(max(0, newDev-oldDev), max(0, newHost-oldHost)); err != nil {
+			return err
+		}
+	}
+	t.rows[id] = row
+	return nil
+}
+
+// rowBytes splits one row image's footprint into its hidden (device)
+// and visible (host) shares, excluding the identifier key.
+func (t *Table) rowBytes(row []value.Value) (dev, host int64) {
+	for i, c := range t.sch.Columns {
+		if c.Hidden {
+			dev += int64(row[i].EncodedSize())
+		} else {
+			host += int64(row[i].EncodedSize())
+		}
+	}
+	return dev, host
+}
+
+// Delete tombstones id, dropping any delta image it had.
+func (t *Table) Delete(id uint32) error {
+	if t.Tombstoned(id) {
+		return fmt.Errorf("delta: %s id %d is already deleted", t.sch.Name, id)
+	}
+	if err := t.charge(nil, tombstoneBytes); err != nil {
+		return err
+	}
+	delete(t.rows, id)
+	t.tombs[id] = struct{}{}
+	return nil
+}

@@ -22,6 +22,9 @@ import (
 // naiveFinish applies aggregation, HAVING, DISTINCT, ORDER BY and LIMIT
 // to the physical rows.
 func naiveFinish(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
+	if q.HasLimit && q.Limit == 0 {
+		return nil, nil // the zero-row probe
+	}
 	rows, err := naiveOutputs(q, base)
 	if err != nil {
 		return nil, err
@@ -53,7 +56,7 @@ func naiveFinish(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 			return false
 		})
 	}
-	if q.Limit > 0 && len(rows) > q.Limit {
+	if q.HasLimit && len(rows) > q.Limit {
 		rows = rows[:q.Limit]
 	}
 	if len(q.Outputs) > q.VisibleOuts {

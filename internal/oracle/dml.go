@@ -1,0 +1,227 @@
+package oracle
+
+// Live-DML mirror: the oracle applies INSERT/UPDATE/DELETE/CHECKPOINT
+// with exactly the engine's semantics — dense positional identifiers,
+// updates in place, tombstoned deletes cascading virtually through the
+// foreign-key chain, and a checkpoint that drops the dead rows and
+// renumbers the survivors densely — so differential tests can interleave
+// mutations with queries and compare both results and affected-row
+// counts.
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// Exec parses and applies a script of INSERT / DELETE / UPDATE /
+// CHECKPOINT statements, returning the total rows affected (for
+// CHECKPOINT: the number of delta entries absorbed, mirroring the
+// engine).
+func (o *Oracle) Exec(sqlText string) (int64, error) {
+	stmts, err := sql.ParseScript(sqlText)
+	if err != nil {
+		return 0, err
+	}
+	var affected int64
+	for _, s := range stmts {
+		var n int64
+		var err error
+		switch s := s.(type) {
+		case *sql.Insert:
+			n, err = o.ExecInsert(s)
+		case *sql.Delete, *sql.Update:
+			n, err = o.ExecDML(s)
+		case *sql.Checkpoint:
+			n, err = o.Checkpoint()
+		default:
+			return affected, fmt.Errorf("oracle: cannot execute %T", s)
+		}
+		affected += n
+		if err != nil {
+			return affected, err
+		}
+	}
+	return affected, nil
+}
+
+// deltaEntries mirrors the engine's delta.Store.Entries: row images
+// (inserted or updated since the last checkpoint) plus tombstones.
+func (o *Oracle) deltaEntries() int64 {
+	var n int64
+	for key, touched := range o.touched {
+		n += int64(len(touched))
+		for _, d := range o.dead[key] {
+			if d {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ExecInsert appends rows: dense primary keys continuing the sequence,
+// values coerced to column kinds, foreign keys referencing live rows.
+func (o *Oracle) ExecInsert(ins *sql.Insert) (int64, error) {
+	t, ok := o.sch.Table(ins.Table)
+	if !ok {
+		return 0, fmt.Errorf("oracle: unknown table %s", ins.Table)
+	}
+	key := strings.ToLower(t.Name)
+	// Validate first: the statement applies atomically or not at all.
+	rows := make([][]value.Value, len(ins.Rows))
+	for ri, row := range ins.Rows {
+		if len(row) != len(t.Columns) {
+			return 0, fmt.Errorf("oracle: %s expects %d values, got %d", t.Name, len(t.Columns), len(row))
+		}
+		out := make([]value.Value, len(row))
+		for ci, v := range row {
+			cv, err := value.Coerce(v, t.Columns[ci].Type.Kind)
+			if err != nil {
+				return 0, fmt.Errorf("oracle: %s.%s row %d: %w", t.Name, t.Columns[ci].Name, ri+1, err)
+			}
+			out[ci] = cv
+		}
+		want := int64(o.NextID(t.Name)) + int64(ri)
+		pkVal := out[t.PrimaryKeyIndex()]
+		if pkVal.Kind() != value.Int || pkVal.Int() != want {
+			return 0, fmt.Errorf("oracle: %s primary key must be dense: row %d needs key %d, got %s",
+				t.Name, ri+1, want, pkVal)
+		}
+		for _, fk := range t.ForeignKeys() {
+			ref := out[t.ColumnIndex(fk.Name)]
+			if ref.Kind() != value.Int || !o.Live(fk.RefTable, uint32(ref.Int())) {
+				return 0, fmt.Errorf("oracle: %s row %d: foreign key %s = %s references no live %s row",
+					t.Name, ri+1, fk.Name, ref, fk.RefTable)
+			}
+		}
+		rows[ri] = out
+	}
+	for _, row := range rows {
+		id := o.NextID(t.Name)
+		for ci := range t.Columns {
+			o.cols[key][ci] = append(o.cols[key][ci], row[ci])
+		}
+		o.dead[key] = append(o.dead[key], false)
+		o.touched[key][id] = true
+	}
+	return int64(len(rows)), nil
+}
+
+// ExecDML applies a DELETE or UPDATE, returning the number of live rows
+// affected.
+func (o *Oracle) ExecDML(stmt sql.Statement) (int64, error) {
+	d, err := plan.BindDML(o.sch, stmt)
+	if err != nil {
+		return 0, err
+	}
+	if d.NumParams > 0 {
+		return 0, fmt.Errorf("oracle: DML statement carries unbound '?' placeholders")
+	}
+	t := d.Table
+	key := strings.ToLower(t.Name)
+	var ids []uint32
+	for id := uint32(1); int(id) <= o.tableRows(t.Name); id++ {
+		if !o.Live(t.Name, id) {
+			continue
+		}
+		match := true
+		for _, p := range d.Preds {
+			v := o.cols[key][t.ColumnIndex(p.Col.Column)][id-1]
+			ok, err := p.P.Eval(v)
+			if err != nil {
+				return 0, err
+			}
+			if !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			ids = append(ids, id)
+		}
+	}
+	switch d.Op {
+	case plan.OpDelete:
+		for _, id := range ids {
+			o.dead[key][id-1] = true
+			delete(o.touched[key], id)
+		}
+	case plan.OpUpdate:
+		for _, id := range ids {
+			for _, a := range d.Sets {
+				c := t.Columns[a.ColIdx]
+				if c.IsForeignKey() {
+					if a.Val.Kind() != value.Int || !o.Live(c.RefTable, uint32(a.Val.Int())) {
+						return 0, fmt.Errorf("oracle: UPDATE %s: foreign key %s = %s references no live %s row",
+							t.Name, c.Name, a.Val, c.RefTable)
+					}
+				}
+				o.cols[key][a.ColIdx][id-1] = a.Val
+			}
+			o.touched[key][id] = true
+		}
+	}
+	return int64(len(ids)), nil
+}
+
+// Checkpoint drops every dead row (tombstoned or dangling through the
+// chain), renumbers the survivors densely with foreign keys remapped,
+// and resets the DML bookkeeping — exactly the engine's flash merge. It
+// returns the number of delta entries absorbed.
+func (o *Oracle) Checkpoint() (int64, error) {
+	absorbed := o.deltaEntries()
+	if absorbed == 0 {
+		return 0, nil
+	}
+	// Pass 1: survivors and renumber maps (liveness over the old state).
+	oldIDs := map[string][]uint32{}
+	renumber := map[string]map[uint32]uint32{}
+	for _, t := range o.sch.Tables() {
+		var ids []uint32
+		remap := map[uint32]uint32{}
+		for id := uint32(1); int(id) <= o.tableRows(t.Name); id++ {
+			if !o.Live(t.Name, id) {
+				continue
+			}
+			ids = append(ids, id)
+			remap[id] = uint32(len(ids))
+		}
+		oldIDs[t.Name] = ids
+		renumber[t.Name] = remap
+	}
+	// Pass 2: rebuild the columns.
+	for _, t := range o.sch.Tables() {
+		key := strings.ToLower(t.Name)
+		ids := oldIDs[t.Name]
+		fresh := make([][]value.Value, len(t.Columns))
+		for ci, c := range t.Columns {
+			fresh[ci] = make([]value.Value, len(ids))
+			for newIdx, oldID := range ids {
+				switch {
+				case c.PrimaryKey:
+					fresh[ci][newIdx] = value.NewInt(int64(newIdx + 1))
+				case c.IsForeignKey():
+					oldChild := uint32(o.cols[key][ci][oldID-1].Int())
+					fresh[ci][newIdx] = value.NewInt(int64(renumber[o.refName(c.RefTable)][oldChild]))
+				default:
+					fresh[ci][newIdx] = o.cols[key][ci][oldID-1]
+				}
+			}
+		}
+		o.cols[key] = fresh
+		o.dead[key] = make([]bool, len(ids))
+		o.touched[key] = map[uint32]bool{}
+	}
+	return absorbed, nil
+}
+
+// refName canonicalizes a referenced table name to its catalog spelling
+// (renumber maps are keyed by catalog names).
+func (o *Oracle) refName(table string) string {
+	t, _ := o.sch.Table(table)
+	return t.Name
+}

@@ -3,6 +3,10 @@
 // hidden/visible split, no device constraints) and computes SPJ results
 // with the same tree-join semantics — one result row per query-root tuple
 // whose foreign-key chain satisfies every predicate, in root ID order.
+// It mirrors the engine's live-DML semantics too: INSERT/UPDATE/DELETE
+// mutate the in-memory columns directly (deletes tombstone, cascading
+// virtually through the foreign-key chain), and CHECKPOINT renumbers the
+// survivors densely exactly as the engine's flash merge does.
 // Integration and property tests compare the engine against it.
 package oracle
 
@@ -20,40 +24,57 @@ import (
 type Oracle struct {
 	sch  *schema.Schema
 	cols map[string][][]value.Value // table -> columns in schema order
-	rows map[string]int
-	fks  map[string][]uint32 // "table.fkcol" -> per-row referenced ID
+	dead map[string][]bool          // tombstones, same indexing as cols
+
+	// DML bookkeeping that mirrors the engine's delta store, so Exec and
+	// Checkpoint report identical affected-row counts: identifiers with a
+	// post-build row image (inserted or updated since the last
+	// checkpoint) and the number of tombstones.
+	touched map[string]map[uint32]bool
 }
 
 // New builds an oracle. cols maps each table to its columns in schema
-// declaration order; the schema must be frozen.
+// declaration order; the schema must be frozen. The column data is
+// deep-copied: the oracle mutates its copy under DML while the engine's
+// stores keep referencing the originals.
 func New(sch *schema.Schema, cols map[string][][]value.Value) (*Oracle, error) {
 	if !sch.Frozen() {
 		return nil, fmt.Errorf("oracle: schema not frozen")
 	}
-	o := &Oracle{sch: sch, cols: map[string][][]value.Value{}, rows: map[string]int{}, fks: map[string][]uint32{}}
+	o := &Oracle{
+		sch:     sch,
+		cols:    map[string][][]value.Value{},
+		dead:    map[string][]bool{},
+		touched: map[string]map[uint32]bool{},
+	}
 	for _, t := range sch.Tables() {
 		tc, ok := cols[t.Name]
 		if !ok || len(tc) != len(t.Columns) {
 			return nil, fmt.Errorf("oracle: missing columns for %s", t.Name)
 		}
-		o.cols[strings.ToLower(t.Name)] = tc
+		cp := make([][]value.Value, len(tc))
+		for i := range tc {
+			cp[i] = append([]value.Value(nil), tc[i]...)
+		}
+		key := strings.ToLower(t.Name)
+		o.cols[key] = cp
 		n := 0
-		if len(tc) > 0 {
-			n = len(tc[0])
+		if len(cp) > 0 {
+			n = len(cp[0])
 		}
-		o.rows[strings.ToLower(t.Name)] = n
-		for i, c := range t.Columns {
-			if !c.IsForeignKey() {
-				continue
-			}
-			ids := make([]uint32, n)
-			for r, v := range tc[i] {
-				ids[r] = uint32(v.Int())
-			}
-			o.fks[strings.ToLower(t.Name+"."+c.Name)] = ids
-		}
+		o.dead[key] = make([]bool, n)
+		o.touched[key] = map[uint32]bool{}
 	}
 	return o, nil
+}
+
+// tableRows reports the current (base + inserted) cardinality.
+func (o *Oracle) tableRows(table string) int {
+	tc := o.cols[strings.ToLower(table)]
+	if len(tc) == 0 {
+		return 0
+	}
+	return len(tc[0])
 }
 
 // valueAt returns table.col for row id (1-based).
@@ -71,6 +92,51 @@ func (o *Oracle) valueAt(table, col string, id uint32) (value.Value, error) {
 		return value.Value{}, fmt.Errorf("oracle: id %d out of range for %s", id, table)
 	}
 	return tc[idx][id-1], nil
+}
+
+// fkAt returns the foreign-key value of row id in the referencing table.
+func (o *Oracle) fkAt(table string, colIdx int, id uint32) uint32 {
+	tc := o.cols[strings.ToLower(table)]
+	return uint32(tc[colIdx][id-1].Int())
+}
+
+// Live reports whether row id of table is live: in range, not
+// tombstoned, and every row its foreign-key chain references is live
+// (the virtual delete cascade).
+func (o *Oracle) Live(table string, id uint32) bool {
+	t, ok := o.sch.Table(table)
+	if !ok {
+		return false
+	}
+	key := strings.ToLower(t.Name)
+	if id == 0 || int(id) > o.tableRows(t.Name) {
+		return false
+	}
+	if o.dead[key][id-1] {
+		return false
+	}
+	for _, fk := range t.ForeignKeys() {
+		if !o.Live(fk.RefTable, o.fkAt(t.Name, t.ColumnIndex(fk.Name), id)) {
+			return false
+		}
+	}
+	return true
+}
+
+// NextID reports the dense primary key the next INSERT must carry.
+func (o *Oracle) NextID(table string) uint32 {
+	return uint32(o.tableRows(table)) + 1
+}
+
+// LiveIDs returns the live identifiers of a table in ascending order.
+func (o *Oracle) LiveIDs(table string) []uint32 {
+	var out []uint32
+	for id := uint32(1); int(id) <= o.tableRows(table); id++ {
+		if o.Live(table, id) {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Query evaluates a SELECT and returns column labels plus rows — the
@@ -109,12 +175,16 @@ func (o *Oracle) QueryBase(sqlText string) (*plan.Query, [][]value.Value, error)
 		return nil, nil, err
 	}
 	// Query-root granularity: since the query root may differ from the
-	// schema root, enumerate the query root's own IDs directly.
-	n := o.rows[strings.ToLower(q.Root.Name)]
+	// schema root, enumerate the query root's own IDs directly — live
+	// rows only (tombstones cascade through the foreign-key chain).
+	n := o.tableRows(q.Root.Name)
 	var out [][]value.Value
 	for id := uint32(1); int(id) <= n; id++ {
-		if !q.HasPostOps() && q.Limit > 0 && len(out) == q.Limit {
+		if !q.HasPostOps() && q.HasLimit && len(out) == q.Limit {
 			break
+		}
+		if !o.Live(q.Root.Name, id) {
+			continue
 		}
 		ok, err := o.matches(q, id)
 		if err != nil {
@@ -163,11 +233,10 @@ func (o *Oracle) descendFrom(from string, fromID uint32, target string) (uint32,
 		parent := path[i]
 		child := path[i-1]
 		_, fk := o.sch.Parent(child.Name)
-		ids := o.fks[strings.ToLower(parent.Name+"."+fk.Name)]
-		if id == 0 || int(id) > len(ids) {
+		if id == 0 || int(id) > o.tableRows(parent.Name) {
 			return 0, fmt.Errorf("oracle: dangling FK at %s", parent.Name)
 		}
-		id = ids[id-1]
+		id = o.fkAt(parent.Name, parent.ColumnIndex(fk.Name), id)
 	}
 	return id, nil
 }

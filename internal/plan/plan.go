@@ -103,7 +103,8 @@ type Query struct {
 	Tables    []string      // FROM tables, catalog names, no duplicates
 	Projs     []Col         // physical projection list
 	Preds     []Pred        // conjunctive selections
-	Limit     int           // result row cap (0 = none)
+	Limit     int           // result row cap, meaningful when HasLimit
+	HasLimit  bool          // a LIMIT clause is present (LIMIT 0 is valid)
 	NumParams int           // '?' placeholders awaiting BindParams
 
 	Outputs     []Output     // non-nil exactly when post-operators run
@@ -275,7 +276,7 @@ func bindPredParams(p pred.P, params []value.Value) (pred.P, error) {
 // literals coerced to column kinds, and join predicates validated to lie
 // on foreign-key edges of the tree.
 func Bind(sch *schema.Schema, sel *sql.Select) (*Query, error) {
-	q := &Query{SQL: sel.String(), Schema: sch, Limit: sel.Limit}
+	q := &Query{SQL: sel.String(), Schema: sch, Limit: sel.Limit, HasLimit: sel.HasLimit}
 
 	// Resolve FROM: alias (or table name) -> catalog table.
 	aliases := map[string]*schema.Table{}

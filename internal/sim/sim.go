@@ -98,4 +98,6 @@ const (
 	CyclesHeapOp    = 80  // push/pop on a merge heap
 	CyclesPredicate = 120 // evaluate one predicate on a decoded value
 	CyclesDecode    = 40  // decode one varint / value header
+	CyclesTombstone = 24  // probe the delta's tombstone/shadow set for one ID
+	CyclesDeltaRow  = 200 // locate + decode one delta-resident row image in RAM
 )

@@ -14,7 +14,8 @@ import (
 	"github.com/ghostdb/ghostdb/internal/value"
 )
 
-// Statement is a parsed SQL statement: *CreateTable, *Insert or *Select.
+// Statement is a parsed SQL statement: *CreateTable, *Insert, *Select,
+// *Delete, *Update or *Checkpoint.
 type Statement interface {
 	stmt()
 	String() string
@@ -134,6 +135,21 @@ func CountParams(stmts ...Statement) int {
 			n++
 		}
 	}
+	countConds := func(conds []Condition) {
+		for _, c := range conds {
+			switch c := c.(type) {
+			case *Compare:
+				count(c.Val)
+			case *Between:
+				count(c.Lo)
+				count(c.Hi)
+			case *In:
+				for _, v := range c.Vals {
+					count(v)
+				}
+			}
+		}
+	}
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *Insert:
@@ -143,24 +159,20 @@ func CountParams(stmts ...Statement) int {
 				}
 			}
 		case *Select:
-			for _, c := range s.Where {
-				switch c := c.(type) {
-				case *Compare:
-					count(c.Val)
-				case *Between:
-					count(c.Lo)
-					count(c.Hi)
-				case *In:
-					for _, v := range c.Vals {
-						count(v)
-					}
-				}
-			}
+			countConds(s.Where)
 			// HAVING literals follow WHERE in text order, so their
 			// ordinals continue the sequence.
 			for _, h := range s.Having {
 				count(h.Val)
 			}
+		case *Delete:
+			countConds(s.Where)
+		case *Update:
+			// SET literals precede WHERE in text order.
+			for _, a := range s.Sets {
+				count(a.Val)
+			}
+			countConds(s.Where)
 		}
 	}
 	return n
@@ -421,9 +433,10 @@ func (j *Join) String() string {
 
 // Select is a query: projection list (plain columns and aggregates),
 // FROM tables, conjunctive WHERE, optional GROUP BY / HAVING / ORDER BY
-// / DISTINCT, and an optional LIMIT (0 = none). Without ORDER BY,
-// results are ordered by the query root's identifier (aggregate results
-// by first group appearance in that order), so LIMIT is deterministic.
+// / DISTINCT, and an optional LIMIT (present when HasLimit; LIMIT 0 is
+// the standard zero-row probe). Without ORDER BY, results are ordered by
+// the query root's identifier (aggregate results by first group
+// appearance in that order), so LIMIT is deterministic.
 type Select struct {
 	Distinct bool
 	Items    []SelectItem
@@ -433,6 +446,7 @@ type Select struct {
 	Having   []HavingCond
 	OrderBy  []OrderItem
 	Limit    int
+	HasLimit bool
 }
 
 func (*Select) stmt() {}
@@ -486,8 +500,170 @@ func (s *Select) String() string {
 		}
 		b.WriteString(strings.Join(keys, ", "))
 	}
-	if s.Limit > 0 {
+	if s.HasLimit {
 		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
 	}
 	return b.String()
 }
+
+// whereString renders a conjunctive WHERE clause (shared by the DML
+// statements), or "" when there are no conditions.
+func whereString(conds []Condition) string {
+	if len(conds) == 0 {
+		return ""
+	}
+	parts := make([]string, len(conds))
+	for i, c := range conds {
+		parts[i] = c.String()
+	}
+	return " WHERE " + strings.Join(parts, " AND ")
+}
+
+// bindArg resolves one literal against the argument list: placeholders
+// substitute by ordinal, plain literals pass through.
+func bindArg(v value.Value, args []value.Value) (value.Value, error) {
+	if !v.IsParam() {
+		return v, nil
+	}
+	ord := v.ParamOrdinal()
+	if ord < 0 || ord >= len(args) {
+		return value.Value{}, fmt.Errorf("sql: placeholder %d has no argument (%d supplied)", ord+1, len(args))
+	}
+	return args[ord], nil
+}
+
+// bindCondParams returns the conditions with every '?' placeholder
+// replaced by the corresponding argument. Conditions without
+// placeholders are shared, not copied.
+func bindCondParams(conds []Condition, args []value.Value) ([]Condition, error) {
+	out := make([]Condition, len(conds))
+	for i, c := range conds {
+		switch c := c.(type) {
+		case *Compare:
+			v, err := bindArg(c.Val, args)
+			if err != nil {
+				return nil, err
+			}
+			if v != c.Val {
+				out[i] = &Compare{Col: c.Col, Op: c.Op, Val: v}
+			} else {
+				out[i] = c
+			}
+		case *Between:
+			lo, err := bindArg(c.Lo, args)
+			if err != nil {
+				return nil, err
+			}
+			hi, err := bindArg(c.Hi, args)
+			if err != nil {
+				return nil, err
+			}
+			if lo != c.Lo || hi != c.Hi {
+				out[i] = &Between{Col: c.Col, Lo: lo, Hi: hi}
+			} else {
+				out[i] = c
+			}
+		case *In:
+			changed := false
+			vals := make([]value.Value, len(c.Vals))
+			for j, v := range c.Vals {
+				b, err := bindArg(v, args)
+				if err != nil {
+					return nil, err
+				}
+				vals[j] = b
+				changed = changed || b != v
+			}
+			if changed {
+				out[i] = &In{Col: c.Col, Vals: vals}
+			} else {
+				out[i] = c
+			}
+		default:
+			out[i] = c
+		}
+	}
+	return out, nil
+}
+
+// Delete is a DELETE FROM ... [WHERE ...] statement over one table.
+// Deletion is virtual until the next CHECKPOINT: the engine tombstones
+// the matching identifiers, and rows whose foreign-key chain passes
+// through a tombstoned row disappear with them (a cascade over the tree
+// schema).
+type Delete struct {
+	Table string
+	Where []Condition
+}
+
+func (*Delete) stmt() {}
+
+func (d *Delete) String() string {
+	return "DELETE FROM " + d.Table + whereString(d.Where)
+}
+
+// BindParams returns a copy of the DELETE with every '?' placeholder
+// replaced by the corresponding argument (by ordinal).
+func (d *Delete) BindParams(args []value.Value) (*Delete, error) {
+	where, err := bindCondParams(d.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Delete{Table: d.Table, Where: where}, nil
+}
+
+// SetClause is one column assignment of an UPDATE.
+type SetClause struct {
+	Col ColRef
+	Val value.Value // literal or '?' placeholder
+}
+
+func (a SetClause) String() string { return a.Col.String() + " = " + a.Val.SQL() }
+
+// Update is an UPDATE ... SET ... [WHERE ...] statement over one table.
+// The updated image lives in the RAM delta until the next CHECKPOINT;
+// the base column files stay physically untouched (Bertossi & Li's
+// virtual updates).
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where []Condition
+}
+
+func (*Update) stmt() {}
+
+func (u *Update) String() string {
+	sets := make([]string, len(u.Sets))
+	for i, a := range u.Sets {
+		sets[i] = a.String()
+	}
+	return "UPDATE " + u.Table + " SET " + strings.Join(sets, ", ") + whereString(u.Where)
+}
+
+// BindParams returns a copy of the UPDATE with every '?' placeholder —
+// SET values and WHERE literals alike — replaced by the corresponding
+// argument (by ordinal).
+func (u *Update) BindParams(args []value.Value) (*Update, error) {
+	sets := make([]SetClause, len(u.Sets))
+	for i, a := range u.Sets {
+		v, err := bindArg(a.Val, args)
+		if err != nil {
+			return nil, err
+		}
+		sets[i] = SetClause{Col: a.Col, Val: v}
+	}
+	where, err := bindCondParams(u.Where, args)
+	if err != nil {
+		return nil, err
+	}
+	return &Update{Table: u.Table, Sets: sets, Where: where}, nil
+}
+
+// Checkpoint is the CHECKPOINT statement: merge the RAM delta and the
+// tombstone sets into fresh flash column segments, rebuild the device
+// index structures, and release the delta's RAM grant.
+type Checkpoint struct{}
+
+func (*Checkpoint) stmt() {}
+
+func (*Checkpoint) String() string { return "CHECKPOINT" }

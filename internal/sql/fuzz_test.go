@@ -23,6 +23,14 @@ var fuzzSeeds = []string{
 	"SELECT /*VISIBLE*/ Name FROM Doctor -- trailing comment",
 	"SELECT a FROM b WHERE c = -1.5 AND d = +2 AND e = TRUE AND f = DATE '2006-11-05';",
 	"SELECT x FROM y WHERE s = 'it''s quoted'",
+	"SELECT a FROM b LIMIT 0",
+	"SELECT Country, COUNT(*) FROM Doctor GROUP BY Country ORDER BY COUNT(*) DESC LIMIT 0",
+	"DELETE FROM Visit",
+	"DELETE FROM Visit WHERE Date > 05-11-2006 AND Purpose = 'Sclerosis'",
+	"UPDATE Doctor SET Country = 'France' WHERE DocID = 2",
+	"UPDATE Prescription SET Quantity = ?, WhenWritten = DATE '2007-01-01' WHERE Quantity BETWEEN ? AND ?",
+	"CHECKPOINT",
+	"CHECKPOINT;",
 }
 
 // FuzzParse fuzzes the lexer and parser together. The property: Parse

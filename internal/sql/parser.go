@@ -122,9 +122,90 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseInsert()
 	case t.isKeyword("select"):
 		return p.parseSelect()
+	case t.isKeyword("delete"):
+		return p.parseDelete()
+	case t.isKeyword("update"):
+		return p.parseUpdate()
+	case t.isKeyword("checkpoint"):
+		p.next()
+		return &Checkpoint{}, nil
 	default:
-		return nil, p.errorf("expected CREATE, INSERT or SELECT, got %s", t)
+		return nil, p.errorf("expected CREATE, INSERT, SELECT, DELETE, UPDATE or CHECKPOINT, got %s", t)
 	}
+}
+
+// parseWhere parses an optional conjunctive WHERE clause.
+func (p *parser) parseWhere() ([]Condition, error) {
+	if !p.peek().isKeyword("where") {
+		return nil, nil
+	}
+	p.next()
+	var conds []Condition
+	for {
+		cond, err := p.parseCondition()
+		if err != nil {
+			return nil, err
+		}
+		conds = append(conds, cond)
+		if p.peek().isKeyword("and") {
+			p.next()
+			continue
+		}
+		return conds, nil
+	}
+}
+
+func (p *parser) parseDelete() (*Delete, error) {
+	p.next() // DELETE
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	return &Delete{Table: name, Where: where}, nil
+}
+
+func (p *parser) parseUpdate() (*Update, error) {
+	p.next() // UPDATE
+	name, err := p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("set"); err != nil {
+		return nil, err
+	}
+	upd := &Update{Table: name}
+	for {
+		col, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		v, err := p.parseLiteral()
+		if err != nil {
+			return nil, err
+		}
+		upd.Sets = append(upd.Sets, SetClause{Col: col, Val: v})
+		if p.peek().isSymbol(",") {
+			p.next()
+			continue
+		}
+		break
+	}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
+	}
+	upd.Where = where
+	return upd, nil
 }
 
 func (p *parser) parseCreateTable() (*CreateTable, error) {
@@ -344,21 +425,11 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 		break
 	}
-	if p.peek().isKeyword("where") {
-		p.next()
-		for {
-			cond, err := p.parseCondition()
-			if err != nil {
-				return nil, err
-			}
-			sel.Where = append(sel.Where, cond)
-			if p.peek().isKeyword("and") {
-				p.next()
-				continue
-			}
-			break
-		}
+	where, err := p.parseWhere()
+	if err != nil {
+		return nil, err
 	}
+	sel.Where = where
 	if p.peek().isKeyword("group") {
 		p.next()
 		if err := p.expectKeyword("by"); err != nil {
@@ -418,10 +489,11 @@ func (p *parser) parseSelect() (*Select, error) {
 		}
 		p.next()
 		n, err := strconv.Atoi(t.text)
-		if err != nil || n <= 0 {
+		if err != nil || n < 0 {
 			return nil, p.errorf("invalid LIMIT %q", t.text)
 		}
 		sel.Limit = n
+		sel.HasLimit = true
 	}
 	return sel, nil
 }
@@ -543,8 +615,9 @@ func isReserved(word string) bool {
 	return false
 }
 
-// Limited reports whether the query carries a LIMIT clause.
-func (s *Select) Limited() bool { return s.Limit > 0 }
+// Limited reports whether the query carries a LIMIT clause (including
+// LIMIT 0, the standard zero-row probe).
+func (s *Select) Limited() bool { return s.HasLimit }
 
 func (p *parser) parseColRef() (ColRef, error) {
 	first, err := p.ident("column reference")

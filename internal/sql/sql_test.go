@@ -330,14 +330,100 @@ func TestParseLimit(t *testing.T) {
 	if err != nil || plain.Limited() {
 		t.Errorf("plain query limited: %v", plain)
 	}
+	// LIMIT 0 is the standard zero-row probe: valid, Limited, and its
+	// String() round-trips.
+	zero, err := ParseSelect(`SELECT a FROM T LIMIT 0`)
+	if err != nil {
+		t.Fatalf("LIMIT 0: %v", err)
+	}
+	if zero.Limit != 0 || !zero.Limited() {
+		t.Errorf("LIMIT 0: Limit=%d Limited=%v", zero.Limit, zero.Limited())
+	}
+	if !strings.Contains(zero.String(), "LIMIT 0") {
+		t.Errorf("String() = %q", zero.String())
+	}
+	zeroAgain, err := ParseSelect(zero.String())
+	if err != nil || !zeroAgain.Limited() || zeroAgain.Limit != 0 {
+		t.Errorf("LIMIT 0 round trip: %v, %v", zeroAgain, err)
+	}
 	for _, bad := range []string{
 		`SELECT a FROM T LIMIT`,
 		`SELECT a FROM T LIMIT x`,
-		`SELECT a FROM T LIMIT 0`,
 		`SELECT a FROM T LIMIT -3`,
 	} {
 		if _, err := ParseSelect(bad); err == nil {
 			t.Errorf("ParseSelect(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseDML(t *testing.T) {
+	// DELETE with and without WHERE.
+	stmt, err := Parse(`DELETE FROM Visit WHERE Date > 05-11-2006 AND Purpose = 'Sclerosis'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, ok := stmt.(*Delete)
+	if !ok || del.Table != "Visit" || len(del.Where) != 2 {
+		t.Fatalf("delete = %#v", stmt)
+	}
+	if got := del.String(); !strings.Contains(got, "DELETE FROM Visit WHERE") {
+		t.Errorf("String() = %q", got)
+	}
+	if again, err := Parse(del.String()); err != nil || again.String() != del.String() {
+		t.Errorf("round trip: %v, %v", again, err)
+	}
+	bare, err := Parse(`DELETE FROM Visit`)
+	if err != nil || len(bare.(*Delete).Where) != 0 {
+		t.Fatalf("bare delete: %v, %v", bare, err)
+	}
+
+	// UPDATE with multiple assignments and placeholders; SET literals
+	// take the ordinals before WHERE literals.
+	stmt, err = Parse(`UPDATE Prescription SET Quantity = ?, Frequency = 3 WHERE Quantity BETWEEN ? AND ?`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	upd, ok := stmt.(*Update)
+	if !ok || upd.Table != "Prescription" || len(upd.Sets) != 2 || len(upd.Where) != 1 {
+		t.Fatalf("update = %#v", stmt)
+	}
+	if !upd.Sets[0].Val.IsParam() || upd.Sets[0].Val.ParamOrdinal() != 0 {
+		t.Errorf("SET placeholder ordinal = %v", upd.Sets[0].Val)
+	}
+	if n := CountParams(upd); n != 3 {
+		t.Errorf("CountParams = %d", n)
+	}
+	if again, err := Parse(upd.String()); err != nil || again.String() != upd.String() {
+		t.Errorf("round trip: %v, %v", again, err)
+	}
+
+	// CHECKPOINT.
+	stmt, err = Parse(`CHECKPOINT`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := stmt.(*Checkpoint); !ok || stmt.String() != "CHECKPOINT" {
+		t.Fatalf("checkpoint = %#v", stmt)
+	}
+
+	// Scripts mix DML with the rest.
+	stmts, err := ParseScript(`DELETE FROM a WHERE x = 1; UPDATE b SET y = 2; CHECKPOINT`)
+	if err != nil || len(stmts) != 3 {
+		t.Fatalf("script: %v, %v", stmts, err)
+	}
+
+	// Malformed statements fail.
+	for _, bad := range []string{
+		`DELETE Visit`,
+		`DELETE FROM`,
+		`UPDATE Visit WHERE x = 1`,
+		`UPDATE Visit SET`,
+		`UPDATE Visit SET x`,
+		`UPDATE SET x = 1`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) succeeded", bad)
 		}
 	}
 }

@@ -51,6 +51,16 @@ func New(dev *device.Device) (*Store, error) {
 // Device returns the underlying device.
 func (s *Store) Device() *device.Device { return s.dev }
 
+// Release frees the store's page-cache RAM grant. The engine calls it
+// when a CHECKPOINT replaces this store with a freshly built one — the
+// old column files' extents are about to be erased, so the cache (and
+// its arena charge) must go with them. The store is unusable afterwards.
+func (s *Store) Release() {
+	s.cache.Invalidate()
+	s.cacheGrant.Free()
+	s.tables = map[string]*TableData{}
+}
+
 // Cache returns the shared random-access page cache.
 func (s *Store) Cache() *flash.Cache { return s.cache }
 

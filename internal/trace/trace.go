@@ -41,6 +41,7 @@ const (
 	KindIDList     Kind = "id-list"    // sorted visible ID chunk -> device
 	KindProjection Kind = "projection" // (id, value) chunk -> device
 	KindResult     Kind = "result"     // result rows, device -> display
+	KindDML        Kind = "dml"        // live mutation statement, terminal -> device
 	KindControl    Kind = "control"    // protocol chatter
 )
 
