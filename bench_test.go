@@ -304,6 +304,22 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchConcurrent(b, db)
+}
+
+// BenchmarkConcurrentThroughputMetricsOff is the same workload with the
+// metrics registry disabled — the baseline for the observability
+// acceptance gate (metrics-on throughput within 5% of this).
+func BenchmarkConcurrentThroughputMetricsOff(b *testing.B) {
+	skipIfShort(b)
+	db, _, err := bench.BuildDB(bench.Config{Scale: 2_000}, core.WithMetrics(false))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConcurrent(b, db)
+}
+
+func benchConcurrent(b *testing.B, db *core.DB) {
 	const query = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
 	for _, g := range []int{1, 4, 16} {
 		b.Run(fmt.Sprintf("goroutines=%d", g), func(b *testing.B) {

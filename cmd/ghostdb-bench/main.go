@@ -7,7 +7,11 @@
 //	ghostdb-bench sweep baselines storage
 //
 // Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
-// bloom game ablations.
+// bloom game ablations aggregate dml observability.
+//
+// The -debug-addr flag serves the live observability endpoint
+// (/debug/vars JSON and /metrics Prometheus text) for the shared
+// database while experiments run.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/ghostdb/ghostdb"
 	"github.com/ghostdb/ghostdb/internal/bench"
 	"github.com/ghostdb/ghostdb/internal/core"
 )
@@ -40,11 +45,18 @@ type benchRecord struct {
 	// Phases carries per-phase wall/allocs/sim numbers for experiments
 	// that report them (the dml mixed workload).
 	Phases []bench.DMLPhase `json:"phases,omitempty"`
+	// Observability carries the metrics on/off comparison (the
+	// observability experiment): the acceptance gate is overhead_pct
+	// staying under 5.
+	Observability *bench.ObservabilityReport `json:"observability,omitempty"`
 }
 
 // lastDMLPhases stashes the dml experiment's phase records for the JSON
 // writer (run() only returns an error).
 var lastDMLPhases []bench.DMLPhase
+
+// lastObservability stashes the observability experiment's report.
+var lastObservability *bench.ObservabilityReport
 
 func writeBenchJSON(rec benchRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -57,12 +69,15 @@ func writeBenchJSON(rec benchRecord) error {
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
 	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
+	"observability",
 }
 
 func main() {
 	scale := flag.Int("scale", 100_000, "prescriptions in the synthetic dataset (paper: 1000000)")
 	seed := flag.Int64("seed", 42, "dataset seed")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json records (wall ns, allocs, simulated device time)")
+	debugAddr := flag.String("debug-addr", "", "serve the live /debug/vars + /metrics endpoint on this address (e.g. localhost:6060) for the shared database")
+	debugHold := flag.Duration("debug-hold", 0, "with -debug-addr, keep serving this long after the experiments finish (for scraping a completed run)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ghostdb-bench [-scale N] [experiment ...]\nexperiments: %v or all\n", experimentOrder)
 		flag.PrintDefaults()
@@ -89,6 +104,15 @@ func main() {
 			shared = db
 		}
 		return shared
+	}
+
+	if *debugAddr != "" {
+		addr, stop, err := ghostdb.ServeDebug(*debugAddr, sharedDB())
+		if err != nil {
+			log.Fatalf("debug endpoint: %v", err)
+		}
+		defer stop()
+		fmt.Printf("debug endpoint: http://%s/debug/vars and http://%s/metrics\n\n", addr, addr)
 	}
 
 	for _, name := range wanted {
@@ -123,11 +147,19 @@ func main() {
 			if name == "dml" {
 				rec.Phases = lastDMLPhases
 			}
+			if name == "observability" {
+				rec.Observability = lastObservability
+			}
 			if err := writeBenchJSON(rec); err != nil {
 				log.Fatalf("%s: writing JSON: %v", name, err)
 			}
 			fmt.Printf("wrote BENCH_%s.json\n\n", name)
 		}
+	}
+
+	if *debugAddr != "" && *debugHold > 0 {
+		fmt.Printf("experiments done; holding the debug endpoint for %v\n", *debugHold)
+		time.Sleep(*debugHold)
 	}
 }
 
@@ -235,6 +267,14 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		lastDMLPhases = phases
 		fmt.Print(bench.FormatDMLPhases(phases))
+	case "observability":
+		fmt.Println("Observability: query loop with the metrics registry on vs off")
+		rep, err := bench.Observability(smaller(cfg), 200)
+		if err != nil {
+			return err
+		}
+		lastObservability = rep
+		fmt.Print(bench.FormatObservability(rep))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

@@ -1,0 +1,62 @@
+package ghostdb
+
+// The live debug endpoint: an expvar-style HTTP surface over one DB's
+// observability state, built purely on net/http. Two views of the same
+// registry — machine-friendly JSON at /debug/vars (the expvar
+// convention) and Prometheus text exposition at /metrics — plus the
+// plan-cache and delta/checkpoint summaries, so a dashboard or a curl
+// can watch a live engine without linking any client library.
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+)
+
+// DebugHandler returns an http.Handler exposing db's live state:
+//
+//	/debug/vars   JSON: metrics registry, plan cache, delta, sessions
+//	/metrics      Prometheus text exposition (metrics ghostdb_*)
+//
+// Snapshots are taken per request; the handler never blocks queries.
+func DebugHandler(db *DB) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugVars(db))
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		db.MetricsSnapshot().WritePrometheus(w, "ghostdb_")
+	})
+	return mux
+}
+
+// debugVars assembles the JSON document served at /debug/vars.
+func debugVars(db *DB) map[string]any {
+	doc := map[string]any{
+		"plan_cache": db.PlanCacheStats(),
+		"delta":      db.DeltaSummary(),
+		"sessions":   db.OpenSessions(),
+		"loaded":     db.Loaded(),
+	}
+	if snap := db.MetricsSnapshot(); snap != nil {
+		doc["metrics"] = snap
+	}
+	return doc
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060", or
+// ":0" for an ephemeral port) serving DebugHandler(db). It returns the
+// bound address and a function that shuts the server down.
+func ServeDebug(addr string, db *DB) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: DebugHandler(db)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

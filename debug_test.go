@@ -1,0 +1,152 @@
+package ghostdb_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb"
+)
+
+func openDebugDB(t *testing.T) *ghostdb.DB {
+	t.Helper()
+	db, err := ghostdb.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	err = db.ExecScript(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup', 1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestServeDebug boots the debug endpoint on an ephemeral port and
+// checks both exposition formats against a live engine.
+func TestServeDebug(t *testing.T) {
+	db := openDebugDB(t)
+	if _, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, err := ghostdb.ServeDebug("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/debug/vars")
+	if !strings.Contains(ctype, "application/json") {
+		t.Fatalf("/debug/vars content type = %q", ctype)
+	}
+	var doc struct {
+		Metrics   map[string]json.RawMessage   `json:"metrics"`
+		PlanCache struct{ Hits, Misses int64 } `json:"plan_cache"`
+		Sessions  int                          `json:"sessions"`
+		Loaded    bool                         `json:"loaded"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if !doc.Loaded {
+		t.Fatal("/debug/vars reports loaded=false after a query")
+	}
+	var queries int64
+	if err := json.Unmarshal(doc.Metrics["queries_total"], &queries); err != nil || queries != 1 {
+		t.Fatalf("queries_total = %s (%v), want 1", doc.Metrics["queries_total"], err)
+	}
+	if _, ok := doc.Metrics["query_wall_ns"]; !ok {
+		t.Fatalf("metrics lack query_wall_ns:\n%s", body)
+	}
+
+	prom, ctype := get("/metrics")
+	if !strings.Contains(ctype, "text/plain") {
+		t.Fatalf("/metrics content type = %q", ctype)
+	}
+	for _, want := range []string{
+		"# TYPE ghostdb_queries_total counter",
+		"ghostdb_queries_total 1",
+		"# TYPE ghostdb_query_wall_ns histogram",
+		"ghostdb_query_wall_ns_bucket{le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestPublicObservabilityAPI exercises the re-exported hooks, EXPLAIN
+// ANALYZE and snapshot surfaces through the façade.
+func TestPublicObservabilityAPI(t *testing.T) {
+	var finishes int
+	db, err := ghostdb.Open(
+		ghostdb.WithMetrics(true),
+		ghostdb.WithQueryHook(func(ev ghostdb.QueryEvent) {
+			if ev.Phase == ghostdb.QueryFinish {
+				finishes++
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.ExecScript(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+`); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := db.ExplainAnalyze(`SELECT Doc.DocID FROM Doctor Doc WHERE Doc.Country = 'France'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Result == nil || a.Result.Report.ResultRows != 1 || len(a.Ops) == 0 {
+		t.Fatalf("analysis = %+v", a)
+	}
+	if finishes != 1 {
+		t.Fatalf("finish hooks = %d, want 1", finishes)
+	}
+	var snap ghostdb.MetricsSnapshot = db.MetricsSnapshot()
+	if v, ok := snap.Get("queries_total"); !ok || v.Value != 1 {
+		t.Fatalf("queries_total = %+v", v)
+	}
+	if ds := db.DeltaSummary(); ds.Checkpoints != 0 || ds.Rows != 0 {
+		t.Fatalf("delta summary = %+v", ds)
+	}
+}

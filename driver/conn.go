@@ -181,6 +181,8 @@ func bindScript(stmts []sql.Statement, params []value.Value) ([]sql.Statement, e
 
 // QueryContext finalizes the bulk load if needed and executes a SELECT
 // through the shared device gate, binding '?' placeholders from args.
+// The context is honored at execution batch boundaries: canceling it
+// aborts the query and returns ctx.Err().
 func (c *Conn) QueryContext(ctx context.Context, query string, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -189,15 +191,15 @@ func (c *Conn) QueryContext(ctx context.Context, query string, args []sqldriver.
 	if err != nil {
 		return nil, err
 	}
-	return c.query(query, params)
+	return c.query(ctx, query, params)
 }
 
-func (c *Conn) query(query string, params []value.Value) (sqldriver.Rows, error) {
+func (c *Conn) query(ctx context.Context, query string, params []value.Value) (sqldriver.Rows, error) {
 	if err := c.sess.EnsureBuilt(); err != nil {
 		return nil, err
 	}
 	if len(params) == 0 {
-		res, err := c.sess.Query(query)
+		res, err := c.sess.Query(query, core.WithContext(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +209,7 @@ func (c *Conn) query(query string, params []value.Value) (sqldriver.Rows, error)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.sess.QueryCompiled(cq, params)
+	res, err := c.sess.QueryCompiled(cq, params, core.WithContext(ctx))
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +248,11 @@ type Stmt struct {
 	cd     *core.CompiledDML   // lazily compiled DELETE/UPDATE; nil until first Exec
 }
 
-var _ sqldriver.Stmt = (*Stmt)(nil)
+var (
+	_ sqldriver.Stmt             = (*Stmt)(nil)
+	_ sqldriver.StmtQueryContext = (*Stmt)(nil)
+	_ sqldriver.StmtExecContext  = (*Stmt)(nil)
+)
 
 // Close releases the statement, dropping its compiled-plan and parsed-
 // script references so a closed statement cannot pin plan-cache entries
@@ -270,6 +276,14 @@ func (s *Stmt) NumInput() int { return s.numParams }
 // engine's shared plan cache — and afterwards only binds fresh
 // parameters per execution, exactly like a prepared SELECT.
 func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
+	params, err := toParams(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.execValues(params)
+}
+
+func (s *Stmt) execValues(params []value.Value) (sqldriver.Result, error) {
 	if s.isSelect {
 		return nil, errors.New("ghostdb driver: use Query for SELECT statements")
 	}
@@ -278,10 +292,6 @@ func (s *Stmt) Exec(args []sqldriver.Value) (sqldriver.Result, error) {
 	s.mu.Unlock()
 	if closed {
 		return nil, ErrStmtClosed
-	}
-	params, err := toParams(args)
-	if err != nil {
-		return nil, err
 	}
 	if len(stmts) == 1 {
 		switch stmts[0].(type) {
@@ -325,18 +335,52 @@ func (s *Stmt) compiledDML(stmt sql.Statement) (*core.CompiledDML, error) {
 // Query executes the prepared SELECT with args bound to its '?'
 // placeholders, compiling it on first use.
 func (s *Stmt) Query(args []sqldriver.Value) (sqldriver.Rows, error) {
-	if !s.isSelect {
-		return nil, fmt.Errorf("ghostdb driver: prepared statement is not a SELECT: %s", s.query)
+	return s.queryContext(context.Background(), args)
+}
+
+// QueryContext is Query with cancellation: the context is honored at
+// execution batch boundaries, and canceling it returns ctx.Err().
+func (s *Stmt) QueryContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
+	params, err := namedToParams(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.queryValues(ctx, params)
+}
+
+// ExecContext runs the prepared DDL/DML script. GhostDB mutations are
+// atomic RAM-delta updates, so the context is only checked up front.
+func (s *Stmt) ExecContext(ctx context.Context, args []sqldriver.NamedValue) (sqldriver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	params, err := namedToParams(args)
+	if err != nil {
+		return nil, err
+	}
+	return s.execValues(params)
+}
+
+func (s *Stmt) queryContext(ctx context.Context, args []sqldriver.Value) (sqldriver.Rows, error) {
 	params, err := toParams(args)
 	if err != nil {
 		return nil, err
+	}
+	return s.queryValues(ctx, params)
+}
+
+func (s *Stmt) queryValues(ctx context.Context, params []value.Value) (sqldriver.Rows, error) {
+	if !s.isSelect {
+		return nil, fmt.Errorf("ghostdb driver: prepared statement is not a SELECT: %s", s.query)
 	}
 	cq, err := s.compiled()
 	if err != nil {
 		return nil, err
 	}
-	res, err := s.conn.sess.QueryCompiled(cq, params)
+	res, err := s.conn.sess.QueryCompiled(cq, params, core.WithContext(ctx))
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/core"
@@ -43,10 +44,18 @@ type Config struct {
 	// auto-checkpointing: the delta grows until an explicit CHECKPOINT
 	// or until the device RAM budget rejects further mutations.
 	DeltaLimit int
+	// SlowQuery arms the engine's built-in slow-query logger: queries
+	// whose wall-clock latency reaches this threshold are logged through
+	// log/slog and counted in slow_queries_total. Zero disables it.
+	SlowQuery time.Duration
+	// Metrics controls the engine metrics registry (default on). Off
+	// makes MetricsSnapshot return nil and removes the per-query
+	// counter updates.
+	Metrics bool
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -65,6 +74,8 @@ func defaultConfig() *Config {
 //	plancache    compiled-plan cache entries; 0 disables (default 256)
 //	batch        execution batch size in IDs; 1 = row-at-a-time (default 1024)
 //	deltalimit   auto-CHECKPOINT once the live-DML delta holds N entries
+//	slowquery    log queries at least this slow (Go duration, e.g. 50ms)
+//	metrics      engine metrics registry: "on" (default) | "off"
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -125,6 +136,21 @@ func ParseDSN(dsn string) (*Config, error) {
 				return nil, fmt.Errorf("ghostdb driver: deltalimit must be a positive entry count, got %q", vals[len(vals)-1])
 			}
 			cfg.DeltaLimit = n
+		case "slowquery":
+			d, err := time.ParseDuration(vals[len(vals)-1])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("ghostdb driver: slowquery must be a positive duration, got %q", vals[len(vals)-1])
+			}
+			cfg.SlowQuery = d
+		case "metrics":
+			switch strings.ToLower(vals[len(vals)-1]) {
+			case "on", "true", "1":
+				cfg.Metrics = true
+			case "off", "false", "0":
+				cfg.Metrics = false
+			default:
+				return nil, fmt.Errorf("ghostdb driver: metrics must be on or off, got %q", vals[len(vals)-1])
+			}
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -166,6 +192,12 @@ func (c *Config) options() []core.Option {
 	}
 	if c.DeltaLimit >= 1 {
 		opts = append(opts, core.WithDeltaLimit(c.DeltaLimit))
+	}
+	if c.SlowQuery > 0 {
+		opts = append(opts, core.WithSlowQuery(c.SlowQuery, nil))
+	}
+	if !c.Metrics {
+		opts = append(opts, core.WithMetrics(false))
 	}
 	return opts
 }

@@ -65,10 +65,15 @@
 package ghostdb
 
 import (
+	"context"
+	"log/slog"
+	"time"
+
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/datagen"
 	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/metrics"
 	"github.com/ghostdb/ghostdb/internal/plan"
 	"github.com/ghostdb/ghostdb/internal/trace"
 )
@@ -131,6 +136,69 @@ func WithPlanCacheSize(n int) Option { return core.WithPlanCacheSize(n) }
 
 // WithSpec forces a specific plan instead of the optimizer's choice.
 func WithSpec(s PlanSpec) QueryOption { return core.WithSpec(s) }
+
+// WithContext attaches a context to one query execution: cancellation is
+// honored at execution batch boundaries and surfaces as ctx.Err().
+func WithContext(ctx context.Context) QueryOption { return core.WithContext(ctx) }
+
+// WithMetrics enables or disables the engine metrics registry (default
+// enabled). Disabled, DB.MetricsSnapshot returns nil and queries skip
+// all counter updates.
+func WithMetrics(enabled bool) Option { return core.WithMetrics(enabled) }
+
+// WithQueryHook registers a tracing hook that observes every query's
+// start, finish and error events. Hooks run synchronously on the
+// querying goroutine; keep them cheap.
+func WithQueryHook(h QueryHook) Option { return core.WithQueryHook(h) }
+
+// WithSlowQuery arms the built-in slow-query logger: queries whose
+// wall-clock latency reaches d are logged through slog (Default when lg
+// is nil) and counted in slow_queries_total.
+func WithSlowQuery(d time.Duration, lg *slog.Logger) Option { return core.WithSlowQuery(d, lg) }
+
+// QueryHook observes query lifecycle events (see WithQueryHook).
+type QueryHook = core.QueryHook
+
+// QueryEvent is one query lifecycle event delivered to hooks.
+type QueryEvent = core.QueryEvent
+
+// QueryPhase labels a QueryEvent: start, finish or error.
+type QueryPhase = core.QueryPhase
+
+// Query lifecycle phases.
+const (
+	QueryStart  = core.QueryStart
+	QueryFinish = core.QueryFinish
+	QueryError  = core.QueryError
+)
+
+// SlowQueryHook builds the hook WithSlowQuery installs, for use with
+// WithQueryHook when combining it with other hooks.
+func SlowQueryHook(min time.Duration, lg *slog.Logger) QueryHook { return core.SlowQueryHook(min, lg) }
+
+// Analysis is the structured product of EXPLAIN [ANALYZE]: the chosen
+// plan, the optimizer's cardinality estimates and — for ANALYZE — the
+// executed result with per-operator estimated vs actual rows and
+// timings. Produce one with DB.ExplainAnalyze / DB.ExplainOnly, or send
+// the SQL statements "EXPLAIN SELECT ..." / "EXPLAIN ANALYZE SELECT ..."
+// through any query path, including the database/sql driver.
+type Analysis = core.Analysis
+
+// OpAnalysis is one operator row of an EXPLAIN ANALYZE.
+type OpAnalysis = core.OpAnalysis
+
+// DeltaSummary aggregates the live-DML delta and checkpoint state (see
+// DB.DeltaSummary).
+type DeltaSummary = core.DeltaSummary
+
+// MetricsSnapshot is a point-in-time copy of a metrics registry (see
+// DB.MetricsSnapshot and Session.MetricsSnapshot): sorted name/value
+// pairs with histogram summaries, JSON-marshalable, and renderable as
+// Prometheus text exposition via WritePrometheus.
+type MetricsSnapshot = metrics.Snapshot
+
+// Metric is one entry of a MetricsSnapshot.
+type Metric = metrics.Value
 
 // PlanSpec is one concrete query plan: a strategy per predicate plus the
 // cross-filtering switch.

@@ -1,0 +1,330 @@
+package core
+
+// This file is EXPLAIN / EXPLAIN ANALYZE: the SQL-level window into the
+// optimizer and the runtime. EXPLAIN renders the chosen plan with the
+// cost model's cardinality estimates; EXPLAIN ANALYZE additionally runs
+// the statement and lines up per-operator estimated vs actual tuple
+// counts with wall-clock and simulated timings — the estimated-vs-actual
+// feedback loop a cost-based optimizer consumes.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// isExplain reports whether sqlText's first token is EXPLAIN, without
+// parsing: Session.Query and DB.Query call it on every statement, so it
+// must cost nothing for the common non-EXPLAIN case.
+func isExplain(s string) bool {
+	i := 0
+	for i < len(s) && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r') {
+		i++
+	}
+	const kw = "explain"
+	if len(s)-i < len(kw) {
+		return false
+	}
+	for j := 0; j < len(kw); j++ {
+		if s[i+j]|0x20 != kw[j] {
+			return false
+		}
+	}
+	if i+len(kw) < len(s) {
+		c := s[i+len(kw)]
+		if c == '_' || (c >= '0' && c <= '9') || (c|0x20 >= 'a' && c|0x20 <= 'z') {
+			return false
+		}
+	}
+	return true
+}
+
+// OpAnalysis is one operator row of an EXPLAIN ANALYZE: the executor's
+// measured counters next to the cost model's cardinality estimate.
+type OpAnalysis struct {
+	Name      string
+	Detail    string
+	EstRows   int64 // estimated output cardinality; -1 when the model has none
+	TuplesIn  int64
+	TuplesOut int64
+	RAMBytes  int64
+	SimTime   time.Duration // simulated device time in the operator's phase
+}
+
+// Analysis is the structured product of EXPLAIN [ANALYZE]: the chosen
+// plan, the cost model's estimates, and — for ANALYZE — the executed
+// result with per-operator actuals.
+type Analysis struct {
+	SQL     string // canonical text of the explained SELECT
+	Analyze bool
+
+	Spec         plan.Spec          // the plan that was (or would be) executed
+	PlanText     string             // DB.Explain's rendering of the plan
+	Cards        plan.CardEstimates // the optimizer's cardinality model
+	EstimatedSim time.Duration      // the cost model's predicted device time
+
+	// Set only when Analyze: the executed result, its wall-clock
+	// latency (including device-gate wait), and the per-operator rows.
+	Result *Result
+	Wall   time.Duration
+	Ops    []OpAnalysis
+}
+
+// ExplainAnalyze compiles sqlText (a SELECT, or an EXPLAIN [ANALYZE]
+// statement whose inner SELECT is used), executes it, and returns the
+// plan with per-operator estimated vs actual cardinalities and timings.
+// The query must not contain '?' placeholders.
+func (db *DB) ExplainAnalyze(sqlText string, opts ...QueryOption) (*Analysis, error) {
+	sel, err := innerSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.analyzeSelect(sel, true, opts...)
+}
+
+// ExplainOnly compiles sqlText like ExplainAnalyze but renders the plan
+// and estimates without executing the query.
+func (db *DB) ExplainOnly(sqlText string, opts ...QueryOption) (*Analysis, error) {
+	sel, err := innerSelect(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	return db.analyzeSelect(sel, false, opts...)
+}
+
+// innerSelect extracts the SELECT from plain or EXPLAIN-prefixed text.
+func innerSelect(sqlText string) (*sql.Select, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.Select:
+		return s, nil
+	case *sql.Explain:
+		return s.Stmt, nil
+	default:
+		return nil, fmt.Errorf("core: EXPLAIN supports SELECT statements only, got %T", stmt)
+	}
+}
+
+// explainQuery answers a SQL-level EXPLAIN [ANALYZE] statement with a
+// one-column result ("plan"), one text line per row, so the rendering
+// flows through Session.Query and the database/sql driver unchanged.
+func (db *DB) explainQuery(sqlText string, opts ...QueryOption) (*Result, error) {
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	ex, ok := stmt.(*sql.Explain)
+	if !ok {
+		return nil, fmt.Errorf("core: expected an EXPLAIN statement, got %T", stmt)
+	}
+	a, err := db.analyzeSelect(ex.Stmt, ex.Analyze, opts...)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(a.Text(), "\n"), "\n")
+	res := &Result{Columns: []string{"plan"}, Query: nil}
+	res.Rows = make([][]value.Value, len(lines))
+	for i, ln := range lines {
+		res.Rows[i] = []value.Value{value.NewString(ln)}
+	}
+	if a.Result != nil {
+		res.Report = a.Result.Report
+		res.Spec = a.Result.Spec
+	}
+	return res, nil
+}
+
+// analyzeSelect is the shared EXPLAIN [ANALYZE] pipeline.
+func (db *DB) analyzeSelect(sel *sql.Select, execute bool, opts ...QueryOption) (*Analysis, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	canonical := sel.String()
+	cq, _, err := db.compileCached(canonical)
+	if err != nil {
+		return nil, err
+	}
+	if cq.shape.NumParams > 0 {
+		return nil, fmt.Errorf("core: cannot EXPLAIN a query with %d unbound parameters", cq.shape.NumParams)
+	}
+	bound := cq.shape
+
+	// Choose the plan exactly the way Run would: a forced spec wins,
+	// then the shape's cached choice, then the optimizer.
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil, ErrClosed
+	}
+	visSel, err := db.visSelections(bound)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	counts, err := db.predCounts(bound, visSel)
+	if err != nil {
+		db.mu.Unlock()
+		return nil, err
+	}
+	in := db.costInputs(counts)
+	var spec plan.Spec
+	switch {
+	case cfg.spec != nil:
+		spec = *cfg.spec
+		if err := spec.Validate(bound, db.hasIndexLocked); err != nil {
+			db.mu.Unlock()
+			return nil, err
+		}
+	case cq.chosen != nil:
+		spec = *cq.chosen
+	default:
+		best, bestCost := cq.specs[0], plan.Estimate(bound, cq.specs[0], in)
+		for _, s := range cq.specs[1:] {
+			if c := plan.Estimate(bound, s, in); c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		spec = best
+		chosen := best.Clone()
+		cq.chosen = &chosen
+	}
+	db.mu.Unlock()
+
+	a := &Analysis{
+		SQL:          canonical,
+		Analyze:      execute,
+		Spec:         spec,
+		Cards:        plan.EstimateCards(bound, spec, in),
+		EstimatedSim: plan.Estimate(bound, spec, in),
+	}
+	a.PlanText = db.Explain(bound, spec)
+
+	if !execute {
+		return a, nil
+	}
+	start := time.Now()
+	res, err := db.QueryWithPlan(bound, spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	a.Wall = time.Since(start)
+	a.Result = res
+	a.Ops = analyzeOps(bound, spec, a.Cards, res.Report)
+	if s := cfg.session; s != nil {
+		s.record(res.Report)
+	}
+	return a, nil
+}
+
+// analyzeOps lines the report's measured operators up with the cost
+// model's cardinality estimates. Operators the model does not estimate
+// carry EstRows = -1.
+func analyzeOps(q *plan.Query, spec plan.Spec, cards plan.CardEstimates, rep *stats.Report) []OpAnalysis {
+	// Own-level estimates per table for the shipped/bloom-hashed ID
+	// lists: visible predicates on one table combine multiplicatively.
+	shipEst := map[string]int64{}  // StratVisPre tables
+	bloomEst := map[string]int64{} // StratVisPost tables
+	tableEst := func(dst map[string]int64, i int) {
+		t := q.Preds[i].Col.Table
+		if cur, ok := dst[t]; !ok || int64(cards.PredCount[i]) < cur {
+			dst[t] = int64(cards.PredCount[i])
+		}
+	}
+	// Root-level estimate per predicate label for index contributions.
+	idxEst := map[string]int64{}
+	for i, st := range spec.Strategies {
+		switch st {
+		case plan.StratVisPre:
+			tableEst(shipEst, i)
+		case plan.StratVisPost:
+			tableEst(bloomEst, i)
+		case plan.StratHidIndex, plan.StratVisDevice:
+			idxEst[q.PredLabel(i)] = int64(cards.PredRootCount[i])
+		}
+	}
+
+	out := make([]OpAnalysis, 0, len(rep.Ops))
+	for _, op := range rep.Ops {
+		oa := OpAnalysis{
+			Name:      op.Name,
+			Detail:    op.Detail,
+			EstRows:   -1,
+			TuplesIn:  op.TuplesIn,
+			TuplesOut: op.TuplesOut,
+			RAMBytes:  op.RAMBytes,
+			SimTime:   op.Time,
+		}
+		switch op.Name {
+		case "ClimbingIndex":
+			if est, ok := idxEst[op.Detail]; ok {
+				oa.EstRows = est
+			}
+		case "ShipIDList":
+			if est, ok := shipEst[op.Detail]; ok {
+				oa.EstRows = est
+			}
+		case "BloomBuild":
+			if est, ok := bloomEst[op.Detail]; ok {
+				oa.EstRows = est
+			}
+		case "AccessSKT":
+			oa.EstRows = int64(cards.Candidates)
+		case "Filter", "Project":
+			oa.EstRows = int64(cards.Survivors)
+		case "Store":
+			if op.Detail == "materialize candidates" {
+				oa.EstRows = int64(cards.Survivors)
+			}
+		}
+		out = append(out, oa)
+	}
+	return out
+}
+
+// Text renders the analysis the way the demo GUI renders its popups:
+// the plan section first, then (for ANALYZE) the estimated-vs-actual
+// operator table and the run summary.
+func (a *Analysis) Text() string {
+	var b strings.Builder
+	if a.Analyze {
+		b.WriteString("EXPLAIN ANALYZE\n")
+	} else {
+		b.WriteString("EXPLAIN\n")
+	}
+	b.WriteString(strings.TrimRight(a.PlanText, "\n"))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "estimated: %d candidates, %d survivors, %s simulated\n",
+		a.Cards.Candidates, a.Cards.Survivors, stats.FormatDuration(a.EstimatedSim))
+	if !a.Analyze {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s %9s %12s\n",
+		"operator", "est", "in", "out", "ram", "sim")
+	for _, op := range a.Ops {
+		name := op.Name
+		if op.Detail != "" {
+			name += "(" + op.Detail + ")"
+		}
+		est := "-"
+		if op.EstRows >= 0 {
+			est = fmt.Sprintf("%d", op.EstRows)
+		}
+		fmt.Fprintf(&b, "%-28s %10s %10d %10d %9s %12s\n",
+			name, est, op.TuplesIn, op.TuplesOut,
+			stats.FormatBytes(op.RAMBytes), stats.FormatDuration(op.SimTime))
+	}
+	rep := a.Result.Report
+	fmt.Fprintf(&b, "actual: %d rows in %s simulated, %s wall (estimated %s simulated)\n",
+		rep.ResultRows, stats.FormatDuration(rep.TotalTime),
+		stats.FormatDuration(a.Wall), stats.FormatDuration(a.EstimatedSim))
+	return b.String()
+}

@@ -10,6 +10,7 @@ package core
 // work entirely. The run phase lives in executor.go.
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,12 +82,18 @@ func (db *DB) compileCached(sqlText string) (*CompiledQuery, bool, error) {
 	key := normalizeSQL(sqlText)
 	if v, ok := db.planCache.get(key); ok {
 		if cq, ok := v.(*CompiledQuery); ok {
+			if m := db.metrics; m != nil {
+				m.planCacheHits.Inc()
+			}
 			return cq, true, nil
 		}
 	}
 	cq, err := db.Compile(sqlText)
 	if err != nil {
 		return nil, false, err
+	}
+	if m := db.metrics; m != nil {
+		m.planCacheMisses.Inc()
 	}
 	db.planCache.put(key, cq)
 	return cq, false, nil
@@ -220,11 +227,33 @@ type QueryOption func(*queryConfig)
 
 type queryConfig struct {
 	spec *plan.Spec
+	ctx  context.Context
+	// session attributes the execution to a session's metrics registry.
+	session *Session
 }
 
 // WithSpec forces a specific plan instead of the optimizer's choice.
 func WithSpec(s plan.Spec) QueryOption {
 	return func(c *queryConfig) { spec := s.Clone(); c.spec = &spec }
+}
+
+// WithContext cancels the query when ctx is done. Cancellation is
+// honored at batch boundaries: the engine checks between batches of the
+// vectorized pipeline (and periodically in row mode) and returns
+// ctx.Err(). A canceled query charges the simulated clock only for the
+// work it actually performed.
+func WithContext(ctx context.Context) QueryOption {
+	return func(c *queryConfig) {
+		if ctx != nil && ctx.Done() != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// withSession attributes the run to a session (internal: Session.Query
+// and friends pass it so per-session metrics see the traffic).
+func withSession(s *Session) QueryOption {
+	return func(c *queryConfig) { c.session = s }
 }
 
 // Query compiles (through the shared plan cache), plans and executes a
@@ -237,6 +266,9 @@ func WithSpec(s plan.Spec) QueryOption {
 // optimizer's statistics probes and the execution itself serialize on
 // the gate, so concurrent callers queue for the single simulated device.
 func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
+	if isExplain(sqlText) {
+		return db.explainQuery(sqlText, opts...)
+	}
 	cq, _, err := db.compileCached(sqlText)
 	if err != nil {
 		return nil, err
@@ -251,13 +283,39 @@ func (db *DB) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 // execution. Pass options (e.g. WithSpec) to force a plan for one run
 // without disturbing the cached choice.
 func (cq *CompiledQuery) Run(params []value.Value, opts ...QueryOption) (*Result, error) {
-	bound, err := cq.shape.BindParams(params)
-	if err != nil {
-		return nil, err
-	}
 	var cfg queryConfig
 	for _, o := range opts {
 		o(&cfg)
+	}
+	db := cq.db
+	// Wall-clock starts before the device-gate wait: queue time is part
+	// of the latency a client observes.
+	start := time.Now()
+	if len(db.hooks) > 0 {
+		db.fireHooks(QueryEvent{Phase: QueryStart, SQL: cq.shape.SQL})
+	}
+	res, err := cq.run(params, &cfg)
+	wall := time.Since(start)
+	var label string
+	var simT time.Duration
+	var rows int
+	if err == nil {
+		label, simT, rows = res.Report.PlanLabel, res.Report.TotalTime, res.Report.ResultRows
+	}
+	db.observeQuery(cfg.session, cq.shape.SQL, label, wall, simT, rows, err)
+	return res, err
+}
+
+// run is the uninstrumented body of Run.
+func (cq *CompiledQuery) run(params []value.Value, cfg *queryConfig) (*Result, error) {
+	if cfg.ctx != nil {
+		if err := cfg.ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	bound, err := cq.shape.BindParams(params)
+	if err != nil {
+		return nil, err
 	}
 	db := cq.db
 	db.mu.Lock()
@@ -294,14 +352,35 @@ func (cq *CompiledQuery) Run(params []value.Value, opts ...QueryOption) (*Result
 		chosen := best.Clone()
 		cq.chosen = &chosen
 	}
-	return db.execute(bound, spec, visSel)
+	return db.execute(bound, spec, visSel, cfg.ctx)
 }
 
 // QueryWithPlan executes a prepared query under an explicit plan.
-func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
+func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec, opts ...QueryOption) (*Result, error) {
 	if q.NumParams > 0 {
 		return nil, fmt.Errorf("core: cannot execute a query with %d unbound parameters", q.NumParams)
 	}
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	start := time.Now()
+	if len(db.hooks) > 0 {
+		db.fireHooks(QueryEvent{Phase: QueryStart, SQL: q.SQL})
+	}
+	res, err := db.queryWithPlan(q, spec, &cfg)
+	wall := time.Since(start)
+	var label string
+	var simT time.Duration
+	var rows int
+	if err == nil {
+		label, simT, rows = res.Report.PlanLabel, res.Report.TotalTime, res.Report.ResultRows
+	}
+	db.observeQuery(cfg.session, q.SQL, label, wall, simT, rows, err)
+	return res, err
+}
+
+func (db *DB) queryWithPlan(q *plan.Query, spec plan.Spec, cfg *queryConfig) (*Result, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -314,5 +393,5 @@ func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(q, spec, visSel)
+	return db.execute(q, spec, visSel, cfg.ctx)
 }

@@ -11,8 +11,11 @@ package core
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/climbing"
@@ -58,6 +61,17 @@ type Options struct {
 	// no automatic checkpoint (mutations fail with a RAM budget error
 	// once the delta outgrows the device arena).
 	DeltaLimit int
+	// DisableMetrics turns the engine-wide metrics registry off
+	// (MetricsSnapshot then returns nil). Metrics are on by default;
+	// they cost a handful of atomic adds per query and never touch the
+	// simulated clock.
+	DisableMetrics bool
+	// Hooks are tracing callbacks fired on query start/finish/error.
+	Hooks []QueryHook
+	// SlowQueryThreshold, when positive, counts queries whose wall-clock
+	// latency reaches it in the slow_queries_total metric (see also
+	// WithSlowQuery, which pairs the threshold with a slog logger).
+	SlowQueryThreshold time.Duration
 }
 
 // Option mutates Options.
@@ -114,6 +128,36 @@ func WithDeltaLimit(n int) Option {
 	return func(o *Options) { o.DeltaLimit = n }
 }
 
+// WithMetrics enables (the default) or disables the engine-wide metrics
+// registry.
+func WithMetrics(enabled bool) Option {
+	return func(o *Options) { o.DisableMetrics = !enabled }
+}
+
+// WithQueryHook registers a tracing hook fired on query start, finish
+// and error (see QueryHook). Hooks run on the querying goroutine;
+// multiple hooks fire in registration order.
+func WithQueryHook(h QueryHook) Option {
+	return func(o *Options) {
+		if h != nil {
+			o.Hooks = append(o.Hooks, h)
+		}
+	}
+}
+
+// WithSlowQuery arms the built-in slow-query logger: queries whose
+// wall-clock latency reaches d are logged through slog (Default when lg
+// is nil) and counted in slow_queries_total. d <= 0 is a no-op.
+func WithSlowQuery(d time.Duration, lg *slog.Logger) Option {
+	return func(o *Options) {
+		if d <= 0 {
+			return
+		}
+		o.SlowQueryThreshold = d
+		o.Hooks = append(o.Hooks, SlowQueryHook(d, lg))
+	}
+}
+
 func defaultOptions() Options {
 	return Options{
 		Profile:   device.SmartUSB2007(),
@@ -153,6 +197,15 @@ type DB struct {
 	// has its own (sharded) locking: cache traffic never takes the
 	// device gate.
 	planCache *planCache
+
+	// metrics is the engine-wide observability registry (nil when
+	// disabled); feeds are atomic and never take the device gate.
+	metrics *engineMetrics
+	// hooks are the query tracing callbacks, immutable after Open.
+	hooks []QueryHook
+	// checkpointsRun counts CHECKPOINT merges that absorbed entries,
+	// readable without the device gate.
+	checkpointsRun atomic.Int64
 
 	// mu is the device gate: it serializes bulk load and query execution
 	// on the simulated device and guards all fields below it.
@@ -216,6 +269,10 @@ func Open(options ...Option) (*DB, error) {
 	if batchSize > 1 {
 		env.SetBatchLen(batchSize)
 	}
+	var em *engineMetrics
+	if !opts.DisableMetrics {
+		em = newEngineMetrics()
+	}
 	return &DB{
 		opts:       opts,
 		clock:      clock,
@@ -225,6 +282,8 @@ func Open(options ...Option) (*DB, error) {
 		net:        net,
 		rec:        rec,
 		planCache:  newPlanCache(cacheSize),
+		metrics:    em,
+		hooks:      opts.Hooks,
 		sch:        schema.New(),
 		vis:        visible.NewStore(),
 		skts:       map[string]*skt.SKT{},
@@ -314,6 +373,34 @@ func (db *DB) DeltaStats() []DeltaStats {
 		})
 	}
 	return out
+}
+
+// DeltaSummary is the whole-engine view of the live-DML state: the
+// delta's aggregate footprint plus the number of CHECKPOINTs that have
+// merged it into flash — the counters an operator watches to decide when
+// to checkpoint.
+type DeltaSummary struct {
+	Tables      int   // tables with a dirty delta
+	Rows        int   // delta-resident row images across all tables
+	Tombstones  int   // deleted identifiers across all tables
+	DeviceBytes int64 // hidden share charged to the device RAM arena
+	HostBytes   int64 // visible share held in host memory
+	Checkpoints int64 // CHECKPOINTs run over the database's lifetime
+}
+
+// DeltaSummary aggregates DeltaStats across tables and adds the
+// lifetime checkpoint count. It is the driver-facing companion to
+// PlanCacheStats: cheap enough to poll from a monitoring loop.
+func (db *DB) DeltaSummary() DeltaSummary {
+	s := DeltaSummary{Checkpoints: db.checkpointsRun.Load()}
+	for _, d := range db.DeltaStats() {
+		s.Tables++
+		s.Rows += d.Rows
+		s.Tombstones += d.Tombstones
+		s.DeviceBytes += d.DeviceB
+		s.HostBytes += d.HostB
+	}
+	return s
 }
 
 // Loaded reports whether the bulk load has been finalized.

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ghostdb/ghostdb/internal/climbing"
 	"github.com/ghostdb/ghostdb/internal/exec"
@@ -58,6 +59,16 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 		return 0, ErrClosed
 	}
 	var affected int64
+	var dmlStmts, dmlRows int64
+	// Fold the DML counters and refresh the delta gauges on every exit
+	// path; runs before the gate is released (defers are LIFO).
+	defer func() {
+		if m := db.metrics; m != nil && dmlStmts > 0 {
+			m.dmlStatements.Add(dmlStmts)
+			m.rowsAffected.Add(dmlRows)
+			m.noteDelta(db)
+		}
+	}()
 	for _, s := range stmts {
 		switch s := s.(type) {
 		case *sql.CreateTable:
@@ -69,6 +80,8 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 				return affected, err
 			}
 			affected += int64(len(s.Rows))
+			dmlStmts++
+			dmlRows += int64(len(s.Rows))
 			if err := db.maybeAutoCheckpoint(); err != nil {
 				return affected, err
 			}
@@ -85,6 +98,8 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 			}
 			n, err := db.execDMLLocked(d)
 			affected += n
+			dmlStmts++
+			dmlRows += n
 			if err != nil {
 				return affected, err
 			}
@@ -212,6 +227,11 @@ func (cd *CompiledDML) Exec(params []value.Value) (int64, error) {
 		return 0, ErrClosed
 	}
 	n, err := db.execDMLLocked(bound)
+	if m := db.metrics; m != nil {
+		m.dmlStatements.Inc()
+		m.rowsAffected.Add(n)
+		m.noteDelta(db)
+	}
 	if err != nil {
 		return n, err
 	}
@@ -244,6 +264,9 @@ func (l *liveness) live(table string, id uint32) bool {
 		return v
 	}
 	l.db.dev.CPU.Charge(sim.CyclesTombstone)
+	if em := l.db.metrics; em != nil {
+		em.tombstoneProbes.Inc()
+	}
 	v := l.computeLive(table, id)
 	m[id] = v
 	return v
@@ -632,6 +655,17 @@ func (db *DB) checkpointLocked() (int64, error) {
 	if absorbed == 0 {
 		return 0, nil
 	}
+	ckptStart := time.Now()
+	simStart := db.clock.Now()
+	defer func() {
+		db.checkpointsRun.Add(1)
+		if m := db.metrics; m != nil {
+			m.checkpoints.Inc()
+			m.checkpointWall.Observe(time.Since(ckptStart).Nanoseconds())
+			m.checkpointSim.Observe(int64(db.clock.Span(simStart)))
+			m.noteDelta(db)
+		}
+	}()
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, len("CHECKPOINT"), "CHECKPOINT", nil); err != nil {
 		return 0, err
 	}

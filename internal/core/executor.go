@@ -8,6 +8,7 @@ package core
 // predicate values and the strategy per predicate is fixed.
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"sort"
@@ -102,8 +103,9 @@ func forEachEntry(ix *climbing.Index, p pred.P, fn func(climbing.Entry) error) e
 	return fmt.Errorf("core: unknown predicate form %d", p.Form)
 }
 
-// execute runs the distributed plan and assembles the result.
-func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result, error) {
+// execute runs the distributed plan and assembles the result. ctx (may
+// be nil) cancels at batch boundaries.
+func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32, ctx context.Context) (*Result, error) {
 	db.dev.RAM.ResetHigh()
 	flashStart := db.dev.Flash.Stats()
 	busStart := db.net.Stats(trace.Terminal, trace.Device)
@@ -112,6 +114,9 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result
 	rep := &stats.Report{Query: q.SQL, PlanLabel: spec.Label}
 	ex := executorPool.Get().(*executor)
 	ex.reset(db, q, spec, rep, visSel)
+	if ctx != nil {
+		ex.ctx, ex.done = ctx, ctx.Done()
+	}
 	// Live-DML footprint: which base root rows the delta shadows, and
 	// which root IDs must be re-evaluated against the effective state.
 	ex.deltaDead, ex.deltaCands = db.deltaFootprint(q)
@@ -124,6 +129,16 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32) (*Result
 	busNow := db.net.Stats(trace.Terminal, trace.Device)
 	rep.BusBytes = busNow.Bytes - busStart.Bytes
 	rep.BusMsgs = busNow.Messages - busStart.Messages
+
+	// Feed the engine registry from the measured report. Atomic adds
+	// only — no simulated-clock charges, so metrics cannot perturb any
+	// reported timing or tuple count.
+	if m := db.metrics; m != nil {
+		m.batchesPulled.Add(ex.batches)
+		m.flashPageReads.Add(rep.Flash.PageReads)
+		m.busBytes.Add(rep.BusBytes)
+		m.ramHighWater.Observe(rep.RAMHigh)
+	}
 
 	ex.cleanup()
 	if runErr != nil {
@@ -155,6 +170,7 @@ func (ex *executor) release() {
 	ex.spec = plan.Spec{}
 	ex.rootBySeq = nil
 	ex.deltaDead, ex.deltaCands, ex.deltaRows = nil, nil, nil
+	ex.ctx, ex.done = nil, nil
 	for j := range ex.projVals {
 		ex.projVals[j] = nil
 	}
@@ -185,6 +201,7 @@ func (ex *executor) reset(db *DB, q *plan.Query, spec plan.Spec, rep *stats.Repo
 	ex.rootBySeq = ex.rootBySeq[:0]
 	ex.deltaDead, ex.deltaCands = nil, nil
 	ex.deltaRows = ex.deltaRows[:0]
+	ex.ctx, ex.done, ex.batches = nil, nil, 0
 	ex.hps = ex.hps[:0]
 	ex.kps = ex.kps[:0]
 	if cap(ex.projVals) >= len(q.Projs) {
@@ -228,6 +245,49 @@ type executor struct {
 	deltaDead  map[uint32]struct{}
 	deltaCands []uint32
 	deltaRows  []deltaRow
+
+	// ctx/done cancel the query at batch boundaries (nil: never).
+	ctx  context.Context
+	done <-chan struct{}
+	// batches counts vectorized batches pulled, fed to the metrics
+	// registry once per query.
+	batches int64
+}
+
+// ctxBatchIter wraps the root ID stream: each pull checks cancellation
+// and bumps the executor's batch counter (in row mode a "batch" is the
+// single ID the caller demanded).
+type ctxBatchIter struct {
+	in exec.BatchIter
+	ex *executor
+}
+
+func (c *ctxBatchIter) Next(dst []uint32) (int, error) {
+	if err := c.ex.checkCtx(); err != nil {
+		return 0, err
+	}
+	n, err := c.in.Next(dst)
+	if n > 0 {
+		c.ex.batches++
+	}
+	return n, err
+}
+
+func (c *ctxBatchIter) Close() { c.in.Close() }
+
+// checkCtx reports the context's cancellation error, if any; a nil done
+// channel (no context) always passes. Called at batch boundaries only,
+// so the non-blocking select stays off the per-tuple path.
+func (ex *executor) checkCtx() error {
+	if ex.done == nil {
+		return nil
+	}
+	select {
+	case <-ex.done:
+		return ex.ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // deltaRow is one query result row served from the effective state
@@ -349,6 +409,10 @@ func (ex *executor) strategyOf(i int) plan.Strategy { return ex.spec.Strategies[
 func (ex *executor) run() error {
 	db, q := ex.db, ex.q
 
+	if err := ex.checkCtx(); err != nil {
+		return err
+	}
+
 	// The spy sees the query text (threat model: "the only information
 	// revealed ... is which queries you pose and the visible data you
 	// access").
@@ -403,6 +467,10 @@ func (ex *executor) run() error {
 	if err != nil {
 		return err
 	}
+	// Cancellation checks and the batches-pulled count ride the batch
+	// boundary: one non-blocking select and one local increment per
+	// pull, nothing per tuple.
+	rootIter = &ctxBatchIter{in: rootIter, ex: ex}
 
 	// Live DML: subtract base root rows whose referenced tree touches
 	// the delta. The index structures answered for the base segments
@@ -512,6 +580,10 @@ func (ex *executor) run() error {
 		storeOp.NoteRAM(db.dev.RAM.Used())
 	}
 
+	if err := ex.checkCtx(); err != nil {
+		return err
+	}
+
 	// The Store pass assigned dense sequence numbers 0..n-1; size the
 	// display-side projection stores accordingly.
 	ex.sizeProjStore(rf.Count())
@@ -549,7 +621,12 @@ func (ex *executor) evalDeltaRows() error {
 	phase := db.clock.Now()
 	lv := db.newLiveness()
 	resultBytes := 0
-	for _, id := range ex.deltaCands {
+	for n, id := range ex.deltaCands {
+		if n&63 == 0 {
+			if err := ex.checkCtx(); err != nil {
+				return err
+			}
+		}
 		op.AddIn(1)
 		db.dev.CPU.Charge(sim.CyclesDeltaRow)
 		if !lv.live(q.Root.Name, id) {
@@ -1028,6 +1105,9 @@ func (ex *executor) projectionPasses(rf *exec.RowFile, visPostByTable map[string
 
 	sortedBy := q.Root.Name
 	for _, t := range passes {
+		if err := ex.checkCtx(); err != nil {
+			return nil, err
+		}
 		field := ex.field[t]
 		if sortedBy != t {
 			op := ex.rep.NewOp("Sort", "by "+t)
@@ -1242,6 +1322,9 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 		rb := db.env.NewRowBatch(rf.Fields())
 		defer exec.PutRowBatch(rb)
 		for {
+			if err := ex.checkCtx(); err != nil {
+				return err
+			}
 			k, err := it.Next(rb)
 			if err != nil {
 				return err
@@ -1249,6 +1332,7 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 			if k == 0 {
 				break
 			}
+			ex.batches++
 			op.AddIn(int64(k))
 			for i := 0; i < k; i++ {
 				if err := scanRow(rb.Row(i)); err != nil {
@@ -1262,7 +1346,12 @@ func (ex *executor) finalScan(rf *exec.RowFile) error {
 			return err
 		}
 		defer it.Close()
-		for {
+		for n := 0; ; n++ {
+			if n&1023 == 0 {
+				if err := ex.checkCtx(); err != nil {
+					return err
+				}
+			}
 			r, ok, err := it.Next()
 			if err != nil {
 				return err

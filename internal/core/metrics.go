@@ -1,0 +1,132 @@
+package core
+
+import (
+	"github.com/ghostdb/ghostdb/internal/metrics"
+)
+
+// engineMetrics holds pre-registered pointers into one metrics.Registry
+// so the hot path pays a few atomic adds and zero map lookups per query.
+// Every field is nil-safe: a nil *engineMetrics (metrics disabled via
+// WithMetrics(false)) makes every feed a no-op.
+//
+// Time histograms come in pairs: *_wall_ns is host wall-clock,
+// *_sim_ns is simulated device time. Feeding metrics never charges the
+// simulated clock, so enabling them cannot change any reported result.
+type engineMetrics struct {
+	reg *metrics.Registry
+
+	queries         *metrics.Counter
+	queryErrors     *metrics.Counter
+	queriesCanceled *metrics.Counter
+	rowsReturned    *metrics.Counter
+	batchesPulled   *metrics.Counter
+	slowQueries     *metrics.Counter
+
+	planCacheHits   *metrics.Counter
+	planCacheMisses *metrics.Counter
+
+	dmlStatements   *metrics.Counter
+	rowsAffected    *metrics.Counter
+	checkpoints     *metrics.Counter
+	tombstoneProbes *metrics.Counter
+
+	flashPageReads *metrics.Counter
+	busBytes       *metrics.Counter
+
+	ramHighWater *metrics.MaxGauge
+
+	deltaRows       *metrics.Gauge
+	deltaTombstones *metrics.Gauge
+	deltaBytes      *metrics.Gauge
+
+	queryWall      *metrics.Histogram
+	querySim       *metrics.Histogram
+	checkpointWall *metrics.Histogram
+	checkpointSim  *metrics.Histogram
+}
+
+// newEngineMetrics builds a registry with the engine's full metric set.
+func newEngineMetrics() *engineMetrics {
+	r := metrics.NewRegistry()
+	return &engineMetrics{
+		reg: r,
+
+		queries:         r.Counter("queries_total", "queries executed"),
+		queryErrors:     r.Counter("query_errors_total", "queries that returned an error"),
+		queriesCanceled: r.Counter("queries_canceled_total", "queries stopped by context cancellation"),
+		rowsReturned:    r.Counter("rows_returned_total", "result rows delivered to clients"),
+		batchesPulled:   r.Counter("batches_pulled_total", "vectorized batches pulled through the root stream"),
+		slowQueries:     r.Counter("slow_queries_total", "queries over the slow-query threshold"),
+
+		planCacheHits:   r.Counter("plan_cache_hits_total", "compilations served from the plan cache"),
+		planCacheMisses: r.Counter("plan_cache_misses_total", "compilations that parsed and planned from scratch"),
+
+		dmlStatements:   r.Counter("dml_statements_total", "INSERT/UPDATE/DELETE statements executed"),
+		rowsAffected:    r.Counter("rows_affected_total", "rows touched by DML"),
+		checkpoints:     r.Counter("checkpoints_total", "CHECKPOINT merges that absorbed delta entries"),
+		tombstoneProbes: r.Counter("tombstone_probes_total", "device liveness probes against the tombstone set"),
+
+		flashPageReads: r.Counter("flash_page_reads_total", "simulated flash page reads charged to queries"),
+		busBytes:       r.Counter("bus_bytes_total", "bytes that crossed the terminal-device wire"),
+
+		ramHighWater: r.MaxGauge("ram_high_water_bytes", "device RAM arena high-water mark"),
+
+		deltaRows:       r.Gauge("delta_rows", "live rows resident in the RAM delta store"),
+		deltaTombstones: r.Gauge("delta_tombstones", "tombstones resident in the RAM delta store"),
+		deltaBytes:      r.Gauge("delta_device_bytes", "device RAM held by the delta store"),
+
+		queryWall:      r.Histogram("query_wall_ns", "query latency, host wall-clock"),
+		querySim:       r.Histogram("query_sim_ns", "query latency, simulated device time"),
+		checkpointWall: r.Histogram("checkpoint_wall_ns", "CHECKPOINT duration, host wall-clock"),
+		checkpointSim:  r.Histogram("checkpoint_sim_ns", "CHECKPOINT duration, simulated device time"),
+	}
+}
+
+// snapshot returns the registry snapshot; nil when metrics are off.
+func (m *engineMetrics) snapshot() metrics.Snapshot {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Snapshot()
+}
+
+// noteDelta refreshes the delta-store gauges from the store's current
+// footprint. Callers hold db.mu (the delta store is device state).
+func (m *engineMetrics) noteDelta(db *DB) {
+	if m == nil {
+		return
+	}
+	var rows, tombs int
+	var deviceBytes int64
+	for _, dt := range db.delta.Tables() {
+		if !dt.Dirty() {
+			continue
+		}
+		rows += dt.Rows()
+		tombs += dt.Tombstones()
+		deviceBytes += dt.DeviceBytes()
+	}
+	m.deltaRows.Set(int64(rows))
+	m.deltaTombstones.Set(int64(tombs))
+	m.deltaBytes.Set(deviceBytes)
+}
+
+// MetricsSnapshot returns a point-in-time snapshot of the engine-wide
+// metrics registry (counters, gauges, histograms), sorted by name.
+// Returns nil when metrics are disabled (WithMetrics(false)).
+func (db *DB) MetricsSnapshot() metrics.Snapshot {
+	return db.metrics.snapshot()
+}
+
+// MetricsSnapshot returns this session's private metrics (queries,
+// latency histograms, rows) — the same names as the DB registry but
+// scoped to the session's own traffic. Nil when metrics are disabled.
+func (s *Session) MetricsSnapshot() metrics.Snapshot {
+	return s.metrics.snapshot()
+}
+
+// CheckpointsRun reports how many CHECKPOINT merges have absorbed delta
+// entries over the DB's lifetime (manual and automatic).
+func (db *DB) CheckpointsRun() int64 {
+	return db.checkpointsRun.Load()
+}

@@ -28,6 +28,11 @@ type Session struct {
 	db *DB
 	id int
 
+	// metrics is the session-scoped registry (nil when the DB's metrics
+	// are disabled): the same metric names as the DB registry, counting
+	// only this session's traffic.
+	metrics *engineMetrics
+
 	mu          sync.Mutex
 	closed      bool
 	queries     int64
@@ -52,7 +57,11 @@ func (db *DB) NewSession() (*Session, error) {
 	}
 	db.nextSession++
 	db.sessions++
-	return &Session{db: db, id: db.nextSession}, nil
+	s := &Session{db: db, id: db.nextSession}
+	if db.metrics != nil {
+		s.metrics = newEngineMetrics()
+	}
+	return s, nil
 }
 
 // OpenSessions reports the number of sessions currently open.
@@ -97,6 +106,13 @@ func (s *Session) check() error {
 
 // recordCache folds one plan-cache lookup into the session statistics.
 func (s *Session) recordCache(hit bool) {
+	if m := s.metrics; m != nil {
+		if hit {
+			m.planCacheHits.Inc()
+		} else {
+			m.planCacheMisses.Inc()
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if hit {
@@ -180,10 +196,15 @@ func (s *Session) Compile(sqlText string) (*CompiledQuery, error) {
 }
 
 // Query compiles (through the shared plan cache) and executes a SELECT
-// through the shared device gate.
+// through the shared device gate. EXPLAIN and EXPLAIN ANALYZE prefixes
+// are intercepted and answered with a rendered plan (see DB.Explain and
+// DB.ExplainAnalyze).
 func (s *Session) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 	if err := s.check(); err != nil {
 		return nil, err
+	}
+	if isExplain(sqlText) {
+		return s.db.explainQuery(sqlText, append(opts, withSession(s))...)
 	}
 	// The memo only applies while the shared cache is enabled: with
 	// plancache=0 every query must recompile, as documented.
@@ -214,9 +235,12 @@ func (s *Session) Query(sqlText string, opts ...QueryOption) (*Result, error) {
 		// on the shared counters too so DB-level stats stay a superset
 		// of per-session stats.
 		s.db.planCache.noteHit()
+		if m := s.db.metrics; m != nil {
+			m.planCacheHits.Inc()
+		}
 		s.recordCache(true)
 	}
-	res, err := cq.Run(nil, opts...)
+	res, err := cq.Run(nil, append(opts, withSession(s))...)
 	if err != nil {
 		return nil, err
 	}
@@ -230,7 +254,7 @@ func (s *Session) QueryCompiled(cq *CompiledQuery, params []value.Value, opts ..
 	if err := s.check(); err != nil {
 		return nil, err
 	}
-	res, err := cq.Run(params, opts...)
+	res, err := cq.Run(params, append(opts, withSession(s))...)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +319,7 @@ func (s *Session) QueryWithPlan(q *plan.Query, spec plan.Spec) (*Result, error) 
 	if err := s.check(); err != nil {
 		return nil, err
 	}
-	res, err := s.db.QueryWithPlan(q, spec)
+	res, err := s.db.QueryWithPlan(q, spec, withSession(s))
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,83 @@
+package plan
+
+// CardEstimates is the optimizer's cardinality model for one
+// (query, spec) pair — the same arithmetic Estimate folds into its time
+// costs, exposed on its own so EXPLAIN ANALYZE can print estimated vs
+// actual tuple counts (the runtime feedback a cost-based optimizer
+// consumes).
+type CardEstimates struct {
+	// RootRows is the base root-table cardinality (floor 1).
+	RootRows int
+	// PredCount is each predicate's own-level matching cardinality:
+	// exact for visible predicates, climbing-index dictionary statistics
+	// for indexed hidden ones, and half the table when unknown.
+	PredCount []int
+	// PredRootCount scales PredCount to the query-root level through
+	// the uniform fan-out assumption.
+	PredRootCount []int
+	// Candidates estimates the root IDs surviving every pre-filtering
+	// contribution — the stream reaching the SKT scan.
+	Candidates int
+	// Survivors estimates the candidates surviving post verification:
+	// the base pipeline's output cardinality before host-side
+	// post-operators (aggregation, DISTINCT, ORDER BY, LIMIT).
+	Survivors int
+}
+
+// EstimateCards runs the cost model's cardinality arithmetic for a spec.
+func EstimateCards(q *Query, spec Spec, in CostInputs) CardEstimates {
+	rootRows := in.TableRows[q.Root.Name]
+	if rootRows == 0 {
+		rootRows = 1
+	}
+	count := func(i int) int {
+		c := in.Counts[i]
+		if c < 0 {
+			c = in.TableRows[q.Preds[i].Col.Table] / 2
+		}
+		return c
+	}
+	rootCount := func(i int) int {
+		t := q.Preds[i].Col.Table
+		tr := in.TableRows[t]
+		if tr == 0 {
+			return count(i)
+		}
+		return int(float64(count(i)) * float64(rootRows) / float64(tr))
+	}
+
+	ce := CardEstimates{
+		RootRows:      rootRows,
+		PredCount:     make([]int, len(q.Preds)),
+		PredRootCount: make([]int, len(q.Preds)),
+	}
+	preSelectivity := 1.0
+	for i, st := range spec.Strategies {
+		ce.PredCount[i] = count(i)
+		ce.PredRootCount[i] = rootCount(i)
+		switch st {
+		case StratVisPre, StratHidIndex, StratVisDevice:
+			preSelectivity *= float64(rootCount(i)) / float64(rootRows)
+		}
+	}
+
+	candidates := preSelectivity * float64(rootRows)
+	if candidates < 1 {
+		candidates = 1
+	}
+	survivors := candidates
+	for i, st := range spec.Strategies {
+		if st == StratVisPost {
+			survivors *= float64(rootCount(i)) / float64(rootRows)
+		}
+		if st == StratHidPost {
+			survivors *= float64(count(i)) / float64(max(in.TableRows[q.Preds[i].Col.Table], 1))
+		}
+	}
+	if survivors < 1 {
+		survivors = 1
+	}
+	ce.Candidates = int(candidates + 0.5)
+	ce.Survivors = int(survivors + 0.5)
+	return ce
+}

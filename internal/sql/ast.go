@@ -15,7 +15,7 @@ import (
 )
 
 // Statement is a parsed SQL statement: *CreateTable, *Insert, *Select,
-// *Delete, *Update or *Checkpoint.
+// *Delete, *Update, *Checkpoint or *Explain.
 type Statement interface {
 	stmt()
 	String() string
@@ -667,3 +667,20 @@ type Checkpoint struct{}
 func (*Checkpoint) stmt() {}
 
 func (*Checkpoint) String() string { return "CHECKPOINT" }
+
+// Explain is the EXPLAIN [ANALYZE] <select> statement: render the
+// optimizer's plan for the query, and — with ANALYZE — execute it and
+// report per-operator estimated vs actual cardinalities and timings.
+type Explain struct {
+	Analyze bool
+	Stmt    *Select
+}
+
+func (*Explain) stmt() {}
+
+func (e *Explain) String() string {
+	if e.Analyze {
+		return "EXPLAIN ANALYZE " + e.Stmt.String()
+	}
+	return "EXPLAIN " + e.Stmt.String()
+}

@@ -129,9 +129,29 @@ func (p *parser) parseStatement() (Statement, error) {
 	case t.isKeyword("checkpoint"):
 		p.next()
 		return &Checkpoint{}, nil
+	case t.isKeyword("explain"):
+		return p.parseExplain()
 	default:
-		return nil, p.errorf("expected CREATE, INSERT, SELECT, DELETE, UPDATE or CHECKPOINT, got %s", t)
+		return nil, p.errorf("expected CREATE, INSERT, SELECT, DELETE, UPDATE, CHECKPOINT or EXPLAIN, got %s", t)
 	}
+}
+
+// parseExplain parses EXPLAIN [ANALYZE] <select>.
+func (p *parser) parseExplain() (Statement, error) {
+	p.next() // EXPLAIN
+	analyze := false
+	if p.peek().isKeyword("analyze") {
+		p.next()
+		analyze = true
+	}
+	if !p.peek().isKeyword("select") {
+		return nil, p.errorf("EXPLAIN supports SELECT statements only, got %s", p.peek())
+	}
+	stmt, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	return &Explain{Analyze: analyze, Stmt: stmt}, nil
 }
 
 // parseWhere parses an optional conjunctive WHERE clause.

@@ -84,3 +84,56 @@ func TestFormatDuration(t *testing.T) {
 		}
 	}
 }
+
+// TestFormatBytesBoundaries pins the unit transitions exactly: each
+// formatter must switch units at the binary power, not one off.
+func TestFormatBytesBoundaries(t *testing.T) {
+	cases := map[int64]string{
+		1<<10 - 1: "1023B",
+		1 << 10:   "1.0KB",
+		1<<20 - 1: "1024.0KB",
+		1 << 20:   "1.0MB",
+		1<<30 - 1: "1024.0MB",
+		1 << 30:   "1.00GB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatDurationBoundaries(t *testing.T) {
+	cases := map[time.Duration]string{
+		0:                     "0ns",
+		999 * time.Nanosecond: "999ns",
+		time.Microsecond:      "1.0µs",
+		time.Millisecond:      "1.00ms",
+		time.Second:           "1.000s",
+		90 * time.Second:      "90.000s",
+	}
+	for in, want := range cases {
+		if got := FormatDuration(in); got != want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCacheStats(t *testing.T) {
+	var zero CacheStats
+	if r := zero.HitRate(); r != 0 {
+		t.Errorf("zero HitRate = %v, want 0", r)
+	}
+	c := CacheStats{Hits: 3, Misses: 1, Evictions: 2, Entries: 5}
+	if r := c.HitRate(); r != 0.75 {
+		t.Errorf("HitRate = %v, want 0.75", r)
+	}
+	sum := c.Add(CacheStats{Hits: 1, Misses: 3, Evictions: 1, Entries: 2})
+	want := CacheStats{Hits: 4, Misses: 4, Evictions: 3, Entries: 7}
+	if sum != want {
+		t.Errorf("Add = %+v, want %+v", sum, want)
+	}
+	if s := c.String(); s != "hits=3 misses=1 evictions=2 entries=5 (75.0% hit rate)" {
+		t.Errorf("String = %q", s)
+	}
+}
