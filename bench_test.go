@@ -307,6 +307,21 @@ func BenchmarkConcurrentThroughput(b *testing.B) {
 	benchConcurrent(b, db)
 }
 
+// BenchmarkConcurrentThroughput4Shards is the same workload on a DB
+// split over four simulated devices: the dimension-rooted query
+// round-robins across four independent device gates instead of
+// serializing on one, so at 16 goroutines the queries/sec metric should
+// scale toward 4x BenchmarkConcurrentThroughput (the sharding
+// acceptance gate is 2.5x).
+func BenchmarkConcurrentThroughput4Shards(b *testing.B) {
+	skipIfShort(b)
+	db, _, err := bench.BuildDB(bench.Config{Scale: 2_000}, core.WithShards(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchConcurrent(b, db)
+}
+
 // BenchmarkConcurrentThroughputMetricsOff is the same workload with the
 // metrics registry disabled — the baseline for the observability
 // acceptance gate (metrics-on throughput within 5% of this).

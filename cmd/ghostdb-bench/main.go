@@ -7,7 +7,7 @@
 //	ghostdb-bench sweep baselines storage
 //
 // Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
-// bloom game ablations aggregate dml observability.
+// bloom game ablations aggregate dml observability shard.
 //
 // The -debug-addr flag serves the live observability endpoint
 // (/debug/vars JSON and /metrics Prometheus text) for the shared
@@ -49,6 +49,10 @@ type benchRecord struct {
 	// observability experiment): the acceptance gate is overhead_pct
 	// staying under 5.
 	Observability *bench.ObservabilityReport `json:"observability,omitempty"`
+	// ShardScaling carries the multi-device scaling curve (the shard
+	// experiment): concurrent throughput, scatter-gather aggregate and
+	// DML batch per shard count.
+	ShardScaling []bench.ShardPoint `json:"shard_scaling,omitempty"`
 }
 
 // lastDMLPhases stashes the dml experiment's phase records for the JSON
@@ -57,6 +61,9 @@ var lastDMLPhases []bench.DMLPhase
 
 // lastObservability stashes the observability experiment's report.
 var lastObservability *bench.ObservabilityReport
+
+// lastShardPoints stashes the shard experiment's scaling curve.
+var lastShardPoints []bench.ShardPoint
 
 func writeBenchJSON(rec benchRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
@@ -69,7 +76,7 @@ func writeBenchJSON(rec benchRecord) error {
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
 	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
-	"observability",
+	"observability", "shard",
 }
 
 func main() {
@@ -149,6 +156,9 @@ func main() {
 			}
 			if name == "observability" {
 				rec.Observability = lastObservability
+			}
+			if name == "shard" {
+				rec.ShardScaling = lastShardPoints
 			}
 			if err := writeBenchJSON(rec); err != nil {
 				log.Fatalf("%s: writing JSON: %v", name, err)
@@ -275,6 +285,14 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		lastObservability = rep
 		fmt.Print(bench.FormatObservability(rep))
+	case "shard":
+		fmt.Println("Sharding: 1/2/4/8 devices — throughput, scatter-gather aggregate, DML")
+		points, err := bench.ShardScaling(smaller(cfg), []int{1, 2, 4, 8}, 16, 25)
+		if err != nil {
+			return err
+		}
+		lastShardPoints = points
+		fmt.Print(bench.FormatShardPoints(points))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

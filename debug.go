@@ -9,6 +9,7 @@ package ghostdb
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 )
@@ -30,6 +31,9 @@ func DebugHandler(db *DB) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		db.MetricsSnapshot().WritePrometheus(w, "ghostdb_")
+		for i, snap := range db.ShardMetrics() {
+			snap.WritePrometheus(w, fmt.Sprintf("ghostdb_shard%d_", i))
+		}
 	})
 	return mux
 }
@@ -44,6 +48,12 @@ func debugVars(db *DB) map[string]any {
 	}
 	if snap := db.MetricsSnapshot(); snap != nil {
 		doc["metrics"] = snap
+	}
+	if infos := db.ShardInfos(); infos != nil {
+		doc["shards"] = infos
+		if snaps := db.ShardMetrics(); snaps != nil {
+			doc["shard_metrics"] = snaps
+		}
 	}
 	return doc
 }

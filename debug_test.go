@@ -11,9 +11,9 @@ import (
 	"github.com/ghostdb/ghostdb"
 )
 
-func openDebugDB(t *testing.T) *ghostdb.DB {
+func openDebugDB(t *testing.T, opts ...ghostdb.Option) *ghostdb.DB {
 	t.Helper()
-	db, err := ghostdb.Open()
+	db, err := ghostdb.Open(opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,6 +102,71 @@ func TestServeDebug(t *testing.T) {
 		"ghostdb_queries_total 1",
 		"# TYPE ghostdb_query_wall_ns histogram",
 		"ghostdb_query_wall_ns_bucket{le=\"+Inf\"} 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestServeDebugSharded pins the per-shard monitoring surfaces: a
+// sharded DB reports a "shards" array in /debug/vars and one prefixed
+// registry per shard in the Prometheus exposition.
+func TestServeDebugSharded(t *testing.T) {
+	db := openDebugDB(t, ghostdb.WithShards(2))
+	if _, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`); err != nil {
+		t.Fatal(err)
+	}
+
+	addr, stop, err := ghostdb.ServeDebug("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+
+	get := func(path string) string {
+		t.Helper()
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d, %v", path, resp.StatusCode, err)
+		}
+		return string(body)
+	}
+
+	var doc struct {
+		Shards       []ghostdb.ShardInfo `json:"shards"`
+		ShardMetrics []json.RawMessage   `json:"shard_metrics"`
+	}
+	body := get("/debug/vars")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v\n%s", err, body)
+	}
+	if len(doc.Shards) != 2 || len(doc.ShardMetrics) != 2 {
+		t.Fatalf("shards = %d entries, shard_metrics = %d, want 2 each\n%s",
+			len(doc.Shards), len(doc.ShardMetrics), body)
+	}
+	rows := 0
+	for i, si := range doc.Shards {
+		if si.Shard != i {
+			t.Fatalf("shard %d reports Shard=%d", i, si.Shard)
+		}
+		rows += si.RootRows
+	}
+	if rows != 3 {
+		t.Fatalf("root rows over shards = %d, want 3", rows)
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"ghostdb_queries_total 1",
+		"ghostdb_shard0_flash_page_reads_total",
+		"ghostdb_shard1_flash_page_reads_total",
 	} {
 		if !strings.Contains(prom, want) {
 			t.Errorf("/metrics missing %q:\n%s", want, prom)

@@ -52,10 +52,14 @@ type Config struct {
 	// makes MetricsSnapshot return nil and removes the per-query
 	// counter updates.
 	Metrics bool
+	// Shards splits the database over N simulated devices with
+	// scatter-gather query execution. 1 (the default) is the classic
+	// single-device engine.
+	Shards int
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true, Shards: 1}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -76,6 +80,7 @@ func defaultConfig() *Config {
 //	deltalimit   auto-CHECKPOINT once the live-DML delta holds N entries
 //	slowquery    log queries at least this slow (Go duration, e.g. 50ms)
 //	metrics      engine metrics registry: "on" (default) | "off"
+//	shards       split the DB over N simulated devices (default 1)
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -151,6 +156,12 @@ func ParseDSN(dsn string) (*Config, error) {
 			default:
 				return nil, fmt.Errorf("ghostdb driver: metrics must be on or off, got %q", vals[len(vals)-1])
 			}
+		case "shards":
+			n, err := strconv.Atoi(vals[len(vals)-1])
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("ghostdb driver: shards must be a positive shard count, got %q", vals[len(vals)-1])
+			}
+			cfg.Shards = n
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -198,6 +209,9 @@ func (c *Config) options() []core.Option {
 	}
 	if !c.Metrics {
 		opts = append(opts, core.WithMetrics(false))
+	}
+	if c.Shards > 1 {
+		opts = append(opts, core.WithShards(c.Shards))
 	}
 	return opts
 }

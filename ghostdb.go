@@ -146,6 +146,15 @@ func WithContext(ctx context.Context) QueryOption { return core.WithContext(ctx)
 // all counter updates.
 func WithMetrics(enabled bool) Option { return core.WithMetrics(enabled) }
 
+// WithShards splits the database across n simulated devices: the fact
+// table is partitioned over the shards while dimension tables are
+// replicated, and root-rooted queries run scatter-gather with one
+// goroutine per shard. n <= 1 keeps the classic single-device engine.
+func WithShards(n int) Option { return core.WithShards(n) }
+
+// ShardInfo summarizes one device shard (see DB.ShardInfos).
+type ShardInfo = core.ShardInfo
+
 // WithQueryHook registers a tracing hook that observes every query's
 // start, finish and error events. Hooks run synchronously on the
 // querying goroutine; keep them cheap.

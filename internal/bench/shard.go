@@ -1,0 +1,157 @@
+package bench
+
+// The multi-device sharding experiment: the same dataset built at 1, 2,
+// 4 and 8 shards, measuring (a) concurrent query throughput — the win of
+// round-robining independent device gates instead of serializing on one
+// simulated USB device, (b) a scatter-gather aggregate over the
+// partitioned fact table, and (c) a live-DML batch routed per shard.
+// Written as BENCH_shard.json so the scaling curve is tracked across
+// commits; the acceptance gate is the 4-shard concurrent throughput
+// reaching 2.5x the single-device engine.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+)
+
+// ShardPoint is one shard count's outcome.
+type ShardPoint struct {
+	Shards     int     `json:"shards"`
+	Queries    int     `json:"queries"`     // concurrent-phase queries executed
+	Goroutines int     `json:"goroutines"`  // concurrent-phase client goroutines
+	QueryQPS   float64 `json:"query_qps"`   // concurrent throughput, host wall clock
+	Speedup    float64 `json:"speedup"`     // QueryQPS relative to the first (1-shard) point
+	AggWallNS  int64   `json:"agg_wall_ns"` // scatter-gather aggregate, host wall
+	AggSimNS   int64   `json:"agg_sim_ns"`  // same aggregate, simulated time (max over shards)
+	DMLWallNS  int64   `json:"dml_wall_ns"` // insert/update/delete batch + CHECKPOINT, host wall
+	DMLRows    int64   `json:"dml_rows"`    // rows the DML batch touched
+}
+
+// shardThroughputQuery is dimension-rooted, so a sharded engine runs the
+// whole query on one round-robin-chosen device — the case where extra
+// devices turn into extra parallel capacity.
+const shardThroughputQuery = `SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
+
+// shardAggregateQuery is root-rooted: it scatters over every shard's
+// fact-table partition and merges aggregate partials on the host.
+const shardAggregateQuery = `SELECT COUNT(*), AVG(Pre.Quantity) FROM Prescription Pre WHERE Pre.Quantity > 2`
+
+// ShardScaling builds the database once per shard count and runs the
+// three phases. counts should start at 1; speedups are relative to the
+// first point.
+func ShardScaling(cfg Config, counts []int, goroutines, iters int) ([]ShardPoint, error) {
+	var out []ShardPoint
+	for _, n := range counts {
+		var opts []core.Option
+		if n > 1 {
+			opts = append(opts, core.WithShards(n))
+		}
+		db, _, err := BuildDB(cfg, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d: %w", n, err)
+		}
+		point := ShardPoint{Shards: n, Goroutines: goroutines, Queries: goroutines * iters}
+
+		// Phase 1: concurrent throughput, one session per goroutine.
+		sessions := make([]*core.Session, goroutines)
+		for i := range sessions {
+			if sessions[i], err = db.NewSession(); err != nil {
+				return nil, err
+			}
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		start := time.Now()
+		for _, s := range sessions {
+			wg.Add(1)
+			go func(s *core.Session) {
+				defer wg.Done()
+				for next.Add(1) <= int64(point.Queries) {
+					if _, err := s.Query(shardThroughputQuery); err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(s)
+		}
+		wg.Wait()
+		point.QueryQPS = float64(point.Queries) / time.Since(start).Seconds()
+		for _, s := range sessions {
+			_ = s.Close()
+		}
+		if err, ok := firstErr.Load().(error); ok {
+			return nil, fmt.Errorf("shards=%d concurrent: %w", n, err)
+		}
+		if len(out) == 0 {
+			point.Speedup = 1
+		} else {
+			point.Speedup = point.QueryQPS / out[0].QueryQPS
+		}
+
+		// Phase 2: one scatter-gather aggregate over the fact table.
+		start = time.Now()
+		res, err := db.Query(shardAggregateQuery)
+		if err != nil {
+			return nil, fmt.Errorf("shards=%d aggregate: %w", n, err)
+		}
+		point.AggWallNS = time.Since(start).Nanoseconds()
+		point.AggSimNS = res.Report.TotalTime.Nanoseconds()
+
+		// Phase 3: a routed DML batch plus the parallel CHECKPOINT merge.
+		start = time.Now()
+		nextID, err := db.NextID("Prescription")
+		if err != nil {
+			return nil, err
+		}
+		medN, visN := db.RowCount("Medicine"), db.RowCount("Visit")
+		for i := 0; i < 50; i++ {
+			stmt := fmt.Sprintf(
+				"INSERT INTO Prescription VALUES (%d, %d, %d, DATE '2007-%02d-%02d', %d, %d)",
+				int(nextID)+i, 1+i%100, 1+i%4, 1+i%12, 1+i%28, 1+i%medN, 1+i%visN)
+			rows, err := db.Exec(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d insert: %w", n, err)
+			}
+			point.DMLRows += rows
+		}
+		for _, stmt := range []string{
+			"UPDATE Prescription SET Quantity = 1 WHERE Quantity > 95",
+			"DELETE FROM Prescription WHERE Quantity BETWEEN 90 AND 94",
+		} {
+			rows, err := db.Exec(stmt)
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d dml: %w", n, err)
+			}
+			point.DMLRows += rows
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			return nil, fmt.Errorf("shards=%d checkpoint: %w", n, err)
+		}
+		point.DMLWallNS = time.Since(start).Nanoseconds()
+
+		out = append(out, point)
+	}
+	return out, nil
+}
+
+// FormatShardPoints renders the scaling experiment as one row per shard
+// count.
+func FormatShardPoints(points []ShardPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %10s %8s %12s %12s %12s\n",
+		"shards", "qps", "speedup", "agg wall", "agg sim", "dml wall")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-7d %10.0f %7.2fx %12v %12v %12v\n",
+			p.Shards, p.QueryQPS, p.Speedup,
+			time.Duration(p.AggWallNS).Round(time.Microsecond),
+			time.Duration(p.AggSimNS).Round(time.Microsecond),
+			time.Duration(p.DMLWallNS).Round(time.Microsecond))
+	}
+	return b.String()
+}

@@ -30,6 +30,16 @@ func finishRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 	if err != nil {
 		return nil, err
 	}
+	return finishTail(q, rows), nil
+}
+
+// finishTail applies the order-sensitive tail of the finishing stage —
+// DISTINCT, ORDER BY, LIMIT, hidden-column stripping — to output-shaped
+// rows. It is shared by the single-device path (rows in root-ID order)
+// and the scatter-gather coordinator (rows re-merged into global
+// root-ID order), so sort ties break identically on both: the sorter's
+// arrival-order tiebreak sees the same sequence either way.
+func finishTail(q *plan.Query, rows [][]value.Value) [][]value.Value {
 	if q.Distinct {
 		d := exec.GetDistinct(q.VisibleOuts)
 		kept := rows[:0]
@@ -65,7 +75,7 @@ func finishRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 			rows[i] = rows[i][:q.VisibleOuts:q.VisibleOuts]
 		}
 	}
-	return rows, nil
+	return rows
 }
 
 // outputRows computes the output columns from the physical rows:
@@ -86,15 +96,7 @@ func outputRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 		return out, nil
 	}
 
-	aggs := make([]exec.AggOp, len(q.Aggs))
-	for i, a := range q.Aggs {
-		op := exec.AggOp{Func: a.Func, Col: a.Proj}
-		if a.Proj >= 0 {
-			op.ArgKind = q.Projs[a.Proj].Kind
-		}
-		aggs[i] = op
-	}
-	g := exec.GetGrouper(q.GroupBy, aggs)
+	g := exec.GetGrouper(q.GroupBy, aggOps(q))
 	defer exec.PutGrouper(g)
 	if err := g.AddBatch(base); err != nil {
 		return nil, err
@@ -104,25 +106,58 @@ func outputRows(q *plan.Query, base [][]value.Value) ([][]value.Value, error) {
 	if !q.Grouped && g.Groups() == 0 {
 		g.AddEmptyGroup()
 	}
+	return grouperRows(q, g, nil)
+}
 
+// aggOps translates the query's aggregate expressions into executor
+// accumulator descriptors.
+func aggOps(q *plan.Query) []exec.AggOp {
+	aggs := make([]exec.AggOp, len(q.Aggs))
+	for i, a := range q.Aggs {
+		op := exec.AggOp{Func: a.Func, Col: a.Proj}
+		if a.Proj >= 0 {
+			op.ArgKind = q.Projs[a.Proj].Kind
+		}
+		aggs[i] = op
+	}
+	return aggs
+}
+
+// grouperRows finalizes a populated grouper into output rows, applying
+// HAVING. order lists the group indexes to emit in sequence; nil means
+// the grouper's natural first-seen order. The scatter-gather merge
+// passes an order sorted by FirstSeen stamp so cross-shard groups come
+// out in the same sequence the single-device engine produces.
+func grouperRows(q *plan.Query, g *exec.Grouper, order []int) ([][]value.Value, error) {
+	width := len(q.Outputs)
 	// Key positions: output plain columns address their group key slot.
 	keyPos := make(map[int]int, len(q.GroupBy))
 	for pos, pi := range q.GroupBy {
 		keyPos[pi] = pos
 	}
 
-	var out [][]value.Value
-	for gi := 0; gi < g.Groups(); gi++ {
-		keep := true
+	emit := func(gi int) (bool, error) {
 		for _, h := range q.Having {
 			ok, err := havingMatch(g.AggValue(gi, h.AggIdx), h.Op, h.Val)
-			if err != nil {
-				return nil, err
+			if err != nil || !ok {
+				return false, err
 			}
-			if !ok {
-				keep = false
-				break
-			}
+		}
+		return true, nil
+	}
+	var out [][]value.Value
+	n := g.Groups()
+	if order != nil {
+		n = len(order)
+	}
+	for i := 0; i < n; i++ {
+		gi := i
+		if order != nil {
+			gi = order[i]
+		}
+		keep, err := emit(gi)
+		if err != nil {
+			return nil, err
 		}
 		if !keep {
 			continue

@@ -73,6 +73,21 @@ type Analysis struct {
 	Result *Result
 	Wall   time.Duration
 	Ops    []OpAnalysis
+
+	// Shards carries the per-device actuals of a scatter-gather ANALYZE
+	// (sharded DBs only; Ops is nil then — operators are per-device).
+	Shards []ShardAnalysis
+}
+
+// ShardAnalysis is one device shard's slice of an EXPLAIN ANALYZE: the
+// shard's simulated time and its operator actuals lined up against the
+// DB-wide estimates (estimates are per-device, computed over shard 0's
+// statistics; each shard holds ~1/n of the root, so actuals on a
+// balanced split land near the estimate).
+type ShardAnalysis struct {
+	Shard   int
+	SimTime time.Duration
+	Ops     []OpAnalysis
 }
 
 // ExplainAnalyze compiles sqlText (a SELECT, or an EXPLAIN [ANALYZE]
@@ -157,6 +172,9 @@ func (db *DB) analyzeSelect(sel *sql.Select, execute bool, opts ...QueryOption) 
 		return nil, fmt.Errorf("core: cannot EXPLAIN a query with %d unbound parameters", cq.shape.NumParams)
 	}
 	bound := cq.shape
+	if db.shards != nil {
+		return db.analyzeSharded(cq, bound, execute, &cfg, opts...)
+	}
 
 	// Choose the plan exactly the way Run would: a forced spec wins,
 	// then the shape's cached choice, then the optimizer.
@@ -219,6 +237,89 @@ func (db *DB) analyzeSelect(sel *sql.Select, execute bool, opts ...QueryOption) 
 	a.Wall = time.Since(start)
 	a.Result = res
 	a.Ops = analyzeOps(bound, spec, a.Cards, res.Report)
+	if s := cfg.session; s != nil {
+		s.record(res.Report)
+	}
+	return a, nil
+}
+
+// analyzeSharded is the scatter-gather EXPLAIN [ANALYZE] pipeline. The
+// coordinator's own stores are empty, so plan statistics come from
+// shard 0 (full dimension replicas, ~1/n of the root): the estimates
+// are per-device, the ANALYZE actuals per-shard.
+func (db *DB) analyzeSharded(cq *CompiledQuery, bound *plan.Query, execute bool, cfg *queryConfig, opts ...QueryOption) (*Analysis, error) {
+	db.mu.Lock()
+	closed := db.closed
+	db.mu.Unlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	c0 := db.shards.children[0]
+
+	c0.mu.Lock()
+	visSel, err := c0.visSelections(bound)
+	if err != nil {
+		c0.mu.Unlock()
+		return nil, err
+	}
+	counts, err := c0.predCounts(bound, visSel)
+	if err != nil {
+		c0.mu.Unlock()
+		return nil, err
+	}
+	in := c0.costInputs(counts)
+	var spec plan.Spec
+	switch {
+	case cfg.spec != nil:
+		spec = *cfg.spec
+		if err := spec.Validate(bound, c0.hasIndexLocked); err != nil {
+			c0.mu.Unlock()
+			return nil, err
+		}
+	case cq.chosen != nil:
+		spec = *cq.chosen
+	default:
+		best, bestCost := cq.specs[0], plan.Estimate(bound, cq.specs[0], in)
+		for _, s := range cq.specs[1:] {
+			if c := plan.Estimate(bound, s, in); c < bestCost {
+				best, bestCost = s, c
+			}
+		}
+		spec = best
+		chosen := best.Clone()
+		cq.chosen = &chosen
+	}
+	c0.mu.Unlock()
+
+	a := &Analysis{
+		SQL:          cq.shape.SQL,
+		Analyze:      execute,
+		Spec:         spec,
+		Cards:        plan.EstimateCards(bound, spec, in),
+		EstimatedSim: plan.Estimate(bound, spec, in),
+	}
+	a.PlanText = c0.Explain(bound, spec)
+
+	if !execute {
+		return a, nil
+	}
+	start := time.Now()
+	res, err := db.QueryWithPlan(bound, spec, opts...)
+	if err != nil {
+		return nil, err
+	}
+	a.Wall = time.Since(start)
+	a.Result = res
+	for s, rep := range res.ShardReports {
+		if rep == nil {
+			continue // dimension-rooted query: only the routed shard ran
+		}
+		a.Shards = append(a.Shards, ShardAnalysis{
+			Shard:   s,
+			SimTime: rep.TotalTime,
+			Ops:     analyzeOps(bound, spec, a.Cards, rep),
+		})
+	}
 	if s := cfg.session; s != nil {
 		s.record(res.Report)
 	}
@@ -307,20 +408,30 @@ func (a *Analysis) Text() string {
 	if !a.Analyze {
 		return b.String()
 	}
-	fmt.Fprintf(&b, "%-28s %10s %10s %10s %9s %12s\n",
-		"operator", "est", "in", "out", "ram", "sim")
-	for _, op := range a.Ops {
-		name := op.Name
-		if op.Detail != "" {
-			name += "(" + op.Detail + ")"
+	opTable := func(ops []OpAnalysis) {
+		fmt.Fprintf(&b, "%-28s %10s %10s %10s %9s %12s\n",
+			"operator", "est", "in", "out", "ram", "sim")
+		for _, op := range ops {
+			name := op.Name
+			if op.Detail != "" {
+				name += "(" + op.Detail + ")"
+			}
+			est := "-"
+			if op.EstRows >= 0 {
+				est = fmt.Sprintf("%d", op.EstRows)
+			}
+			fmt.Fprintf(&b, "%-28s %10s %10d %10d %9s %12s\n",
+				name, est, op.TuplesIn, op.TuplesOut,
+				stats.FormatBytes(op.RAMBytes), stats.FormatDuration(op.SimTime))
 		}
-		est := "-"
-		if op.EstRows >= 0 {
-			est = fmt.Sprintf("%d", op.EstRows)
+	}
+	if len(a.Shards) > 0 {
+		for _, sh := range a.Shards {
+			fmt.Fprintf(&b, "shard %d: %s simulated\n", sh.Shard, stats.FormatDuration(sh.SimTime))
+			opTable(sh.Ops)
 		}
-		fmt.Fprintf(&b, "%-28s %10s %10d %10d %9s %12s\n",
-			name, est, op.TuplesIn, op.TuplesOut,
-			stats.FormatBytes(op.RAMBytes), stats.FormatDuration(op.SimTime))
+	} else {
+		opTable(a.Ops)
 	}
 	rep := a.Result.Report
 	fmt.Fprintf(&b, "actual: %d rows in %s simulated, %s wall (estimated %s simulated)\n",

@@ -138,6 +138,12 @@ func (db *DB) Estimate(q *plan.Query, spec plan.Spec) (time.Duration, error) {
 	if q.NumParams > 0 {
 		return 0, fmt.Errorf("core: cannot estimate a query with %d unbound parameters", q.NumParams)
 	}
+	if db.shards != nil {
+		// The coordinator's own stores are empty; shard 0 carries ~1/n of
+		// the root and full dimension replicas, giving a per-device
+		// estimate (global predicate values over shard 0's data).
+		return db.shards.children[0].Estimate(q, spec)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -317,6 +323,16 @@ func (cq *CompiledQuery) run(params []value.Value, cfg *queryConfig) (*Result, e
 	if err != nil {
 		return nil, err
 	}
+	if cq.db.shards != nil {
+		return cq.db.runSharded(cq.shape.SQL, params, bound, cfg)
+	}
+	return cq.runBound(bound, cfg, false)
+}
+
+// runBound executes an already-bound query on this DB's own device:
+// plan choice under the gate, then the distributed pipeline. physical
+// selects the scatter-gather shard mode (see DB.execute).
+func (cq *CompiledQuery) runBound(bound *plan.Query, cfg *queryConfig, physical bool) (*Result, error) {
 	db := cq.db
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -352,7 +368,7 @@ func (cq *CompiledQuery) run(params []value.Value, cfg *queryConfig) (*Result, e
 		chosen := best.Clone()
 		cq.chosen = &chosen
 	}
-	return db.execute(bound, spec, visSel, cfg.ctx)
+	return db.execute(bound, spec, visSel, cfg.ctx, physical)
 }
 
 // QueryWithPlan executes a prepared query under an explicit plan.
@@ -381,6 +397,14 @@ func (db *DB) QueryWithPlan(q *plan.Query, spec plan.Spec, opts ...QueryOption) 
 }
 
 func (db *DB) queryWithPlan(q *plan.Query, spec plan.Spec, cfg *queryConfig) (*Result, error) {
+	if db.shards != nil {
+		// Force the spec on every shard; the shards validate it against
+		// their own (identical) index structures.
+		scfg := *cfg
+		forced := spec.Clone()
+		scfg.spec = &forced
+		return db.runSharded(q.SQL, nil, q, &scfg)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -393,5 +417,5 @@ func (db *DB) queryWithPlan(q *plan.Query, spec plan.Spec, cfg *queryConfig) (*R
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(q, spec, visSel, cfg.ctx)
+	return db.execute(q, spec, visSel, cfg.ctx, false)
 }

@@ -72,6 +72,14 @@ type Options struct {
 	// latency reaches it in the slow_queries_total metric (see also
 	// WithSlowQuery, which pairs the threshold with a slog logger).
 	SlowQueryThreshold time.Duration
+	// Shards splits the database over N simulated devices (N > 1): the
+	// fact table at the schema root is partitioned round-robin on its
+	// dense key, dimension tables are replicated, and queries run
+	// scatter-gather across per-shard pipelines in parallel. Each shard
+	// owns a full device stack — flash, RAM arena, bus, sim clock — so
+	// reported simulated time becomes max-over-shards. 0 or 1 selects
+	// the classic single-device engine.
+	Shards int
 }
 
 // Option mutates Options.
@@ -126,6 +134,12 @@ func WithBatchSize(n int) Option {
 // plus tombstones) after a mutation. n <= 0 disables auto-checkpointing.
 func WithDeltaLimit(n int) Option {
 	return func(o *Options) { o.DeltaLimit = n }
+}
+
+// WithShards splits the database over n simulated devices (see
+// Options.Shards). n <= 1 selects the classic single-device engine.
+func WithShards(n int) Option {
+	return func(o *Options) { o.Shards = n }
 }
 
 // WithMetrics enables (the default) or disables the engine-wide metrics
@@ -239,6 +253,12 @@ type DB struct {
 
 	staged map[string][][]value.Value // INSERT staging before Build
 	loaded bool
+
+	// shards is non-nil when this DB is a scatter-gather coordinator
+	// over N > 1 child devices (see WithShards). Immutable after Open;
+	// the set's own RW lock arbitrates queries against DML/CHECKPOINT,
+	// so the coordinator's device gate is not held during fan-out.
+	shards *shardSet
 }
 
 // Open creates an empty GhostDB.
@@ -247,6 +267,36 @@ func Open(options ...Option) (*DB, error) {
 	for _, o := range options {
 		o(&opts)
 	}
+	db, err := openSingle(opts)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Shards > 1 {
+		// Each shard is a complete single-device engine with its own
+		// clock, flash, RAM arena and buses. Children never run hooks or
+		// auto-checkpoint on their own: the coordinator observes queries
+		// and drives CHECKPOINT from the logical delta size, so the
+		// global root mapping stays consistent.
+		copts := opts
+		copts.Shards = 0
+		copts.DeltaLimit = 0
+		copts.Hooks = nil
+		copts.SlowQueryThreshold = 0
+		children := make([]*DB, opts.Shards)
+		for i := range children {
+			c, err := openSingle(copts)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = c
+		}
+		db.shards = &shardSet{children: children}
+	}
+	return db, nil
+}
+
+// openSingle builds one single-device engine from resolved options.
+func openSingle(opts Options) (*DB, error) {
 	clock := sim.NewClock()
 	dev, err := device.New(opts.Profile, clock)
 	if err != nil {
@@ -338,6 +388,9 @@ func (db *DB) NextID(table string) (uint32, error) {
 	if !db.loaded {
 		return uint32(len(db.staged[t.Name])) + 1, nil
 	}
+	if db.shards != nil {
+		return db.shards.nextID(db, t.Name)
+	}
 	if d, ok := db.delta.Get(t.Name); ok {
 		return d.NextID(), nil
 	}
@@ -359,6 +412,9 @@ type DeltaStats struct {
 func (db *DB) DeltaStats() []DeltaStats {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.shards != nil {
+		return db.shards.deltaStats(db)
+	}
 	var out []DeltaStats
 	for _, d := range db.delta.Tables() {
 		if !d.Dirty() {
@@ -420,6 +476,11 @@ func (db *DB) Close() error {
 		return nil
 	}
 	db.closed = true
+	if db.shards != nil {
+		for _, c := range db.shards.children {
+			c.Close()
+		}
+	}
 	return nil
 }
 
@@ -437,6 +498,17 @@ type StorageBreakdown struct {
 func (db *DB) Storage() StorageBreakdown {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.shards != nil {
+		var b StorageBreakdown
+		for _, c := range db.shards.children {
+			cb := c.Storage()
+			b.BaseColumns += cb.BaseColumns
+			b.SKTs += cb.SKTs
+			b.Climbing += cb.Climbing
+			b.Total += cb.Total
+		}
+		return b
+	}
 	var b StorageBreakdown
 	for _, s := range db.skts {
 		b.SKTs += s.Bytes()
@@ -488,7 +560,22 @@ func (db *DB) applyCreate(ct *sql.CreateTable) error {
 	if err != nil {
 		return err
 	}
-	return db.sch.AddTable(t)
+	if err := db.sch.AddTable(t); err != nil {
+		return err
+	}
+	// Shard children mirror the catalog so they can compile the same
+	// query shapes and validate the same DML the coordinator accepts.
+	if db.shards != nil {
+		for _, c := range db.shards.children {
+			c.mu.Lock()
+			err := c.applyCreate(ct)
+			c.mu.Unlock()
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Insert applies an INSERT. Before Build the rows are staged for the
@@ -506,6 +593,9 @@ func (db *DB) Insert(ins *sql.Insert) error {
 
 func (db *DB) insertLocked(ins *sql.Insert) error {
 	if db.loaded {
+		if db.shards != nil {
+			return db.shards.insert(db, ins)
+		}
 		return db.deltaInsertLocked(ins)
 	}
 	t, ok := db.sch.Table(ins.Table)
@@ -675,6 +765,9 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 	}
 	if err := db.sch.Freeze(); err != nil {
 		return err
+	}
+	if db.shards != nil {
+		return db.buildSharded(cols)
 	}
 	if err := db.loadState(cols); err != nil {
 		return err
@@ -889,7 +982,12 @@ func (db *DB) HasIndex(table, column string) bool {
 }
 
 // hasIndexLocked is HasIndex for callers already holding the device gate.
+// A sharded coordinator builds no indexes of its own; every shard carries
+// the same index set, so shard 0 answers for all.
 func (db *DB) hasIndexLocked(table, column string) bool {
+	if db.shards != nil {
+		return db.shards.children[0].HasIndex(table, column)
+	}
 	_, ok := db.indexLocked(table, column)
 	return ok
 }

@@ -110,7 +110,7 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 			if err := db.ensureBuiltLocked(); err != nil {
 				return affected, err
 			}
-			n, err := db.checkpointLocked()
+			n, err := db.checkpointAnyLocked()
 			affected += n
 			if err != nil {
 				return affected, err
@@ -131,13 +131,38 @@ func (db *DB) ensureBuiltLocked() error {
 }
 
 // maybeAutoCheckpoint runs a CHECKPOINT when the deltalimit knob is set
-// and the delta has grown past it.
+// and the delta has grown past it. On a sharded DB the trigger counts
+// the logical delta across the shard set (the children run with the
+// knob off; the coordinator decides when the merge happens).
 func (db *DB) maybeAutoCheckpoint() error {
-	if !db.loaded || db.opts.DeltaLimit <= 0 || db.delta.Entries() < db.opts.DeltaLimit {
+	if !db.loaded || db.opts.DeltaLimit <= 0 {
 		return nil
 	}
-	_, err := db.checkpointLocked()
+	entries := 0
+	if db.shards != nil {
+		entries = db.shards.logicalEntries(db)
+	} else {
+		entries = db.delta.Entries()
+	}
+	if entries < db.opts.DeltaLimit {
+		return nil
+	}
+	_, err := db.checkpointAnyLocked()
 	return err
+}
+
+// checkpointAnyLocked dispatches CHECKPOINT to the engine at hand: the
+// parallel per-shard merge on a sharded DB, the classic single-device
+// merge otherwise.
+func (db *DB) checkpointAnyLocked() (int64, error) {
+	if !db.loaded {
+		return 0, fmt.Errorf("core: CHECKPOINT before Build")
+	}
+	if db.shards != nil {
+		return db.shards.checkpoint(db)
+	}
+	n, _, err := db.checkpointLocked()
+	return n, err
 }
 
 // Checkpoint merges the delta into fresh flash segments (see the package
@@ -151,7 +176,7 @@ func (db *DB) Checkpoint() (int64, error) {
 	if err := db.ensureBuiltLocked(); err != nil {
 		return 0, err
 	}
-	return db.checkpointLocked()
+	return db.checkpointAnyLocked()
 }
 
 // CompiledDML is the cacheable compiled form of a DELETE or UPDATE
@@ -486,6 +511,9 @@ func (db *DB) execDMLLocked(d *plan.DML) (int64, error) {
 	if d.NumParams > 0 {
 		return 0, ErrUnboundDML
 	}
+	if db.shards != nil {
+		return db.shards.execDML(db, d)
+	}
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, len(d.SQL), d.Op.String()+" "+d.Table.Name, nil); err != nil {
 		return 0, err
 	}
@@ -646,14 +674,17 @@ func (db *DB) matchDMLLocked(d *plan.DML) ([]uint32, error) {
 // cascade — erases the main flash space (recycling its blocks), rebuilds
 // the column files, SKTs and climbing indexes at full program cost, and
 // releases the delta's RAM grants. It returns the number of delta
-// entries absorbed.
-func (db *DB) checkpointLocked() (int64, error) {
+// entries absorbed and the root table's surviving old identifiers in
+// ascending order (each survivor's new dense identifier is its rank in
+// that list) — the sharded coordinator rebuilds its global mapping from
+// them. A no-op checkpoint returns a nil survivor list.
+func (db *DB) checkpointLocked() (int64, []uint32, error) {
 	if !db.loaded {
-		return 0, fmt.Errorf("core: CHECKPOINT before Build")
+		return 0, nil, fmt.Errorf("core: CHECKPOINT before Build")
 	}
 	absorbed := int64(db.delta.Entries())
 	if absorbed == 0 {
-		return 0, nil
+		return 0, nil, nil
 	}
 	ckptStart := time.Now()
 	simStart := db.clock.Now()
@@ -667,7 +698,7 @@ func (db *DB) checkpointLocked() (int64, error) {
 		}
 	}()
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, len("CHECKPOINT"), "CHECKPOINT", nil); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	lv := db.newLiveness()
 
@@ -709,17 +740,17 @@ func (db *DB) checkpointLocked() (int64, error) {
 				case c.IsForeignKey():
 					oldChild, err := db.effectiveFK(t, ci, oldID)
 					if err != nil {
-						return 0, err
+						return 0, nil, err
 					}
 					newChild, ok := renumber[db.mustTable(c.RefTable).Name][oldChild]
 					if !ok {
-						return 0, fmt.Errorf("core: checkpoint: %s.%s row %d dangles", t.Name, c.Name, oldID)
+						return 0, nil, fmt.Errorf("core: checkpoint: %s.%s row %d dangles", t.Name, c.Name, oldID)
 					}
 					tcols[ci][newIdx] = value.NewInt(int64(newChild))
 				default:
 					v, err := db.effectiveValue(t, ci, oldID)
 					if err != nil {
-						return 0, err
+						return 0, nil, err
 					}
 					tcols[ci][newIdx] = v
 				}
@@ -733,7 +764,7 @@ func (db *DB) checkpointLocked() (int64, error) {
 	// and release the delta RAM.
 	db.hid.Release()
 	if err := db.dev.Main.Reset(); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	db.delta.ReleaseAll()
 
@@ -741,9 +772,9 @@ func (db *DB) checkpointLocked() (int64, error) {
 	// on top of the erase charges above. The clock is NOT rewound — this
 	// is the price of making the delta durable.
 	if err := db.loadState(cols); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return absorbed, nil
+	return absorbed, oldIDs[db.sch.Root().Name], nil
 }
 
 // mustTable returns a frozen-schema table by name (checkpoint internals;

@@ -38,6 +38,17 @@ type Result struct {
 	Report  *stats.Report
 	Spec    plan.Spec
 	Query   *plan.Query
+
+	// Roots holds the query-root identifier of each physical row,
+	// parallel to Rows. It is captured only in physical mode (the
+	// scatter-gather shard pipelines), where Rows bypass the finishing
+	// stage and stay in root-ID order.
+	Roots []uint32
+
+	// ShardReports carries the per-shard execution reports when the
+	// query ran on a sharded DB, indexed by shard (entries are nil for
+	// shards the query did not touch). Nil on single-device DBs.
+	ShardReports []*stats.Report
 }
 
 // forEachEntry visits the index entries matching p.
@@ -104,8 +115,11 @@ func forEachEntry(ix *climbing.Index, p pred.P, fn func(climbing.Entry) error) e
 }
 
 // execute runs the distributed plan and assembles the result. ctx (may
-// be nil) cancels at batch boundaries.
-func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32, ctx context.Context) (*Result, error) {
+// be nil) cancels at batch boundaries. In physical mode — the per-shard
+// half of a scatter-gather execution — the host-side finishing stage is
+// skipped (the coordinator finishes after merging shard streams) and
+// the result carries the root identifier of every physical row.
+func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32, ctx context.Context, physical bool) (*Result, error) {
 	db.dev.RAM.ResetHigh()
 	flashStart := db.dev.Flash.Stats()
 	busStart := db.net.Stats(trace.Terminal, trace.Device)
@@ -146,12 +160,12 @@ func (db *DB) execute(q *plan.Query, spec plan.Spec, visSel [][]uint32, ctx cont
 		return nil, runErr
 	}
 
-	res := ex.assemble()
+	res := ex.assemble(physical)
 	res.Report = rep
 	ex.release()
 	// Post-operators (aggregation, HAVING, DISTINCT, ORDER BY, LIMIT)
 	// run host-side on the secure display, outside the simulated device.
-	if q.HasPostOps() {
+	if !physical && q.HasPostOps() {
 		rows, err := finishRows(q, res.Rows)
 		if err != nil {
 			return nil, err
@@ -1394,7 +1408,7 @@ func (ex *executor) sendResultBytes(n int, note string) error {
 // merging the base pipeline's survivors with the delta-resident rows in
 // query-root ID order. The base row slices share one flat backing array
 // — two allocations for the whole result instead of one per row.
-func (ex *executor) assemble() *Result {
+func (ex *executor) assemble(wantRoots bool) *Result {
 	q := ex.q
 	res := &Result{Spec: ex.spec, Query: q}
 	// Copy: database/sql hands the driver's column slice to users without
@@ -1412,6 +1426,9 @@ func (ex *executor) assemble() *Result {
 	nproj := len(q.Projs)
 	flat := make([]value.Value, 0, n*nproj)
 	res.Rows = make([][]value.Value, 0, n)
+	if wantRoots {
+		res.Roots = make([]uint32, 0, n)
+	}
 	bi, di := 0, 0
 	for len(res.Rows) < n {
 		// The base survivors (sorted sequence numbers follow root order)
@@ -1421,6 +1438,9 @@ func (ex *executor) assemble() *Result {
 			(bi >= nBase || ex.deltaRows[di].root < ex.rootBySeq[ex.liveSeqs[bi]])
 		if fromDelta {
 			res.Rows = append(res.Rows, ex.deltaRows[di].vals)
+			if wantRoots {
+				res.Roots = append(res.Roots, ex.deltaRows[di].root)
+			}
 			di++
 			continue
 		}
@@ -1431,6 +1451,9 @@ func (ex *executor) assemble() *Result {
 			flat = append(flat, ex.projVals[j][seq])
 		}
 		res.Rows = append(res.Rows, flat[start:start+nproj:start+nproj])
+		if wantRoots {
+			res.Roots = append(res.Roots, ex.rootBySeq[seq])
+		}
 	}
 	return res
 }

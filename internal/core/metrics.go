@@ -91,20 +91,33 @@ func (m *engineMetrics) snapshot() metrics.Snapshot {
 }
 
 // noteDelta refreshes the delta-store gauges from the store's current
-// footprint. Callers hold db.mu (the delta store is device state).
+// footprint. Callers hold db.mu (the delta store is device state). On a
+// sharded DB the gauges carry the logical delta aggregated over the
+// shard set (child locks only, so this is safe under db.mu or ss.mu).
 func (m *engineMetrics) noteDelta(db *DB) {
 	if m == nil {
 		return
 	}
 	var rows, tombs int
 	var deviceBytes int64
-	for _, dt := range db.delta.Tables() {
-		if !dt.Dirty() {
-			continue
+	if db.shards != nil {
+		if !db.loaded {
+			return // staged load: no delta, and the schema isn't frozen yet
 		}
-		rows += dt.Rows()
-		tombs += dt.Tombstones()
-		deviceBytes += dt.DeviceBytes()
+		for _, d := range db.shards.deltaStats(db) {
+			rows += d.Rows
+			tombs += d.Tombstones
+			deviceBytes += d.DeviceB
+		}
+	} else {
+		for _, dt := range db.delta.Tables() {
+			if !dt.Dirty() {
+				continue
+			}
+			rows += dt.Rows()
+			tombs += dt.Tombstones()
+			deviceBytes += dt.DeviceBytes()
+		}
 	}
 	m.deltaRows.Set(int64(rows))
 	m.deltaTombstones.Set(int64(tombs))
@@ -129,4 +142,20 @@ func (s *Session) MetricsSnapshot() metrics.Snapshot {
 // entries over the DB's lifetime (manual and automatic).
 func (db *DB) CheckpointsRun() int64 {
 	return db.checkpointsRun.Load()
+}
+
+// ShardMetrics returns one registry snapshot per device shard, indexed
+// by shard number. Children feed their own registries from their local
+// executions (flash, bus, RAM, batches); coordinator-level counters
+// such as queries_total stay on the DB's own registry. Nil on a
+// single-device DB or when metrics are disabled.
+func (db *DB) ShardMetrics() []metrics.Snapshot {
+	if db.shards == nil || db.metrics == nil {
+		return nil
+	}
+	out := make([]metrics.Snapshot, len(db.shards.children))
+	for i, c := range db.shards.children {
+		out[i] = c.MetricsSnapshot()
+	}
+	return out
 }

@@ -1,0 +1,428 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/datagen"
+	"github.com/ghostdb/ghostdb/internal/oracle"
+)
+
+// loadShardedTiny opens a DB split over n devices with the tiny
+// synthetic dataset, plus a matching single-state oracle.
+func loadShardedTiny(t *testing.T, n int, opts ...Option) (*DB, *oracle.Oracle, *datagen.Dataset) {
+	t.Helper()
+	return loadTiny(t, append([]Option{WithShards(n)}, opts...)...)
+}
+
+// TestShardedDifferential is the cross-shard differential property: the
+// randomized query+DML corpus (plain SPJ, post-operator, CHECKPOINT
+// interleavings) must match the single-state oracle exactly at every
+// shard count, including after the delta has been merged and the global
+// root mapping rebuilt.
+func TestShardedDifferential(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			db, orc, ds := loadShardedTiny(t, shards)
+			g := &dmlGen{
+				queryGen: &queryGen{rng: rand.New(rand.NewSource(int64(101 + shards))), ds: ds},
+				sch:      db.Schema(),
+				orc:      orc,
+			}
+
+			iterations := 240
+			if testing.Short() {
+				iterations = 50
+			}
+			queries, mutations := 0, 0
+			for i := 0; i < iterations; i++ {
+				switch roll := g.rng.Intn(10); {
+				case roll < 4:
+					checkAgainstOracle(t, db, orc, g.next())
+					queries++
+				case roll < 6:
+					checkAgainstOracle(t, db, orc, g.nextPostOp())
+					queries++
+				case roll == 9 && i%29 == 0:
+					en, eerr := db.Exec("CHECKPOINT")
+					on, oerr := orc.Exec("CHECKPOINT")
+					if eerr != nil || oerr != nil {
+						t.Fatalf("iter %d checkpoint: engine %v, oracle %v", i, eerr, oerr)
+					}
+					if en != on {
+						t.Fatalf("iter %d checkpoint absorbed %d, oracle %d", i, en, on)
+					}
+				default:
+					stmt := g.nextDML()
+					if stmt == "" {
+						continue
+					}
+					en, eerr := db.Exec(stmt)
+					on, oerr := orc.Exec(stmt)
+					if (eerr == nil) != (oerr == nil) {
+						t.Fatalf("iter %d %q: engine err %v, oracle err %v", i, stmt, eerr, oerr)
+					}
+					if eerr != nil {
+						t.Fatalf("iter %d %q: %v", i, stmt, eerr)
+					}
+					if en != on {
+						t.Fatalf("iter %d %q: engine affected %d, oracle %d", i, stmt, en, on)
+					}
+					mutations++
+				}
+			}
+			if queries < iterations/5 || mutations < iterations/5 {
+				t.Fatalf("corpus degenerate: %d queries, %d mutations", queries, mutations)
+			}
+
+			// Final checkpoint and post-merge agreement.
+			en, eerr := db.Checkpoint()
+			on, oerr := orc.Checkpoint()
+			if eerr != nil || oerr != nil || en != on {
+				t.Fatalf("final checkpoint: engine (%d, %v), oracle (%d, %v)", en, eerr, on, oerr)
+			}
+			for i := 0; i < 15; i++ {
+				checkAgainstOracle(t, db, orc, g.next())
+				checkAgainstOracle(t, db, orc, g.nextPostOp())
+			}
+		})
+	}
+}
+
+// TestShardedConcurrentQueries is the 16-goroutine torture test against
+// a 4-shard DB: mixed Query / forced-plan / Estimate traffic, every
+// goroutine observing the single-threaded row counts. Run with -race.
+func TestShardedConcurrentQueries(t *testing.T) {
+	db, _, _ := loadShardedTiny(t, 4)
+
+	want := map[string]int{}
+	for _, q := range concurrentQueries {
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[q] = len(res.Rows)
+	}
+
+	const goroutines = 16
+	const iters = 4
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				q := concurrentQueries[(g+i)%len(concurrentQueries)]
+				switch (g + i) % 3 {
+				case 0:
+					res, err := db.Query(q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(res.Rows) != want[q] {
+						errc <- fmt.Errorf("goroutine %d: %s: got %d rows, want %d", g, q, len(res.Rows), want[q])
+						return
+					}
+				case 1:
+					bound, err := db.Prepare(q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					specs := db.Plans(bound)
+					if len(specs) == 0 {
+						errc <- fmt.Errorf("goroutine %d: no plans for %s", g, q)
+						return
+					}
+					res, err := db.QueryWithPlan(bound, specs[(g+i)%len(specs)])
+					if err != nil {
+						errc <- err
+						return
+					}
+					if len(res.Rows) != want[q] {
+						errc <- fmt.Errorf("goroutine %d: forced plan %s: got %d rows, want %d", g, q, len(res.Rows), want[q])
+						return
+					}
+				case 2:
+					bound, err := db.Prepare(q)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if _, err := db.Estimate(bound, db.Plans(bound)[0]); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestShardsOneIsLegacyEngine pins the shards=1 contract: WithShards(1)
+// selects the classic single-device engine (no shard set at all), and
+// its queries are bit-identical to a default Open — same rows, same
+// simulated time, same flash and bus work.
+func TestShardsOneIsLegacyEngine(t *testing.T) {
+	single, _, _ := loadTiny(t)
+	one, _, _ := loadShardedTiny(t, 1)
+
+	if one.ShardCount() != 0 {
+		t.Fatalf("ShardCount with shards=1 = %d, want 0 (legacy engine)", one.ShardCount())
+	}
+	if one.ShardInfos() != nil {
+		t.Fatal("ShardInfos with shards=1 should be nil")
+	}
+
+	for _, q := range append([]string{paperQuery}, concurrentQueries...) {
+		a, err := single.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := one.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a.Columns, b.Columns) || !sameRows(a.Rows, b.Rows) {
+			t.Fatalf("%s: shards=1 result differs from single-device", q)
+		}
+		if a.Report.TotalTime != b.Report.TotalTime ||
+			a.Report.Flash != b.Report.Flash ||
+			a.Report.BusBytes != b.Report.BusBytes ||
+			a.Report.BusMsgs != b.Report.BusMsgs {
+			t.Fatalf("%s: shards=1 report differs: %+v vs %+v", q, b.Report, a.Report)
+		}
+	}
+}
+
+// TestShardedReportMerge checks the merged report's cost semantics on a
+// scatter query: per-shard reports are surfaced, the reported simulated
+// time is the max over the shards (the devices run concurrently), and
+// the flash/bus work is the sum.
+func TestShardedReportMerge(t *testing.T) {
+	db, _, _ := loadShardedTiny(t, 4)
+	res, err := db.Query(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ShardReports) != 4 {
+		t.Fatalf("ShardReports = %d entries, want 4", len(res.ShardReports))
+	}
+	var maxTime, sumReads, sumBus = res.Report.TotalTime, int64(0), int64(0)
+	sawMax := false
+	for s, r := range res.ShardReports {
+		if r == nil {
+			t.Fatalf("shard %d report missing", s)
+		}
+		if r.TotalTime > maxTime {
+			t.Fatalf("shard %d sim time %v exceeds merged max %v", s, r.TotalTime, maxTime)
+		}
+		if r.TotalTime == maxTime {
+			sawMax = true
+		}
+		sumReads += r.Flash.PageReads
+		sumBus += r.BusBytes
+	}
+	if !sawMax {
+		t.Fatalf("merged TotalTime %v matches no shard", maxTime)
+	}
+	if res.Report.Flash.PageReads != sumReads {
+		t.Fatalf("merged PageReads %d, want per-shard sum %d", res.Report.Flash.PageReads, sumReads)
+	}
+	if res.Report.BusBytes != sumBus {
+		t.Fatalf("merged BusBytes %d, want per-shard sum %d", res.Report.BusBytes, sumBus)
+	}
+}
+
+// TestShardClockArenaIsolation is the refactor's sharing audit pinned as
+// a regression test: every shard owns its clock and RAM arena. Scatter
+// queries advance each shard's clock independently, the coordinator's
+// own (unused) device never accrues simulated time or RAM, and no
+// query-time arena grant leaks on any shard.
+func TestShardClockArenaIsolation(t *testing.T) {
+	db, _, _ := loadShardedTiny(t, 4)
+	for i := 0; i < 3; i++ {
+		if _, err := db.Query(paperQuery); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got := db.clock.Now(); got != 0 {
+		t.Fatalf("coordinator clock advanced to %v; shards must own their clocks", got)
+	}
+	if high := db.dev.RAM.High(); high != 0 {
+		t.Fatalf("coordinator arena high-water %d; shards must own their arenas", high)
+	}
+
+	infos := db.ShardInfos()
+	if len(infos) != 4 {
+		t.Fatalf("ShardInfos = %d entries, want 4", len(infos))
+	}
+	clocks := make(map[int64]bool)
+	for _, in := range infos {
+		if in.SimTime <= 0 {
+			t.Fatalf("shard %d clock did not advance", in.Shard)
+		}
+		clocks[int64(in.SimTime)] = true
+		if in.RootRows == 0 {
+			t.Fatalf("shard %d owns no root rows", in.Shard)
+		}
+	}
+
+	// Distinct root slices mean distinct work: with the tiny dataset's
+	// uneven round-robin remainder the clocks cannot all collapse to one
+	// value unless they share state.
+	for s, c := range db.shards.children {
+		if c.clock == db.clock {
+			t.Fatalf("shard %d shares the coordinator clock", s)
+		}
+		if c.dev.RAM == db.dev.RAM {
+			t.Fatalf("shard %d shares the coordinator arena", s)
+		}
+		for s2, c2 := range db.shards.children {
+			if s2 > s && (c.clock == c2.clock || c.dev.RAM == c2.dev.RAM) {
+				t.Fatalf("shards %d and %d share device state", s, s2)
+			}
+		}
+		// No per-query grant may survive the queries above (the page
+		// cache and delta grants are persistent device state).
+		for _, u := range c.dev.RAM.Snapshot() {
+			if !strings.HasPrefix(u.Label, "delta:") && u.Label != "page-cache" {
+				t.Fatalf("shard %d leaked arena grant %+v", s, u)
+			}
+		}
+	}
+	_ = clocks
+}
+
+// TestShardedRootPredicates pins the global->local key rewrite: root-PK
+// point, range, BETWEEN and IN predicates must select exactly the same
+// rows as a single device, across shard counts.
+func TestShardedRootPredicates(t *testing.T) {
+	single, orc, _ := loadTiny(t)
+	root := single.Schema().Root()
+	pk := root.Name + "." + root.PrimaryKey().Name
+	n := testRowCount(single, root.Name)
+	if n < 8 {
+		t.Fatalf("tiny dataset root too small: %d", n)
+	}
+	queries := []string{
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s = %d", pk, root.Name, pk, n/2),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s <> %d", pk, root.Name, pk, n/2),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s < %d", pk, root.Name, pk, n/3),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s <= %d", pk, root.Name, pk, n/3),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s > %d", pk, root.Name, pk, 2*n/3),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s >= %d", pk, root.Name, pk, 2*n/3),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %d AND %d", pk, root.Name, pk, n/4, 3*n/4),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s BETWEEN %d AND %d", pk, root.Name, pk, 3*n/4, n/4),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s IN (%d, %d, %d, %d)", pk, root.Name, pk, 1, n/2, n, n+7),
+		fmt.Sprintf("SELECT %s FROM %s WHERE %s = %d", pk, root.Name, pk, n+100),
+		fmt.Sprintf("SELECT COUNT(*), MIN(%s), MAX(%s) FROM %s WHERE %s BETWEEN %d AND %d",
+			pk, pk, root.Name, pk, n/4, 3*n/4),
+	}
+	for _, shards := range []int{2, 4} {
+		db, _, _ := loadShardedTiny(t, shards)
+		for _, q := range queries {
+			checkAgainstOracle(t, db, orc, q)
+		}
+		_ = db
+	}
+	_ = orc
+}
+
+// TestShardedExplainAnalyze checks the scatter-gather EXPLAIN ANALYZE:
+// per-shard operator actuals and sim times, DB-wide estimates, and a
+// rendering that carries one section per shard.
+func TestShardedExplainAnalyze(t *testing.T) {
+	db, _, _ := loadShardedTiny(t, 2)
+	a, err := db.ExplainAnalyze(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Shards) != 2 {
+		t.Fatalf("Shards = %d entries, want 2", len(a.Shards))
+	}
+	if a.Ops != nil {
+		t.Fatal("merged Ops should be nil on a sharded ANALYZE (operators are per-device)")
+	}
+	for _, sh := range a.Shards {
+		if len(sh.Ops) == 0 {
+			t.Fatalf("shard %d has no operator rows", sh.Shard)
+		}
+		if sh.SimTime <= 0 {
+			t.Fatalf("shard %d sim time %v", sh.Shard, sh.SimTime)
+		}
+		if sh.SimTime > a.Result.Report.TotalTime {
+			t.Fatalf("shard %d sim %v exceeds merged max %v", sh.Shard, sh.SimTime, a.Result.Report.TotalTime)
+		}
+	}
+	text := a.Text()
+	if !strings.Contains(text, "shard 0:") || !strings.Contains(text, "shard 1:") {
+		t.Fatalf("rendered analysis missing per-shard sections:\n%s", text)
+	}
+	if !strings.Contains(text, "estimated:") || !strings.Contains(text, "actual:") {
+		t.Fatalf("rendered analysis missing summary lines:\n%s", text)
+	}
+
+	// EXPLAIN without ANALYZE still works against shard-0 statistics.
+	eo, err := db.ExplainOnly(paperQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eo.PlanText == "" || eo.EstimatedSim <= 0 {
+		t.Fatalf("ExplainOnly: plan %q, est %v", eo.PlanText, eo.EstimatedSim)
+	}
+}
+
+// testRowCount reads the coordinator's global cardinality for a table.
+func testRowCount(db *DB, table string) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.rowCounts[table]
+}
+
+// TestShardedMetricsSurfaces checks the per-shard observability
+// satellites: ShardCount, ShardInfos, ShardMetrics.
+func TestShardedMetricsSurfaces(t *testing.T) {
+	db, _, _ := loadShardedTiny(t, 2)
+	if db.ShardCount() != 2 {
+		t.Fatalf("ShardCount = %d, want 2", db.ShardCount())
+	}
+	if _, err := db.Query(paperQuery); err != nil {
+		t.Fatal(err)
+	}
+	snaps := db.ShardMetrics()
+	if len(snaps) != 2 {
+		t.Fatalf("ShardMetrics = %d entries, want 2", len(snaps))
+	}
+	for s, snap := range snaps {
+		found := false
+		for _, v := range snap {
+			if v.Name == "flash_page_reads_total" && v.Value > 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("shard %d registry shows no flash reads after a scatter query", s)
+		}
+	}
+	infos := db.ShardInfos()
+	rootRows := 0
+	for _, in := range infos {
+		rootRows += in.RootRows
+	}
+	if want := testRowCount(db, db.Schema().Root().Name); rootRows != want {
+		t.Fatalf("per-shard root rows sum to %d, coordinator says %d", rootRows, want)
+	}
+}

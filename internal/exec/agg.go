@@ -83,6 +83,19 @@ func floatBits(f float64) uint64 {
 	return math.Float64bits(f)
 }
 
+// AggState is one accumulator's raw state, exported for cross-shard
+// partial aggregation: a shard finishes its physical rows into group
+// partials, ships the accumulators host-side, and the coordinator
+// merges them with Absorb. Merging raw state (not finalized values) is
+// what keeps AVG and COUNT correct across shards — an average of
+// per-shard averages would weight shards, not rows.
+type AggState struct {
+	N int64       // contribution count
+	I int64       // integer-side running sum
+	F float64     // float-side running sum
+	V value.Value // current MIN/MAX carrier (invalid when none)
+}
+
 // Grouper is a pooled hash group-by: rows are added one batch (or one
 // row) at a time; groups appear in first-seen order, which — fed in
 // root-ID order — makes the unordered aggregate result deterministic.
@@ -90,11 +103,12 @@ type Grouper struct {
 	keyCols []int
 	aggs    []AggOp
 
-	head map[uint64]int32 // key hash -> first group index + 1
-	next []int32          // per-group collision chain (same full hash)
-	keys []value.Value    // flat: group * len(keyCols)
-	accs []aggAcc         // flat: group * len(aggs)
-	n    int              // group count
+	head  map[uint64]int32 // key hash -> first group index + 1
+	next  []int32          // per-group collision chain (same full hash)
+	keys  []value.Value    // flat: group * len(keyCols)
+	accs  []aggAcc         // flat: group * len(aggs)
+	first []int64          // per group: min seq seen (AddAt/Absorb only)
+	n     int              // group count
 }
 
 var grouperPool = sync.Pool{
@@ -110,6 +124,7 @@ func GetGrouper(keyCols []int, aggs []AggOp) *Grouper {
 	g.next = g.next[:0]
 	g.keys = g.keys[:0]
 	g.accs = g.accs[:0]
+	g.first = g.first[:0]
 	g.n = 0
 	return g
 }
@@ -126,6 +141,7 @@ func PutGrouper(g *Grouper) {
 		g.accs[i] = aggAcc{}
 	}
 	g.accs = g.accs[:0]
+	g.first = g.first[:0]
 	grouperPool.Put(g)
 }
 
@@ -143,6 +159,81 @@ func (g *Grouper) AddBatch(rows [][]value.Value) error {
 		}
 	}
 	return nil
+}
+
+// AddAt folds one row like Add and stamps the group with seq on first
+// sight. Shard pipelines pass the row's global root identifier as seq,
+// so FirstSeen later recovers the order the single-device engine would
+// have created the groups in.
+func (g *Grouper) AddAt(row []value.Value, seq int64) error {
+	gi := g.findOrAdd(row)
+	if len(g.first) < g.n {
+		g.first = append(g.first, seq)
+	}
+	return g.accumulate(gi, row)
+}
+
+// Absorb merges one exported group partial: keys is the group's key
+// tuple (len(keyCols) values), accs its raw accumulator states in AggOp
+// order, seq its FirstSeen stamp. The group is created on first sight;
+// otherwise the states merge accumulator-wise and the stamp keeps its
+// minimum. The receiver must be configured with identity key columns
+// (0..len(keys)-1) so the key tuple addresses itself.
+func (g *Grouper) Absorb(keys []value.Value, accs []AggState, seq int64) error {
+	gi := g.findOrAdd(keys)
+	if len(g.first) < g.n {
+		g.first = append(g.first, seq)
+	} else if seq < g.first[gi] {
+		g.first[gi] = seq
+	}
+	base := gi * len(g.aggs)
+	for a := range g.aggs {
+		op := &g.aggs[a]
+		acc := &g.accs[base+a]
+		in := accs[a]
+		acc.n += in.N
+		acc.i += in.I
+		acc.f += in.F
+		if !in.V.IsValid() {
+			continue
+		}
+		if !acc.v.IsValid() {
+			acc.v = in.V
+			continue
+		}
+		c, err := value.Compare(in.V, acc.v)
+		if err != nil {
+			return err
+		}
+		if (op.Func == sql.AggMin && c < 0) || (op.Func == sql.AggMax && c > 0) {
+			acc.v = in.V
+		}
+	}
+	return nil
+}
+
+// Partial exports group gi's raw state for host-side merging: the key
+// tuple, the accumulator states, and the FirstSeen stamp. The returned
+// slices alias the grouper's storage — absorb them before PutGrouper.
+func (g *Grouper) Partial(gi int) ([]value.Value, []AggState, int64) {
+	keys := g.keys[gi*len(g.keyCols) : (gi+1)*len(g.keyCols)]
+	base := gi * len(g.aggs)
+	accs := make([]AggState, len(g.aggs))
+	for a := range g.aggs {
+		acc := g.accs[base+a]
+		accs[a] = AggState{N: acc.n, I: acc.i, F: acc.f, V: acc.v}
+	}
+	return keys, accs, g.FirstSeen(gi)
+}
+
+// FirstSeen returns group gi's seq stamp (see AddAt/Absorb);
+// math.MaxInt64 when the group was created without one (plain Add or
+// AddEmptyGroup), which sorts such groups last.
+func (g *Grouper) FirstSeen(gi int) int64 {
+	if gi < len(g.first) {
+		return g.first[gi]
+	}
+	return math.MaxInt64
 }
 
 // findOrAdd locates the row's group, appending a new one when unseen.
