@@ -7,7 +7,7 @@
 //	ghostdb-bench sweep baselines storage
 //
 // Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
-// bloom game ablations aggregate dml observability shard.
+// bloom game ablations aggregate dml observability shard faults.
 //
 // The -debug-addr flag serves the live observability endpoint
 // (/debug/vars JSON and /metrics Prometheus text) for the shared
@@ -53,6 +53,9 @@ type benchRecord struct {
 	// experiment): concurrent throughput, scatter-gather aggregate and
 	// DML batch per shard count.
 	ShardScaling []bench.ShardPoint `json:"shard_scaling,omitempty"`
+	// Faults carries the durability-overhead comparison (the faults
+	// experiment): the acceptance gate is overhead_pct staying under 5.
+	Faults *bench.FaultsReport `json:"faults,omitempty"`
 }
 
 // lastDMLPhases stashes the dml experiment's phase records for the JSON
@@ -65,6 +68,9 @@ var lastObservability *bench.ObservabilityReport
 // lastShardPoints stashes the shard experiment's scaling curve.
 var lastShardPoints []bench.ShardPoint
 
+// lastFaults stashes the faults experiment's overhead report.
+var lastFaults *bench.FaultsReport
+
 func writeBenchJSON(rec benchRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -76,7 +82,7 @@ func writeBenchJSON(rec benchRecord) error {
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
 	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
-	"observability", "shard",
+	"observability", "shard", "faults",
 }
 
 func main() {
@@ -159,6 +165,9 @@ func main() {
 			}
 			if name == "shard" {
 				rec.ShardScaling = lastShardPoints
+			}
+			if name == "faults" {
+				rec.Faults = lastFaults
 			}
 			if err := writeBenchJSON(rec); err != nil {
 				log.Fatalf("%s: writing JSON: %v", name, err)
@@ -293,6 +302,14 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		lastShardPoints = points
 		fmt.Print(bench.FormatShardPoints(points))
+	case "faults":
+		fmt.Println("Durability: CRC + commit-record overhead, retries under transient faults")
+		rep, err := bench.Faults(smaller(cfg), 4)
+		if err != nil {
+			return err
+		}
+		lastFaults = rep
+		fmt.Print(bench.FormatFaults(rep))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

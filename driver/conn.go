@@ -201,7 +201,7 @@ func (c *Conn) query(ctx context.Context, query string, params []value.Value) (s
 	if len(params) == 0 {
 		res, err := c.sess.Query(query, core.WithContext(ctx))
 		if err != nil {
-			return nil, err
+			return nil, badConn(err)
 		}
 		return &Rows{res: res}, nil
 	}
@@ -211,9 +211,20 @@ func (c *Conn) query(ctx context.Context, query string, params []value.Value) (s
 	}
 	res, err := c.sess.QueryCompiled(cq, params, core.WithContext(ctx))
 	if err != nil {
-		return nil, err
+		return nil, badConn(err)
 	}
 	return &Rows{res: res}, nil
+}
+
+// badConn maps unrecoverable device faults onto driver.ErrBadConn so
+// database/sql evicts the connection and retries the operation on a
+// fresh one — the paper's "plug the key back in" recovery for one-shot
+// hardware errors. Other errors pass through untouched.
+func badConn(err error) error {
+	if core.IsFaultFatal(err) {
+		return fmt.Errorf("%w: %v", sqldriver.ErrBadConn, err)
+	}
+	return err
 }
 
 // classify reports whether the script is a single SELECT (true) or a
@@ -382,7 +393,7 @@ func (s *Stmt) queryValues(ctx context.Context, params []value.Value) (sqldriver
 	}
 	res, err := s.conn.sess.QueryCompiled(cq, params, core.WithContext(ctx))
 	if err != nil {
-		return nil, err
+		return nil, badConn(err)
 	}
 	return &Rows{res: res}, nil
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/bus"
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/fault"
 	"github.com/ghostdb/ghostdb/internal/trace"
 )
 
@@ -56,10 +57,20 @@ type Config struct {
 	// scatter-gather query execution. 1 (the default) is the classic
 	// single-device engine.
 	Shards int
+	// Faults is a deterministic fault plan in the internal/fault DSN
+	// grammar ("seed=42,read.transient=0.001,cutop=500,..."). Empty
+	// (the default) injects nothing.
+	Faults string
+	// Degraded keeps a sharded database answering dimension-rooted
+	// queries from surviving replicas when a shard's device dies.
+	Degraded bool
+	// Integrity controls the per-page checksums on the simulated flash
+	// (default on). Off is a benchmarking baseline, not a mode to run.
+	Integrity bool
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true, Shards: 1}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true, Shards: 1, Integrity: true}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -81,6 +92,9 @@ func defaultConfig() *Config {
 //	slowquery    log queries at least this slow (Go duration, e.g. 50ms)
 //	metrics      engine metrics registry: "on" (default) | "off"
 //	shards       split the DB over N simulated devices (default 1)
+//	faults       deterministic fault plan ("seed=42,read.transient=0.001,cutop=500")
+//	degraded     serve dimension queries from surviving shards: "on" | "off" (default)
+//	integrity    per-page flash checksums: "on" (default) | "off"
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -162,6 +176,30 @@ func ParseDSN(dsn string) (*Config, error) {
 				return nil, fmt.Errorf("ghostdb driver: shards must be a positive shard count, got %q", vals[len(vals)-1])
 			}
 			cfg.Shards = n
+		case "faults":
+			v := vals[len(vals)-1]
+			if _, err := fault.ParsePlan(v); err != nil {
+				return nil, fmt.Errorf("ghostdb driver: %v", err)
+			}
+			cfg.Faults = v
+		case "degraded":
+			switch strings.ToLower(vals[len(vals)-1]) {
+			case "on", "true", "1":
+				cfg.Degraded = true
+			case "off", "false", "0":
+				cfg.Degraded = false
+			default:
+				return nil, fmt.Errorf("ghostdb driver: degraded must be on or off, got %q", vals[len(vals)-1])
+			}
+		case "integrity":
+			switch strings.ToLower(vals[len(vals)-1]) {
+			case "on", "true", "1":
+				cfg.Integrity = true
+			case "off", "false", "0":
+				cfg.Integrity = false
+			default:
+				return nil, fmt.Errorf("ghostdb driver: integrity must be on or off, got %q", vals[len(vals)-1])
+			}
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -212,6 +250,19 @@ func (c *Config) options() []core.Option {
 	}
 	if c.Shards > 1 {
 		opts = append(opts, core.WithShards(c.Shards))
+	}
+	if c.Faults != "" {
+		// Validated in ParseDSN; a hand-built Config with a bad plan
+		// just injects nothing rather than failing open.
+		if p, err := fault.ParsePlan(c.Faults); err == nil {
+			opts = append(opts, core.WithFaultPlan(p))
+		}
+	}
+	if c.Degraded {
+		opts = append(opts, core.WithDegradedReads(true))
+	}
+	if !c.Integrity {
+		opts = append(opts, core.WithIntegrity(false))
 	}
 	return opts
 }

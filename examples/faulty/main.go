@@ -1,0 +1,105 @@
+// faulty: surviving a hostile device. A fault plan makes the simulated
+// smart USB key misbehave deterministically — here transient flash read
+// errors (absorbed by the engine's retry-with-backoff) plus a power cut
+// at a fixed operation count (the key is yanked mid-query). CHECKPOINT
+// commits by flipping one versioned A/B record, so recovery from a
+// flash image always lands on exactly the last committed version:
+// checkpointed work survives the yank, the uncommitted RAM delta is
+// rolled back.
+//
+//	go run ./examples/faulty
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ghostdb/ghostdb"
+)
+
+func main() {
+	// seed makes the transient faults reproducible; cutop kills the
+	// device at its 4000th post-load operation, wherever that lands.
+	plan, err := ghostdb.ParseFaultPlan("seed=7,read.transient=0.01,cutop=4000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := ghostdb.Open(ghostdb.WithFaultPlan(plan))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	if err := db.ExecScript(`
+CREATE TABLE Doctor (DocID INTEGER PRIMARY KEY, Name CHAR(40), Country CHAR(20));
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
+INSERT INTO Visit VALUES
+  (1, DATE '2006-01-10', 'Checkup', 1),
+  (2, DATE '2006-11-20', 'Sclerosis', 2),
+  (3, DATE '2007-02-01', 'Sclerosis', 1);
+`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Committed work: an insert folded into flash by CHECKPOINT. The
+	// commit point is a single record-page program, so this version is
+	// durable the instant Checkpoint returns.
+	if _, err := db.Exec(`INSERT INTO Visit VALUES (4, DATE '2007-03-05', 'Sclerosis', 2)`); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("checkpoint committed: version 1 is durable")
+
+	// Uncommitted work: this update lives only in the device's RAM delta
+	// and will be lost when the power goes.
+	if _, err := db.Exec(`UPDATE Visit SET Purpose = 'Recovered' WHERE VisID = 2`); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("volatile update applied (RAM delta only, not checkpointed)")
+
+	// Keep querying until the fault plan yanks the key. Transient read
+	// faults along the way are retried invisibly; the power cut is not.
+	const q = `SELECT COUNT(*) FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`
+	var survived int
+	for i := 0; i < 10_000; i++ {
+		if _, err := db.Query(q); err != nil {
+			if !ghostdb.IsDeviceDead(err) {
+				log.Fatal(err)
+			}
+			break
+		}
+		survived++
+	}
+	fmt.Printf("device died after %d more queries: %v\n", survived, db.FatalError())
+	if m, ok := db.MetricsSnapshot().Get("faults_retried_total"); ok {
+		fmt.Printf("transient faults absorbed by retry before the cut: %d\n", m.Value)
+	}
+
+	// Forensic recovery: image the dead key's flash and rebuild. The A/B
+	// record pair guarantees we land on exactly version 1 — the committed
+	// insert is there, the volatile update is gone.
+	snap, err := db.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rdb, info, err := ghostdb.Recover(snap)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rdb.Close()
+	fmt.Printf("recovered at version %d (rolled back: %v)\n", info.Version, info.RolledBack)
+
+	res, err := rdb.Query(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sclerosis visits after recovery: %v (committed insert kept, volatile update rolled back)\n",
+		res.Rows[0][0])
+}

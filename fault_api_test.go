@@ -1,0 +1,106 @@
+package ghostdb_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb"
+)
+
+// TestFaultMetricsEndpoints drives a fault plan through the public API
+// and checks that every fault/recovery metric reaches both exposition
+// formats of the debug endpoint.
+func TestFaultMetricsEndpoints(t *testing.T) {
+	plan, err := ghostdb.ParseFaultPlan("seed=11,read.transient=0.1,bus.transient=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := openDebugDB(t, ghostdb.WithFaultPlan(plan))
+	for i := 0; i < 5; i++ {
+		if _, err := db.Query(`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A full snapshot/recover cycle so recoveries_total counts on the
+	// recovered instance's registry.
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rdb, info, err := ghostdb.Recover(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rdb.Close()
+	if info.Version != 0 || info.RolledBack {
+		t.Fatalf("info = %+v, want clean version 0", info)
+	}
+
+	addr, stop, err := ghostdb.ServeDebug("127.0.0.1:0", rdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	get := func(path string) string {
+		t.Helper()
+		cl := &http.Client{Timeout: 5 * time.Second}
+		resp, err := cl.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	var doc struct {
+		Metrics map[string]json.RawMessage `json:"metrics"`
+	}
+	body := get("/debug/vars")
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/debug/vars: %v", err)
+	}
+	for _, name := range []string{
+		"faults_injected_total", "faults_retried_total",
+		"checksum_failures_total", "recoveries_total", "recovery_wall_ns",
+	} {
+		if _, ok := doc.Metrics[name]; !ok {
+			t.Errorf("/debug/vars lacks %s:\n%s", name, body)
+		}
+	}
+	var recoveries int64
+	if err := json.Unmarshal(doc.Metrics["recoveries_total"], &recoveries); err != nil || recoveries != 1 {
+		t.Fatalf("recoveries_total = %s, want 1", doc.Metrics["recoveries_total"])
+	}
+
+	prom := get("/metrics")
+	for _, want := range []string{
+		"# TYPE ghostdb_faults_injected_total counter",
+		"# TYPE ghostdb_recoveries_total counter",
+		"ghostdb_recoveries_total 1",
+		"# TYPE ghostdb_recovery_wall_ns histogram",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The original faulty instance's own registry counted the injections.
+	snapM := db.MetricsSnapshot()
+	inj, ok := snapM.Get("faults_injected_total")
+	if !ok || inj.Value == 0 {
+		t.Fatalf("faults_injected_total = %+v, want > 0", inj)
+	}
+	ret, ok := snapM.Get("faults_retried_total")
+	if !ok || ret.Value == 0 {
+		t.Fatalf("faults_retried_total = %+v, want > 0", ret)
+	}
+}

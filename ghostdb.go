@@ -73,6 +73,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/datagen"
 	"github.com/ghostdb/ghostdb/internal/device"
+	"github.com/ghostdb/ghostdb/internal/fault"
 	"github.com/ghostdb/ghostdb/internal/metrics"
 	"github.com/ghostdb/ghostdb/internal/plan"
 	"github.com/ghostdb/ghostdb/internal/trace"
@@ -154,6 +155,52 @@ func WithShards(n int) Option { return core.WithShards(n) }
 
 // ShardInfo summarizes one device shard (see DB.ShardInfos).
 type ShardInfo = core.ShardInfo
+
+// FaultPlan is a deterministic, seedable description of device failures
+// — transient and permanent flash errors, torn page writes, bit flips,
+// bus drops, and power cuts at a given simulated time or operation
+// count — consulted by the simulated device stack on every operation.
+type FaultPlan = fault.Plan
+
+// ParseFaultPlan parses the fault-plan DSN grammar, e.g.
+// "seed=42,read.transient=0.001,torn=0.01,cutop=1234".
+func ParseFaultPlan(s string) (*FaultPlan, error) { return fault.ParsePlan(s) }
+
+// WithFaultPlan injects the plan's failures into the DB's simulated
+// devices. The secure-setting bulk load stays fault-free; injection
+// arms when the database goes live.
+func WithFaultPlan(p *FaultPlan) Option { return core.WithFaultPlan(p) }
+
+// WithDegradedReads keeps a sharded database answering dimension-rooted
+// queries from surviving replicas after a shard's device dies, instead
+// of failing every query fast.
+func WithDegradedReads(on bool) Option { return core.WithDegradedReads(on) }
+
+// WithIntegrity toggles the per-page flash checksums (default on). Off
+// is a benchmarking baseline that forgoes torn-write detection.
+func WithIntegrity(on bool) Option { return core.WithIntegrity(on) }
+
+// Snapshot is a crash-surviving capture of a DB: per-device flash
+// images plus the server-durable visible data (see DB.Snapshot and
+// Recover).
+type Snapshot = core.Snapshot
+
+// RecoverInfo reports what Recover landed on.
+type RecoverInfo = core.RecoverInfo
+
+// Recover rebuilds a database from a crash snapshot, landing on exactly
+// the newest fully committed CHECKPOINT version.
+func Recover(snap *Snapshot, extra ...Option) (*DB, *RecoverInfo, error) {
+	return core.Recover(snap, extra...)
+}
+
+// IsFaultFatal reports whether err is an unrecoverable device fault
+// (permanent hardware error, power cut, bus drop, corrupt page).
+func IsFaultFatal(err error) bool { return core.IsFaultFatal(err) }
+
+// IsDeviceDead reports whether err means a whole device is gone (power
+// cut or disconnect) rather than one failed operation.
+func IsDeviceDead(err error) bool { return core.IsDeviceDead(err) }
 
 // WithQueryHook registers a tracing hook that observes every query's
 // start, finish and error events. Hooks run synchronously on the

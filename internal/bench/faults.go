@@ -1,0 +1,176 @@
+package bench
+
+// The fault-tolerance overhead experiment: the durability acceptance
+// gate is that page CRCs plus A/B commit records cost under 5% of
+// simulated device time on a live DML + CHECKPOINT + query workload.
+// Three identical databases run the same workload: integrity off (the
+// baseline), integrity on (the default), and integrity on under a
+// low-rate transient fault plan — the last shows what the
+// retry-with-backoff path charges when the flash actually misbehaves.
+// Sim time is deterministic, so the on/off comparison is exact rather
+// than statistical; wall time is reported only as context.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/fault"
+)
+
+// FaultsRow is one side of the integrity comparison.
+type FaultsRow struct {
+	Name        string `json:"name"` // "integrity_off" | "integrity_on" | "faulted"
+	Statements  int    `json:"statements"`
+	Queries     int    `json:"queries"`
+	Checkpoints int    `json:"checkpoints"`
+	SimNS       int64  `json:"sim_ns"`  // simulated device time the workload advanced
+	WallNS      int64  `json:"wall_ns"` // host wall clock, context only
+	// RecordSimNS is the slice of SimNS spent erasing and programming
+	// A/B commit-record slots (commit_record_sim_ns_total delta).
+	RecordSimNS int64 `json:"record_sim_ns"`
+}
+
+// FaultsReport is the full durability-overhead comparison.
+type FaultsReport struct {
+	Off     FaultsRow `json:"off"`
+	On      FaultsRow `json:"on"`
+	Faulted FaultsRow `json:"faulted"`
+	// OverheadPct is the simulated-time cost of integrity (CRC-verified
+	// reads + commit records) over the baseline: (on-off)/off*100.
+	// The acceptance gate is < 5.
+	OverheadPct float64 `json:"overhead_pct"`
+	// RecordPct is the commit-record share of the integrity-on workload.
+	RecordPct float64 `json:"record_pct"`
+	// FaultedPct is the extra simulated time the transient-fault run paid
+	// for retries and backoff over the clean integrity-on run.
+	FaultedPct     float64 `json:"faulted_pct"`
+	FaultsInjected int64   `json:"faults_injected"`
+	FaultsRetried  int64   `json:"faults_retried"`
+}
+
+// faultsPlan keeps the rates low enough that retry-with-backoff absorbs
+// every fault (the chance of exhausting the retry budget is p^5).
+const faultsPlan = "seed=9,read.transient=0.002,bus.transient=0.002"
+
+// counterValue reads one engine counter; 0 when absent or metrics off.
+func counterValue(db *core.DB, name string) int64 {
+	if v, ok := db.MetricsSnapshot().Get(name); ok {
+		return v.Value
+	}
+	return 0
+}
+
+// Faults builds the three databases and runs the identical workload
+// over each: rounds of (insert batch, update, selective + aggregate
+// queries, CHECKPOINT), so every durability surface — CRC-verified
+// scans, delta merges, record-slot erase/program — is on the bill.
+func Faults(cfg Config, rounds int) (*FaultsReport, error) {
+	if rounds <= 0 {
+		rounds = 4
+	}
+	queries := []string{
+		`SELECT Vis.VisID FROM Visit Vis WHERE Vis.Purpose = 'Sclerosis'`,
+		`SELECT COUNT(*), AVG(Pre.Quantity) FROM Prescription Pre WHERE Pre.Quantity > 2`,
+	}
+	var injected, retried int64 // deposited by the faulted run
+	run := func(name string, opts ...core.Option) (FaultsRow, error) {
+		row := FaultsRow{Name: name}
+		db, _, err := BuildDB(cfg, opts...)
+		if err != nil {
+			return row, err
+		}
+		defer db.Close()
+		medN := db.RowCount("Medicine")
+		visN := db.RowCount("Visit")
+		next, err := db.NextID("Prescription")
+		if err != nil {
+			return row, err
+		}
+		rec0 := counterValue(db, "commit_record_sim_ns_total")
+		sim0 := db.Clock().Now()
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i := 0; i < 25; i++ {
+				stmt := fmt.Sprintf(
+					"INSERT INTO Prescription VALUES (%d, %d, %d, DATE '2007-%02d-%02d', %d, %d)",
+					int(next), 1+i%100, 1+i%4, 1+r%12, 1+i%28, 1+i%medN, 1+i%visN)
+				next++
+				if _, err := db.Exec(stmt); err != nil {
+					return row, fmt.Errorf("%s: %w", name, err)
+				}
+				row.Statements++
+			}
+			upd := fmt.Sprintf("UPDATE Prescription SET Quantity = %d WHERE Quantity > 97", 1+r)
+			if _, err := db.Exec(upd); err != nil {
+				return row, fmt.Errorf("%s: %w", name, err)
+			}
+			row.Statements++
+			for _, q := range queries {
+				if _, err := db.Query(q); err != nil {
+					return row, fmt.Errorf("%s: %w", name, err)
+				}
+				row.Queries++
+			}
+			if _, err := db.Checkpoint(); err != nil {
+				return row, fmt.Errorf("%s: %w", name, err)
+			}
+			row.Checkpoints++
+		}
+		row.SimNS = (db.Clock().Now() - sim0).Nanoseconds()
+		row.WallNS = time.Since(start).Nanoseconds()
+		row.RecordSimNS = counterValue(db, "commit_record_sim_ns_total") - rec0
+		if name == "faulted" {
+			injected = counterValue(db, "faults_injected_total")
+			retried = counterValue(db, "faults_retried_total")
+			if err := db.FatalError(); err != nil {
+				return row, fmt.Errorf("faulted run latched a fatal error: %w", err)
+			}
+		}
+		return row, nil
+	}
+
+	rep := &FaultsReport{}
+	var err error
+	if rep.Off, err = run("integrity_off", core.WithIntegrity(false)); err != nil {
+		return nil, err
+	}
+	if rep.On, err = run("integrity_on"); err != nil {
+		return nil, err
+	}
+	plan, err := fault.ParsePlan(faultsPlan)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Faulted, err = run("faulted", core.WithFaultPlan(plan)); err != nil {
+		return nil, err
+	}
+	rep.FaultsInjected, rep.FaultsRetried = injected, retried
+	if rep.Off.SimNS > 0 {
+		rep.OverheadPct = 100 * float64(rep.On.SimNS-rep.Off.SimNS) / float64(rep.Off.SimNS)
+	}
+	if rep.On.SimNS > 0 {
+		rep.RecordPct = 100 * float64(rep.On.RecordSimNS) / float64(rep.On.SimNS)
+		rep.FaultedPct = 100 * float64(rep.Faulted.SimNS-rep.On.SimNS) / float64(rep.On.SimNS)
+	}
+	return rep, nil
+}
+
+// FormatFaults renders the comparison table.
+func FormatFaults(r *FaultsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %6s %8s %6s %14s %14s\n",
+		"integrity", "stmts", "queries", "ckpts", "sim", "record sim")
+	for _, row := range []FaultsRow{r.Off, r.On, r.Faulted} {
+		fmt.Fprintf(&b, "%-14s %6d %8d %6d %14v %14v\n",
+			row.Name, row.Statements, row.Queries, row.Checkpoints,
+			time.Duration(row.SimNS).Round(time.Microsecond),
+			time.Duration(row.RecordSimNS).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "integrity overhead: %+.2f%% sim time (gate < 5%%); commit records: %.2f%% of the workload\n",
+		r.OverheadPct, r.RecordPct)
+	fmt.Fprintf(&b, "under faults (%s): %+.2f%% sim time, %d injected, %d retried, none fatal\n",
+		faultsPlan, r.FaultedPct, r.FaultsInjected, r.FaultsRetried)
+	return b.String()
+}

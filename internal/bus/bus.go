@@ -8,6 +8,7 @@ package bus
 
 import (
 	"fmt"
+	"github.com/ghostdb/ghostdb/internal/fault"
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/sim"
@@ -62,7 +63,41 @@ type Network struct {
 	rec   *trace.Recorder
 	links map[[2]trace.Party]Profile
 	stats map[[2]trace.Party]*Stats
+	inj   *fault.Injector // consulted on transfers touching the device
 }
+
+// SetInjector installs a fault injector consulted for every transfer
+// that touches the USB device link. Pass nil to remove it.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
+
+// injectBus consults the fault plan for a device-link transfer, retrying
+// transient faults with capped exponential backoff charged to the clock.
+func (n *Network) injectBus() error {
+	if n.inj == nil {
+		return nil
+	}
+	err := n.inj.BeforeOp(fault.OpBus, n.clock.Now())
+	for attempt := 0; fault.IsTransient(err) && attempt < maxBusRetries; attempt++ {
+		backoff := busBackoffBase << attempt
+		if backoff > busBackoffCap {
+			backoff = busBackoffCap
+		}
+		n.clock.Advance(backoff)
+		n.inj.NoteRetry(fault.OpBus)
+		err = n.inj.BeforeOp(fault.OpBus, n.clock.Now())
+	}
+	if fault.IsTransient(err) {
+		return fmt.Errorf("%w: %d retries exhausted: %v", fault.ErrPermanent, maxBusRetries, err)
+	}
+	return err
+}
+
+// Transient bus-fault retry policy (mirrors the flash layer).
+const (
+	maxBusRetries  = 4
+	busBackoffBase = 100 * time.Microsecond
+	busBackoffCap  = 800 * time.Microsecond
+)
 
 // NewNetwork returns an empty network charging to clock and recording
 // into rec (which may be nil to disable tracing).
@@ -115,6 +150,11 @@ func (n *Network) Send(from, to trace.Party, kind trace.Kind, bytes int, note st
 	}
 	if bytes < 0 {
 		return fmt.Errorf("bus: negative message size %d", bytes)
+	}
+	if from == trace.Device || to == trace.Device {
+		if err := n.injectBus(); err != nil {
+			return err
+		}
 	}
 	d := p.TransferTime(bytes)
 	n.clock.Advance(d)

@@ -339,6 +339,9 @@ func (cq *CompiledQuery) runBound(bound *plan.Query, cfg *queryConfig, physical 
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if err := db.fatalError(); err != nil {
+		return nil, err
+	}
 	visSel, err := db.visSelections(bound)
 	if err != nil {
 		return nil, err
@@ -368,7 +371,11 @@ func (cq *CompiledQuery) runBound(bound *plan.Query, cfg *queryConfig, physical 
 		chosen := best.Clone()
 		cq.chosen = &chosen
 	}
-	return db.execute(bound, spec, visSel, cfg.ctx, physical)
+	res, err := db.execute(bound, spec, visSel, cfg.ctx, physical)
+	if err != nil {
+		db.noteDeviceErr(err)
+	}
+	return res, err
 }
 
 // QueryWithPlan executes a prepared query under an explicit plan.
@@ -410,6 +417,9 @@ func (db *DB) queryWithPlan(q *plan.Query, spec plan.Spec, cfg *queryConfig) (*R
 	if db.closed {
 		return nil, ErrClosed
 	}
+	if err := db.fatalError(); err != nil {
+		return nil, err
+	}
 	if err := spec.Validate(q, db.hasIndexLocked); err != nil {
 		return nil, err
 	}
@@ -417,5 +427,9 @@ func (db *DB) queryWithPlan(q *plan.Query, spec plan.Spec, cfg *queryConfig) (*R
 	if err != nil {
 		return nil, err
 	}
-	return db.execute(q, spec, visSel, cfg.ctx, false)
+	res, err := db.execute(q, spec, visSel, cfg.ctx, false)
+	if err != nil {
+		db.noteDeviceErr(err)
+	}
+	return res, err
 }

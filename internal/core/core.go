@@ -23,6 +23,8 @@ import (
 	"github.com/ghostdb/ghostdb/internal/delta"
 	"github.com/ghostdb/ghostdb/internal/device"
 	"github.com/ghostdb/ghostdb/internal/exec"
+	"github.com/ghostdb/ghostdb/internal/fault"
+	"github.com/ghostdb/ghostdb/internal/flash"
 	"github.com/ghostdb/ghostdb/internal/schema"
 	"github.com/ghostdb/ghostdb/internal/sim"
 	"github.com/ghostdb/ghostdb/internal/skt"
@@ -80,6 +82,21 @@ type Options struct {
 	// reported simulated time becomes max-over-shards. 0 or 1 selects
 	// the classic single-device engine.
 	Shards int
+	// FaultPlan arms the deterministic fault injector on the simulated
+	// device stack (flash and bus). Nil — the default — injects nothing
+	// and adds zero overhead. See fault.ParsePlan for the DSN grammar.
+	FaultPlan *fault.Plan
+	// DegradedReads lets a sharded DB keep serving dimension-rooted
+	// queries from surviving replicas after a shard's device has died
+	// (power cut, bus disconnect). Off by default: any query touching a
+	// dead shard fails fast with the device's terminal error.
+	DegradedReads bool
+	// DisableIntegrity turns off the per-page out-of-band checksums the
+	// flash layer maintains (modeled as pipelined hardware ECC, so they
+	// never charge the simulated clock). Benchmarks use it to measure
+	// the durability machinery's overhead; with it off, torn writes and
+	// bit flips go undetected.
+	DisableIntegrity bool
 }
 
 // Option mutates Options.
@@ -140,6 +157,25 @@ func WithDeltaLimit(n int) Option {
 // Options.Shards). n <= 1 selects the classic single-device engine.
 func WithShards(n int) Option {
 	return func(o *Options) { o.Shards = n }
+}
+
+// WithFaultPlan arms the deterministic fault injector with the given
+// plan (see Options.FaultPlan). Pass nil to disable injection.
+func WithFaultPlan(p *fault.Plan) Option {
+	return func(o *Options) { o.FaultPlan = p }
+}
+
+// WithDegradedReads lets a sharded DB serve dimension-rooted queries
+// from surviving replicas when a shard's device has died (see
+// Options.DegradedReads).
+func WithDegradedReads(on bool) Option {
+	return func(o *Options) { o.DegradedReads = on }
+}
+
+// WithIntegrity enables (the default) or disables the flash layer's
+// per-page checksums (see Options.DisableIntegrity).
+func WithIntegrity(on bool) Option {
+	return func(o *Options) { o.DisableIntegrity = !on }
 }
 
 // WithMetrics enables (the default) or disables the engine-wide metrics
@@ -221,6 +257,15 @@ type DB struct {
 	// readable without the device gate.
 	checkpointsRun atomic.Int64
 
+	// inj is the armed fault injector (nil when no plan targets this
+	// device). Immutable after Open.
+	inj *fault.Injector
+	// fatalErr latches the first unrecoverable device error — power cut,
+	// bus disconnect, or a failed commit that may have left flash torn.
+	// Once set, every query and mutation fails fast with it; the path
+	// back is Snapshot + Recover. Read lock-free on query entry.
+	fatalErr atomic.Pointer[fatalCause]
+
 	// mu is the device gate: it serializes bulk load and query execution
 	// on the simulated device and guards all fields below it.
 	mu          sync.Mutex
@@ -254,6 +299,24 @@ type DB struct {
 	staged map[string][][]value.Value // INSERT staging before Build
 	loaded bool
 
+	// version numbers the committed device states: 0 is the bulk load,
+	// each CHECKPOINT commit increments it. The commit record for
+	// version v lives in record slot v%2.
+	version uint64
+	// committedVis retains the visible (non-hidden, non-PK) column data
+	// of the last two committed versions, keyed version -> table -> column
+	// (lowercased). Recovery pairs it with the flash image: the paper's
+	// visible store is server-durable, the device is what crashes. Inner
+	// slices are shared by reference and never mutated.
+	committedVis map[uint64]map[string]map[string][]value.Value
+	// ddl retains the CREATE TABLE statements in application order so a
+	// recovered DB can rebuild the same catalog.
+	ddl []string
+	// rootGlobals maps shard-local root identifiers (index l-1) to global
+	// ones on a shard child; nil on a single-device DB and on the
+	// coordinator. The commit record persists it next to the data.
+	rootGlobals []uint32
+
 	// shards is non-nil when this DB is a scatter-gather coordinator
 	// over N > 1 child devices (see WithShards). Immutable after Open;
 	// the set's own RW lock arbitrates queries against DML/CHECKPOINT,
@@ -267,6 +330,12 @@ func Open(options ...Option) (*DB, error) {
 	for _, o := range options {
 		o(&opts)
 	}
+	return openResolved(opts)
+}
+
+// openResolved builds a DB from fully resolved options. Open and
+// Recover both land here.
+func openResolved(opts Options) (*DB, error) {
 	db, err := openSingle(opts)
 	if err != nil {
 		return nil, err
@@ -288,11 +357,87 @@ func Open(options ...Option) (*DB, error) {
 			if err != nil {
 				return nil, err
 			}
+			// The fault plan addresses shard children, not the
+			// coordinator: the coordinator owns no flash worth failing.
+			c.installFault(opts.FaultPlan, i)
 			children[i] = c
 		}
 		db.shards = &shardSet{children: children}
+	} else {
+		db.installFault(opts.FaultPlan, 0)
 	}
 	return db, nil
+}
+
+// installFault arms the fault injector on this device's flash and bus,
+// wiring its observations into the engine metrics. A nil plan — or one
+// targeting a different shard — leaves the device clean.
+func (db *DB) installFault(p *fault.Plan, shard int) {
+	inj := fault.New(p, shard)
+	if inj == nil {
+		return
+	}
+	inj.SetSink(faultSink{db.metrics})
+	// The secure-setting bulk load is fault-free (the device is
+	// provisioned at the publisher); build arms the injector when the
+	// database goes live, so cutop/failop count operational ops only.
+	inj.Disarm()
+	db.inj = inj
+	db.dev.Flash.SetInjector(inj)
+	db.net.SetInjector(inj)
+}
+
+// fatalCause boxes the latched terminal device error.
+type fatalCause struct{ err error }
+
+// setFatal latches the first unrecoverable device error. Later calls
+// keep the original cause.
+func (db *DB) setFatal(err error) {
+	if err == nil {
+		return
+	}
+	db.fatalErr.CompareAndSwap(nil, &fatalCause{err: err})
+}
+
+// fatalError returns the latched terminal error wrapped for callers, or
+// nil while the device is healthy.
+func (db *DB) fatalError() error {
+	if c := db.fatalErr.Load(); c != nil {
+		return fmt.Errorf("core: device unavailable: %w", c.err)
+	}
+	return nil
+}
+
+// FatalError reports the terminal device error that took this DB down
+// (power cut, bus disconnect, failed commit), or nil while it is
+// healthy. A fatal DB rejects queries and mutations; recover with
+// Snapshot + Recover.
+func (db *DB) FatalError() error {
+	if c := db.fatalErr.Load(); c != nil {
+		return c.err
+	}
+	return nil
+}
+
+// noteDeviceErr latches err as fatal when it indicates the device is
+// gone for good (power cut, bus disconnect, or a corrupted read that
+// survived the retry ladder is NOT fatal — only dead devices are).
+func (db *DB) noteDeviceErr(err error) {
+	if fault.IsDeviceDead(err) {
+		db.setFatal(err)
+	}
+}
+
+// IsDeviceDead reports whether err (anywhere in its chain) says the
+// simulated device is gone — powered off or disconnected — rather than
+// merely failing one operation.
+func IsDeviceDead(err error) bool { return fault.IsDeviceDead(err) }
+
+// IsFaultFatal reports whether err is a non-retryable device failure:
+// a permanent fault, a dead device, or detected flash corruption. The
+// database/sql driver maps these to driver.ErrBadConn.
+func IsFaultFatal(err error) bool {
+	return fault.IsFatal(err) || errors.Is(err, flash.ErrCorrupt)
 }
 
 // openSingle builds one single-device engine from resolved options.
@@ -301,6 +446,9 @@ func openSingle(opts Options) (*DB, error) {
 	dev, err := device.New(opts.Profile, clock)
 	if err != nil {
 		return nil, err
+	}
+	if opts.DisableIntegrity {
+		dev.Flash.SetIntegrity(false)
 	}
 	rec := trace.NewRecorder(opts.Capture)
 	net := bus.NewNetwork(clock, rec)
@@ -563,6 +711,9 @@ func (db *DB) applyCreate(ct *sql.CreateTable) error {
 	if err := db.sch.AddTable(t); err != nil {
 		return err
 	}
+	// Retained for Snapshot/Recover: a recovered DB replays the DDL to
+	// rebuild an identical catalog before decoding the flash image.
+	db.ddl = append(db.ddl, ct.String())
 	// Shard children mirror the catalog so they can compile the same
 	// query shapes and validate the same DML the coordinator accepts.
 	if db.shards != nil {
@@ -593,6 +744,9 @@ func (db *DB) Insert(ins *sql.Insert) error {
 
 func (db *DB) insertLocked(ins *sql.Insert) error {
 	if db.loaded {
+		if err := db.fatalError(); err != nil {
+			return err
+		}
 		if db.shards != nil {
 			return db.shards.insert(db, ins)
 		}
@@ -773,6 +927,15 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 		return err
 	}
 
+	// Commit version 0: stash the visible columns and write the first
+	// commit record, so a crash at any later point can recover at least
+	// the freshly loaded state. Still inside the secure setting, so the
+	// record's flash cost is rewound along with the load's.
+	db.stashCommitted(0, cols)
+	if err := db.writeCommitRecord(); err != nil {
+		return err
+	}
+
 	// The secure-setting load is free: rewind the simulated time it
 	// consumed and reset operational stats.
 	db.clock.Reset()
@@ -783,7 +946,34 @@ func (db *DB) build(cols map[string][][]value.Value) error {
 	db.rec.Reset()
 
 	db.loaded = true
+	db.inj.Arm() // go live: faults apply from here on
 	return nil
+}
+
+// stashCommitted retains the visible (non-hidden, non-PK) column data
+// of a committed version for Snapshot/Recover, pruning everything older
+// than the previous version — the only one still recoverable from the
+// A/B record slots. Inner slices are aliased, never copied or mutated.
+func (db *DB) stashCommitted(version uint64, cols map[string][][]value.Value) {
+	snap := make(map[string]map[string][]value.Value, len(db.sch.Tables()))
+	for _, t := range db.sch.Tables() {
+		tcols := cols[t.Name]
+		m := map[string][]value.Value{}
+		for i, c := range t.Columns {
+			if c.Hidden || c.PrimaryKey || i >= len(tcols) {
+				continue
+			}
+			m[strings.ToLower(c.Name)] = tcols[i]
+		}
+		snap[strings.ToLower(t.Name)] = m
+	}
+	if db.committedVis == nil {
+		db.committedVis = map[uint64]map[string]map[string][]value.Value{}
+	}
+	db.committedVis[version] = snap
+	if version >= 2 {
+		delete(db.committedVis, version-2)
+	}
 }
 
 // fkKey keys the retained foreign-key arrays.

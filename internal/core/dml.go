@@ -17,6 +17,7 @@ package core
 // CHECKPOINT materializes the cascade by dropping it.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -53,6 +54,15 @@ func (db *DB) Exec(sqlText string) (int64, error) {
 // ExecStatements executes already-parsed statements (see Exec). INSERT
 // rows must be fully bound; bind '?' placeholders first.
 func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
+	return db.ExecStatementsContext(context.Background(), stmts)
+}
+
+// ExecStatementsContext is ExecStatements under a context: CHECKPOINT —
+// explicit or delta-limit-triggered — checks ctx at table boundaries
+// during its read phase and aborts cleanly (delta intact, database
+// untouched) when the context is done. The commit phase, once entered,
+// always runs to completion.
+func (db *DB) ExecStatementsContext(ctx context.Context, stmts []sql.Statement) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -82,7 +92,7 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 			affected += int64(len(s.Rows))
 			dmlStmts++
 			dmlRows += int64(len(s.Rows))
-			if err := db.maybeAutoCheckpoint(); err != nil {
+			if err := db.maybeAutoCheckpoint(ctx); err != nil {
 				return affected, err
 			}
 		case *sql.Delete, *sql.Update:
@@ -103,14 +113,14 @@ func (db *DB) ExecStatements(stmts []sql.Statement) (int64, error) {
 			if err != nil {
 				return affected, err
 			}
-			if err := db.maybeAutoCheckpoint(); err != nil {
+			if err := db.maybeAutoCheckpoint(ctx); err != nil {
 				return affected, err
 			}
 		case *sql.Checkpoint:
 			if err := db.ensureBuiltLocked(); err != nil {
 				return affected, err
 			}
-			n, err := db.checkpointAnyLocked()
+			n, err := db.checkpointAnyLocked(ctx)
 			affected += n
 			if err != nil {
 				return affected, err
@@ -134,7 +144,7 @@ func (db *DB) ensureBuiltLocked() error {
 // and the delta has grown past it. On a sharded DB the trigger counts
 // the logical delta across the shard set (the children run with the
 // knob off; the coordinator decides when the merge happens).
-func (db *DB) maybeAutoCheckpoint() error {
+func (db *DB) maybeAutoCheckpoint(ctx context.Context) error {
 	if !db.loaded || db.opts.DeltaLimit <= 0 {
 		return nil
 	}
@@ -147,27 +157,38 @@ func (db *DB) maybeAutoCheckpoint() error {
 	if entries < db.opts.DeltaLimit {
 		return nil
 	}
-	_, err := db.checkpointAnyLocked()
+	_, err := db.checkpointAnyLocked(ctx)
 	return err
 }
 
 // checkpointAnyLocked dispatches CHECKPOINT to the engine at hand: the
 // parallel per-shard merge on a sharded DB, the classic single-device
 // merge otherwise.
-func (db *DB) checkpointAnyLocked() (int64, error) {
+func (db *DB) checkpointAnyLocked(ctx context.Context) (int64, error) {
 	if !db.loaded {
 		return 0, fmt.Errorf("core: CHECKPOINT before Build")
 	}
-	if db.shards != nil {
-		return db.shards.checkpoint(db)
+	if err := db.fatalError(); err != nil {
+		return 0, err
 	}
-	n, _, err := db.checkpointLocked()
+	if db.shards != nil {
+		return db.shards.checkpoint(db, ctx)
+	}
+	n, _, err := db.checkpointLocked(ctx)
 	return n, err
 }
 
 // Checkpoint merges the delta into fresh flash segments (see the package
 // comment) and returns the number of delta entries absorbed.
 func (db *DB) Checkpoint() (int64, error) {
+	return db.CheckpointContext(context.Background())
+}
+
+// CheckpointContext is Checkpoint under a context: the read phase
+// checks ctx at table boundaries and aborts cleanly (delta intact) when
+// the context is done; the commit phase, once entered, runs to
+// completion.
+func (db *DB) CheckpointContext(ctx context.Context) (int64, error) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -176,7 +197,7 @@ func (db *DB) Checkpoint() (int64, error) {
 	if err := db.ensureBuiltLocked(); err != nil {
 		return 0, err
 	}
-	return db.checkpointAnyLocked()
+	return db.checkpointAnyLocked(ctx)
 }
 
 // CompiledDML is the cacheable compiled form of a DELETE or UPDATE
@@ -260,7 +281,7 @@ func (cd *CompiledDML) Exec(params []value.Value) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	return n, db.maybeAutoCheckpoint()
+	return n, db.maybeAutoCheckpoint(context.Background())
 }
 
 // ---------------------------------------------------------------------------
@@ -484,6 +505,7 @@ func (db *DB) deltaInsertLocked(ins *sql.Insert) error {
 	// The statement travels terminal -> device; the hidden payload is
 	// never echoed to the server.
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, busBytes, "INSERT "+t.Name, nil); err != nil {
+		db.noteDeviceErr(err)
 		return err
 	}
 	if _, err := dt.InsertAll(rows); err != nil {
@@ -508,6 +530,9 @@ func (db *DB) execDMLLocked(d *plan.DML) (int64, error) {
 	if !db.loaded {
 		return 0, fmt.Errorf("core: DML before Build")
 	}
+	if err := db.fatalError(); err != nil {
+		return 0, err
+	}
 	if d.NumParams > 0 {
 		return 0, ErrUnboundDML
 	}
@@ -515,10 +540,12 @@ func (db *DB) execDMLLocked(d *plan.DML) (int64, error) {
 		return db.shards.execDML(db, d)
 	}
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, len(d.SQL), d.Op.String()+" "+d.Table.Name, nil); err != nil {
+		db.noteDeviceErr(err)
 		return 0, err
 	}
 	ids, err := db.matchDMLLocked(d)
 	if err != nil {
+		db.noteDeviceErr(err)
 		return 0, err
 	}
 	dt := db.delta.Ensure(d.Table, db.rowCounts[d.Table.Name])
@@ -667,38 +694,58 @@ func (db *DB) matchDMLLocked(d *plan.DML) ([]uint32, error) {
 // ---------------------------------------------------------------------------
 // CHECKPOINT.
 
+// ckptPending is a prepared CHECKPOINT: the extracted post-merge column
+// data and survivor lists, ready to commit into the inactive flash half.
+// Between prepare and commit the database is fully intact — the delta
+// still holds every mutation, so abandoning a pending checkpoint (on
+// context cancellation, say) loses nothing.
+type ckptPending struct {
+	absorbed  int64
+	oldIDs    map[string][]uint32
+	cols      map[string][][]value.Value
+	wallStart time.Time
+	simStart  time.Duration
+}
+
 // checkpointLocked merges the delta into fresh flash segments: it
 // extracts the chain-live rows of every table (reading base hidden
 // values through the charged page cache and delta images from RAM),
 // renumbers the survivors densely — materializing the virtual delete
-// cascade — erases the main flash space (recycling its blocks), rebuilds
-// the column files, SKTs and climbing indexes at full program cost, and
-// releases the delta's RAM grants. It returns the number of delta
+// cascade — builds the column files, SKTs and climbing indexes into the
+// inactive flash half at full program cost, flips the commit record,
+// and releases the delta's RAM grants. It returns the number of delta
 // entries absorbed and the root table's surviving old identifiers in
 // ascending order (each survivor's new dense identifier is its rank in
 // that list) — the sharded coordinator rebuilds its global mapping from
 // them. A no-op checkpoint returns a nil survivor list.
-func (db *DB) checkpointLocked() (int64, []uint32, error) {
+func (db *DB) checkpointLocked(ctx context.Context) (int64, []uint32, error) {
+	p, err := db.checkpointPrepareLocked(ctx)
+	if err != nil || p == nil {
+		return 0, nil, err
+	}
+	if err := db.checkpointCommitLocked(p); err != nil {
+		return 0, nil, err
+	}
+	return p.absorbed, p.oldIDs[db.sch.Root().Name], nil
+}
+
+// checkpointPrepareLocked runs the read-only phase of a CHECKPOINT:
+// liveness, renumbering, and extraction of the effective column data.
+// It checks ctx at every table boundary; any error — cancellation
+// included — returns with the database untouched and the delta intact.
+// A clean delta returns (nil, nil).
+func (db *DB) checkpointPrepareLocked(ctx context.Context) (*ckptPending, error) {
 	if !db.loaded {
-		return 0, nil, fmt.Errorf("core: CHECKPOINT before Build")
+		return nil, fmt.Errorf("core: CHECKPOINT before Build")
 	}
 	absorbed := int64(db.delta.Entries())
 	if absorbed == 0 {
-		return 0, nil, nil
+		return nil, nil
 	}
-	ckptStart := time.Now()
-	simStart := db.clock.Now()
-	defer func() {
-		db.checkpointsRun.Add(1)
-		if m := db.metrics; m != nil {
-			m.checkpoints.Inc()
-			m.checkpointWall.Observe(time.Since(ckptStart).Nanoseconds())
-			m.checkpointSim.Observe(int64(db.clock.Span(simStart)))
-			m.noteDelta(db)
-		}
-	}()
+	p := &ckptPending{absorbed: absorbed, wallStart: time.Now(), simStart: db.clock.Now()}
 	if err := db.net.Send(trace.Terminal, trace.Device, trace.KindDML, len("CHECKPOINT"), "CHECKPOINT", nil); err != nil {
-		return 0, nil, err
+		db.noteDeviceErr(err)
+		return nil, err
 	}
 	lv := db.newLiveness()
 
@@ -706,6 +753,9 @@ func (db *DB) checkpointLocked() (int64, []uint32, error) {
 	oldIDs := map[string][]uint32{}
 	renumber := map[string]map[uint32]uint32{}
 	for _, t := range db.sch.Tables() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: CHECKPOINT canceled: %w", err)
+		}
 		maxID := uint32(db.rowCounts[t.Name])
 		if d, ok := db.delta.Get(t.Name); ok {
 			maxID = d.MaxID()
@@ -724,9 +774,12 @@ func (db *DB) checkpointLocked() (int64, []uint32, error) {
 	}
 
 	// Pass 2: extract the effective columns with foreign keys remapped,
-	// before the old segments are erased.
+	// before anything is torn down.
 	cols := map[string][][]value.Value{}
 	for _, t := range db.sch.Tables() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: CHECKPOINT canceled: %w", err)
+		}
 		ids := oldIDs[t.Name]
 		tcols := make([][]value.Value, len(t.Columns))
 		for ci := range t.Columns {
@@ -740,17 +793,18 @@ func (db *DB) checkpointLocked() (int64, []uint32, error) {
 				case c.IsForeignKey():
 					oldChild, err := db.effectiveFK(t, ci, oldID)
 					if err != nil {
-						return 0, nil, err
+						return nil, err
 					}
 					newChild, ok := renumber[db.mustTable(c.RefTable).Name][oldChild]
 					if !ok {
-						return 0, nil, fmt.Errorf("core: checkpoint: %s.%s row %d dangles", t.Name, c.Name, oldID)
+						return nil, fmt.Errorf("core: checkpoint: %s.%s row %d dangles", t.Name, c.Name, oldID)
 					}
 					tcols[ci][newIdx] = value.NewInt(int64(newChild))
 				default:
 					v, err := db.effectiveValue(t, ci, oldID)
 					if err != nil {
-						return 0, nil, err
+						db.noteDeviceErr(err)
+						return nil, err
 					}
 					tcols[ci][newIdx] = v
 				}
@@ -758,23 +812,75 @@ func (db *DB) checkpointLocked() (int64, []uint32, error) {
 		}
 		cols[t.Name] = tcols
 	}
+	p.oldIDs = oldIDs
+	p.cols = cols
+	return p, nil
+}
 
+// checkpointCommitLocked makes a prepared checkpoint durable: it swaps
+// to the inactive flash half (erasing only the version-before-last),
+// rebuilds the column files and indexes there at full simulated cost,
+// and then — as the last device operation — writes the new commit
+// record. A crash at any point leaves exactly the previous committed
+// version recoverable; an error mid-commit latches the DB fatal, since
+// the in-RAM structures no longer match any committed flash state.
+// Feeds the checkpoint metrics on every outcome.
+func (db *DB) checkpointCommitLocked(p *ckptPending) error {
+	defer func() {
+		db.checkpointsRun.Add(1)
+		if m := db.metrics; m != nil {
+			m.checkpoints.Inc()
+			m.checkpointWall.Observe(time.Since(p.wallStart).Nanoseconds())
+			m.checkpointSim.Observe(int64(db.clock.Span(p.simStart)))
+			m.noteDelta(db)
+		}
+	}()
 	// Tear down the old device structures: drop the page cache grant,
-	// erase the main space (its recycled blocks are reprogrammed below)
-	// and release the delta RAM.
+	// swap to the spare half (erasing the version-before-last) and
+	// release the delta RAM.
 	db.hid.Release()
-	if err := db.dev.Main.Reset(); err != nil {
-		return 0, nil, err
+	if err := db.dev.SwapHalf(); err != nil {
+		db.setFatal(err)
+		return err
 	}
 	db.delta.ReleaseAll()
 
 	// Rebuild at full simulated cost: every AppendRegion programs pages,
 	// on top of the erase charges above. The clock is NOT rewound — this
 	// is the price of making the delta durable.
-	if err := db.loadState(cols); err != nil {
-		return 0, nil, err
+	if err := db.loadState(p.cols); err != nil {
+		db.setFatal(err)
+		return err
 	}
-	return absorbed, oldIDs[db.sch.Root().Name], nil
+	db.version++
+	db.stashCommitted(db.version, p.cols)
+	if err := db.writeCommitRecord(); err != nil {
+		// The new state is built but not committed: recovery would land
+		// on the previous version, diverging from the live in-RAM state.
+		db.setFatal(err)
+		return err
+	}
+	return nil
+}
+
+// recordOnlyCommitLocked advances this device's committed version
+// without rebuilding its data: the commit record is re-pointed at the
+// current (unchanged) column extents. A sharded coordinator uses it on
+// shards whose delta was empty during a global CHECKPOINT, keeping all
+// shard versions in lockstep so recovery can pick one global cut.
+func (db *DB) recordOnlyCommitLocked() error {
+	db.version++
+	if prev, ok := db.committedVis[db.version-1]; ok {
+		db.committedVis[db.version] = prev
+		if db.version >= 2 {
+			delete(db.committedVis, db.version-2)
+		}
+	}
+	if err := db.writeCommitRecord(); err != nil {
+		db.setFatal(err)
+		return err
+	}
+	return nil
 }
 
 // mustTable returns a frozen-schema table by name (checkpoint internals;

@@ -33,6 +33,12 @@ type engineMetrics struct {
 	flashPageReads *metrics.Counter
 	busBytes       *metrics.Counter
 
+	faultsInjected   *metrics.Counter
+	faultsRetried    *metrics.Counter
+	checksumFailures *metrics.Counter
+	recoveries       *metrics.Counter
+	recordSim        *metrics.Counter
+
 	ramHighWater *metrics.MaxGauge
 
 	deltaRows       *metrics.Gauge
@@ -43,6 +49,7 @@ type engineMetrics struct {
 	querySim       *metrics.Histogram
 	checkpointWall *metrics.Histogram
 	checkpointSim  *metrics.Histogram
+	recoveryWall   *metrics.Histogram
 }
 
 // newEngineMetrics builds a registry with the engine's full metric set.
@@ -69,6 +76,12 @@ func newEngineMetrics() *engineMetrics {
 		flashPageReads: r.Counter("flash_page_reads_total", "simulated flash page reads charged to queries"),
 		busBytes:       r.Counter("bus_bytes_total", "bytes that crossed the terminal-device wire"),
 
+		faultsInjected:   r.Counter("faults_injected_total", "faults injected into the device stack by the fault plan"),
+		faultsRetried:    r.Counter("faults_retried_total", "transient faults absorbed by the retry-with-backoff path"),
+		checksumFailures: r.Counter("checksum_failures_total", "flash page reads that failed OOB checksum verification"),
+		recoveries:       r.Counter("recoveries_total", "databases rebuilt from a flash snapshot via Recover"),
+		recordSim:        r.Counter("commit_record_sim_ns_total", "simulated device time spent writing checkpoint commit records"),
+
 		ramHighWater: r.MaxGauge("ram_high_water_bytes", "device RAM arena high-water mark"),
 
 		deltaRows:       r.Gauge("delta_rows", "live rows resident in the RAM delta store"),
@@ -79,6 +92,29 @@ func newEngineMetrics() *engineMetrics {
 		querySim:       r.Histogram("query_sim_ns", "query latency, simulated device time"),
 		checkpointWall: r.Histogram("checkpoint_wall_ns", "CHECKPOINT duration, host wall-clock"),
 		checkpointSim:  r.Histogram("checkpoint_sim_ns", "CHECKPOINT duration, simulated device time"),
+		recoveryWall:   r.Histogram("recovery_wall_ns", "Recover duration, host wall-clock"),
+	}
+}
+
+// faultSink adapts the engine metrics registry to the fault injector's
+// Sink interface. All methods are nil-safe against disabled metrics.
+type faultSink struct{ m *engineMetrics }
+
+func (s faultSink) FaultInjected(string, bool) {
+	if s.m != nil {
+		s.m.faultsInjected.Inc()
+	}
+}
+
+func (s faultSink) FaultRetried(string) {
+	if s.m != nil {
+		s.m.faultsRetried.Inc()
+	}
+}
+
+func (s faultSink) ChecksumFailure() {
+	if s.m != nil {
+		s.m.checksumFailures.Inc()
 	}
 }
 

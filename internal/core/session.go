@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -282,6 +283,16 @@ func (s *Session) ExecStatements(stmts []sql.Statement) (int64, error) {
 	return s.db.ExecStatements(stmts)
 }
 
+// ExecStatementsContext is ExecStatements under a context (see
+// DB.ExecStatementsContext): any CHECKPOINT it triggers checks ctx
+// during its read phase and aborts cleanly with the delta intact.
+func (s *Session) ExecStatementsContext(ctx context.Context, stmts []sql.Statement) (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return s.db.ExecStatementsContext(ctx, stmts)
+}
+
 // CompileDML parses and binds a DELETE or UPDATE through the shared plan
 // cache; sessions issuing the same statement shape share one
 // CompiledDML. The hit/miss is charged to this session's counters.
@@ -312,6 +323,15 @@ func (s *Session) Checkpoint() (int64, error) {
 		return 0, err
 	}
 	return s.db.Checkpoint()
+}
+
+// CheckpointContext is Checkpoint under a context (see
+// DB.CheckpointContext).
+func (s *Session) CheckpointContext(ctx context.Context) (int64, error) {
+	if err := s.check(); err != nil {
+		return 0, err
+	}
+	return s.db.CheckpointContext(ctx)
 }
 
 // QueryWithPlan executes a prepared query under an explicit plan.

@@ -33,6 +33,7 @@ package core
 // global root mapping" error rather than returning wrong rows.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -151,6 +152,10 @@ func (db *DB) buildSharded(cols map[string][][]value.Value) error {
 
 	for s, c := range ss.children {
 		c.mu.Lock()
+		// Each child's commit record persists its local->global root
+		// mapping alongside the data, so recovery from the shard images
+		// alone can reassemble the global order.
+		c.rootGlobals = append([]uint32(nil), ss.localToGlobal[s]...)
 		err := c.build(perShard[s])
 		c.mu.Unlock()
 		if err != nil {
@@ -211,6 +216,14 @@ func (db *DB) runSharded(sqlText string, params []value.Value, bound *plan.Query
 	if !strings.EqualFold(bound.Root.Name, root.Name) {
 		return db.runReplica(sqlText, params, cfg)
 	}
+	// A root-rooted query needs every partition; one dead shard means an
+	// incomplete answer, so fail fast with its terminal error rather than
+	// silently dropping rows.
+	for s, c := range ss.children {
+		if err := c.FatalError(); err != nil {
+			return nil, fmt.Errorf("core: shard %d unavailable: %w", s, err)
+		}
+	}
 	return db.runScatter(sqlText, params, bound, cfg, root.Name, root.PrimaryKey().Name)
 }
 
@@ -226,10 +239,31 @@ func cloneCfg(cfg *queryConfig) *queryConfig {
 }
 
 // runReplica routes a dimension-rooted query, finishing included, to
-// one shard chosen round-robin. Caller holds ss.mu.RLock.
+// one shard chosen round-robin. With WithDegradedReads, dead shards are
+// skipped — the dimensions are replicated, so any survivor answers
+// exactly; without it, a dead shard anywhere fails the query fast, like
+// the scatter path. Caller holds ss.mu.RLock.
 func (db *DB) runReplica(sqlText string, params []value.Value, cfg *queryConfig) (*Result, error) {
 	ss := db.shards
-	s := int(ss.rr.Add(1)-1) % len(ss.children)
+	if !db.opts.DegradedReads {
+		for s, c := range ss.children {
+			if err := c.FatalError(); err != nil {
+				return nil, fmt.Errorf("core: shard %d unavailable: %w", s, err)
+			}
+		}
+	}
+	n := len(ss.children)
+	start := int(ss.rr.Add(1)-1) % n
+	s := -1
+	for i := 0; i < n; i++ {
+		if cand := (start + i) % n; ss.children[cand].FatalError() == nil {
+			s = cand
+			break
+		}
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("core: all %d shards unavailable: %w", n, ss.children[start].FatalError())
+	}
 	child := ss.children[s]
 	ccq, _, err := child.compileCached(sqlText)
 	if err != nil {
@@ -946,14 +980,23 @@ func (ss *shardSet) logicalEntries(db *DB) int {
 // ---------------------------------------------------------------------------
 // CHECKPOINT.
 
-// checkpoint runs CHECKPOINT on every shard in parallel and rebuilds
-// the global root mapping from the per-shard survivor lists. Each child
-// renumbers its root survivors densely in ascending old-local order;
-// walking the old global mapping in order and consuming each shard's
-// survivor list with a cursor therefore assigns exactly the child's new
-// local identifiers, and keeps localToGlobal strictly increasing.
-// Caller holds the coordinator's device gate.
-func (ss *shardSet) checkpoint(db *DB) (int64, error) {
+// checkpoint runs CHECKPOINT over the shard set as a two-phase merge.
+// Phase A prepares every dirty shard in parallel — a pure read pass
+// (liveness, renumbering, extraction) that leaves each child untouched,
+// so an error or a context cancellation anywhere abandons the whole
+// checkpoint with every delta intact. Phase B rebuilds the global root
+// mapping from the survivor lists and commits every shard in parallel:
+// dirty shards rebuild into their spare flash half and flip their commit
+// record; clean shards write a record-only commit, so all shard versions
+// advance in lockstep and recovery can pick one global cut (shard
+// versions never spread by more than the one a mid-commit crash tears).
+//
+// Each child renumbers its root survivors densely in ascending old-local
+// order; walking the old global mapping in order and consuming each
+// shard's survivor list with a cursor therefore assigns exactly the
+// child's new local identifiers, and keeps localToGlobal strictly
+// increasing. Caller holds the coordinator's device gate.
+func (ss *shardSet) checkpoint(db *DB, ctx context.Context) (int64, error) {
 	ss.mu.Lock()
 	defer ss.mu.Unlock()
 
@@ -966,11 +1009,15 @@ func (ss *shardSet) checkpoint(db *DB) (int64, error) {
 	n := len(ss.children)
 
 	type ckptOut struct {
+		pending   *ckptPending
 		survivors []uint32 // old local root IDs that survived, ascending
+		simStart  time.Duration
 		span      time.Duration
 		err       error
 	}
 	outs := make([]ckptOut, n)
+
+	// Phase A: prepare in parallel. No device state changes yet.
 	var wg sync.WaitGroup
 	for s := 0; s < n; s++ {
 		wg.Add(1)
@@ -979,24 +1026,24 @@ func (ss *shardSet) checkpoint(db *DB) (int64, error) {
 			c := ss.children[s]
 			c.mu.Lock()
 			defer c.mu.Unlock()
-			simStart := c.clock.Now()
-			_, sv, err := c.checkpointLocked()
-			outs[s] = ckptOut{survivors: sv, span: c.clock.Span(simStart), err: err}
+			outs[s].simStart = c.clock.Now()
+			p, err := c.checkpointPrepareLocked(ctx)
+			outs[s].pending, outs[s].err = p, err
+			if p != nil {
+				outs[s].survivors = p.oldIDs[root.Name]
+			}
 		}(s)
 	}
 	wg.Wait()
-	var maxSpan time.Duration
 	for s := range outs {
 		if outs[s].err != nil {
 			return 0, fmt.Errorf("core: shard %d checkpoint: %w", s, outs[s].err)
 		}
-		if outs[s].span > maxSpan {
-			maxSpan = outs[s].span
-		}
 	}
 
-	// A shard whose delta was empty skipped the merge: its local space is
-	// unchanged, i.e. every local row survived under its own identifier.
+	// A shard whose delta was empty has nothing to merge: its local space
+	// is unchanged, i.e. every local row survives under its own
+	// identifier (it still gets a record-only commit below).
 	for s := range outs {
 		if outs[s].survivors == nil {
 			ident := make([]uint32, len(ss.localToGlobal[s]))
@@ -1026,6 +1073,30 @@ func (ss *shardSet) checkpoint(db *DB) (int64, error) {
 		newMap = append(newMap, shardLoc{shard: loc.shard, local: newLocal})
 		newL2G[s] = append(newL2G[s], uint32(len(newMap)))
 	}
+
+	// Phase B: commit in parallel. Each child gets its new mapping slice
+	// before writing the record, so the persisted manifest matches the
+	// post-merge global order. A commit error latches that child fatal;
+	// the mapping still installs — the surviving shards committed, and
+	// the dead one fails every touching query with its terminal error.
+	for s := 0; s < n; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			c := ss.children[s]
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.rootGlobals = append([]uint32(nil), newL2G[s]...)
+			if p := outs[s].pending; p != nil {
+				outs[s].err = c.checkpointCommitLocked(p)
+			} else {
+				outs[s].err = c.recordOnlyCommitLocked()
+			}
+			outs[s].span = c.clock.Span(outs[s].simStart)
+		}(s)
+	}
+	wg.Wait()
+
 	ss.rootMap = newMap
 	ss.localToGlobal = newL2G
 
@@ -1041,12 +1112,26 @@ func (ss *shardSet) checkpoint(db *DB) (int64, error) {
 	c0.mu.Unlock()
 	db.rowCounts[root.Name] = len(newMap)
 
+	var maxSpan time.Duration
+	var firstErr error
+	for s := range outs {
+		if outs[s].err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: shard %d checkpoint: %w", s, outs[s].err)
+		}
+		if outs[s].span > maxSpan {
+			maxSpan = outs[s].span
+		}
+	}
+
 	db.checkpointsRun.Add(1)
 	if m := db.metrics; m != nil {
 		m.checkpoints.Inc()
 		m.checkpointWall.Observe(time.Since(ckptStart).Nanoseconds())
 		m.checkpointSim.Observe(int64(maxSpan))
 		m.noteDelta(db)
+	}
+	if firstErr != nil {
+		return 0, firstErr
 	}
 	return absorbed, nil
 }

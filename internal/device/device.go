@@ -104,6 +104,12 @@ func (p Profile) Validate() error {
 	return nil
 }
 
+// RecordBlocks is the number of flash blocks reserved at the head of the
+// device for the A/B commit-record superblock slots: block 0 holds
+// even-numbered commit versions, block 1 odd-numbered ones, so flipping a
+// version never overwrites the previous record.
+const RecordBlocks = 2
+
 // Device is a live simulated smart USB device.
 type Device struct {
 	Profile Profile
@@ -113,9 +119,17 @@ type Device struct {
 	Flash   *flash.Device
 
 	// Main holds the database and its indexes, written once at load time.
+	// It aliases the active element of Halves: the flash area after the
+	// commit-record blocks is split into two halves so a CHECKPOINT can
+	// build the next version into the inactive half and commit it
+	// atomically, leaving the previous version intact for recovery.
 	Main *flash.Space
+	// Halves are the two A/B main spaces; Main == Halves[ActiveHalf()].
+	Halves [2]*flash.Space
 	// Scratch holds query-time spills; reset between uses.
 	Scratch *flash.Space
+
+	active int
 }
 
 // New builds a device from the profile, sharing the given clock (the
@@ -132,7 +146,15 @@ func New(p Profile, clock *sim.Clock) (*Device, error) {
 		return nil, err
 	}
 	mainBlocks := p.Flash.Blocks - p.ScratchBlocks
-	main, err := flash.NewSpace(fd, 0, mainBlocks)
+	if mainBlocks < RecordBlocks+2 {
+		return nil, fmt.Errorf("device: %d main blocks cannot hold the commit records and two halves", mainBlocks)
+	}
+	halfBlocks := (mainBlocks - RecordBlocks) / 2
+	halfA, err := flash.NewSpace(fd, RecordBlocks, halfBlocks)
+	if err != nil {
+		return nil, err
+	}
+	halfB, err := flash.NewSpace(fd, RecordBlocks+halfBlocks, halfBlocks)
 	if err != nil {
 		return nil, err
 	}
@@ -146,13 +168,38 @@ func New(p Profile, clock *sim.Clock) (*Device, error) {
 		CPU:     sim.NewCPU(clock, p.CPUHz),
 		RAM:     ram.NewArena("device", p.RAMBudget),
 		Flash:   fd,
-		Main:    main,
+		Main:    halfA,
+		Halves:  [2]*flash.Space{halfA, halfB},
 		Scratch: scratch,
 	}, nil
 }
 
+// ActiveHalf reports which main half currently holds the database.
+func (d *Device) ActiveHalf() int { return d.active }
+
+// RecordBlock returns the flash block holding the commit record for the
+// given version (A/B alternation on version parity).
+func RecordBlock(version uint64) int { return int(version % RecordBlocks) }
+
+// SwapHalf erases the inactive half (destroying the version before last
+// — the last committed version's half stays intact for one-version
+// rollback) and makes it the Main space for the next build. The caller
+// then writes the new state and commits it with a fresh record.
+func (d *Device) SwapHalf() error {
+	next := 1 - d.active
+	if err := d.Halves[next].Reset(); err != nil {
+		return err
+	}
+	d.active = next
+	d.Main = d.Halves[next]
+	return nil
+}
+
 // ResetScratch erases the scratch space. The engine calls it after every
-// query (and between multi-pass phases when the space runs low).
+// query (and between multi-pass phases when the space runs low). A query
+// that died mid-spill may have abandoned an open scratch writer; the
+// reset reclaims it along with the pages it consumed.
 func (d *Device) ResetScratch() error {
+	d.Scratch.ReleaseWriter()
 	return d.Scratch.Reset()
 }

@@ -70,14 +70,52 @@ func TestNewDeviceLayout(t *testing.T) {
 	if d.RAM.Budget() != int64(p.RAMBudget) {
 		t.Errorf("arena budget = %d", d.RAM.Budget())
 	}
-	mainBytes := d.Main.FreeBytes()
 	scratchBytes := d.Scratch.FreeBytes()
 	wantScratch := int64(p.ScratchBlocks) * int64(p.Flash.PagesPerBlock) * int64(p.Flash.PageSize)
 	if scratchBytes != wantScratch {
 		t.Errorf("scratch = %d bytes, want %d", scratchBytes, wantScratch)
 	}
-	if mainBytes+scratchBytes != p.Flash.TotalBytes() {
-		t.Errorf("main+scratch = %d, want %d", mainBytes+scratchBytes, p.Flash.TotalBytes())
+	// Layout: 2 commit-record blocks + two equal main halves + scratch
+	// (one block may be lost to rounding when the main area is odd).
+	if d.Main != d.Halves[0] || d.ActiveHalf() != 0 {
+		t.Error("Main should alias the active half A")
+	}
+	if a, b := d.Halves[0].FreeBytes(), d.Halves[1].FreeBytes(); a != b {
+		t.Errorf("halves differ: %d vs %d", a, b)
+	}
+	blockBytes := int64(p.Flash.PagesPerBlock) * int64(p.Flash.PageSize)
+	accounted := int64(RecordBlocks)*blockBytes + 2*d.Main.FreeBytes() + scratchBytes
+	if slack := p.Flash.TotalBytes() - accounted; slack < 0 || slack >= blockBytes {
+		t.Errorf("layout accounts for %d of %d bytes (slack %d)", accounted, p.Flash.TotalBytes(), slack)
+	}
+}
+
+func TestSwapHalf(t *testing.T) {
+	d, err := New(SmartUSB2007(), sim.NewClock())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Main.AppendRegion([]byte("version zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SwapHalf(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveHalf() != 1 || d.Main != d.Halves[1] {
+		t.Fatal("swap did not activate half B")
+	}
+	if d.Main.UsedPages() != 0 {
+		t.Fatal("fresh half not empty")
+	}
+	// The retired half keeps its data until the next swap erases it.
+	if d.Halves[0].UsedPages() == 0 {
+		t.Fatal("retired half was erased prematurely")
+	}
+	if err := d.SwapHalf(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveHalf() != 0 || d.Halves[0].UsedPages() != 0 {
+		t.Fatal("second swap should erase and re-activate half A")
 	}
 }
 

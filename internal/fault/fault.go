@@ -1,0 +1,517 @@
+// Package fault is the engine's deterministic fault-injection plan: a
+// seedable description of flash, bus and power failures that the
+// simulated device stack consults on every operation. GhostDB's premise
+// is a pocket USB key that users yank at will, so the device layers
+// (internal/flash, internal/bus) ask an Injector before each read,
+// program, erase and bus transfer whether this operation fails — with a
+// transient error (retried with capped backoff, charged to the simulated
+// clock), a permanent error (surfaced as a typed error through the
+// session and driver), a silent corruption (torn page write, bit flip —
+// caught later by the per-page checksums), or a power cut that freezes
+// the device mid-operation.
+//
+// Plans are deterministic: the same seed and the same operation sequence
+// produce the same faults, so every torture run is replayable.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op identifies the device operation class a fault targets.
+type Op int
+
+// Operation classes consulted against the plan.
+const (
+	OpRead Op = iota
+	OpProgram
+	OpErase
+	OpBus
+)
+
+// String names the operation class.
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpProgram:
+		return "program"
+	case OpErase:
+		return "erase"
+	case OpBus:
+		return "bus"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Typed fault errors. Fatal errors (see IsFatal) mean the operation — and
+// with a power cut or disconnect, the whole device — cannot proceed;
+// transient errors are retried by the device layers.
+var (
+	// ErrTransient is a recoverable hardware hiccup; the device layers
+	// retry it with capped exponential backoff.
+	ErrTransient = errors.New("fault: transient device error")
+	// ErrPermanent is an unrecoverable hardware error on one operation
+	// (a bad page, a failed program). The device stays up.
+	ErrPermanent = errors.New("fault: permanent device error")
+	// ErrPowerCut reports that the simulated power was cut: the device
+	// froze mid-operation and every later operation fails.
+	ErrPowerCut = errors.New("fault: power cut")
+	// ErrDisconnect reports that the bus link dropped permanently.
+	ErrDisconnect = errors.New("fault: bus disconnected")
+	// ErrDeviceDead is returned by every operation after a power cut or
+	// permanent disconnect.
+	ErrDeviceDead = errors.New("fault: device dead")
+)
+
+// IsTransient reports whether err is a retryable transient fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsFatal reports whether err is a non-retryable device fault: a
+// permanent hardware error, a power cut, a dropped bus, or an operation
+// against an already-dead device. Connection pools should evict
+// connections that see one (the driver maps these to driver.ErrBadConn).
+func IsFatal(err error) bool {
+	return errors.Is(err, ErrPermanent) || errors.Is(err, ErrPowerCut) ||
+		errors.Is(err, ErrDisconnect) || errors.Is(err, ErrDeviceDead)
+}
+
+// IsDeviceDead reports whether err means the whole device is gone (power
+// cut or disconnect), as opposed to a single failed operation. A sharded
+// coordinator marks the shard dead on these.
+func IsDeviceDead(err error) bool {
+	return errors.Is(err, ErrPowerCut) || errors.Is(err, ErrDisconnect) ||
+		errors.Is(err, ErrDeviceDead)
+}
+
+// Plan is a deterministic, seedable fault plan. Zero value injects
+// nothing. Rates are per-operation probabilities in [0, 1].
+type Plan struct {
+	Seed int64 // RNG seed; shard i derives seed Seed+i
+
+	ReadTransient  float64 // transient flash read error rate
+	ProgTransient  float64 // transient flash program error rate
+	EraseTransient float64 // transient flash erase error rate
+	ReadPermanent  float64 // permanent flash read error rate
+	ProgPermanent  float64 // permanent flash program error rate
+	ErasePermanent float64 // permanent flash erase error rate
+
+	TornWrite float64 // rate of torn page programs (a prefix is stored, checksum exposes it)
+	BitFlip   float64 // rate, per page read, of a persistent stored bit flip
+
+	BusTransient  float64 // transient bus transfer error rate
+	BusDisconnect float64 // rate of a permanent bus drop (kills the device)
+
+	CutAtOp   int64         // power cut when the device op counter reaches this (1-based; 0 = off)
+	CutAtTime time.Duration // power cut at simulated time >= this (0 = off)
+	FailAtOp  int64         // one-shot permanent error at exactly this op (0 = off)
+
+	Shard int // restrict the plan to one shard (-1 or 0-default-off = all shards); set via "shard="
+	// shardSet records whether Shard was set explicitly, so Shard: 0
+	// can target shard 0.
+	shardSet bool
+}
+
+// TargetsShard reports whether the plan applies to the given shard index.
+func (p *Plan) TargetsShard(shard int) bool {
+	if p == nil {
+		return false
+	}
+	if !p.shardSet || p.Shard < 0 {
+		return true
+	}
+	return p.Shard == shard
+}
+
+// SetShard restricts the plan to one shard index (negative = all).
+func (p *Plan) SetShard(shard int) {
+	p.Shard = shard
+	p.shardSet = true
+}
+
+// planKeys maps DSN keys to Plan fields for parsing and printing.
+// Grammar (the value of the DSN's faults= parameter): comma-separated
+// key=value pairs, e.g.
+//
+//	faults=seed=42,read.transient=0.001,torn=0.01,cutop=1234
+func parseKey(p *Plan, key, val string) error {
+	rate := func(dst *float64) error {
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("fault: %s=%q is not a rate in [0,1]", key, val)
+		}
+		*dst = f
+		return nil
+	}
+	i64 := func(dst *int64) error {
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: %s=%q is not an integer", key, val)
+		}
+		*dst = n
+		return nil
+	}
+	switch key {
+	case "seed":
+		return i64(&p.Seed)
+	case "read.transient", "read":
+		return rate(&p.ReadTransient)
+	case "prog.transient", "prog":
+		return rate(&p.ProgTransient)
+	case "erase.transient", "erase":
+		return rate(&p.EraseTransient)
+	case "read.permanent":
+		return rate(&p.ReadPermanent)
+	case "prog.permanent":
+		return rate(&p.ProgPermanent)
+	case "erase.permanent":
+		return rate(&p.ErasePermanent)
+	case "torn":
+		return rate(&p.TornWrite)
+	case "flip":
+		return rate(&p.BitFlip)
+	case "bus.transient", "bus":
+		return rate(&p.BusTransient)
+	case "bus.disconnect":
+		return rate(&p.BusDisconnect)
+	case "cutop":
+		return i64(&p.CutAtOp)
+	case "cuttime":
+		d, err := time.ParseDuration(val)
+		if err != nil || d < 0 {
+			return fmt.Errorf("fault: cuttime=%q is not a duration", val)
+		}
+		p.CutAtTime = d
+		return nil
+	case "failop":
+		return i64(&p.FailAtOp)
+	case "shard":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("fault: shard=%q is not an integer", val)
+		}
+		p.SetShard(n)
+		return nil
+	}
+	return fmt.Errorf("fault: unknown plan key %q", key)
+}
+
+// ParsePlan parses the DSN fault grammar ("seed=42,read.transient=0.001,
+// cutop=100,..."). An empty string yields an empty plan.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return p, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: plan entry %q is not key=value", part)
+		}
+		if err := parseKey(p, strings.ToLower(strings.TrimSpace(key)), strings.TrimSpace(val)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in the DSN grammar (only non-zero fields).
+func (p *Plan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	add := func(k string, v float64) {
+		if v != 0 {
+			parts = append(parts, k+"="+strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	if p.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	}
+	add("read.transient", p.ReadTransient)
+	add("prog.transient", p.ProgTransient)
+	add("erase.transient", p.EraseTransient)
+	add("read.permanent", p.ReadPermanent)
+	add("prog.permanent", p.ProgPermanent)
+	add("erase.permanent", p.ErasePermanent)
+	add("torn", p.TornWrite)
+	add("flip", p.BitFlip)
+	add("bus.transient", p.BusTransient)
+	add("bus.disconnect", p.BusDisconnect)
+	if p.CutAtOp != 0 {
+		parts = append(parts, "cutop="+strconv.FormatInt(p.CutAtOp, 10))
+	}
+	if p.CutAtTime != 0 {
+		parts = append(parts, "cuttime="+p.CutAtTime.String())
+	}
+	if p.FailAtOp != 0 {
+		parts = append(parts, "failop="+strconv.FormatInt(p.FailAtOp, 10))
+	}
+	if p.shardSet {
+		parts = append(parts, "shard="+strconv.Itoa(p.Shard))
+	}
+	sort.Strings(parts[boolToInt(p.Seed != 0):]) // keep seed first, rest sorted
+	return strings.Join(parts, ",")
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Sink receives fault events, for wiring into a metrics registry. All
+// methods may be called from the goroutine holding the device gate.
+type Sink interface {
+	FaultInjected(op string, transient bool)
+	FaultRetried(op string)
+	ChecksumFailure()
+}
+
+// Injector evaluates one device's fault plan. A nil *Injector is a valid
+// no-op injector (every method is nil-safe), so fault-free devices pay a
+// single pointer test per operation.
+type Injector struct {
+	plan Plan
+	sink Sink // set once at wiring time, before any device op
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	ops       int64
+	deadCause error
+
+	dead     atomic.Bool
+	injected atomic.Int64
+	retried  atomic.Int64
+
+	// armed gates injection. The engine disarms the injector for the
+	// secure-setting bulk load (the device is provisioned at the
+	// publisher, presumed fault-free) and arms it when the database goes
+	// live, so op-counter triggers (cutop, failop) count operational
+	// device ops only. Injectors start armed, letting the device layers
+	// be exercised directly in tests.
+	disarmed atomic.Bool
+}
+
+// New builds an injector for the plan as seen by shard (0 for a
+// single-device DB). Returns nil — the no-op injector — when the plan is
+// nil, or when the plan targets a different shard.
+func New(plan *Plan, shard int) *Injector {
+	if plan == nil || !plan.TargetsShard(shard) {
+		return nil
+	}
+	cp := *plan
+	return &Injector{
+		plan: cp,
+		rng:  rand.New(rand.NewSource(cp.Seed + int64(shard)*7919)),
+	}
+}
+
+// Disarm suspends injection: every consultation passes and consumes no
+// op number. The engine disarms the injector across the secure-setting
+// bulk load.
+func (inj *Injector) Disarm() {
+	if inj != nil {
+		inj.disarmed.Store(true)
+	}
+}
+
+// Arm (re-)enables injection. The engine arms the injector when the
+// database goes live, immediately after the bulk load's rewind.
+func (inj *Injector) Arm() {
+	if inj != nil {
+		inj.disarmed.Store(false)
+	}
+}
+
+// SetSink wires fault events to a metrics sink. Call before device use.
+func (inj *Injector) SetSink(s Sink) {
+	if inj != nil {
+		inj.sink = s
+	}
+}
+
+// Stats reports (faults injected, transient retries performed).
+func (inj *Injector) Stats() (injected, retried int64) {
+	if inj == nil {
+		return 0, 0
+	}
+	return inj.injected.Load(), inj.retried.Load()
+}
+
+// Ops reports how many armed operations have consulted the plan — the
+// op counter cutop/failop key off. Torture tests probe a fault-free run
+// with an empty plan to learn the op budget, then sweep cut points
+// across it.
+func (inj *Injector) Ops() int64 {
+	if inj == nil {
+		return 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.ops
+}
+
+// Dead reports whether the device has been killed (power cut or
+// permanent disconnect).
+func (inj *Injector) Dead() bool { return inj != nil && inj.dead.Load() }
+
+// DeadCause returns the error that killed the device, or nil.
+func (inj *Injector) DeadCause() error {
+	if inj == nil || !inj.dead.Load() {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.deadCause
+}
+
+// Kill marks the device dead with the given cause (used by the bus layer
+// on disconnect, and by tests).
+func (inj *Injector) Kill(cause error) {
+	if inj == nil {
+		return
+	}
+	inj.mu.Lock()
+	if inj.deadCause == nil {
+		inj.deadCause = cause
+	}
+	inj.mu.Unlock()
+	inj.dead.Store(true)
+}
+
+func (inj *Injector) note(op Op, transient bool) {
+	inj.injected.Add(1)
+	if inj.sink != nil {
+		inj.sink.FaultInjected(op.String(), transient)
+	}
+}
+
+// NoteRetry records one transient-fault retry attempt (the device layers
+// call it as they back off).
+func (inj *Injector) NoteRetry(op Op) {
+	if inj == nil {
+		return
+	}
+	inj.retried.Add(1)
+	if inj.sink != nil {
+		inj.sink.FaultRetried(op.String())
+	}
+}
+
+// NoteChecksum records a page-checksum verification failure.
+func (inj *Injector) NoteChecksum() {
+	if inj == nil {
+		return
+	}
+	if inj.sink != nil {
+		inj.sink.ChecksumFailure()
+	}
+}
+
+// BeforeOp consults the plan for the next device operation of class op at
+// simulated time now. It returns nil (the operation proceeds), a
+// transient error (the caller retries with backoff), or a fatal error.
+// Each call consumes one op number; the power-cut and one-shot triggers
+// key off that counter, so runs are deterministic.
+func (inj *Injector) BeforeOp(op Op, now time.Duration) error {
+	if inj == nil || inj.disarmed.Load() {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.dead.Load() {
+		return fmt.Errorf("%w (%v)", ErrDeviceDead, inj.deadCause)
+	}
+	inj.ops++
+	if inj.plan.CutAtOp > 0 && inj.ops >= inj.plan.CutAtOp {
+		return inj.killLocked(op, fmt.Errorf("%w: at device op %d (%s)", ErrPowerCut, inj.ops, op))
+	}
+	if inj.plan.CutAtTime > 0 && now >= inj.plan.CutAtTime {
+		return inj.killLocked(op, fmt.Errorf("%w: at simulated time %v (%s)", ErrPowerCut, now, op))
+	}
+	if inj.plan.FailAtOp > 0 && inj.ops == inj.plan.FailAtOp {
+		inj.note(op, false)
+		return fmt.Errorf("%w: injected at device op %d (%s)", ErrPermanent, inj.ops, op)
+	}
+	var permRate, transRate float64
+	switch op {
+	case OpRead:
+		permRate, transRate = inj.plan.ReadPermanent, inj.plan.ReadTransient
+	case OpProgram:
+		permRate, transRate = inj.plan.ProgPermanent, inj.plan.ProgTransient
+	case OpErase:
+		permRate, transRate = inj.plan.ErasePermanent, inj.plan.EraseTransient
+	case OpBus:
+		permRate, transRate = 0, inj.plan.BusTransient
+		if inj.plan.BusDisconnect > 0 && inj.rng.Float64() < inj.plan.BusDisconnect {
+			return inj.killLocked(op, fmt.Errorf("%w: injected at device op %d", ErrDisconnect, inj.ops))
+		}
+	}
+	if permRate > 0 && inj.rng.Float64() < permRate {
+		inj.note(op, false)
+		return fmt.Errorf("%w: injected %s error at device op %d", ErrPermanent, op, inj.ops)
+	}
+	if transRate > 0 && inj.rng.Float64() < transRate {
+		inj.note(op, true)
+		return fmt.Errorf("%w: injected %s error at device op %d", ErrTransient, op, inj.ops)
+	}
+	return nil
+}
+
+func (inj *Injector) killLocked(op Op, err error) error {
+	if inj.deadCause == nil {
+		inj.deadCause = err
+	}
+	inj.dead.Store(true)
+	inj.note(op, false)
+	return err
+}
+
+// TornBytes decides whether a program of n bytes is torn. It returns the
+// number of bytes actually stored (in [0, n)) for a torn write, or -1
+// for a clean one. A torn write "succeeds" silently — the per-page
+// checksum written with the intended content exposes it on read.
+func (inj *Injector) TornBytes(n int) int {
+	if inj == nil || inj.disarmed.Load() || inj.plan.TornWrite <= 0 || n == 0 {
+		return -1
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.dead.Load() || inj.rng.Float64() >= inj.plan.TornWrite {
+		return -1
+	}
+	inj.note(OpProgram, false)
+	return inj.rng.Intn(n)
+}
+
+// FlipBit decides whether this page read suffers a (persistent) stored
+// bit flip in a page of n bytes. It returns the byte offset and a
+// single-bit mask, or (0, 0) when no flip occurs.
+func (inj *Injector) FlipBit(n int) (off int, mask byte) {
+	if inj == nil || inj.disarmed.Load() || inj.plan.BitFlip <= 0 || n == 0 {
+		return 0, 0
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if inj.dead.Load() || inj.rng.Float64() >= inj.plan.BitFlip {
+		return 0, 0
+	}
+	inj.note(OpRead, false)
+	return inj.rng.Intn(n), 1 << inj.rng.Intn(8)
+}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	in := "seed=42,cutop=1234,flip=0.001,read.transient=0.01,torn=0.5"
+	p, err := ParsePlan(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 || p.CutAtOp != 1234 || p.BitFlip != 0.001 || p.ReadTransient != 0.01 || p.TornWrite != 0.5 {
+		t.Fatalf("parsed %+v", p)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("reparse %q: %v", p.String(), err)
+	}
+	if *p2 != *p {
+		t.Fatalf("round trip %q: %+v != %+v", p.String(), p2, p)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"read.transient=2", // rate out of range
+		"read.transient=x", // not a number
+		"cutop=abc",        // not an integer
+		"cuttime=banana",   // not a duration
+		"nosuchkey=1",      // unknown key
+		"seed",             // not key=value
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q): want error", bad)
+		}
+	}
+	if p, err := ParsePlan("  "); err != nil || *p != (Plan{}) {
+		t.Errorf("empty plan: %+v, %v", p, err)
+	}
+}
+
+func TestPlanShardTargeting(t *testing.T) {
+	p, err := ParsePlan("seed=1,shard=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TargetsShard(0) || !p.TargetsShard(2) {
+		t.Fatalf("shard=2 plan targets: 0=%v 2=%v", p.TargetsShard(0), p.TargetsShard(2))
+	}
+	if New(p, 0) != nil {
+		t.Fatal("injector for untargeted shard should be nil")
+	}
+	if New(p, 2) == nil {
+		t.Fatal("injector for targeted shard should exist")
+	}
+	all := &Plan{}
+	if !all.TargetsShard(0) || !all.TargetsShard(3) {
+		t.Fatal("default plan should target every shard")
+	}
+	zero := &Plan{}
+	zero.SetShard(0)
+	if !zero.TargetsShard(0) || zero.TargetsShard(1) {
+		t.Fatal("shard=0 plan should target only shard 0")
+	}
+}
+
+func TestCutAtOpKillsDevice(t *testing.T) {
+	inj := New(&Plan{CutAtOp: 3}, 0)
+	for i := 0; i < 2; i++ {
+		if err := inj.BeforeOp(OpRead, 0); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	err := inj.BeforeOp(OpProgram, 0)
+	if !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("op 3: want power cut, got %v", err)
+	}
+	if !inj.Dead() || !IsDeviceDead(err) || !IsFatal(err) {
+		t.Fatalf("after cut: dead=%v err=%v", inj.Dead(), err)
+	}
+	err = inj.BeforeOp(OpRead, 0)
+	if !errors.Is(err, ErrDeviceDead) {
+		t.Fatalf("post-cut op: want device dead, got %v", err)
+	}
+	if cause := inj.DeadCause(); !errors.Is(cause, ErrPowerCut) {
+		t.Fatalf("dead cause: %v", cause)
+	}
+}
+
+func TestCutAtTime(t *testing.T) {
+	inj := New(&Plan{CutAtTime: time.Second}, 0)
+	if err := inj.BeforeOp(OpRead, 999*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := inj.BeforeOp(OpRead, time.Second); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("want power cut at T, got %v", err)
+	}
+}
+
+func TestFailAtOpIsOneShot(t *testing.T) {
+	inj := New(&Plan{FailAtOp: 2}, 0)
+	if err := inj.BeforeOp(OpRead, 0); err != nil {
+		t.Fatal(err)
+	}
+	err := inj.BeforeOp(OpRead, 0)
+	if !errors.Is(err, ErrPermanent) || !IsFatal(err) {
+		t.Fatalf("op 2: want permanent, got %v", err)
+	}
+	if IsDeviceDead(err) || inj.Dead() {
+		t.Fatal("one-shot permanent fault must not kill the device")
+	}
+	for i := 0; i < 10; i++ {
+		if err := inj.BeforeOp(OpRead, 0); err != nil {
+			t.Fatalf("post-fault op %d: %v", i, err)
+		}
+	}
+	if inj, _ := inj.Stats(); inj != 1 {
+		t.Fatalf("injected = %d, want 1", inj)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []bool {
+		inj := New(&Plan{Seed: 7, ReadTransient: 0.3, TornWrite: 0.2, BitFlip: 0.1}, 1)
+		var out []bool
+		for i := 0; i < 200; i++ {
+			out = append(out, inj.BeforeOp(OpRead, 0) != nil)
+			out = append(out, inj.TornBytes(100) >= 0)
+			_, m := inj.FlipBit(2048)
+			out = append(out, m != 0)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged", i)
+		}
+	}
+}
+
+func TestNilInjectorIsNoOp(t *testing.T) {
+	var inj *Injector
+	if err := inj.BeforeOp(OpRead, 0); err != nil {
+		t.Fatal(err)
+	}
+	if inj.TornBytes(10) != -1 {
+		t.Fatal("nil TornBytes")
+	}
+	if _, m := inj.FlipBit(10); m != 0 {
+		t.Fatal("nil FlipBit")
+	}
+	if inj.Dead() || inj.DeadCause() != nil {
+		t.Fatal("nil Dead")
+	}
+	inj.NoteRetry(OpRead)
+	inj.NoteChecksum()
+	inj.Kill(ErrPowerCut)
+	inj.SetSink(nil)
+	if i, r := inj.Stats(); i != 0 || r != 0 {
+		t.Fatal("nil Stats")
+	}
+}
+
+type recordSink struct{ injected, retried, checksum int }
+
+func (s *recordSink) FaultInjected(string, bool) { s.injected++ }
+func (s *recordSink) FaultRetried(string)        { s.retried++ }
+func (s *recordSink) ChecksumFailure()           { s.checksum++ }
+
+func TestSinkWiring(t *testing.T) {
+	inj := New(&Plan{FailAtOp: 1}, 0)
+	sink := &recordSink{}
+	inj.SetSink(sink)
+	inj.BeforeOp(OpRead, 0)
+	inj.NoteRetry(OpRead)
+	inj.NoteChecksum()
+	if sink.injected != 1 || sink.retried != 1 || sink.checksum != 1 {
+		t.Fatalf("sink %+v", sink)
+	}
+}

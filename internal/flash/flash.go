@@ -11,13 +11,23 @@
 // higher layers measure query cost in deterministic device time. Blocks are
 // materialized lazily, so a simulated multi-gigabyte device only consumes
 // host memory for the pages actually programmed.
+//
+// The device also models NAND integrity: each programmed page carries a
+// CRC32 checksum in its out-of-band area, computed over the intended page
+// content at program time and verified (once, lazily) when the page is
+// read back. Torn writes and bit flips injected through a fault.Injector
+// surface as ErrCorrupt with the failing page address. An Image is a free
+// host-side deep copy of the persistent state — what survives a power
+// cut — used by the recovery path.
 package flash
 
 import (
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"time"
 
+	"github.com/ghostdb/ghostdb/internal/fault"
 	"github.com/ghostdb/ghostdb/internal/sim"
 )
 
@@ -29,6 +39,17 @@ var (
 	ErrSpaceFull  = errors.New("flash: space exhausted")
 	ErrWriterOpen = errors.New("flash: space already has an open writer")
 	ErrWriterDone = errors.New("flash: writer already closed")
+	// ErrCorrupt reports a page whose stored content no longer matches
+	// its out-of-band CRC32 (torn write, bit rot).
+	ErrCorrupt = errors.New("flash: page checksum mismatch")
+)
+
+// Transient-fault retry policy: capped exponential backoff, charged to
+// the simulated clock (the device firmware re-issues the operation).
+const (
+	maxFaultRetries  = 4
+	retryBackoffBase = 100 * time.Microsecond
+	retryBackoffCap  = 800 * time.Microsecond
 )
 
 // Params describes the flash geometry and cost model.
@@ -96,11 +117,21 @@ type Device struct {
 	// blocks[i] == nil means block i is fully erased and unmaterialized.
 	blocks []*block
 	stats  Stats
+
+	inj       *fault.Injector // nil = fault-free
+	integrity bool            // per-page OOB checksums (on by default)
 }
 
 type block struct {
 	data       []byte // PagesPerBlock * PageSize
 	programmed []bool // per page
+	// Out-of-band area: CRC32 of the full intended page content, set at
+	// program time when integrity is on. verified marks pages whose
+	// stored bytes have already been checked against the OOB checksum,
+	// so steady-state reads skip the host-side hash.
+	crc      []uint32
+	hasCRC   []bool
+	verified []bool
 }
 
 // New returns a device with the given geometry, charging to clock.
@@ -111,7 +142,7 @@ func New(p Params, clock *sim.Clock) (*Device, error) {
 	if clock == nil {
 		return nil, errors.New("flash: nil clock")
 	}
-	return &Device{p: p, clock: clock, blocks: make([]*block, p.Blocks)}, nil
+	return &Device{p: p, clock: clock, blocks: make([]*block, p.Blocks), integrity: true}, nil
 }
 
 // Params returns the device geometry and cost model.
@@ -123,12 +154,48 @@ func (d *Device) Stats() Stats { return d.stats }
 // ResetStats zeroes the counters (the flash content is untouched).
 func (d *Device) ResetStats() { d.stats = Stats{} }
 
+// SetInjector installs a fault injector consulted before every read,
+// program and erase. Pass nil to remove it.
+func (d *Device) SetInjector(inj *fault.Injector) { d.inj = inj }
+
+// Injector returns the installed fault injector (possibly nil).
+func (d *Device) Injector() *fault.Injector { return d.inj }
+
+// SetIntegrity switches the per-page OOB checksums on or off. Pages
+// programmed while integrity is off carry no checksum and are never
+// verified.
+func (d *Device) SetIntegrity(on bool) { d.integrity = on }
+
+// injectOp consults the fault plan for one device operation, retrying
+// transient faults with capped exponential backoff charged to the
+// simulated clock. Transient faults that survive every retry escalate to
+// a permanent error.
+func (d *Device) injectOp(op fault.Op) error {
+	if d.inj == nil {
+		return nil
+	}
+	err := d.inj.BeforeOp(op, d.clock.Now())
+	for attempt := 0; fault.IsTransient(err) && attempt < maxFaultRetries; attempt++ {
+		backoff := retryBackoffBase << attempt
+		if backoff > retryBackoffCap {
+			backoff = retryBackoffCap
+		}
+		d.clock.Advance(backoff)
+		d.inj.NoteRetry(op)
+		err = d.inj.BeforeOp(op, d.clock.Now())
+	}
+	if fault.IsTransient(err) {
+		return fmt.Errorf("%w: %d retries exhausted: %v", fault.ErrPermanent, maxFaultRetries, err)
+	}
+	return err
+}
+
 // ReadAt fills dst with the bytes at byte offset addr. Each distinct page
 // touched charges one page access plus the per-byte streaming cost. Erased
 // (never programmed) bytes read as 0xFF, matching NAND behaviour.
 func (d *Device) ReadAt(dst []byte, addr int64) error {
 	if addr < 0 || addr+int64(len(dst)) > d.p.TotalBytes() {
-		return fmt.Errorf("%w: read [%d, %d)", ErrOutOfRange, addr, addr+int64(len(dst)))
+		return fmt.Errorf("%w: read [%d, %d) of device [0, %d)", ErrOutOfRange, addr, addr+int64(len(dst)), d.p.TotalBytes())
 	}
 	ps := int64(d.p.PageSize)
 	for len(dst) > 0 {
@@ -138,7 +205,13 @@ func (d *Device) ReadAt(dst []byte, addr int64) error {
 		if n > len(dst) {
 			n = len(dst)
 		}
+		if err := d.injectOp(fault.OpRead); err != nil {
+			return err
+		}
 		d.chargeRead(n)
+		if err := d.verifyPage(int(page)); err != nil {
+			return err
+		}
 		d.copyOut(dst[:n], int(page), off)
 		dst = dst[n:]
 		addr += int64(n)
@@ -149,37 +222,63 @@ func (d *Device) ReadAt(dst []byte, addr int64) error {
 // ReadPage reads one full page into dst (which must be PageSize long).
 func (d *Device) ReadPage(page int, dst []byte) error {
 	if page < 0 || page >= d.p.PageCount() {
-		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+		return fmt.Errorf("%w: page %d of %d (block %d of %d)", ErrOutOfRange, page, d.p.PageCount(), page/d.p.PagesPerBlock, d.p.Blocks)
 	}
 	if len(dst) != d.p.PageSize {
 		return fmt.Errorf("flash: ReadPage buffer %d, want %d", len(dst), d.p.PageSize)
 	}
+	if err := d.injectOp(fault.OpRead); err != nil {
+		return err
+	}
 	d.chargeRead(d.p.PageSize)
+	if err := d.verifyPage(page); err != nil {
+		return err
+	}
 	d.copyOut(dst, page, 0)
 	return nil
 }
 
 // ProgramPage writes data (at most one page) to the given page. The page
-// must be in the erased state; NAND forbids reprogramming.
+// must be in the erased state; NAND forbids reprogramming. The OOB CRC is
+// computed over the full intended page content (data plus the 0xFF tail),
+// so a torn write — the injector truncating the stored prefix — is caught
+// by the next verified read.
 func (d *Device) ProgramPage(page int, data []byte) error {
 	if page < 0 || page >= d.p.PageCount() {
-		return fmt.Errorf("%w: page %d", ErrOutOfRange, page)
+		return fmt.Errorf("%w: page %d of %d (block %d of %d)", ErrOutOfRange, page, d.p.PageCount(), page/d.p.PagesPerBlock, d.p.Blocks)
 	}
 	if len(data) > d.p.PageSize {
-		return fmt.Errorf("%w: %d > %d", ErrPageTooBig, len(data), d.p.PageSize)
+		return fmt.Errorf("%w: %d > %d at page %d (block %d)", ErrPageTooBig, len(data), d.p.PageSize, page, page/d.p.PagesPerBlock)
+	}
+	if err := d.injectOp(fault.OpProgram); err != nil {
+		return err
 	}
 	b := d.materialize(page / d.p.PagesPerBlock)
 	slot := page % d.p.PagesPerBlock
 	if b.programmed[slot] {
-		return fmt.Errorf("%w: page %d", ErrNotErased, page)
+		return fmt.Errorf("%w: page %d (block %d, page %d in block)", ErrNotErased, page, page/d.p.PagesPerBlock, slot)
 	}
 	b.programmed[slot] = true
+	stored := data
+	torn := false
+	if n := d.inj.TornBytes(len(data)); n >= 0 {
+		stored = data[:n]
+		torn = true
+	}
 	pageStart := slot * d.p.PageSize
-	copy(b.data[pageStart:], data)
+	copy(b.data[pageStart:], stored)
 	// Recycled blocks may hold stale bytes past the programmed prefix;
-	// pad the page tail so it reads back as erased NAND.
-	for i := pageStart + len(data); i < pageStart+d.p.PageSize; i++ {
+	// pad the page tail so it reads back as erased NAND. A torn write
+	// leaves the tail beyond the stored prefix erased too.
+	for i := pageStart + len(stored); i < pageStart+d.p.PageSize; i++ {
 		b.data[i] = 0xFF
+	}
+	if d.integrity {
+		// OOB checksum of the page as it was *meant* to be stored.
+		b.crc[slot] = pageCRC(data, d.p.PageSize)
+		b.hasCRC[slot] = true
+		// A clean program is trivially verified; a torn one is not.
+		b.verified[slot] = !torn
 	}
 	d.stats.PagesProgrammed++
 	d.stats.BytesProgrammed += int64(len(data))
@@ -187,6 +286,30 @@ func (d *Device) ProgramPage(page int, data []byte) error {
 	d.stats.ProgTime += t
 	d.clock.Advance(t)
 	return nil
+}
+
+// ffPad is a shared 0xFF run for hashing the erased tail of short pages.
+var ffPad = func() []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = 0xFF
+	}
+	return b
+}()
+
+// pageCRC hashes data extended with 0xFF to pageSize bytes — the page
+// content a clean program stores.
+func pageCRC(data []byte, pageSize int) uint32 {
+	c := crc32.ChecksumIEEE(data)
+	for pad := pageSize - len(data); pad > 0; {
+		n := pad
+		if n > len(ffPad) {
+			n = len(ffPad)
+		}
+		c = crc32.Update(c, crc32.IEEETable, ffPad[:n])
+		pad -= n
+	}
+	return c
 }
 
 // EraseBlock resets every page of the block to the erased (0xFF) state.
@@ -197,11 +320,16 @@ func (d *Device) ProgramPage(page int, data []byte) error {
 // memory behaviour only; the simulated erase charge is identical.
 func (d *Device) EraseBlock(blockIdx int) error {
 	if blockIdx < 0 || blockIdx >= d.p.Blocks {
-		return fmt.Errorf("%w: block %d", ErrOutOfRange, blockIdx)
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, blockIdx, d.p.Blocks)
+	}
+	if err := d.injectOp(fault.OpErase); err != nil {
+		return err
 	}
 	if b := d.blocks[blockIdx]; b != nil {
 		for i := range b.programmed {
 			b.programmed[i] = false
+			b.hasCRC[i] = false
+			b.verified[i] = false
 		}
 	}
 	d.stats.BlockErases++
@@ -228,6 +356,37 @@ func (d *Device) chargeRead(n int) {
 	d.clock.Advance(t)
 }
 
+// verifyPage applies the injector's bit-rot effect and then checks the
+// page's stored content against its OOB checksum. Verification is lazy —
+// once a page passes it is not re-hashed until something mutates it — so
+// the steady-state read path pays one pointer test per page access.
+func (d *Device) verifyPage(page int) error {
+	b := d.blocks[page/d.p.PagesPerBlock]
+	if b == nil {
+		return nil
+	}
+	slot := page % d.p.PagesPerBlock
+	if !b.programmed[slot] {
+		return nil
+	}
+	start := slot * d.p.PageSize
+	if off, mask := d.inj.FlipBit(d.p.PageSize); mask != 0 {
+		// Persistent stored-bit rot: the flip stays until the block is
+		// erased, and forces the page through verification again.
+		b.data[start+off] ^= mask
+		b.verified[slot] = false
+	}
+	if !d.integrity || !b.hasCRC[slot] || b.verified[slot] {
+		return nil
+	}
+	if crc32.ChecksumIEEE(b.data[start:start+d.p.PageSize]) != b.crc[slot] {
+		d.inj.NoteChecksum()
+		return fmt.Errorf("%w: page %d (block %d, page %d in block)", ErrCorrupt, page, page/d.p.PagesPerBlock, slot)
+	}
+	b.verified[slot] = true
+	return nil
+}
+
 func (d *Device) copyOut(dst []byte, page, off int) {
 	b := d.blocks[page/d.p.PagesPerBlock]
 	slot := page % d.p.PagesPerBlock
@@ -249,6 +408,9 @@ func (d *Device) materialize(blockIdx int) *block {
 		b = &block{
 			data:       make([]byte, d.p.PagesPerBlock*d.p.PageSize),
 			programmed: make([]bool, d.p.PagesPerBlock),
+			crc:        make([]uint32, d.p.PagesPerBlock),
+			hasCRC:     make([]bool, d.p.PagesPerBlock),
+			verified:   make([]bool, d.p.PagesPerBlock),
 		}
 		d.blocks[blockIdx] = b
 	}

@@ -1,0 +1,126 @@
+package flash
+
+import "fmt"
+
+// Image is a host-side deep copy of a flash device's persistent state —
+// the page contents, programmed flags and out-of-band checksums that
+// survive a power cut. The recovery path (core.Recover) reads committed
+// data back out of an Image; reads are forensic and free (no simulated
+// clock is charged), but every touched page is still verified against
+// its OOB checksum so corruption cannot slip into a recovered database.
+type Image struct {
+	p      Params
+	blocks []*imageBlock
+}
+
+type imageBlock struct {
+	data       []byte
+	programmed []bool
+	crc        []uint32
+	hasCRC     []bool
+}
+
+// Image snapshots the device's persistent state. Only materialized
+// blocks are copied, so the host cost is proportional to the data
+// actually programmed.
+func (d *Device) Image() *Image {
+	img := &Image{p: d.p, blocks: make([]*imageBlock, len(d.blocks))}
+	for i, b := range d.blocks {
+		if b == nil {
+			continue
+		}
+		ib := &imageBlock{
+			data:       append([]byte(nil), b.data...),
+			programmed: append([]bool(nil), b.programmed...),
+			crc:        append([]uint32(nil), b.crc...),
+			hasCRC:     append([]bool(nil), b.hasCRC...),
+		}
+		img.blocks[i] = ib
+	}
+	return img
+}
+
+// Params returns the imaged device's geometry.
+func (img *Image) Params() Params { return img.p }
+
+// PageProgrammed reports whether the imaged page holds programmed data.
+func (img *Image) PageProgrammed(page int) bool {
+	if page < 0 || page >= img.p.PageCount() {
+		return false
+	}
+	b := img.blocks[page/img.p.PagesPerBlock]
+	return b != nil && b.programmed[page%img.p.PagesPerBlock]
+}
+
+// verify checks one programmed page against its OOB checksum.
+func (img *Image) verify(page int) error {
+	b := img.blocks[page/img.p.PagesPerBlock]
+	if b == nil {
+		return nil
+	}
+	slot := page % img.p.PagesPerBlock
+	if !b.programmed[slot] || !b.hasCRC[slot] {
+		return nil
+	}
+	start := slot * img.p.PageSize
+	if pageCRC(b.data[start:start+img.p.PageSize], img.p.PageSize) != b.crc[slot] {
+		return fmt.Errorf("%w: page %d (block %d, page %d in block)", ErrCorrupt, page, page/img.p.PagesPerBlock, slot)
+	}
+	return nil
+}
+
+// ReadAt fills dst from the image at byte offset addr, verifying the OOB
+// checksum of every page it touches. Erased bytes read as 0xFF.
+func (img *Image) ReadAt(dst []byte, addr int64) error {
+	if addr < 0 || addr+int64(len(dst)) > img.p.TotalBytes() {
+		return fmt.Errorf("%w: read [%d, %d) of image [0, %d)", ErrOutOfRange, addr, addr+int64(len(dst)), img.p.TotalBytes())
+	}
+	ps := int64(img.p.PageSize)
+	for len(dst) > 0 {
+		page := int(addr / ps)
+		off := int(addr % ps)
+		n := img.p.PageSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if err := img.verify(page); err != nil {
+			return err
+		}
+		b := img.blocks[page/img.p.PagesPerBlock]
+		slot := page % img.p.PagesPerBlock
+		if b == nil || !b.programmed[slot] {
+			for i := 0; i < n; i++ {
+				dst[i] = 0xFF
+			}
+		} else {
+			start := slot*img.p.PageSize + off
+			copy(dst, b.data[start:start+n])
+		}
+		dst = dst[n:]
+		addr += int64(n)
+	}
+	return nil
+}
+
+// ReadPage returns a verified copy of one full page. The second result
+// reports whether the page was programmed (an unprogrammed page reads as
+// all 0xFF).
+func (img *Image) ReadPage(page int) ([]byte, bool, error) {
+	if page < 0 || page >= img.p.PageCount() {
+		return nil, false, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, img.p.PageCount())
+	}
+	buf := make([]byte, img.p.PageSize)
+	if !img.PageProgrammed(page) {
+		for i := range buf {
+			buf[i] = 0xFF
+		}
+		return buf, false, nil
+	}
+	if err := img.verify(page); err != nil {
+		return nil, true, err
+	}
+	b := img.blocks[page/img.p.PagesPerBlock]
+	start := (page % img.p.PagesPerBlock) * img.p.PageSize
+	copy(buf, b.data[start:start+img.p.PageSize])
+	return buf, true, nil
+}

@@ -83,6 +83,13 @@ func (s *Space) AppendRegion(data []byte) (Extent, error) {
 	return w.Close()
 }
 
+// ReleaseWriter force-abandons any open writer without flushing. The
+// engine calls it when unwinding a failed operation: the error path
+// that abandoned the writer cannot close it, and the space is about to
+// be reset anyway. Pages the writer already programmed stay consumed
+// until the space is reset.
+func (s *Space) ReleaseWriter() { s.writerOpen = false }
+
 // Reset erases every block the space has touched and rewinds it. Used for
 // the scratch space between queries and between multi-pass phases.
 func (s *Space) Reset() error {

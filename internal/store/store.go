@@ -248,6 +248,11 @@ func (c *FixedColumn) Value(i int) (value.Value, error) {
 // Kind implements Column.
 func (c *FixedColumn) Kind() value.Kind { return c.kind }
 
+// Extent exposes the column's flash location. CHECKPOINT records it in
+// the commit manifest so recovery can decode the column straight from a
+// flash image.
+func (c *FixedColumn) Extent() flash.Extent { return c.ext }
+
 // Len implements Column.
 func (c *FixedColumn) Len() int { return c.n }
 
@@ -309,6 +314,10 @@ func (c *VarColumn) Value(i int) (value.Value, error) {
 
 // Kind implements Column.
 func (c *VarColumn) Kind() value.Kind { return c.kind }
+
+// Extents exposes the column's offset-array and heap flash locations (see
+// FixedColumn.Extent).
+func (c *VarColumn) Extents() (off, data flash.Extent) { return c.offExt, c.dataExt }
 
 // Len implements Column.
 func (c *VarColumn) Len() int { return c.n }
