@@ -7,7 +7,11 @@
 //	ghostdb-bench sweep baselines storage
 //
 // Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
-// bloom game ablations aggregate dml observability shard faults.
+// bloom game ablations aggregate dml observability shard faults loadgen.
+//
+// loadgen boots ghostdb-server in-process (or targets a running one via
+// -server-url) and drives it with -clients concurrent HTTP clients; its
+// record lands in BENCH_server.json.
 //
 // The -debug-addr flag serves the live observability endpoint
 // (/debug/vars JSON and /metrics Prometheus text) for the shared
@@ -56,6 +60,9 @@ type benchRecord struct {
 	// Faults carries the durability-overhead comparison (the faults
 	// experiment): the acceptance gate is overhead_pct staying under 5.
 	Faults *bench.FaultsReport `json:"faults,omitempty"`
+	// Server carries the HTTP loadgen result (the loadgen experiment):
+	// the acceptance gate is dropped == 0.
+	Server *bench.ServerReport `json:"server,omitempty"`
 }
 
 // lastDMLPhases stashes the dml experiment's phase records for the JSON
@@ -71,6 +78,17 @@ var lastShardPoints []bench.ShardPoint
 // lastFaults stashes the faults experiment's overhead report.
 var lastFaults *bench.FaultsReport
 
+// lastServer stashes the loadgen experiment's report.
+var lastServer *bench.ServerReport
+
+// loadgen knobs, set from flags in main.
+var (
+	loadClients   int
+	loadPerClient int
+	serverURL     string
+	maxInflight   int
+)
+
 func writeBenchJSON(rec benchRecord) error {
 	data, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
@@ -82,7 +100,7 @@ func writeBenchJSON(rec benchRecord) error {
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
 	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
-	"observability", "shard", "faults",
+	"observability", "shard", "faults", "loadgen",
 }
 
 func main() {
@@ -91,6 +109,10 @@ func main() {
 	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json records (wall ns, allocs, simulated device time)")
 	debugAddr := flag.String("debug-addr", "", "serve the live /debug/vars + /metrics endpoint on this address (e.g. localhost:6060) for the shared database")
 	debugHold := flag.Duration("debug-hold", 0, "with -debug-addr, keep serving this long after the experiments finish (for scraping a completed run)")
+	flag.IntVar(&loadClients, "clients", 1000, "loadgen: concurrent HTTP clients")
+	flag.IntVar(&loadPerClient, "requests", 20, "loadgen: requests each client completes")
+	flag.StringVar(&serverURL, "server-url", "", "loadgen: drive a running ghostdb-server at this base URL instead of booting one in-process")
+	flag.IntVar(&maxInflight, "max-inflight", 64, "loadgen: admission bound of the in-process server")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: ghostdb-bench [-scale N] [experiment ...]\nexperiments: %v or all\n", experimentOrder)
 		flag.PrintDefaults()
@@ -169,10 +191,15 @@ func main() {
 			if name == "faults" {
 				rec.Faults = lastFaults
 			}
+			if name == "loadgen" {
+				// The server acceptance artifact has its own name.
+				rec.Name = "server"
+				rec.Server = lastServer
+			}
 			if err := writeBenchJSON(rec); err != nil {
 				log.Fatalf("%s: writing JSON: %v", name, err)
 			}
-			fmt.Printf("wrote BENCH_%s.json\n\n", name)
+			fmt.Printf("wrote BENCH_%s.json\n\n", rec.Name)
 		}
 	}
 
@@ -310,6 +337,20 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		lastFaults = rep
 		fmt.Print(bench.FormatFaults(rep))
+	case "loadgen":
+		fmt.Printf("HTTP serving: %d concurrent clients x %d requests against ghostdb-server\n", loadClients, loadPerClient)
+		var rep *bench.ServerReport
+		var err error
+		if serverURL != "" {
+			rep, err = bench.LoadGenURL(serverURL, loadClients, loadPerClient)
+		} else {
+			rep, err = bench.LoadGenLocal(smaller(cfg), loadClients, loadPerClient, maxInflight)
+		}
+		if err != nil {
+			return err
+		}
+		lastServer = rep
+		fmt.Print(bench.FormatServerReport(rep))
 	default:
 		return fmt.Errorf("unknown experiment %q (want one of %v)", name, experimentOrder)
 	}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/server"
+)
+
+// TestServerEndToEnd boots the real run() loop — demo dataset, sharded
+// engine, signal handling — hits the wire endpoints, then delivers
+// SIGTERM and checks the graceful exit path returns clean.
+func TestServerEndToEnd(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "ghostdb://?shards=2", 200, server.Config{
+			MaxInflight: 8,
+			RetryAfter:  time.Second,
+		}, 10*time.Second, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("run exited early: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := []byte(`{"sql": "SELECT COUNT(*) FROM Prescription Pre", "args": []}`)
+	resp, err = cl.Post(base+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qr struct {
+		Rows [][]json.Number `json:"rows"`
+	}
+	decErr := json.NewDecoder(resp.Body).Decode(&qr)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || decErr != nil {
+		t.Fatalf("query: status %d, decode %v", resp.StatusCode, decErr)
+	}
+	if n, err := qr.Rows[0][0].Int64(); err != nil || n != 200 {
+		t.Fatalf("prescription count = %v (%v), want 200 (the -demo scale)", qr.Rows, err)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run exited with %v after SIGTERM, want nil", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("run never exited after SIGTERM")
+	}
+}

@@ -8,27 +8,32 @@ package ghostdb
 // can watch a live engine without linking any client library.
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
+	"time"
 )
 
 // DebugHandler returns an http.Handler exposing db's live state:
 //
-//	/debug/vars   JSON: metrics registry, plan cache, delta, sessions
-//	/metrics      Prometheus text exposition (metrics ghostdb_*)
+//	GET /debug/vars   JSON: metrics registry, plan cache, delta, sessions
+//	GET /metrics      Prometheus text exposition (metrics ghostdb_*)
 //
-// Snapshots are taken per request; the handler never blocks queries.
+// Both endpoints answer GET only (other methods get 405). Snapshots are
+// taken per request; the handler never blocks queries.
 func DebugHandler(db *DB) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(debugVars(db))
+		enc.Encode(DebugVars(db))
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		db.MetricsSnapshot().WritePrometheus(w, "ghostdb_")
 		for i, snap := range db.ShardMetrics() {
@@ -38,8 +43,10 @@ func DebugHandler(db *DB) http.Handler {
 	return mux
 }
 
-// debugVars assembles the JSON document served at /debug/vars.
-func debugVars(db *DB) map[string]any {
+// DebugVars assembles the JSON document served at /debug/vars. It is
+// exported so servers embedding the debug surface (cmd/ghostdb-server)
+// can merge their own sections into the same document.
+func DebugVars(db *DB) map[string]any {
 	doc := map[string]any{
 		"plan_cache": db.PlanCacheStats(),
 		"delta":      db.DeltaSummary(),
@@ -58,15 +65,43 @@ func debugVars(db *DB) map[string]any {
 	return doc
 }
 
+// debugShutdownGrace bounds how long ServeDebug's stop function waits
+// for in-flight requests to drain before forcing the server closed.
+const debugShutdownGrace = 10 * time.Second
+
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060", or
 // ":0" for an ephemeral port) serving DebugHandler(db). It returns the
-// bound address and a function that shuts the server down.
+// bound address and a function that shuts the server down gracefully:
+// stop lets in-flight requests finish (up to a 10s grace period) before
+// closing, and surfaces any error the serve loop died with. The server
+// carries read/write/idle timeouts so a stalled client cannot pin a
+// connection open forever.
 func ServeDebug(addr string, db *DB) (string, func() error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: DebugHandler(db)}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	srv := &http.Server{
+		Handler:           DebugHandler(db),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	var once sync.Once
+	var stopErr error
+	stop := func() error {
+		once.Do(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), debugShutdownGrace)
+			defer cancel()
+			stopErr = srv.Shutdown(ctx)
+			if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) && stopErr == nil {
+				stopErr = err
+			}
+		})
+		return stopErr
+	}
+	return ln.Addr().String(), stop, nil
 }

@@ -215,3 +215,66 @@ INSERT INTO Doctor VALUES (1, 'Ellis', 'France'), (2, 'Gall', 'Spain');
 		t.Fatalf("delta summary = %+v", ds)
 	}
 }
+
+// TestDebugMethodNotAllowed is the regression for the handler
+// registration: the debug surfaces are read-only, so anything but GET
+// answers 405 instead of running the handler.
+func TestDebugMethodNotAllowed(t *testing.T) {
+	db := openDebugDB(t)
+	addr, stop, err := ghostdb.ServeDebug("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cl := &http.Client{Timeout: 5 * time.Second}
+	for _, path := range []string{"/debug/vars", "/metrics"} {
+		resp, err := cl.Post("http://"+addr+path, "text/plain", strings.NewReader("x"))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s = %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestServeDebugStop is the regression for the old stop function, which
+// aborted in-flight requests (srv.Close) and dropped the serve loop's
+// error. The new contract: stop drains gracefully, reports nil on a
+// clean shutdown, is idempotent, and the port is actually released.
+func TestServeDebugStop(t *testing.T) {
+	db := openDebugDB(t)
+	addr, stop, err := ghostdb.ServeDebug("127.0.0.1:0", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Timeout: 5 * time.Second}
+	resp, err := cl.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := stop(); err != nil {
+		t.Fatalf("stop() = %v, want nil on clean shutdown", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("second stop() = %v, want the same nil", err)
+	}
+	if _, err := cl.Get("http://" + addr + "/debug/vars"); err == nil {
+		t.Fatal("server still answering after stop")
+	}
+
+	// The address must be reusable: the listener really closed.
+	addr2, stop2, err := ghostdb.ServeDebug(addr, db)
+	if err != nil {
+		t.Fatalf("rebinding %s after stop: %v", addr, err)
+	}
+	defer stop2()
+	if addr2 != addr {
+		t.Fatalf("rebound address = %s, want %s", addr2, addr)
+	}
+}

@@ -92,13 +92,36 @@ func (d *Driver) Open(dsn string) (sqldriver.Conn, error) {
 }
 
 // OpenConnector parses the DSN once and returns the connector that owns
-// this sql.DB's single shared GhostDB engine.
+// this sql.DB's single shared GhostDB engine. The config is mapped onto
+// engine options eagerly, so a DSN (or config) the engine cannot honor
+// — e.g. a fault plan that does not parse — fails here instead of being
+// silently dropped at first Connect.
 func (d *Driver) OpenConnector(dsn string) (sqldriver.Connector, error) {
 	cfg, err := ParseDSN(dsn)
 	if err != nil {
 		return nil, err
 	}
+	if _, err := cfg.options(); err != nil {
+		return nil, err
+	}
 	return &Connector{drv: d, cfg: cfg}, nil
+}
+
+// OpenEngine parses dsn and opens the GhostDB engine it describes,
+// bypassing database/sql: the caller owns the returned engine and its
+// sessions directly. This is the entry point for front-ends such as
+// cmd/ghostdb-server that multiplex many remote clients onto one
+// engine's session pool.
+func OpenEngine(dsn string) (*core.DB, error) {
+	cfg, err := ParseDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := cfg.options()
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(opts...)
 }
 
 // Connector creates sessions into one lazily-opened GhostDB engine. It
@@ -122,7 +145,12 @@ func (c *Connector) engine() (*core.DB, error) {
 	defer c.mu.Unlock()
 	if !c.opened {
 		c.opened = true
-		c.db, c.err = core.Open(c.cfg.options()...)
+		opts, err := c.cfg.options()
+		if err != nil {
+			c.err = err
+		} else {
+			c.db, c.err = core.Open(opts...)
+		}
 	}
 	return c.db, c.err
 }

@@ -3,6 +3,7 @@ package driver
 import (
 	"fmt"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -114,7 +115,16 @@ func ParseDSN(dsn string) (*Config, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ghostdb driver: invalid DSN query %q: %v", u.RawQuery, err)
 	}
-	for key, vals := range params {
+	// Validate in sorted key order so a DSN with several bad parameters
+	// always reports the same one, instead of whichever the map
+	// iteration happened to visit first.
+	keys := make([]string, 0, len(params))
+	for key := range params {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		vals := params[key]
 		switch strings.ToLower(key) {
 		case "profile":
 			cfg.Profile = strings.ToLower(vals[len(vals)-1])
@@ -215,8 +225,11 @@ func ParseDSN(dsn string) (*Config, error) {
 	return cfg, nil
 }
 
-// options maps the config onto core engine options.
-func (c *Config) options() []core.Option {
+// options maps the config onto core engine options. It returns an error
+// when the config cannot be honored — most importantly a Faults plan
+// that does not parse: a hand-built Config asking for fault injection
+// must fail loudly rather than silently running with no faults armed.
+func (c *Config) options() ([]core.Option, error) {
 	opts := []core.Option{
 		core.WithProfile(device.SmartUSB2007()),
 		core.WithTargetFPR(c.FPR),
@@ -252,11 +265,11 @@ func (c *Config) options() []core.Option {
 		opts = append(opts, core.WithShards(c.Shards))
 	}
 	if c.Faults != "" {
-		// Validated in ParseDSN; a hand-built Config with a bad plan
-		// just injects nothing rather than failing open.
-		if p, err := fault.ParsePlan(c.Faults); err == nil {
-			opts = append(opts, core.WithFaultPlan(p))
+		p, err := fault.ParsePlan(c.Faults)
+		if err != nil {
+			return nil, fmt.Errorf("ghostdb driver: %v", err)
 		}
+		opts = append(opts, core.WithFaultPlan(p))
 	}
 	if c.Degraded {
 		opts = append(opts, core.WithDegradedReads(true))
@@ -264,5 +277,5 @@ func (c *Config) options() []core.Option {
 	if !c.Integrity {
 		opts = append(opts, core.WithIntegrity(false))
 	}
-	return opts
+	return opts, nil
 }

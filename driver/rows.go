@@ -63,11 +63,17 @@ func (r *Rows) Next(dest []sqldriver.Value) error {
 // from the compiled query's output metadata — aggregate outputs carry
 // their computed kind (COUNT(*) is INTEGER, AVG is FLOAT, MIN/MAX the
 // argument's kind), so the name is available even for empty results.
+// Out-of-range columns report "" rather than panicking: results that
+// bypass the compiler (EXPLAIN renderings, raw core.Results) have only
+// the first row's values to infer from.
 func (r *Rows) ColumnTypeDatabaseTypeName(i int) string {
-	if q := r.res.Query; q != nil && i < len(r.res.Columns) {
+	if i < 0 || i >= len(r.res.Columns) {
+		return ""
+	}
+	if q := r.res.Query; q != nil {
 		return q.OutputKind(i).String()
 	}
-	if len(r.res.Rows) == 0 {
+	if len(r.res.Rows) == 0 || i >= len(r.res.Rows[0]) {
 		return ""
 	}
 	return r.res.Rows[0][i].Kind().String()

@@ -1,0 +1,56 @@
+package driver
+
+import (
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// TestColumnTypeDatabaseTypeNameBounds is the regression for the
+// fallback path: a result with no compiled-query metadata (EXPLAIN
+// renderings, raw core.Results) must answer "" for out-of-range
+// columns instead of indexing Rows[0] past its end and panicking.
+func TestColumnTypeDatabaseTypeNameBounds(t *testing.T) {
+	r := &Rows{res: &core.Result{
+		Columns: []string{"plan", "extra"},
+		// Ragged on purpose: the first row is shorter than Columns.
+		Rows: [][]value.Value{{value.NewString("scan")}},
+	}}
+	if got := r.ColumnTypeDatabaseTypeName(0); got != "CHAR" {
+		t.Fatalf("col 0 = %q, want CHAR", got)
+	}
+	if got := r.ColumnTypeDatabaseTypeName(1); got != "" {
+		t.Fatalf("col 1 (beyond row width) = %q, want \"\"", got)
+	}
+	if got := r.ColumnTypeDatabaseTypeName(-1); got != "" {
+		t.Fatalf("col -1 = %q, want \"\"", got)
+	}
+	if got := r.ColumnTypeDatabaseTypeName(2); got != "" {
+		t.Fatalf("col 2 (beyond Columns) = %q, want \"\"", got)
+	}
+
+	empty := &Rows{res: &core.Result{Columns: []string{"plan"}}}
+	if got := empty.ColumnTypeDatabaseTypeName(0); got != "" {
+		t.Fatalf("empty result col 0 = %q, want \"\"", got)
+	}
+}
+
+// TestExplainColumnTypes drives the same path through database/sql: the
+// EXPLAIN result carries no Query metadata, so the type name comes from
+// row inference and out-of-range probes are safe.
+func TestExplainColumnTypes(t *testing.T) {
+	db := openHospital(t, "")
+	rows, err := db.Query(`EXPLAIN SELECT Doc.Name FROM Doctor Doc WHERE Doc.Country = 'France'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	types, err := rows.ColumnTypes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(types) != 1 || types[0].DatabaseTypeName() != "CHAR" {
+		t.Fatalf("EXPLAIN column types = %v", types)
+	}
+}

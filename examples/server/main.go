@@ -1,0 +1,99 @@
+// server: talk to a running ghostdb-server over its HTTP wire protocol
+// with nothing but net/http — the paper's trusted-terminal topology with
+// the terminal on the other end of a socket. Start the server first:
+//
+//	go run ./cmd/ghostdb-server -addr 127.0.0.1:8080 -demo 2000
+//
+// then:
+//
+//	go run ./examples/server
+//
+// The client never links the engine: it POSTs JSON, and the hidden
+// columns stay on the server's simulated smart USB device. A saturated
+// server answers 429 with a Retry-After hint instead of queueing
+// without bound; the loop below honors it.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+const base = "http://127.0.0.1:8080"
+
+func main() {
+	// One parameterized point query, retried politely on 429.
+	req, _ := json.Marshal(map[string]any{
+		"sql":  "SELECT Doc.Name, Doc.Country FROM Doctor Doc WHERE Doc.DocID = ?",
+		"args": []any{1},
+	})
+	var resp *http.Response
+	var err error
+	for {
+		resp, err = http.Post(base+"/v1/query", "application/json", bytes.NewReader(req))
+		if err != nil {
+			log.Fatalf("is ghostdb-server running? %v", err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			break
+		}
+		resp.Body.Close()
+		sec, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		fmt.Printf("server saturated; retrying in %ds\n", sec)
+		time.Sleep(time.Duration(sec) * time.Second)
+	}
+	defer resp.Body.Close()
+
+	if resp.StatusCode != http.StatusOK {
+		var er struct{ Error, Kind string }
+		json.NewDecoder(resp.Body).Decode(&er)
+		log.Fatalf("query failed: %d %s: %s", resp.StatusCode, er.Kind, er.Error)
+	}
+	var qr struct {
+		Columns []string    `json:"columns"`
+		Types   []string    `json:"types"`
+		Rows    [][]any     `json:"rows"`
+		SimNS   json.Number `json:"sim_ns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("columns: %v (types %v)\n", qr.Columns, qr.Types)
+	for _, row := range qr.Rows {
+		fmt.Printf("row: %v\n", row)
+	}
+	fmt.Printf("simulated device time: %sns\n", qr.SimNS)
+
+	// The schema endpoint shows which columns the device is hiding.
+	sresp, err := http.Get(base + "/v1/schema")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var schema struct {
+		Tables []struct {
+			Name    string `json:"name"`
+			Columns []struct {
+				Name   string `json:"name"`
+				Hidden bool   `json:"hidden"`
+			} `json:"columns"`
+		} `json:"tables"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&schema); err != nil {
+		log.Fatal(err)
+	}
+	for _, tb := range schema.Tables {
+		hidden := 0
+		for _, c := range tb.Columns {
+			if c.Hidden {
+				hidden++
+			}
+		}
+		fmt.Printf("table %s: %d columns, %d hidden\n", tb.Name, len(tb.Columns), hidden)
+	}
+}

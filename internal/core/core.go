@@ -498,6 +498,20 @@ func openSingle(opts Options) (*DB, error) {
 // Schema exposes the catalog.
 func (db *DB) Schema() *schema.Schema { return db.sch }
 
+// ViewSchema runs fn with the schema and load state under the DB's
+// staging lock, so wire front-ends can render a consistent view while
+// DDL may still be staging on other sessions. fn must not call back
+// into the DB.
+func (db *DB) ViewSchema(fn func(sch *schema.Schema, loaded bool)) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	fn(db.sch, db.loaded)
+	return nil
+}
+
 // Device exposes the simulated device (benchmarks inspect its stats).
 func (db *DB) Device() *device.Device { return db.dev }
 

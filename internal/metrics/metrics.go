@@ -20,6 +20,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing atomic counter.
@@ -64,6 +65,13 @@ func (g *Gauge) Add(n int64) {
 		g.v.Add(n)
 	}
 }
+
+// Inc raises the current level by one (e.g. a request entering a
+// bounded in-flight window).
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the current level by one.
+func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current level.
 func (g *Gauge) Value() int64 {
@@ -149,6 +157,11 @@ func (h *Histogram) Observe(v int64) {
 	s.sum.Add(v)
 	s.buckets[bucketOf(v)].Add(1)
 }
+
+// ObserveSince records the wall-clock nanoseconds elapsed since t0 —
+// the common "time this request" shape of HTTP servers and load
+// generators.
+func (h *Histogram) ObserveSince(t0 time.Time) { h.Observe(time.Since(t0).Nanoseconds()) }
 
 // HistSnapshot is a merged point-in-time view of a histogram.
 type HistSnapshot struct {

@@ -1,0 +1,101 @@
+package server
+
+// Admission control. The idle-session pool doubles as the in-flight
+// semaphore: a request executes only while holding a pooled session, so
+// capacity(pool) == MaxInflight bounds concurrent work on the engine.
+// When the pool is dry the request waits at most QueueWait, then gets
+// 429 with a Retry-After hint — bounded latency for everyone beats an
+// unbounded queue melting down under overload.
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+)
+
+// admitted is one request's admission lease.
+type admitted struct {
+	sess   *core.Session
+	ctx    context.Context
+	cancel context.CancelFunc
+	srv    *Server
+	t0     time.Time
+}
+
+// admit reserves a session for the request, answering 429 (pool
+// saturated past QueueWait) or 503 (server closing) itself when it
+// fails. On success the caller must call release when done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (*admitted, bool) {
+	s.m.requests.Inc()
+	t0 := time.Now()
+	if s.closed.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "server is shutting down", "shutdown")
+		return nil, false
+	}
+	var sess *core.Session
+	select {
+	case sess = <-s.pool:
+	default:
+		if s.cfg.QueueWait <= 0 {
+			s.saturated(w)
+			return nil, false
+		}
+		wait := time.NewTimer(s.cfg.QueueWait)
+		defer wait.Stop()
+		select {
+		case sess = <-s.pool:
+		case <-wait.C:
+			s.saturated(w)
+			return nil, false
+		case <-r.Context().Done():
+			s.m.canceled.Inc()
+			return nil, false
+		}
+	}
+	s.m.inflight.Inc()
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.RequestTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	}
+	return &admitted{sess: sess, ctx: ctx, cancel: cancel, srv: s, t0: t0}, true
+}
+
+// release returns the session to the pool and settles the latency
+// accounting.
+func (a *admitted) release() {
+	a.cancel()
+	a.srv.m.inflight.Dec()
+	a.srv.m.wallNS.ObserveSince(a.t0)
+	a.srv.pool <- a.sess
+}
+
+// saturated answers 429 with the configured Retry-After hint.
+func (s *Server) saturated(w http.ResponseWriter) {
+	s.m.rejected.Inc()
+	w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+	writeJSON(w, http.StatusTooManyRequests, &ErrorResponse{
+		Error: "server saturated: all sessions busy",
+		Kind:  "saturated",
+	})
+}
+
+// reject answers a non-429 refusal.
+func (s *Server) reject(w http.ResponseWriter, status int, msg, kind string) {
+	if status >= 500 {
+		s.m.errors.Inc()
+	} else {
+		s.m.badReqs.Inc()
+	}
+	writeJSON(w, status, &ErrorResponse{Error: msg, Kind: kind})
+}
+
+// retryAfterSeconds renders a duration as the integral seconds the
+// Retry-After header requires, rounding up so "500ms" never becomes 0.
+func retryAfterSeconds(d time.Duration) string {
+	return strconv.Itoa(int(math.Ceil(d.Seconds())))
+}

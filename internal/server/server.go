@@ -1,0 +1,160 @@
+// Package server is the network front-end of GhostDB: a zero-dependency
+// stdlib net/http layer that multiplexes remote clients onto one shared
+// engine's session pool. The paper's trust model puts the device (and
+// the engine driving it) on a trusted terminal answering for clients
+// that cannot hold the raw data; this package is that terminal's wire
+// surface.
+//
+// Every request is admitted through a bounded in-flight window — the
+// session pool is the admission semaphore, so saturation answers 429
+// with a Retry-After hint instead of queueing unboundedly — and carries
+// its http.Request context through the engine's batch-boundary
+// cancellation: a client that disconnects mid-query aborts the query
+// and shows up in queries_canceled_total.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/metrics"
+)
+
+// Config tunes one Server.
+type Config struct {
+	// MaxInflight bounds concurrently executing requests (and sizes the
+	// session pool). Beyond it, requests wait QueueWait and then get
+	// 429. Default 64.
+	MaxInflight int
+	// QueueWait is how long a request may wait for a free session
+	// before being rejected with 429. Default 0: reject immediately.
+	QueueWait time.Duration
+	// RequestTimeout bounds one request's execution (propagated as a
+	// context deadline to the engine). 0 means no server-side deadline;
+	// the client's disconnect still cancels.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429/503 responses. Default 1s.
+	RetryAfter time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	return c
+}
+
+// serverMetrics is the HTTP layer's own registry, exposed alongside the
+// engine registries as ghostdb_server_* (/metrics) and under "server"
+// (/debug/vars).
+type serverMetrics struct {
+	reg      *metrics.Registry
+	requests *metrics.Counter
+	rejected *metrics.Counter
+	errors   *metrics.Counter
+	badReqs  *metrics.Counter
+	canceled *metrics.Counter
+	inflight *metrics.Gauge
+	wallNS   *metrics.Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		reg:      r,
+		requests: r.Counter("http_requests_total", "HTTP API requests received"),
+		rejected: r.Counter("http_rejected_total", "requests rejected with 429 by admission control"),
+		errors:   r.Counter("http_errors_total", "requests that failed with a 5xx status"),
+		badReqs:  r.Counter("http_bad_requests_total", "requests that failed with a 4xx status other than 429"),
+		canceled: r.Counter("http_canceled_total", "requests abandoned by the client before completion"),
+		inflight: r.Gauge("http_inflight", "requests currently holding a session"),
+		wallNS:   r.Histogram("http_request_wall_ns", "end-to-end request latency"),
+	}
+}
+
+// Server multiplexes HTTP clients onto one GhostDB engine.
+type Server struct {
+	db  *core.DB
+	cfg Config
+	m   *serverMetrics
+
+	// pool holds the idle sessions; acquiring one admits a request, so
+	// capacity == MaxInflight is the whole admission mechanism.
+	pool     chan *core.Session
+	sessions []*core.Session
+	closed   atomic.Bool
+}
+
+// New builds a Server over db, opening its session pool. The caller
+// keeps ownership of db (Close does not close it).
+func New(db *core.DB, cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		db:   db,
+		cfg:  cfg,
+		m:    newServerMetrics(),
+		pool: make(chan *core.Session, cfg.MaxInflight),
+	}
+	for i := 0; i < cfg.MaxInflight; i++ {
+		sess, err := db.NewSession()
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: opening session pool: %w", err)
+		}
+		s.sessions = append(s.sessions, sess)
+		s.pool <- sess
+	}
+	return s, nil
+}
+
+// DB exposes the underlying engine.
+func (s *Server) DB() *core.DB { return s.db }
+
+// Close releases the session pool. Call it after the HTTP server has
+// drained (http.Server.Shutdown): a session still executing a request
+// must not be closed under it.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, sess := range s.sessions {
+		if err := sess.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MetricsSnapshot snapshots the HTTP layer's own registry.
+func (s *Server) MetricsSnapshot() metrics.Snapshot { return s.m.reg.Snapshot() }
+
+// Handler builds the server's HTTP surface:
+//
+//	POST /v1/query       execute a SELECT (or EXPLAIN [ANALYZE])
+//	POST /v1/exec        execute DDL / DML / CHECKPOINT scripts
+//	POST /v1/checkpoint  merge the live-DML delta into flash
+//	GET  /v1/schema      the table layout, hidden columns flagged
+//	GET  /healthz        liveness (503 once the device is dead)
+//	GET  /debug/vars     engine + server state, JSON
+//	GET  /metrics        Prometheus text exposition
+//
+// Method-prefixed ServeMux patterns (Go 1.22+) reject wrong-method
+// requests with 405 without any routing library.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/exec", s.handleExec)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
+	mux.HandleFunc("GET /v1/schema", s.handleSchema)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /debug/vars", s.handleVars)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}

@@ -1,0 +1,238 @@
+package server
+
+// The wire protocol: plain JSON over HTTP, zero dependencies on either
+// side. Requests carry SQL text plus positional '?' arguments; responses
+// carry the materialized result rows (GhostDB materializes results on
+// the secure display before anything is returned, so streaming would buy
+// nothing) together with the simulated device time the query consumed.
+//
+//	POST /v1/query      {"sql": "SELECT ...", "args": [1, "x"]}
+//	POST /v1/exec       {"sql": "INSERT ...; ...", "args": [...]}
+//	POST /v1/checkpoint {}
+//	GET  /v1/schema
+//	GET  /healthz
+//
+// Argument scalars map 1:1 onto GhostDB kinds: JSON integers bind as
+// INTEGER, other numbers as FLOAT, strings as CHAR (coerced to DATE by
+// the binder when the column is a date, so "2006-01-10" works), booleans
+// as BOOLEAN. Result DATE values render as "YYYY-MM-DD" strings.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/value"
+)
+
+// maxRequestBody bounds one request's JSON document (a bulk-load script
+// can be large; anything bigger than this is hostile).
+const maxRequestBody = 64 << 20
+
+// QueryRequest is the body of POST /v1/query and POST /v1/exec.
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// Args bind the statement's '?' placeholders in ordinal order.
+	Args []any `json:"args,omitempty"`
+}
+
+// QueryResponse is the body of a successful POST /v1/query.
+type QueryResponse struct {
+	Columns []string `json:"columns"`
+	Types   []string `json:"types"`
+	Rows    [][]any  `json:"rows"`
+	// SimNS is the simulated device time the query consumed; WallNS the
+	// host wall-clock spent executing it (excluding HTTP overhead).
+	SimNS  int64 `json:"sim_ns"`
+	WallNS int64 `json:"wall_ns"`
+}
+
+// ExecResponse is the body of a successful POST /v1/exec.
+type ExecResponse struct {
+	RowsAffected int64 `json:"rows_affected"`
+	WallNS       int64 `json:"wall_ns"`
+}
+
+// CheckpointResponse is the body of a successful POST /v1/checkpoint.
+// The simulated merge cost lands on the per-shard device clocks (see
+// /debug/vars), not here: one number would be wrong for sharded engines.
+type CheckpointResponse struct {
+	// Absorbed is the number of delta entries the merge absorbed.
+	Absorbed int64 `json:"absorbed"`
+	WallNS   int64 `json:"wall_ns"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure for programmatic clients: bad_request,
+	// saturated, canceled, timeout, transient, device_dead, internal.
+	Kind string `json:"kind"`
+}
+
+// SchemaResponse is the body of GET /v1/schema.
+type SchemaResponse struct {
+	Loaded bool        `json:"loaded"`
+	Tables []TableInfo `json:"tables"`
+}
+
+// TableInfo describes one table of the schema.
+type TableInfo struct {
+	Name    string       `json:"name"`
+	Columns []ColumnInfo `json:"columns"`
+}
+
+// ColumnInfo describes one column; Hidden columns live only on the
+// device.
+type ColumnInfo struct {
+	Name       string `json:"name"`
+	Type       string `json:"type"`
+	Hidden     bool   `json:"hidden,omitempty"`
+	PrimaryKey bool   `json:"primary_key,omitempty"`
+	Ref        string `json:"ref,omitempty"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Loaded bool   `json:"loaded"`
+}
+
+// decodeRequest reads one JSON request body, preserving number fidelity
+// (integers stay integers) via json.Number.
+func decodeRequest(r *http.Request, into any) error {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBody))
+	dec.UseNumber()
+	if err := dec.Decode(into); err != nil {
+		if err == io.EOF {
+			return fmt.Errorf("empty request body")
+		}
+		return fmt.Errorf("invalid JSON body: %v", err)
+	}
+	return nil
+}
+
+// wireParams converts request arguments to GhostDB values.
+func wireParams(args []any) ([]value.Value, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make([]value.Value, len(args))
+	for i, a := range args {
+		v, err := wireParam(a)
+		if err != nil {
+			return nil, fmt.Errorf("argument %d: %v", i+1, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func wireParam(a any) (value.Value, error) {
+	switch a := a.(type) {
+	case json.Number:
+		s := a.String()
+		if !strings.ContainsAny(s, ".eE") {
+			n, err := a.Int64()
+			if err == nil {
+				return value.NewInt(n), nil
+			}
+		}
+		f, err := a.Float64()
+		if err != nil {
+			return value.Value{}, fmt.Errorf("bad number %q", s)
+		}
+		return value.NewFloat(f), nil
+	case string:
+		return value.NewString(a), nil
+	case bool:
+		return value.NewBool(a), nil
+	case nil:
+		return value.Value{}, fmt.Errorf("GhostDB has no NULLs")
+	default:
+		return value.Value{}, fmt.Errorf("unsupported argument type %T", a)
+	}
+}
+
+// wireValue converts one result scalar to its JSON form.
+func wireValue(v value.Value) any {
+	switch v.Kind() {
+	case value.Int:
+		return v.Int()
+	case value.Float:
+		return v.Float()
+	case value.String:
+		return v.Str()
+	case value.Bool:
+		return v.Bool()
+	case value.Date:
+		y, m, d := v.Civil()
+		return fmt.Sprintf("%04d-%02d-%02d", y, m, d)
+	default:
+		return nil
+	}
+}
+
+// encodeResult maps a completed core result onto the wire response.
+func encodeResult(res *core.Result, wall time.Duration) *QueryResponse {
+	resp := &QueryResponse{
+		Columns: res.Columns,
+		Types:   make([]string, len(res.Columns)),
+		Rows:    make([][]any, len(res.Rows)),
+		WallNS:  wall.Nanoseconds(),
+	}
+	for i := range res.Columns {
+		switch {
+		case res.Query != nil:
+			resp.Types[i] = res.Query.OutputKind(i).String()
+		case len(res.Rows) > 0 && i < len(res.Rows[0]):
+			resp.Types[i] = res.Rows[0][i].Kind().String()
+		}
+	}
+	for i, row := range res.Rows {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = wireValue(v)
+		}
+		resp.Rows[i] = out
+	}
+	if res.Report != nil {
+		resp.SimNS = res.Report.TotalTime.Nanoseconds()
+	}
+	return resp
+}
+
+// encodeSchema maps the engine schema onto the wire response.
+func encodeSchema(sch *schema.Schema, loaded bool) *SchemaResponse {
+	resp := &SchemaResponse{Loaded: loaded}
+	for _, t := range sch.Tables() {
+		ti := TableInfo{Name: t.Name}
+		for _, c := range t.Columns {
+			ci := ColumnInfo{
+				Name:       c.Name,
+				Type:       c.Type.String(),
+				Hidden:     c.Hidden,
+				PrimaryKey: c.PrimaryKey,
+			}
+			if c.IsForeignKey() {
+				ci.Ref = c.RefTable + "." + c.RefColumn
+			}
+			ti.Columns = append(ti.Columns, ci)
+		}
+		resp.Tables = append(resp.Tables, ti)
+	}
+	return resp
+}
+
+// writeJSON writes one response document.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(body)
+}
