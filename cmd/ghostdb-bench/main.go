@@ -7,11 +7,19 @@
 //	ghostdb-bench sweep baselines storage
 //
 // Experiments: fig5 fig6 sweep baselines storage bus spy ram writes
-// bloom game ablations aggregate dml observability shard faults loadgen.
+// bloom game ablations aggregate dml observability shard faults backend
+// loadgen.
 //
 // loadgen boots ghostdb-server in-process (or targets a running one via
 // -server-url) and drives it with -clients concurrent HTTP clients; its
-// record lands in BENCH_server.json.
+// record lands in BENCH_server.json. With -server-url, the aggregate and
+// dml experiments are also re-phrased over the wire protocol, so a
+// long-lived server can be profiled in place.
+//
+// The -backend flag (sim or file) selects the storage backend for every
+// database the run builds; the value is stamped into each BENCH_*.json.
+// The backend experiment compares the backends directly regardless of
+// the flag, writing BENCH_backend.json.
 //
 // The -debug-addr flag serves the live observability endpoint
 // (/debug/vars JSON and /metrics Prometheus text) for the shared
@@ -30,17 +38,22 @@ import (
 	"github.com/ghostdb/ghostdb"
 	"github.com/ghostdb/ghostdb/internal/bench"
 	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/storage"
 )
 
 // benchRecord is the machine-readable result of one experiment, written
 // as BENCH_<name>.json when -json is set so the perf trajectory can be
 // tracked across commits (CI uploads these as artifacts).
 type benchRecord struct {
-	Name   string `json:"name"`
-	Scale  int    `json:"scale"`
-	Seed   int64  `json:"seed"`
-	WallNS int64  `json:"wall_ns"` // host wall-clock for the experiment
-	Allocs uint64 `json:"allocs"`  // host heap allocations during the experiment
+	Name string `json:"name"`
+	// Backend is the storage backend the run's databases used (-backend):
+	// "sim" or "file". Perf numbers are only comparable across commits
+	// within one backend.
+	Backend string `json:"backend"`
+	Scale   int    `json:"scale"`
+	Seed    int64  `json:"seed"`
+	WallNS  int64  `json:"wall_ns"` // host wall-clock for the experiment
+	Allocs  uint64 `json:"allocs"`  // host heap allocations during the experiment
 	// SimNS is the simulated device time the experiment advanced on the
 	// shared database's clock; 0 for experiments that build private
 	// databases (bus, spy, ram, writes, bloom). The first shared-DB
@@ -63,6 +76,9 @@ type benchRecord struct {
 	// Server carries the HTTP loadgen result (the loadgen experiment):
 	// the acceptance gate is dropped == 0.
 	Server *bench.ServerReport `json:"server,omitempty"`
+	// BackendCompare carries the sim vs file wall-clock comparison (the
+	// backend experiment).
+	BackendCompare *bench.BackendReport `json:"backend_compare,omitempty"`
 }
 
 // lastDMLPhases stashes the dml experiment's phase records for the JSON
@@ -80,6 +96,9 @@ var lastFaults *bench.FaultsReport
 
 // lastServer stashes the loadgen experiment's report.
 var lastServer *bench.ServerReport
+
+// lastBackend stashes the backend experiment's comparison.
+var lastBackend *bench.BackendReport
 
 // loadgen knobs, set from flags in main.
 var (
@@ -100,12 +119,14 @@ func writeBenchJSON(rec benchRecord) error {
 var experimentOrder = []string{
 	"fig6", "fig5", "sweep", "baselines", "storage", "bus", "spy",
 	"ram", "writes", "bloom", "game", "ablations", "aggregate", "dml",
-	"observability", "shard", "faults", "loadgen",
+	"observability", "shard", "faults", "backend", "loadgen",
 }
 
 func main() {
 	scale := flag.Int("scale", 100_000, "prescriptions in the synthetic dataset (paper: 1000000)")
 	seed := flag.Int64("seed", 42, "dataset seed")
+	backendName := flag.String("backend", "sim", "storage backend for the run's databases: sim or file")
+	backendPath := flag.String("backend-path", "", "with -backend file: directory for the device files (default: a temp dir, removed afterwards)")
 	jsonOut := flag.Bool("json", false, "also write BENCH_<experiment>.json records (wall ns, allocs, simulated device time)")
 	debugAddr := flag.String("debug-addr", "", "serve the live /debug/vars + /metrics endpoint on this address (e.g. localhost:6060) for the shared database")
 	debugHold := flag.Duration("debug-hold", 0, "with -debug-addr, keep serving this long after the experiments finish (for scraping a completed run)")
@@ -124,6 +145,22 @@ func main() {
 		wanted = experimentOrder
 	}
 	cfg := bench.Config{Scale: *scale, Seed: *seed}
+	switch *backendName {
+	case "sim":
+	case "file":
+		dir := *backendPath
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "ghostdb-bench-")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		cfg.Backend = storage.File(dir, false)
+	default:
+		log.Fatalf("-backend %q: want sim or file", *backendName)
+	}
 
 	// Most experiments share one database build.
 	var shared *core.DB
@@ -172,12 +209,13 @@ func main() {
 				sim = shared.Clock().Now() - sim0
 			}
 			rec := benchRecord{
-				Name:   name,
-				Scale:  cfg.Scale,
-				Seed:   cfg.Seed,
-				WallNS: wall.Nanoseconds(),
-				Allocs: ms.Mallocs - allocs0,
-				SimNS:  sim.Nanoseconds(),
+				Name:    name,
+				Backend: *backendName,
+				Scale:   cfg.Scale,
+				Seed:    cfg.Seed,
+				WallNS:  wall.Nanoseconds(),
+				Allocs:  ms.Mallocs - allocs0,
+				SimNS:   sim.Nanoseconds(),
 			}
 			if name == "dml" {
 				rec.Phases = lastDMLPhases
@@ -190,6 +228,9 @@ func main() {
 			}
 			if name == "faults" {
 				rec.Faults = lastFaults
+			}
+			if name == "backend" {
+				rec.BackendCompare = lastBackend
 			}
 			if name == "loadgen" {
 				// The server acceptance artifact has its own name.
@@ -300,14 +341,28 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		fmt.Print(bench.FormatAblations(rows))
 	case "aggregate":
 		fmt.Println("Analytics: aggregation / ordering / distinct over hidden data")
-		rows, err := bench.AggregateWorkload(sharedDB())
+		var rows []bench.AggregateRow
+		var err error
+		if serverURL != "" {
+			fmt.Printf("(driving %s over HTTP; wall includes the round trip, RAM is not visible remotely)\n", serverURL)
+			rows, err = bench.AggregateWorkloadURL(serverURL)
+		} else {
+			rows, err = bench.AggregateWorkload(sharedDB())
+		}
 		if err != nil {
 			return err
 		}
 		fmt.Print(bench.FormatAggregateRows(rows))
 	case "dml":
 		fmt.Println("Live DML: delta inserts/updates/deletes, dirty queries, CHECKPOINT merge")
-		phases, err := bench.DMLWorkload(smaller(cfg))
+		var phases []bench.DMLPhase
+		var err error
+		if serverURL != "" {
+			fmt.Printf("(driving %s over HTTP, mutating it in place; allocs are not visible remotely)\n", serverURL)
+			phases, err = bench.DMLWorkloadURL(serverURL)
+		} else {
+			phases, err = bench.DMLWorkload(smaller(cfg))
+		}
 		if err != nil {
 			return err
 		}
@@ -337,6 +392,14 @@ func run(name string, cfg bench.Config, sharedDB func() *core.DB) error {
 		}
 		lastFaults = rep
 		fmt.Print(bench.FormatFaults(rep))
+	case "backend":
+		fmt.Println("Backends: simulated NAND vs real files (load / query / DML / reopen wall clock)")
+		rep, err := bench.BackendCompare(smaller(cfg), 50)
+		if err != nil {
+			return err
+		}
+		lastBackend = rep
+		fmt.Print(bench.FormatBackendReport(rep))
 	case "loadgen":
 		fmt.Printf("HTTP serving: %d concurrent clients x %d requests against ghostdb-server\n", loadClients, loadPerClient)
 		var rep *bench.ServerReport

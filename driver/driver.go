@@ -117,11 +117,7 @@ func OpenEngine(dsn string) (*core.DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	opts, err := cfg.options()
-	if err != nil {
-		return nil, err
-	}
-	return core.Open(opts...)
+	return cfg.open()
 }
 
 // Connector creates sessions into one lazily-opened GhostDB engine. It
@@ -145,12 +141,7 @@ func (c *Connector) engine() (*core.DB, error) {
 	defer c.mu.Unlock()
 	if !c.opened {
 		c.opened = true
-		opts, err := c.cfg.options()
-		if err != nil {
-			c.err = err
-		} else {
-			c.db, c.err = core.Open(opts...)
-		}
+		c.db, c.err = c.cfg.open()
 	}
 	return c.db, c.err
 }

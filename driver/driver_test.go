@@ -29,7 +29,7 @@ INSERT INTO Visit VALUES
 
 func openHospital(t *testing.T, dsn string) *sql.DB {
 	t.Helper()
-	db, err := sql.Open("ghostdb", dsn)
+	db, err := sql.Open("ghostdb", testBackendDSN(t, dsn))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/core"
 	"github.com/ghostdb/ghostdb/internal/device"
 	"github.com/ghostdb/ghostdb/internal/fault"
+	"github.com/ghostdb/ghostdb/internal/storage"
 	"github.com/ghostdb/ghostdb/internal/trace"
 )
 
@@ -68,10 +69,24 @@ type Config struct {
 	// Integrity controls the per-page checksums on the simulated flash
 	// (default on). Off is a benchmarking baseline, not a mode to run.
 	Integrity bool
+	// Backend selects the storage backend under the device: "sim" (the
+	// default simulated NAND with its deterministic cost model) or "file"
+	// (persistent real-file pages under Path). With "file", opening a DSN
+	// whose Path already holds a database REOPENS it — schema, committed
+	// data and all — instead of creating a fresh one.
+	Backend string
+	// Path is the file backend's device directory (required for
+	// backend=file; a sharded engine puts each device in a shardN
+	// subdirectory).
+	Path string
+	// Fsync makes the file backend flush dirty segments at every commit
+	// point, extending durability from process crashes to host power
+	// loss. Off by default.
+	Fsync bool
 }
 
 func defaultConfig() *Config {
-	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true, Shards: 1, Integrity: true}
+	return &Config{Profile: "smartusb2007", USB: "full", FPR: 0.01, Capture: "meta", PlanCache: -1, Batch: -1, DeltaLimit: -1, Metrics: true, Shards: 1, Integrity: true, Backend: "sim"}
 }
 
 // ParseDSN parses a GhostDB data source name.
@@ -96,6 +111,9 @@ func defaultConfig() *Config {
 //	faults       deterministic fault plan ("seed=42,read.transient=0.001,cutop=500")
 //	degraded     serve dimension queries from surviving shards: "on" | "off" (default)
 //	integrity    per-page flash checksums: "on" (default) | "off"
+//	backend      storage backend: "sim" (default) | "file" (persistent real files)
+//	path         file backend's device directory (required with backend=file)
+//	fsync        file backend flushes at commit points: "on" | "off" (default)
 func ParseDSN(dsn string) (*Config, error) {
 	cfg := defaultConfig()
 	if dsn == "" {
@@ -210,6 +228,22 @@ func ParseDSN(dsn string) (*Config, error) {
 			default:
 				return nil, fmt.Errorf("ghostdb driver: integrity must be on or off, got %q", vals[len(vals)-1])
 			}
+		case "backend":
+			cfg.Backend = strings.ToLower(vals[len(vals)-1])
+			if cfg.Backend != "sim" && cfg.Backend != "file" {
+				return nil, fmt.Errorf("ghostdb driver: unknown backend %q (want sim or file)", cfg.Backend)
+			}
+		case "path":
+			cfg.Path = vals[len(vals)-1]
+		case "fsync":
+			switch strings.ToLower(vals[len(vals)-1]) {
+			case "on", "true", "1":
+				cfg.Fsync = true
+			case "off", "false", "0":
+				cfg.Fsync = false
+			default:
+				return nil, fmt.Errorf("ghostdb driver: fsync must be on or off, got %q", vals[len(vals)-1])
+			}
 		case "deviceindex":
 			for _, v := range vals {
 				dot := strings.IndexByte(v, '.')
@@ -221,6 +255,12 @@ func ParseDSN(dsn string) (*Config, error) {
 		default:
 			return nil, fmt.Errorf("ghostdb driver: unknown DSN parameter %q", key)
 		}
+	}
+	if cfg.Backend == "file" && cfg.Path == "" {
+		return nil, fmt.Errorf("ghostdb driver: backend=file requires a path parameter")
+	}
+	if cfg.Backend != "file" && (cfg.Path != "" || cfg.Fsync) {
+		return nil, fmt.Errorf("ghostdb driver: path and fsync require backend=file")
 	}
 	return cfg, nil
 }
@@ -277,5 +317,23 @@ func (c *Config) options() ([]core.Option, error) {
 	if !c.Integrity {
 		opts = append(opts, core.WithIntegrity(false))
 	}
+	if c.Backend == "file" {
+		opts = append(opts, core.WithBackend(storage.File(c.Path, c.Fsync)))
+	}
 	return opts, nil
+}
+
+// open builds the engine this config describes: a file-backend config
+// whose path already holds a database reopens it (committed schema and
+// data restored); everything else creates a fresh engine.
+func (c *Config) open() (*core.DB, error) {
+	opts, err := c.options()
+	if err != nil {
+		return nil, err
+	}
+	if c.Backend == "file" && core.PathHoldsDatabase(c.Path) {
+		db, _, err := core.OpenPath(c.Path, opts...)
+		return db, err
+	}
+	return core.Open(opts...)
 }

@@ -1,0 +1,130 @@
+// Filedb: a GhostDB that survives the process. The file backend maps
+// the simulated smart-USB NAND onto page-aligned segment files, so the
+// hidden store, commit records and CRCs live on the host filesystem —
+// close the process, reopen the directory, and every checkpointed
+// version is still there.
+//
+//	go run ./examples/filedb            # throwaway directory
+//	go run ./examples/filedb /tmp/mydb  # persistent: run it twice
+package main
+
+import (
+	"database/sql"
+	"fmt"
+	"log"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"github.com/ghostdb/ghostdb"
+	_ "github.com/ghostdb/ghostdb/driver"
+)
+
+func main() {
+	dir := filepath.Join(os.TempDir(), "ghostdb-filedb-example")
+	if len(os.Args) > 1 {
+		dir = os.Args[1]
+	}
+
+	if ghostdb.PathHoldsDatabase(dir) {
+		reopen(dir)
+		return
+	}
+	create(dir)
+	reopen(dir)
+}
+
+// create builds a fresh file-backed database: schema, rows, and one
+// CHECKPOINT so the data is committed to the segment files before the
+// engine closes.
+func create(dir string) {
+	fmt.Printf("creating file-backed database in %s\n", dir)
+	db, err := ghostdb.Open(ghostdb.WithBackend(ghostdb.FileBackend(dir, false)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = db.ExecScript(`
+CREATE TABLE Doctor (
+  DocID INTEGER PRIMARY KEY,
+  Name CHAR(40),
+  Country CHAR(20));
+
+CREATE TABLE Visit (
+  VisID INTEGER PRIMARY KEY,
+  Date DATE,
+  Purpose CHAR(100) HIDDEN,
+  DocID REFERENCES Doctor(DocID) HIDDEN);
+
+INSERT INTO Doctor VALUES
+  (1, 'Dr. Ellis', 'France'),
+  (2, 'Dr. Gall',  'Spain');
+
+INSERT INTO Visit VALUES
+  (1, DATE '2007-01-10', 'Checkup',   1),
+  (2, DATE '2007-02-01', 'Sclerosis', 1),
+  (3, DATE '2007-03-05', 'Sclerosis', 2);
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// CHECKPOINT folds the RAM delta into fresh flash segments and
+	// programs the commit record — the durable point on disk.
+	if _, err := db.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+	// An insert left uncommitted on purpose: the RAM delta is volatile,
+	// so this row will NOT be there after reopen — exactly the
+	// power-cut semantics of the real device.
+	if _, err := db.Exec(
+		"INSERT INTO Visit VALUES (4, DATE '2007-04-01', 'Flu', 2)"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("committed 3 visits (CHECKPOINT), left 1 visit uncommitted, closing")
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// reopen comes back from the on-disk image alone — recovery replays the
+// newest valid commit record, and the uncommitted delta is gone.
+func reopen(dir string) {
+	db, info, err := ghostdb.OpenPath(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	fmt.Printf("\nreopened %s at committed version %d (rolled back: %v)\n",
+		dir, info.Version, info.RolledBack)
+
+	res, err := db.Query(`
+SELECT Vis.VisID, Vis.Date, Vis.Purpose
+FROM Visit Vis
+WHERE Vis.Purpose = 'Sclerosis'  /*HIDDEN*/`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("hidden-predicate query over the recovered store:")
+	for _, row := range res.Rows {
+		fmt.Println("  ", row)
+	}
+	fmt.Printf("visits on device: %d (uncommitted row rolled back)\n",
+		db.RowCount("Visit"))
+
+	// The same directory works through database/sql: backend=file
+	// auto-detects the existing image and reopens instead of wiping.
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+	sqlDB, err := sql.Open("ghostdb",
+		"ghostdb://?backend=file&path="+url.QueryEscape(dir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sqlDB.Close()
+	var n int
+	if err := sqlDB.QueryRow(
+		"SELECT COUNT(*) FROM Visit Vis").Scan(&n); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database/sql over the same directory sees %d visits\n", n)
+}

@@ -76,6 +76,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/fault"
 	"github.com/ghostdb/ghostdb/internal/metrics"
 	"github.com/ghostdb/ghostdb/internal/plan"
+	"github.com/ghostdb/ghostdb/internal/storage"
 	"github.com/ghostdb/ghostdb/internal/trace"
 )
 
@@ -179,6 +180,34 @@ func WithDegradedReads(on bool) Option { return core.WithDegradedReads(on) }
 // WithIntegrity toggles the per-page flash checksums (default on). Off
 // is a benchmarking baseline that forgoes torn-write detection.
 func WithIntegrity(on bool) Option { return core.WithIntegrity(on) }
+
+// BackendConfig selects the storage backend under the device: the
+// simulated NAND chip (the default) or the persistent real-file backend.
+type BackendConfig = storage.Config
+
+// SimBackend returns the simulated-backend config (the default).
+func SimBackend() BackendConfig { return storage.Sim() }
+
+// FileBackend returns a file-backend config rooted at dir. fsync makes
+// every commit point flush to stable storage (durable against host power
+// loss, not just process crashes).
+func FileBackend(dir string, fsync bool) BackendConfig { return storage.File(dir, fsync) }
+
+// WithBackend selects the storage backend. Open with a file backend
+// CREATES the database at the configured path, wiping any previous
+// contents; use OpenPath to reopen an existing file-backed database.
+func WithBackend(cfg BackendConfig) Option { return core.WithBackend(cfg) }
+
+// OpenPath reopens a file-backed database from its on-disk state,
+// landing on the newest fully committed version (a process kill
+// mid-commit rolls back to the previous one). See core.OpenPath.
+func OpenPath(dir string, opts ...Option) (*DB, *RecoverInfo, error) {
+	return core.OpenPath(dir, opts...)
+}
+
+// PathHoldsDatabase reports whether dir holds a file-backed GhostDB that
+// OpenPath can reopen.
+func PathHoldsDatabase(dir string) bool { return core.PathHoldsDatabase(dir) }
 
 // Snapshot is a crash-surviving capture of a DB: per-device flash
 // images plus the server-durable visible data (see DB.Snapshot and

@@ -1,0 +1,196 @@
+package bench
+
+// The backend experiment: the same load + query + DML + checkpoint
+// workload on the simulated NAND and on the real-file backend (with and
+// without fsync), all measured in host wall clock. The simulated backend
+// pays for its cost model and in-memory bookkeeping; the file backend
+// pays the host filesystem. The reopen row is file-only: wall time to
+// come back from the on-disk image, which the simulation cannot do at
+// all.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/core"
+	"github.com/ghostdb/ghostdb/internal/storage"
+)
+
+// BackendPoint is one backend's wall-clock profile.
+type BackendPoint struct {
+	Backend  string  `json:"backend"`             // sim, file, file+fsync
+	LoadNS   int64   `json:"load_ns"`             // dataset load + hidden-store build
+	QueryNS  int64   `json:"query_ns"`            // queryIters demo queries
+	QueryQPS float64 `json:"query_qps"`           // demo queries per wall second
+	DMLNS    int64   `json:"dml_ns"`              // insert batch + CHECKPOINT merge
+	ReopenNS int64   `json:"reopen_ns,omitempty"` // OpenPath from disk (file backends only)
+	Rows     int     `json:"rows"`                // demo query result rows (must agree across backends)
+	Stored   int     `json:"stored"`              // Prescription rows after DML+checkpoint (must agree, never zero)
+}
+
+// BackendReport is the machine-readable result of the backend
+// experiment, embedded in BENCH_backend.json.
+type BackendReport struct {
+	QueryIters int            `json:"query_iters"`
+	Inserts    int            `json:"inserts"`
+	Points     []BackendPoint `json:"points"`
+}
+
+// BackendCompare profiles the storage backends under one workload. The
+// file-backed databases live in throwaway temp directories.
+func BackendCompare(cfg Config, queryIters int) (*BackendReport, error) {
+	inserts := cfg.Scale / 100
+	if inserts < 100 {
+		inserts = 100
+	}
+	rep := &BackendReport{QueryIters: queryIters, Inserts: inserts}
+
+	backends := []struct {
+		name  string
+		fsync bool
+	}{
+		{"sim", false},
+		{"file", false},
+		{"file+fsync", true},
+	}
+	for _, be := range backends {
+		var opts []core.Option
+		var dir string
+		if be.name != "sim" {
+			var err error
+			dir, err = os.MkdirTemp("", "ghostdb-bench-backend-")
+			if err != nil {
+				return nil, err
+			}
+			dir = filepath.Join(dir, "dev")
+			opts = append(opts, core.WithBackend(storage.File(dir, be.fsync)))
+		} else {
+			opts = append(opts, core.WithBackend(storage.Sim()))
+		}
+		pt, err := backendPoint(cfg, be.name, dir, queryIters, inserts, opts)
+		if dir != "" {
+			os.RemoveAll(filepath.Dir(dir))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s backend: %w", be.name, err)
+		}
+		rep.Points = append(rep.Points, *pt)
+	}
+
+	// Differential gate: a backend must never change query results. The
+	// demo query can legitimately match nothing at small scales, so the
+	// post-DML Prescription cardinality (never zero) is compared too.
+	for _, pt := range rep.Points[1:] {
+		if pt.Rows != rep.Points[0].Rows || pt.Stored != rep.Points[0].Stored {
+			return rep, fmt.Errorf("backend %s returned %d demo rows / %d stored, sim returned %d / %d",
+				pt.Backend, pt.Rows, pt.Stored, rep.Points[0].Rows, rep.Points[0].Stored)
+		}
+	}
+	return rep, nil
+}
+
+func backendPoint(cfg Config, name, dir string, queryIters, inserts int, opts []core.Option) (*BackendPoint, error) {
+	pt := &BackendPoint{Backend: name}
+
+	start := time.Now()
+	db, _, err := BuildDB(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.EnsureBuilt(); err != nil {
+		return nil, err
+	}
+	pt.LoadNS = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	for i := 0; i < queryIters; i++ {
+		res, err := db.Query(DemoQuery)
+		if err != nil {
+			return nil, err
+		}
+		pt.Rows = len(res.Rows)
+	}
+	qwall := time.Since(start)
+	pt.QueryNS = qwall.Nanoseconds()
+	pt.QueryQPS = float64(queryIters) / qwall.Seconds()
+
+	start = time.Now()
+	next, err := db.NextID("Prescription")
+	if err != nil {
+		return nil, err
+	}
+	medN := db.RowCount("Medicine")
+	visN := db.RowCount("Visit")
+	for i := 0; i < inserts; i++ {
+		stmt := fmt.Sprintf(
+			"INSERT INTO Prescription VALUES (%d, %d, %d, DATE '2007-%02d-%02d', %d, %d)",
+			int(next)+i, 1+i%100, 1+i%4, 1+i%12, 1+i%28, 1+i%medN, 1+i%visN)
+		if _, err := db.Exec(stmt); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	pt.DMLNS = time.Since(start).Nanoseconds()
+	pt.Stored = db.RowCount("Prescription")
+
+	if dir != "" {
+		// The checkpointed inserts may match the demo predicates, so the
+		// reopened database is compared against the post-DML answer.
+		post, err := db.Query(DemoQuery)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		ndb, _, err := core.OpenPath(dir)
+		if err != nil {
+			return nil, fmt.Errorf("reopen: %w", err)
+		}
+		pt.ReopenNS = time.Since(start).Nanoseconds()
+		res, err := ndb.Query(DemoQuery)
+		if err != nil {
+			ndb.Close()
+			return nil, fmt.Errorf("reopened query: %w", err)
+		}
+		if len(res.Rows) != len(post.Rows) {
+			ndb.Close()
+			return nil, fmt.Errorf("reopened database returned %d demo rows, want %d", len(res.Rows), len(post.Rows))
+		}
+		if n := ndb.RowCount("Prescription"); n != pt.Stored {
+			ndb.Close()
+			return nil, fmt.Errorf("reopened database holds %d Prescription rows, want %d", n, pt.Stored)
+		}
+		ndb.Close()
+	}
+	return pt, nil
+}
+
+// FormatBackendReport renders the backend comparison.
+func FormatBackendReport(r *BackendReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %12s %12s %12s\n", "backend", "load", "query", "qps", "dml+ckpt", "reopen")
+	for _, p := range r.Points {
+		reopen := "-"
+		if p.ReopenNS > 0 {
+			reopen = time.Duration(p.ReopenNS).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(&b, "%-12s %12v %12v %12.0f %12v %12s\n",
+			p.Backend,
+			time.Duration(p.LoadNS).Round(time.Millisecond),
+			time.Duration(p.QueryNS).Round(time.Millisecond),
+			p.QueryQPS,
+			time.Duration(p.DMLNS).Round(time.Millisecond),
+			reopen)
+	}
+	fmt.Fprintf(&b, "(%d demo queries, %d inserts; identical result rows enforced across backends)\n",
+		r.QueryIters, r.Inserts)
+	return b.String()
+}

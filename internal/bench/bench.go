@@ -6,8 +6,10 @@ package bench
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/baseline"
@@ -19,6 +21,7 @@ import (
 	"github.com/ghostdb/ghostdb/internal/pred"
 	"github.com/ghostdb/ghostdb/internal/sql"
 	"github.com/ghostdb/ghostdb/internal/stats"
+	"github.com/ghostdb/ghostdb/internal/storage"
 	"github.com/ghostdb/ghostdb/internal/trace"
 	"github.com/ghostdb/ghostdb/internal/value"
 )
@@ -42,16 +45,31 @@ WHERE Doc.Country = 'Spain' AND Vis.Purpose = 'Sclerosis'`
 type Config struct {
 	Scale int   // prescriptions; the paper uses 1,000,000
 	Seed  int64 // dataset seed
+	// Backend selects the storage backend for every database the run
+	// builds (the zero value is the simulated NAND). File-backed runs
+	// give each database its own subdirectory of Backend.Path, since a
+	// device directory holds exactly one database.
+	Backend storage.Config
 }
 
+// buildSeq numbers BuildDB calls so concurrent or repeated file-backed
+// builds never share a device directory.
+var buildSeq atomic.Int64
+
 // BuildDB generates the dataset and loads a GhostDB with the given
-// options.
+// options. The config's backend applies first, so experiment-specific
+// options (including another WithBackend) override it.
 func BuildDB(cfg Config, opts ...core.Option) (*core.DB, *datagen.Dataset, error) {
 	c := datagen.WithScale(cfg.Scale)
 	if cfg.Seed != 0 {
 		c.Seed = cfg.Seed
 	}
 	ds := datagen.Generate(c)
+	if cfg.Backend.IsFile() {
+		bc := cfg.Backend
+		bc.Path = filepath.Join(bc.Path, fmt.Sprintf("db%03d", buildSeq.Add(1)))
+		opts = append([]core.Option{core.WithBackend(bc)}, opts...)
+	}
 	db, err := core.Open(opts...)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,267 @@
+package bench
+
+// Remote experiment runners: the aggregate and DML workloads re-phrased
+// over ghostdb-server's wire protocol, so a long-lived server can be
+// profiled in place with the same tables the in-process experiments
+// print. Wall times include the HTTP round trip (that is the point);
+// simulated device time comes back in the query responses, and host
+// allocation counts are meaningless across a process boundary, so they
+// stay zero.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/server"
+)
+
+// remote is a minimal wire-protocol client for the experiment runners.
+// Like the loadgen client it honors 429 Retry-After throttling.
+type remote struct {
+	base string
+	hc   *http.Client
+}
+
+func newRemote(base string) *remote {
+	return &remote{
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: 5 * time.Minute},
+	}
+}
+
+// post sends one JSON request, retrying while the server throttles, and
+// decodes the response into out.
+func (r *remote) post(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	for {
+		resp, err := r.hc.Post(r.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			backoff := retryAfterOf(resp)
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			time.Sleep(backoff)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			var werr server.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&werr)
+			resp.Body.Close()
+			return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, werr.Error)
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return err
+	}
+}
+
+func (r *remote) query(sql string) (*server.QueryResponse, error) {
+	var resp server.QueryResponse
+	if err := r.post("/v1/query", server.QueryRequest{SQL: sql}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *remote) exec(sql string) (int64, error) {
+	var resp server.ExecResponse
+	if err := r.post("/v1/exec", server.QueryRequest{SQL: sql}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.RowsAffected, nil
+}
+
+func (r *remote) checkpoint() (int64, error) {
+	var resp server.CheckpointResponse
+	if err := r.post("/v1/checkpoint", struct{}{}, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Absorbed, nil
+}
+
+// scalarInt runs a single-row single-column query (COUNT/MAX) remotely.
+func (r *remote) scalarInt(sql string) (int64, error) {
+	resp, err := r.query(sql)
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Rows) != 1 || len(resp.Rows[0]) != 1 {
+		return 0, fmt.Errorf("%q: unexpected scalar shape %v", sql, resp.Rows)
+	}
+	switch v := resp.Rows[0][0].(type) {
+	case float64:
+		return int64(v), nil
+	case json.Number:
+		return v.Int64()
+	default:
+		return 0, fmt.Errorf("%q: non-numeric scalar %T", sql, v)
+	}
+}
+
+// AggregateWorkloadURL runs the analytics workload against a running
+// ghostdb-server: same queries, wall clock measured across the wire,
+// simulated device time from the responses. RAM high-water marks are
+// not exposed over the wire and stay zero.
+func AggregateWorkloadURL(base string) ([]AggregateRow, error) {
+	r := newRemote(base)
+	var out []AggregateRow
+	for _, aq := range AggregateQueries {
+		start := time.Now()
+		resp, err := r.query(aq.Query)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", aq.Name, err)
+		}
+		out = append(out, AggregateRow{
+			Name:    aq.Name,
+			SimTime: time.Duration(resp.SimNS),
+			Wall:    time.Since(start),
+			Rows:    len(resp.Rows),
+		})
+	}
+	return out, nil
+}
+
+// DMLWorkloadURL runs the mixed live-DML workload against a running
+// ghostdb-server, mutating it in place: inserts sized from the server's
+// own Prescription cardinality, updates, deletes with cascade, dirty
+// queries, CHECKPOINT over the wire, merged queries. Host allocations
+// and per-exec simulated time are not visible across the wire and stay
+// zero; query phases report the device time the responses carry.
+func DMLWorkloadURL(base string) ([]DMLPhase, error) {
+	r := newRemote(base)
+	var phases []DMLPhase
+	measure := func(name string, f func() (ops int, rows int64, sim int64, err error)) error {
+		start := time.Now()
+		ops, rows, sim, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		phases = append(phases, DMLPhase{
+			Name:   name,
+			Ops:    ops,
+			Rows:   rows,
+			WallNS: time.Since(start).Nanoseconds(),
+			SimNS:  sim,
+		})
+		return nil
+	}
+
+	scale, err := r.scalarInt("SELECT COUNT(*) FROM Prescription Pre")
+	if err != nil {
+		return nil, err
+	}
+	medN, err := r.scalarInt("SELECT COUNT(*) FROM Medicine Med")
+	if err != nil {
+		return nil, err
+	}
+	visN, err := r.scalarInt("SELECT COUNT(*) FROM Visit Vis")
+	if err != nil {
+		return nil, err
+	}
+	next, err := r.scalarInt("SELECT MAX(Pre.PreID) FROM Prescription Pre")
+	if err != nil {
+		return nil, err
+	}
+	next++
+	inserts := int(scale / 100)
+	if inserts < 100 {
+		inserts = 100
+	}
+
+	if err := measure("insert", func() (int, int64, int64, error) {
+		var total int64
+		for i := 0; i < inserts; i++ {
+			id := int(next) + i
+			stmt := fmt.Sprintf(
+				"INSERT INTO Prescription VALUES (%d, %d, %d, DATE '2007-%02d-%02d', %d, %d)",
+				id, 1+i%100, 1+i%4, 1+i%12, 1+i%28, 1+int64(i)%medN, 1+int64(i)%visN)
+			n, err := r.exec(stmt)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			total += n
+		}
+		return inserts, total, 0, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("update", func() (int, int64, int64, error) {
+		var total int64
+		stmts := []string{
+			"UPDATE Prescription SET Quantity = 1 WHERE Quantity > 95",
+			"UPDATE Visit SET Purpose = 'Checkup' WHERE Date > 2007-06-01",
+		}
+		for _, s := range stmts {
+			n, err := r.exec(s)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			total += n
+		}
+		return len(stmts), total, 0, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("delete", func() (int, int64, int64, error) {
+		var total int64
+		stmts := []string{
+			"DELETE FROM Prescription WHERE Quantity BETWEEN 90 AND 94",
+			"DELETE FROM Medicine WHERE Type = 'Vaccine'",
+		}
+		for _, s := range stmts {
+			n, err := r.exec(s)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			total += n
+		}
+		return len(stmts), total, 0, nil
+	}); err != nil {
+		return nil, err
+	}
+
+	queries := func() (int, int64, int64, error) {
+		qs := []string{
+			DemoQuery,
+			"SELECT Pre.PreID, Pre.Quantity FROM Prescription Pre WHERE Pre.Quantity < 10",
+			"SELECT COUNT(*), AVG(Pre.Quantity) FROM Prescription Pre WHERE Pre.Quantity > 2",
+		}
+		var sim int64
+		for _, q := range qs {
+			resp, err := r.query(q)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			sim += resp.SimNS
+		}
+		return len(qs), 0, sim, nil
+	}
+	if err := measure("query-dirty", queries); err != nil {
+		return nil, err
+	}
+
+	if err := measure("checkpoint", func() (int, int64, int64, error) {
+		n, err := r.checkpoint()
+		return 1, n, 0, err
+	}); err != nil {
+		return nil, err
+	}
+
+	if err := measure("query-merged", queries); err != nil {
+		return nil, err
+	}
+	return phases, nil
+}

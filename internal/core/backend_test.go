@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/ghostdb/ghostdb/internal/fault"
+	"github.com/ghostdb/ghostdb/internal/storage"
+)
+
+// testBackendOptions maps the GHOSTDB_TEST_BACKEND environment variable
+// onto engine options, so CI can run the whole suite against the file
+// backend ("file") as well as the default simulation ("sim" or unset).
+func testBackendOptions(t *testing.T) []Option {
+	t.Helper()
+	switch be := os.Getenv("GHOSTDB_TEST_BACKEND"); be {
+	case "", "sim":
+		return nil
+	case "file":
+		return []Option{WithBackend(storage.File(filepath.Join(t.TempDir(), "dev"), false))}
+	default:
+		t.Fatalf("GHOSTDB_TEST_BACKEND=%q (want sim or file)", be)
+		return nil
+	}
+}
+
+// fileBackendDir returns a fresh device directory for one file-backed DB.
+func fileBackendDir(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "dev")
+}
+
+// TestFileSimEquivalence is the cross-backend differential gate: the
+// same dataset and query corpus must return identical rows whether the
+// pages live on the simulated NAND or in real files.
+func TestFileSimEquivalence(t *testing.T) {
+	sim := buildRecoverDB(t)
+	file := buildRecoverDB(t, WithBackend(storage.File(fileBackendDir(t), false)))
+	defer file.Close()
+	assertCorpusEqual(t, corpusOf(t, sim), corpusOf(t, file))
+
+	// And after a round of DML plus CHECKPOINT on both.
+	for _, db := range []*DB{sim, file} {
+		if _, err := db.Exec(`INSERT INTO Visit VALUES (7, DATE '2007-03-03', 'Checkup', 12.5, 1)`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(`DELETE FROM Visit WHERE VisID = 2`); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertCorpusEqual(t, corpusOf(t, sim), corpusOf(t, file))
+}
+
+// TestFileBackendCloseReopen is the persistence acceptance test: a
+// file-backed database survives Close and comes back — schema, committed
+// base data and checkpointed DML — through OpenPath, and stays usable
+// (queries and further DML) afterwards.
+func TestFileBackendCloseReopen(t *testing.T) {
+	dir := fileBackendDir(t)
+	db := buildRecoverDB(t, WithBackend(storage.File(dir, false)))
+
+	if _, err := db.Exec(`INSERT INTO Visit VALUES (7, DATE '2007-04-04', 'Reopen', 3.5, 2)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := corpusOf(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ndb, info, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if info.Version != 1 || info.RolledBack {
+		t.Fatalf("reopened at version %d (rolled back %v), want clean version 1", info.Version, info.RolledBack)
+	}
+	assertCorpusEqual(t, want, corpusOf(t, ndb))
+
+	// The reopened database is live: DML and CHECKPOINT keep working.
+	if _, err := ndb.Exec(`INSERT INTO Visit VALUES (8, DATE '2007-05-05', 'Alive', 1.25, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ndb.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ndb.Query(`SELECT Vis.Purpose FROM Visit Vis WHERE Vis.VisID > 0`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range res.Rows {
+		if fmt.Sprintf("%v", r[0]) == "Alive" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("post-reopen insert missing from %v", res.Rows)
+	}
+}
+
+// TestFileBackendUncommittedLost pins the durability boundary: delta
+// mutations made after the last CHECKPOINT are volatile by design, so a
+// close-and-reopen rolls back to the committed version.
+func TestFileBackendUncommittedLost(t *testing.T) {
+	dir := fileBackendDir(t)
+	db := buildRecoverDB(t, WithBackend(storage.File(dir, false)))
+	committed := corpusOf(t, db)
+	if _, err := db.Exec(`INSERT INTO Visit VALUES (7, DATE '2007-06-06', 'Volatile', 9.75, 3)`); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	ndb, info, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if info.Version != 0 {
+		t.Fatalf("reopened at version %d, want 0", info.Version)
+	}
+	assertCorpusEqual(t, committed, corpusOf(t, ndb))
+}
+
+// TestFileBackendSnapshotRecover runs the in-memory Snapshot/Recover
+// round trip against the file backend: imaging real files, rebuilding
+// into a fresh directory.
+func TestFileBackendSnapshotRecover(t *testing.T) {
+	db := buildRecoverDB(t, WithBackend(storage.File(fileBackendDir(t), false)))
+	defer db.Close()
+	if _, err := db.Exec(`DELETE FROM Visit WHERE VisID = 3`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := corpusOf(t, db)
+
+	snap, err := db.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recover into a different directory (the snapshot's own path is
+	// still live under db) and onto the simulated backend, proving the
+	// image is backend-portable both ways.
+	ndb, info, err := Recover(snap, WithBackend(storage.File(fileBackendDir(t), false)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if info.Version != 1 {
+		t.Fatalf("recovered version %d, want 1", info.Version)
+	}
+	assertCorpusEqual(t, want, corpusOf(t, ndb))
+
+	sdb, _, err := Recover(snap, WithBackend(storage.Sim()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sdb.Close()
+	assertCorpusEqual(t, want, corpusOf(t, sdb))
+}
+
+// TestFileBackendShardedReopen shards a file-backed database over two
+// device directories and reopens it from disk.
+func TestFileBackendShardedReopen(t *testing.T) {
+	dir := fileBackendDir(t)
+	db := buildRecoverDB(t, WithShards(2), WithBackend(storage.File(dir, false)))
+	if _, err := db.Exec(`INSERT INTO Visit VALUES (7, DATE '2007-07-07', 'Shards', 2.5, 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := corpusOf(t, db)
+	db.Close()
+
+	for i := 0; i < 2; i++ {
+		if !PathHoldsDatabase(filepath.Join(dir, fmt.Sprintf("shard%d", i))) {
+			t.Fatalf("shard%d directory missing", i)
+		}
+	}
+	ndb, info, err := OpenPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if info.Version != 1 || len(info.ShardVersions) != 2 {
+		t.Fatalf("reopened version %d shards %v", info.Version, info.ShardVersions)
+	}
+	assertCorpusEqual(t, want, corpusOf(t, ndb))
+
+	// A shard-count override that disagrees with the on-disk layout must
+	// fail loudly instead of silently resharding.
+	if _, _, err := OpenPath(dir, WithShards(3)); err == nil {
+		t.Fatal("OpenPath accepted a wrong shard count")
+	}
+}
+
+// TestOpenPathErrors pins the error cases: no database at the path, and
+// a shard option against a single-device directory.
+func TestOpenPathErrors(t *testing.T) {
+	if _, _, err := OpenPath(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("OpenPath on an empty path succeeded")
+	}
+	dir := fileBackendDir(t)
+	db := buildRecoverDB(t, WithBackend(storage.File(dir, false)))
+	db.Close()
+	if _, _, err := OpenPath(dir, WithShards(2)); err == nil {
+		t.Fatal("OpenPath accepted shards over a single-device directory")
+	}
+}
+
+// TestFileBackendPowerCutTorture is the file-backend crash-consistency
+// gate: sweep power cuts across the whole operational op range, and
+// after every single one, reopening FROM THE FILES must land on exactly
+// the last committed version's state — never a torn mix, never a lost
+// commit. With the default trial counts the single- and two-shard sweeps
+// together make 200 random cut points.
+func runFilePowerCutTorture(t *testing.T, shards, trials int) {
+	opts := []Option{}
+	if shards > 1 {
+		opts = append(opts, WithShards(shards))
+	}
+
+	// Oracle runs the same schedule fault-free; rows are backend-
+	// independent, so the cheap simulated backend serves as reference.
+	oracle := buildRecoverDB(t, opts...)
+	corpora := make([][]string, 0, tortureRounds+1)
+	if c, died := tortureSchedule(t, oracle, func(int) {
+		corpora = append(corpora, corpusOf(t, oracle))
+	}); died || c != tortureRounds {
+		t.Fatalf("oracle run died=%v committed=%d", died, c)
+	}
+	probe := buildRecoverDB(t, append(opts[:len(opts):len(opts)], WithFaultPlan(&fault.Plan{}))...)
+	tortureSchedule(t, probe, nil)
+	opRange := maxShardOps(probe) + maxShardOps(probe)/20 + 2
+
+	for i := 0; i < trials; i++ {
+		cutop := 1 + int64(i)*opRange/int64(trials)
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("cut%d", i))
+		plan := &fault.Plan{CutAtOp: cutop}
+		db := buildRecoverDB(t, append(opts[:len(opts):len(opts)],
+			WithFaultPlan(plan), WithBackend(storage.File(dir, false)))...)
+		committed, died := tortureSchedule(t, db, nil)
+		if !died && committed != tortureRounds {
+			t.Fatalf("cutop=%d: alive but committed %d/%d", cutop, committed, tortureRounds)
+		}
+		db.Close()
+
+		ndb, info, err := OpenPath(dir)
+		if err != nil {
+			t.Fatalf("cutop=%d (died=%v, committed=%d): reopen: %v", cutop, died, committed, err)
+		}
+		if int(info.Version) != committed {
+			t.Fatalf("cutop=%d: reopened version %d, want %d (died=%v, shard versions %v)",
+				cutop, info.Version, committed, died, info.ShardVersions)
+		}
+		got := corpusOf(t, ndb)
+		want := corpora[committed]
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("cutop=%d: reopened corpus diverged at version %d, query %d:\nwant %s\ngot  %s",
+					cutop, committed, q, want[q], got[q])
+			}
+		}
+		ndb.Close()
+	}
+}
+
+func TestFilePowerCutTortureSingle(t *testing.T)  { runFilePowerCutTorture(t, 1, tortureTrials(t)) }
+func TestFilePowerCutTortureSharded(t *testing.T) { runFilePowerCutTorture(t, 2, tortureTrials(t)) }

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -29,6 +30,8 @@ import (
 	"github.com/ghostdb/ghostdb/internal/sim"
 	"github.com/ghostdb/ghostdb/internal/skt"
 	"github.com/ghostdb/ghostdb/internal/sql"
+	"github.com/ghostdb/ghostdb/internal/storage"
+	"github.com/ghostdb/ghostdb/internal/storage/filedev"
 	"github.com/ghostdb/ghostdb/internal/store"
 	"github.com/ghostdb/ghostdb/internal/trace"
 	"github.com/ghostdb/ghostdb/internal/value"
@@ -97,6 +100,14 @@ type Options struct {
 	// the durability machinery's overhead; with it off, torn writes and
 	// bit flips go undetected.
 	DisableIntegrity bool
+	// Backend selects the storage backend under the device's flash
+	// allocator. The zero value (or Kind "sim") is the simulated NAND
+	// chip, whose operations charge the simulated clock. Kind "file"
+	// stores pages in real files under Backend.Path — Open CREATES the
+	// device there, wiping any previous contents; OpenPath reopens an
+	// existing file-backed database. A sharded file-backed DB puts each
+	// child device in a "shardN" subdirectory of Path.
+	Backend storage.Config
 }
 
 // Option mutates Options.
@@ -176,6 +187,12 @@ func WithDegradedReads(on bool) Option {
 // per-page checksums (see Options.DisableIntegrity).
 func WithIntegrity(on bool) Option {
 	return func(o *Options) { o.DisableIntegrity = !on }
+}
+
+// WithBackend selects the storage backend (see Options.Backend). The
+// usual configs are storage.Sim() and storage.File(path, fsync).
+func WithBackend(cfg storage.Config) Option {
+	return func(o *Options) { o.Backend = cfg }
 }
 
 // WithMetrics enables (the default) or disables the engine-wide metrics
@@ -336,7 +353,22 @@ func Open(options ...Option) (*DB, error) {
 // openResolved builds a DB from fully resolved options. Open and
 // Recover both land here.
 func openResolved(opts Options) (*DB, error) {
-	db, err := openSingle(opts)
+	if err := opts.Backend.Validate(); err != nil {
+		return nil, err
+	}
+	coordOpts := opts
+	if opts.Shards > 1 && opts.Backend.IsFile() {
+		// The coordinator owns no flash worth persisting — its device
+		// stays empty — so it always runs on the simulated backend; the
+		// children get one shardN subdirectory each. A fresh sharded open
+		// clears the whole path so stale shard directories from an earlier
+		// layout cannot survive.
+		coordOpts.Backend = storage.Sim()
+		if err := filedev.Wipe(opts.Backend.Path); err != nil {
+			return nil, fmt.Errorf("core: clearing %s: %w", opts.Backend.Path, err)
+		}
+	}
+	db, err := openSingle(coordOpts)
 	if err != nil {
 		return nil, err
 	}
@@ -353,6 +385,9 @@ func openResolved(opts Options) (*DB, error) {
 		copts.SlowQueryThreshold = 0
 		children := make([]*DB, opts.Shards)
 		for i := range children {
+			if opts.Backend.IsFile() {
+				copts.Backend.Path = shardPath(opts.Backend.Path, i)
+			}
 			c, err := openSingle(copts)
 			if err != nil {
 				return nil, err
@@ -440,10 +475,35 @@ func IsFaultFatal(err error) bool {
 	return fault.IsFatal(err) || errors.Is(err, flash.ErrCorrupt)
 }
 
+// shardPath returns shard i's device directory under a sharded file
+// backend's root path.
+func shardPath(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("shard%d", i))
+}
+
 // openSingle builds one single-device engine from resolved options.
 func openSingle(opts Options) (*DB, error) {
 	clock := sim.NewClock()
-	dev, err := device.New(opts.Profile, clock)
+	var dev *device.Device
+	var err error
+	if opts.Backend.IsFile() {
+		// Open creates the device: any previous contents at the path are
+		// wiped first (reopening an existing database is OpenPath's job,
+		// which lifts the flash images before landing here).
+		if err := filedev.Wipe(opts.Backend.Path); err != nil {
+			return nil, fmt.Errorf("core: clearing %s: %w", opts.Backend.Path, err)
+		}
+		fd, ferr := filedev.Open(opts.Backend.Path, opts.Profile.Flash, opts.Backend.Fsync)
+		if ferr != nil {
+			return nil, ferr
+		}
+		dev, err = device.NewWithBackend(opts.Profile, clock, fd)
+		if err != nil {
+			fd.Close()
+		}
+	} else {
+		dev, err = device.New(opts.Profile, clock)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -643,7 +703,15 @@ func (db *DB) Close() error {
 			c.Close()
 		}
 	}
-	return nil
+	// Flush and release the storage backend (a no-op on the simulated
+	// device; the file backend syncs dirty segments if asked to and drops
+	// its segment handles). Committed state was already made durable at
+	// each commit point, so a Sync error here is not fatal to the data.
+	err := db.dev.Flash.Sync()
+	if cerr := db.dev.Flash.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // StorageBreakdown reports the device flash footprint by structure.

@@ -29,7 +29,7 @@ const paperQuery = `SELECT
 func loadTiny(t *testing.T, opts ...Option) (*DB, *oracle.Oracle, *datagen.Dataset) {
 	t.Helper()
 	ds := datagen.Generate(datagen.Tiny())
-	db, err := Open(opts...)
+	db, err := Open(append(testBackendOptions(t), opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

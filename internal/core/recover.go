@@ -16,15 +16,15 @@ import (
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/device"
-	"github.com/ghostdb/ghostdb/internal/flash"
 	"github.com/ghostdb/ghostdb/internal/schema"
+	"github.com/ghostdb/ghostdb/internal/storage"
 	"github.com/ghostdb/ghostdb/internal/value"
 )
 
 // shardState is one device's crash-surviving state: its flash image and
 // the server-side visible columns of its recent committed versions.
 type shardState struct {
-	img *flash.Image
+	img storage.Image
 	vis map[uint64]map[string]map[string][]value.Value
 }
 
@@ -61,11 +61,20 @@ func (db *DB) Snapshot() (*Snapshot, error) {
 		defer ss.mu.RUnlock()
 		for _, c := range ss.children {
 			c.mu.Lock()
-			snap.shards = append(snap.shards, shardState{img: c.dev.Flash.Image(), vis: cloneCommittedVis(c.committedVis)})
+			img, err := c.dev.Flash.Image()
+			vis := cloneCommittedVis(c.committedVis)
 			c.mu.Unlock()
+			if err != nil {
+				return nil, fmt.Errorf("core: snapshot: imaging shard: %w", err)
+			}
+			snap.shards = append(snap.shards, shardState{img: img, vis: vis})
 		}
 	} else {
-		snap.shards = []shardState{{img: db.dev.Flash.Image(), vis: cloneCommittedVis(db.committedVis)}}
+		img, err := db.dev.Flash.Image()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot: imaging device: %w", err)
+		}
+		snap.shards = []shardState{{img: img, vis: cloneCommittedVis(db.committedVis)}}
 	}
 	return snap, nil
 }

@@ -67,7 +67,9 @@ func assertCorpusEqual(t *testing.T, want, got []string) {
 
 func buildRecoverDB(t *testing.T, opts ...Option) *DB {
 	t.Helper()
-	db, err := Open(opts...)
+	// Environment-selected backend first, so an explicit WithBackend in
+	// opts (as the file-backend tests pass) always wins.
+	db, err := Open(append(testBackendOptions(t), opts...)...)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,6 +19,7 @@ import (
 
 	"github.com/ghostdb/ghostdb/internal/device"
 	"github.com/ghostdb/ghostdb/internal/flash"
+	"github.com/ghostdb/ghostdb/internal/storage"
 	"github.com/ghostdb/ghostdb/internal/store"
 	"github.com/ghostdb/ghostdb/internal/value"
 )
@@ -172,6 +173,15 @@ func (db *DB) writeCommitRecord() error {
 		}
 		page++
 	}
+	// The record is the commit point: flush it (and the state it points
+	// at) through whatever durability boundary the backend has, then
+	// refresh the host-side sidecar a file-backed database reopens from.
+	if err := db.dev.Flash.Sync(); err != nil {
+		return fmt.Errorf("core: commit record: sync: %w", err)
+	}
+	if err := db.persistSidecar(); err != nil {
+		return fmt.Errorf("core: commit record: %w", err)
+	}
 	return nil
 }
 
@@ -179,7 +189,7 @@ func (db *DB) writeCommitRecord() error {
 // image. It returns (nil, nil) for a never-programmed slot, and an error
 // for a slot that holds data but fails any validation step — a torn or
 // corrupted record.
-func decodeCommitRecord(img *flash.Image, slot int) (*commitRecord, error) {
+func decodeCommitRecord(img storage.Image, slot int) (*commitRecord, error) {
 	p := img.Params()
 	first := slot * p.PagesPerBlock
 	if !img.PageProgrammed(first) {
@@ -250,7 +260,7 @@ func fixedKindWidth(kind value.Kind) (int, error) {
 
 // decodeFixedColumn reads a packed fixed-width column out of a flash
 // image, verifying every touched page's OOB checksum.
-func decodeFixedColumn(img *flash.Image, ext flash.Extent, kind value.Kind, n int) ([]value.Value, error) {
+func decodeFixedColumn(img storage.Image, ext flash.Extent, kind value.Kind, n int) ([]value.Value, error) {
 	w, err := fixedKindWidth(kind)
 	if err != nil {
 		return nil, err
@@ -281,7 +291,7 @@ func decodeFixedColumn(img *flash.Image, ext flash.Extent, kind value.Kind, n in
 
 // decodeVarColumn reads an offset-array-plus-heap column out of a flash
 // image, verifying every touched page's OOB checksum.
-func decodeVarColumn(img *flash.Image, offExt, dataExt flash.Extent, n int) ([]value.Value, error) {
+func decodeVarColumn(img storage.Image, offExt, dataExt flash.Extent, n int) ([]value.Value, error) {
 	if int64(n+1)*4 > offExt.Len {
 		return nil, fmt.Errorf("core: var column offset extent %d B short of %d rows", offExt.Len, n)
 	}
@@ -310,7 +320,7 @@ func decodeVarColumn(img *flash.Image, offExt, dataExt flash.Extent, n int) ([]v
 }
 
 // decodeRootGlobals reads the packed local→global root mapping region.
-func decodeRootGlobals(img *flash.Image, ext flash.Extent, count int) ([]uint32, error) {
+func decodeRootGlobals(img storage.Image, ext flash.Extent, count int) ([]uint32, error) {
 	if int64(count)*4 > ext.Len {
 		return nil, fmt.Errorf("core: root mapping extent %d B short of %d entries", ext.Len, count)
 	}

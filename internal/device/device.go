@@ -12,6 +12,8 @@ import (
 	"github.com/ghostdb/ghostdb/internal/flash"
 	"github.com/ghostdb/ghostdb/internal/ram"
 	"github.com/ghostdb/ghostdb/internal/sim"
+	"github.com/ghostdb/ghostdb/internal/storage"
+	"github.com/ghostdb/ghostdb/internal/storage/simflash"
 )
 
 // Profile bundles every hardware parameter of a simulated device.
@@ -110,13 +112,16 @@ func (p Profile) Validate() error {
 // version never overwrites the previous record.
 const RecordBlocks = 2
 
-// Device is a live simulated smart USB device.
+// Device is a live smart USB device: the secure chip simulation (clock,
+// CPU, RAM arena) over a pluggable storage backend. The default backend
+// is the simulated NAND chip; NewWithBackend accepts any
+// storage.Backend with the profile's geometry (e.g. a filedev device).
 type Device struct {
 	Profile Profile
 	Clock   *sim.Clock
 	CPU     *sim.CPU
 	RAM     *ram.Arena
-	Flash   *flash.Device
+	Flash   storage.Backend
 
 	// Main holds the database and its indexes, written once at load time.
 	// It aliases the active element of Halves: the flash area after the
@@ -132,18 +137,35 @@ type Device struct {
 	active int
 }
 
-// New builds a device from the profile, sharing the given clock (the
-// whole platform — device, buses — advances one clock).
+// New builds a device from the profile with the default simulated-NAND
+// backend, sharing the given clock (the whole platform — device, buses —
+// advances one clock).
 func New(p Profile, clock *sim.Clock) (*Device, error) {
+	if clock == nil {
+		clock = sim.NewClock()
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	fd, err := simflash.New(p.Flash, clock)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithBackend(p, clock, fd)
+}
+
+// NewWithBackend builds a device over an already-constructed storage
+// backend, whose geometry must match the profile's flash parameters.
+func NewWithBackend(p Profile, clock *sim.Clock, fd storage.Backend) (*Device, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	if clock == nil {
 		clock = sim.NewClock()
 	}
-	fd, err := flash.New(p.Flash, clock)
-	if err != nil {
-		return nil, err
+	if bp := fd.Params(); bp.PageSize != p.Flash.PageSize || bp.PagesPerBlock != p.Flash.PagesPerBlock || bp.Blocks != p.Flash.Blocks {
+		return nil, fmt.Errorf("device: backend geometry %d/%d/%d does not match profile %d/%d/%d",
+			bp.PageSize, bp.PagesPerBlock, bp.Blocks, p.Flash.PageSize, p.Flash.PagesPerBlock, p.Flash.Blocks)
 	}
 	mainBlocks := p.Flash.Blocks - p.ScratchBlocks
 	if mainBlocks < RecordBlocks+2 {

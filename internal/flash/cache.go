@@ -2,6 +2,8 @@ package flash
 
 import (
 	"fmt"
+
+	"github.com/ghostdb/ghostdb/internal/storage"
 )
 
 // Cache is a small LRU page cache used for random flash access (SKT
@@ -9,7 +11,8 @@ import (
 // has only a handful of frames — their RAM is charged against the device
 // arena by the store layer that owns the cache.
 type Cache struct {
-	d      *Device
+	d      storage.Backend
+	p      Params
 	frames [][]byte
 	pages  []int   // page number held by each frame, -1 when empty
 	stamp  []int64 // last-use tick per frame
@@ -20,25 +23,26 @@ type Cache struct {
 }
 
 // NewCache returns a cache with the given number of page frames.
-func NewCache(d *Device, frames int) (*Cache, error) {
+func NewCache(d storage.Backend, frames int) (*Cache, error) {
 	if frames <= 0 {
 		return nil, fmt.Errorf("flash: cache needs at least one frame, got %d", frames)
 	}
 	c := &Cache{
 		d:      d,
+		p:      d.Params(),
 		frames: make([][]byte, frames),
 		pages:  make([]int, frames),
 		stamp:  make([]int64, frames),
 	}
 	for i := range c.frames {
-		c.frames[i] = make([]byte, d.p.PageSize)
+		c.frames[i] = make([]byte, c.p.PageSize)
 		c.pages[i] = -1
 	}
 	return c, nil
 }
 
 // FootprintBytes reports the RAM the cache frames occupy.
-func (c *Cache) FootprintBytes() int { return len(c.frames) * c.d.p.PageSize }
+func (c *Cache) FootprintBytes() int { return len(c.frames) * c.p.PageSize }
 
 // Hits reports cache hits since creation or the last ResetStats.
 func (c *Cache) Hits() int64 { return c.hits }
@@ -82,10 +86,10 @@ func (c *Cache) page(page int) ([]byte, error) {
 
 // ReadAt fills dst from addr, serving whole pages through the cache.
 func (c *Cache) ReadAt(dst []byte, addr int64) error {
-	if addr < 0 || addr+int64(len(dst)) > c.d.p.TotalBytes() {
+	if addr < 0 || addr+int64(len(dst)) > c.p.TotalBytes() {
 		return fmt.Errorf("%w: cached read [%d, %d)", ErrOutOfRange, addr, addr+int64(len(dst)))
 	}
-	ps := int64(c.d.p.PageSize)
+	ps := int64(c.p.PageSize)
 	for len(dst) > 0 {
 		page := int(addr / ps)
 		off := int(addr % ps)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"github.com/ghostdb/ghostdb/internal/storage"
 )
 
 // readerPool recycles Reader structs (and their page buffers) across
@@ -15,7 +17,8 @@ var readerPool sync.Pool
 // scanning a region (posting list, sort run, spilled intermediate) with
 // one page of RAM; the caller accounts that page against the device arena.
 type Reader struct {
-	d   *Device
+	d   storage.Backend
+	p   Params
 	ext Extent
 	off int64 // read position within the extent
 
@@ -28,16 +31,17 @@ type Reader struct {
 // come from a pool; callers charge PageSize bytes to their arena per
 // concurrently open reader (exec does this via its stream grants) and
 // should call Release when done streaming so both are recycled.
-func NewReader(d *Device, ext Extent) *Reader {
-	n := d.p.PageSize
+func NewReader(d storage.Backend, ext Extent) *Reader {
+	p := d.Params()
+	n := p.PageSize
 	if v := readerPool.Get(); v != nil {
 		r := v.(*Reader)
 		if cap(r.buf) >= n {
-			*r = Reader{d: d, ext: ext, buf: r.buf[:n], bufAddr: -1}
+			*r = Reader{d: d, p: p, ext: ext, buf: r.buf[:n], bufAddr: -1}
 			return r
 		}
 	}
-	return &Reader{d: d, ext: ext, buf: make([]byte, n), bufAddr: -1}
+	return &Reader{d: d, p: p, ext: ext, buf: make([]byte, n), bufAddr: -1}
 }
 
 // Release returns the reader (and its page buffer) to the pool. The
@@ -108,7 +112,7 @@ func (r *Reader) Skip(n int64) error {
 // fill ensures the buffer holds the page containing the current position.
 func (r *Reader) fill() error {
 	abs := r.ext.Start + r.off
-	ps := int64(r.d.p.PageSize)
+	ps := int64(r.p.PageSize)
 	pageStart := (abs / ps) * ps
 	if r.bufAddr == pageStart && int(abs-pageStart) < r.bufValid {
 		return nil
@@ -116,8 +120,8 @@ func (r *Reader) fill() error {
 	// Read the whole page: the device streams full pages; partial reads of
 	// the final page of the extent still cost a page access.
 	n := ps
-	if pageStart+n > r.d.p.TotalBytes() {
-		n = r.d.p.TotalBytes() - pageStart
+	if pageStart+n > r.p.TotalBytes() {
+		n = r.p.TotalBytes() - pageStart
 	}
 	if err := r.d.ReadAt(r.buf[:n], pageStart); err != nil {
 		return err

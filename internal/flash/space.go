@@ -3,6 +3,8 @@ package flash
 import (
 	"fmt"
 	"sync"
+
+	"github.com/ghostdb/ghostdb/internal/storage"
 )
 
 // writerPool recycles Writer structs and their page buffers across
@@ -25,7 +27,8 @@ func (e Extent) End() int64 { return e.Start + e.Len }
 // and spilled intermediates, erased between uses). Regions are page
 // aligned; within a region bytes are contiguous.
 type Space struct {
-	d          *Device
+	d          storage.Backend
+	p          Params
 	firstBlock int
 	blocks     int
 	nextPage   int // absolute page index of the next free page
@@ -33,38 +36,40 @@ type Space struct {
 }
 
 // NewSpace carves a space out of blocks [firstBlock, firstBlock+blocks).
-func NewSpace(d *Device, firstBlock, blocks int) (*Space, error) {
-	if firstBlock < 0 || blocks <= 0 || firstBlock+blocks > d.p.Blocks {
+func NewSpace(d storage.Backend, firstBlock, blocks int) (*Space, error) {
+	p := d.Params()
+	if firstBlock < 0 || blocks <= 0 || firstBlock+blocks > p.Blocks {
 		return nil, fmt.Errorf("flash: space [%d,%d) outside device", firstBlock, firstBlock+blocks)
 	}
 	return &Space{
 		d:          d,
+		p:          p,
 		firstBlock: firstBlock,
 		blocks:     blocks,
-		nextPage:   firstBlock * d.p.PagesPerBlock,
+		nextPage:   firstBlock * p.PagesPerBlock,
 	}, nil
 }
 
-// Device returns the underlying flash device.
-func (s *Space) Device() *Device { return s.d }
+// Device returns the underlying storage backend.
+func (s *Space) Device() storage.Backend { return s.d }
 
 func (s *Space) limitPage() int {
-	return (s.firstBlock + s.blocks) * s.d.p.PagesPerBlock
+	return (s.firstBlock + s.blocks) * s.p.PagesPerBlock
 }
 
 // UsedPages reports the number of pages consumed so far.
 func (s *Space) UsedPages() int {
-	return s.nextPage - s.firstBlock*s.d.p.PagesPerBlock
+	return s.nextPage - s.firstBlock*s.p.PagesPerBlock
 }
 
 // UsedBytes reports the page-aligned footprint of the space.
 func (s *Space) UsedBytes() int64 {
-	return int64(s.UsedPages()) * int64(s.d.p.PageSize)
+	return int64(s.UsedPages()) * int64(s.p.PageSize)
 }
 
 // FreeBytes reports how many bytes can still be appended.
 func (s *Space) FreeBytes() int64 {
-	return int64(s.limitPage()-s.nextPage) * int64(s.d.p.PageSize)
+	return int64(s.limitPage()-s.nextPage) * int64(s.p.PageSize)
 }
 
 // AppendRegion writes data as a new page-aligned region and returns its
@@ -96,7 +101,7 @@ func (s *Space) Reset() error {
 	if s.writerOpen {
 		return ErrWriterOpen
 	}
-	ppb := s.d.p.PagesPerBlock
+	ppb := s.p.PagesPerBlock
 	usedBlocks := (s.UsedPages() + ppb - 1) / ppb
 	for i := 0; i < usedBlocks; i++ {
 		if err := s.d.EraseBlock(s.firstBlock + i); err != nil {
@@ -124,17 +129,17 @@ func (s *Space) NewWriter() (*Writer, error) {
 		return nil, ErrWriterOpen
 	}
 	s.writerOpen = true
-	start := int64(s.nextPage) * int64(s.d.p.PageSize)
+	start := int64(s.nextPage) * int64(s.p.PageSize)
 	if v := writerPool.Get(); v != nil {
 		w := v.(*Writer)
-		if cap(w.buf) >= s.d.p.PageSize {
+		if cap(w.buf) >= s.p.PageSize {
 			*w = Writer{s: s, buf: w.buf[:0], start: start}
 			return w, nil
 		}
 	}
 	return &Writer{
 		s:     s,
-		buf:   make([]byte, 0, s.d.p.PageSize),
+		buf:   make([]byte, 0, s.p.PageSize),
 		start: start,
 	}, nil
 }
@@ -146,7 +151,7 @@ func (w *Writer) Write(p []byte) (int, error) {
 		return 0, ErrWriterDone
 	}
 	total := 0
-	ps := w.s.d.p.PageSize
+	ps := w.s.p.PageSize
 	for len(p) > 0 {
 		room := ps - len(w.buf)
 		take := room

@@ -1,0 +1,436 @@
+package filedev
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/ghostdb/ghostdb/internal/fault"
+	"github.com/ghostdb/ghostdb/internal/storage"
+)
+
+func testParams() storage.Params {
+	return storage.Params{
+		PageSize:      128,
+		PagesPerBlock: 4,
+		Blocks:        16,
+		ReadFixed:     10 * time.Microsecond,
+		ReadPerByte:   10 * time.Nanosecond,
+		ProgFixed:     50 * time.Microsecond,
+		ProgPerByte:   50 * time.Nanosecond,
+		EraseFixed:    500 * time.Microsecond,
+	}
+}
+
+func newTestDevice(t *testing.T) (*Device, string) {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "dev")
+	d, err := Open(dir, testParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d, dir
+}
+
+// reopen closes d and opens the same directory again.
+func reopen(t *testing.T, d *Device, dir string) *Device {
+	t.Helper()
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	nd, err := Open(dir, testParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nd.Close() })
+	return nd
+}
+
+func TestNANDContract(t *testing.T) {
+	d, _ := newTestDevice(t)
+	data := bytes.Repeat([]byte{0xAB}, 128)
+	if err := d.ProgramPage(3, data); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 128)
+	if err := d.ReadPage(3, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("read back mismatch")
+	}
+	if !d.PageProgrammed(3) || d.PageProgrammed(4) {
+		t.Error("programmed flags wrong")
+	}
+	// Erased bytes read 0xFF without a backing file.
+	if err := d.ReadAt(got[:10], 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got[:10] {
+		if b != 0xFF {
+			t.Fatalf("erased byte = %#x, want 0xFF", b)
+		}
+	}
+	// Partial program: the tail reads erased.
+	if err := d.ProgramPage(1, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadAt(got[:5], 128); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:5], []byte{1, 2, 3, 0xFF, 0xFF}) {
+		t.Errorf("partial program read % x", got[:5])
+	}
+	// Program-once until erase.
+	if err := d.ProgramPage(3, data); !errors.Is(err, storage.ErrNotErased) {
+		t.Errorf("reprogram: %v, want ErrNotErased", err)
+	}
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(3, []byte("fresh")); err != nil {
+		t.Errorf("program after erase: %v", err)
+	}
+	// Bounds and sizes.
+	if err := d.ProgramPage(64, nil); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Errorf("page past end: %v", err)
+	}
+	if err := d.ProgramPage(2, make([]byte, 129)); !errors.Is(err, storage.ErrPageTooBig) {
+		t.Errorf("oversized program: %v", err)
+	}
+	if err := d.EraseBlock(16); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Errorf("block past end: %v", err)
+	}
+	if err := d.ReadAt(make([]byte, 1), d.Params().TotalBytes()); !errors.Is(err, storage.ErrOutOfRange) {
+		t.Errorf("read past end: %v", err)
+	}
+	if err := d.ReadPage(0, make([]byte, 5)); err == nil {
+		t.Error("short ReadPage buffer accepted")
+	}
+}
+
+// TestReopenPersistence is the point of the backend: programmed pages,
+// their contents and their erased/partial structure all survive a close
+// and reopen of the directory.
+func TestReopenPersistence(t *testing.T) {
+	d, dir := newTestDevice(t)
+	data := bytes.Repeat([]byte{0x5A}, 128)
+	if err := d.ProgramPage(0, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(9, []byte("partial")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(4, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EraseBlock(1); err != nil { // pages 4..7 back to erased
+		t.Fatal(err)
+	}
+
+	d = reopen(t, d, dir)
+	got := make([]byte, 128)
+	if err := d.ReadPage(0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("page 0 lost across reopen")
+	}
+	if err := d.ReadPage(9, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[:7], []byte("partial")) || got[7] != 0xFF {
+		t.Errorf("page 9 = % x", got[:8])
+	}
+	if d.PageProgrammed(4) {
+		t.Error("erase of block 1 lost across reopen")
+	}
+	if err := d.ReadPage(4, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0xFF {
+		t.Errorf("erased page reads %#x after reopen", got[0])
+	}
+	// A page erased before close accepts a fresh program after reopen.
+	if err := d.ProgramPage(4, []byte("again")); err != nil {
+		t.Errorf("program erased page after reopen: %v", err)
+	}
+	// And the program-once rule survives too.
+	if err := d.ProgramPage(0, data); !errors.Is(err, storage.ErrNotErased) {
+		t.Errorf("reprogram after reopen: %v", err)
+	}
+}
+
+// TestReopenReverifiesChecksums: the verified memo is volatile, so a
+// byte corrupted behind the device's back while it was closed is caught
+// by the stored OOB checksum on the first read after reopen.
+func TestReopenReverifiesChecksums(t *testing.T) {
+	d, dir := newTestDevice(t)
+	if err := d.ProgramPage(0, bytes.Repeat([]byte{0x33}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	// Clean read memoizes verification.
+	if err := d.ReadPage(0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one stored data byte directly in the segment file.
+	seg := filepath.Join(dir, "seg-0000.dat")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Page 0's first data byte sits right after the padded OOB table.
+	pagesPerSeg := segBlocks * testParams().PagesPerBlock
+	oobBytes := ((pagesPerSeg*oobEntry + oobAlign - 1) / oobAlign) * oobAlign
+	raw[oobBytes] ^= 0x01
+	if err := os.WriteFile(seg, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	nd, err := Open(dir, testParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if err := nd.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("silent corruption not caught after reopen: %v", err)
+	}
+}
+
+// TestTornProgramReadsErasedAfterReopen mirrors the crash-ordering
+// guarantee: page data is written before the OOB programmed flag, so a
+// crash between the two leaves a page that reads as erased. Simulate the
+// crash by clearing the OOB entry the way an interrupted writeOOB would.
+func TestTornProgramReadsErasedAfterReopen(t *testing.T) {
+	d, dir := newTestDevice(t)
+	if err := d.ProgramPage(0, bytes.Repeat([]byte{0x77}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, "seg-0000.dat")
+	f, err := os.OpenFile(seg, os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(make([]byte, oobEntry), 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	nd, err := Open(dir, testParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+	if nd.PageProgrammed(0) {
+		t.Fatal("page with no OOB flag counts as programmed")
+	}
+	buf := make([]byte, 128)
+	if err := nd.ReadPage(0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[0] != 0xFF {
+		t.Fatalf("torn page reads %#x, want erased 0xFF", buf[0])
+	}
+}
+
+func TestGeometryMismatchRejected(t *testing.T) {
+	d, dir := newTestDevice(t)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p := testParams()
+	p.Blocks = 32
+	if _, err := Open(dir, p, false); err == nil {
+		t.Fatal("reopen with a different geometry succeeded")
+	}
+	// Latency-model changes are fine: only the geometry is pinned.
+	p = testParams()
+	p.ReadFixed = 123 * time.Microsecond
+	nd, err := Open(dir, p, false)
+	if err != nil {
+		t.Fatalf("reopen with a different cost model: %v", err)
+	}
+	nd.Close()
+}
+
+func TestExistsAndWipe(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dev")
+	if Exists(dir) {
+		t.Fatal("Exists on a missing directory")
+	}
+	d, err := Open(dir, testParams(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if !Exists(dir) {
+		t.Fatal("Exists after create")
+	}
+	if err := Wipe(dir); err != nil {
+		t.Fatal(err)
+	}
+	if Exists(dir) {
+		t.Fatal("Exists after Wipe")
+	}
+	if err := Wipe(dir); err != nil {
+		t.Fatal("Wipe of a missing directory must be a no-op")
+	}
+	if err := Wipe(""); err == nil {
+		t.Fatal("Wipe of an empty path accepted")
+	}
+}
+
+func TestTornWriteCaughtByChecksum(t *testing.T) {
+	d, dir := newTestDevice(t)
+	d.SetInjector(fault.New(&fault.Plan{Seed: 3, TornWrite: 1}, 0))
+	if err := d.ProgramPage(0, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
+		t.Fatalf("torn program should succeed silently: %v", err)
+	}
+	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after torn write, got %v", err)
+	}
+	// The tear is persistent: a reopen (without the injector) still sees it.
+	d = reopen(t, d, dir)
+	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("torn write healed by reopen: %v", err)
+	}
+	// Erasing the block clears it.
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(0, make([]byte, 128)); err != nil {
+		t.Fatalf("after erase: %v", err)
+	}
+}
+
+func TestBitFlipRotsTheFile(t *testing.T) {
+	d, dir := newTestDevice(t)
+	if err := d.ProgramPage(0, bytes.Repeat([]byte{0x55}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	d.SetInjector(fault.New(&fault.Plan{Seed: 9, BitFlip: 1}, 0))
+	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt after bit flip, got %v", err)
+	}
+	// The rot was written through to the file: it survives a reopen.
+	d = reopen(t, d, dir)
+	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("bit rot healed by reopen: %v", err)
+	}
+}
+
+func TestPowerCutFreezesDevice(t *testing.T) {
+	d, _ := newTestDevice(t)
+	d.SetInjector(fault.New(&fault.Plan{CutAtOp: 2}, 0))
+	if err := d.ProgramPage(0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(1, []byte("b")); !errors.Is(err, fault.ErrPowerCut) {
+		t.Fatalf("want power cut, got %v", err)
+	}
+	if d.PageProgrammed(1) {
+		t.Fatal("page 1 must not be programmed after the cut")
+	}
+	if err := d.ReadAt(make([]byte, 1), 0); !errors.Is(err, fault.ErrDeviceDead) {
+		t.Fatalf("post-cut read: %v", err)
+	}
+	if err := d.EraseBlock(0); !errors.Is(err, fault.ErrDeviceDead) {
+		t.Fatalf("post-cut erase: %v", err)
+	}
+}
+
+func TestTransientEscalatesToPermanent(t *testing.T) {
+	d, _ := newTestDevice(t)
+	d.SetInjector(fault.New(&fault.Plan{Seed: 1, ReadTransient: 1}, 0))
+	if err := d.ReadAt(make([]byte, 8), 0); !errors.Is(err, fault.ErrPermanent) {
+		t.Fatalf("want escalation to permanent, got %v", err)
+	}
+}
+
+func TestImageRoundTrip(t *testing.T) {
+	d, _ := newTestDevice(t)
+	if err := d.ProgramPage(0, []byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ProgramPage(6, bytes.Repeat([]byte{7}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the device after the snapshot must not affect the image.
+	if err := d.EraseBlock(0); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 5)
+	if err := img.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "alpha" {
+		t.Fatalf("image read %q", got)
+	}
+	if !img.PageProgrammed(6) || img.PageProgrammed(1) {
+		t.Fatal("programmed flags wrong in image")
+	}
+	page, prog, err := img.ReadPage(6)
+	if err != nil || !prog || page[0] != 7 {
+		t.Fatalf("ReadPage(6) = %v %v %v", page[0], prog, err)
+	}
+}
+
+func TestStatsAndSync(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "dev")
+	d, err := Open(dir, testParams(), true) // fsync on
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.ProgramPage(0, bytes.Repeat([]byte{1}, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ReadPage(0, make([]byte, 128)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.PageReads != 1 || st.PagesProgrammed != 1 || st.BlockErases != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.BytesRead != 128 || st.BytesProgrammed != 128 {
+		t.Errorf("byte stats %+v", st)
+	}
+	if st.ReadTime != 0 || st.ProgTime != 0 || st.EraseTime != 0 {
+		t.Errorf("a real file has no simulated time, got %+v", st)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	if d.Stats() != (storage.Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+	// Close is idempotent.
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

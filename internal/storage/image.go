@@ -1,50 +1,42 @@
-package flash
+package storage
 
 import "fmt"
 
-// Image is a host-side deep copy of a flash device's persistent state —
-// the page contents, programmed flags and out-of-band checksums that
-// survive a power cut. The recovery path (core.Recover) reads committed
-// data back out of an Image; reads are forensic and free (no simulated
-// clock is charged), but every touched page is still verified against
-// its OOB checksum so corruption cannot slip into a recovered database.
-type Image struct {
+// MemImage is the host-memory Image implementation shared by the
+// backends: simflash deep-copies its materialized blocks into one, and
+// filedev reads its segment files into one so recovery never touches
+// the live file handles. Only blocks holding programmed pages consume
+// host memory.
+type MemImage struct {
 	p      Params
-	blocks []*imageBlock
+	blocks []*memBlock
 }
 
-type imageBlock struct {
+type memBlock struct {
 	data       []byte
 	programmed []bool
 	crc        []uint32
 	hasCRC     []bool
 }
 
-// Image snapshots the device's persistent state. Only materialized
-// blocks are copied, so the host cost is proportional to the data
-// actually programmed.
-func (d *Device) Image() *Image {
-	img := &Image{p: d.p, blocks: make([]*imageBlock, len(d.blocks))}
-	for i, b := range d.blocks {
-		if b == nil {
-			continue
-		}
-		ib := &imageBlock{
-			data:       append([]byte(nil), b.data...),
-			programmed: append([]bool(nil), b.programmed...),
-			crc:        append([]uint32(nil), b.crc...),
-			hasCRC:     append([]bool(nil), b.hasCRC...),
-		}
-		img.blocks[i] = ib
-	}
-	return img
+// NewMemImage returns an empty (fully erased) image with the given
+// geometry. Backends populate it block by block with SetBlock.
+func NewMemImage(p Params) *MemImage {
+	return &MemImage{p: p, blocks: make([]*memBlock, p.Blocks)}
+}
+
+// SetBlock installs one block's state. The slices are retained (callers
+// hand over ownership); data must be PagesPerBlock*PageSize long and the
+// flag slices PagesPerBlock long.
+func (img *MemImage) SetBlock(i int, data []byte, programmed []bool, crc []uint32, hasCRC []bool) {
+	img.blocks[i] = &memBlock{data: data, programmed: programmed, crc: crc, hasCRC: hasCRC}
 }
 
 // Params returns the imaged device's geometry.
-func (img *Image) Params() Params { return img.p }
+func (img *MemImage) Params() Params { return img.p }
 
 // PageProgrammed reports whether the imaged page holds programmed data.
-func (img *Image) PageProgrammed(page int) bool {
+func (img *MemImage) PageProgrammed(page int) bool {
 	if page < 0 || page >= img.p.PageCount() {
 		return false
 	}
@@ -53,7 +45,7 @@ func (img *Image) PageProgrammed(page int) bool {
 }
 
 // verify checks one programmed page against its OOB checksum.
-func (img *Image) verify(page int) error {
+func (img *MemImage) verify(page int) error {
 	b := img.blocks[page/img.p.PagesPerBlock]
 	if b == nil {
 		return nil
@@ -63,7 +55,7 @@ func (img *Image) verify(page int) error {
 		return nil
 	}
 	start := slot * img.p.PageSize
-	if pageCRC(b.data[start:start+img.p.PageSize], img.p.PageSize) != b.crc[slot] {
+	if PageCRC(b.data[start:start+img.p.PageSize], img.p.PageSize) != b.crc[slot] {
 		return fmt.Errorf("%w: page %d (block %d, page %d in block)", ErrCorrupt, page, page/img.p.PagesPerBlock, slot)
 	}
 	return nil
@@ -71,7 +63,7 @@ func (img *Image) verify(page int) error {
 
 // ReadAt fills dst from the image at byte offset addr, verifying the OOB
 // checksum of every page it touches. Erased bytes read as 0xFF.
-func (img *Image) ReadAt(dst []byte, addr int64) error {
+func (img *MemImage) ReadAt(dst []byte, addr int64) error {
 	if addr < 0 || addr+int64(len(dst)) > img.p.TotalBytes() {
 		return fmt.Errorf("%w: read [%d, %d) of image [0, %d)", ErrOutOfRange, addr, addr+int64(len(dst)), img.p.TotalBytes())
 	}
@@ -105,7 +97,7 @@ func (img *Image) ReadAt(dst []byte, addr int64) error {
 // ReadPage returns a verified copy of one full page. The second result
 // reports whether the page was programmed (an unprogrammed page reads as
 // all 0xFF).
-func (img *Image) ReadPage(page int) ([]byte, bool, error) {
+func (img *MemImage) ReadPage(page int) ([]byte, bool, error) {
 	if page < 0 || page >= img.p.PageCount() {
 		return nil, false, fmt.Errorf("%w: page %d of %d", ErrOutOfRange, page, img.p.PageCount())
 	}

@@ -1,4 +1,4 @@
-package flash
+package simflash
 
 import (
 	"bytes"
@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/ghostdb/ghostdb/internal/fault"
+	"github.com/ghostdb/ghostdb/internal/storage"
 )
 
 // Satellite: the raw sentinel errors carry page/block addresses.
@@ -18,7 +19,7 @@ func TestSentinelErrorsCarryAddresses(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := d.ProgramPage(5, []byte("y"))
-	if !errors.Is(err, ErrNotErased) {
+	if !errors.Is(err, storage.ErrNotErased) {
 		t.Fatalf("want ErrNotErased, got %v", err)
 	}
 	if !strings.Contains(err.Error(), "page 5") || !strings.Contains(err.Error(), "block 1") {
@@ -26,7 +27,7 @@ func TestSentinelErrorsCarryAddresses(t *testing.T) {
 	}
 
 	err = d.ProgramPage(2, make([]byte, 129))
-	if !errors.Is(err, ErrPageTooBig) {
+	if !errors.Is(err, storage.ErrPageTooBig) {
 		t.Fatalf("want ErrPageTooBig, got %v", err)
 	}
 	if !strings.Contains(err.Error(), "page 2") || !strings.Contains(err.Error(), "block 0") {
@@ -34,19 +35,19 @@ func TestSentinelErrorsCarryAddresses(t *testing.T) {
 	}
 
 	err = d.ProgramPage(999, []byte("x"))
-	if !errors.Is(err, ErrOutOfRange) || !strings.Contains(err.Error(), "page 999") {
+	if !errors.Is(err, storage.ErrOutOfRange) || !strings.Contains(err.Error(), "page 999") {
 		t.Fatalf("program OOB: %v", err)
 	}
 	err = d.ReadPage(-1, make([]byte, 128))
-	if !errors.Is(err, ErrOutOfRange) || !strings.Contains(err.Error(), "page -1") {
+	if !errors.Is(err, storage.ErrOutOfRange) || !strings.Contains(err.Error(), "page -1") {
 		t.Fatalf("read OOB: %v", err)
 	}
 	err = d.ReadAt(make([]byte, 16), d.Params().TotalBytes())
-	if !errors.Is(err, ErrOutOfRange) {
+	if !errors.Is(err, storage.ErrOutOfRange) {
 		t.Fatalf("ReadAt OOB: %v", err)
 	}
 	err = d.EraseBlock(16)
-	if !errors.Is(err, ErrOutOfRange) || !strings.Contains(err.Error(), "block 16") {
+	if !errors.Is(err, storage.ErrOutOfRange) || !strings.Contains(err.Error(), "block 16") {
 		t.Fatalf("erase OOB: %v", err)
 	}
 }
@@ -59,14 +60,14 @@ func TestTornWriteCaughtByChecksum(t *testing.T) {
 		t.Fatalf("torn program should succeed silently: %v", err)
 	}
 	err := d.ReadPage(0, make([]byte, 128))
-	if !errors.Is(err, ErrCorrupt) {
+	if !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt after torn write, got %v", err)
 	}
 	if !strings.Contains(err.Error(), "page 0") {
 		t.Fatalf("ErrCorrupt lacks page address: %v", err)
 	}
 	// The corruption is persistent: a later read fails the same way.
-	if err := d.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrCorrupt) {
+	if err := d.ReadAt(make([]byte, 8), 0); !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("second read: %v", err)
 	}
 	// Erasing the block clears it.
@@ -89,7 +90,7 @@ func TestBitFlipCaughtByChecksum(t *testing.T) {
 	}
 	d.SetInjector(fault.New(&fault.Plan{Seed: 9, BitFlip: 1}, 0))
 	err := d.ReadPage(0, make([]byte, 128))
-	if !errors.Is(err, ErrCorrupt) {
+	if !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt after bit flip, got %v", err)
 	}
 }
@@ -108,7 +109,7 @@ func TestVerificationIsLazy(t *testing.T) {
 	}
 	// Forcing re-verification exposes it.
 	d.blocks[0].verified[0] = false
-	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, ErrCorrupt) {
+	if err := d.ReadPage(0, make([]byte, 128)); !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("want ErrCorrupt after invalidation, got %v", err)
 	}
 }
@@ -194,7 +195,10 @@ func TestImageRoundTrip(t *testing.T) {
 	if err := d.ProgramPage(6, bytes.Repeat([]byte{7}, 128)); err != nil {
 		t.Fatal(err)
 	}
-	img := d.Image()
+	img, err := d.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Mutating the device after the snapshot must not affect the image.
 	if err := d.EraseBlock(0); err != nil {
 		t.Fatal(err)
@@ -220,7 +224,7 @@ func TestImageRoundTrip(t *testing.T) {
 	if got[0] != 0xFF {
 		t.Fatalf("erased image byte %x", got[0])
 	}
-	if err := img.ReadAt(got, img.Params().TotalBytes()); !errors.Is(err, ErrOutOfRange) {
+	if err := img.ReadAt(got, img.Params().TotalBytes()); !errors.Is(err, storage.ErrOutOfRange) {
 		t.Fatalf("image OOB: %v", err)
 	}
 }
@@ -231,11 +235,14 @@ func TestImageVerifiesChecksums(t *testing.T) {
 	if err := d.ProgramPage(0, bytes.Repeat([]byte{0xAB}, 128)); err != nil {
 		t.Fatal(err)
 	}
-	img := d.Image()
-	if err := img.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrCorrupt) {
+	img, err := d.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.ReadAt(make([]byte, 8), 0); !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("image of a torn page must fail verification, got %v", err)
 	}
-	if _, _, err := img.ReadPage(0); !errors.Is(err, ErrCorrupt) {
+	if _, _, err := img.ReadPage(0); !errors.Is(err, storage.ErrCorrupt) {
 		t.Fatalf("ReadPage of torn page: %v", err)
 	}
 }
